@@ -1,0 +1,65 @@
+//===- bench/BenchUtil.h - Shared helpers for experiment benches -*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared helpers for the experiment reproduction binaries (one per
+/// paper table/figure; see DESIGN.md's per-experiment index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_BENCH_BENCHUTIL_H
+#define YS_BENCH_BENCHUTIL_H
+
+#include "arch/MachineModel.h"
+#include "stencil/StencilSpec.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ysbench {
+
+/// Prints the standard experiment banner.
+inline void banner(const char *Id, const char *Title, const char *Note) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", Id, Title);
+  if (Note && Note[0])
+    std::printf("%s\n", Note);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+/// The paper's stencil test suite (used by several experiments).
+inline std::vector<ys::StencilSpec> paperStencilSuite() {
+  return {ys::StencilSpec::heat3d(),   ys::StencilSpec::star3d(2),
+          ys::StencilSpec::star3d(4),  ys::StencilSpec::box3d(1),
+          ys::StencilSpec::box3d(2),   ys::StencilSpec::longRange(4)};
+}
+
+/// The paper's two evaluation platforms.
+inline std::vector<ys::MachineModel> paperMachines() {
+  return {ys::MachineModel::cascadeLakeSP(), ys::MachineModel::rome()};
+}
+
+/// Formats MLUP/s compactly.
+inline std::string mlups(double Value) {
+  return ys::format("%.0f", Value);
+}
+
+/// Formats seconds compactly (ms / us adaptive).
+inline std::string seconds(double Value) {
+  if (Value >= 1.0)
+    return ys::format("%.2f s", Value);
+  if (Value >= 1e-3)
+    return ys::format("%.2f ms", Value * 1e3);
+  return ys::format("%.1f us", Value * 1e6);
+}
+
+} // namespace ysbench
+
+#endif // YS_BENCH_BENCHUTIL_H

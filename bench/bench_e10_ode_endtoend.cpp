@@ -1,0 +1,103 @@
+//===- bench/bench_e10_ode_endtoend.cpp - E10: end-to-end ODE ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E10 (paper Fig.: end-to-end gains): time per step of the default
+/// implementation (stage-separate, unblocked) versus the Offsite/YaskSite
+/// pick, measured on the host, for several methods and IVPs; plus the
+/// predicted per-platform gains on the paper's two machines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "offsite/Offsite.h"
+#include "support/Table.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E10", "End-to-end ODE stepping: default vs tuned",
+                  "Tuned = model-ranked best variant (zero tuning runs).");
+
+  MachineModel Clx = MachineModel::cascadeLakeSP();
+  ECMModel Model(Clx);
+  OffsiteTuner Tuner(Model, 1);
+
+  std::vector<ButcherTableau> Methods = {ButcherTableau::heun2(),
+                                         ButcherTableau::classicRK4(),
+                                         ButcherTableau::fehlberg45(),
+                                         ButcherTableau::dormandPrince54()};
+
+  {
+    Heat3DIVP Problem(96);
+    std::printf("\n-- %s (sim gain = cache-simulator traffic at the "
+                "machine's bandwidth; host = this container) --\n",
+                Problem.name().c_str());
+    Table T({"method", "default host s/step", "tuned variant",
+             "tuned host s/step", "host gain", "sim gain",
+             "predicted gain"});
+    GridDims ProxyDims{48, 48, 48};
+    for (const ButcherTableau &TB : Methods) {
+      std::vector<ODEVariant> Vs = Tuner.enumerateRK(TB, Problem);
+      std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, Problem);
+      const ODEVariant &Default = Vs.front();
+      const ODEVariant &Tuned = Ranked.front().Variant;
+      double DefaultSec = Tuner.measureSecondsPerStep(Default, Problem);
+      double TunedSec = Tuner.measureSecondsPerStep(Tuned, Problem);
+      double SimGain =
+          Tuner.proxySecondsPerStep(Default, Problem, ProxyDims) /
+          Tuner.proxySecondsPerStep(Tuned, Problem, ProxyDims);
+      double PredGain = Tuner.predict(Default, Problem).SecondsPerStep /
+                        Ranked.front().SecondsPerStep;
+      T.addRow({TB.Name, ysbench::seconds(DefaultSec), Tuned.Name,
+                ysbench::seconds(TunedSec),
+                format("%.2fx", DefaultSec / TunedSec),
+                format("%.2fx", SimGain), format("%.2fx", PredGain)});
+    }
+    T.print();
+  }
+
+  {
+    InverterChainIVP Problem(200000);
+    std::printf("\n-- %s, measured on host --\n", Problem.name().c_str());
+    Table T({"method", "default s/step", "tuned variant", "tuned s/step",
+             "measured gain"});
+    for (const ButcherTableau &TB :
+         {ButcherTableau::heun2(), ButcherTableau::classicRK4()}) {
+      std::vector<ODEVariant> Vs = Tuner.enumerateRK(TB, Problem);
+      std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, Problem);
+      double DefaultSec =
+          Tuner.measureSecondsPerStep(Vs.front(), Problem);
+      double TunedSec =
+          Tuner.measureSecondsPerStep(Ranked.front().Variant, Problem);
+      T.addRow({TB.Name, ysbench::seconds(DefaultSec),
+                Ranked.front().Variant.Name, ysbench::seconds(TunedSec),
+                format("%.2fx", DefaultSec / TunedSec)});
+    }
+    T.print();
+  }
+
+  // Predicted per-platform gains at full socket occupancy.
+  std::printf("\n-- Predicted socket-level gains (no execution) --\n");
+  Table T({"machine", "method", "default pred s/step", "tuned pred s/step",
+           "pred gain"});
+  Heat3DIVP Big(256);
+  for (const MachineModel &M : ysbench::paperMachines()) {
+    ECMModel PlatModel(M);
+    OffsiteTuner PlatTuner(PlatModel, M.CoresPerSocket);
+    for (const ButcherTableau &TB :
+         {ButcherTableau::classicRK4(), ButcherTableau::fehlberg45()}) {
+      std::vector<ODEVariant> Vs = PlatTuner.enumerateRK(TB, Big);
+      std::vector<VariantPrediction> Ranked = PlatTuner.rank(Vs, Big);
+      double DefaultSec = PlatTuner.predict(Vs.front(), Big).SecondsPerStep;
+      T.addRow({M.Name, TB.Name, ysbench::seconds(DefaultSec),
+                ysbench::seconds(Ranked.front().SecondsPerStep),
+                format("%.2fx",
+                       DefaultSec / Ranked.front().SecondsPerStep)});
+    }
+  }
+  T.print();
+  return 0;
+}

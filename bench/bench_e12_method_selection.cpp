@@ -1,0 +1,87 @@
+//===- bench/bench_e12_method_selection.cpp - E12: method selection ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E12 (Offsite's end goal): which explicit method advances simulated time
+/// fastest?  Combines the linear stability limit of each method (largest
+/// stable dt against the problem's spectral bound) with the ECM-predicted
+/// cost of its best implementation variant: cost per simulated second =
+/// (time per step) / dt_max.  All analytic — zero executions — per paper
+/// platform; the winner is the recommended solver/kernel pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ode/Stability.h"
+#include "offsite/Offsite.h"
+#include "support/Table.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E12", "Analytic method selection: cost per simulated "
+                         "second",
+                  "dt_max from the stability function x spectral bound; "
+                  "step cost from the ECM-ranked best variant.");
+
+  Heat3DIVP Problem(256);
+  std::vector<ButcherTableau> Methods = {
+      ButcherTableau::explicitEuler(), ButcherTableau::heun2(),
+      ButcherTableau::kutta3(),        ButcherTableau::classicRK4(),
+      ButcherTableau::fehlberg45(),    ButcherTableau::dormandPrince54()};
+
+  for (const MachineModel &M : ysbench::paperMachines()) {
+    ECMModel Model(M);
+    OffsiteTuner Tuner(Model, M.CoresPerSocket);
+    std::printf("\n-- %s, %s N=256 (socket-level predictions) --\n",
+                M.Name.c_str(), Problem.name().c_str());
+    Table T({"method", "order", "dt_max", "best variant", "s/step",
+             "s per sim-second", "rank"});
+
+    struct Row {
+      std::string Method;
+      unsigned Order;
+      double DtMax;
+      std::string Variant;
+      double SecPerStep;
+      double SecPerSimSecond;
+    };
+    std::vector<Row> Rows;
+    for (const ButcherTableau &TB : Methods) {
+      double DtMax = maxStableTimeStep(TB, Problem.rhsStencil());
+      std::vector<ODEVariant> Vs = Tuner.enumerateRK(TB, Problem);
+      std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, Problem);
+      Row R;
+      R.Method = TB.Name;
+      R.Order = TB.Order;
+      R.DtMax = DtMax;
+      R.Variant = Ranked.front().Variant.Name;
+      R.SecPerStep = Ranked.front().SecondsPerStep;
+      R.SecPerSimSecond = R.SecPerStep / DtMax;
+      Rows.push_back(R);
+    }
+    for (const Row &R : Rows) {
+      unsigned Rank = 1;
+      for (const Row &O : Rows)
+        if (O.SecPerSimSecond < R.SecPerSimSecond)
+          ++Rank;
+      T.addRow({R.Method, format("%u", R.Order),
+                format("%.3g", R.DtMax), R.Variant,
+                ysbench::seconds(R.SecPerStep),
+                ysbench::seconds(R.SecPerSimSecond), format("%u", Rank)});
+    }
+    T.print();
+  }
+
+  std::printf("\nStability limits (negative real axis):\n");
+  Table TS({"method", "stages", "order", "|z| limit", "limit/stage"});
+  for (const ButcherTableau &TB : Methods) {
+    double L = realAxisStabilityLimit(TB);
+    TS.addRow({TB.Name, format("%u", TB.Stages), format("%u", TB.Order),
+               format("%.3f", L), format("%.3f", L / TB.Stages)});
+  }
+  TS.print();
+  return 0;
+}

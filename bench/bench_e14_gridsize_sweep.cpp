@@ -1,0 +1,55 @@
+//===- bench/bench_e14_gridsize_sweep.cpp - E14: grid-size sweep ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E14 (classic ECM-paper figure): performance vs problem size.  As the
+/// grid grows, layer conditions break level by level and the predicted
+/// per-LUP traffic steps upward; single-core performance steps downward
+/// at the same sizes.  The host run (this machine's real caches) shows
+/// the same staircase shifted by the host's capacities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ecm/ECMModel.h"
+#include "support/Table.h"
+#include "tuner/MeasureHarness.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E14", "Performance vs grid size (LC staircase)",
+                  "Cubic grids; reuse column P(lane)/R(ow)/-(none) per "
+                  "level on the CLX model.");
+
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  StencilSpec S = StencilSpec::star3d(2);
+  KernelConfig C;
+  C.VectorFold.X = static_cast<int>(M.Core.simdDoubles());
+
+  Table T({"N", "reuse", "pred mem B/LUP", "pred 1-core MLUP/s",
+           "host MLUP/s"});
+  for (long N : {16L, 32L, 48L, 64L, 96L, 128L, 192L, 256L, 384L}) {
+    GridDims Dims{N, N, N};
+    ECMPrediction P = Model.predict(S, Dims, C);
+    std::string Reuse;
+    for (ReuseClass R : P.Traffic.LevelReuse)
+      Reuse += R == ReuseClass::Plane
+                   ? 'P'
+                   : (R == ReuseClass::Row ? 'R' : '-');
+    double Host = 0;
+    if (N <= 256) {
+      MeasureHarness H(S, Dims, 2, 1);
+      Host = H.measure(KernelConfig());
+    }
+    T.addRow({format("%ld", N), Reuse,
+              format("%.1f", P.Traffic.BytesPerLup.back()),
+              ysbench::mlups(P.MLupsSingleCore),
+              N <= 256 ? ysbench::mlups(Host) : std::string("-")});
+  }
+  T.print();
+  return 0;
+}

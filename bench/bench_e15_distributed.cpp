@@ -1,0 +1,85 @@
+//===- bench/bench_e15_distributed.cpp - E15: rank decomposition ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E15: domain decomposition (YASK's multi-rank substrate, simulated
+/// in-process).  Reports the halo-exchange payload per step as the rank
+/// count grows, its share of the sweep's memory traffic, and verifies the
+/// distributed result stays bit-identical to the monolithic run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "codegen/DomainDecomposition.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E15", "Domain decomposition and halo exchange",
+                  "z-slab ranks; halo share = exchange payload over the "
+                  "sweep's streaming traffic (24 B/LUP).");
+
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{96, 96, 96};
+  const int Steps = 4;
+
+  Grid Global(Dims, 1);
+  Rng R(5);
+  Global.fillRandom(R);
+
+  // Monolithic reference for the equivalence column.
+  Grid URef(Dims, 1), Scratch(Dims, 1);
+  URef.copyInteriorFrom(Global);
+  KernelExecutor Exec(S, KernelConfig());
+  Exec.runTimeSteps(URef, Scratch, Steps);
+
+  Table T({"ranks", "halo B/step", "halo share", "host s/step",
+           "max |diff| vs monolithic"});
+  for (unsigned Ranks : {1u, 2u, 4u, 8u}) {
+    DecomposedGrid U(Dims, Ranks, 1), V(Dims, Ranks, 1);
+    U.scatter(Global);
+    Grid Zero(Dims, 1);
+    V.scatter(Zero);
+    DistributedStepper Stepper(S, KernelConfig());
+    Timer Tm;
+    Stepper.runTimeSteps(U, V, Steps);
+    double Secs = Tm.seconds() / Steps;
+    Grid Result(Dims, 1);
+    U.gather(Result);
+
+    double HaloPerStep =
+        static_cast<double>(U.haloBytesExchanged() +
+                            V.haloBytesExchanged()) /
+        Steps;
+    double SweepBytes = 24.0 * static_cast<double>(Dims.lups());
+    T.addRow({format("%u", Ranks), humanBytes(
+                  static_cast<unsigned long long>(HaloPerStep)),
+              format("%.2f%%", 100.0 * HaloPerStep / SweepBytes),
+              ysbench::seconds(Secs),
+              format("%.1e", Grid::maxAbsDiffInterior(URef, Result))});
+  }
+  T.print();
+
+  std::printf("\nWeak-scaling view (per-rank slab of 96x96x24, halo "
+              "payload per rank per step is constant):\n");
+  Table TW({"ranks", "global Nz", "halo B/step/rank"});
+  for (unsigned Ranks : {2u, 4u, 8u}) {
+    GridDims WDims{96, 96, static_cast<long>(24 * Ranks)};
+    DecomposedGrid U(WDims, Ranks, 1), V(WDims, Ranks, 1);
+    Grid G(WDims, 1);
+    U.scatter(G);
+    V.scatter(G);
+    DistributedStepper Stepper(S, KernelConfig());
+    Stepper.runTimeSteps(U, V, 1);
+    double PerRank =
+        static_cast<double>(U.haloBytesExchanged()) / Ranks;
+    TW.addRow({format("%u", Ranks), format("%ld", WDims.Nz),
+               humanBytes(static_cast<unsigned long long>(PerRank))});
+  }
+  TW.print();
+  return 0;
+}

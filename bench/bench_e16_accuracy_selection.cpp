@@ -1,0 +1,128 @@
+//===- bench/bench_e16_accuracy_selection.cpp - E16: accuracy budget --------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E16: method selection under an accuracy constraint — Offsite's real
+/// decision problem.  For each explicit method, the global error constant
+/// is calibrated empirically on a small Heat2D instance (two runs against
+/// the exact semi-discrete solution give the observed order and
+/// constant), then the step size meeting each error target, the number of
+/// steps for a fixed horizon, and the ECM-predicted cost per step of the
+/// method's best variant combine into an analytic time-to-solution.
+/// The classic crossover appears: low-order methods win loose tolerances,
+/// high-order methods win tight ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ode/IVP.h"
+#include "offsite/Offsite.h"
+#include "support/Table.h"
+
+#include <cmath>
+
+using namespace ys;
+
+namespace {
+
+/// Empirical error model err(dt) ~= C * dt^p on Heat2D.
+struct ErrorModel {
+  double C = 0;
+  double P = 0;
+};
+
+ErrorModel calibrate(const ButcherTableau &TB) {
+  Heat2DIVP Problem(10);
+  double TEnd = Problem.suggestedDt() * 32;
+  auto ErrorAt = [&](int Steps) {
+    Grid Y(Problem.dims(), Problem.halo());
+    Problem.initialCondition(Y);
+    ExplicitRKIntegrator Integ(TB, RKVariant::StageSeparate);
+    RKWorkspace WS;
+    Integ.integrate(Problem, 0.0, TEnd / Steps, Steps, Y, WS);
+    Grid Exact(Problem.dims(), Problem.halo());
+    Problem.exactSolution(TEnd, Exact);
+    return Grid::maxAbsDiffInterior(Y, Exact);
+  };
+  double E1 = ErrorAt(32), E2 = ErrorAt(64);
+  ErrorModel M;
+  double Dt1 = TEnd / 32;
+  M.P = std::log2(E1 / E2);
+  M.C = E1 / std::pow(Dt1, M.P);
+  return M;
+}
+
+} // namespace
+
+int main() {
+  ysbench::banner("E16", "Method selection under accuracy constraints",
+                  "Error constants calibrated on Heat2D; step costs from "
+                  "the ECM-ranked best variant on the CLX model (20 "
+                  "cores), horizon T = 0.01 on heat3d 128^3.");
+
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  OffsiteTuner Tuner(Model, M.CoresPerSocket);
+  Heat3DIVP Target(128);
+  const double Horizon = 0.01;
+  // Stability ceiling for the target problem (dt may not exceed it no
+  // matter how loose the tolerance).
+  std::vector<ButcherTableau> Methods = {
+      ButcherTableau::explicitEuler(), ButcherTableau::heun2(),
+      ButcherTableau::classicRK4(), ButcherTableau::dormandPrince54()};
+
+  struct Calibrated {
+    ButcherTableau TB;
+    ErrorModel Err;
+    double SecPerStep;
+  };
+  std::vector<Calibrated> Cal;
+  for (const ButcherTableau &TB : Methods) {
+    Calibrated C{TB, calibrate(TB), 0};
+    std::vector<VariantPrediction> Ranked =
+        Tuner.rank(Tuner.enumerateRK(TB, Target), Target);
+    C.SecPerStep = Ranked.front().SecondsPerStep;
+    Cal.push_back(C);
+  }
+
+  std::printf("\nCalibrated error models (err = C * dt^p):\n");
+  Table TC({"method", "order (nominal)", "order (observed)", "C"});
+  for (const Calibrated &C : Cal)
+    TC.addRow({C.TB.Name, format("%u", C.TB.Order),
+               format("%.2f", C.Err.P), format("%.3g", C.Err.C)});
+  TC.print();
+
+  double DtStab = Target.suggestedDt(); // Conservative stability bound.
+  for (double Tol : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    std::printf("\n-- tolerance %.0e --\n", Tol);
+    Table T({"method", "dt(tol)", "dt used", "steps", "pred s/step",
+             "time to solution", "rank"});
+    struct Row {
+      std::string Name;
+      double Dt, DtUsed, Seconds;
+      long Steps;
+      double SecPerStep;
+    };
+    std::vector<Row> Rows;
+    for (const Calibrated &C : Cal) {
+      double Dt = std::pow(Tol / C.Err.C, 1.0 / C.Err.P);
+      double DtUsed = std::min(Dt, DtStab);
+      long Steps = static_cast<long>(std::ceil(Horizon / DtUsed));
+      Rows.push_back({C.TB.Name, Dt, DtUsed,
+                      Steps * C.SecPerStep, Steps, C.SecPerStep});
+    }
+    for (const Row &R : Rows) {
+      unsigned Rank = 1;
+      for (const Row &O : Rows)
+        if (O.Seconds < R.Seconds)
+          ++Rank;
+      T.addRow({R.Name, format("%.2e", R.Dt), format("%.2e", R.DtUsed),
+                format("%ld", R.Steps), ysbench::seconds(R.SecPerStep),
+                ysbench::seconds(R.Seconds), format("%u", Rank)});
+    }
+    T.print();
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/bench_e1_stencil_suite.cpp - E1: stencil test suite -----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E1 (paper Table 1 analogue): characteristics of the stencil test suite —
+/// shape, radius, point count, flops/LUP, stream structure, minimal
+/// streaming traffic, and the vector fold YaskSite selects per platform.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "codegen/VectorFold.h"
+#include "support/Table.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E1", "Stencil test suite characteristics (Table 1)",
+                  "Streaming B/LUP assumes plane reuse (1 load stream) + "
+                  "store + write-allocate.");
+
+  MachineModel Clx = MachineModel::cascadeLakeSP();
+  MachineModel Rome = MachineModel::rome();
+
+  Table T({"stencil", "shape", "radius", "points", "flops/LUP", "layers",
+           "z-planes", "stream B/LUP", "fold CLX", "fold Rome"});
+  for (const StencilSpec &S : ysbench::paperStencilSuite()) {
+    StreamCounts C = S.streams();
+    double StreamBytes = 8.0 * C.Grids + 16.0;
+    Fold FoldClx = VectorFold::select(S, Clx);
+    Fold FoldRome = VectorFold::select(S, Rome);
+    T.addRow({S.name(), S.shapeName(), format("%d", S.radius()),
+              format("%u", S.numPoints()), format("%u", S.flopsPerLup()),
+              format("%u", C.Layers), format("%u", C.ZPlanes),
+              format("%.0f", StreamBytes), FoldClx.str(), FoldRome.str()});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/bench_e2_machine_models.cpp - E2: machine models --------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E2 (paper Table 2 analogue): the machine models the ECM analysis runs
+/// against — Cascade Lake SP and Rome as in the paper, plus the extra
+/// built-ins for breadth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Table.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E2", "Machine model parameters (Table 2)",
+                  "Values follow published ECM machine files; see "
+                  "DESIGN.md for the substitution note.");
+
+  Table T({"machine", "SIMD", "cores", "GHz", "L1", "L2", "L3 (sharing)",
+           "mem GB/s", "mem B/cy", "L1-L2 B/cy", "L2-L3 B/cy"});
+  for (const MachineModel &M : MachineModel::allBuiltin()) {
+    const CacheLevelModel &L3 = M.level(2);
+    T.addRow({M.Name, format("%u-bit", M.Core.SimdBits),
+              format("%u", M.CoresPerSocket),
+              format("%.2f", M.Core.FrequencyGHz),
+              humanBytes(M.level(0).SizeBytes),
+              humanBytes(M.level(1).SizeBytes),
+              format("%s (%u cores)", humanBytes(L3.SizeBytes).c_str(),
+                     L3.SharingCores),
+              format("%.0f", M.Memory.BandwidthGBs),
+              format("%.1f", M.memBytesPerCycle()),
+              format("%.0f", M.level(0).BytesPerCycleToNext),
+              format("%.0f", M.level(1).BytesPerCycleToNext)});
+  }
+  T.print();
+
+  std::printf("\nValidation: ");
+  for (const MachineModel &M : MachineModel::allBuiltin()) {
+    std::string Err = M.validate();
+    std::printf("%s=%s ", M.Name.c_str(), Err.empty() ? "ok" : Err.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

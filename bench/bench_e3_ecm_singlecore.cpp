@@ -1,0 +1,69 @@
+//===- bench/bench_e3_ecm_singlecore.cpp - E3: single-core ECM -------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E3 (paper Fig.: single-core ECM predictions): for each suite stencil on
+/// Cascade Lake and Rome, the full ECM decomposition and the predicted
+/// single-core performance, cross-checked two ways:
+///   * memory B/LUP against the cache simulator (the LIKWID substitute),
+///   * MLUP/s against a host-measured run of the kernel executor (absolute
+///     host numbers differ from the modeled CPUs; the *shape* across
+///     stencils is the comparison target — see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cachesim/StencilTrace.h"
+#include "ecm/ECMModel.h"
+#include "support/Table.h"
+#include "tuner/MeasureHarness.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E3", "Single-core ECM predictions vs. measurement",
+                  "pred = analytic; sim = cache simulator traffic; host = "
+                  "executor wall clock on this machine.");
+
+  GridDims Dims{160, 160, 96};
+  GridDims SimDims{96, 96, 48}; // Smaller grid for the trace replay.
+
+  for (const MachineModel &M : ysbench::paperMachines()) {
+    ECMModel Model(M);
+    std::printf("\n-- %s, grid %s (simulated on %s) --\n", M.Name.c_str(),
+                Dims.str().c_str(), SimDims.str().c_str());
+    Table T({"stencil", "TOL", "TnOL", "TL1L2", "TL2L3", "TL3Mem",
+             "TECM cy/CL", "pred B/LUP", "sim B/LUP", "pred MLUP/s",
+             "host MLUP/s"});
+    for (const StencilSpec &S : ysbench::paperStencilSuite()) {
+      KernelConfig C;
+      C.VectorFold.X = static_cast<int>(M.Core.simdDoubles());
+      ECMPrediction P = Model.predict(S, Dims, C);
+
+      // Simulator cross-check on a reduced grid with proportionally
+      // reduced caches (1/4 of each level) to preserve the LC regime.
+      MachineModel Mini = M;
+      for (CacheLevelModel &L : Mini.Caches)
+        L.SizeBytes /= 4;
+      CacheHierarchySim Sim = CacheHierarchySim::fromMachine(Mini);
+      StencilTraceRunner Runner(S, SimDims, C);
+      TraceTraffic Traffic = Runner.run(Sim, 2);
+
+      MeasureHarness Harness(S, Dims, /*Repeats=*/2, /*Sweeps=*/1);
+      double HostMlups = Harness.measure(KernelConfig());
+
+      T.addRow({S.name(), format("%.1f", P.InCore.TOL),
+                format("%.1f", P.InCore.TnOL), format("%.1f", P.TData[0]),
+                format("%.1f", P.TData[1]), format("%.1f", P.TData[2]),
+                format("%.1f", P.TECM),
+                format("%.1f", P.Traffic.BytesPerLup.back()),
+                format("%.1f", Traffic.BytesPerLup.back()),
+                ysbench::mlups(P.MLupsSingleCore),
+                ysbench::mlups(HostMlups)});
+    }
+    T.print();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/bench_e4_layer_conditions.cpp - E4: layer conditions ----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E4 (paper Fig.: layer-condition validation): predicted vs simulated
+/// per-boundary data volumes across a y-block sweep.  The layer-condition
+/// break points — where a cache level loses plane reuse — must appear at
+/// the same block sizes in the model and in the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cachesim/StencilTrace.h"
+#include "ecm/ECMModel.h"
+#include "support/Table.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E4", "Layer-condition break points (block-size sweep)",
+                  "Mini machine (16K/128K/1M) so the simulated grid stays "
+                  "small; reuse column: per-level P(lane)/R(ow)/-(none).");
+
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Name = "Mini";
+  M.Caches[0].SizeBytes = 16 * 1024;
+  M.Caches[1].SizeBytes = 128 * 1024;
+  M.Caches[2].SizeBytes = 1024 * 1024;
+  ECMModel Model(M);
+  GridDims Dims{128, 128, 32};
+
+  for (int Radius : {1, 2, 4}) {
+    StencilSpec S = StencilSpec::star3d(Radius);
+    std::printf("\n-- %s, grid %s --\n", S.name().c_str(),
+                Dims.str().c_str());
+    Table T({"y-block", "reuse", "pred L1-L2", "sim L1-L2", "pred L2-L3",
+             "sim L2-L3", "pred mem", "sim mem"});
+    for (long By : {0L, 64L, 32L, 16L, 8L, 4L}) {
+      if (By > Dims.Ny)
+        continue;
+      KernelConfig C;
+      C.Block.Y = By;
+      ECMPrediction P = Model.predict(S, Dims, C);
+      CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+      TraceTraffic Traffic = StencilTraceRunner(S, Dims, C).run(Sim, 2);
+      std::string Reuse;
+      for (ReuseClass R : P.Traffic.LevelReuse)
+        Reuse += R == ReuseClass::Plane
+                     ? 'P'
+                     : (R == ReuseClass::Row ? 'R' : '-');
+      T.addRow({By == 0 ? std::string("full") : format("%ld", By), Reuse,
+                format("%.1f", P.Traffic.BytesPerLup[0]),
+                format("%.1f", Traffic.BytesPerLup[0]),
+                format("%.1f", P.Traffic.BytesPerLup[1]),
+                format("%.1f", Traffic.BytesPerLup[1]),
+                format("%.1f", P.Traffic.BytesPerLup[2]),
+                format("%.1f", Traffic.BytesPerLup[2])});
+    }
+    T.print();
+  }
+  return 0;
+}

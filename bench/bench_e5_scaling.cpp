@@ -1,0 +1,89 @@
+//===- bench/bench_e5_scaling.cpp - E5: multicore saturation ----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E5 (paper Fig.: multicore scaling): predicted performance vs core count
+/// with the ECM saturation model on both paper platforms.  The container
+/// is single-core, so the multicore curve is purely analytic (the paper's
+/// own premise: predict without running); the host single-thread number
+/// anchors the executor side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cachesim/MultiCoreSim.h"
+#include "ecm/ECMModel.h"
+#include "ecm/LayerCondition.h"
+#include "support/Table.h"
+#include "tuner/MeasureHarness.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E5", "Multicore scaling and bandwidth saturation",
+                  "Linear scaling up to n_sat = ceil(TECM/TMem), then "
+                  "memory-bandwidth bound.");
+
+  GridDims Dims{512, 512, 256};
+  std::vector<StencilSpec> Suite = {StencilSpec::heat3d(),
+                                    StencilSpec::box3d(2)};
+
+  for (const MachineModel &M : ysbench::paperMachines()) {
+    ECMModel Model(M);
+    std::printf("\n-- %s --\n", M.Name.c_str());
+    for (const StencilSpec &S : Suite) {
+      KernelConfig C;
+      C.VectorFold.X = static_cast<int>(M.Core.simdDoubles());
+      // Shared-cache pressure grows with active cores; model at full
+      // occupancy for the curve.
+      ECMPrediction P = Model.predict(S, Dims, C, M.CoresPerSocket);
+      std::printf("%s: %s\n", S.name().c_str(), P.str().c_str());
+      Table T({"cores", "pred MLUP/s", "regime"});
+      for (unsigned Cores :
+           {1u, 2u, 4u, 8u, P.SaturationCores, M.CoresPerSocket}) {
+        if (Cores == 0 || Cores > M.CoresPerSocket)
+          continue;
+        double Perf = P.mlupsAtCores(Cores);
+        const char *Regime =
+            Cores >= P.SaturationCores ? "bandwidth-bound" : "scalable";
+        T.addRow({format("%u", Cores), ysbench::mlups(Perf), Regime});
+      }
+      T.print();
+    }
+  }
+
+  // Shared-cache pressure: the LC derating vs the multicore simulator.
+  std::printf("\n-- Shared-cache pressure (scaled CLX, star3d-r2, "
+              "48x48x32) --\n");
+  {
+    MachineModel Tiny = MachineModel::cascadeLakeSP();
+    Tiny.Caches[0].SizeBytes = 8 * 1024;
+    Tiny.Caches[1].SizeBytes = 32 * 1024;
+    Tiny.Caches[2].SizeBytes = 512 * 1024;
+    Tiny.Caches[2].SharingCores = 4;
+    StencilSpec S = StencilSpec::star3d(2);
+    GridDims SmallDims{48, 48, 32};
+    LayerConditionAnalysis LC(Tiny);
+    Table TP({"active cores", "pred mem B/LUP", "sim mem B/LUP"});
+    for (unsigned Cores : {1u, 2u, 4u}) {
+      double Pred =
+          LC.analyze(S, SmallDims, KernelConfig(), Cores).BytesPerLup.back();
+      MultiCoreTraffic Sim = runMultiCoreStencilTrace(
+          Tiny, Cores, S, SmallDims, KernelConfig(), 2);
+      TP.addRow({format("%u", Cores), format("%.1f", Pred),
+                 format("%.1f", Sim.MemBytesPerLup)});
+    }
+    TP.print();
+  }
+
+  std::printf("\nHost anchor (single thread, this machine):\n");
+  Table T({"stencil", "host MLUP/s"});
+  for (const StencilSpec &S : Suite) {
+    MeasureHarness H(S, {128, 128, 64}, 2, 1);
+    T.addRow({S.name(), ysbench::mlups(H.measure(KernelConfig()))});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_e6_blocking.cpp - E6: blocking selection -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E6 (paper Fig.: model-driven blocking selection): for each stencil and
+/// platform, compare the analytic layer-condition choice and the ECM
+/// argmax against the unblocked baseline, and validate on the host that
+/// the model's pick is at least competitive with the measured best of the
+/// same candidate space.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ecm/BlockingSelector.h"
+#include "support/Table.h"
+#include "tuner/MeasureHarness.h"
+#include "tuner/TuningStrategy.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E6", "Blocking parameter selection (model vs search)",
+                  "Predicted numbers target the named machine; host "
+                  "validation uses this container's CPU.");
+
+  GridDims Dims{512, 512, 256};
+  std::vector<StencilSpec> Suite = {StencilSpec::star3d(2),
+                                    StencilSpec::star3d(4),
+                                    StencilSpec::box3d(2)};
+
+  for (const MachineModel &M : ysbench::paperMachines()) {
+    ECMModel Model(M);
+    BlockingSelector Sel(Model);
+    std::printf("\n-- %s (predicted, %u cores) --\n", M.Name.c_str(),
+                M.CoresPerSocket);
+    Table T({"stencil", "unblocked", "analytic LC block", "pred",
+             "model argmax block", "pred", "gain"});
+    for (const StencilSpec &S : Suite) {
+      KernelConfig Base;
+      Base.VectorFold.X = static_cast<int>(M.Core.simdDoubles());
+      ECMPrediction Un = Model.predict(S, Dims, Base, M.CoresPerSocket);
+      BlockingChoice Analytic =
+          Sel.selectAnalytic(S, Dims, Base, -1, M.CoresPerSocket);
+      BlockingChoice Best =
+          Sel.selectBest(S, Dims, Base, false, M.CoresPerSocket);
+      T.addRow({S.name(), ysbench::mlups(Un.MLupsSaturated),
+                Analytic.Config.Block.str(),
+                ysbench::mlups(Analytic.Prediction.MLupsSaturated),
+                Best.Config.Block.str(),
+                ysbench::mlups(Best.Prediction.MLupsSaturated),
+                format("%.2fx", Best.Prediction.MLupsSaturated /
+                                    Un.MLupsSaturated)});
+    }
+    T.print();
+  }
+
+  // Host validation on a grid that exceeds typical host caches.
+  std::printf("\n-- Host validation (this machine, single thread) --\n");
+  GridDims HostDims{192, 192, 96};
+  MachineModel Clx = MachineModel::cascadeLakeSP();
+  ECMModel Model(Clx);
+  BlockingSelector Sel(Model);
+  Table T({"stencil", "unblocked MLUP/s", "model-pick block",
+           "model-pick MLUP/s", "measured-best block",
+           "measured-best MLUP/s", "model pick / measured best"});
+  for (const StencilSpec &S : Suite) {
+    MeasureHarness Harness(S, HostDims, 3, 1);
+    MeasureFn Measure = Harness.measurer();
+    double Unblocked = Measure(KernelConfig());
+    BlockingChoice Pick = Sel.selectBest(S, HostDims, KernelConfig(), false);
+    double PickPerf = Measure(Pick.Config);
+    ExhaustiveStrategy Ex;
+    TuningResult Best = Ex.tune(
+        BlockingSelector::candidateSpace(HostDims, KernelConfig(), false),
+        Measure);
+    T.addRow({S.name(), ysbench::mlups(Unblocked), Pick.Config.Block.str(),
+              ysbench::mlups(PickPerf), Best.Best.Block.str(),
+              ysbench::mlups(Best.BestMlups),
+              format("%.2f", PickPerf / Best.BestMlups)});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- bench/bench_e7_wavefront.cpp - E7: temporal wavefront ----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E7 (paper Fig.: temporal wavefront blocking): predicted memory-traffic
+/// reduction and speedup for wavefront depths 1..8, validated against the
+/// cache simulator and against host wall-clock time stepping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cachesim/StencilTrace.h"
+#include "codegen/KernelExecutor.h"
+#include "ecm/ECMModel.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+using namespace ys;
+
+int main() {
+  ysbench::banner("E7", "Temporal wavefront blocking",
+                  "Mini machine for the simulator; host timing uses this "
+                  "machine's real caches.");
+
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Name = "Mini";
+  M.Caches[0].SizeBytes = 16 * 1024;
+  M.Caches[1].SizeBytes = 128 * 1024;
+  M.Caches[2].SizeBytes = 1024 * 1024;
+  ECMModel Model(M);
+  GridDims Dims{64, 64, 64};
+  StencilSpec S = StencilSpec::heat3d();
+
+  Table T({"depth", "pred mem B/LUP", "sim mem B/LUP", "pred speedup",
+           "sim traffic gain"});
+  double PredBase = 0, SimBase = 0, PredPerfBase = 0;
+  for (int Depth : {1, 2, 4, 8}) {
+    KernelConfig C;
+    C.WavefrontDepth = Depth;
+    C.Block.Z = 2;
+    ECMPrediction P = Model.predict(S, Dims, C);
+    CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+    StencilTraceRunner Runner(S, Dims, C);
+    TraceTraffic Traffic =
+        Depth > 1 ? Runner.runWavefront(Sim) : Runner.run(Sim, 4);
+    double PredMem = P.Traffic.BytesPerLup.back();
+    double SimMem = Traffic.BytesPerLup.back();
+    if (Depth == 1) {
+      PredBase = PredMem;
+      SimBase = SimMem;
+      PredPerfBase = P.MLupsSaturated;
+    }
+    T.addRow({format("%d", Depth), format("%.1f", PredMem),
+              format("%.1f", SimMem),
+              format("%.2fx", P.MLupsSaturated / PredPerfBase),
+              format("%.2fx", SimBase / SimMem)});
+  }
+  T.print();
+  (void)PredBase;
+
+  // Host timing: 16 timesteps on a grid larger than typical host LLC.
+  std::printf("\n-- Host wall-clock (16 timesteps, %s grid) --\n",
+              GridDims{256, 256, 128}.str().c_str());
+  GridDims HostDims{256, 256, 128};
+  Table TH({"depth", "seconds", "MLUP/s", "speedup vs depth 1"});
+  double Base = 0;
+  for (int Depth : {1, 2, 4}) {
+    KernelConfig C;
+    C.WavefrontDepth = Depth;
+    C.Block.Z = 16;
+    KernelExecutor Exec(S, C);
+    Grid U(HostDims, 1), Scratch(HostDims, 1);
+    Rng R(1);
+    U.fillRandom(R);
+    TimingStats Stats = measureSeconds(
+        [&] { Exec.runTimeSteps(U, Scratch, 16); }, 2);
+    double Mlups =
+        16.0 * static_cast<double>(HostDims.lups()) / Stats.Median / 1e6;
+    if (Depth == 1)
+      Base = Stats.Median;
+    TH.addRow({format("%d", Depth), ysbench::seconds(Stats.Median),
+               ysbench::mlups(Mlups),
+               format("%.2fx", Base / Stats.Median)});
+  }
+  TH.print();
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- bench/bench_micro_kernels.cpp - google-benchmark micro suite ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Micro-benchmarks of the kernel executor paths under google-benchmark:
+/// sweep throughput by stencil, blocking, fold, and wavefront depth.
+/// Complements the experiment binaries with statistically managed timings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelExecutor.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ys;
+
+namespace {
+
+void runSweepBench(benchmark::State &State, const StencilSpec &Spec,
+                   KernelConfig Config, GridDims Dims) {
+  Grid In(Dims, Spec.radius(), Config.VectorFold);
+  Grid Out(Dims, Spec.radius(), Config.VectorFold);
+  Rng R(1);
+  In.fillRandom(R);
+  KernelExecutor Exec(Spec, Config);
+  for (auto _ : State) {
+    Exec.runSweep({&In}, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Dims.lups());
+}
+
+void BM_HeatSweepUnblocked(benchmark::State &State) {
+  runSweepBench(State, StencilSpec::heat3d(), KernelConfig(),
+                {128, 128, 64});
+}
+BENCHMARK(BM_HeatSweepUnblocked);
+
+void BM_HeatSweepBlocked(benchmark::State &State) {
+  KernelConfig C;
+  C.Block.Y = State.range(0);
+  runSweepBench(State, StencilSpec::heat3d(), C, {128, 128, 64});
+}
+BENCHMARK(BM_HeatSweepBlocked)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_StarRadiusSweep(benchmark::State &State) {
+  runSweepBench(State,
+                StencilSpec::star3d(static_cast<int>(State.range(0))),
+                KernelConfig(), {96, 96, 48});
+}
+BENCHMARK(BM_StarRadiusSweep)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BoxSweep(benchmark::State &State) {
+  runSweepBench(State, StencilSpec::box3d(static_cast<int>(State.range(0))),
+                KernelConfig(), {64, 64, 32});
+}
+BENCHMARK(BM_BoxSweep)->Arg(1)->Arg(2);
+
+void BM_FoldedLayoutSweep(benchmark::State &State) {
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  C.VectorFold.Y = 2;
+  runSweepBench(State, StencilSpec::heat3d(), C, {96, 96, 48});
+}
+BENCHMARK(BM_FoldedLayoutSweep);
+
+void BM_WavefrontTimeSteps(benchmark::State &State) {
+  StencilSpec Spec = StencilSpec::heat3d();
+  GridDims Dims{128, 128, 64};
+  KernelConfig C;
+  C.WavefrontDepth = static_cast<int>(State.range(0));
+  C.Block.Z = 8;
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(1);
+  U.fillRandom(R);
+  KernelExecutor Exec(Spec, C);
+  for (auto _ : State) {
+    Exec.runTimeSteps(U, Scratch, 8);
+    benchmark::DoNotOptimize(U.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Dims.lups() * 8);
+}
+BENCHMARK(BM_WavefrontTimeSteps)->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

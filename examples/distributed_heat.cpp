@@ -1,0 +1,76 @@
+//===- examples/distributed_heat.cpp - Distributed time stepping ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Heat diffusion time-stepped over a rank-decomposed domain (YASK's
+/// multi-rank structure, simulated in-process), with the runtime
+/// auto-tuner choosing the kernel configuration during the first steps.
+/// The distributed result is verified bit-exactly against a monolithic
+/// run.
+///
+///   $ ./distributed_heat
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DomainDecomposition.h"
+#include "stencil/GridNorms.h"
+#include "support/Timer.h"
+#include "tuner/OnlineTuner.h"
+
+#include <cstdio>
+
+using namespace ys;
+
+int main() {
+  StencilSpec Spec = StencilSpec::heat3d();
+  GridDims Dims{96, 96, 96};
+  const int Steps = 8;
+  const unsigned Ranks = 4;
+
+  Grid Global(Dims, 1);
+  Rng R(2026);
+  Global.fillRandom(R);
+
+  // 1. Monolithic run with the online auto-tuner picking the config.
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  U.copyInteriorFrom(Global);
+  KernelConfig A;
+  KernelConfig B;
+  B.Block.Y = 16;
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 8;
+  OnlineTuner Tuner(Spec, {A, B, C}, 2);
+  Timer T1;
+  OnlineTuner::Result Tuned = Tuner.run(U, Scratch, Steps);
+  std::printf("online tuner tried %u configs in-run and locked '%s' "
+              "(total %.3f s)\n",
+              Tuned.TrialsRun, Tuned.Best.str().c_str(), T1.seconds());
+
+  // 2. Distributed run over z-slab ranks with halo exchange.
+  DecomposedGrid DU(Dims, Ranks, 1), DV(Dims, Ranks, 1);
+  DU.scatter(Global);
+  Grid Zero(Dims, 1);
+  DV.scatter(Zero);
+  DistributedStepper Stepper(Spec, KernelConfig());
+  Timer T2;
+  Stepper.runTimeSteps(DU, DV, Steps);
+  std::printf("distributed run over %u ranks: %.3f s, halo exchanged "
+              "%.1f KiB/step\n",
+              Ranks, T2.seconds(),
+              static_cast<double>(DU.haloBytesExchanged() +
+                                  DV.haloBytesExchanged()) /
+                  Steps / 1024.0);
+
+  // 3. Bit-exact equivalence.
+  Grid Result(Dims, 1);
+  DU.gather(Result);
+  double Diff = diffNormInf(U, Result);
+  std::printf("max |monolithic - distributed| = %.1e (%s)\n", Diff,
+              Diff == 0.0 ? "bit-exact" : "MISMATCH");
+  std::printf("solution norms: inf=%.4f l2=%.4f\n", normInf(Result),
+              normL2(Result));
+  return Diff == 0.0 ? 0 : 1;
+}

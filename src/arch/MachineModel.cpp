@@ -1,0 +1,199 @@
+//===- arch/MachineModel.cpp - CPU machine models --------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+
+#include "support/StringUtils.h"
+
+using namespace ys;
+
+std::string MachineModel::validate() const {
+  if (Name.empty())
+    return "machine model has no name";
+  if (Caches.empty())
+    return "machine model has no cache levels";
+  if (Core.SimdBits % 64 != 0 || Core.SimdBits == 0)
+    return "SIMD width must be a nonzero multiple of 64 bits";
+  unsigned long long PrevSize = 0;
+  for (const CacheLevelModel &L : Caches) {
+    if (L.SizeBytes == 0)
+      return format("cache level %s has zero size", L.Name.c_str());
+    if (L.SizeBytes < PrevSize)
+      return format("cache level %s smaller than inner level", L.Name.c_str());
+    if (L.LineBytes == 0 || L.Associativity == 0)
+      return format("cache level %s has zero line size or associativity",
+                    L.Name.c_str());
+    if (L.BytesPerCycleToNext <= 0)
+      return format("cache level %s has nonpositive bandwidth",
+                    L.Name.c_str());
+    PrevSize = L.SizeBytes;
+  }
+  if (Memory.BandwidthGBs <= 0)
+    return "memory bandwidth must be positive";
+  if (CoresPerSocket == 0)
+    return "core count must be positive";
+  return std::string();
+}
+
+// Parameter sources: kerncraft machine files and vendor documentation.
+// Bandwidth-per-cycle values are the sustained per-core inter-level
+// transfer rates used in published ECM analyses of these chips.
+
+MachineModel MachineModel::cascadeLakeSP() {
+  MachineModel M;
+  M.Name = "CascadeLakeSP";
+  M.Core.SimdBits = 512;
+  M.Core.FmaPorts = 2;
+  M.Core.ArithPorts = 2;
+  M.Core.LoadPorts = 2;
+  M.Core.StorePorts = 1;
+  M.Core.CyclesPerSimdMemOp = 1;
+  M.Core.FrequencyGHz = 2.5; // Xeon Gold 6248 nominal.
+  M.CoresPerSocket = 20;
+
+  CacheLevelModel L1;
+  L1.Name = "L1";
+  L1.SizeBytes = 32ull * 1024;
+  L1.Associativity = 8;
+  L1.BytesPerCycleToNext = 64.0; // L1<->L2: one line per cycle sustained.
+  M.Caches.push_back(L1);
+
+  CacheLevelModel L2;
+  L2.Name = "L2";
+  L2.SizeBytes = 1024ull * 1024;
+  L2.Associativity = 16;
+  L2.BytesPerCycleToNext = 16.0; // L2<->L3 sustained.
+  M.Caches.push_back(L2);
+
+  CacheLevelModel L3;
+  L3.Name = "L3";
+  L3.SizeBytes = 27ull * 1024 * 1024 + 512ull * 1024; // 27.5 MiB shared.
+  L3.Associativity = 11;
+  L3.Shared = true;
+  L3.SharingCores = 20;
+  L3.Victim = true;
+  L3.BytesPerCycleToNext = 16.0; // Used only when memory BW not binding.
+  M.Caches.push_back(L3);
+
+  M.Memory.BandwidthGBs = 115.0; // Sustained per socket (6x DDR4-2933).
+  M.Memory.SupportsStreamingStores = true;
+  return M;
+}
+
+MachineModel MachineModel::rome() {
+  MachineModel M;
+  M.Name = "Rome";
+  M.Core.SimdBits = 256;
+  M.Core.FmaPorts = 2;
+  M.Core.ArithPorts = 2;
+  M.Core.LoadPorts = 2;
+  M.Core.StorePorts = 1;
+  M.Core.CyclesPerSimdMemOp = 1; // Zen 2 has native 256-bit datapaths.
+  M.Core.FrequencyGHz = 2.25; // EPYC 7742 base.
+  M.CoresPerSocket = 64;
+
+  CacheLevelModel L1;
+  L1.Name = "L1";
+  L1.SizeBytes = 32ull * 1024;
+  L1.Associativity = 8;
+  L1.BytesPerCycleToNext = 32.0;
+  M.Caches.push_back(L1);
+
+  CacheLevelModel L2;
+  L2.Name = "L2";
+  L2.SizeBytes = 512ull * 1024;
+  L2.Associativity = 8;
+  L2.BytesPerCycleToNext = 32.0;
+  M.Caches.push_back(L2);
+
+  CacheLevelModel L3;
+  L3.Name = "L3";
+  L3.SizeBytes = 16ull * 1024 * 1024; // Per CCX (4 cores).
+  L3.Associativity = 16;
+  L3.Shared = true;
+  L3.SharingCores = 4;
+  L3.Victim = true;
+  L3.BytesPerCycleToNext = 16.0;
+  M.Caches.push_back(L3);
+
+  M.Memory.BandwidthGBs = 140.0; // Sustained per socket (8x DDR4-3200).
+  M.Memory.SupportsStreamingStores = true;
+  return M;
+}
+
+MachineModel MachineModel::skylakeSP() {
+  MachineModel M = cascadeLakeSP();
+  M.Name = "SkylakeSP";
+  M.Core.FrequencyGHz = 2.4; // Xeon Gold 6148.
+  M.CoresPerSocket = 20;
+  M.Caches[2].SizeBytes = 27ull * 1024 * 1024 + 512ull * 1024;
+  M.Memory.BandwidthGBs = 105.0; // 6x DDR4-2666.
+  return M;
+}
+
+MachineModel MachineModel::haswellEP() {
+  MachineModel M;
+  M.Name = "HaswellEP";
+  M.Core.SimdBits = 256;
+  M.Core.FmaPorts = 2;
+  M.Core.ArithPorts = 2;
+  M.Core.LoadPorts = 2;
+  M.Core.StorePorts = 1;
+  M.Core.CyclesPerSimdMemOp = 1;
+  M.Core.FrequencyGHz = 2.3; // E5-2695 v3.
+  M.CoresPerSocket = 14;
+
+  CacheLevelModel L1;
+  L1.Name = "L1";
+  L1.SizeBytes = 32ull * 1024;
+  L1.Associativity = 8;
+  L1.BytesPerCycleToNext = 32.0;
+  M.Caches.push_back(L1);
+
+  CacheLevelModel L2;
+  L2.Name = "L2";
+  L2.SizeBytes = 256ull * 1024;
+  L2.Associativity = 8;
+  L2.BytesPerCycleToNext = 16.0;
+  M.Caches.push_back(L2);
+
+  CacheLevelModel L3;
+  L3.Name = "L3";
+  L3.SizeBytes = 35ull * 1024 * 1024;
+  L3.Associativity = 20;
+  L3.Shared = true;
+  L3.SharingCores = 14;
+  L3.BytesPerCycleToNext = 16.0;
+  M.Caches.push_back(L3);
+
+  M.Memory.BandwidthGBs = 60.0; // 4x DDR4-2133 sustained.
+  M.Memory.SupportsStreamingStores = true;
+  return M;
+}
+
+MachineModel MachineModel::zen3() {
+  MachineModel M = rome();
+  M.Name = "Zen3";
+  M.Core.FrequencyGHz = 2.45; // EPYC 7763.
+  M.CoresPerSocket = 64;
+  M.Caches[2].SizeBytes = 32ull * 1024 * 1024; // Per CCX (8 cores).
+  M.Caches[2].SharingCores = 8;
+  M.Memory.BandwidthGBs = 160.0;
+  return M;
+}
+
+std::vector<MachineModel> MachineModel::allBuiltin() {
+  return {cascadeLakeSP(), rome(), skylakeSP(), haswellEP(), zen3()};
+}
+
+const MachineModel *MachineModel::findBuiltin(const std::string &Name) {
+  static const std::vector<MachineModel> Builtins = allBuiltin();
+  std::string Lower = toLower(Name);
+  for (const MachineModel &M : Builtins)
+    if (toLower(M.Name) == Lower)
+      return &M;
+  return nullptr;
+}

@@ -1,0 +1,140 @@
+//===- arch/MachineModel.h - CPU machine models ------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized CPU machine models consumed by the ECM performance model
+/// and the cache simulator.  A MachineModel carries everything the paper's
+/// analytic flow needs: the in-core execution resources (SIMD width, FMA /
+/// load / store ports), the cache hierarchy (sizes, associativity, per-level
+/// transfer bandwidth in bytes per cycle), and the memory interface
+/// (sustained bandwidth, core count, shared-cache topology).
+///
+/// Built-in models reproduce the paper's two evaluation platforms — Intel
+/// Cascade Lake SP and AMD Rome (Zen 2) — plus Skylake SP, Haswell and Zen 3
+/// for breadth.  Parameter values follow the published ECM machine files of
+/// the Erlangen group (kerncraft) and vendor documentation; they are
+/// approximations of the authors' exact testbeds and are documented as such
+/// in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ARCH_MACHINEMODEL_H
+#define YS_ARCH_MACHINEMODEL_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// In-core execution resources of one CPU core.
+struct CoreModel {
+  /// SIMD register width in bits (e.g. 512 for AVX-512, 256 for AVX2).
+  unsigned SimdBits = 256;
+
+  /// Number of SIMD FMA-capable execution ports.
+  unsigned FmaPorts = 2;
+
+  /// Number of SIMD add/mul ports usable when FMA does not apply.  On all
+  /// modeled cores these coincide with the FMA ports.
+  unsigned ArithPorts = 2;
+
+  /// Number of load ports (full-width SIMD loads per cycle).
+  unsigned LoadPorts = 2;
+
+  /// Number of store ports (full-width SIMD stores per cycle).
+  unsigned StorePorts = 1;
+
+  /// Whether a full-width SIMD load/store executes in a single micro-op.
+  /// On Zen 2, 256-bit ops are single-uop but the L1 datapath is 256 bit;
+  /// on Haswell AVX loads are full width.  A value of 2 means each SIMD
+  /// memory op occupies its port for 2 cycles (half-width datapath).
+  unsigned CyclesPerSimdMemOp = 1;
+
+  /// Nominal (sustained AVX) clock frequency in GHz.
+  double FrequencyGHz = 2.4;
+
+  /// Returns the number of doubles per SIMD register.
+  unsigned simdDoubles() const { return SimdBits / 64; }
+};
+
+/// One level of the cache hierarchy.
+struct CacheLevelModel {
+  std::string Name;          ///< "L1", "L2", "L3".
+  unsigned long long SizeBytes = 0;
+  unsigned Associativity = 8;
+  unsigned LineBytes = 64;
+
+  /// True if this level is shared by a core group rather than private.
+  bool Shared = false;
+
+  /// Number of cores sharing one instance of this level (1 for private
+  /// caches; e.g. 4 for a Rome CCX L3, all cores for a CLX L3).
+  unsigned SharingCores = 1;
+
+  /// Sustained transfer bandwidth *to the next-outer level* in bytes per
+  /// cycle per core, as used by the ECM model's data-transfer terms.
+  double BytesPerCycleToNext = 16.0;
+
+  /// True if a victim/exclusive cache (Rome L3, CLX L3 are non-inclusive).
+  bool Victim = false;
+};
+
+/// Memory interface of one socket.
+struct MemoryModel {
+  /// Sustained (measured-style, not peak) bandwidth in GB/s per socket.
+  double BandwidthGBs = 100.0;
+
+  /// True if streaming (non-temporal) stores avoid the write-allocate.
+  bool SupportsStreamingStores = true;
+};
+
+/// A complete machine model: core, cache hierarchy and memory.
+class MachineModel {
+public:
+  std::string Name;
+  CoreModel Core;
+  std::vector<CacheLevelModel> Caches; ///< Ordered L1 (index 0) outward.
+  MemoryModel Memory;
+  unsigned CoresPerSocket = 1;
+
+  /// Returns the number of cache levels.
+  unsigned numLevels() const { return static_cast<unsigned>(Caches.size()); }
+
+  /// Returns the cache level with the given index (0 == L1).
+  const CacheLevelModel &level(unsigned I) const { return Caches[I]; }
+
+  /// Returns the index of the outermost (last-level) cache.
+  unsigned lastLevel() const { return numLevels() - 1; }
+
+  /// Memory bandwidth in bytes per cycle per socket at core frequency.
+  double memBytesPerCycle() const {
+    return Memory.BandwidthGBs * 1e9 / (Core.FrequencyGHz * 1e9);
+  }
+
+  /// Validates internal consistency (monotonic sizes, nonzero params).
+  /// Returns an empty string if valid, else a diagnostic.
+  std::string validate() const;
+
+  /// \name Built-in models (paper platforms first).
+  /// @{
+  static MachineModel cascadeLakeSP(); ///< Intel Xeon Gold 6248 (CLX), AVX-512.
+  static MachineModel rome();          ///< AMD EPYC 7742 (Zen 2), AVX2.
+  static MachineModel skylakeSP();     ///< Intel Xeon Gold 6148 (SKX).
+  static MachineModel haswellEP();     ///< Intel Xeon E5-2695 v3 (HSW).
+  static MachineModel zen3();          ///< AMD EPYC 7763 (Zen 3).
+  /// @}
+
+  /// Returns all built-in models.
+  static std::vector<MachineModel> allBuiltin();
+
+  /// Looks a built-in model up by (case-insensitive) name; returns nullptr
+  /// in the optional sense via an empty Name when unknown.
+  static const MachineModel *findBuiltin(const std::string &Name);
+};
+
+} // namespace ys
+
+#endif // YS_ARCH_MACHINEMODEL_H

@@ -1,0 +1,332 @@
+//===- cachesim/CacheSim.cpp - Multi-level cache simulator -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace ys;
+
+CacheLevelSim::CacheLevelSim(const CacheSimLevelConfig &Config)
+    : Config(Config) {
+  assert(Config.LineBytes > 0 && Config.Associativity > 0 &&
+         "degenerate cache configuration");
+  unsigned long long Lines = Config.SizeBytes / Config.LineBytes;
+  NumSets = static_cast<unsigned>(Lines / Config.Associativity);
+  if (NumSets == 0)
+    NumSets = 1;
+  Ways.assign(static_cast<size_t>(NumSets) * Config.Associativity, Way());
+}
+
+void CacheLevelSim::reset() {
+  for (Way &W : Ways)
+    W = Way();
+  Stats = CacheLevelStats();
+  StampCounter = 0;
+}
+
+bool CacheLevelSim::access(uint64_t LineAddr, bool MarkDirty) {
+  ++Stats.Accesses;
+  unsigned Set = setIndex(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.LineAddr == LineAddr) {
+      Candidate.LruStamp = ++StampCounter;
+      if (MarkDirty)
+        Candidate.Dirty = true;
+      ++Stats.Hits;
+      return true;
+    }
+  }
+  ++Stats.Misses;
+  return false;
+}
+
+CacheLevelSim::Eviction CacheLevelSim::insertReportingVictim(
+    uint64_t LineAddr, bool Dirty) {
+  Eviction Out;
+  unsigned Set = setIndex(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+
+  // Reuse the line if already resident (e.g. writeback arriving for a line
+  // that was refetched meanwhile).
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.LineAddr == LineAddr) {
+      Candidate.LruStamp = ++StampCounter;
+      Candidate.Dirty |= Dirty;
+      return Out;
+    }
+  }
+
+  // Prefer an invalid way; otherwise evict the LRU way.
+  Way *Victim = nullptr;
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (!Candidate.Valid) {
+      Victim = &Candidate;
+      break;
+    }
+    if (!Victim || Candidate.LruStamp < Victim->LruStamp)
+      Victim = &Candidate;
+  }
+  assert(Victim && "no victim way found");
+  if (Victim->Valid) {
+    Out.Has = true;
+    Out.LineAddr = Victim->LineAddr;
+    Out.Dirty = Victim->Dirty;
+    if (Victim->Dirty)
+      ++Stats.WritebackLines;
+  }
+  Victim->Valid = true;
+  Victim->LineAddr = LineAddr;
+  Victim->Dirty = Dirty;
+  Victim->LruStamp = ++StampCounter;
+  return Out;
+}
+
+void CacheLevelSim::insert(uint64_t LineAddr, bool Dirty,
+                           bool &HasDirtyEviction, uint64_t &EvictedDirty) {
+  Eviction E = insertReportingVictim(LineAddr, Dirty);
+  HasDirtyEviction = E.Has && E.Dirty;
+  if (HasDirtyEviction)
+    EvictedDirty = E.LineAddr;
+}
+
+bool CacheLevelSim::removeIfPresent(uint64_t LineAddr, bool &WasDirty) {
+  unsigned Set = setIndex(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.LineAddr == LineAddr) {
+      WasDirty = Candidate.Dirty;
+      Candidate.Valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CacheLevelSim::markDirtyIfPresent(uint64_t LineAddr) {
+  unsigned Set = setIndex(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.LineAddr == LineAddr) {
+      Candidate.Dirty = true;
+      Candidate.LruStamp = ++StampCounter;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheLevelSim::invalidate(uint64_t LineAddr) {
+  unsigned Set = setIndex(LineAddr);
+  Way *Base = &Ways[static_cast<size_t>(Set) * Config.Associativity];
+  for (unsigned W = 0; W < Config.Associativity; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.LineAddr == LineAddr) {
+      Candidate.Valid = false;
+      return;
+    }
+  }
+}
+
+CacheHierarchySim::CacheHierarchySim(
+    std::vector<CacheSimLevelConfig> LevelConfigs, bool VictimLLC)
+    : VictimLLC(VictimLLC && LevelConfigs.size() >= 2) {
+  assert(!LevelConfigs.empty() && "hierarchy needs at least one level");
+  LineBytes = LevelConfigs.front().LineBytes;
+  for (const CacheSimLevelConfig &C : LevelConfigs) {
+    assert(C.LineBytes == LineBytes && "mixed line sizes unsupported");
+    Levels.emplace_back(C);
+  }
+}
+
+CacheHierarchySim CacheHierarchySim::fromMachine(const MachineModel &M,
+                                                 bool PerCoreShare,
+                                                 bool HonorVictim) {
+  std::vector<CacheSimLevelConfig> Configs;
+  for (const CacheLevelModel &L : M.Caches) {
+    CacheSimLevelConfig C;
+    C.Name = L.Name;
+    C.SizeBytes = L.SizeBytes;
+    if (PerCoreShare && L.Shared && L.SharingCores > 1)
+      C.SizeBytes = L.SizeBytes / L.SharingCores;
+    C.Associativity = L.Associativity;
+    C.LineBytes = L.LineBytes;
+    Configs.push_back(C);
+  }
+  bool Victim = HonorVictim && M.Caches.back().Victim;
+  return CacheHierarchySim(std::move(Configs), Victim);
+}
+
+void CacheHierarchySim::reset() {
+  for (CacheLevelSim &L : Levels)
+    L.reset();
+  MemFillLines = 0;
+  MemWritebackLines = 0;
+}
+
+void CacheHierarchySim::access(uint64_t ByteAddr, unsigned SizeBytes,
+                               bool IsWrite) {
+  uint64_t FirstLine = ByteAddr / LineBytes;
+  uint64_t LastLine = (ByteAddr + SizeBytes - 1) / LineBytes;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
+    accessLine(Line, IsWrite);
+}
+
+void CacheHierarchySim::accessLine(uint64_t LineAddr, bool IsWrite) {
+  if (VictimLLC) {
+    accessLineVictim(LineAddr, IsWrite);
+    return;
+  }
+  // Walk inward-out until a hit; write intent only dirties L1 (write-back).
+  unsigned HitLevel = numLevels();
+  for (unsigned I = 0; I < numLevels(); ++I) {
+    bool MarkDirty = IsWrite && I == 0;
+    if (Levels[I].access(LineAddr, MarkDirty)) {
+      HitLevel = I;
+      break;
+    }
+  }
+
+  if (HitLevel == 0)
+    return;
+
+  if (HitLevel == numLevels())
+    ++MemFillLines; // Satisfied from memory.
+
+  // Fill the line into all inner levels, outermost first, propagating dirty
+  // victims outward.
+  for (int I = static_cast<int>(HitLevel) - 1; I >= 0; --I) {
+    bool Dirty = IsWrite && I == 0;
+    ++Levels[I].stats().FillLines;
+    bool HasEviction = false;
+    uint64_t EvictedLine = 0;
+    Levels[I].insert(LineAddr, Dirty, HasEviction, EvictedLine);
+    // Propagate a dirty victim to the next-outer level (or memory).
+    unsigned Outer = static_cast<unsigned>(I) + 1;
+    while (HasEviction) {
+      if (Outer >= numLevels()) {
+        ++MemWritebackLines;
+        break;
+      }
+      if (Levels[Outer].markDirtyIfPresent(EvictedLine))
+        break;
+      bool NextEviction = false;
+      uint64_t NextLine = 0;
+      Levels[Outer].insert(EvictedLine, /*Dirty=*/true, NextEviction,
+                           NextLine);
+      HasEviction = NextEviction;
+      EvictedLine = NextLine;
+      ++Outer;
+    }
+  }
+}
+
+void CacheHierarchySim::accessLineVictim(uint64_t LineAddr, bool IsWrite) {
+  unsigned LLC = numLevels() - 1;
+
+  // Walk the private levels.
+  unsigned HitLevel = numLevels();
+  for (unsigned I = 0; I < LLC; ++I) {
+    bool MarkDirty = IsWrite && I == 0;
+    if (Levels[I].access(LineAddr, MarkDirty)) {
+      HitLevel = I;
+      break;
+    }
+  }
+  bool MigratedDirty = false;
+  if (HitLevel == numLevels()) {
+    // Probe the exclusive LLC: a hit migrates the line inward.
+    ++Levels[LLC].stats().Accesses;
+    bool WasDirty = false;
+    if (Levels[LLC].removeIfPresent(LineAddr, WasDirty)) {
+      ++Levels[LLC].stats().Hits;
+      HitLevel = LLC;
+      MigratedDirty = WasDirty;
+    } else {
+      ++Levels[LLC].stats().Misses;
+      ++MemFillLines;
+    }
+  }
+  if (HitLevel == 0)
+    return;
+
+  // Inserts a victim from private level I into the next container:
+  // level I+1 for inner levels, the exclusive LLC for the outermost
+  // private level; LLC victims go to memory if dirty.
+  std::function<void(unsigned, CacheLevelSim::Eviction)> PlaceVictim =
+      [&](unsigned FromLevel, CacheLevelSim::Eviction E) {
+        if (!E.Has)
+          return;
+        unsigned Outer = FromLevel + 1;
+        if (Outer > LLC) {
+          if (E.Dirty)
+            ++MemWritebackLines;
+          return;
+        }
+        if (Outer < LLC) {
+          // Inclusive inner levels: writeback/refresh as usual.
+          if (E.Dirty && Levels[Outer].markDirtyIfPresent(E.LineAddr))
+            return;
+          if (!E.Dirty)
+            return; // Clean inner victim: drop (still present outside or
+                    // in the LLC? inner levels are inclusive below LLC).
+          CacheLevelSim::Eviction Next =
+              Levels[Outer].insertReportingVictim(E.LineAddr, true);
+          PlaceVictim(Outer, Next);
+          return;
+        }
+        // Outer == LLC: the exclusive cache receives every victim (clean
+        // and dirty) and its own dirty victims go to memory.
+        ++Levels[LLC].stats().FillLines;
+        CacheLevelSim::Eviction Next =
+            Levels[LLC].insertReportingVictim(E.LineAddr, E.Dirty);
+        if (Next.Has && Next.Dirty)
+          ++MemWritebackLines;
+      };
+
+  // Fill the private levels outermost-first.
+  unsigned FillFrom = std::min(HitLevel, LLC);
+  for (int I = static_cast<int>(FillFrom) - 1; I >= 0; --I) {
+    bool Dirty =
+        (IsWrite && I == 0) || (MigratedDirty && I == 0);
+    ++Levels[I].stats().FillLines;
+    CacheLevelSim::Eviction E =
+        Levels[I].insertReportingVictim(LineAddr, Dirty);
+    PlaceVictim(static_cast<unsigned>(I), E);
+  }
+}
+
+HierarchyTraffic CacheHierarchySim::traffic() const {
+  HierarchyTraffic T;
+  for (unsigned I = 0; I < numLevels(); ++I) {
+    const CacheLevelStats &S = Levels[I].stats();
+    T.BoundaryBytes.push_back(S.trafficBytes(LineBytes));
+  }
+  // The outermost boundary is memory; report its split explicitly.
+  T.MemLoadBytes = MemFillLines * static_cast<unsigned long long>(LineBytes);
+  T.MemStoreBytes =
+      MemWritebackLines * static_cast<unsigned long long>(LineBytes);
+  if (VictimLLC && numLevels() >= 2) {
+    // The L(last-1)<->LLC boundary moves inward fills plus every victim
+    // insertion (clean and dirty).
+    unsigned Inner = numLevels() - 2;
+    T.BoundaryBytes[Inner] =
+        (Levels[Inner].stats().FillLines +
+         Levels.back().stats().FillLines) *
+        static_cast<unsigned long long>(LineBytes);
+  }
+  // BoundaryBytes for the last level counts fills into the last level plus
+  // its writebacks, which is exactly the memory boundary.
+  T.BoundaryBytes.back() = T.MemLoadBytes + T.MemStoreBytes;
+  return T;
+}

@@ -1,0 +1,188 @@
+//===- cachesim/CacheSim.h - Multi-level cache simulator ---------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, write-back, write-allocate, LRU multi-level cache
+/// simulator.  In the paper, per-level data volumes are measured with LIKWID
+/// hardware counters to validate the ECM model's layer-condition analysis;
+/// this simulator plays that role here: replaying a kernel's address stream
+/// yields exact per-level traffic to compare against the analytic
+/// prediction.
+///
+/// Two organizations are supported: fully inclusive (the default used by
+/// the traffic-validation flows; for streaming stencils the difference to
+/// the real parts is absorbed by the layer-condition safety factor), and
+/// a victim (exclusive) last level matching the paper's CLX/Rome L3s —
+/// selectable per hierarchy and compared in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CACHESIM_CACHESIM_H
+#define YS_CACHESIM_CACHESIM_H
+
+#include "arch/MachineModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Configuration of one simulated cache level.
+struct CacheSimLevelConfig {
+  std::string Name;
+  unsigned long long SizeBytes = 32 * 1024;
+  unsigned Associativity = 8;
+  unsigned LineBytes = 64;
+};
+
+/// Traffic counters for one simulated level.
+struct CacheLevelStats {
+  unsigned long long Accesses = 0;   ///< Lookups reaching this level.
+  unsigned long long Hits = 0;
+  unsigned long long Misses = 0;
+  unsigned long long FillLines = 0;  ///< Lines brought in from outside.
+  unsigned long long WritebackLines = 0; ///< Dirty lines evicted outward.
+
+  /// Bytes moved between this level and the next-outer one.
+  unsigned long long trafficBytes(unsigned LineBytes) const {
+    return (FillLines + WritebackLines) *
+           static_cast<unsigned long long>(LineBytes);
+  }
+};
+
+/// One set-associative LRU cache level.
+class CacheLevelSim {
+public:
+  explicit CacheLevelSim(const CacheSimLevelConfig &Config);
+
+  /// Looks up a line; on hit, refreshes LRU and optionally marks dirty.
+  bool access(uint64_t LineAddr, bool MarkDirty);
+
+  /// Inserts a line (after a miss was satisfied from outside).  If a dirty
+  /// victim is evicted its address is stored in \p EvictedDirty and true is
+  /// returned through that channel; clean evictions are silent.
+  void insert(uint64_t LineAddr, bool Dirty, bool &HasDirtyEviction,
+              uint64_t &EvictedDirty);
+
+  /// Full-detail eviction report (exclusive hierarchies need clean
+  /// victims too).
+  struct Eviction {
+    bool Has = false;
+    uint64_t LineAddr = 0;
+    bool Dirty = false;
+  };
+
+  /// Like insert() but reports clean evictions as well.
+  Eviction insertReportingVictim(uint64_t LineAddr, bool Dirty);
+
+  /// If present, removes the line and reports whether it was dirty.
+  /// Returns false when absent.  Used for victim-cache inward migration.
+  bool removeIfPresent(uint64_t LineAddr, bool &WasDirty);
+
+  /// Marks a resident line dirty if present (used for writeback
+  /// propagation); returns false when the line is absent.
+  bool markDirtyIfPresent(uint64_t LineAddr);
+
+  /// Removes a line if present (invalidation).
+  void invalidate(uint64_t LineAddr);
+
+  const CacheSimLevelConfig &config() const { return Config; }
+  CacheLevelStats &stats() { return Stats; }
+  const CacheLevelStats &stats() const { return Stats; }
+
+  unsigned numSets() const { return NumSets; }
+
+  /// Drops all cached lines and zeroes the statistics.
+  void reset();
+
+private:
+  struct Way {
+    uint64_t LineAddr = ~0ull;
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t LruStamp = 0; ///< Higher == more recently used.
+  };
+
+  unsigned setIndex(uint64_t LineAddr) const {
+    return static_cast<unsigned>(LineAddr % NumSets);
+  }
+
+  CacheSimLevelConfig Config;
+  unsigned NumSets = 1;
+  uint64_t StampCounter = 0;
+  std::vector<Way> Ways; ///< NumSets x Associativity, row-major.
+  CacheLevelStats Stats;
+};
+
+/// Per-boundary traffic summary of a full hierarchy run.
+struct HierarchyTraffic {
+  /// Bytes crossing boundary I (between level I and level I+1; the last
+  /// entry is the memory boundary).  Index 0 == L1<->L2.
+  std::vector<unsigned long long> BoundaryBytes;
+
+  /// Memory-boundary load and writeback components.
+  unsigned long long MemLoadBytes = 0;
+  unsigned long long MemStoreBytes = 0;
+};
+
+/// An inclusive multi-level cache hierarchy simulator, with an optional
+/// victim (exclusive) organization for the last level — the organization
+/// of the paper's CLX/Rome L3s: memory fills bypass the LLC, lines enter
+/// it only as L2 victims, and LLC hits migrate the line inward.
+class CacheHierarchySim {
+public:
+  /// Builds a hierarchy from explicit level configs (innermost first).
+  /// \p VictimLLC selects the exclusive last-level organization.
+  explicit CacheHierarchySim(std::vector<CacheSimLevelConfig> Levels,
+                             bool VictimLLC = false);
+
+  /// Builds a hierarchy mirroring a machine model's caches.  When
+  /// \p PerCoreShare is true, shared levels are scaled down to the slice
+  /// available to one core (size / SharingCores), modeling the effective
+  /// capacity seen by one core when all cores are active.  The machine's
+  /// last-level Victim flag selects the exclusive organization when
+  /// \p HonorVictim is set.
+  static CacheHierarchySim fromMachine(const MachineModel &M,
+                                       bool PerCoreShare = false,
+                                       bool HonorVictim = false);
+
+  bool victimLLC() const { return VictimLLC; }
+
+  /// Simulates a memory access of \p SizeBytes at \p ByteAddr.
+  void access(uint64_t ByteAddr, unsigned SizeBytes, bool IsWrite);
+
+  /// Convenience for 8-byte double accesses.
+  void load(uint64_t ByteAddr) { access(ByteAddr, 8, false); }
+  void store(uint64_t ByteAddr) { access(ByteAddr, 8, true); }
+
+  /// Flushes all dirty lines outward (end-of-run accounting) and returns
+  /// the per-boundary traffic.  Does not reset statistics.
+  HierarchyTraffic traffic() const;
+
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+  const CacheLevelSim &level(unsigned I) const { return Levels[I]; }
+  CacheLevelSim &level(unsigned I) { return Levels[I]; }
+
+  unsigned lineBytes() const { return LineBytes; }
+
+  /// Drops all cached lines and statistics.
+  void reset();
+
+private:
+  void accessLine(uint64_t LineAddr, bool IsWrite);
+  void accessLineVictim(uint64_t LineAddr, bool IsWrite);
+
+  std::vector<CacheLevelSim> Levels;
+  unsigned LineBytes = 64;
+  bool VictimLLC = false;
+  unsigned long long MemFillLines = 0;      ///< Lines loaded from memory.
+  unsigned long long MemWritebackLines = 0; ///< Lines written to memory.
+};
+
+} // namespace ys
+
+#endif // YS_CACHESIM_CACHESIM_H

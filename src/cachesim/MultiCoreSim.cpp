@@ -1,0 +1,199 @@
+//===- cachesim/MultiCoreSim.cpp - Multicore cache simulation ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/MultiCoreSim.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ys;
+
+MultiCoreCacheSim::MultiCoreCacheSim(const MachineModel &Machine,
+                                     unsigned Cores)
+    : Machine(Machine), Cores(std::max(1u, Cores)) {
+  assert(Machine.numLevels() >= 2 && "need at least two cache levels");
+  unsigned Last = Machine.lastLevel();
+  assert(Machine.level(Last).Shared && "outermost level must be shared");
+  PrivateLevels = Last; // Levels 0..Last-1 are private.
+  LineBytes = Machine.level(0).LineBytes;
+
+  CoresPerGroup =
+      std::min(this->Cores, std::max(1u, Machine.level(Last).SharingCores));
+  unsigned Groups = (this->Cores + CoresPerGroup - 1) / CoresPerGroup;
+
+  for (unsigned C = 0; C < this->Cores; ++C) {
+    std::vector<CacheLevelSim> Levels;
+    for (unsigned L = 0; L < PrivateLevels; ++L) {
+      CacheSimLevelConfig Config;
+      Config.Name = Machine.level(L).Name;
+      Config.SizeBytes = Machine.level(L).SizeBytes;
+      Config.Associativity = Machine.level(L).Associativity;
+      Config.LineBytes = Machine.level(L).LineBytes;
+      Levels.emplace_back(Config);
+    }
+    Private.push_back(std::move(Levels));
+  }
+  for (unsigned G = 0; G < Groups; ++G) {
+    CacheSimLevelConfig Config;
+    Config.Name = Machine.level(Last).Name;
+    Config.SizeBytes = Machine.level(Last).SizeBytes;
+    Config.Associativity = Machine.level(Last).Associativity;
+    Config.LineBytes = Machine.level(Last).LineBytes;
+    Shared.emplace_back(Config);
+  }
+  MemFillLines.assign(Groups, 0);
+  MemWritebackLines.assign(Groups, 0);
+}
+
+void MultiCoreCacheSim::access(unsigned Core, uint64_t ByteAddr,
+                               unsigned SizeBytes, bool IsWrite) {
+  assert(Core < Cores && "core id out of range");
+  uint64_t FirstLine = ByteAddr / LineBytes;
+  uint64_t LastLine = (ByteAddr + SizeBytes - 1) / LineBytes;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
+    accessLine(Core, Line, IsWrite);
+}
+
+void MultiCoreCacheSim::accessLine(unsigned Core, uint64_t LineAddr,
+                                   bool IsWrite) {
+  unsigned Group = Core / CoresPerGroup;
+  std::vector<CacheLevelSim> &Mine = Private[Core];
+  CacheLevelSim &LLC = Shared[Group];
+
+  // Walk private levels, then the shared level.
+  unsigned HitLevel = PrivateLevels + 1;
+  for (unsigned L = 0; L < PrivateLevels; ++L)
+    if (Mine[L].access(LineAddr, IsWrite && L == 0)) {
+      HitLevel = L;
+      break;
+    }
+  if (HitLevel > PrivateLevels && LLC.access(LineAddr, false))
+    HitLevel = PrivateLevels;
+  if (HitLevel == 0)
+    return;
+  if (HitLevel > PrivateLevels)
+    ++MemFillLines[Group];
+
+  // Propagates a dirty victim evicted from level \p From (private index,
+  // or PrivateLevels for the shared level) outward.
+  auto propagateWriteback = [&](unsigned From, uint64_t Victim) {
+    unsigned Outer = From + 1;
+    bool Has = true;
+    uint64_t Line = Victim;
+    while (Has) {
+      if (Outer > PrivateLevels) {
+        ++MemWritebackLines[Group];
+        return;
+      }
+      CacheLevelSim &Level =
+          Outer == PrivateLevels ? LLC : Mine[Outer];
+      if (Level.markDirtyIfPresent(Line))
+        return;
+      bool NextHas = false;
+      uint64_t NextLine = 0;
+      Level.insert(Line, /*Dirty=*/true, NextHas, NextLine);
+      Has = NextHas;
+      Line = NextLine;
+      ++Outer;
+    }
+  };
+
+  // Fill inward from the hit point: shared first (if missed there), then
+  // private levels outermost-first.
+  if (HitLevel > PrivateLevels) {
+    ++LLC.stats().FillLines;
+    bool Has = false;
+    uint64_t Victim = 0;
+    LLC.insert(LineAddr, false, Has, Victim);
+    if (Has)
+      ++MemWritebackLines[Group];
+  }
+  for (int L = static_cast<int>(std::min(HitLevel, PrivateLevels)) - 1;
+       L >= 0; --L) {
+    ++Mine[L].stats().FillLines;
+    bool Has = false;
+    uint64_t Victim = 0;
+    Mine[L].insert(LineAddr, IsWrite && L == 0, Has, Victim);
+    if (Has)
+      propagateWriteback(static_cast<unsigned>(L), Victim);
+  }
+}
+
+unsigned long long MultiCoreCacheSim::memTrafficBytes() const {
+  unsigned long long Lines = 0;
+  for (size_t G = 0; G < MemFillLines.size(); ++G)
+    Lines += MemFillLines[G] + MemWritebackLines[G];
+  return Lines * LineBytes;
+}
+
+unsigned long long MultiCoreCacheSim::sharedBoundaryBytes() const {
+  // Fills into the outermost private level plus its writebacks, summed
+  // over cores.
+  unsigned long long Lines = 0;
+  for (const auto &Levels : Private) {
+    const CacheLevelStats &S = Levels[PrivateLevels - 1].stats();
+    Lines += S.FillLines + S.WritebackLines;
+  }
+  return Lines * LineBytes;
+}
+
+MultiCoreTraffic ys::runMultiCoreStencilTrace(const MachineModel &Machine,
+                                              unsigned Cores,
+                                              const StencilSpec &Spec,
+                                              const GridDims &Dims,
+                                              const KernelConfig &Config,
+                                              int Sweeps) {
+  (void)Config; // Traversal is the unblocked order within each chunk.
+  MultiCoreCacheSim Sim(Machine, Cores);
+  int Halo = Spec.radius();
+  long PadX = Dims.Nx + 2L * Halo;
+  long PadY = Dims.Ny + 2L * Halo;
+
+  auto AddrOf = [&](unsigned GridId, long X, long Y, long Z) {
+    uint64_t Base = static_cast<uint64_t>(GridId) << 30;
+    long Linear = ((Z + Halo) * PadY + (Y + Halo)) * PadX + (X + Halo);
+    return Base + static_cast<uint64_t>(Linear) * sizeof(double);
+  };
+
+  // Static z-partition (the executor's thread decomposition).
+  std::vector<long> ChunkBegin(Cores + 1, 0);
+  long PerCore = (Dims.Nz + Cores - 1) / Cores;
+  for (unsigned C = 0; C <= Cores; ++C)
+    ChunkBegin[C] = std::min<long>(C * PerCore, Dims.Nz);
+
+  long CellsPerPlane = Dims.Nx * Dims.Ny;
+  unsigned NumIn = Spec.numInputGrids();
+  for (int Sweep = 0; Sweep < Sweeps; ++Sweep) {
+    // Single-input stencils ping-pong two buffers; multi-input specs read
+    // fixed inputs and write a separate output.
+    unsigned In = NumIn == 1 ? static_cast<unsigned>(Sweep % 2) : 0;
+    unsigned Out = NumIn == 1 ? 1 - In : NumIn;
+    long MaxCells = PerCore * CellsPerPlane;
+    for (long Cell = 0; Cell < MaxCells; ++Cell) {
+      for (unsigned Core = 0; Core < Cores; ++Core) {
+        long ChunkPlanes = ChunkBegin[Core + 1] - ChunkBegin[Core];
+        if (Cell >= ChunkPlanes * CellsPerPlane)
+          continue;
+        long Z = ChunkBegin[Core] + Cell / CellsPerPlane;
+        long Rem = Cell % CellsPerPlane;
+        long Y = Rem / Dims.Nx;
+        long X = Rem % Dims.Nx;
+        for (const StencilPoint &P : Spec.points())
+          Sim.load(Core, AddrOf(In + P.GridIdx, X + P.Dx, Y + P.Dy,
+                                Z + P.Dz));
+        Sim.store(Core, AddrOf(Out, X, Y, Z));
+      }
+    }
+  }
+
+  MultiCoreTraffic T;
+  T.Lups = static_cast<unsigned long long>(Dims.lups()) * Sweeps;
+  T.MemBytesPerLup =
+      static_cast<double>(Sim.memTrafficBytes()) / T.Lups;
+  T.SharedBoundaryBytesPerLup =
+      static_cast<double>(Sim.sharedBoundaryBytes()) / T.Lups;
+  return T;
+}

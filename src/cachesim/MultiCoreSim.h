@@ -1,0 +1,95 @@
+//===- cachesim/MultiCoreSim.h - Multicore cache simulation ------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multicore cache simulation: per-core private levels feeding one shared
+/// last-level instance, with an interleaved-issue stencil trace that
+/// partitions a sweep across cores the way the executor's thread
+/// decomposition does.  This validates the ECM model's shared-cache
+/// pressure term (the per-core capacity derating with active cores) — in
+/// the paper that behavior is implicit in measured socket scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CACHESIM_MULTICORESIM_H
+#define YS_CACHESIM_MULTICORESIM_H
+
+#include "cachesim/CacheSim.h"
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+
+#include <memory>
+#include <vector>
+
+namespace ys {
+
+/// N cores with private inner levels sharing the outermost level.
+class MultiCoreCacheSim {
+public:
+  /// Builds from a machine model: every non-shared level is instantiated
+  /// per core; the outermost shared level is instantiated once per
+  /// sharing group (cores are assigned to groups round-robin by id,
+  /// matching contiguous pinning on CCX-style parts).
+  MultiCoreCacheSim(const MachineModel &Machine, unsigned Cores);
+
+  /// Simulates an access from \p Core.
+  void access(unsigned Core, uint64_t ByteAddr, unsigned SizeBytes,
+              bool IsWrite);
+  void load(unsigned Core, uint64_t ByteAddr) {
+    access(Core, ByteAddr, 8, false);
+  }
+  void store(unsigned Core, uint64_t ByteAddr) {
+    access(Core, ByteAddr, 8, true);
+  }
+
+  unsigned numCores() const { return Cores; }
+  unsigned numPrivateLevels() const { return PrivateLevels; }
+
+  /// Memory-boundary traffic (fills + writebacks) in bytes, summed over
+  /// all shared-cache instances.
+  unsigned long long memTrafficBytes() const;
+
+  /// Traffic between the innermost shared level and the outer private
+  /// level, summed over cores (e.g. L2<->L3).
+  unsigned long long sharedBoundaryBytes() const;
+
+private:
+  void accessLine(unsigned Core, uint64_t LineAddr, bool IsWrite);
+
+  const MachineModel &Machine;
+  unsigned Cores;
+  unsigned PrivateLevels = 0; ///< Number of per-core levels (e.g. 2).
+  unsigned LineBytes = 64;
+  unsigned CoresPerGroup = 1; ///< Cores sharing one shared instance.
+
+  /// [core][level] private caches.
+  std::vector<std::vector<CacheLevelSim>> Private;
+  /// One shared last-level instance per core group.
+  std::vector<CacheLevelSim> Shared;
+  std::vector<unsigned long long> MemFillLines;      ///< Per group.
+  std::vector<unsigned long long> MemWritebackLines; ///< Per group.
+};
+
+/// Traffic per LUP measured by a multicore stencil sweep.
+struct MultiCoreTraffic {
+  double MemBytesPerLup = 0;
+  double SharedBoundaryBytesPerLup = 0;
+  unsigned long long Lups = 0;
+};
+
+/// Replays one (or more) stencil sweeps with the grid's z-range statically
+/// partitioned over \p Cores cores and per-cell issue interleaved across
+/// cores (approximating concurrent execution against the shared cache).
+MultiCoreTraffic runMultiCoreStencilTrace(const MachineModel &Machine,
+                                          unsigned Cores,
+                                          const StencilSpec &Spec,
+                                          const GridDims &Dims,
+                                          const KernelConfig &Config,
+                                          int Sweeps = 1);
+
+} // namespace ys
+
+#endif // YS_CACHESIM_MULTICORESIM_H

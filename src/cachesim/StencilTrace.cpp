@@ -1,0 +1,124 @@
+//===- cachesim/StencilTrace.cpp - Stencil address-trace replay ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/StencilTrace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ys;
+
+StencilTraceRunner::StencilTraceRunner(StencilSpec Spec, GridDims Dims,
+                                       KernelConfig Config, int Halo)
+    : Spec(std::move(Spec)), Dims(Dims), Config(Config),
+      Halo(Halo < 0 ? this->Spec.radius() : Halo) {
+  PadX = Dims.Nx + 2L * this->Halo;
+  PadY = Dims.Ny + 2L * this->Halo;
+  PadZ = Dims.Nz + 2L * this->Halo;
+}
+
+uint64_t StencilTraceRunner::addrOf(unsigned GridId, long X, long Y,
+                                    long Z) const {
+  // Each grid occupies its own 1 GiB window so grids never alias.
+  uint64_t Base = static_cast<uint64_t>(GridId) << 30;
+  long Linear = ((Z + Halo) * PadY + (Y + Halo)) * PadX + (X + Halo);
+  assert(Linear >= 0 && "trace address underflow");
+  return Base + static_cast<uint64_t>(Linear) * sizeof(double);
+}
+
+void StencilTraceRunner::traceRange(CacheHierarchySim &Sim,
+                                    unsigned InGridBase, unsigned OutGrid,
+                                    long Z0, long Z1, long Y0, long Y1,
+                                    long X0, long X1) const {
+  const std::vector<StencilPoint> &Points = Spec.points();
+  for (long Z = Z0; Z < Z1; ++Z)
+    for (long Y = Y0; Y < Y1; ++Y)
+      for (long X = X0; X < X1; ++X) {
+        for (const StencilPoint &P : Points)
+          Sim.load(addrOf(InGridBase + P.GridIdx, X + P.Dx, Y + P.Dy,
+                          Z + P.Dz));
+        for (unsigned O = 0; O < std::max(1u, Spec.OutputGrids); ++O)
+          Sim.store(addrOf(OutGrid + O, X, Y, Z));
+      }
+}
+
+void StencilTraceRunner::traceBlockedSweep(CacheHierarchySim &Sim,
+                                           unsigned InGridBase,
+                                           unsigned OutGrid) const {
+  BlockSize B = Config.Block.resolved(Dims);
+  for (long Zb = 0; Zb < Dims.Nz; Zb += B.Z)
+    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+        traceRange(Sim, InGridBase, OutGrid, Zb,
+                   std::min(Zb + B.Z, Dims.Nz), Yb,
+                   std::min(Yb + B.Y, Dims.Ny), Xb,
+                   std::min(Xb + B.X, Dims.Nx));
+}
+
+TraceTraffic StencilTraceRunner::run(CacheHierarchySim &Sim,
+                                     int Sweeps) const {
+  assert(Sweeps >= 1 && "need at least one sweep");
+  unsigned NumIn = Spec.numInputGrids();
+  for (int S = 0; S < Sweeps; ++S) {
+    if (NumIn == 1) {
+      unsigned In = static_cast<unsigned>(S % 2);
+      traceBlockedSweep(Sim, In, 1 - In);
+    } else {
+      traceBlockedSweep(Sim, 0, NumIn); // Fixed inputs, separate output.
+    }
+  }
+  HierarchyTraffic T = Sim.traffic();
+  TraceTraffic Out;
+  Out.Lups = static_cast<unsigned long long>(Dims.lups()) * Sweeps;
+  for (unsigned long long Bytes : T.BoundaryBytes)
+    Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
+                              static_cast<double>(Out.Lups));
+  return Out;
+}
+
+TraceTraffic StencilTraceRunner::runWavefront(CacheHierarchySim &Sim) const {
+  assert(Spec.numInputGrids() == 1 &&
+         "wavefront trace requires a single-input stencil");
+  int Depth = std::max(1, Config.WavefrontDepth);
+  int R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+  long Bz = std::max<long>(B.Z, R + 1);
+
+  // Mirrors KernelExecutor::wavefrontMacroStep: two buffers (grid ids 0 and
+  // 1), frontier schedule along z.
+  std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
+  Frontier[0] = Dims.Nz;
+
+  auto sweepSlab = [&](int S, long Z0, long Z1) {
+    unsigned Src = (S - 1) % 2 == 0 ? 0u : 1u;
+    unsigned Dst = 1u - Src;
+    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+        traceRange(Sim, Src, Dst, Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny),
+                   Xb, std::min(Xb + B.X, Dims.Nx));
+  };
+
+  while (Frontier[Depth] < Dims.Nz) {
+    for (int S = 1; S <= Depth; ++S) {
+      long Cap =
+          Frontier[S - 1] >= Dims.Nz ? Dims.Nz : Frontier[S - 1] - R;
+      long Target = std::min(Cap, Frontier[S] + Bz);
+      if (Target > Frontier[S]) {
+        sweepSlab(S, Frontier[S], Target);
+        Frontier[S] = Target;
+      }
+    }
+  }
+
+  HierarchyTraffic T = Sim.traffic();
+  TraceTraffic Out;
+  Out.Lups =
+      static_cast<unsigned long long>(Dims.lups()) * static_cast<unsigned>(Depth);
+  for (unsigned long long Bytes : T.BoundaryBytes)
+    Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
+                              static_cast<double>(Out.Lups));
+  return Out;
+}

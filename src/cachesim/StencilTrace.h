@@ -1,0 +1,73 @@
+//===- cachesim/StencilTrace.h - Stencil address-trace replay ----*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the address stream of a stencil sweep (or a temporally blocked
+/// multi-sweep run) through the cache simulator, mirroring the loop order
+/// of KernelExecutor.  Grids are laid out synthetically — each grid starts
+/// at its own 1 GiB-aligned base with the scalar row-major layout — so no
+/// real memory is allocated.  The resulting per-level traffic is the
+/// "measured" counterpart to the ECM model's layer-condition prediction
+/// (the paper's LIKWID validation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CACHESIM_STENCILTRACE_H
+#define YS_CACHESIM_STENCILTRACE_H
+
+#include "cachesim/CacheSim.h"
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+
+namespace ys {
+
+/// Per-LUP traffic derived from a simulated run.
+struct TraceTraffic {
+  /// Bytes per lattice update crossing each boundary; index 0 == L1<->L2,
+  /// last == memory.
+  std::vector<double> BytesPerLup;
+  unsigned long long Lups = 0;
+};
+
+/// Replays stencil sweeps through a cache hierarchy.
+class StencilTraceRunner {
+public:
+  /// \p Halo defaults to the stencil radius.
+  StencilTraceRunner(StencilSpec Spec, GridDims Dims, KernelConfig Config,
+                     int Halo = -1);
+
+  /// Replays \p Sweeps full out-of-place sweeps (ping-ponging two buffers
+  /// when the stencil has one input; distinct input grids otherwise) and
+  /// returns per-boundary traffic.  The hierarchy starts cold; traffic is
+  /// averaged over all sweeps, so pass Sweeps >= 2 for warm numbers when
+  /// grids fit in a cache level.
+  TraceTraffic run(CacheHierarchySim &Sim, int Sweeps = 1) const;
+
+  /// Replays a temporally blocked run of WavefrontDepth sweeps using the
+  /// same frontier schedule as KernelExecutor::wavefrontMacroStep.
+  TraceTraffic runWavefront(CacheHierarchySim &Sim) const;
+
+  /// Total LUPs of one sweep.
+  long lupsPerSweep() const { return Dims.lups(); }
+
+private:
+  uint64_t addrOf(unsigned GridId, long X, long Y, long Z) const;
+  void traceRange(CacheHierarchySim &Sim, unsigned InGrid, unsigned OutGrid,
+                  long Z0, long Z1, long Y0, long Y1, long X0,
+                  long X1) const;
+  void traceBlockedSweep(CacheHierarchySim &Sim, unsigned InGridBase,
+                         unsigned OutGrid) const;
+
+  StencilSpec Spec;
+  GridDims Dims;
+  KernelConfig Config;
+  int Halo;
+  long PadX, PadY, PadZ;
+};
+
+} // namespace ys
+
+#endif // YS_CACHESIM_STENCILTRACE_H

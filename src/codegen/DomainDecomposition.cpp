@@ -1,0 +1,111 @@
+//===- codegen/DomainDecomposition.cpp - Rank decomposition ------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DomainDecomposition.h"
+
+#include <cassert>
+
+using namespace ys;
+
+DecomposedGrid::DecomposedGrid(GridDims GlobalDims, unsigned Ranks,
+                               int Halo, Fold F)
+    : GlobalDims(GlobalDims), Halo(Halo) {
+  assert(Ranks >= 1 && "need at least one rank");
+  assert(GlobalDims.Nz >= static_cast<long>(Ranks) &&
+         "more ranks than z planes");
+  long PerRank = (GlobalDims.Nz + Ranks - 1) / Ranks;
+  ZBegin.push_back(0);
+  for (unsigned R = 0; R < Ranks; ++R) {
+    long End = std::min<long>(ZBegin.back() + PerRank, GlobalDims.Nz);
+    ZBegin.push_back(End);
+  }
+  for (unsigned R = 0; R < Ranks; ++R) {
+    GridDims Local{GlobalDims.Nx, GlobalDims.Ny,
+                   ZBegin[R + 1] - ZBegin[R]};
+    Slabs.push_back(std::make_unique<Grid>(Local, Halo, F));
+  }
+}
+
+void DecomposedGrid::scatter(const Grid &Global) {
+  assert(Global.dims() == GlobalDims && "global dims mismatch");
+  assert(Global.halo() >= Halo && "global halo too small");
+  for (unsigned R = 0; R < numRanks(); ++R) {
+    Grid &Local = *Slabs[R];
+    long Z0 = ZBegin[R];
+    // Copy the full local range including halos; z-halo regions map to
+    // neighbor interiors or the global boundary.
+    for (long Z = -Halo; Z < Local.dims().Nz + Halo; ++Z)
+      for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
+        for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X)
+          Local.at(X, Y, Z) = Global.at(X, Y, Z0 + Z);
+  }
+}
+
+void DecomposedGrid::gather(Grid &Global) const {
+  assert(Global.dims() == GlobalDims && "global dims mismatch");
+  for (unsigned R = 0; R < numRanks(); ++R) {
+    const Grid &Local = *Slabs[R];
+    long Z0 = ZBegin[R];
+    for (long Z = 0; Z < Local.dims().Nz; ++Z)
+      for (long Y = 0; Y < GlobalDims.Ny; ++Y)
+        for (long X = 0; X < GlobalDims.Nx; ++X)
+          Global.at(X, Y, Z0 + Z) = Local.at(X, Y, Z);
+  }
+}
+
+void DecomposedGrid::exchangeHalos() {
+  for (unsigned R = 0; R + 1 < numRanks(); ++R) {
+    Grid &Lower = *Slabs[R];
+    Grid &Upper = *Slabs[R + 1];
+    long LowerNz = Lower.dims().Nz;
+    for (int Layer = 0; Layer < Halo; ++Layer)
+      for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
+        for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X) {
+          // Lower's top interior -> Upper's bottom halo.
+          Upper.at(X, Y, -1 - Layer) =
+              Lower.at(X, Y, LowerNz - 1 - Layer);
+          // Upper's bottom interior -> Lower's top halo.
+          Lower.at(X, Y, LowerNz + Layer) = Upper.at(X, Y, Layer);
+        }
+    HaloBytes += 2ull * Halo * GlobalDims.Nx * GlobalDims.Ny * 8;
+  }
+}
+
+DistributedStepper::DistributedStepper(StencilSpec Spec,
+                                       KernelConfig Config)
+    : Spec(std::move(Spec)), Config(Config) {
+  assert(this->Spec.numInputGrids() == 1 &&
+         "distributed stepping requires a single-input stencil");
+}
+
+void DistributedStepper::runTimeSteps(DecomposedGrid &U, DecomposedGrid &V,
+                                      int Steps, ThreadPool *Pool) const {
+  assert(U.numRanks() == V.numRanks() && "rank count mismatch");
+  assert(U.halo() >= Spec.radius() && "halo smaller than stencil radius");
+  KernelExecutor Exec(Spec, Config);
+
+  DecomposedGrid *Src = &U;
+  DecomposedGrid *Dst = &V;
+  for (int Step = 0; Step < Steps; ++Step) {
+    Src->exchangeHalos();
+    auto SweepRank = [&](long R) {
+      Exec.runSweep({&Src->rank(static_cast<unsigned>(R))},
+                    Dst->rank(static_cast<unsigned>(R)),
+                    /*Pool=*/nullptr);
+    };
+    if (Pool && Pool->numThreads() > 1)
+      Pool->parallelFor(0, U.numRanks(), SweepRank);
+    else
+      for (unsigned R = 0; R < U.numRanks(); ++R)
+        SweepRank(R);
+    std::swap(Src, Dst);
+  }
+
+  // Land the result in U.
+  if (Src != &U)
+    for (unsigned R = 0; R < U.numRanks(); ++R)
+      U.rank(R).copyInteriorFrom(Src->rank(R));
+}

@@ -1,0 +1,92 @@
+//===- codegen/DomainDecomposition.h - Rank decomposition --------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-process domain decomposition with explicit halo exchange — the
+/// substrate YASK uses for multi-rank (MPI) runs, simulated in-process:
+/// the global grid splits into contiguous z-slabs ("ranks"), each rank
+/// owns its slab plus a halo, and an explicit exchange step copies
+/// interior boundary layers between neighbors before every sweep.
+/// Equivalence to the monolithic sweep is exact and tested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_DOMAINDECOMPOSITION_H
+#define YS_CODEGEN_DOMAINDECOMPOSITION_H
+
+#include "codegen/KernelExecutor.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <vector>
+
+namespace ys {
+
+/// A grid distributed over R contiguous z-slab ranks.
+class DecomposedGrid {
+public:
+  /// Splits \p GlobalDims into \p Ranks z-slabs with halo \p Halo.
+  /// Requires Nz >= Ranks.
+  DecomposedGrid(GridDims GlobalDims, unsigned Ranks, int Halo,
+                 Fold F = Fold());
+
+  unsigned numRanks() const { return static_cast<unsigned>(Slabs.size()); }
+  const GridDims &globalDims() const { return GlobalDims; }
+  int halo() const { return Halo; }
+
+  /// The local grid of one rank.
+  Grid &rank(unsigned R) { return *Slabs[R]; }
+  const Grid &rank(unsigned R) const { return *Slabs[R]; }
+
+  /// Global z-range [begin, end) owned by rank \p R.
+  long rankZBegin(unsigned R) const { return ZBegin[R]; }
+  long rankZEnd(unsigned R) const { return ZBegin[R + 1]; }
+
+  /// Scatters a global grid into the slabs (interiors only).
+  void scatter(const Grid &Global);
+
+  /// Gathers the slabs' interiors into a global grid.
+  void gather(Grid &Global) const;
+
+  /// Exchanges the z-halo layers between neighboring ranks (copies the
+  /// top \p Halo interior planes of rank R into the bottom halo of rank
+  /// R+1 and vice versa).  The outermost ranks' outer halos are left
+  /// untouched (physical boundary).  Counts exchanged bytes.
+  void exchangeHalos();
+
+  /// Bytes moved by all exchangeHalos() calls so far.
+  unsigned long long haloBytesExchanged() const { return HaloBytes; }
+
+private:
+  GridDims GlobalDims;
+  int Halo;
+  std::vector<long> ZBegin; ///< Ranks + 1 entries.
+  std::vector<std::unique_ptr<Grid>> Slabs;
+  unsigned long long HaloBytes = 0;
+};
+
+/// Runs time steps of a single-input stencil on a decomposed grid:
+/// exchange halos, sweep every rank (optionally rank-parallel over the
+/// pool), swap — exactly YASK's distributed stepping structure.
+class DistributedStepper {
+public:
+  DistributedStepper(StencilSpec Spec, KernelConfig Config);
+
+  /// Advances \p U (and its scratch twin \p V) by \p Steps sweeps.
+  /// The result lands in U.
+  void runTimeSteps(DecomposedGrid &U, DecomposedGrid &V, int Steps,
+                    ThreadPool *Pool = nullptr) const;
+
+private:
+  StencilSpec Spec;
+  KernelConfig Config;
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_DOMAINDECOMPOSITION_H

@@ -1,0 +1,32 @@
+//===- codegen/KernelConfig.cpp - Kernel tuning parameters -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelConfig.h"
+
+#include "support/StringUtils.h"
+
+using namespace ys;
+
+std::string BlockSize::str() const {
+  if (isUnblocked())
+    return "unblocked";
+  auto Part = [](long V) {
+    return V == 0 ? std::string("N") : format("%ld", V);
+  };
+  return Part(X) + "x" + Part(Y) + "x" + Part(Z);
+}
+
+std::string KernelConfig::str() const {
+  std::string S = format("fold=%s block=%s", VectorFold.str().c_str(),
+                         Block.str().c_str());
+  if (WavefrontDepth > 1)
+    S += format(" wf=%d", WavefrontDepth);
+  if (Threads > 1)
+    S += format(" threads=%u", Threads);
+  if (StreamingStores)
+    S += " nt";
+  return S;
+}

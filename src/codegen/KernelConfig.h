@@ -1,0 +1,65 @@
+//===- codegen/KernelConfig.h - Kernel tuning parameters ---------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tuning-parameter bundle of one generated stencil kernel — the search
+/// space YaskSite's analytic model prunes and YASK's auto-tuner sweeps:
+/// SIMD vector fold, cache-block sizes, temporal wavefront depth, thread
+/// count, and streaming-store selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_KERNELCONFIG_H
+#define YS_CODEGEN_KERNELCONFIG_H
+
+#include "stencil/Grid.h"
+
+#include <string>
+
+namespace ys {
+
+/// Cache-block extents in grid points; 0 means "unblocked" (full extent).
+struct BlockSize {
+  long X = 0;
+  long Y = 0;
+  long Z = 0;
+
+  bool isUnblocked() const { return X == 0 && Y == 0 && Z == 0; }
+  bool operator==(const BlockSize &O) const {
+    return X == O.X && Y == O.Y && Z == O.Z;
+  }
+  std::string str() const;
+
+  /// Resolves zero entries against concrete grid dims.
+  BlockSize resolved(const GridDims &Dims) const {
+    BlockSize B;
+    B.X = X > 0 ? std::min(X, Dims.Nx) : Dims.Nx;
+    B.Y = Y > 0 ? std::min(Y, Dims.Ny) : Dims.Ny;
+    B.Z = Z > 0 ? std::min(Z, Dims.Nz) : Dims.Nz;
+    return B;
+  }
+};
+
+/// Complete kernel configuration.
+struct KernelConfig {
+  Fold VectorFold;        ///< Storage/SIMD fold; {1,1,1} == scalar layout.
+  BlockSize Block;        ///< Spatial cache blocking.
+  int WavefrontDepth = 1; ///< Timesteps fused per wavefront pass (1 == off).
+  unsigned Threads = 1;   ///< Worker threads for the outer decomposition.
+  bool StreamingStores = false; ///< Non-temporal stores (model-visible).
+
+  std::string str() const;
+
+  bool operator==(const KernelConfig &O) const {
+    return VectorFold == O.VectorFold && Block == O.Block &&
+           WavefrontDepth == O.WavefrontDepth && Threads == O.Threads &&
+           StreamingStores == O.StreamingStores;
+  }
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_KERNELCONFIG_H

@@ -1,0 +1,272 @@
+//===- codegen/KernelExecutor.cpp - Stencil kernel executor ----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelExecutor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <type_traits>
+
+using namespace ys;
+
+KernelExecutor::KernelExecutor(StencilSpec Spec, KernelConfig Config)
+    : Spec(std::move(Spec)), Config(Config) {
+  assert(this->Spec.validate().empty() && "invalid stencil spec");
+}
+
+void KernelExecutor::runReference(const StencilSpec &Spec,
+                                  const std::vector<const Grid *> &Inputs,
+                                  Grid &Out) {
+  assert(Inputs.size() >= Spec.numInputGrids() && "missing input grids");
+  const GridDims &Dims = Out.dims();
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X) {
+        double Acc = 0.0;
+        for (const StencilPoint &P : Spec.points())
+          Acc += P.Coeff *
+                 Inputs[P.GridIdx]->at(X + P.Dx, Y + P.Dy, Z + P.Dz);
+        Out.at(X, Y, Z) = Acc;
+      }
+}
+
+/// Computes one rectangular region with the fast scalar-layout kernel or
+/// the layout-generic fallback.
+void KernelExecutor::sweepRange(const std::vector<const Grid *> &Inputs,
+                                Grid &Out, long Z0, long Z1, long Y0, long Y1,
+                                long X0, long X1) const {
+  const std::vector<StencilPoint> &Points = Spec.points();
+  unsigned NumPoints = Spec.numPoints();
+
+  bool AllScalar = Out.hasScalarLayout();
+  for (const Grid *In : Inputs)
+    AllScalar &= In->hasScalarLayout();
+
+  if (AllScalar) {
+    // Fast path: constant linear offsets, pointer arithmetic inner loop.
+    // All grids share geometry (asserted in runSweep), so one offset table
+    // serves every input grid; per-point base pointers avoid the indirect
+    // grid lookup in the inner loop.  Dispatching on the point count to a
+    // compile-time-sized kernel lets the compiler fully unroll and
+    // vectorize the accumulation for the common stencil sizes.
+    std::vector<long> Offsets(NumPoints);
+    std::vector<double> Coeffs(NumPoints);
+    std::vector<const double *> PointBase(NumPoints);
+    for (unsigned P = 0; P < NumPoints; ++P) {
+      Offsets[P] =
+          Out.scalarNeighborOffset(Points[P].Dx, Points[P].Dy, Points[P].Dz);
+      Coeffs[P] = Points[P].Coeff;
+      PointBase[P] = Inputs[Points[P].GridIdx]->data();
+    }
+    double *OutBase = Out.data();
+
+    auto RunRows = [&](auto InnerKernel) {
+      for (long Z = Z0; Z < Z1; ++Z)
+        for (long Y = Y0; Y < Y1; ++Y) {
+          size_t Row = Out.linearIndex(X0, Y, Z);
+          InnerKernel(Row, X1 - X0);
+        }
+    };
+    auto FixedKernel = [&](auto NConst) {
+      constexpr unsigned N = decltype(NConst)::value;
+      long Off[N];
+      double C[N];
+      const double *Base[N];
+      for (unsigned P = 0; P < N; ++P) {
+        Off[P] = Offsets[P];
+        C[P] = Coeffs[P];
+        Base[P] = PointBase[P];
+      }
+      RunRows([&, Off, C, Base](size_t Row, long Count) {
+        for (long X = 0; X < Count; ++X) {
+          double Acc = 0.0;
+          for (unsigned P = 0; P < N; ++P)
+            Acc += C[P] * Base[P][Row + X + Off[P]];
+          OutBase[Row + X] = Acc;
+        }
+      });
+    };
+
+    switch (NumPoints) {
+    case 2:
+      FixedKernel(std::integral_constant<unsigned, 2>());
+      break;
+    case 5:
+      FixedKernel(std::integral_constant<unsigned, 5>());
+      break;
+    case 7:
+      FixedKernel(std::integral_constant<unsigned, 7>());
+      break;
+    case 13:
+      FixedKernel(std::integral_constant<unsigned, 13>());
+      break;
+    case 25:
+      FixedKernel(std::integral_constant<unsigned, 25>());
+      break;
+    case 27:
+      FixedKernel(std::integral_constant<unsigned, 27>());
+      break;
+    default:
+      RunRows([&](size_t Row, long Count) {
+        for (long X = 0; X < Count; ++X) {
+          double Acc = 0.0;
+          for (unsigned P = 0; P < NumPoints; ++P)
+            Acc += Coeffs[P] * PointBase[P][Row + X + Offsets[P]];
+          OutBase[Row + X] = Acc;
+        }
+      });
+      break;
+    }
+    return;
+  }
+
+  // Layout-generic path (folded storage).
+  for (long Z = Z0; Z < Z1; ++Z)
+    for (long Y = Y0; Y < Y1; ++Y)
+      for (long X = X0; X < X1; ++X) {
+        double Acc = 0.0;
+        for (const StencilPoint &P : Points)
+          Acc += P.Coeff *
+                 Inputs[P.GridIdx]->at(X + P.Dx, Y + P.Dy, Z + P.Dz);
+        Out.at(X, Y, Z) = Acc;
+      }
+}
+
+/// Runs the blocked loop nest over z in [Z0, Z1) on the calling thread.
+void KernelExecutor::sweepBlockedSerialZ(
+    const std::vector<const Grid *> &Inputs, Grid &Out, long Z0,
+    long Z1) const {
+  const GridDims &Dims = Out.dims();
+  BlockSize B = Config.Block.resolved(Dims);
+  for (long Zb = Z0; Zb < Z1; Zb += B.Z) {
+    long Ze = std::min(Zb + B.Z, Z1);
+    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y) {
+      long Ye = std::min(Yb + B.Y, Dims.Ny);
+      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X) {
+        long Xe = std::min(Xb + B.X, Dims.Nx);
+        sweepRange(Inputs, Out, Zb, Ze, Yb, Ye, Xb, Xe);
+      }
+    }
+  }
+}
+
+void KernelExecutor::runSweep(const std::vector<const Grid *> &Inputs,
+                              Grid &Out, ThreadPool *Pool) const {
+  assert(Inputs.size() >= Spec.numInputGrids() && "missing input grids");
+  assert(Out.halo() >= Spec.radius() && "halo smaller than stencil radius");
+  for (const Grid *In : Inputs) {
+    assert(In->dims() == Out.dims() && "input dims mismatch");
+    assert(In->halo() == Out.halo() && "input halo mismatch");
+    assert(In->fold() == Out.fold() && "input fold mismatch");
+    (void)In;
+  }
+  assert(Out.fold() == Config.VectorFold && "grid fold != configured fold");
+
+  const GridDims &Dims = Out.dims();
+  unsigned Threads = Config.Threads;
+  if (!Pool || Threads <= 1 || Pool->numThreads() <= 1) {
+    sweepBlockedSerialZ(Inputs, Out, 0, Dims.Nz);
+    return;
+  }
+
+  // Decompose the z dimension over the pool at block granularity so the
+  // static chunks match the blocked loop structure.
+  BlockSize B = Config.Block.resolved(Dims);
+  long NumZBlocks = (Dims.Nz + B.Z - 1) / B.Z;
+  Pool->parallelForChunked(
+      0, NumZBlocks, [&](unsigned, long Blk0, long Blk1) {
+        long Z0 = Blk0 * B.Z;
+        long Z1 = std::min(Blk1 * B.Z, Dims.Nz);
+        sweepBlockedSerialZ(Inputs, Out, Z0, Z1);
+      });
+}
+
+void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
+                                  ThreadPool *Pool) const {
+  assert(Spec.numInputGrids() == 1 &&
+         "time stepping requires a single-input stencil");
+  assert(Steps >= 0 && "negative step count");
+  int Depth = std::max(1, Config.WavefrontDepth);
+
+  Grid *Even = &U;
+  Grid *Odd = &Scratch;
+  int Done = 0;
+
+  // Temporal wavefront macro-steps of Depth sweeps each.
+  while (Depth > 1 && Steps - Done >= Depth) {
+    wavefrontMacroStep(Even, Odd, Depth, Pool);
+    if (Depth % 2 != 0)
+      std::swap(Even, Odd);
+    Done += Depth;
+  }
+
+  // Remaining plain sweeps.
+  for (; Done < Steps; ++Done) {
+    runSweep({Even}, *Odd, Pool);
+    std::swap(Even, Odd);
+  }
+
+  if (Even != &U)
+    U.copyInteriorFrom(*Even);
+}
+
+/// Applies Depth sweeps with temporal wavefront blocking along z.  The
+/// frontier F[s] records how far (exclusive z) time level s has been
+/// computed; levels advance in blocks of the configured z block size while
+/// maintaining F[s] <= F[s-1] - radius, which makes the two-buffer scheme
+/// race-free (see the derivation in tests/codegen/WavefrontTest.cpp).
+void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
+                                        ThreadPool *Pool) const {
+  const GridDims &Dims = Even->dims();
+  int R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+  long Bz = std::max<long>(B.Z, R + 1); // Progress needs Bz > radius.
+
+  std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
+  Frontier[0] = Dims.Nz;
+
+  auto bufferFor = [&](int TimeLevel) {
+    return TimeLevel % 2 == 0 ? Even : Odd;
+  };
+
+  auto sweepSlab = [&](int S, long Z0, long Z1) {
+    Grid *Src = bufferFor(S - 1);
+    Grid *Dst = bufferFor(S);
+    std::vector<const Grid *> Inputs = {Src};
+    if (Pool && Config.Threads > 1 && Pool->numThreads() > 1) {
+      long NumYBlocks = (Dims.Ny + B.Y - 1) / B.Y;
+      Pool->parallelForChunked(
+          0, NumYBlocks, [&](unsigned, long Blk0, long Blk1) {
+            long Y0 = Blk0 * B.Y;
+            long Y1 = std::min(Blk1 * B.Y, Dims.Ny);
+            for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+              sweepRange(Inputs, *Dst, Z0, Z1, Y0, Y1, Xb,
+                         std::min(Xb + B.X, Dims.Nx));
+          });
+      return;
+    }
+    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+        sweepRange(Inputs, *Dst, Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny),
+                   Xb, std::min(Xb + B.X, Dims.Nx));
+  };
+
+  while (Frontier[Depth] < Dims.Nz) {
+    bool Progressed = false;
+    for (int S = 1; S <= Depth; ++S) {
+      long Cap =
+          Frontier[S - 1] >= Dims.Nz ? Dims.Nz : Frontier[S - 1] - R;
+      long Target = std::min(Cap, Frontier[S] + Bz);
+      if (Target > Frontier[S]) {
+        sweepSlab(S, Frontier[S], Target);
+        Frontier[S] = Target;
+        Progressed = true;
+      }
+    }
+    assert(Progressed && "wavefront stalled; block size too small?");
+    (void)Progressed;
+  }
+}

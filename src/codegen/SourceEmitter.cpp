@@ -1,0 +1,220 @@
+//===- codegen/SourceEmitter.cpp - YASK-style C++ emission -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SourceEmitter.h"
+
+#include "support/StringUtils.h"
+
+using namespace ys;
+
+static std::string indexArg(const char *Axis, int D) {
+  if (D == 0)
+    return Axis;
+  return format("%s %c %d", Axis, D > 0 ? '+' : '-', D > 0 ? D : -D);
+}
+
+std::string SourceEmitter::emitExpression(const StencilSpec &Spec) {
+  std::string Out;
+  bool First = true;
+  for (const StencilPoint &P : Spec.points()) {
+    std::string Term;
+    if (P.Coeff != 1.0)
+      Term = trimmedDouble(P.Coeff, 9) + " * ";
+    Term += format("u%u[IDX3(%s, %s, %s)]", P.GridIdx,
+                   indexArg("x", P.Dx).c_str(), indexArg("y", P.Dy).c_str(),
+                   indexArg("z", P.Dz).c_str());
+    if (!First)
+      Out += "\n        + ";
+    Out += Term;
+    First = false;
+  }
+  return Out;
+}
+
+std::string SourceEmitter::emitKernel(const StencilSpec &Spec,
+                                      const KernelConfig &Config,
+                                      const Options &Opts) {
+  std::string Name = Opts.FunctionName.empty()
+                         ? "kernel_" + Spec.name()
+                         : Opts.FunctionName;
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+
+  std::string Restrict = Opts.EmitRestrict ? " __restrict" : "";
+  std::string Src;
+
+  // Signature: one const pointer per input grid plus the output.
+  std::string Params;
+  for (unsigned G = 0; G < Spec.numInputGrids(); ++G)
+    Params += format("const double *%s u%u, ", Restrict.c_str(), G);
+  Params += format("double *%s out,\n    long Nx, long Ny, long Nz, "
+                   "long PadX, long PadY",
+                   Restrict.c_str());
+  Src += format("void %s(%s) {\n", Name.c_str(), Params.c_str());
+
+  bool Blocked = !Config.Block.isUnblocked();
+  std::string Indent = "  ";
+
+  if (Opts.EmitOpenMP)
+    Src += Indent + "#pragma omp parallel for schedule(static)" +
+           std::string(Blocked ? " collapse(2)" : "") + "\n";
+
+  if (Blocked) {
+    long Bx = Config.Block.X, By = Config.Block.Y, Bz = Config.Block.Z;
+    Src += Indent + format("for (long zb = 0; zb < Nz; zb += %ld)\n",
+                           Bz > 0 ? Bz : 1);
+    Src += Indent + format("  for (long yb = 0; yb < Ny; yb += %ld)\n",
+                           By > 0 ? By : 1);
+    Src += Indent +
+           format("    for (long xb = 0; xb < Nx; xb += %ld) {\n",
+                  Bx > 0 ? Bx : 1);
+    Src += Indent + format("      long ze = std::min(zb + %ld, Nz);\n",
+                           Bz > 0 ? Bz : 1);
+    Src += Indent + format("      long ye = std::min(yb + %ld, Ny);\n",
+                           By > 0 ? By : 1);
+    Src += Indent + format("      long xe = std::min(xb + %ld, Nx);\n",
+                           Bx > 0 ? Bx : 1);
+    Src += Indent + "      for (long z = zb; z < ze; ++z)\n";
+    Src += Indent + "        for (long y = yb; y < ye; ++y) {\n";
+    if (Opts.EmitSimdPragma)
+      Src += Indent + "          #pragma omp simd\n";
+    Src += Indent + "          for (long x = xb; x < xe; ++x)\n";
+    Src += Indent + "            out[IDX3(x, y, z)] =\n";
+    Src += Indent + "              " + emitExpression(Spec) + ";\n";
+    Src += Indent + "        }\n";
+    Src += Indent + "    }\n";
+  } else {
+    Src += Indent + "for (long z = 0; z < Nz; ++z)\n";
+    Src += Indent + "  for (long y = 0; y < Ny; ++y) {\n";
+    if (Opts.EmitSimdPragma)
+      Src += Indent + "    #pragma omp simd\n";
+    Src += Indent + "    for (long x = 0; x < Nx; ++x)\n";
+    Src += Indent + "      out[IDX3(x, y, z)] =\n";
+    Src += Indent + "        " + emitExpression(Spec) + ";\n";
+    Src += Indent + "  }\n";
+  }
+
+  Src += "}\n";
+  return Src;
+}
+
+std::string SourceEmitter::emitDsl(const StencilSpec &Spec,
+                                   const std::string &Name) {
+  std::string DefName = Name.empty() ? Spec.name() : Name;
+  for (char &C : DefName)
+    if (C == '-' || C == ':')
+      C = '_';
+
+  std::string Src = format("stencil %s {\n  grid ", DefName.c_str());
+  unsigned NumIn = Spec.numInputGrids();
+  for (unsigned G = 0; G < NumIn; ++G)
+    Src += format("u%u, ", G);
+  Src += "out;\n  out[x,y,z] =";
+
+  auto Axis = [](const char *Name, int D) {
+    if (D == 0)
+      return std::string(Name);
+    return format("%s%+d", Name, D);
+  };
+  bool First = true;
+  for (const StencilPoint &P : Spec.points()) {
+    double Coeff = P.Coeff;
+    if (First) {
+      Src += Coeff < 0 ? " -" : " ";
+      First = false;
+    } else {
+      Src += Coeff < 0 ? "\n      - " : "\n      + ";
+    }
+    double Mag = Coeff < 0 ? -Coeff : Coeff;
+    if (Mag != 1.0)
+      Src += format("%.17g * ", Mag);
+    Src += format("u%u[%s,%s,%s]", P.GridIdx, Axis("x", P.Dx).c_str(),
+                  Axis("y", P.Dy).c_str(), Axis("z", P.Dz).c_str());
+  }
+  Src += ";\n}\n";
+  return Src;
+}
+
+std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
+                                              const KernelConfig &Config) {
+  std::string Name = "kernel_" + Spec.name();
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  std::string Src;
+
+  if (Config.WavefrontDepth <= 1) {
+    Src += "// Plain ping-pong time stepping.\n";
+    Src += format("void drive_%s(double *even, double *odd, long steps,\n"
+                  "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
+                  Name.c_str());
+    Src += "  for (long t = 0; t < steps; ++t) {\n";
+    Src += format("    %s(even, odd, Nx, Ny, Nz, PadX, PadY);\n",
+                  Name.c_str());
+    Src += "    std::swap(even, odd);\n";
+    Src += "  }\n";
+    Src += "}\n";
+    return Src;
+  }
+
+  int Depth = Config.WavefrontDepth;
+  int R = Spec.radius() > 0 ? Spec.radius() : 1;
+  long Bz = Config.Block.Z > R ? Config.Block.Z : R + 1;
+  Src += format("// Temporal wavefront driver: depth %d, radius %d, "
+                "z-block %ld.\n",
+                Depth, R, Bz);
+  Src += "// frontier[s] = exclusive z up to which time level s is done;\n";
+  Src += "// the cap frontier[s] <= frontier[s-1] - radius makes the\n";
+  Src += "// two-buffer scheme race-free.\n";
+  Src += format("void drive_%s_wavefront(double *even, double *odd,\n"
+                "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
+                Name.c_str());
+  Src += format("  long frontier[%d + 1] = {0};\n", Depth);
+  Src += "  frontier[0] = Nz;\n";
+  Src += format("  while (frontier[%d] < Nz) {\n", Depth);
+  Src += format("    for (int s = 1; s <= %d; ++s) {\n", Depth);
+  Src += format("      long cap = frontier[s - 1] >= Nz ? Nz "
+                ": frontier[s - 1] - %d;\n",
+                R);
+  Src += format("      long target = std::min(cap, frontier[s] + %ld);\n",
+                Bz);
+  Src += "      if (target <= frontier[s])\n";
+  Src += "        continue;\n";
+  Src += "      double *src = (s - 1) % 2 == 0 ? even : odd;\n";
+  Src += "      double *dst = s % 2 == 0 ? even : odd;\n";
+  Src += format("      %s_slab(src, dst, frontier[s], target, Nx, Ny, "
+                "PadX, PadY);\n",
+                Name.c_str());
+  Src += "      frontier[s] = target;\n";
+  Src += "    }\n";
+  Src += "  }\n";
+  Src += "}\n";
+  return Src;
+}
+
+std::string SourceEmitter::emitTranslationUnit(const StencilSpec &Spec,
+                                               const KernelConfig &Config,
+                                               const Options &Opts) {
+  std::string Src;
+  Src += "// Auto-generated stencil kernel (YaskSite reproduction).\n";
+  Src += format("// stencil   : %s (%s, radius %d, %u points)\n",
+                Spec.name().c_str(), Spec.shapeName(), Spec.radius(),
+                Spec.numPoints());
+  Src += format("// config    : %s\n", Config.str().c_str());
+  Src += format("// flops/LUP : %u (%u mul, %u add)\n", Spec.flopsPerLup(),
+                Spec.mulsPerLup(), Spec.addsPerLup());
+  if (Config.WavefrontDepth > 1)
+    Src += format("// temporal wavefront depth %d is realized by the "
+                  "driver loop, not this sweep kernel\n",
+                  Config.WavefrontDepth);
+  Src += "\n#include <algorithm>\n\n";
+  Src += "// Grids are padded to PadX x PadY x PadZ with the halo folded\n";
+  Src += "// into the origin; IDX3 addresses interior coordinates.\n";
+  Src += "#define IDX3(x, y, z) (((z) * PadY + (y)) * PadX + (x))\n\n";
+  Src += emitKernel(Spec, Config, Opts);
+  return Src;
+}

@@ -1,0 +1,76 @@
+//===- codegen/SourceEmitter.h - YASK-style C++ emission ---------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the C++ source a YASK-style code generator would produce for a
+/// stencil under a kernel configuration: the blocked OpenMP loop nest, the
+/// SIMD inner loop, and the unrolled stencil expression.  The emitted text
+/// is a demonstration artifact (golden-tested); execution in this repo goes
+/// through KernelExecutor, which applies the same transformations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_SOURCEEMITTER_H
+#define YS_CODEGEN_SOURCEEMITTER_H
+
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+
+#include <string>
+
+namespace ys {
+
+/// Generates compilable C++ kernel source for a stencil + configuration.
+class SourceEmitter {
+public:
+  /// Options controlling the emitted style.
+  struct Options {
+    bool EmitOpenMP = true;     ///< #pragma omp on the outer loop.
+    bool EmitSimdPragma = true; ///< #pragma omp simd on the inner loop.
+    bool EmitRestrict = true;   ///< __restrict on pointer parameters.
+    std::string FunctionName;   ///< Defaults to "kernel_<stencil name>".
+  };
+
+  /// Emits the kernel function for one sweep of \p Spec under \p Config.
+  static std::string emitKernel(const StencilSpec &Spec,
+                                const KernelConfig &Config,
+                                const Options &Opts);
+  static std::string emitKernel(const StencilSpec &Spec,
+                                const KernelConfig &Config) {
+    return emitKernel(Spec, Config, Options());
+  }
+
+  /// Emits a self-contained translation unit: header comment, index macro,
+  /// and the kernel function.
+  static std::string emitTranslationUnit(const StencilSpec &Spec,
+                                         const KernelConfig &Config,
+                                         const Options &Opts);
+  static std::string emitTranslationUnit(const StencilSpec &Spec,
+                                         const KernelConfig &Config) {
+    return emitTranslationUnit(Spec, Config, Options());
+  }
+
+  /// Renders the stencil expression as C++ (e.g. "0.5 * u0[IDX3(x,y,z)]
+  /// + ...").
+  static std::string emitExpression(const StencilSpec &Spec);
+
+  /// Renders a stencil spec back to DSL source text (a `stencil`
+  /// definition parseable by the front end) — the round-trip companion of
+  /// the parser, used to persist programmatically built stencils.
+  static std::string emitDsl(const StencilSpec &Spec,
+                             const std::string &Name = std::string());
+
+  /// Emits the multi-timestep driver around the sweep kernel: a plain
+  /// ping-pong loop when Config.WavefrontDepth <= 1, otherwise the
+  /// two-buffer temporal-wavefront frontier schedule (the loop structure
+  /// KernelExecutor::runTimeSteps executes).
+  static std::string emitTimeStepDriver(const StencilSpec &Spec,
+                                        const KernelConfig &Config);
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_SOURCEEMITTER_H

@@ -1,0 +1,84 @@
+//===- codegen/VectorFold.cpp - SIMD fold selection ------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/VectorFold.h"
+
+#include <set>
+#include <tuple>
+
+using namespace ys;
+
+std::vector<Fold> VectorFold::candidates(unsigned VectorElems) {
+  std::vector<Fold> Result;
+  for (unsigned X = 1; X <= VectorElems; ++X) {
+    if (VectorElems % X != 0)
+      continue;
+    unsigned YZ = VectorElems / X;
+    for (unsigned Y = 1; Y <= YZ; ++Y) {
+      if (YZ % Y != 0)
+        continue;
+      Fold F;
+      F.X = static_cast<int>(X);
+      F.Y = static_cast<int>(Y);
+      F.Z = static_cast<int>(YZ / Y);
+      Result.push_back(F);
+    }
+  }
+  return Result;
+}
+
+static long floorDiv(long A, long B) {
+  long Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+unsigned long long VectorFold::touchedVectors(const StencilSpec &Spec,
+                                              const Fold &F) {
+  // One output vector covers the fold block at the origin.  Each stencil
+  // point shifts that block; count the distinct fold blocks covering the
+  // union of all shifted blocks.
+  std::set<std::tuple<unsigned, long, long, long>> Blocks;
+  for (const StencilPoint &P : Spec.points()) {
+    long X0 = floorDiv(P.Dx, F.X), X1 = floorDiv(P.Dx + F.X - 1, F.X);
+    long Y0 = floorDiv(P.Dy, F.Y), Y1 = floorDiv(P.Dy + F.Y - 1, F.Y);
+    long Z0 = floorDiv(P.Dz, F.Z), Z1 = floorDiv(P.Dz + F.Z - 1, F.Z);
+    for (long Bz = Z0; Bz <= Z1; ++Bz)
+      for (long By = Y0; By <= Y1; ++By)
+        for (long Bx = X0; Bx <= X1; ++Bx)
+          Blocks.insert({P.GridIdx, Bx, By, Bz});
+  }
+  return Blocks.size();
+}
+
+Fold VectorFold::select(const StencilSpec &Spec,
+                        const MachineModel &Machine) {
+  unsigned V = Machine.Core.simdDoubles();
+  Fold Best;
+  unsigned long long BestScore = ~0ull;
+  for (const Fold &F : candidates(V)) {
+    // 2-D problems cannot fold in z; 1-D problems only in x.
+    if (Spec.is1D() && (F.Y > 1 || F.Z > 1))
+      continue;
+    if (Spec.is2D() && F.Z > 1)
+      continue;
+    unsigned long long Score = touchedVectors(Spec, F);
+    bool Better = Score < BestScore ||
+                  (Score == BestScore && F.X > Best.X) ||
+                  (Score == BestScore && F.X == Best.X && F.Y > Best.Y);
+    if (Better) {
+      Best = F;
+      BestScore = Score;
+    }
+  }
+  if (BestScore == ~0ull) {
+    // Fall back to a 1-D fold along x.
+    Best.X = static_cast<int>(V);
+    Best.Y = Best.Z = 1;
+  }
+  return Best;
+}

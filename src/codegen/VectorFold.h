@@ -1,0 +1,45 @@
+//===- codegen/VectorFold.h - SIMD fold selection ----------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selection of the SIMD vector fold, YASK's signature data-layout
+/// transformation: a SIMD register covers an (Fx x Fy x Fz) sub-block of
+/// the grid instead of a 1-D run, which reduces the number of distinct
+/// vectors a stencil touches and thus in-core load pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_VECTORFOLD_H
+#define YS_CODEGEN_VECTORFOLD_H
+
+#include "arch/MachineModel.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+
+#include <vector>
+
+namespace ys {
+
+/// Fold-selection utilities.
+class VectorFold {
+public:
+  /// All factorizations of \p VectorElems into 3-D folds.
+  static std::vector<Fold> candidates(unsigned VectorElems);
+
+  /// Number of distinct folded vectors a single stencil application
+  /// touches under fold \p F — YASK's fold quality metric (lower is
+  /// better; the scalar count equals the point count's bounding boxes).
+  static unsigned long long touchedVectors(const StencilSpec &Spec,
+                                           const Fold &F);
+
+  /// Picks the fold minimizing touchedVectors for \p Spec on \p Machine's
+  /// SIMD width; ties break toward larger X extent (unit-stride friendly).
+  static Fold select(const StencilSpec &Spec, const MachineModel &Machine);
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_VECTORFOLD_H

@@ -1,0 +1,726 @@
+//===- driver/Driver.cpp - Command-line driver -------------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "cachesim/StencilTrace.h"
+#include "codegen/SourceEmitter.h"
+#include "codegen/VectorFold.h"
+#include "ecm/BlockingSelector.h"
+#include "ecm/InCoreModel.h"
+#include "frontend/Parser.h"
+#include "ode/Registry.h"
+#include "offsite/Database.h"
+#include "offsite/Offsite.h"
+#include "solution/StencilSolution.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace ys;
+
+std::vector<std::string> ys::builtinStencilNames() {
+  return {"heat3d",     "heat2d",    "star3d:R", "star2d:R",
+          "box3d:R",    "line1d:R",  "longrange:RX"};
+}
+
+Expected<StencilSpec> ys::resolveStencil(const std::string &Arg) {
+  if (Arg == "heat3d")
+    return StencilSpec::heat3d();
+  if (Arg == "heat2d")
+    return StencilSpec::heat2d();
+
+  auto Parameterized = [&](const std::string &Prefix,
+                           int &Radius) -> bool {
+    if (!startsWith(Arg, Prefix + ":"))
+      return false;
+    Radius = std::atoi(Arg.substr(Prefix.size() + 1).c_str());
+    return true;
+  };
+  int R = 0;
+  if (Parameterized("star3d", R)) {
+    if (R < 1 || R > 8)
+      return Error::failure("star3d radius must be in [1, 8]");
+    return StencilSpec::star3d(R);
+  }
+  if (Parameterized("star2d", R)) {
+    if (R < 1 || R > 8)
+      return Error::failure("star2d radius must be in [1, 8]");
+    return StencilSpec::star2d(R);
+  }
+  if (Parameterized("box3d", R)) {
+    if (R < 1 || R > 3)
+      return Error::failure("box3d radius must be in [1, 3]");
+    return StencilSpec::box3d(R);
+  }
+  if (Parameterized("line1d", R)) {
+    if (R < 1 || R > 16)
+      return Error::failure("line1d radius must be in [1, 16]");
+    return StencilSpec::line1d(R);
+  }
+  if (Parameterized("longrange", R)) {
+    if (R < 1 || R > 16)
+      return Error::failure("longrange x-radius must be in [1, 16]");
+    return StencilSpec::longRange(R);
+  }
+
+  // Otherwise treat the argument as a DSL file path.
+  std::ifstream In(Arg);
+  if (!In)
+    return Error::failure(format("unknown stencil '%s' (not a builtin and "
+                                 "not a readable file)",
+                                 Arg.c_str()));
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  auto DefOr = Parser::parseSingle(Buffer.str());
+  if (!DefOr)
+    return Error::failure(format("%s: %s", Arg.c_str(),
+                                 DefOr.takeError().message().c_str()));
+  return DefOr->singleSpec();
+}
+
+Expected<GridDims> ys::parseDims(const std::string &Arg) {
+  std::vector<std::string> Parts = split(Arg, 'x');
+  GridDims Dims;
+  auto ToLong = [](const std::string &S, long &V) {
+    char *End = nullptr;
+    V = std::strtol(S.c_str(), &End, 10);
+    return End && *End == '\0' && V > 0;
+  };
+  if (Parts.size() == 1) {
+    long N;
+    if (!ToLong(Parts[0], N))
+      return Error::failure(format("invalid dims '%s'", Arg.c_str()));
+    Dims.Nx = Dims.Ny = Dims.Nz = N;
+    return Dims;
+  }
+  if (Parts.size() != 3)
+    return Error::failure(
+        format("dims must be 'N' or 'NXxNYxNZ', got '%s'", Arg.c_str()));
+  if (!ToLong(Parts[0], Dims.Nx) || !ToLong(Parts[1], Dims.Ny) ||
+      !ToLong(Parts[2], Dims.Nz))
+    return Error::failure(format("invalid dims '%s'", Arg.c_str()));
+  return Dims;
+}
+
+Expected<Fold> ys::parseFold(const std::string &Arg) {
+  std::vector<std::string> Parts = split(Arg, 'x');
+  if (Parts.size() != 3)
+    return Error::failure(
+        format("fold must be 'FXxFYxFZ', got '%s'", Arg.c_str()));
+  Fold F;
+  F.X = std::atoi(Parts[0].c_str());
+  F.Y = std::atoi(Parts[1].c_str());
+  F.Z = std::atoi(Parts[2].c_str());
+  if (F.X < 1 || F.Y < 1 || F.Z < 1)
+    return Error::failure(format("invalid fold '%s'", Arg.c_str()));
+  return F;
+}
+
+namespace {
+
+/// Parsed common options.
+struct DriverOptions {
+  std::string StencilArg;
+  std::string MachineName = "CascadeLakeSP";
+  GridDims Dims{256, 256, 128};
+  KernelConfig Config;
+  unsigned Cores = 0; // 0 = command default (1 or full socket).
+  int Sweeps = 2;
+  bool FoldGiven = false;
+  // `ode` command extras.
+  std::string IvpName = "heat3d";
+  long Resolution = 32;
+  std::string VariantName;
+  int Steps = 10;
+  bool ShowAsm = false;
+};
+
+/// Parses options after the command; returns empty string on success.
+std::string parseOptions(const std::vector<std::string> &Args, size_t From,
+                         bool NeedStencil, DriverOptions &Opts) {
+  size_t I = From;
+  if (NeedStencil) {
+    if (I >= Args.size())
+      return "missing stencil argument";
+    Opts.StencilArg = Args[I++];
+  }
+  while (I < Args.size()) {
+    const std::string &Flag = Args[I];
+    auto Value = [&](std::string &Out) -> bool {
+      if (I + 1 >= Args.size())
+        return false;
+      Out = Args[++I];
+      return true;
+    };
+    std::string V;
+    if (Flag == "--machine" && Value(V)) {
+      Opts.MachineName = V;
+    } else if (Flag == "--dims" && Value(V)) {
+      auto DimsOr = parseDims(V);
+      if (!DimsOr)
+        return DimsOr.takeError().message();
+      Opts.Dims = *DimsOr;
+    } else if (Flag == "--fold" && Value(V)) {
+      auto FoldOr = parseFold(V);
+      if (!FoldOr)
+        return FoldOr.takeError().message();
+      Opts.Config.VectorFold = *FoldOr;
+      Opts.FoldGiven = true;
+    } else if (Flag == "--bx" && Value(V)) {
+      Opts.Config.Block.X = std::atol(V.c_str());
+    } else if (Flag == "--by" && Value(V)) {
+      Opts.Config.Block.Y = std::atol(V.c_str());
+    } else if (Flag == "--bz" && Value(V)) {
+      Opts.Config.Block.Z = std::atol(V.c_str());
+    } else if (Flag == "--wf" && Value(V)) {
+      Opts.Config.WavefrontDepth = std::atoi(V.c_str());
+    } else if (Flag == "--cores" && Value(V)) {
+      Opts.Cores = static_cast<unsigned>(std::atoi(V.c_str()));
+    } else if (Flag == "--sweeps" && Value(V)) {
+      Opts.Sweeps = std::atoi(V.c_str());
+    } else if (Flag == "--ivp" && Value(V)) {
+      Opts.IvpName = V;
+    } else if (Flag == "--n" && Value(V)) {
+      Opts.Resolution = std::atol(V.c_str());
+    } else if (Flag == "--variant" && Value(V)) {
+      Opts.VariantName = V;
+    } else if (Flag == "--steps" && Value(V)) {
+      Opts.Steps = std::atoi(V.c_str());
+    } else if (Flag == "--asm") {
+      Opts.ShowAsm = true;
+    } else if (Flag == "--nt") {
+      Opts.Config.StreamingStores = true;
+    } else {
+      return format("unknown or incomplete option '%s'", Flag.c_str());
+    }
+    ++I;
+  }
+  return std::string();
+}
+
+const MachineModel *findMachine(const DriverOptions &Opts,
+                                std::string &Out) {
+  const MachineModel *M = MachineModel::findBuiltin(Opts.MachineName);
+  if (!M) {
+    Out += format("error: unknown machine '%s'; try 'machines'\n",
+                  Opts.MachineName.c_str());
+    return nullptr;
+  }
+  return M;
+}
+
+int cmdMachines(std::string &Out) {
+  Table T({"name", "SIMD", "cores", "GHz", "L1", "L2", "L3", "mem GB/s"});
+  for (const MachineModel &M : MachineModel::allBuiltin())
+    T.addRow({M.Name, format("%u", M.Core.SimdBits),
+              format("%u", M.CoresPerSocket),
+              format("%.2f", M.Core.FrequencyGHz),
+              humanBytes(M.level(0).SizeBytes),
+              humanBytes(M.level(1).SizeBytes),
+              humanBytes(M.level(2).SizeBytes),
+              format("%.0f", M.Memory.BandwidthGBs)});
+  Out += T.render();
+  return 0;
+}
+
+int cmdStencils(std::string &Out) {
+  Out += "built-in stencils (R = radius):\n";
+  for (const std::string &Name : builtinStencilNames())
+    Out += "  " + Name + "\n";
+  Out += "or pass a path to a .stencil DSL file (see 'parse').\n";
+  return 0;
+}
+
+int cmdPredict(const DriverOptions &Opts, const StencilSpec &Spec,
+               std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  KernelConfig Config = Opts.Config;
+  if (!Opts.FoldGiven)
+    Config.VectorFold = VectorFold::select(Spec, *M);
+  unsigned Cores = Opts.Cores ? Opts.Cores : 1;
+  ECMModel Model(*M);
+  ECMPrediction P = Model.predict(Spec, Opts.Dims, Config, Cores);
+  Out += format("stencil  : %s (%s, radius %d, %u points, %u flops/LUP)\n",
+                Spec.name().c_str(), Spec.shapeName(), Spec.radius(),
+                Spec.numPoints(), Spec.flopsPerLup());
+  Out += format("machine  : %s, grid %s, config %s\n", M->Name.c_str(),
+                Opts.Dims.str().c_str(), Config.str().c_str());
+  Out += format("ECM      : %s\n", P.str().c_str());
+  Out += format("traffic  : %s\n", P.Traffic.str().c_str());
+  Out += format("at %u cores: %.0f MLUP/s\n", Cores,
+                P.mlupsAtCores(Cores));
+  if (Opts.ShowAsm) {
+    InCoreModel IC(*M);
+    Out += "\n" + IC.emitPseudoAsm(Spec, Config);
+  }
+  return 0;
+}
+
+int cmdTune(const DriverOptions &Opts, const StencilSpec &Spec,
+            std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  KernelConfig Base = Opts.Config;
+  if (!Opts.FoldGiven)
+    Base.VectorFold = VectorFold::select(Spec, *M);
+  ECMModel Model(*M);
+  BlockingSelector Selector(Model);
+  unsigned Cores = Opts.Cores ? Opts.Cores : M->CoresPerSocket;
+  BlockingChoice Analytic =
+      Selector.selectAnalytic(Spec, Opts.Dims, Base, -1, Cores);
+  BlockingChoice Best =
+      Selector.selectBest(Spec, Opts.Dims, Base, true, Cores);
+  ECMPrediction Unblocked = Model.predict(Spec, Opts.Dims, Base, Cores);
+  Out += format("unblocked    : %.0f MLUP/s saturated\n",
+                Unblocked.MLupsSaturated);
+  Out += format("analytic LC  : %s -> %.0f MLUP/s\n",
+                Analytic.Config.str().c_str(),
+                Analytic.Prediction.MLupsSaturated);
+  Out += format("model argmax : %s -> %.0f MLUP/s (%u candidates, zero "
+                "kernel runs)\n",
+                Best.Config.str().c_str(), Best.Prediction.MLupsSaturated,
+                Best.CandidatesEvaluated);
+  return 0;
+}
+
+int cmdEmit(const DriverOptions &Opts, const StencilSpec &Spec,
+            std::string &Out) {
+  Out += SourceEmitter::emitTranslationUnit(Spec, Opts.Config);
+  return 0;
+}
+
+int cmdTrace(const DriverOptions &Opts, const StencilSpec &Spec,
+             std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
+  StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
+  TraceTraffic T = Opts.Config.WavefrontDepth > 1
+                       ? Runner.runWavefront(Sim)
+                       : Runner.run(Sim, std::max(1, Opts.Sweeps));
+  Out += format("simulated %llu LUPs on %s caches, config %s\n", T.Lups,
+                M->Name.c_str(), Opts.Config.str().c_str());
+  Table Tab({"boundary", "bytes/LUP"});
+  for (size_t I = 0; I < T.BytesPerLup.size(); ++I) {
+    std::string Name = I + 1 < T.BytesPerLup.size()
+                           ? format("L%zu<->L%zu", I + 1, I + 2)
+                           : "memory";
+    Tab.addRow({Name, format("%.2f", T.BytesPerLup[I])});
+  }
+  Out += Tab.render();
+  return 0;
+}
+
+int cmdParse(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    Out += format("error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  auto DefsOr = Parser::parse(Buffer.str());
+  if (!DefsOr) {
+    Out += format("%s:%s\n", Path.c_str(),
+                  DefsOr.takeError().message().c_str());
+    return 1;
+  }
+  for (const ParsedStencil &Def : *DefsOr) {
+    Out += format("stencil %s: %zu grids, %zu params, %u equations, "
+                  "max radius %d, chained halo %d\n",
+                  Def.Name.c_str(), Def.GridNames.size(),
+                  Def.Params.size(), Def.Bundle.numEquations(),
+                  Def.Bundle.maxRadius(), Def.Bundle.chainedHalo());
+    auto Groups = Def.Bundle.greedyFusionGroups();
+    Out += format("  fusion groups: %zu\n", Groups.size());
+    if (Def.Bundle.numEquations() == 1) {
+      auto SpecOr = Def.singleSpec();
+      if (SpecOr)
+        Out += format("  single spec: %s, %u points, %u flops/LUP\n",
+                      SpecOr->shapeName(), SpecOr->numPoints(),
+                      SpecOr->flopsPerLup());
+    }
+  }
+  return 0;
+}
+
+/// Builds a solution from a DSL file path or, for built-in stencil names,
+/// a synthesized ping-pong bundle.
+Expected<StencilSolution> buildSolution(const DriverOptions &Opts) {
+  std::ifstream In(Opts.StencilArg);
+  if (In) {
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    return StencilSolution::fromDslSource(Buffer.str(), Opts.Dims,
+                                          Opts.Config);
+  }
+  auto SpecOr = resolveStencil(Opts.StencilArg);
+  if (!SpecOr)
+    return SpecOr.takeError();
+  BundleEquation Eq;
+  Eq.OutputGrid = 1;
+  Eq.Spec = *SpecOr;
+  StencilBundle Bundle(SpecOr->name(), {"u", "unew"}, {Eq});
+  return StencilSolution::create(Bundle, Opts.Dims, Opts.Config);
+}
+
+int cmdValidate(const DriverOptions &Opts, const StencilSpec &Spec,
+                std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  ECMModel Model(*M);
+  ECMPrediction P = Model.predict(Spec, Opts.Dims, Opts.Config);
+
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
+  StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
+  TraceTraffic T = Opts.Config.WavefrontDepth > 1
+                       ? Runner.runWavefront(Sim)
+                       : Runner.run(Sim, std::max(1, Opts.Sweeps));
+
+  // The simulated numbers include the cold first touch of every grid;
+  // the model predicts steady state.  Subtract the compulsory traffic
+  // (one fill per grid cell over all sweeps) before comparing.
+  unsigned GridsTouched =
+      Spec.numInputGrids() == 1 ? 2 : Spec.numInputGrids() + 1;
+  double ColdPerLup = static_cast<double>(GridsTouched) * 8.0 /
+                      std::max(1, Opts.Sweeps);
+
+  Out += format("stencil %s on %s, grid %s, config %s\n",
+                Spec.name().c_str(), M->Name.c_str(),
+                Opts.Dims.str().c_str(), Opts.Config.str().c_str());
+  Out += format("(cold-start adjustment: %.1f B/LUP over %d sweeps)\n",
+                ColdPerLup, std::max(1, Opts.Sweeps));
+  Table Tab({"boundary", "predicted B/LUP", "simulated B/LUP",
+             "sim steady-state", "rel. error"});
+  double WorstErr = 0;
+  for (size_t I = 0; I < T.BytesPerLup.size(); ++I) {
+    std::string Name = I + 1 < T.BytesPerLup.size()
+                           ? format("L%zu<->L%zu", I + 1, I + 2)
+                           : "memory";
+    double Pred = P.Traffic.BytesPerLup[I];
+    double SimV = T.BytesPerLup[I];
+    double Steady = std::max(0.0, SimV - ColdPerLup);
+    double Err = std::abs(Pred - Steady) / std::max(Steady, 8.0);
+    WorstErr = std::max(WorstErr, Err);
+    Tab.addRow({Name, format("%.1f", Pred), format("%.1f", SimV),
+                format("%.1f", Steady), format("%.0f%%", Err * 100)});
+  }
+  Out += Tab.render();
+  Out += format("verdict: %s (worst boundary error %.0f%%)\n",
+                WorstErr < 0.35 ? "model and simulator agree"
+                                : "disagreement beyond 35% - likely an LC "
+                                  "gray zone; see docs/performance-model.md",
+                WorstErr * 100);
+  return 0;
+}
+
+int cmdRun(const DriverOptions &Opts, std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  auto SolOr = buildSolution(Opts);
+  if (!SolOr) {
+    Out += format("error: %s\n", SolOr.takeError().message().c_str());
+    return 1;
+  }
+  StencilSolution &Sol = *SolOr;
+  Rng R(42);
+  Sol.grid(0).fillRandom(R);
+  Out += Sol.describePlan();
+
+  int Steps = std::max(1, Opts.Sweeps);
+  Timer T;
+  Sol.runSteps(Steps);
+  double Secs = T.seconds();
+  double Lups = static_cast<double>(Opts.Dims.lups()) * Steps *
+                Sol.plan().size();
+  ECMModel Model(*M);
+  Out += format("ran %d steps: %.3f s host (%.0f MLUP/s), checksum %.6g\n",
+                Steps, Secs, Lups / Secs / 1e6, Sol.checksum());
+  unsigned Cores = Opts.Cores ? Opts.Cores : 1;
+  Out += format("predicted on %s at %u cores: %.3g s/step\n",
+                M->Name.c_str(), Cores,
+                Sol.predictSecondsPerStep(Model, Cores));
+  return 0;
+}
+
+int cmdOde(const DriverOptions &Opts, std::string &Out) {
+  const MachineModel *M = findMachine(Opts, Out);
+  if (!M)
+    return 1;
+  auto TableauOr = tableauByName(Opts.StencilArg);
+  if (!TableauOr) {
+    Out += "error: " + TableauOr.takeError().message() + "\n";
+    return 1;
+  }
+  if (!TableauOr->isExplicit()) {
+    Out += format("error: '%s' is an implicit PIRK base; the ode command "
+                  "integrates explicit methods\n",
+                  TableauOr->Name.c_str());
+    return 1;
+  }
+  auto IvpOr = ivpByName(Opts.IvpName, Opts.Resolution);
+  if (!IvpOr) {
+    Out += "error: " + IvpOr.takeError().message() + "\n";
+    return 1;
+  }
+  IVP &Problem = **IvpOr;
+
+  unsigned Cores = Opts.Cores ? Opts.Cores : 1;
+  ECMModel Model(*M);
+  OffsiteTuner Tuner(Model, Cores);
+  std::vector<ODEVariant> Vs = Tuner.enumerateRK(*TableauOr, Problem);
+  std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, Problem);
+  Out += format("variants of %s on %s (predicted for %s, %u cores):\n",
+                TableauOr->Name.c_str(), Problem.name().c_str(),
+                M->Name.c_str(), Cores);
+  for (const VariantPrediction &P : Ranked)
+    Out += format("  %-44s %2u sweeps/step  %.3g s/step\n",
+                  P.Variant.Name.c_str(), P.SweepsPerStep,
+                  P.SecondsPerStep);
+
+  // Pick the variant: explicit flag or the model's choice.
+  RKVariant Variant = Ranked.front().Variant.Variant;
+  KernelConfig Config = Ranked.front().Variant.Config;
+  if (!Opts.VariantName.empty()) {
+    auto VarOr = rkVariantByName(Opts.VariantName);
+    if (!VarOr) {
+      Out += "error: " + VarOr.takeError().message() + "\n";
+      return 1;
+    }
+    Variant = *VarOr;
+    Config = Opts.Config;
+  }
+
+  ExplicitRKIntegrator Integ(*TableauOr, Variant, Config);
+  if (!Integ.supports(Problem)) {
+    Out += format("error: variant %s unsupported for %s (needs the "
+                  "stencil form)\n",
+                  rkVariantName(Variant), Problem.name().c_str());
+    return 1;
+  }
+  Grid Y(Problem.dims(), Problem.halo(), Config.VectorFold);
+  Problem.initialCondition(Y);
+  RKWorkspace WS;
+  double H = Problem.suggestedDt();
+  Timer T;
+  Integ.integrate(Problem, 0.0, H, Opts.Steps, Y, WS);
+  double Secs = T.seconds();
+  Out += format("integrated %d steps (dt=%.3g) with %s in %.3f s "
+                "(%.3g s/step)\n",
+                Opts.Steps, H, rkVariantName(Variant), Secs,
+                Secs / Opts.Steps);
+
+  // Exact-solution error where available.
+  if (auto *Heat3 = dynamic_cast<Heat3DIVP *>(&Problem)) {
+    Grid Exact(Problem.dims(), Problem.halo());
+    Heat3->exactSolution(H * Opts.Steps, Exact);
+    Out += format("max error vs exact semi-discrete solution: %.3e\n",
+                  Grid::maxAbsDiffInterior(Y, Exact));
+  } else if (auto *Heat2 = dynamic_cast<Heat2DIVP *>(&Problem)) {
+    Grid Exact(Problem.dims(), Problem.halo());
+    Heat2->exactSolution(H * Opts.Steps, Exact);
+    Out += format("max error vs exact semi-discrete solution: %.3e\n",
+                  Grid::maxAbsDiffInterior(Y, Exact));
+  }
+  return 0;
+}
+
+int cmdTuneDb(const std::vector<std::string> &Args, std::string &Out) {
+  if (Args.size() < 3) {
+    Out += "error: tunedb needs a subcommand: build <path> | query <path> "
+           "<method>\n";
+    return 1;
+  }
+  const std::string &Sub = Args[1];
+  const std::string &Path = Args[2];
+
+  if (Sub == "build") {
+    DriverOptions Opts;
+    std::string OptErr = parseOptions(Args, 3, /*NeedStencil=*/false, Opts);
+    if (!OptErr.empty()) {
+      Out += "error: " + OptErr + "\n";
+      return 1;
+    }
+    const MachineModel *M = findMachine(Opts, Out);
+    if (!M)
+      return 1;
+    unsigned Cores = Opts.Cores ? Opts.Cores : M->CoresPerSocket;
+    ECMModel Model(*M);
+    OffsiteTuner Tuner(Model, Cores);
+    TuningDatabase Db;
+    std::vector<std::string> Problems = {"heat2d", "heat3d",
+                                         "reaction-diffusion3d"};
+    for (const ButcherTableau &TB : ButcherTableau::allExplicit())
+      for (const std::string &ProblemName : Problems) {
+        auto IvpOr = ivpByName(ProblemName, Opts.Resolution);
+        if (!IvpOr)
+          continue;
+        IVP &Problem = **IvpOr;
+        std::vector<VariantPrediction> Ranked =
+            Tuner.rank(Tuner.enumerateRK(TB, Problem), Problem);
+        TuningRecord R;
+        R.Machine = M->Name;
+        R.Method = TB.Name;
+        R.Problem = ProblemName;
+        R.Dims = Problem.dims();
+        R.Cores = Cores;
+        R.VariantName = Ranked.front().Variant.Name;
+        R.PredictedSecondsPerStep = Ranked.front().SecondsPerStep;
+        Db.insert(std::move(R));
+      }
+    if (Error E = Db.saveFile(Path)) {
+      Out += "error: " + E.message() + "\n";
+      return 1;
+    }
+    Out += format("tuned %zu (method, problem) pairs on %s at %u cores "
+                  "-> %s (zero kernel executions)\n",
+                  Db.size(), M->Name.c_str(), Cores, Path.c_str());
+    return 0;
+  }
+
+  if (Sub == "query") {
+    if (Args.size() < 4) {
+      Out += "error: tunedb query <path> <method> [options]\n";
+      return 1;
+    }
+    const std::string &Method = Args[3];
+    DriverOptions Opts;
+    std::string OptErr = parseOptions(Args, 4, /*NeedStencil=*/false, Opts);
+    if (!OptErr.empty()) {
+      Out += "error: " + OptErr + "\n";
+      return 1;
+    }
+    const MachineModel *M = findMachine(Opts, Out);
+    if (!M)
+      return 1;
+    unsigned Cores = Opts.Cores ? Opts.Cores : M->CoresPerSocket;
+    auto DbOr = TuningDatabase::loadFile(Path);
+    if (!DbOr) {
+      Out += "error: " + DbOr.takeError().message() + "\n";
+      return 1;
+    }
+    GridDims Dims{Opts.Resolution, Opts.Resolution, Opts.Resolution};
+    if (Opts.IvpName == "heat2d")
+      Dims = {Opts.Resolution * 1, Opts.Resolution, 1};
+    const TuningRecord *R =
+        DbOr->lookup(M->Name, Method, Opts.IvpName, Dims, Cores);
+    bool Nearest = false;
+    if (!R) {
+      R = DbOr->lookupNearest(M->Name, Method, Opts.IvpName, Dims, Cores);
+      Nearest = true;
+    }
+    if (!R) {
+      Out += format("no record for (%s, %s, %s) in %s\n", M->Name.c_str(),
+                    Method.c_str(), Opts.IvpName.c_str(), Path.c_str());
+      return 1;
+    }
+    Out += format("%s: %s (pred %.3g s/step, tuned at %ldx%ldx%ld)%s\n",
+                  Method.c_str(), R->VariantName.c_str(),
+                  R->PredictedSecondsPerStep, R->Dims.Nx, R->Dims.Ny,
+                  R->Dims.Nz, Nearest ? " [nearest size]" : "");
+    return 0;
+  }
+
+  Out += format("error: unknown tunedb subcommand '%s'\n", Sub.c_str());
+  return 1;
+}
+
+const char *UsageText =
+    "usage: yasksite <command> [args]\n"
+    "commands:\n"
+    "  machines                      list built-in machine models\n"
+    "  stencils                      list built-in stencil names\n"
+    "  predict <stencil> [options]   analytic ECM prediction\n"
+    "  tune    <stencil> [options]   model-driven parameter selection\n"
+    "  emit    <stencil> [options]   print generated kernel source\n"
+    "  trace   <stencil> [options]   cache-simulator traffic\n"
+    "  validate <stencil> [options]  model-vs-simulator traffic check\n"
+    "  run     <stencil> [options]   execute (DSL bundle or builtin); "
+    "--sweeps = steps\n"
+    "  ode     <method> [options]    integrate an IVP; --ivp NAME --n N "
+    "--steps N --variant V\n"
+    "  tunedb  build|query <path> .. offline tuning database\n"
+    "  parse   <file.stencil>        parse and summarize a DSL file\n"
+    "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
+    "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n";
+
+} // namespace
+
+int ys::runDriver(const std::vector<std::string> &Args, std::string &Out) {
+  if (Args.empty()) {
+    Out += UsageText;
+    return 1;
+  }
+  const std::string &Cmd = Args[0];
+  if (Cmd == "help" || Cmd == "--help" || Cmd == "-h") {
+    Out += UsageText;
+    return 0;
+  }
+  if (Cmd == "machines")
+    return cmdMachines(Out);
+  if (Cmd == "stencils")
+    return cmdStencils(Out);
+  if (Cmd == "tunedb")
+    return cmdTuneDb(Args, Out);
+  if (Cmd == "parse") {
+    if (Args.size() != 2) {
+      Out += "error: parse needs exactly one file argument\n";
+      return 1;
+    }
+    return cmdParse(Args[1], Out);
+  }
+
+  bool Known = Cmd == "predict" || Cmd == "tune" || Cmd == "emit" ||
+               Cmd == "trace" || Cmd == "run" || Cmd == "ode" ||
+               Cmd == "validate";
+  if (!Known) {
+    Out += format("error: unknown command '%s'\n", Cmd.c_str());
+    Out += UsageText;
+    return 1;
+  }
+
+  DriverOptions Opts;
+  std::string OptErr = parseOptions(Args, 1, /*NeedStencil=*/true, Opts);
+  if (!OptErr.empty()) {
+    Out += "error: " + OptErr + "\n";
+    return 1;
+  }
+  // `run` accepts multi-equation DSL bundles and `ode` takes a method
+  // name, so both resolve their own input.
+  if (Cmd == "run")
+    return cmdRun(Opts, Out);
+  if (Cmd == "ode")
+    return cmdOde(Opts, Out);
+
+  auto SpecOr = resolveStencil(Opts.StencilArg);
+  if (!SpecOr) {
+    Out += "error: " + SpecOr.takeError().message() + "\n";
+    return 1;
+  }
+
+  if (Cmd == "predict")
+    return cmdPredict(Opts, *SpecOr, Out);
+  if (Cmd == "tune")
+    return cmdTune(Opts, *SpecOr, Out);
+  if (Cmd == "emit")
+    return cmdEmit(Opts, *SpecOr, Out);
+  if (Cmd == "validate")
+    return cmdValidate(Opts, *SpecOr, Out);
+  return cmdTrace(Opts, *SpecOr, Out);
+}

@@ -1,0 +1,66 @@
+//===- driver/Driver.h - Command-line driver ---------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line driver behind the `yasksite` tool.  Implemented as a
+/// library (string-in / string-out) so the test suite can exercise every
+/// command without spawning processes.
+///
+/// Commands:
+///   machines                         list built-in machine models
+///   stencils                         list built-in stencil names
+///   predict  <stencil> [options]     ECM prediction
+///   tune     <stencil> [options]     analytic + model-argmax selection
+///   emit     <stencil> [options]     print generated C++ kernel source
+///   trace    <stencil> [options]     cache-simulator traffic
+///   parse    <file.stencil>          parse and summarize a DSL file
+///
+/// Common options: --machine <name> --dims NXxNYxNZ --by N --bz N --bx N
+///   --fold FXxFYxFZ --wf D --cores N --nt --sweeps N
+/// Stencil argument: a built-in name (heat3d, star3d:R, box3d:R,
+/// longrange:RX, heat2d, line1d:R) or a path to a .stencil DSL file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_DRIVER_DRIVER_H
+#define YS_DRIVER_DRIVER_H
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Runs one driver invocation.  \p Args excludes the program name.
+/// Output (and error text) is appended to \p Out.  Returns the process
+/// exit code (0 == success).
+int runDriver(const std::vector<std::string> &Args, std::string &Out);
+
+/// \name Argument-resolution helpers (exposed for tests).
+/// @{
+
+/// Resolves a stencil argument: built-in name, parameterized builtin
+/// ("star3d:2"), or a .stencil DSL file path.
+Expected<StencilSpec> resolveStencil(const std::string &Arg);
+
+/// Parses grid dims: "N" (an N^3 cube) or the explicit "NXxNYxNZ".
+Expected<GridDims> parseDims(const std::string &Arg);
+
+/// Parses "FXxFYxFZ".
+Expected<Fold> parseFold(const std::string &Arg);
+
+/// Names of all built-in stencils the driver accepts.
+std::vector<std::string> builtinStencilNames();
+
+/// @}
+
+} // namespace ys
+
+#endif // YS_DRIVER_DRIVER_H

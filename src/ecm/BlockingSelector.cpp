@@ -1,0 +1,99 @@
+//===- ecm/BlockingSelector.cpp - Analytic blocking selection --------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/BlockingSelector.h"
+
+#include <algorithm>
+
+using namespace ys;
+
+BlockingChoice BlockingSelector::selectAnalytic(
+    const StencilSpec &Spec, const GridDims &Dims, const KernelConfig &Base,
+    int TargetLevel, unsigned ActiveCores) const {
+  const MachineModel &M = Model.machine();
+  unsigned Level = TargetLevel >= 0
+                       ? static_cast<unsigned>(TargetLevel)
+                       : (M.numLevels() >= 2 ? M.numLevels() - 2 : 0);
+
+  KernelConfig Config = Base;
+  Config.Block = BlockSize(); // x/z unblocked.
+  long By = Model.layerConditions().maxPlaneBlockY(Spec, Dims, Level,
+                                                   ActiveCores);
+  if (By >= Dims.Ny)
+    Config.Block = BlockSize(); // Whole grid satisfies the LC: no blocking.
+  else if (By >= 1)
+    Config.Block.Y = By;
+  else
+    Config.Block.Y = 1; // Even one row over-commits; keep minimal blocking.
+
+  BlockingChoice Choice;
+  Choice.Config = Config;
+  Choice.Prediction = Model.predict(Spec, Dims, Config, ActiveCores);
+  Choice.CandidatesEvaluated = 1;
+  return Choice;
+}
+
+std::vector<KernelConfig> BlockingSelector::candidateSpace(
+    const GridDims &Dims, const KernelConfig &Base, bool EnableWavefront) {
+  std::vector<KernelConfig> Space;
+
+  std::vector<long> YBlocks = {0, 4, 8, 16, 32, 64, 128, 256};
+  std::vector<long> ZBlocks = {0, 8, 32, 128};
+  for (long By : YBlocks) {
+    if (By > Dims.Ny)
+      continue;
+    for (long Bz : ZBlocks) {
+      if (Bz > Dims.Nz)
+        continue;
+      KernelConfig C = Base;
+      C.Block = BlockSize();
+      C.Block.Y = By;
+      C.Block.Z = Bz;
+      C.WavefrontDepth = 1;
+      Space.push_back(C);
+      if (EnableWavefront && Bz > 0)
+        for (int Depth : {2, 4, 8}) {
+          KernelConfig W = C;
+          W.WavefrontDepth = Depth;
+          Space.push_back(W);
+        }
+    }
+  }
+  return Space;
+}
+
+BlockingChoice BlockingSelector::selectBest(const StencilSpec &Spec,
+                                            const GridDims &Dims,
+                                            const KernelConfig &Base,
+                                            bool EnableWavefront,
+                                            unsigned ActiveCores) const {
+  std::vector<KernelConfig> Space =
+      candidateSpace(Dims, Base, EnableWavefront);
+
+  BlockingChoice Best;
+  bool HaveBest = false;
+  for (const KernelConfig &C : Space) {
+    ECMPrediction P = Model.predict(Spec, Dims, C, ActiveCores);
+    // Rank by saturated (socket-level) performance first, then by
+    // single-core performance as the tie-break — the paper tunes for the
+    // full chip.
+    bool Better = !HaveBest;
+    if (HaveBest) {
+      if (P.MLupsSaturated > Best.Prediction.MLupsSaturated * 1.001)
+        Better = true;
+      else if (P.MLupsSaturated > Best.Prediction.MLupsSaturated * 0.999 &&
+               P.MLupsSingleCore > Best.Prediction.MLupsSingleCore)
+        Better = true;
+    }
+    if (Better) {
+      Best.Config = C;
+      Best.Prediction = P;
+      HaveBest = true;
+    }
+  }
+  Best.CandidatesEvaluated = static_cast<unsigned>(Space.size());
+  return Best;
+}

@@ -1,0 +1,70 @@
+//===- ecm/BlockingSelector.h - Analytic blocking selection ------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-driven selection of cache-blocking (and wavefront) parameters —
+/// the paper's "identify optimal performance parameters analytically
+/// without the need to run the code".  Two entry points:
+///
+///  * selectAnalytic: closed-form layer-condition solve — pick the largest
+///    y-block for which plane reuse holds at the target cache level.
+///  * selectBest: evaluate the ECM model over a small structured candidate
+///    set (block sizes, optional wavefront depths) and return the argmax.
+///
+/// Both run in microseconds and require zero kernel executions; they are
+/// what the ModelGuided tuning strategy calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ECM_BLOCKINGSELECTOR_H
+#define YS_ECM_BLOCKINGSELECTOR_H
+
+#include "ecm/ECMModel.h"
+
+#include <vector>
+
+namespace ys {
+
+/// Result of a model-driven parameter selection.
+struct BlockingChoice {
+  KernelConfig Config;
+  ECMPrediction Prediction;
+  unsigned CandidatesEvaluated = 0; ///< Model evaluations performed.
+};
+
+/// Selects kernel parameters with the ECM model only.
+class BlockingSelector {
+public:
+  explicit BlockingSelector(const ECMModel &Model) : Model(Model) {}
+
+  /// Closed-form layer-condition choice: x unblocked, z unblocked, y-block
+  /// sized so plane reuse holds at cache level \p TargetLevel (default:
+  /// the second-highest level, i.e. L2 on the modeled machines).
+  BlockingChoice selectAnalytic(const StencilSpec &Spec, const GridDims &Dims,
+                                const KernelConfig &Base,
+                                int TargetLevel = -1,
+                                unsigned ActiveCores = 1) const;
+
+  /// Model-argmax over a structured candidate set.  \p EnableWavefront
+  /// adds temporal depths {2,4,8} to the space.
+  BlockingChoice selectBest(const StencilSpec &Spec, const GridDims &Dims,
+                            const KernelConfig &Base,
+                            bool EnableWavefront = false,
+                            unsigned ActiveCores = 1) const;
+
+  /// The structured candidate set used by selectBest (also consumed by the
+  /// measuring tuners so every strategy searches the same space).
+  static std::vector<KernelConfig> candidateSpace(const GridDims &Dims,
+                                                  const KernelConfig &Base,
+                                                  bool EnableWavefront);
+
+private:
+  const ECMModel &Model;
+};
+
+} // namespace ys
+
+#endif // YS_ECM_BLOCKINGSELECTOR_H

@@ -1,0 +1,123 @@
+//===- ecm/ECMModel.cpp - Execution-Cache-Memory model ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/ECMModel.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ys;
+
+double ECMPrediction::mlupsAtCores(unsigned Cores) const {
+  if (Cores == 0)
+    Cores = 1;
+  double Linear = MLupsSingleCore * Cores;
+  if (TMem <= 0.0)
+    return Linear; // Cache-resident: no bandwidth ceiling in the model.
+  return std::min(Linear, MLupsSaturated);
+}
+
+std::string ECMPrediction::str() const {
+  std::vector<std::string> Terms;
+  for (double T : TData)
+    Terms.push_back(format("%.1f", T));
+  return format("{%.1f || %.1f | %s} = %.1f cy/CL (%.0f MLUP/s 1c, "
+                "sat %u cores @ %.0f MLUP/s)",
+                InCore.TOL, InCore.TnOL, join(Terms, " | ").c_str(), TECM,
+                MLupsSingleCore, SaturationCores, MLupsSaturated);
+}
+
+ECMPrediction ECMModel::predict(const StencilSpec &Spec, const GridDims &Dims,
+                                const KernelConfig &Config,
+                                unsigned ActiveCoresPerSharedCache) const {
+  ECMPrediction P;
+  P.InCore = InCore.analyze(Spec, Config);
+  P.Traffic = LC.analyze(Spec, Dims, Config, ActiveCoresPerSharedCache);
+  if (Config.WavefrontDepth > 1)
+    applyWavefront(Spec, Dims, Config, ActiveCoresPerSharedCache, P.Traffic);
+
+  const double BytesPerCL = 8.0; // LUPs per cache line of results.
+  for (unsigned I = 0; I < Machine.numLevels(); ++I) {
+    double BoundaryBW = I + 1 < Machine.numLevels()
+                            ? Machine.level(I).BytesPerCycleToNext
+                            : Machine.memBytesPerCycle();
+    double BytesPerLine = P.Traffic.BytesPerLup[I] * BytesPerCL;
+    P.TData.push_back(BytesPerLine / BoundaryBW);
+  }
+
+  if (Overlap == TransferOverlap::None) {
+    double TransferSum = 0;
+    for (double T : P.TData)
+      TransferSum += T;
+    P.TECM = std::max(P.InCore.TOL, P.InCore.TnOL + TransferSum);
+  } else {
+    double MaxTerm = std::max(P.InCore.TOL, P.InCore.TnOL);
+    for (double T : P.TData)
+      MaxTerm = std::max(MaxTerm, T);
+    P.TECM = MaxTerm;
+  }
+  P.CyclesPerLup = P.TECM / 8.0;
+
+  double FreqGHz = Machine.Core.FrequencyGHz;
+  P.MLupsSingleCore = 8.0 * FreqGHz * 1e3 / P.TECM;
+
+  P.TMem = P.TData.back();
+  if (P.TMem > 0.0) {
+    P.SaturationCores = static_cast<unsigned>(std::ceil(P.TECM / P.TMem));
+    P.SaturationCores =
+        std::min(std::max(P.SaturationCores, 1u), Machine.CoresPerSocket);
+    P.MLupsSaturated = 8.0 * FreqGHz * 1e3 / P.TMem;
+  } else {
+    P.SaturationCores = Machine.CoresPerSocket;
+    P.MLupsSaturated = P.MLupsSingleCore * Machine.CoresPerSocket;
+  }
+  return P;
+}
+
+void ECMModel::applyWavefront(const StencilSpec &Spec, const GridDims &Dims,
+                              const KernelConfig &Config,
+                              unsigned ActiveCoresPerSharedCache,
+                              TrafficPrediction &Traffic) const {
+  (void)ActiveCoresPerSharedCache;
+  int Depth = Config.WavefrontDepth;
+  int R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+  long Bz = std::max<long>(B.Z, R + 1);
+
+  // At steady state the frontiers are spaced ~R planes apart and each
+  // advances by Bz per wave, so the live region spans Depth*R + 2*Bz
+  // planes in both time-level buffers.  The window is cooperatively
+  // shared: all threads work inside one wavefront, so the full shared
+  // last-level capacity (one window per cache instance) applies — no
+  // per-core derating and no LC safety factor (the window is the only
+  // tenant).
+  unsigned long long WindowPlanes =
+      static_cast<unsigned long long>(Depth) * R + 2ull * Bz;
+  unsigned long long WorkingSet =
+      2ull * WindowPlanes * Dims.Nx * Dims.Ny * 8;
+
+  unsigned Last = Machine.lastLevel();
+  if (WorkingSet > Machine.level(Last).SizeBytes)
+    return; // Window spills: temporal reuse lost, keep per-sweep traffic.
+
+  // With the window cache-resident, memory sees per macro step and cell:
+  // a fill of the source buffer (8 B), a write-allocate fill of the
+  // destination buffer (8 B) and both buffers written back (16 B) — 32 B
+  // per Depth LUPs.  Streaming stores are not applicable inside the
+  // wavefront (intermediate values are reused from cache).
+  double WavefrontBytes = 32.0 / Depth;
+  double &MemBytes = Traffic.BytesPerLup.back();
+  MemBytes = std::min(MemBytes, WavefrontBytes);
+}
+
+double ECMModel::predictedSeconds(const ECMPrediction &P, const GridDims &Dims,
+                                  double Sweeps, unsigned Cores) const {
+  double Lups = static_cast<double>(Dims.lups()) * Sweeps;
+  double Rate = P.mlupsAtCores(Cores) * 1e6;
+  return Lups / Rate;
+}

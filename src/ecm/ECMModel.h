@@ -1,0 +1,107 @@
+//===- ecm/ECMModel.h - Execution-Cache-Memory model -------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Execution-Cache-Memory (ECM) performance model, the analytic engine
+/// of YaskSite: combines the in-core time with the per-boundary transfer
+/// times derived from layer conditions into a single-core cycle prediction,
+/// then scales across cores up to the memory-bandwidth saturation point.
+/// A temporal-wavefront extension rescales the memory-boundary traffic for
+/// depth-d temporal blocking in a shared cache.
+///
+/// Units: cycles per cache line of results (8 double LUPs), converted to
+/// MLUP/s with the core frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ECM_ECMMODEL_H
+#define YS_ECM_ECMMODEL_H
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelConfig.h"
+#include "ecm/InCoreModel.h"
+#include "ecm/LayerCondition.h"
+#include "stencil/StencilSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// A complete ECM prediction for one kernel configuration.
+struct ECMPrediction {
+  InCoreTime InCore;
+  TrafficPrediction Traffic;
+
+  /// Transfer cycles per cache line for each boundary (last == memory).
+  std::vector<double> TData;
+
+  double TECM = 0;         ///< Single-core cycles per cache line.
+  double CyclesPerLup = 0; ///< TECM / 8.
+  double MLupsSingleCore = 0;
+
+  double TMem = 0;             ///< Memory-boundary term (cycles/CL).
+  unsigned SaturationCores = 1; ///< n_sat = ceil(TECM / TMem).
+  double MLupsSaturated = 0;   ///< Memory-bandwidth-bound performance.
+
+  /// Performance at a given core count (linear scaling until saturation).
+  double mlupsAtCores(unsigned Cores) const;
+
+  /// Classic ECM notation: "{TOL || TnOL | TL1L2 | TL2L3 | TL3Mem} cy/CL".
+  std::string str() const;
+};
+
+/// How inter-level transfers compose into the single-core time.
+enum class TransferOverlap {
+  /// Classic Intel convention: transfers serialize,
+  /// TECM = max(TOL, TnOL + sum T_i).
+  None,
+  /// Phenomenological full-overlap variant (observed on some AMD parts):
+  /// TECM = max(TOL, TnOL, T_0, ..., T_mem).
+  Full,
+};
+
+/// The ECM model bound to one machine.
+class ECMModel {
+public:
+  explicit ECMModel(const MachineModel &Machine, double LCSafetyFactor = 0.5,
+                    TransferOverlap Overlap = TransferOverlap::None)
+      : Machine(Machine), InCore(Machine), LC(Machine, LCSafetyFactor),
+        Overlap(Overlap) {}
+
+  /// Predicts one sweep of \p Spec over \p Dims under \p Config.
+  /// \p ActiveCoresPerSharedCache models shared-cache pressure (pass the
+  /// number of cores that will actually run; 1 for single-core analysis).
+  ECMPrediction predict(const StencilSpec &Spec, const GridDims &Dims,
+                        const KernelConfig &Config,
+                        unsigned ActiveCoresPerSharedCache = 1) const;
+
+  const MachineModel &machine() const { return Machine; }
+  const LayerConditionAnalysis &layerConditions() const { return LC; }
+
+  /// Seconds to perform \p Sweeps sweeps over \p Dims at \p Cores cores,
+  /// from the prediction (used by Offsite to rank ODE variants).
+  double predictedSeconds(const ECMPrediction &P, const GridDims &Dims,
+                          double Sweeps, unsigned Cores) const;
+
+private:
+  /// Applies the temporal-wavefront traffic rescaling when
+  /// Config.WavefrontDepth > 1 and the wavefront working set fits the
+  /// outermost shared cache.
+  void applyWavefront(const StencilSpec &Spec, const GridDims &Dims,
+                      const KernelConfig &Config,
+                      unsigned ActiveCoresPerSharedCache,
+                      TrafficPrediction &Traffic) const;
+
+  const MachineModel &Machine;
+  InCoreModel InCore;
+  LayerConditionAnalysis LC;
+  TransferOverlap Overlap;
+};
+
+} // namespace ys
+
+#endif // YS_ECM_ECMMODEL_H

@@ -1,0 +1,114 @@
+//===- ecm/InCoreModel.cpp - ECM in-core execution model -------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/InCoreModel.h"
+
+#include "codegen/VectorFold.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ys;
+
+std::string InCoreTime::str() const {
+  return format("TOL=%.2f TnOL=%.2f (fma=%.1f arith=%.1f ld=%.1f st=%.1f "
+                "per %.1f vec iters)",
+                TOL, TnOL, FmaOps, ArithOps, LoadOps, StoreOps, VectorIters);
+}
+
+InCoreTime InCoreModel::analyze(const StencilSpec &Spec,
+                                const KernelConfig &Config) const {
+  const CoreModel &Core = Machine.Core;
+  InCoreTime T;
+
+  // Exploited SIMD width: the fold's element count, clamped to the
+  // machine's register width.  A scalar layout models unvectorized code.
+  unsigned VecElems = static_cast<unsigned>(
+      std::min<long>(Config.VectorFold.elems(), Core.simdDoubles()));
+  if (VecElems == 0)
+    VecElems = 1;
+
+  const double LupsPerCL = 8.0; // 64-byte line of doubles.
+  T.VectorIters = LupsPerCL / static_cast<double>(VecElems);
+
+  // Arithmetic: fuse min(muls, adds) into FMAs when the core has FMA ports.
+  double Muls = Spec.mulsPerLup();
+  double Adds = Spec.addsPerLup() + Spec.ExtraFlopsPerLup;
+  double Fused = Core.FmaPorts > 0 ? std::min(Muls, Adds) : 0.0;
+  double Remaining = (Muls - Fused) + (Adds - Fused);
+  T.FmaOps = Fused * T.VectorIters;
+  T.ArithOps = Remaining * T.VectorIters;
+  // FMA and plain SIMD arithmetic share the same ports on all modeled
+  // cores, so the bound is total ops over port count.
+  double Ports = std::max(1u, std::max(Core.FmaPorts, Core.ArithPorts));
+  T.TOL = (T.FmaOps + T.ArithOps) / Ports;
+
+  // Loads: one vector load per distinct folded vector touched per result
+  // vector.  For the scalar fold this equals the point count; good folds
+  // make stencil points share vectors.
+  double LoadsPerVec = static_cast<double>(
+      VectorFold::touchedVectors(Spec, Config.VectorFold));
+  T.LoadOps = LoadsPerVec * T.VectorIters;
+  T.StoreOps = std::max(1u, Spec.OutputGrids) * T.VectorIters;
+
+  double LoadCycles =
+      T.LoadOps / std::max(1u, Core.LoadPorts) * Core.CyclesPerSimdMemOp;
+  double StoreCycles =
+      T.StoreOps / std::max(1u, Core.StorePorts) * Core.CyclesPerSimdMemOp;
+  // Loads and stores issue on independent ports; the L1 bound is the
+  // busiest port (the standard ECM / kerncraft convention).
+  T.TnOL = std::max(LoadCycles, StoreCycles);
+  return T;
+}
+
+std::string InCoreModel::emitPseudoAsm(const StencilSpec &Spec,
+                                       const KernelConfig &Config) const {
+  InCoreTime T = analyze(Spec, Config);
+  unsigned VecElems = static_cast<unsigned>(
+      std::min<long>(Config.VectorFold.elems(), Machine.Core.simdDoubles()));
+  if (VecElems == 0)
+    VecElems = 1;
+
+  std::string Out;
+  Out += format("; %s on %s, fold %s (%u doubles/vector)\n",
+                Spec.name().c_str(), Machine.Name.c_str(),
+                Config.VectorFold.str().c_str(), VecElems);
+  Out += "; one result vector:\n";
+
+  unsigned Reg = 0;
+  unsigned LoadsPerVec = static_cast<unsigned>(T.LoadOps / T.VectorIters);
+  for (unsigned L = 0; L < LoadsPerVec; ++L)
+    Out += format("  vload   v%u, [in + off%u]        ; port LD%u\n", Reg++,
+                  L, L % std::max(1u, Machine.Core.LoadPorts));
+
+  unsigned Fma = static_cast<unsigned>(T.FmaOps / T.VectorIters + 0.5);
+  unsigned Arith = static_cast<unsigned>(T.ArithOps / T.VectorIters + 0.5);
+  unsigned Acc = Reg;
+  Out += format("  vxor    v%u, v%u, v%u            ; acc = 0\n", Acc, Acc,
+                Acc);
+  for (unsigned F = 0; F < Fma; ++F)
+    Out += format("  vfmadd  v%u, v%u, c%u            ; port FMA%u\n", Acc,
+                  F % std::max(1u, LoadsPerVec), F,
+                  F % std::max(1u, Machine.Core.FmaPorts));
+  for (unsigned A = 0; A < Arith; ++A)
+    Out += format("  vaddpd  v%u, v%u, v%u            ; port FMA%u\n", Acc,
+                  Acc, A % std::max(1u, LoadsPerVec),
+                  A % std::max(1u, Machine.Core.FmaPorts));
+  Out += format("  %s  [out], v%u             ; port ST0\n",
+                Config.StreamingStores ? "vmovnt" : "vstore", Acc);
+
+  Out += format("; per cache line (8 LUPs): %.1f vector iterations\n",
+                T.VectorIters);
+  Out += format("; port pressure: FMA %.1f cy, LD %.1f cy, ST %.1f cy\n",
+                T.TOL,
+                T.LoadOps / std::max(1u, Machine.Core.LoadPorts) *
+                    Machine.Core.CyclesPerSimdMemOp,
+                T.StoreOps / std::max(1u, Machine.Core.StorePorts) *
+                    Machine.Core.CyclesPerSimdMemOp);
+  Out += format("; T_OL = %.1f cy, T_nOL = %.1f cy\n", T.TOL, T.TnOL);
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- ecm/InCoreModel.h - ECM in-core execution model -----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-core half of the ECM model: how many cycles one cache line of
+/// stencil results (8 double LUPs) costs in arithmetic (T_OL, overlapping
+/// with data transfers) and in L1 load/store ports (T_nOL, non-overlapping),
+/// assuming the data is in L1.  SIMD width is taken from the kernel's
+/// vector fold, so the scalar layout models unvectorized code and folding
+/// reduces the load count via inter-point vector reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ECM_INCOREMODEL_H
+#define YS_ECM_INCOREMODEL_H
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+
+#include <string>
+
+namespace ys {
+
+/// In-core cycle counts per cache line (8 LUPs) of results.
+struct InCoreTime {
+  double TOL = 0;   ///< Arithmetic cycles (overlap with transfers).
+  double TnOL = 0;  ///< L1 load/store port cycles (never overlap).
+  // Instruction-count breakdown (per cache line of results):
+  double VectorIters = 0; ///< SIMD iterations per cache line.
+  double FmaOps = 0;
+  double ArithOps = 0; ///< Non-fused adds/muls.
+  double LoadOps = 0;
+  double StoreOps = 0;
+
+  std::string str() const;
+};
+
+/// Computes InCoreTime for a stencil on a machine under a kernel config.
+class InCoreModel {
+public:
+  explicit InCoreModel(const MachineModel &Machine) : Machine(Machine) {}
+
+  /// \p Config contributes the vector fold (SIMD width actually exploited)
+  /// and streaming-store selection.
+  InCoreTime analyze(const StencilSpec &Spec,
+                     const KernelConfig &Config) const;
+
+  /// Renders the modeled instruction stream of one result vector as
+  /// annotated pseudo-assembly (vector loads, the FMA chain, the store),
+  /// with the port-pressure summary the cycle estimate derives from —
+  /// the explanatory artifact IACA/OSACA produce in the published ECM
+  /// workflow.
+  std::string emitPseudoAsm(const StencilSpec &Spec,
+                            const KernelConfig &Config) const;
+
+private:
+  const MachineModel &Machine;
+};
+
+} // namespace ys
+
+#endif // YS_ECM_INCOREMODEL_H

@@ -1,0 +1,154 @@
+//===- ecm/LayerCondition.cpp - Layer-condition traffic analysis -----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/LayerCondition.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace ys;
+
+std::string TrafficPrediction::str() const {
+  std::vector<std::string> Parts;
+  for (size_t I = 0; I < BytesPerLup.size(); ++I)
+    Parts.push_back(format("B%zu=%.1f", I, BytesPerLup[I]));
+  std::string Reuse;
+  for (ReuseClass R : LevelReuse)
+    Reuse += R == ReuseClass::Plane ? 'P' : (R == ReuseClass::Row ? 'R' : '-');
+  return join(Parts, " ") + " reuse=" + Reuse;
+}
+
+unsigned long long LayerConditionAnalysis::effectiveCapacity(
+    unsigned Level, unsigned ActiveCoresPerSharedCache) const {
+  const CacheLevelModel &L = Machine.level(Level);
+  double Capacity = static_cast<double>(L.SizeBytes) * SafetyFactor;
+  if (L.Shared && ActiveCoresPerSharedCache > 1)
+    Capacity /= std::min(ActiveCoresPerSharedCache, L.SharingCores);
+  return static_cast<unsigned long long>(Capacity);
+}
+
+namespace {
+
+/// Per-dimension maximum absolute offsets of a spec.
+struct Radii {
+  int Rx = 0, Ry = 0, Rz = 0;
+};
+
+Radii radiiOf(const StencilSpec &Spec) {
+  Radii R;
+  for (const StencilPoint &P : Spec.points()) {
+    R.Rx = std::max(R.Rx, std::abs(P.Dx));
+    R.Ry = std::max(R.Ry, std::abs(P.Dy));
+    R.Rz = std::max(R.Rz, std::abs(P.Dz));
+  }
+  return R;
+}
+
+} // namespace
+
+TrafficPrediction LayerConditionAnalysis::analyze(
+    const StencilSpec &Spec, const GridDims &Dims, const KernelConfig &Config,
+    unsigned ActiveCoresPerSharedCache) const {
+  TrafficPrediction Out;
+  BlockSize B = Config.Block.resolved(Dims);
+  Radii R = radiiOf(Spec);
+  unsigned NumGrids = Spec.numInputGrids();
+
+  // Stream counts per reuse class.
+  double PlaneStreams = 0, RowStreams = 0, NoneStreams = 0;
+  unsigned long long SumPlanes = 0, SumRows = 0;
+  for (unsigned G = 0; G < NumGrids; ++G) {
+    unsigned long long Pz = Spec.planeOffsets(G).size();
+    unsigned long long Rows = Spec.rowOffsets(G).size();
+    PlaneStreams += 1.0;
+    RowStreams += static_cast<double>(Pz);
+    NoneStreams += static_cast<double>(Rows);
+    SumPlanes += Pz;
+    SumRows += Rows;
+  }
+
+  // Footprints for the whole kernel (inputs plus the outputs' own planes /
+  // rows, which compete for capacity).
+  unsigned Outs = std::max(1u, Spec.OutputGrids);
+  Out.PlaneFootprintBytes =
+      (SumPlanes + Outs) * static_cast<unsigned long long>(B.X) * B.Y * 8;
+  Out.RowFootprintBytes =
+      (SumRows + Outs) * static_cast<unsigned long long>(B.X) * 8;
+
+  // Halo-reload factor of spatial blocking (inputs only): each block
+  // re-reads its neighbors' halo layers.  The factor is additive traffic
+  // only at levels counting each element once (plane reuse); at row/none
+  // levels the per-stream counts already include the halo re-reads, and a
+  // plane-reuse level holding two adjacent block windows retains the halo
+  // across blocks (validated against the cache simulator; see E4).
+  double HaloFactor = 1.0;
+  if (B.X < Dims.Nx && R.Rx > 0)
+    HaloFactor *= static_cast<double>(B.X + 2 * R.Rx) / B.X;
+  if (B.Y < Dims.Ny && R.Ry > 0)
+    HaloFactor *= static_cast<double>(B.Y + 2 * R.Ry) / B.Y;
+  if (B.Z < Dims.Nz && R.Rz > 0)
+    HaloFactor *= static_cast<double>(B.Z + 2 * R.Rz) / B.Z;
+
+  double OutputBytes = (Config.StreamingStores ? 8.0 : 16.0) * Outs;
+
+  // Steady-state residency: when the kernel's whole working set (all
+  // input and output grids) fits in a level, only cold misses cross the
+  // outer boundaries — per-sweep traffic there is ~0.
+  unsigned long long WorkingSetBytes =
+      static_cast<unsigned long long>(NumGrids + Outs) * Dims.Nx *
+      Dims.Ny * Dims.Nz * 8;
+
+  double PrevBytes = -1.0;
+  for (unsigned Level = 0; Level < Machine.numLevels(); ++Level) {
+    unsigned long long Cap =
+        effectiveCapacity(Level, ActiveCoresPerSharedCache);
+    if (WorkingSetBytes <= Cap) {
+      Out.LevelReuse.push_back(ReuseClass::Plane);
+      Out.BytesPerLup.push_back(0.0);
+      PrevBytes = 0.0;
+      continue;
+    }
+    ReuseClass Reuse = ReuseClass::None;
+    if (Cap >= Out.PlaneFootprintBytes)
+      Reuse = ReuseClass::Plane;
+    else if (Cap >= Out.RowFootprintBytes)
+      Reuse = ReuseClass::Row;
+    Out.LevelReuse.push_back(Reuse);
+
+    bool HaloApplies = Reuse == ReuseClass::Plane &&
+                       Cap < 2 * Out.PlaneFootprintBytes;
+    double Streams = Reuse == ReuseClass::Plane
+                         ? PlaneStreams
+                         : (Reuse == ReuseClass::Row ? RowStreams
+                                                     : NoneStreams);
+    double Bytes =
+        Streams * 8.0 * (HaloApplies ? HaloFactor : 1.0) + OutputBytes;
+    // Outward traffic can never exceed the traffic arriving from inside.
+    if (PrevBytes >= 0.0)
+      Bytes = std::min(Bytes, PrevBytes);
+    Out.BytesPerLup.push_back(Bytes);
+    PrevBytes = Bytes;
+  }
+  return Out;
+}
+
+long LayerConditionAnalysis::maxPlaneBlockY(
+    const StencilSpec &Spec, const GridDims &Dims, unsigned Level,
+    unsigned ActiveCoresPerSharedCache) const {
+  unsigned long long SumPlanes = 0;
+  for (unsigned G = 0; G < Spec.numInputGrids(); ++G)
+    SumPlanes += Spec.planeOffsets(G).size();
+  unsigned long long Cap = effectiveCapacity(Level, ActiveCoresPerSharedCache);
+  unsigned long long PerRowBytes =
+      (SumPlanes + std::max(1u, Spec.OutputGrids)) * 8ull * Dims.Nx;
+  if (PerRowBytes == 0)
+    return 0;
+  long By = static_cast<long>(Cap / PerRowBytes);
+  return std::min<long>(By, Dims.Ny);
+}

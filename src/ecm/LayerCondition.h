@@ -1,0 +1,97 @@
+//===- ecm/LayerCondition.h - Layer-condition traffic analysis ---*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layer-condition (LC) analysis: for each cache level, decide analytically
+/// how much of a stencil's reuse that level can serve, yielding the data
+/// volume crossing each boundary of the hierarchy per lattice update.
+/// This is the mechanism that lets YaskSite pick blocking parameters
+/// without running the code: block sizes enter the LC footprints, and the
+/// predicted traffic feeds the ECM transfer terms.
+///
+/// Reuse granularities per input grid, checked per level (effective
+/// capacity = size * SafetyFactor, halved per additional active core group
+/// when shared):
+///   plane reuse: the level holds all distinct z-planes of the block
+///                -> one load stream per grid (each element loaded once);
+///   row reuse:   the level holds all distinct rows of the block
+///                -> one load stream per distinct z-plane offset;
+///   none:        one load stream per distinct (dy, dz) row offset.
+/// Output grids add a store plus (without streaming stores) a
+/// write-allocate stream at every boundary.  Spatial blocking multiplies
+/// input traffic by the halo-reload factor of each blocked dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ECM_LAYERCONDITION_H
+#define YS_ECM_LAYERCONDITION_H
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Which reuse level a cache level sustains.
+enum class ReuseClass {
+  None = 0,
+  Row = 1,
+  Plane = 2,
+};
+
+/// Traffic prediction across all boundaries.
+struct TrafficPrediction {
+  /// Bytes per LUP crossing boundary I (0 == L1<->L2, last == memory).
+  std::vector<double> BytesPerLup;
+
+  /// Reuse class sustained by each cache level.
+  std::vector<ReuseClass> LevelReuse;
+
+  /// Footprints (bytes) required for plane/row reuse given the block.
+  unsigned long long PlaneFootprintBytes = 0;
+  unsigned long long RowFootprintBytes = 0;
+
+  std::string str() const;
+};
+
+/// Performs layer-condition analysis against a machine model.
+class LayerConditionAnalysis {
+public:
+  /// \p SafetyFactor derates cache capacity for associativity conflicts
+  /// and concurrent streams (0.5 is the standard LC choice).
+  explicit LayerConditionAnalysis(const MachineModel &Machine,
+                                  double SafetyFactor = 0.5)
+      : Machine(Machine), SafetyFactor(SafetyFactor) {}
+
+  /// Predicts per-boundary traffic for one sweep of \p Spec over \p Dims
+  /// under \p Config.  \p ActiveCoresPerSharedCache scales shared levels
+  /// (1 == single-core run owning the whole shared cache).
+  TrafficPrediction analyze(const StencilSpec &Spec, const GridDims &Dims,
+                            const KernelConfig &Config,
+                            unsigned ActiveCoresPerSharedCache = 1) const;
+
+  /// Effective capacity of cache level \p Level in bytes.
+  unsigned long long effectiveCapacity(
+      unsigned Level, unsigned ActiveCoresPerSharedCache) const;
+
+  /// Largest y-block extent (x unblocked, z block \p Bz) for which plane
+  /// reuse holds at cache level \p Level — the closed-form selection the
+  /// analytic tuner uses.  Returns 0 when even a single row is too large.
+  long maxPlaneBlockY(const StencilSpec &Spec, const GridDims &Dims,
+                      unsigned Level,
+                      unsigned ActiveCoresPerSharedCache = 1) const;
+
+private:
+  const MachineModel &Machine;
+  double SafetyFactor;
+};
+
+} // namespace ys
+
+#endif // YS_ECM_LAYERCONDITION_H

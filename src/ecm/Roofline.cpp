@@ -1,0 +1,46 @@
+//===- ecm/Roofline.cpp - Roofline baseline model ---------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/Roofline.h"
+
+#include <algorithm>
+
+using namespace ys;
+
+RooflinePrediction RooflineModel::predict(const StencilSpec &Spec,
+                                          const GridDims &Dims,
+                                          const KernelConfig &Config,
+                                          unsigned Cores) const {
+  RooflinePrediction P;
+  if (Cores == 0)
+    Cores = 1;
+
+  P.FlopsPerLup = Spec.flopsPerLup();
+  TrafficPrediction Traffic =
+      LC.analyze(Spec, Dims, Config, std::max(1u, Cores));
+  P.BytesPerLup = Traffic.BytesPerLup.back();
+  P.ArithmeticIntensity =
+      P.BytesPerLup > 0 ? P.FlopsPerLup / P.BytesPerLup : 1e9;
+
+  // Arithmetic peak: FMA ports x SIMD width x 2 flops, derated to the
+  // kernel's exploitable SIMD width (its fold).
+  const CoreModel &Core = Machine.Core;
+  unsigned VecElems = static_cast<unsigned>(std::min<long>(
+      Config.VectorFold.elems(), Core.simdDoubles()));
+  if (VecElems == 0)
+    VecElems = 1;
+  P.PeakGflops = Cores * Core.FrequencyGHz * Core.FmaPorts * VecElems * 2.0;
+
+  double BandwidthGBs = Machine.Memory.BandwidthGBs;
+  P.MemGflops = P.BytesPerLup > 0
+                    ? BandwidthGBs * P.ArithmeticIntensity
+                    : P.PeakGflops;
+
+  P.Gflops = std::min(P.PeakGflops, P.MemGflops);
+  P.MemoryBound = P.MemGflops < P.PeakGflops;
+  P.Mlups = P.FlopsPerLup > 0 ? P.Gflops * 1e3 / P.FlopsPerLup : 0;
+  return P;
+}

@@ -1,0 +1,60 @@
+//===- ecm/Roofline.h - Roofline baseline model ------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic roofline model as a baseline for the ECM model: performance
+/// is min(peak arithmetic, bandwidth / code balance).  Rooflines have no
+/// notion of the cache hierarchy's transfer chain, which is exactly what
+/// the ECM model adds — the E11 ablation quantifies the difference on the
+/// paper platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ECM_ROOFLINE_H
+#define YS_ECM_ROOFLINE_H
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelConfig.h"
+#include "ecm/LayerCondition.h"
+#include "stencil/StencilSpec.h"
+
+namespace ys {
+
+/// A roofline prediction for one kernel.
+struct RooflinePrediction {
+  double FlopsPerLup = 0;
+  double BytesPerLup = 0;        ///< Memory code balance (from the LC).
+  double ArithmeticIntensity = 0; ///< flops / byte.
+  double PeakGflops = 0;         ///< Socket arithmetic peak at N cores.
+  double MemGflops = 0;          ///< Bandwidth-limited flop rate.
+  double Gflops = 0;             ///< min of the two roofs.
+  double Mlups = 0;
+  bool MemoryBound = false;
+};
+
+/// Roofline model bound to a machine.
+class RooflineModel {
+public:
+  explicit RooflineModel(const MachineModel &Machine,
+                         double LCSafetyFactor = 0.5)
+      : Machine(Machine), LC(Machine, LCSafetyFactor) {}
+
+  /// Predicts performance at \p Cores cores.  Memory code balance comes
+  /// from the layer-condition analysis' memory boundary (so the roofline
+  /// and ECM share the same traffic estimate and differ only in how time
+  /// is composed).
+  RooflinePrediction predict(const StencilSpec &Spec, const GridDims &Dims,
+                             const KernelConfig &Config,
+                             unsigned Cores) const;
+
+private:
+  const MachineModel &Machine;
+  LayerConditionAnalysis LC;
+};
+
+} // namespace ys
+
+#endif // YS_ECM_ROOFLINE_H

@@ -1,0 +1,214 @@
+//===- frontend/Lexer.cpp - Stencil DSL lexer -------------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ys;
+
+std::string SourceLoc::str() const { return format("%u:%u", Line, Col); }
+
+const char *ys::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwStencil:
+    return "'stencil'";
+  case TokenKind::KwGrid:
+    return "'grid'";
+  case TokenKind::KwParam:
+    return "'param'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Equals:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::EndOfFile:
+    return "end of input";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+bool Lexer::atEnd() const { return Pos >= Source.size(); }
+
+char Lexer::peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Col = 1;
+  } else {
+    ++Loc.Col;
+  }
+  return C;
+}
+
+void Lexer::error(const std::string &Msg, SourceLoc ErrLoc) {
+  ErrorMsg = format("%s: error: %s", ErrLoc.str().c_str(), Msg.c_str());
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '#' ||
+        (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/')) {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+bool Lexer::lexToken(Token &Tok) {
+  skipWhitespaceAndComments();
+  Tok.Loc = Loc;
+  if (atEnd()) {
+    Tok.Kind = TokenKind::EndOfFile;
+    Tok.Text.clear();
+    return true;
+  }
+
+  char C = peek();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text += advance();
+    Tok.Text = Text;
+    if (Text == "stencil")
+      Tok.Kind = TokenKind::KwStencil;
+    else if (Text == "grid")
+      Tok.Kind = TokenKind::KwGrid;
+    else if (Text == "param")
+      Tok.Kind = TokenKind::KwParam;
+    else
+      Tok.Kind = TokenKind::Identifier;
+    return true;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && Pos + 1 < Source.size() &&
+       std::isdigit(static_cast<unsigned char>(Source[Pos + 1])))) {
+    std::string Text;
+    bool SeenDot = false, SeenExp = false;
+    while (!atEnd()) {
+      char D = peek();
+      if (std::isdigit(static_cast<unsigned char>(D))) {
+        Text += advance();
+      } else if (D == '.' && !SeenDot && !SeenExp) {
+        SeenDot = true;
+        Text += advance();
+      } else if ((D == 'e' || D == 'E') && !SeenExp && !Text.empty()) {
+        SeenExp = true;
+        Text += advance();
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+      } else {
+        break;
+      }
+    }
+    Tok.Kind = TokenKind::Number;
+    Tok.Text = Text;
+    Tok.NumberValue = std::strtod(Text.c_str(), nullptr);
+    return true;
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    Tok.Kind = TokenKind::LBrace;
+    break;
+  case '}':
+    Tok.Kind = TokenKind::RBrace;
+    break;
+  case '[':
+    Tok.Kind = TokenKind::LBracket;
+    break;
+  case ']':
+    Tok.Kind = TokenKind::RBracket;
+    break;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    break;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    break;
+  case '=':
+    Tok.Kind = TokenKind::Equals;
+    break;
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    break;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    break;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    break;
+  case '/':
+    Tok.Kind = TokenKind::Slash;
+    break;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    break;
+  case ';':
+    Tok.Kind = TokenKind::Semicolon;
+    break;
+  default:
+    error(format("unexpected character '%c'", C), Tok.Loc);
+    return false;
+  }
+  Tok.Text = std::string(1, C);
+  return true;
+}
+
+bool Lexer::lexAll(std::vector<Token> &Tokens) {
+  Tokens.clear();
+  while (true) {
+    Token Tok;
+    if (!lexToken(Tok))
+      return false;
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::EndOfFile))
+      return true;
+  }
+}

@@ -1,0 +1,98 @@
+//===- frontend/Lexer.h - Stencil DSL lexer ----------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the stencil description language, the textual front end that
+/// plays the role of YASK's stencil DSL.  Produces a token stream with
+/// source locations for diagnostics.
+///
+/// Token examples:  stencil grid param { } [ ] ( ) = + - * , ; identifiers,
+/// integer and floating-point literals.  Comments run from '#' or '//' to
+/// end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_FRONTEND_LEXER_H
+#define YS_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Source location (1-based line and column).
+struct SourceLoc {
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  std::string str() const;
+};
+
+/// Token kinds of the stencil DSL.
+enum class TokenKind {
+  Identifier,
+  Number,     ///< Integer or floating literal (value in NumberValue).
+  KwStencil,  ///< 'stencil'
+  KwGrid,     ///< 'grid'
+  KwParam,    ///< 'param'
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Equals,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Comma,
+  Semicolon,
+  EndOfFile,
+};
+
+/// Returns a human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  double NumberValue = 0.0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes a whole buffer.  On an invalid character, produces a diagnostic
+/// and stops (the token stream then ends with EndOfFile).
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes all tokens.  Returns false if a lexical error occurred; the
+  /// message is available via errorMessage().
+  bool lexAll(std::vector<Token> &Tokens);
+
+  const std::string &errorMessage() const { return ErrorMsg; }
+
+private:
+  bool lexToken(Token &Tok);
+  void skipWhitespaceAndComments();
+  char peek() const;
+  char advance();
+  bool atEnd() const;
+  void error(const std::string &Msg, SourceLoc Loc);
+
+  std::string Source;
+  size_t Pos = 0;
+  SourceLoc Loc;
+  std::string ErrorMsg;
+};
+
+} // namespace ys
+
+#endif // YS_FRONTEND_LEXER_H

@@ -1,0 +1,344 @@
+//===- frontend/Parser.cpp - Stencil DSL parser -----------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace ys;
+
+Expected<StencilSpec> ParsedStencil::singleSpec() const {
+  if (Bundle.numEquations() != 1)
+    return Error::failure(format("stencil '%s' has %u equations; "
+                                 "singleSpec() needs exactly one",
+                                 Name.c_str(), Bundle.numEquations()));
+  const BundleEquation &Eq = Bundle.equations()[0];
+  // Renumber the grid indices actually read to a dense 0..k-1 range.
+  std::map<unsigned, unsigned> Renumber;
+  for (const StencilPoint &P : Eq.Spec.points())
+    if (!Renumber.count(P.GridIdx)) {
+      unsigned Next = static_cast<unsigned>(Renumber.size());
+      Renumber[P.GridIdx] = Next;
+    }
+  std::vector<StencilPoint> Points = Eq.Spec.points();
+  for (StencilPoint &P : Points)
+    P.GridIdx = Renumber[P.GridIdx];
+  StencilSpec Spec(Name, std::move(Points));
+  std::string Err = Spec.validate();
+  if (!Err.empty())
+    return Error::failure(Err);
+  return Spec;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (peek().is(Kind)) {
+    ++Pos;
+    return true;
+  }
+  return false;
+}
+
+Error Parser::errorAt(const Token &Tok, const std::string &Msg) const {
+  return Error::failure(
+      format("%s: error: %s", Tok.Loc.str().c_str(), Msg.c_str()));
+}
+
+Error Parser::expect(TokenKind Kind, Token &Out) {
+  if (!peek().is(Kind))
+    return errorAt(peek(), format("expected %s, found %s",
+                                  tokenKindName(Kind),
+                                  tokenKindName(peek().Kind)));
+  Out = get();
+  return Error::success();
+}
+
+int Parser::gridIndexOf(const ParsedStencil &Ctx, const std::string &Name) {
+  for (size_t I = 0; I < Ctx.GridNames.size(); ++I)
+    if (Ctx.GridNames[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+Expected<std::vector<ParsedStencil>> Parser::parse(
+    const std::string &Source) {
+  Lexer Lex(Source);
+  std::vector<Token> Tokens;
+  if (!Lex.lexAll(Tokens))
+    return Error::failure(Lex.errorMessage());
+  Parser P(std::move(Tokens));
+  return P.parseFile();
+}
+
+Expected<ParsedStencil> Parser::parseSingle(const std::string &Source) {
+  auto AllOr = parse(Source);
+  if (!AllOr)
+    return AllOr.takeError();
+  if (AllOr->size() != 1)
+    return Error::failure(format("expected exactly one stencil "
+                                 "definition, found %zu",
+                                 AllOr->size()));
+  return std::move(AllOr->front());
+}
+
+Expected<std::vector<ParsedStencil>> Parser::parseFile() {
+  std::vector<ParsedStencil> Defs;
+  while (!peek().is(TokenKind::EndOfFile)) {
+    auto DefOr = parseStencilDef();
+    if (!DefOr)
+      return DefOr.takeError();
+    Defs.push_back(std::move(*DefOr));
+  }
+  if (Defs.empty())
+    return Error::failure("1:1: error: no stencil definitions in input");
+  return Defs;
+}
+
+Expected<ParsedStencil> Parser::parseStencilDef() {
+  Token Tok;
+  if (Error E = expect(TokenKind::KwStencil, Tok))
+    return E;
+  Token NameTok;
+  if (Error E = expect(TokenKind::Identifier, NameTok))
+    return E;
+  if (Error E = expect(TokenKind::LBrace, Tok))
+    return E;
+
+  ParsedStencil Out;
+  Out.Name = NameTok.Text;
+  std::vector<BundleEquation> Equations;
+
+  while (!peek().is(TokenKind::RBrace)) {
+    if (peek().is(TokenKind::EndOfFile))
+      return errorAt(peek(), "unterminated stencil definition (missing "
+                             "'}')");
+    if (peek().is(TokenKind::KwGrid)) {
+      if (Error E = parseGridDecl(Out))
+        return E;
+      continue;
+    }
+    if (peek().is(TokenKind::KwParam)) {
+      if (Error E = parseParamDecl(Out))
+        return E;
+      continue;
+    }
+    if (Error E = parseEquation(Out, Equations))
+      return E;
+  }
+  get(); // '}'
+
+  if (Equations.empty())
+    return Error::failure(format("stencil '%s' has no equations",
+                                 Out.Name.c_str()));
+  Out.Bundle = StencilBundle(Out.Name, Out.GridNames, Equations);
+  std::string BundleErr = Out.Bundle.validate();
+  if (!BundleErr.empty())
+    return Error::failure(format("stencil '%s': %s", Out.Name.c_str(),
+                                 BundleErr.c_str()));
+  return Out;
+}
+
+Error Parser::parseGridDecl(ParsedStencil &Out) {
+  get(); // 'grid'
+  while (true) {
+    Token Name;
+    if (Error E = expect(TokenKind::Identifier, Name))
+      return E;
+    if (gridIndexOf(Out, Name.Text) >= 0)
+      return errorAt(Name,
+                     format("grid '%s' already declared", Name.Text.c_str()));
+    if (Out.Params.count(Name.Text))
+      return errorAt(Name, format("'%s' already declared as a param",
+                                  Name.Text.c_str()));
+    Out.GridNames.push_back(Name.Text);
+    if (consumeIf(TokenKind::Comma))
+      continue;
+    Token Semi;
+    return expect(TokenKind::Semicolon, Semi);
+  }
+}
+
+Error Parser::parseParamDecl(ParsedStencil &Out) {
+  get(); // 'param'
+  Token Name;
+  if (Error E = expect(TokenKind::Identifier, Name))
+    return E;
+  if (Out.Params.count(Name.Text) || gridIndexOf(Out, Name.Text) >= 0)
+    return errorAt(Name,
+                   format("'%s' already declared", Name.Text.c_str()));
+  Token Eq;
+  if (Error E = expect(TokenKind::Equals, Eq))
+    return E;
+  bool Negative = consumeIf(TokenKind::Minus);
+  Token Value;
+  if (Error E = expect(TokenKind::Number, Value))
+    return E;
+  Out.Params[Name.Text] =
+      Negative ? -Value.NumberValue : Value.NumberValue;
+  Token Semi;
+  return expect(TokenKind::Semicolon, Semi);
+}
+
+Error Parser::parseAccessOffsets(int &Dx, int &Dy, int &Dz) {
+  Token Tok;
+  if (Error E = expect(TokenKind::LBracket, Tok))
+    return E;
+  const char *Axes[3] = {"x", "y", "z"};
+  int *Offsets[3] = {&Dx, &Dy, &Dz};
+  for (int Axis = 0; Axis < 3; ++Axis) {
+    Token AxisTok;
+    if (Error E = expect(TokenKind::Identifier, AxisTok))
+      return E;
+    if (AxisTok.Text != Axes[Axis])
+      return errorAt(AxisTok,
+                     format("expected axis '%s' in position %d, found '%s'",
+                            Axes[Axis], Axis + 1, AxisTok.Text.c_str()));
+    *Offsets[Axis] = 0;
+    if (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+      bool Neg = get().is(TokenKind::Minus);
+      Token Off;
+      if (Error E = expect(TokenKind::Number, Off))
+        return E;
+      double Rounded = std::round(Off.NumberValue);
+      if (Rounded != Off.NumberValue)
+        return errorAt(Off, "offsets must be integers");
+      *Offsets[Axis] = static_cast<int>(Neg ? -Rounded : Rounded);
+    }
+    if (Axis < 2) {
+      Token Comma;
+      if (Error E = expect(TokenKind::Comma, Comma))
+        return E;
+    }
+  }
+  return expect(TokenKind::RBracket, Tok);
+}
+
+Error Parser::parseEquation(ParsedStencil &Out,
+                            std::vector<BundleEquation> &Equations) {
+  Token LhsName;
+  if (Error E = expect(TokenKind::Identifier, LhsName))
+    return E;
+  int OutGrid = gridIndexOf(Out, LhsName.Text);
+  if (OutGrid < 0)
+    return errorAt(LhsName, format("unknown grid '%s' on the left-hand "
+                                   "side (declare it with 'grid')",
+                                   LhsName.Text.c_str()));
+  int Dx, Dy, Dz;
+  if (Error E = parseAccessOffsets(Dx, Dy, Dz))
+    return E;
+  if (Dx != 0 || Dy != 0 || Dz != 0)
+    return errorAt(LhsName, "left-hand-side access must be [x,y,z] "
+                            "(no offsets)");
+  Token Eq;
+  if (Error E = expect(TokenKind::Equals, Eq))
+    return E;
+
+  Token ExprStart = peek();
+  auto ExprOr = parseExpr(Out);
+  if (!ExprOr)
+    return ExprOr.takeError();
+  Token Semi;
+  if (Error E = expect(TokenKind::Semicolon, Semi))
+    return E;
+
+  auto PointsOr = ExprOr->linearize();
+  if (!PointsOr)
+    return errorAt(ExprStart,
+                   format("equation for '%s' is not a linear "
+                          "constant-coefficient stencil: %s",
+                          LhsName.Text.c_str(),
+                          PointsOr.takeError().message().c_str()));
+  BundleEquation Equation;
+  Equation.OutputGrid = static_cast<unsigned>(OutGrid);
+  Equation.Spec = StencilSpec(format("%s.eq%zu", Out.Name.c_str(),
+                                     Equations.size()),
+                              *PointsOr);
+  Equations.push_back(std::move(Equation));
+  return Error::success();
+}
+
+Expected<Expr> Parser::parseExpr(const ParsedStencil &Ctx) {
+  auto LhsOr = parseTerm(Ctx);
+  if (!LhsOr)
+    return LhsOr.takeError();
+  Expr Lhs = *LhsOr;
+  while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+    bool IsPlus = get().is(TokenKind::Plus);
+    auto RhsOr = parseTerm(Ctx);
+    if (!RhsOr)
+      return RhsOr.takeError();
+    Lhs = IsPlus ? Expr::add(Lhs, *RhsOr) : Expr::sub(Lhs, *RhsOr);
+  }
+  return Lhs;
+}
+
+Expected<Expr> Parser::parseTerm(const ParsedStencil &Ctx) {
+  auto LhsOr = parseUnary(Ctx);
+  if (!LhsOr)
+    return LhsOr.takeError();
+  Expr Lhs = *LhsOr;
+  while (peek().is(TokenKind::Star) || peek().is(TokenKind::Slash)) {
+    bool IsMul = get().is(TokenKind::Star);
+    auto RhsOr = parseUnary(Ctx);
+    if (!RhsOr)
+      return RhsOr.takeError();
+    Lhs = IsMul ? Expr::mul(Lhs, *RhsOr) : Expr::div(Lhs, *RhsOr);
+  }
+  return Lhs;
+}
+
+Expected<Expr> Parser::parseUnary(const ParsedStencil &Ctx) {
+  if (consumeIf(TokenKind::Minus)) {
+    auto SubOr = parseUnary(Ctx);
+    if (!SubOr)
+      return SubOr.takeError();
+    return Expr::neg(*SubOr);
+  }
+  return parsePrimary(Ctx);
+}
+
+Expected<Expr> Parser::parsePrimary(const ParsedStencil &Ctx) {
+  if (peek().is(TokenKind::Number))
+    return Expr::constant(get().NumberValue);
+
+  if (peek().is(TokenKind::LParen)) {
+    get();
+    auto InnerOr = parseExpr(Ctx);
+    if (!InnerOr)
+      return InnerOr.takeError();
+    Token RParen;
+    if (Error E = expect(TokenKind::RParen, RParen))
+      return E;
+    return *InnerOr;
+  }
+
+  if (peek().is(TokenKind::Identifier)) {
+    Token Name = get();
+    if (peek().is(TokenKind::LBracket)) {
+      int GridIdx = gridIndexOf(Ctx, Name.Text);
+      if (GridIdx < 0)
+        return errorAt(Name, format("unknown grid '%s'",
+                                    Name.Text.c_str()));
+      int Dx, Dy, Dz;
+      if (Error E = parseAccessOffsets(Dx, Dy, Dz))
+        return E;
+      return Expr::load(static_cast<unsigned>(GridIdx), Dx, Dy, Dz);
+    }
+    auto It = Ctx.Params.find(Name.Text);
+    if (It == Ctx.Params.end())
+      return errorAt(Name,
+                     format("unknown identifier '%s' (not a param; grid "
+                            "accesses need [x,y,z] offsets)",
+                            Name.Text.c_str()));
+    return Expr::constant(It->second);
+  }
+
+  return errorAt(peek(), format("expected an expression, found %s",
+                                tokenKindName(peek().Kind)));
+}

@@ -1,0 +1,98 @@
+//===- frontend/Parser.h - Stencil DSL parser --------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the stencil description language.  A
+/// stencil definition declares grids and named constants and gives one or
+/// more update equations over relative accesses:
+///
+///   # 7-point heat kernel
+///   stencil heat3d {
+///     grid u, unew;
+///     param alpha = 0.1;
+///     unew[x,y,z] = (1 - 6*alpha) * u[x,y,z]
+///                 + alpha * (u[x+1,y,z] + u[x-1,y,z]
+///                          + u[x,y+1,z] + u[x,y-1,z]
+///                          + u[x,y,z+1] + u[x,y,z-1]);
+///   }
+///
+/// Equations lower through the expression AST (StencilExpr) to linear
+/// constant-coefficient stencil points; the result is a StencilBundle
+/// (multi-equation) whose single-equation case converts to a StencilSpec.
+/// All errors carry source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_FRONTEND_PARSER_H
+#define YS_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+#include "stencil/StencilBundle.h"
+#include "stencil/StencilExpr.h"
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// A parsed stencil definition.
+struct ParsedStencil {
+  std::string Name;
+  std::vector<std::string> GridNames;
+  std::map<std::string, double> Params;
+  StencilBundle Bundle;
+
+  /// For single-equation stencils: the flattened spec with grid indices
+  /// renumbered to the grids actually read (0..k-1).  Fails when the
+  /// definition has several equations.
+  Expected<StencilSpec> singleSpec() const;
+};
+
+/// Parses stencil DSL source text.
+class Parser {
+public:
+  /// Parses a whole buffer holding one or more stencil definitions.
+  static Expected<std::vector<ParsedStencil>> parse(
+      const std::string &Source);
+
+  /// Convenience: parses a buffer expected to hold exactly one
+  /// definition.
+  static Expected<ParsedStencil> parseSingle(const std::string &Source);
+
+private:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<std::vector<ParsedStencil>> parseFile();
+  Expected<ParsedStencil> parseStencilDef();
+  Error parseGridDecl(ParsedStencil &Out);
+  Error parseParamDecl(ParsedStencil &Out);
+  Error parseEquation(ParsedStencil &Out,
+                      std::vector<BundleEquation> &Equations);
+  Expected<Expr> parseExpr(const ParsedStencil &Ctx);
+  Expected<Expr> parseTerm(const ParsedStencil &Ctx);
+  Expected<Expr> parseUnary(const ParsedStencil &Ctx);
+  Expected<Expr> parsePrimary(const ParsedStencil &Ctx);
+
+  /// Parses "[x(+|-)N, y(+|-)N, z(+|-)N]" after a grid identifier.
+  Error parseAccessOffsets(int &Dx, int &Dy, int &Dz);
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &get() { return Tokens[Pos++]; }
+  bool consumeIf(TokenKind Kind);
+  Error expect(TokenKind Kind, Token &Out);
+  Error errorAt(const Token &Tok, const std::string &Msg) const;
+
+  static int gridIndexOf(const ParsedStencil &Ctx, const std::string &Name);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace ys
+
+#endif // YS_FRONTEND_PARSER_H

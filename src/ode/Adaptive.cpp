@@ -1,0 +1,68 @@
+//===- ode/Adaptive.cpp - Embedded-pair adaptive stepping ------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ys;
+
+AdaptiveResult ys::integrateAdaptive(const ExplicitRKIntegrator &Integrator,
+                                     const IVP &Problem, double T0,
+                                     double TEnd, double H0, Grid &Y,
+                                     RKWorkspace &WS,
+                                     const AdaptiveOptions &Opts,
+                                     ThreadPool *Pool) {
+  assert(Integrator.tableau().hasEmbedded() &&
+         "adaptive stepping needs an embedded pair");
+  assert(Integrator.variant() == RKVariant::StageSeparate &&
+         "error estimation is implemented for the stage-separate variant");
+
+  Integrator.prepareWorkspace(Problem, WS);
+  Grid Backup(Y.dims(), Y.halo(), Y.fold());
+  Backup.copyHaloFrom(Y);
+
+  AdaptiveResult R;
+  double T = T0;
+  double H = H0;
+  unsigned EmbOrder = std::min(Integrator.tableau().Order,
+                               Integrator.tableau().EmbeddedOrder);
+  double Exponent = 1.0 / (EmbOrder + 1.0);
+
+  for (unsigned StepIdx = 0; StepIdx < Opts.MaxSteps && T < TEnd;
+       ++StepIdx) {
+    H = std::min(H, TEnd - T);
+    if (H < Opts.MinStep) {
+      R.FinalTime = T;
+      R.FinalStep = H;
+      return R; // Converged == false: step collapsed.
+    }
+    Backup.copyInteriorFrom(Y);
+    Integrator.step(Problem, T, H, Y, WS, Pool);
+    double Err = Integrator.lastErrorEstimate();
+
+    if (Err <= Opts.Tolerance) {
+      T += H;
+      ++R.AcceptedSteps;
+    } else {
+      Y.copyInteriorFrom(Backup);
+      ++R.RejectedSteps;
+    }
+
+    double Scale = Err > 0.0
+                       ? Opts.Safety * std::pow(Opts.Tolerance / Err,
+                                                Exponent)
+                       : Opts.MaxScale;
+    H *= std::clamp(Scale, Opts.MinScale, Opts.MaxScale);
+  }
+
+  R.FinalTime = T;
+  R.FinalStep = H;
+  R.Converged = T >= TEnd - 1e-14;
+  return R;
+}

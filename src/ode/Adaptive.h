@@ -1,0 +1,53 @@
+//===- ode/Adaptive.h - Embedded-pair adaptive stepping ----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive step-size control for embedded explicit RK pairs (RKF45,
+/// DOPRI54, Cash-Karp, Bogacki-Shampine): the standard accept/reject loop
+/// with the (err/tol)^(1/(p+1)) step-size update.  Offsite's motivating
+/// use case is exactly these solvers; the adaptive driver exercises the
+/// embedded-error machinery of ExplicitRKIntegrator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ODE_ADAPTIVE_H
+#define YS_ODE_ADAPTIVE_H
+
+#include "ode/ExplicitRK.h"
+
+namespace ys {
+
+/// Controller parameters and statistics.
+struct AdaptiveOptions {
+  double Tolerance = 1e-6;  ///< Absolute infinity-norm tolerance.
+  double Safety = 0.9;
+  double MinScale = 0.2;
+  double MaxScale = 5.0;
+  double MinStep = 1e-12;
+  unsigned MaxSteps = 100000;
+};
+
+/// Outcome of an adaptive integration.
+struct AdaptiveResult {
+  double FinalTime = 0;
+  unsigned AcceptedSteps = 0;
+  unsigned RejectedSteps = 0;
+  double FinalStep = 0;
+  bool Converged = false; ///< Reached TEnd within MaxSteps and MinStep.
+};
+
+/// Integrates \p Problem from \p T0 to \p TEnd with adaptive steps using an
+/// embedded pair.  \p Integrator must use the StageSeparate variant of a
+/// tableau with embedded weights.  \p H0 is the initial step size.
+AdaptiveResult integrateAdaptive(const ExplicitRKIntegrator &Integrator,
+                                 const IVP &Problem, double T0, double TEnd,
+                                 double H0, Grid &Y, RKWorkspace &WS,
+                                 const AdaptiveOptions &Opts,
+                                 ThreadPool *Pool = nullptr);
+
+} // namespace ys
+
+#endif // YS_ODE_ADAPTIVE_H

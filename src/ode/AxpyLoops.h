@@ -1,0 +1,143 @@
+//===- ode/AxpyLoops.h - Interior linear-combination sweeps ------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared interior-sweep kernels of the ODE integrators: stage-argument
+/// axpy sweeps and state-update sweeps.  A pointer-based fast path serves
+/// the scalar grid layout (identical floating-point operation order to the
+/// generic path, so results are bit-identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ODE_AXPYLOOPS_H
+#define YS_ODE_AXPYLOOPS_H
+
+#include "stencil/Grid.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace ys {
+namespace ode_detail {
+
+/// A weighted list of grids: (grid, coefficient) pairs.
+using TermList = std::vector<std::pair<const Grid *, double>>;
+
+/// True if every listed grid (and \p Y) uses the scalar layout with equal
+/// geometry, enabling shared linear indexing.
+inline bool sameScalarGeometry(const Grid &Y, const TermList &Terms) {
+  if (!Y.hasScalarLayout())
+    return false;
+  for (const auto &[G, C] : Terms) {
+    (void)C;
+    if (!G->hasScalarLayout() || !(G->dims() == Y.dims()) ||
+        G->halo() != Y.halo())
+      return false;
+  }
+  return true;
+}
+
+/// Out = Y + H * sum_t Coeff_t * Term_t over the interior.
+inline void axpyInterior(const Grid &Y, const TermList &Terms, double H,
+                         Grid &Out) {
+  const GridDims &D = Y.dims();
+  if (sameScalarGeometry(Y, Terms) && Out.hasScalarLayout()) {
+    const double *Yd = Y.data();
+    double *Od = Out.data();
+    size_t NT = Terms.size();
+    const double *Base[16];
+    double Coeff[16];
+    assert(NT <= 16 && "term list exceeds fast-path table");
+    for (size_t T = 0; T < NT; ++T) {
+      Base[T] = Terms[T].first->data();
+      Coeff[T] = Terms[T].second;
+    }
+    for (long Z = 0; Z < D.Nz; ++Z)
+      for (long Yc = 0; Yc < D.Ny; ++Yc) {
+        size_t Row = Y.linearIndex(0, Yc, Z);
+        for (long X = 0; X < D.Nx; ++X) {
+          double Acc = 0.0;
+          for (size_t T = 0; T < NT; ++T)
+            Acc += Coeff[T] * Base[T][Row + X];
+          Od[Row + X] = Yd[Row + X] + H * Acc;
+        }
+      }
+    return;
+  }
+  for (long Z = 0; Z < D.Nz; ++Z)
+    for (long Yc = 0; Yc < D.Ny; ++Yc)
+      for (long X = 0; X < D.Nx; ++X) {
+        double Acc = 0.0;
+        for (const auto &[G, C] : Terms)
+          Acc += C * G->at(X, Yc, Z);
+        Out.at(X, Yc, Z) = Y.at(X, Yc, Z) + H * Acc;
+      }
+}
+
+/// Y += H * sum_t Coeff_t * Term_t over the interior.  When \p ErrTerms is
+/// nonempty, also returns max |H * sum ErrCoeff_t * Term_t| (the embedded
+/// error estimate); otherwise returns 0.
+inline double updateInterior(Grid &Y, const TermList &Terms,
+                             const TermList &ErrTerms, double H) {
+  const GridDims &D = Y.dims();
+  double MaxErr = 0.0;
+  bool WantErr = !ErrTerms.empty();
+  if (sameScalarGeometry(Y, Terms) &&
+      (ErrTerms.empty() || sameScalarGeometry(Y, ErrTerms))) {
+    double *Yd = Y.data();
+    size_t NT = Terms.size(), NE = ErrTerms.size();
+    const double *Base[16], *EBase[16];
+    double Coeff[16], ECoeff[16];
+    assert(NT <= 16 && NE <= 16 && "term list exceeds fast-path table");
+    for (size_t T = 0; T < NT; ++T) {
+      Base[T] = Terms[T].first->data();
+      Coeff[T] = Terms[T].second;
+    }
+    for (size_t T = 0; T < NE; ++T) {
+      EBase[T] = ErrTerms[T].first->data();
+      ECoeff[T] = ErrTerms[T].second;
+    }
+    for (long Z = 0; Z < D.Nz; ++Z)
+      for (long Yc = 0; Yc < D.Ny; ++Yc) {
+        size_t Row = Y.linearIndex(0, Yc, Z);
+        for (long X = 0; X < D.Nx; ++X) {
+          double Acc = 0.0;
+          for (size_t T = 0; T < NT; ++T)
+            Acc += Coeff[T] * Base[T][Row + X];
+          Yd[Row + X] += H * Acc;
+          if (WantErr) {
+            double Err = 0.0;
+            for (size_t T = 0; T < NE; ++T)
+              Err += ECoeff[T] * EBase[T][Row + X];
+            MaxErr = std::max(MaxErr, std::fabs(H * Err));
+          }
+        }
+      }
+    return MaxErr;
+  }
+  for (long Z = 0; Z < D.Nz; ++Z)
+    for (long Yc = 0; Yc < D.Ny; ++Yc)
+      for (long X = 0; X < D.Nx; ++X) {
+        double Acc = 0.0;
+        for (const auto &[G, C] : Terms)
+          Acc += C * G->at(X, Yc, Z);
+        Y.at(X, Yc, Z) += H * Acc;
+        if (WantErr) {
+          double Err = 0.0;
+          for (const auto &[G, C] : ErrTerms)
+            Err += C * G->at(X, Yc, Z);
+          MaxErr = std::max(MaxErr, std::fabs(H * Err));
+        }
+      }
+  return MaxErr;
+}
+
+} // namespace ode_detail
+} // namespace ys
+
+#endif // YS_ODE_AXPYLOOPS_H

@@ -1,0 +1,271 @@
+//===- ode/ButcherTableau.cpp - Runge-Kutta tableaus -----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/ButcherTableau.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace ys;
+
+bool ButcherTableau::isExplicit() const {
+  for (unsigned I = 0; I < Stages; ++I)
+    for (unsigned J = I; J < Stages; ++J)
+      if (a(I, J) != 0.0)
+        return false;
+  return true;
+}
+
+unsigned ButcherTableau::numNonzeroA() const {
+  unsigned Count = 0;
+  for (double V : A)
+    if (V != 0.0)
+      ++Count;
+  return Count;
+}
+
+std::string ButcherTableau::checkConsistency() const {
+  const double Tol = 1e-12;
+  if (A.size() != static_cast<size_t>(Stages) * Stages ||
+      B.size() != Stages || C.size() != Stages)
+    return "tableau dimensions inconsistent";
+  if (!B2.empty() && B2.size() != Stages)
+    return "embedded weight count mismatch";
+
+  // Row sums: c_i == sum_j a_ij.
+  for (unsigned I = 0; I < Stages; ++I) {
+    double Sum = 0;
+    for (unsigned J = 0; J < Stages; ++J)
+      Sum += a(I, J);
+    if (std::fabs(Sum - c(I)) > 1e-10)
+      return format("row-sum condition violated at stage %u", I);
+  }
+
+  auto sumB = [&](auto Weight) {
+    double Sum = 0;
+    for (unsigned I = 0; I < Stages; ++I)
+      Sum += Weight(I);
+    return Sum;
+  };
+  if (std::fabs(sumB([&](unsigned I) { return b(I); }) - 1.0) > Tol)
+    return "weights do not sum to 1";
+  if (hasEmbedded() &&
+      std::fabs(sumB([&](unsigned I) { return b2(I); }) - 1.0) > 1e-10)
+    return "embedded weights do not sum to 1";
+
+  // Classical order conditions up to 4.
+  auto check = [&](double Value, double Expected, const char *Cond)
+      -> std::string {
+    if (std::fabs(Value - Expected) > 1e-10)
+      return format("order condition %s violated (%.15f != %.15f)", Cond,
+                    Value, Expected);
+    return std::string();
+  };
+
+  if (Order >= 2) {
+    double S = 0;
+    for (unsigned I = 0; I < Stages; ++I)
+      S += b(I) * c(I);
+    if (std::string E = check(S, 0.5, "b.c = 1/2"); !E.empty())
+      return E;
+  }
+  if (Order >= 3) {
+    double S1 = 0, S2 = 0;
+    for (unsigned I = 0; I < Stages; ++I) {
+      S1 += b(I) * c(I) * c(I);
+      for (unsigned J = 0; J < Stages; ++J)
+        S2 += b(I) * a(I, J) * c(J);
+    }
+    if (std::string E = check(S1, 1.0 / 3.0, "b.c^2 = 1/3"); !E.empty())
+      return E;
+    if (std::string E = check(S2, 1.0 / 6.0, "b.A.c = 1/6"); !E.empty())
+      return E;
+  }
+  if (Order >= 4) {
+    double S1 = 0, S2 = 0, S3 = 0, S4 = 0;
+    for (unsigned I = 0; I < Stages; ++I) {
+      S1 += b(I) * c(I) * c(I) * c(I);
+      for (unsigned J = 0; J < Stages; ++J) {
+        S2 += b(I) * c(I) * a(I, J) * c(J);
+        S3 += b(I) * a(I, J) * c(J) * c(J);
+        for (unsigned K = 0; K < Stages; ++K)
+          S4 += b(I) * a(I, J) * a(J, K) * c(K);
+      }
+    }
+    if (std::string E = check(S1, 0.25, "b.c^3 = 1/4"); !E.empty())
+      return E;
+    if (std::string E = check(S2, 0.125, "b.cAc = 1/8"); !E.empty())
+      return E;
+    if (std::string E = check(S3, 1.0 / 12.0, "b.A.c^2 = 1/12"); !E.empty())
+      return E;
+    if (std::string E = check(S4, 1.0 / 24.0, "b.A.A.c = 1/24"); !E.empty())
+      return E;
+  }
+  return std::string();
+}
+
+namespace {
+
+ButcherTableau make(std::string Name, unsigned Stages, std::vector<double> A,
+                    std::vector<double> B, std::vector<double> C,
+                    unsigned Order, std::vector<double> B2 = {},
+                    unsigned EmbeddedOrder = 0) {
+  ButcherTableau T;
+  T.Name = std::move(Name);
+  T.Stages = Stages;
+  T.A = std::move(A);
+  T.B = std::move(B);
+  T.B2 = std::move(B2);
+  T.C = std::move(C);
+  T.Order = Order;
+  T.EmbeddedOrder = EmbeddedOrder;
+  return T;
+}
+
+} // namespace
+
+ButcherTableau ButcherTableau::explicitEuler() {
+  return make("euler", 1, {0}, {1}, {0}, 1);
+}
+
+ButcherTableau ButcherTableau::heun2() {
+  return make("heun2", 2, {0, 0, 1, 0}, {0.5, 0.5}, {0, 1}, 2);
+}
+
+ButcherTableau ButcherTableau::ralston2() {
+  return make("ralston2", 2, {0, 0, 2.0 / 3.0, 0}, {0.25, 0.75},
+              {0, 2.0 / 3.0}, 2);
+}
+
+ButcherTableau ButcherTableau::kutta3() {
+  return make("kutta3", 3, {0, 0, 0, 0.5, 0, 0, -1, 2, 0},
+              {1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0}, {0, 0.5, 1}, 3);
+}
+
+ButcherTableau ButcherTableau::ssprk3() {
+  return make("ssprk3", 3, {0, 0, 0, 1, 0, 0, 0.25, 0.25, 0},
+              {1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0}, {0, 1, 0.5}, 3);
+}
+
+ButcherTableau ButcherTableau::classicRK4() {
+  return make("rk4", 4,
+              {0, 0, 0, 0, 0.5, 0, 0, 0, 0, 0.5, 0, 0, 0, 0, 1, 0},
+              {1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0}, {0, 0.5, 0.5, 1},
+              4);
+}
+
+ButcherTableau ButcherTableau::threeEighthsRK4() {
+  return make("rk4-38", 4,
+              {0, 0, 0, 0, 1.0 / 3.0, 0, 0, 0, -1.0 / 3.0, 1, 0, 0, 1, -1,
+               1, 0},
+              {0.125, 0.375, 0.375, 0.125}, {0, 1.0 / 3.0, 2.0 / 3.0, 1}, 4);
+}
+
+ButcherTableau ButcherTableau::bogackiShampine32() {
+  return make("bs32", 4,
+              {0, 0, 0, 0,
+               0.5, 0, 0, 0,
+               0, 0.75, 0, 0,
+               2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0},
+              {2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0}, {0, 0.5, 0.75, 1}, 3,
+              {7.0 / 24.0, 0.25, 1.0 / 3.0, 0.125}, 2);
+}
+
+ButcherTableau ButcherTableau::fehlberg45() {
+  return make(
+      "rkf45", 6,
+      {0, 0, 0, 0, 0, 0,
+       0.25, 0, 0, 0, 0, 0,
+       3.0 / 32, 9.0 / 32, 0, 0, 0, 0,
+       1932.0 / 2197, -7200.0 / 2197, 7296.0 / 2197, 0, 0, 0,
+       439.0 / 216, -8, 3680.0 / 513, -845.0 / 4104, 0, 0,
+       -8.0 / 27, 2, -3544.0 / 2565, 1859.0 / 4104, -11.0 / 40, 0},
+      {25.0 / 216, 0, 1408.0 / 2565, 2197.0 / 4104, -0.2, 0},
+      {0, 0.25, 0.375, 12.0 / 13.0, 1, 0.5}, 4,
+      {16.0 / 135, 0, 6656.0 / 12825, 28561.0 / 56430, -9.0 / 50,
+       2.0 / 55},
+      5);
+}
+
+ButcherTableau ButcherTableau::cashKarp45() {
+  return make(
+      "cashkarp45", 6,
+      {0, 0, 0, 0, 0, 0,
+       0.2, 0, 0, 0, 0, 0,
+       3.0 / 40, 9.0 / 40, 0, 0, 0, 0,
+       0.3, -0.9, 1.2, 0, 0, 0,
+       -11.0 / 54, 2.5, -70.0 / 27, 35.0 / 27, 0, 0,
+       1631.0 / 55296, 175.0 / 512, 575.0 / 13824, 44275.0 / 110592,
+       253.0 / 4096, 0},
+      {37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771},
+      {0, 0.2, 0.3, 0.6, 1, 0.875}, 5,
+      {2825.0 / 27648, 0, 18575.0 / 48384, 13525.0 / 55296, 277.0 / 14336,
+       0.25},
+      4);
+}
+
+ButcherTableau ButcherTableau::dormandPrince54() {
+  return make(
+      "dopri54", 7,
+      {0, 0, 0, 0, 0, 0, 0,
+       0.2, 0, 0, 0, 0, 0, 0,
+       3.0 / 40, 9.0 / 40, 0, 0, 0, 0, 0,
+       44.0 / 45, -56.0 / 15, 32.0 / 9, 0, 0, 0, 0,
+       19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729, 0, 0,
+       0,
+       9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176,
+       -5103.0 / 18656, 0, 0,
+       35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784,
+       11.0 / 84, 0},
+      {35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84,
+       0},
+      {0, 0.2, 0.3, 0.8, 8.0 / 9.0, 1, 1}, 5,
+      {5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200,
+       187.0 / 2100, 1.0 / 40},
+      4);
+}
+
+ButcherTableau ButcherTableau::gauss2() {
+  const double S3 = std::sqrt(3.0);
+  return make("gauss2", 2,
+              {0.25, 0.25 - S3 / 6.0, 0.25 + S3 / 6.0, 0.25}, {0.5, 0.5},
+              {0.5 - S3 / 6.0, 0.5 + S3 / 6.0}, 4);
+}
+
+ButcherTableau ButcherTableau::radauIIA2() {
+  return make("radauIIA2", 2, {5.0 / 12, -1.0 / 12, 0.75, 0.25},
+              {0.75, 0.25}, {1.0 / 3.0, 1}, 3);
+}
+
+ButcherTableau ButcherTableau::radauIIA3() {
+  const double S6 = std::sqrt(6.0);
+  return make(
+      "radauIIA3", 3,
+      {(88 - 7 * S6) / 360, (296 - 169 * S6) / 1800, (-2 + 3 * S6) / 225,
+       (296 + 169 * S6) / 1800, (88 + 7 * S6) / 360, (-2 - 3 * S6) / 225,
+       (16 - S6) / 36, (16 + S6) / 36, 1.0 / 9},
+      {(16 - S6) / 36, (16 + S6) / 36, 1.0 / 9},
+      {(4 - S6) / 10, (4 + S6) / 10, 1}, 5);
+}
+
+ButcherTableau ButcherTableau::lobattoIIIC3() {
+  return make("lobattoIIIC3", 3,
+              {1.0 / 6, -1.0 / 3, 1.0 / 6, 1.0 / 6, 5.0 / 12, -1.0 / 12,
+               1.0 / 6, 2.0 / 3, 1.0 / 6},
+              {1.0 / 6, 2.0 / 3, 1.0 / 6}, {0, 0.5, 1}, 4);
+}
+
+std::vector<ButcherTableau> ButcherTableau::allExplicit() {
+  return {explicitEuler(),   heun2(),          ralston2(),
+          kutta3(),          ssprk3(),         classicRK4(),
+          threeEighthsRK4(), bogackiShampine32(), fehlberg45(),
+          cashKarp45(),      dormandPrince54()};
+}
+
+std::vector<ButcherTableau> ButcherTableau::allImplicitBases() {
+  return {gauss2(), radauIIA2(), radauIIA3(), lobattoIIIC3()};
+}

@@ -1,0 +1,85 @@
+//===- ode/ButcherTableau.h - Runge-Kutta tableaus ---------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Butcher tableaus for Runge-Kutta methods: the explicit methods Offsite
+/// tunes (fixed-step and embedded pairs) and the implicit collocation
+/// methods (Radau IIA, Lobatto IIIC, Gauss) that serve as base methods of
+/// the PIRK predictor-corrector schemes.  Includes consistency and
+/// order-condition checks used by the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ODE_BUTCHERTABLEAU_H
+#define YS_ODE_BUTCHERTABLEAU_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// A Runge-Kutta Butcher tableau.
+struct ButcherTableau {
+  std::string Name;
+  unsigned Stages = 0;
+  std::vector<double> A;  ///< Stages x Stages, row-major.
+  std::vector<double> B;  ///< Weights (size Stages).
+  std::vector<double> B2; ///< Embedded weights (empty if none).
+  std::vector<double> C;  ///< Nodes (size Stages).
+  unsigned Order = 0;
+  unsigned EmbeddedOrder = 0;
+
+  double a(unsigned I, unsigned J) const { return A[I * Stages + J]; }
+  double b(unsigned I) const { return B[I]; }
+  double b2(unsigned I) const { return B2[I]; }
+  double c(unsigned I) const { return C[I]; }
+
+  bool hasEmbedded() const { return !B2.empty(); }
+
+  /// True if A is strictly lower triangular.
+  bool isExplicit() const;
+
+  /// Number of nonzero a(i,j) entries (the axpy work of stage arguments).
+  unsigned numNonzeroA() const;
+
+  /// Checks row-sum consistency (c_i == sum_j a_ij), weight consistency
+  /// (sum b == 1) and the classical order conditions up to
+  /// min(Order, 4).  Returns an empty string when all hold (tolerance
+  /// 1e-12), else a diagnostic.
+  std::string checkConsistency() const;
+
+  /// \name Explicit methods (Offsite's tuning targets).
+  /// @{
+  static ButcherTableau explicitEuler();    ///< Order 1.
+  static ButcherTableau heun2();            ///< Order 2.
+  static ButcherTableau ralston2();         ///< Order 2 (min error bound).
+  static ButcherTableau kutta3();           ///< Order 3.
+  static ButcherTableau ssprk3();           ///< Order 3, SSP.
+  static ButcherTableau classicRK4();       ///< Order 4.
+  static ButcherTableau threeEighthsRK4();  ///< Order 4 (3/8 rule).
+  static ButcherTableau bogackiShampine32();///< Order 3(2) embedded.
+  static ButcherTableau fehlberg45();       ///< Order 4(5) embedded (RKF45).
+  static ButcherTableau cashKarp45();       ///< Order 5(4) embedded.
+  static ButcherTableau dormandPrince54();  ///< Order 5(4) embedded (DOPRI5).
+  /// @}
+
+  /// \name Implicit collocation bases for PIRK.
+  /// @{
+  static ButcherTableau gauss2();       ///< 2-stage Gauss-Legendre, order 4.
+  static ButcherTableau radauIIA2();    ///< 2-stage Radau IIA, order 3.
+  static ButcherTableau radauIIA3();    ///< 3-stage Radau IIA, order 5.
+  static ButcherTableau lobattoIIIC3(); ///< 3-stage Lobatto IIIC, order 4.
+  /// @}
+
+  /// All built-in explicit tableaus.
+  static std::vector<ButcherTableau> allExplicit();
+  /// All built-in implicit (PIRK base) tableaus.
+  static std::vector<ButcherTableau> allImplicitBases();
+};
+
+} // namespace ys
+
+#endif // YS_ODE_BUTCHERTABLEAU_H

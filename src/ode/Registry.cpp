@@ -1,0 +1,70 @@
+//===- ode/Registry.cpp - Named lookup of methods and IVPs -------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Registry.h"
+
+#include "support/StringUtils.h"
+
+using namespace ys;
+
+Expected<ButcherTableau> ys::tableauByName(const std::string &Name) {
+  for (const ButcherTableau &T : ButcherTableau::allExplicit())
+    if (T.Name == Name)
+      return T;
+  for (const ButcherTableau &T : ButcherTableau::allImplicitBases())
+    if (T.Name == Name)
+      return T;
+  return Error::failure(format("unknown method '%s'; known: %s",
+                               Name.c_str(),
+                               join(tableauNames(), ", ").c_str()));
+}
+
+std::vector<std::string> ys::tableauNames() {
+  std::vector<std::string> Names;
+  for (const ButcherTableau &T : ButcherTableau::allExplicit())
+    Names.push_back(T.Name);
+  for (const ButcherTableau &T : ButcherTableau::allImplicitBases())
+    Names.push_back(T.Name);
+  return Names;
+}
+
+Expected<RKVariant> ys::rkVariantByName(const std::string &Name) {
+  if (Name == "stage-separate" || Name == "separate")
+    return RKVariant::StageSeparate;
+  if (Name == "fused-argument" || Name == "fused")
+    return RKVariant::FusedArgument;
+  if (Name == "fused-update")
+    return RKVariant::FusedUpdate;
+  return Error::failure(format(
+      "unknown variant '%s' (stage-separate | fused-argument | "
+      "fused-update)",
+      Name.c_str()));
+}
+
+Expected<std::unique_ptr<IVP>> ys::ivpByName(const std::string &Name,
+                                             long N) {
+  if (N < 4)
+    return Error::failure("IVP resolution must be >= 4");
+  if (Name == "heat2d")
+    return std::unique_ptr<IVP>(new Heat2DIVP(N));
+  if (Name == "heat3d")
+    return std::unique_ptr<IVP>(new Heat3DIVP(N));
+  if (Name == "reaction-diffusion3d")
+    return std::unique_ptr<IVP>(new ReactionDiffusion3DIVP(N));
+  if (Name == "advection3d")
+    return std::unique_ptr<IVP>(new Advection3DIVP(N));
+  if (Name == "burgers3d")
+    return std::unique_ptr<IVP>(new Burgers3DIVP(N));
+  if (Name == "inverter-chain")
+    return std::unique_ptr<IVP>(new InverterChainIVP(N));
+  return Error::failure(format("unknown IVP '%s'; known: %s", Name.c_str(),
+                               join(ivpNames(), ", ").c_str()));
+}
+
+std::vector<std::string> ys::ivpNames() {
+  return {"heat2d",      "heat3d",        "reaction-diffusion3d",
+          "advection3d", "burgers3d",     "inverter-chain"};
+}

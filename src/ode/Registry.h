@@ -1,0 +1,47 @@
+//===- ode/Registry.h - Named lookup of methods and IVPs ---------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based registries for Butcher tableaus, implementation variants and
+/// built-in IVPs — the lookup layer the CLI and config-driven tooling use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ODE_REGISTRY_H
+#define YS_ODE_REGISTRY_H
+
+#include "ode/ButcherTableau.h"
+#include "ode/ExplicitRK.h"
+#include "ode/IVP.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Finds a tableau by name among all built-ins (explicit and implicit).
+Expected<ButcherTableau> tableauByName(const std::string &Name);
+
+/// Names of all built-in tableaus.
+std::vector<std::string> tableauNames();
+
+/// Parses an RK variant name: "stage-separate" | "fused-argument" |
+/// "fused-update" (also accepts the short forms "separate", "fused").
+Expected<RKVariant> rkVariantByName(const std::string &Name);
+
+/// Creates a built-in IVP by name at resolution \p N (3-D problems use an
+/// N^3 grid; the inverter chain uses N cells).  Known names: heat2d,
+/// heat3d, reaction-diffusion3d, advection3d, burgers3d, inverter-chain.
+Expected<std::unique_ptr<IVP>> ivpByName(const std::string &Name, long N);
+
+/// Names of all built-in IVPs.
+std::vector<std::string> ivpNames();
+
+} // namespace ys
+
+#endif // YS_ODE_REGISTRY_H

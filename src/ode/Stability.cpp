@@ -1,0 +1,126 @@
+//===- ode/Stability.cpp - RK stability analysis ----------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Stability.h"
+
+#include "stencil/StencilSpec.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace ys;
+
+std::complex<double> ys::stabilityFunction(const ButcherTableau &TB,
+                                           std::complex<double> Z) {
+  unsigned S = TB.Stages;
+  using C = std::complex<double>;
+
+  // Solve (I - z A) W = 1 with dense Gaussian elimination (small S).
+  std::vector<C> M(static_cast<size_t>(S) * S);
+  std::vector<C> W(S, C(1.0, 0.0));
+  for (unsigned I = 0; I < S; ++I)
+    for (unsigned J = 0; J < S; ++J)
+      M[I * S + J] = (I == J ? C(1.0) : C(0.0)) - Z * TB.a(I, J);
+
+  for (unsigned Col = 0; Col < S; ++Col) {
+    // Partial pivoting.
+    unsigned Pivot = Col;
+    double Best = std::abs(M[Col * S + Col]);
+    for (unsigned Row = Col + 1; Row < S; ++Row)
+      if (std::abs(M[Row * S + Col]) > Best) {
+        Best = std::abs(M[Row * S + Col]);
+        Pivot = Row;
+      }
+    if (Best == 0.0)
+      return C(1e30, 0.0); // Singular: treat as wildly unstable.
+    if (Pivot != Col) {
+      for (unsigned J = 0; J < S; ++J)
+        std::swap(M[Col * S + J], M[Pivot * S + J]);
+      std::swap(W[Col], W[Pivot]);
+    }
+    for (unsigned Row = Col + 1; Row < S; ++Row) {
+      C Factor = M[Row * S + Col] / M[Col * S + Col];
+      for (unsigned J = Col; J < S; ++J)
+        M[Row * S + J] -= Factor * M[Col * S + J];
+      W[Row] -= Factor * W[Col];
+    }
+  }
+  for (int Row = static_cast<int>(S) - 1; Row >= 0; --Row) {
+    C Sum = W[Row];
+    for (unsigned J = Row + 1; J < S; ++J)
+      Sum -= M[Row * S + J] * W[J];
+    W[Row] = Sum / M[Row * S + Row];
+  }
+
+  C R(1.0, 0.0);
+  for (unsigned I = 0; I < S; ++I)
+    R += Z * TB.b(I) * W[I];
+  return R;
+}
+
+double ys::realAxisStabilityLimit(const ButcherTableau &TB, double Tol,
+                                  double SearchLimit) {
+  auto Stable = [&](double T) {
+    return std::abs(stabilityFunction(TB, {-T, 0.0})) <= 1.0 + 1e-12;
+  };
+
+  // Scan outward for the first unstable point.
+  double Step = 0.05;
+  double LastStable = 0.0;
+  double FirstUnstable = -1.0;
+  for (double T = Step; T <= SearchLimit; T += Step) {
+    if (Stable(T)) {
+      LastStable = T;
+    } else {
+      FirstUnstable = T;
+      break;
+    }
+  }
+  if (FirstUnstable < 0)
+    return SearchLimit; // Stable on the whole searched interval.
+
+  // Bisect [LastStable, FirstUnstable].
+  double Lo = LastStable, Hi = FirstUnstable;
+  while (Hi - Lo > Tol) {
+    double Mid = 0.5 * (Lo + Hi);
+    if (Stable(Mid))
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+double ys::stencilSpectralBound(const StencilSpec &Spec) {
+  // Sample the symbol sum_p c_p e^{i(kx dx + ky dy + kz dz)} over a grid
+  // of wavenumbers including the extreme modes (0 and pi per axis).
+  const int Samples = 17;
+  const double Pi = std::acos(-1.0);
+  double MaxMag = 0.0;
+  for (int Ix = 0; Ix < Samples; ++Ix)
+    for (int Iy = 0; Iy < Samples; ++Iy)
+      for (int Iz = 0; Iz < Samples; ++Iz) {
+        double Kx = Pi * Ix / (Samples - 1);
+        double Ky = Pi * Iy / (Samples - 1);
+        double Kz = Pi * Iz / (Samples - 1);
+        std::complex<double> Symbol(0.0, 0.0);
+        for (const StencilPoint &P : Spec.points())
+          Symbol += P.Coeff *
+                    std::exp(std::complex<double>(
+                        0.0, Kx * P.Dx + Ky * P.Dy + Kz * P.Dz));
+        MaxMag = std::max(MaxMag, std::abs(Symbol));
+      }
+  return MaxMag;
+}
+
+double ys::maxStableTimeStep(const ButcherTableau &TB,
+                             const StencilSpec &Spec) {
+  double Spectral = stencilSpectralBound(Spec);
+  if (Spectral <= 0.0)
+    return 1e30;
+  return realAxisStabilityLimit(TB) / Spectral;
+}

@@ -1,0 +1,50 @@
+//===- ode/Stability.h - RK stability analysis -------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear stability analysis of Runge-Kutta methods: evaluates the
+/// stability function R(z) = 1 + z b^T (I - zA)^{-1} 1 and derives the
+/// real-axis stability limit, which (together with the spectral bound of a
+/// discrete operator) yields the largest stable time step — the quantity
+/// Offsite needs to compare methods at equal accuracy budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_ODE_STABILITY_H
+#define YS_ODE_STABILITY_H
+
+#include "ode/ButcherTableau.h"
+#include "stencil/StencilSpec.h"
+
+#include <complex>
+
+namespace ys {
+
+/// Evaluates the stability function R(z) of \p TB at a complex point.
+/// Works for explicit and implicit tableaus (dense linear solve).
+std::complex<double> stabilityFunction(const ButcherTableau &TB,
+                                       std::complex<double> Z);
+
+/// Largest X >= 0 with |R(-t)| <= 1 for all t in [0, X] (the negative
+/// real-axis stability interval), found by scan + bisection to \p Tol.
+/// Returns \p SearchLimit if the whole searched interval is stable
+/// (A-stable implicit methods).
+double realAxisStabilityLimit(const ButcherTableau &TB, double Tol = 1e-6,
+                              double SearchLimit = 100.0);
+
+/// Spectral bound |lambda_max| of the (negated) discrete operator of a
+/// linear constant-coefficient stencil: max over grid modes of
+/// |sum_p c_p * e^{i k.off_p}|, estimated by sampling the extreme modes.
+double stencilSpectralBound(const StencilSpec &Spec);
+
+/// Largest stable time step of \p TB applied to the semi-discretization
+/// with RHS \p Spec: realAxisStabilityLimit / spectral bound.  (Valid for
+/// operators with (near-)real negative spectra, e.g. diffusion.)
+double maxStableTimeStep(const ButcherTableau &TB, const StencilSpec &Spec);
+
+} // namespace ys
+
+#endif // YS_ODE_STABILITY_H

@@ -1,0 +1,117 @@
+//===- offsite/Database.cpp - Offline tuning database ------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Database.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace ys;
+
+void TuningDatabase::insert(TuningRecord Record) {
+  for (TuningRecord &Existing : Records)
+    if (Existing.sameKey(Record)) {
+      Existing = std::move(Record);
+      return;
+    }
+  Records.push_back(std::move(Record));
+}
+
+const TuningRecord *TuningDatabase::lookup(const std::string &Machine,
+                                           const std::string &Method,
+                                           const std::string &Problem,
+                                           GridDims Dims,
+                                           unsigned Cores) const {
+  for (const TuningRecord &R : Records)
+    if (R.Machine == Machine && R.Method == Method &&
+        R.Problem == Problem && R.Dims == Dims && R.Cores == Cores)
+      return &R;
+  return nullptr;
+}
+
+const TuningRecord *TuningDatabase::lookupNearest(
+    const std::string &Machine, const std::string &Method,
+    const std::string &Problem, GridDims Dims, unsigned Cores) const {
+  const TuningRecord *Best = nullptr;
+  double BestDist = 0;
+  double WantVolume = static_cast<double>(Dims.lups());
+  for (const TuningRecord &R : Records) {
+    if (R.Machine != Machine || R.Method != Method ||
+        R.Problem != Problem || R.Cores != Cores)
+      continue;
+    double Dist = std::fabs(std::log(static_cast<double>(R.Dims.lups()) /
+                                     WantVolume));
+    if (!Best || Dist < BestDist) {
+      Best = &R;
+      BestDist = Dist;
+    }
+  }
+  return Best;
+}
+
+std::string TuningDatabase::serialize() const {
+  std::string Out = "# yasksite tuning database v1\n";
+  for (const TuningRecord &R : Records)
+    Out += format("%s|%s|%s|%ldx%ldx%ld|%u|%s|%.9g\n", R.Machine.c_str(),
+                  R.Method.c_str(), R.Problem.c_str(), R.Dims.Nx,
+                  R.Dims.Ny, R.Dims.Nz, R.Cores, R.VariantName.c_str(),
+                  R.PredictedSecondsPerStep);
+  return Out;
+}
+
+Expected<TuningDatabase> TuningDatabase::deserialize(
+    const std::string &Text) {
+  TuningDatabase Db;
+  unsigned LineNo = 0;
+  for (const std::string &Line : split(Text, '\n')) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string> Fields = split(Line, '|');
+    if (Fields.size() != 7)
+      return Error::failure(format("line %u: expected 7 fields, got %zu",
+                                   LineNo, Fields.size()));
+    TuningRecord R;
+    R.Machine = Fields[0];
+    R.Method = Fields[1];
+    R.Problem = Fields[2];
+    std::vector<std::string> DimParts = split(Fields[3], 'x');
+    if (DimParts.size() != 3)
+      return Error::failure(format("line %u: malformed dims '%s'", LineNo,
+                                   Fields[3].c_str()));
+    R.Dims.Nx = std::atol(DimParts[0].c_str());
+    R.Dims.Ny = std::atol(DimParts[1].c_str());
+    R.Dims.Nz = std::atol(DimParts[2].c_str());
+    if (R.Dims.Nx <= 0 || R.Dims.Ny <= 0 || R.Dims.Nz <= 0)
+      return Error::failure(format("line %u: nonpositive dims", LineNo));
+    R.Cores = static_cast<unsigned>(std::atoi(Fields[4].c_str()));
+    R.VariantName = Fields[5];
+    R.PredictedSecondsPerStep = std::strtod(Fields[6].c_str(), nullptr);
+    Db.insert(std::move(R));
+  }
+  return Db;
+}
+
+Error TuningDatabase::saveFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Error::failure(format("cannot write '%s'", Path.c_str()));
+  Out << serialize();
+  return Error::success();
+}
+
+Expected<TuningDatabase> TuningDatabase::loadFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error::failure(format("cannot read '%s'", Path.c_str()));
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return deserialize(Buffer.str());
+}

@@ -1,0 +1,84 @@
+//===- offsite/Database.h - Offline tuning database --------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline tuning database: Offsite's end product is a store of tuned
+/// kernel selections keyed by (machine, method, problem, size, cores) that
+/// applications query at run time instead of autotuning.  Records persist
+/// in a line-based text format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_OFFSITE_DATABASE_H
+#define YS_OFFSITE_DATABASE_H
+
+#include "stencil/Grid.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// One tuned selection.
+struct TuningRecord {
+  std::string Machine;
+  std::string Method;
+  std::string Problem;
+  GridDims Dims;
+  unsigned Cores = 1;
+  std::string VariantName;
+  double PredictedSecondsPerStep = 0;
+
+  /// Key equality (everything except the selection payload).
+  bool sameKey(const TuningRecord &O) const {
+    return Machine == O.Machine && Method == O.Method &&
+           Problem == O.Problem && Dims == O.Dims && Cores == O.Cores;
+  }
+};
+
+/// An in-memory, file-persistable store of tuning records.
+class TuningDatabase {
+public:
+  /// Inserts or replaces the record with the same key.
+  void insert(TuningRecord Record);
+
+  /// Exact-key lookup; nullptr when absent.
+  const TuningRecord *lookup(const std::string &Machine,
+                             const std::string &Method,
+                             const std::string &Problem, GridDims Dims,
+                             unsigned Cores) const;
+
+  /// Relaxed lookup ignoring the grid size: returns the record whose
+  /// total grid volume is closest to \p Dims (Offsite's fallback when an
+  /// exact size was never tuned); nullptr when no record matches the
+  /// other key fields.
+  const TuningRecord *lookupNearest(const std::string &Machine,
+                                    const std::string &Method,
+                                    const std::string &Problem,
+                                    GridDims Dims, unsigned Cores) const;
+
+  size_t size() const { return Records.size(); }
+  const std::vector<TuningRecord> &records() const { return Records; }
+
+  /// Line-based text serialization (one record per line, '|'-separated).
+  std::string serialize() const;
+
+  /// Parses a serialized database; fails with a line diagnostic on
+  /// malformed input.
+  static Expected<TuningDatabase> deserialize(const std::string &Text);
+
+  /// File round-trip helpers.
+  Error saveFile(const std::string &Path) const;
+  static Expected<TuningDatabase> loadFile(const std::string &Path);
+
+private:
+  std::vector<TuningRecord> Records;
+};
+
+} // namespace ys
+
+#endif // YS_OFFSITE_DATABASE_H

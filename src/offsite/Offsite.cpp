@@ -1,0 +1,265 @@
+//===- offsite/Offsite.cpp - Offline ODE-method tuner ----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Offsite.h"
+
+#include "cachesim/StencilTrace.h"
+#include "ecm/BlockingSelector.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ys;
+
+std::vector<ODEVariant> OffsiteTuner::enumerateRK(
+    const ButcherTableau &Tableau, const IVP &Problem) const {
+  std::vector<ODEVariant> Out;
+  std::vector<RKVariant> Variants = {RKVariant::StageSeparate};
+  if (Problem.hasStencilForm()) {
+    Variants.push_back(RKVariant::FusedArgument);
+    Variants.push_back(RKVariant::FusedUpdate);
+  }
+
+  // Two kernel configurations per fusion variant: unblocked and the
+  // analytic layer-condition blocking choice.
+  BlockingSelector Selector(Model);
+  KernelConfig Unblocked;
+  BlockingChoice Analytic = Selector.selectAnalytic(
+      Problem.rhsStencil(), Problem.dims(), Unblocked, /*TargetLevel=*/-1,
+      Cores);
+
+  std::vector<KernelConfig> Configs = {Unblocked};
+  // Skip the duplicate when the analytic choice is "no blocking".
+  if (!Analytic.Config.Block.isUnblocked())
+    Configs.push_back(Analytic.Config);
+
+  for (RKVariant RV : Variants)
+    for (const KernelConfig &C : Configs) {
+      ODEVariant V;
+      V.IsPIRK = false;
+      V.Tableau = Tableau;
+      V.Variant = RV;
+      V.Config = C;
+      V.Name = format("%s/%s/%s", Tableau.Name.c_str(), rkVariantName(RV),
+                      C.Block.isUnblocked() ? "unblocked"
+                                            : C.Block.str().c_str());
+      Out.push_back(std::move(V));
+    }
+  return Out;
+}
+
+std::vector<ODEVariant> OffsiteTuner::enumeratePIRK(
+    const ButcherTableau &Base, unsigned Corrector,
+    const IVP &Problem) const {
+  std::vector<ODEVariant> Out;
+  std::vector<RKVariant> Variants = {RKVariant::StageSeparate};
+  if (Problem.hasStencilForm())
+    Variants.push_back(RKVariant::FusedArgument);
+
+  BlockingSelector Selector(Model);
+  KernelConfig Unblocked;
+  BlockingChoice Analytic = Selector.selectAnalytic(
+      Problem.rhsStencil(), Problem.dims(), Unblocked, -1, Cores);
+
+  std::vector<KernelConfig> Configs = {Unblocked};
+  if (!Analytic.Config.Block.isUnblocked())
+    Configs.push_back(Analytic.Config);
+
+  for (RKVariant RV : Variants) {
+    for (const KernelConfig &C : Configs) {
+      ODEVariant V;
+      V.IsPIRK = true;
+      V.Tableau = Base;
+      V.Corrector = Corrector;
+      V.Variant = RV;
+      V.Config = C;
+      V.Name = format("pirk-%s-m%u/%s/%s", Base.Name.c_str(), Corrector,
+                      rkVariantName(RV),
+                      C.Block.isUnblocked() ? "unblocked"
+                                            : C.Block.str().c_str());
+      Out.push_back(std::move(V));
+    }
+  }
+  return Out;
+}
+
+StencilSpec OffsiteTuner::sweepModelSpec(const RKStepStructure::Sweep &Sweep,
+                                         const StencilSpec &RhsSpec) {
+  std::vector<StencilPoint> Points;
+  unsigned Grid = 0;
+  // Stencil-pattern inputs: the state and, in fused variants, the stage
+  // grids whose arguments are rebuilt at each stencil offset.
+  for (unsigned G = 0; G < Sweep.StencilInputs; ++G, ++Grid)
+    for (const StencilPoint &P : RhsSpec.points()) {
+      StencilPoint Q = P;
+      Q.GridIdx = Grid;
+      Points.push_back(Q);
+    }
+  // Center-only inputs: axpy and update operands.
+  for (unsigned G = 0; G < Sweep.CenterInputs; ++G, ++Grid)
+    Points.push_back({0, 0, 0, 0.5, Grid});
+  if (Points.empty())
+    Points.push_back({0, 0, 0, 1.0, 0});
+
+  StencilSpec Spec(Sweep.What, std::move(Points));
+  Spec.OutputGrids = std::max(1u, Sweep.Outputs);
+  unsigned Linear = Spec.flopsPerLup();
+  Spec.ExtraFlopsPerLup =
+      Sweep.FlopsPerLup > Linear ? Sweep.FlopsPerLup - Linear : 0;
+  return Spec;
+}
+
+RKStepStructure OffsiteTuner::structureOf(const ODEVariant &V,
+                                          const IVP &Problem) const {
+  if (V.IsPIRK) {
+    PIRKIntegrator Integ(V.Tableau, V.Corrector, V.Variant, V.Config);
+    return Integ.stepStructure(Problem);
+  }
+  ExplicitRKIntegrator Integ(V.Tableau, V.Variant, V.Config);
+  return Integ.stepStructure(Problem);
+}
+
+VariantPrediction OffsiteTuner::predict(const ODEVariant &V,
+                                        const IVP &Problem) const {
+  VariantPrediction P;
+  P.Variant = V;
+  RKStepStructure St = structureOf(V, Problem);
+  P.SweepsPerStep = static_cast<unsigned>(St.Sweeps.size());
+  GridDims Dims = Problem.dims();
+  for (const RKStepStructure::Sweep &Sweep : St.Sweeps) {
+    StencilSpec SweepSpec = sweepModelSpec(Sweep, Problem.rhsStencil());
+    ECMPrediction E = Model.predict(SweepSpec, Dims, V.Config, Cores);
+    double Sec = Model.predictedSeconds(E, Dims, 1.0, Cores);
+    P.SweepSeconds.push_back(Sec);
+    P.SecondsPerStep += Sec;
+  }
+  return P;
+}
+
+std::vector<VariantPrediction> OffsiteTuner::rank(
+    const std::vector<ODEVariant> &Vs, const IVP &Problem) const {
+  std::vector<VariantPrediction> Ranked;
+  for (const ODEVariant &V : Vs)
+    Ranked.push_back(predict(V, Problem));
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const VariantPrediction &A, const VariantPrediction &B) {
+                     return A.SecondsPerStep < B.SecondsPerStep;
+                   });
+  return Ranked;
+}
+
+double OffsiteTuner::measureSecondsPerStep(const ODEVariant &V,
+                                           const IVP &Problem,
+                                           unsigned StepsPerRepeat,
+                                           unsigned Repeats) const {
+  Grid Y(Problem.dims(), Problem.halo(), V.Config.VectorFold);
+  Problem.initialCondition(Y);
+  double H = Problem.suggestedDt();
+
+  if (V.IsPIRK) {
+    PIRKIntegrator Integ(V.Tableau, V.Corrector, V.Variant, V.Config);
+    PIRKWorkspace WS;
+    Integ.prepareWorkspace(Problem, WS);
+    TimingStats S = measureSeconds(
+        [&] {
+          Integ.integrate(Problem, 0.0, H, static_cast<int>(StepsPerRepeat),
+                          Y, WS);
+        },
+        Repeats);
+    return S.Median / StepsPerRepeat;
+  }
+
+  ExplicitRKIntegrator Integ(V.Tableau, V.Variant, V.Config);
+  RKWorkspace WS;
+  Integ.prepareWorkspace(Problem, WS);
+  TimingStats S = measureSeconds(
+      [&] {
+        Integ.integrate(Problem, 0.0, H, static_cast<int>(StepsPerRepeat), Y,
+                        WS);
+      },
+      Repeats);
+  return S.Median / StepsPerRepeat;
+}
+
+double OffsiteTuner::proxySecondsPerStep(const ODEVariant &V,
+                                         const IVP &Problem,
+                                         GridDims ProxyDims) const {
+  if (ProxyDims.Nx <= 0)
+    ProxyDims = Problem.dims();
+  RKStepStructure St = structureOf(V, Problem);
+  const MachineModel &M = Model.machine();
+  double Seconds = 0.0;
+  double BytesPerSecond = M.Memory.BandwidthGBs * 1e9;
+  for (const RKStepStructure::Sweep &Sweep : St.Sweeps) {
+    StencilSpec SweepSpec = sweepModelSpec(Sweep, Problem.rhsStencil());
+    CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+    StencilTraceRunner Runner(SweepSpec, ProxyDims, V.Config);
+    TraceTraffic T = Runner.run(Sim, 1);
+    double MemBytes = T.BytesPerLup.back() *
+                      static_cast<double>(Problem.dims().lups());
+    Seconds += MemBytes / BytesPerSecond;
+  }
+  return Seconds;
+}
+
+RankingValidation OffsiteTuner::validate(const std::vector<ODEVariant> &Vs,
+                                         const IVP &Problem,
+                                         unsigned StepsPerRepeat,
+                                         unsigned Repeats) const {
+  RankingValidation R;
+  R.Predicted = rank(Vs, Problem);
+  std::vector<double> PredictedSecs;
+  for (const VariantPrediction &P : R.Predicted) {
+    R.MeasuredSeconds.push_back(
+        measureSecondsPerStep(P.Variant, Problem, StepsPerRepeat, Repeats));
+    PredictedSecs.push_back(P.SecondsPerStep);
+  }
+  R.KendallTau = kendallTau(PredictedSecs, R.MeasuredSeconds);
+
+  // Measured rank of the model's top pick.
+  unsigned Rank = 1;
+  for (size_t I = 1; I < R.MeasuredSeconds.size(); ++I)
+    if (R.MeasuredSeconds[I] < R.MeasuredSeconds[0])
+      ++Rank;
+  R.PredictedBestMeasuredRank = Rank;
+
+  double Best = R.MeasuredSeconds.front();
+  double Worst = *std::max_element(R.MeasuredSeconds.begin(),
+                                   R.MeasuredSeconds.end());
+  R.SpeedupOverWorst = Worst / Best;
+
+  // "Default" = the first enumerated variant (stage-separate, unblocked).
+  for (size_t I = 0; I < R.Predicted.size(); ++I)
+    if (R.Predicted[I].Variant.Name == Vs.front().Name) {
+      R.SpeedupOverDefault = R.MeasuredSeconds[I] / Best;
+      break;
+    }
+  return R;
+}
+
+double ys::kendallTau(const std::vector<double> &A,
+                      const std::vector<double> &B) {
+  assert(A.size() == B.size() && "rank sequences must align");
+  size_t N = A.size();
+  if (N < 2)
+    return 1.0;
+  long Concordant = 0, Discordant = 0;
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J) {
+      double DA = A[I] - A[J];
+      double DB = B[I] - B[J];
+      double Prod = DA * DB;
+      if (Prod > 0)
+        ++Concordant;
+      else if (Prod < 0)
+        ++Discordant;
+    }
+  long Pairs = static_cast<long>(N) * (N - 1) / 2;
+  return static_cast<double>(Concordant - Discordant) /
+         static_cast<double>(Pairs);
+}

@@ -1,0 +1,129 @@
+//===- offsite/Offsite.h - Offline ODE-method tuner --------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Offsite integration layer: enumerate implementation variants of an
+/// explicit ODE method applied to a grid IVP, predict each variant's time
+/// per step with YaskSite's ECM model (zero executions), rank them, and —
+/// for validation — measure the same variants to compare predicted and
+/// observed rankings.  This reproduces the paper's headline workflow:
+/// reliable analytic kernel selection for explicit ODE methods at minimal
+/// autotuning cost.
+///
+/// A variant = (integrator kind, fusion variant, kernel configuration).
+/// Variant cost is composed per sweep: every sweep of the step structure is
+/// translated into an equivalent multi-grid stencil whose ECM prediction
+/// supplies its bandwidth/compute time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_OFFSITE_OFFSITE_H
+#define YS_OFFSITE_OFFSITE_H
+
+#include "ecm/ECMModel.h"
+#include "ode/ExplicitRK.h"
+#include "ode/PIRK.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// One implementation variant of an ODE method on an IVP.
+struct ODEVariant {
+  std::string Name;
+  bool IsPIRK = false;
+  ButcherTableau Tableau;  ///< Explicit tableau, or the PIRK base.
+  unsigned Corrector = 0;  ///< PIRK corrector iterations.
+  RKVariant Variant = RKVariant::StageSeparate;
+  KernelConfig Config;
+};
+
+/// Model prediction for one variant.
+struct VariantPrediction {
+  ODEVariant Variant;
+  double SecondsPerStep = 0;
+  /// Per-sweep predicted seconds, aligned with the step structure.
+  std::vector<double> SweepSeconds;
+  /// Total sweeps per step (memory passes over the grid).
+  unsigned SweepsPerStep = 0;
+};
+
+/// Predicted-vs-measured comparison for a set of variants.
+struct RankingValidation {
+  std::vector<VariantPrediction> Predicted; ///< Sorted fastest-first.
+  std::vector<double> MeasuredSeconds;      ///< Aligned with Predicted.
+  double KendallTau = 0;   ///< Rank agreement in [-1, 1].
+  unsigned PredictedBestMeasuredRank = 0; ///< 1 == model picked the winner.
+  /// Measured speedup of the model's pick over the slowest variant.
+  double SpeedupOverWorst = 0;
+  /// Measured speedup of the model's pick over the default (first) variant.
+  double SpeedupOverDefault = 0;
+};
+
+/// The Offsite tuner bound to one machine model.
+class OffsiteTuner {
+public:
+  /// \p Cores is the target core count used in predictions.
+  OffsiteTuner(const ECMModel &Model, unsigned Cores = 1)
+      : Model(Model), Cores(Cores) {}
+
+  /// Enumerates variants of an explicit RK method on \p Problem: all
+  /// supported fusion variants x {unblocked, analytic LC blocking}.
+  std::vector<ODEVariant> enumerateRK(const ButcherTableau &Tableau,
+                                      const IVP &Problem) const;
+
+  /// Enumerates PIRK variants (base tableau + corrector count).
+  std::vector<ODEVariant> enumeratePIRK(const ButcherTableau &Base,
+                                        unsigned Corrector,
+                                        const IVP &Problem) const;
+
+  /// Predicts the time per step of one variant analytically.
+  VariantPrediction predict(const ODEVariant &V, const IVP &Problem) const;
+
+  /// Predicts and sorts all variants, fastest first.
+  std::vector<VariantPrediction> rank(const std::vector<ODEVariant> &Vs,
+                                      const IVP &Problem) const;
+
+  /// Measures one variant's seconds per step on the host (median of
+  /// \p Repeats timings of \p StepsPerRepeat steps).
+  double measureSecondsPerStep(const ODEVariant &V, const IVP &Problem,
+                               unsigned StepsPerRepeat = 1,
+                               unsigned Repeats = 3) const;
+
+  /// Deterministic measurement substitute (the repo's LIKWID stand-in):
+  /// replays every sweep of the variant's step through the cache
+  /// simulator on \p ProxyDims (defaults to the problem dims) and converts
+  /// the memory traffic to seconds at the machine's bandwidth — the
+  /// memory-bound time per step.  Host-independent and noise-free.
+  double proxySecondsPerStep(const ODEVariant &V, const IVP &Problem,
+                             GridDims ProxyDims = GridDims{0, 0, 0}) const;
+
+  /// Full predicted-vs-measured validation of a variant set.
+  RankingValidation validate(const std::vector<ODEVariant> &Vs,
+                             const IVP &Problem,
+                             unsigned StepsPerRepeat = 1,
+                             unsigned Repeats = 3) const;
+
+  /// Builds the equivalent stencil the ECM model prices for one sweep of a
+  /// step structure (exposed for tests).
+  static StencilSpec sweepModelSpec(const RKStepStructure::Sweep &Sweep,
+                                    const StencilSpec &RhsSpec);
+
+private:
+  RKStepStructure structureOf(const ODEVariant &V, const IVP &Problem) const;
+
+  const ECMModel &Model;
+  unsigned Cores;
+};
+
+/// Kendall rank-correlation coefficient between two equally sized value
+/// sequences (ties broken by index order).
+double kendallTau(const std::vector<double> &A, const std::vector<double> &B);
+
+} // namespace ys
+
+#endif // YS_OFFSITE_OFFSITE_H

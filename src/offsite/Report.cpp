@@ -1,0 +1,71 @@
+//===- offsite/Report.cpp - Offsite report generation ------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Report.h"
+
+#include "support/StringUtils.h"
+
+using namespace ys;
+
+VariantWorkingSet ys::variantWorkingSet(const ODEVariant &V,
+                                        const IVP &Problem) {
+  VariantWorkingSet WS;
+  RKStepStructure St;
+  if (V.IsPIRK) {
+    PIRKIntegrator Integ(V.Tableau, V.Corrector, V.Variant, V.Config);
+    St = Integ.stepStructure(Problem);
+  } else {
+    ExplicitRKIntegrator Integ(V.Tableau, V.Variant, V.Config);
+    St = Integ.stepStructure(Problem);
+  }
+  WS.GridsAllocated = St.GridsAllocated;
+  GridDims D = Problem.dims();
+  long Halo = Problem.halo();
+  WS.BytesPerGrid = static_cast<unsigned long long>(D.Nx + 2 * Halo) *
+                    (D.Ny + 2 * Halo) * (D.Nz + 2 * Halo) * 8;
+  WS.TotalBytes = WS.BytesPerGrid * WS.GridsAllocated;
+  return WS;
+}
+
+std::string ys::rankingToCsv(const std::vector<VariantPrediction> &Ranked,
+                             const IVP &Problem) {
+  std::string Out =
+      "rank,variant,sweeps_per_step,pred_seconds_per_step,"
+      "working_set_bytes\n";
+  for (size_t I = 0; I < Ranked.size(); ++I) {
+    VariantWorkingSet WS = variantWorkingSet(Ranked[I].Variant, Problem);
+    Out += format("%zu,%s,%u,%.9g,%llu\n", I + 1,
+                  Ranked[I].Variant.Name.c_str(), Ranked[I].SweepsPerStep,
+                  Ranked[I].SecondsPerStep, WS.TotalBytes);
+  }
+  return Out;
+}
+
+std::string ys::rankingToMarkdown(
+    const std::vector<VariantPrediction> &Ranked, const IVP &Problem) {
+  std::string Out =
+      "| rank | variant | sweeps/step | pred s/step | working set |\n"
+      "|---|---|---|---|---|\n";
+  for (size_t I = 0; I < Ranked.size(); ++I) {
+    VariantWorkingSet WS = variantWorkingSet(Ranked[I].Variant, Problem);
+    Out += format("| %zu | %s | %u | %.3g | %s |\n", I + 1,
+                  Ranked[I].Variant.Name.c_str(), Ranked[I].SweepsPerStep,
+                  Ranked[I].SecondsPerStep,
+                  humanBytes(WS.TotalBytes).c_str());
+  }
+  return Out;
+}
+
+std::string ys::validationToCsv(const RankingValidation &Validation) {
+  std::string Out =
+      "rank,variant,pred_seconds_per_step,measured_seconds_per_step\n";
+  for (size_t I = 0; I < Validation.Predicted.size(); ++I)
+    Out += format("%zu,%s,%.9g,%.9g\n", I + 1,
+                  Validation.Predicted[I].Variant.Name.c_str(),
+                  Validation.Predicted[I].SecondsPerStep,
+                  Validation.MeasuredSeconds[I]);
+  return Out;
+}

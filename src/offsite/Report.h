@@ -1,0 +1,50 @@
+//===- offsite/Report.h - Offsite report generation --------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Report generation for Offsite tuning runs: per-variant working-set
+/// derivation and ranking exports (CSV and Markdown), the artifacts an
+/// offline tuner persists for later kernel selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_OFFSITE_REPORT_H
+#define YS_OFFSITE_REPORT_H
+
+#include "offsite/Offsite.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Memory footprint of one variant's step on one IVP.
+struct VariantWorkingSet {
+  unsigned GridsAllocated = 0;
+  unsigned long long BytesPerGrid = 0;
+  unsigned long long TotalBytes = 0;
+};
+
+/// Derives the working set of \p V applied to \p Problem (grid count from
+/// the integrator's step structure, grid size from dims + halo).
+VariantWorkingSet variantWorkingSet(const ODEVariant &V, const IVP &Problem);
+
+/// Renders a ranking as CSV with the header
+/// `rank,variant,sweeps_per_step,pred_seconds_per_step,working_set_bytes`.
+std::string rankingToCsv(const std::vector<VariantPrediction> &Ranked,
+                         const IVP &Problem);
+
+/// Renders a ranking as a Markdown table.
+std::string rankingToMarkdown(const std::vector<VariantPrediction> &Ranked,
+                              const IVP &Problem);
+
+/// Renders a full validation (predicted + measured) as CSV with the
+/// header `rank,variant,pred_seconds_per_step,measured_seconds_per_step`.
+std::string validationToCsv(const RankingValidation &Validation);
+
+} // namespace ys
+
+#endif // YS_OFFSITE_REPORT_H

@@ -1,0 +1,107 @@
+//===- solution/StencilSolution.h - Executable stencil solution --*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing "solution" layer, mirroring YaskSite's API surface: a
+/// StencilSolution owns the grids of a (possibly multi-equation) stencil
+/// bundle, compiles the bundle into an execution plan — program-ordered
+/// sweeps with legally fused equation groups — and can both run the plan
+/// and price it with the ECM model.  DSL text parses straight into a
+/// solution, closing the front-end -> codegen -> model loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SOLUTION_STENCILSOLUTION_H
+#define YS_SOLUTION_STENCILSOLUTION_H
+
+#include "codegen/KernelConfig.h"
+#include "ecm/ECMModel.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilBundle.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// One sweep of the compiled plan: a maximal legally-fused group of
+/// bundle equations executed in a single pass over the grid.
+struct PlanSweep {
+  std::vector<unsigned> Equations; ///< Bundle equation indices, in order.
+  /// Equivalent multi-grid stencil used by the performance model.
+  StencilSpec ModelSpec;
+};
+
+/// An executable, modelable stencil program instance.
+class StencilSolution {
+public:
+  /// Builds a solution for \p Bundle over \p Dims with \p Config.  Fails
+  /// when the bundle does not validate.  \p EnableFusion controls whether
+  /// legally fusable equations share a sweep (the ablation knob).
+  static Expected<StencilSolution> create(StencilBundle Bundle,
+                                          GridDims Dims,
+                                          KernelConfig Config = {},
+                                          bool EnableFusion = true);
+
+  /// Parses DSL source (one definition) and builds its solution.
+  static Expected<StencilSolution> fromDslSource(const std::string &Source,
+                                                 GridDims Dims,
+                                                 KernelConfig Config = {},
+                                                 bool EnableFusion = true);
+
+  StencilSolution(StencilSolution &&) = default;
+  StencilSolution &operator=(StencilSolution &&) = default;
+
+  const StencilBundle &bundle() const { return Bundle; }
+  const GridDims &dims() const { return Dims; }
+  const KernelConfig &config() const { return Config; }
+  int halo() const { return Halo; }
+
+  /// Grid access by bundle index / name (nullptr when unknown).
+  Grid &grid(unsigned Idx) { return *Grids[Idx]; }
+  const Grid &grid(unsigned Idx) const { return *Grids[Idx]; }
+  Grid *gridByName(const std::string &Name);
+
+  /// The compiled execution plan.
+  const std::vector<PlanSweep> &plan() const { return Plan; }
+
+  /// Human-readable plan description (one line per sweep).
+  std::string describePlan() const;
+
+  /// Executes the whole bundle once (every plan sweep in order).
+  void run(ThreadPool *Pool = nullptr);
+
+  /// Executes \p Steps bundle applications.
+  void runSteps(int Steps, ThreadPool *Pool = nullptr);
+
+  /// Predicts the seconds per bundle application on \p Model's machine at
+  /// \p Cores cores (sum of per-sweep ECM predictions).
+  double predictSecondsPerStep(const ECMModel &Model,
+                               unsigned Cores = 1) const;
+
+  /// Sum over the interiors of all grids (a cheap checksum for tests and
+  /// the CLI).
+  double checksum() const;
+
+private:
+  StencilSolution() = default;
+
+  void executeSweep(const PlanSweep &Sweep, ThreadPool *Pool);
+
+  StencilBundle Bundle;
+  GridDims Dims;
+  KernelConfig Config;
+  int Halo = 1;
+  std::vector<std::unique_ptr<Grid>> Grids;
+  std::vector<PlanSweep> Plan;
+};
+
+} // namespace ys
+
+#endif // YS_SOLUTION_STENCILSOLUTION_H

@@ -1,0 +1,130 @@
+//===- stencil/Grid.cpp - 3-D grid with halo and folded layout ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/Grid.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ys;
+
+std::string Fold::str() const {
+  return format("%dx%dx%d", X, Y, Z);
+}
+
+std::string GridDims::str() const {
+  return format("%ldx%ldx%ld", Nx, Ny, Nz);
+}
+
+static long roundUp(long Value, long Multiple) {
+  return (Value + Multiple - 1) / Multiple * Multiple;
+}
+
+Grid::Grid(GridDims Dims, int Halo, Fold F)
+    : Dims(Dims), Halo(Halo), F(F), ScalarLayout(F.isScalar()) {
+  assert(Dims.Nx > 0 && Dims.Ny > 0 && Dims.Nz > 0 && "empty grid");
+  assert(Halo >= 0 && "negative halo");
+  assert(F.X > 0 && F.Y > 0 && F.Z > 0 && "degenerate fold");
+  PadX = roundUp(Dims.Nx + 2L * Halo, F.X);
+  PadY = roundUp(Dims.Ny + 2L * Halo, F.Y);
+  PadZ = roundUp(Dims.Nz + 2L * Halo, F.Z);
+  NVx = PadX / F.X;
+  NVy = PadY / F.Y;
+  NVz = PadZ / F.Z;
+  Store.allocate(static_cast<size_t>(PadX) * PadY * PadZ);
+  Store.zero();
+}
+
+void Grid::fill(double Value) {
+  for (size_t I = 0, E = Store.size(); I != E; ++I)
+    Store[I] = Value;
+}
+
+void Grid::fillRandom(Rng &R) {
+  fill(0.0);
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X)
+        at(X, Y, Z) = R.nextDouble(-1.0, 1.0);
+}
+
+void Grid::fillFunction(
+    const std::function<double(long, long, long)> &Fn) {
+  fill(0.0);
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X)
+        at(X, Y, Z) = Fn(X, Y, Z);
+}
+
+void Grid::fillHalo(double Value) {
+  for (long Z = -Halo; Z < Dims.Nz + Halo; ++Z)
+    for (long Y = -Halo; Y < Dims.Ny + Halo; ++Y)
+      for (long X = -Halo; X < Dims.Nx + Halo; ++X) {
+        bool Interior = X >= 0 && X < Dims.Nx && Y >= 0 && Y < Dims.Ny &&
+                        Z >= 0 && Z < Dims.Nz;
+        if (!Interior)
+          at(X, Y, Z) = Value;
+      }
+}
+
+void Grid::copyInteriorFrom(const Grid &Other) {
+  assert(Dims == Other.Dims && "interior copy requires equal dims");
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X)
+        at(X, Y, Z) = Other.at(X, Y, Z);
+}
+
+void Grid::applyPeriodicHalo() {
+  auto Wrap = [](long V, long N) {
+    V %= N;
+    return V < 0 ? V + N : V;
+  };
+  for (long Z = -Halo; Z < Dims.Nz + Halo; ++Z)
+    for (long Y = -Halo; Y < Dims.Ny + Halo; ++Y)
+      for (long X = -Halo; X < Dims.Nx + Halo; ++X) {
+        bool Interior = X >= 0 && X < Dims.Nx && Y >= 0 && Y < Dims.Ny &&
+                        Z >= 0 && Z < Dims.Nz;
+        if (!Interior)
+          at(X, Y, Z) = at(Wrap(X, Dims.Nx), Wrap(Y, Dims.Ny),
+                           Wrap(Z, Dims.Nz));
+      }
+}
+
+void Grid::copyHaloFrom(const Grid &Other) {
+  assert(Dims == Other.Dims && "halo copy requires equal dims");
+  assert(Halo == Other.Halo && "halo copy requires equal halo width");
+  for (long Z = -Halo; Z < Dims.Nz + Halo; ++Z)
+    for (long Y = -Halo; Y < Dims.Ny + Halo; ++Y)
+      for (long X = -Halo; X < Dims.Nx + Halo; ++X) {
+        bool Interior = X >= 0 && X < Dims.Nx && Y >= 0 && Y < Dims.Ny &&
+                        Z >= 0 && Z < Dims.Nz;
+        if (!Interior)
+          at(X, Y, Z) = Other.at(X, Y, Z);
+      }
+}
+
+double Grid::maxAbsDiffInterior(const Grid &A, const Grid &B) {
+  assert(A.Dims == B.Dims && "diff requires equal dims");
+  double Max = 0.0;
+  for (long Z = 0; Z < A.Dims.Nz; ++Z)
+    for (long Y = 0; Y < A.Dims.Ny; ++Y)
+      for (long X = 0; X < A.Dims.Nx; ++X)
+        Max = std::max(Max, std::fabs(A.at(X, Y, Z) - B.at(X, Y, Z)));
+  return Max;
+}
+
+double Grid::interiorSum() const {
+  double Sum = 0.0;
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X)
+        Sum += at(X, Y, Z);
+  return Sum;
+}

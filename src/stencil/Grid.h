@@ -1,0 +1,175 @@
+//===- stencil/Grid.h - 3-D grid with halo and folded layout -----*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 3-D double-precision grid with halo cells and a selectable in-memory
+/// layout.  The layout is YASK's "vector folding": the grid is stored as an
+/// array of small (Fx x Fy x Fz) bricks, each contiguous in memory, so a
+/// SIMD register holds a multi-dimensional sub-block of the grid instead of
+/// a 1-D run.  Fold {1,1,1} degenerates to the usual row-major layout with
+/// unit stride in x.
+///
+/// Interior coordinates run over [0, Nx) x [0, Ny) x [0, Nz); the halo of
+/// width H extends each dimension by H on both sides, so any coordinate in
+/// [-H, N+H) is addressable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_STENCIL_GRID_H
+#define YS_STENCIL_GRID_H
+
+#include "support/AlignedBuffer.h"
+#include "support/Random.h"
+
+#include <cassert>
+#include <functional>
+#include <string>
+
+namespace ys {
+
+/// A SIMD vector fold shape: how many grid points a SIMD vector covers in
+/// each dimension.  The product is the vector length in elements.
+struct Fold {
+  int X = 1;
+  int Y = 1;
+  int Z = 1;
+
+  int elems() const { return X * Y * Z; }
+  bool isScalar() const { return X == 1 && Y == 1 && Z == 1; }
+  bool operator==(const Fold &O) const {
+    return X == O.X && Y == O.Y && Z == O.Z;
+  }
+  std::string str() const;
+};
+
+/// Interior sizes of a grid.
+struct GridDims {
+  long Nx = 1;
+  long Ny = 1;
+  long Nz = 1;
+
+  long lups() const { return Nx * Ny * Nz; }
+  bool operator==(const GridDims &O) const {
+    return Nx == O.Nx && Ny == O.Ny && Nz == O.Nz;
+  }
+  std::string str() const;
+};
+
+/// 3-D grid of doubles with halo and folded storage.
+class Grid {
+public:
+  Grid() = default;
+
+  /// Creates a grid with interior \p Dims, halo width \p Halo, and storage
+  /// fold \p F.  Contents are zero-initialized.
+  Grid(GridDims Dims, int Halo, Fold F = Fold());
+
+  const GridDims &dims() const { return Dims; }
+  int halo() const { return Halo; }
+  const Fold &fold() const { return F; }
+
+  /// Padded extent (interior + 2*halo, rounded up to the fold) per dim.
+  long padX() const { return PadX; }
+  long padY() const { return PadY; }
+  long padZ() const { return PadZ; }
+
+  /// Total allocated elements.
+  size_t allocElems() const { return Store.size(); }
+
+  /// Raw storage pointer (layout per linearIndex()).
+  double *data() { return Store.data(); }
+  const double *data() const { return Store.data(); }
+
+  /// Linear index of interior-coordinate (X, Y, Z); coordinates may reach
+  /// into the halo: X in [-Halo, Nx + Halo), etc.
+  size_t linearIndex(long X, long Y, long Z) const {
+    long Gx = X + Halo, Gy = Y + Halo, Gz = Z + Halo;
+    assert(Gx >= 0 && Gx < PadX && "x out of padded range");
+    assert(Gy >= 0 && Gy < PadY && "y out of padded range");
+    assert(Gz >= 0 && Gz < PadZ && "z out of padded range");
+    if (ScalarLayout)
+      return static_cast<size_t>((Gz * PadY + Gy) * PadX + Gx);
+    long Vx = Gx / F.X, Ix = Gx % F.X;
+    long Vy = Gy / F.Y, Iy = Gy % F.Y;
+    long Vz = Gz / F.Z, Iz = Gz % F.Z;
+    long VecIdx = (Vz * NVy + Vy) * NVx + Vx;
+    long InFold = (Iz * F.Y + Iy) * F.X + Ix;
+    return static_cast<size_t>(VecIdx * F.elems() + InFold);
+  }
+
+  /// Element access by interior coordinates (halo reachable).
+  double &at(long X, long Y, long Z) { return Store[linearIndex(X, Y, Z)]; }
+  double at(long X, long Y, long Z) const {
+    return Store[linearIndex(X, Y, Z)];
+  }
+
+  /// For the scalar layout only: the constant linear offset of the
+  /// neighbor at (Dx, Dy, Dz) relative to any interior point.
+  long scalarNeighborOffset(int Dx, int Dy, int Dz) const {
+    assert(ScalarLayout && "neighbor offsets are layout-constant only for "
+                           "the scalar layout");
+    return (static_cast<long>(Dz) * PadY + Dy) * PadX + Dx;
+  }
+
+  /// True if stored with the degenerate {1,1,1} fold.
+  bool hasScalarLayout() const { return ScalarLayout; }
+
+  /// \name Bulk initialization and comparison helpers.
+  /// @{
+
+  /// Sets every allocated element (incl. halo) to \p Value.
+  void fill(double Value);
+
+  /// Fills the interior with deterministic pseudo-random values in
+  /// [-1, 1); the halo is set to zero.
+  void fillRandom(Rng &R);
+
+  /// Fills the interior from \p Fn(x, y, z); the halo is set to zero.
+  void fillFunction(const std::function<double(long, long, long)> &Fn);
+
+  /// Sets all halo elements to \p Value, leaving the interior untouched.
+  void fillHalo(double Value);
+
+  /// Fills the halo with periodically wrapped interior values
+  /// (torus topology), so a subsequent sweep sees periodic boundary
+  /// conditions.  Call before every sweep that needs them.
+  void applyPeriodicHalo();
+
+  /// Copies the interior (not the halo) from \p Other, which must have the
+  /// same dims but may use a different fold/halo.
+  void copyInteriorFrom(const Grid &Other);
+
+  /// Copies all halo cells from \p Other (same dims and halo width
+  /// required); interior untouched.  Used to propagate boundary values
+  /// into work buffers.
+  void copyHaloFrom(const Grid &Other);
+
+  /// Maximum |a-b| over the interiors of two same-dims grids.
+  static double maxAbsDiffInterior(const Grid &A, const Grid &B);
+
+  /// Sum over the interior.
+  double interiorSum() const;
+
+  /// @}
+
+  /// Memory footprint of the interior plus halo in bytes.
+  unsigned long long footprintBytes() const {
+    return static_cast<unsigned long long>(Store.size()) * sizeof(double);
+  }
+
+private:
+  GridDims Dims;
+  int Halo = 0;
+  Fold F;
+  bool ScalarLayout = true;
+  long PadX = 0, PadY = 0, PadZ = 0;
+  long NVx = 0, NVy = 0, NVz = 0; ///< Padded extent in fold units.
+  AlignedBuffer<double> Store;
+};
+
+} // namespace ys
+
+#endif // YS_STENCIL_GRID_H

@@ -1,0 +1,76 @@
+//===- stencil/GridNorms.cpp - Grid norms and reductions --------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/GridNorms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ys;
+
+namespace {
+
+/// Applies Fn(value) over the interior in a fixed order.
+template <typename Fn> void forEachInterior(const Grid &G, Fn &&Visit) {
+  const GridDims &D = G.dims();
+  for (long Z = 0; Z < D.Nz; ++Z)
+    for (long Y = 0; Y < D.Ny; ++Y)
+      for (long X = 0; X < D.Nx; ++X)
+        Visit(G.at(X, Y, Z));
+}
+
+} // namespace
+
+double ys::normInf(const Grid &G) {
+  double Max = 0;
+  forEachInterior(G, [&](double V) { Max = std::max(Max, std::fabs(V)); });
+  return Max;
+}
+
+double ys::normL2(const Grid &G) {
+  double Sum = 0;
+  forEachInterior(G, [&](double V) { Sum += V * V; });
+  return std::sqrt(Sum / static_cast<double>(G.dims().lups()));
+}
+
+double ys::normL1(const Grid &G) {
+  double Sum = 0;
+  forEachInterior(G, [&](double V) { Sum += std::fabs(V); });
+  return Sum / static_cast<double>(G.dims().lups());
+}
+
+double ys::diffNormInf(const Grid &A, const Grid &B) {
+  return Grid::maxAbsDiffInterior(A, B);
+}
+
+double ys::diffNormL2(const Grid &A, const Grid &B) {
+  assert(A.dims() == B.dims() && "diff requires equal dims");
+  const GridDims &D = A.dims();
+  double Sum = 0;
+  for (long Z = 0; Z < D.Nz; ++Z)
+    for (long Y = 0; Y < D.Ny; ++Y)
+      for (long X = 0; X < D.Nx; ++X) {
+        double V = A.at(X, Y, Z) - B.at(X, Y, Z);
+        Sum += V * V;
+      }
+  return std::sqrt(Sum / static_cast<double>(D.lups()));
+}
+
+MinMax ys::interiorMinMax(const Grid &G) {
+  MinMax Out;
+  bool First = true;
+  forEachInterior(G, [&](double V) {
+    if (First) {
+      Out.Min = Out.Max = V;
+      First = false;
+      return;
+    }
+    Out.Min = std::min(Out.Min, V);
+    Out.Max = std::max(Out.Max, V);
+  });
+  return Out;
+}

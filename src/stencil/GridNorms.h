@@ -1,0 +1,46 @@
+//===- stencil/GridNorms.h - Grid norms and reductions -----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interior norms and reductions over grids: the quantities the ODE layer
+/// reports (error norms) and tests assert against.  All reductions are
+/// deterministic (fixed traversal order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_STENCIL_GRIDNORMS_H
+#define YS_STENCIL_GRIDNORMS_H
+
+#include "stencil/Grid.h"
+
+namespace ys {
+
+/// Max-norm over the interior.
+double normInf(const Grid &G);
+
+/// Discrete L2 norm over the interior: sqrt(sum u^2 / N).
+double normL2(const Grid &G);
+
+/// Discrete L1 norm over the interior: sum |u| / N.
+double normL1(const Grid &G);
+
+/// Max-norm of the interior difference of two same-dims grids
+/// (synonym of Grid::maxAbsDiffInterior, provided for symmetry).
+double diffNormInf(const Grid &A, const Grid &B);
+
+/// Discrete L2 norm of the interior difference.
+double diffNormL2(const Grid &A, const Grid &B);
+
+/// Minimum and maximum interior values.
+struct MinMax {
+  double Min = 0;
+  double Max = 0;
+};
+MinMax interiorMinMax(const Grid &G);
+
+} // namespace ys
+
+#endif // YS_STENCIL_GRIDNORMS_H

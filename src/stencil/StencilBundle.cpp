@@ -1,0 +1,127 @@
+//===- stencil/StencilBundle.cpp - Multi-equation stencils -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilBundle.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+using namespace ys;
+
+StencilBundle::StencilBundle(std::string Name,
+                             std::vector<std::string> GridNames,
+                             std::vector<BundleEquation> Equations)
+    : Name(std::move(Name)), GridNames(std::move(GridNames)),
+      Equations(std::move(Equations)) {}
+
+std::vector<unsigned> StencilBundle::readsOf(unsigned EqIdx) const {
+  std::set<unsigned> Reads;
+  for (const StencilPoint &P : Equations[EqIdx].Spec.points())
+    Reads.insert(P.GridIdx);
+  return std::vector<unsigned>(Reads.begin(), Reads.end());
+}
+
+bool StencilBundle::dependsOn(unsigned Later, unsigned Earlier) const {
+  unsigned Out = Equations[Earlier].OutputGrid;
+  for (const StencilPoint &P : Equations[Later].Spec.points())
+    if (P.GridIdx == Out)
+      return true;
+  return false;
+}
+
+bool StencilBundle::fusionLegal(unsigned A, unsigned B) const {
+  unsigned OutA = Equations[A].OutputGrid;
+  unsigned OutB = Equations[B].OutputGrid;
+  // B reading A's output at a nonzero offset needs A's full sweep first.
+  for (const StencilPoint &P : Equations[B].Spec.points())
+    if (P.GridIdx == OutA && (P.Dx != 0 || P.Dy != 0 || P.Dz != 0))
+      return false;
+  // A reading B's output at all would see B's new values once fused.
+  for (const StencilPoint &P : Equations[A].Spec.points())
+    if (P.GridIdx == OutB)
+      return false;
+  // Both writing the same grid in one sweep is ill-defined.
+  if (OutA == OutB)
+    return false;
+  return true;
+}
+
+std::vector<std::vector<unsigned>> StencilBundle::greedyFusionGroups() const {
+  std::vector<std::vector<unsigned>> Groups;
+  for (unsigned Eq = 0; Eq < numEquations(); ++Eq) {
+    bool Placed = false;
+    if (!Groups.empty()) {
+      std::vector<unsigned> &Last = Groups.back();
+      bool LegalWithAll = true;
+      for (unsigned Member : Last)
+        if (!fusionLegal(Member, Eq)) {
+          LegalWithAll = false;
+          break;
+        }
+      // Also respect program order with any interleaving group: an
+      // equation may only join the most recent group.
+      if (LegalWithAll) {
+        Last.push_back(Eq);
+        Placed = true;
+      }
+    }
+    if (!Placed)
+      Groups.push_back({Eq});
+  }
+  return Groups;
+}
+
+int StencilBundle::maxRadius() const {
+  int R = 0;
+  for (const BundleEquation &Eq : Equations)
+    R = std::max(R, Eq.Spec.radius());
+  return R;
+}
+
+int StencilBundle::chainedHalo() const {
+  // Halo demand accumulates along true dependences: applying equation E
+  // tile-locally requires its inputs valid R_E cells beyond the tile; if an
+  // input was itself produced tile-locally, its demand adds on top.
+  std::vector<int> Demand(numGrids(), 0);
+  int Max = 0;
+  for (const BundleEquation &Eq : Equations) {
+    int Need = 0;
+    for (const StencilPoint &P : Eq.Spec.points()) {
+      int Off = std::max({std::abs(P.Dx), std::abs(P.Dy), std::abs(P.Dz)});
+      Need = std::max(Need, Off + Demand[P.GridIdx]);
+    }
+    Demand[Eq.OutputGrid] = Need;
+    Max = std::max(Max, Need);
+  }
+  return Max;
+}
+
+std::string StencilBundle::validate() const {
+  if (Equations.empty())
+    return "bundle has no equations";
+  for (unsigned EqIdx = 0; EqIdx < numEquations(); ++EqIdx) {
+    const BundleEquation &Eq = Equations[EqIdx];
+    if (Eq.OutputGrid >= numGrids())
+      return format("equation %u writes out-of-range grid %u", EqIdx,
+                    Eq.OutputGrid);
+    std::string SpecErr = Eq.Spec.validateOffsets();
+    if (!SpecErr.empty())
+      return format("equation %u: %s", EqIdx, SpecErr.c_str());
+    for (const StencilPoint &P : Eq.Spec.points()) {
+      if (P.GridIdx >= numGrids())
+        return format("equation %u reads out-of-range grid %u", EqIdx,
+                      P.GridIdx);
+      if (P.GridIdx == Eq.OutputGrid && (P.Dx != 0 || P.Dy != 0 || P.Dz != 0))
+        return format("equation %u reads its own output at a nonzero "
+                      "offset (in-place stencil)",
+                      EqIdx);
+    }
+  }
+  return std::string();
+}

@@ -1,0 +1,88 @@
+//===- stencil/StencilBundle.h - Multi-equation stencils ---------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A StencilBundle is an ordered sequence of stencil equations over a shared
+/// set of grids — the form in which an explicit ODE step arrives from the
+/// Offsite front end (one equation per RK stage plus the state update).
+/// The bundle answers dependence questions that decide which sweeps may be
+/// fused into a single pass over the grid (Offsite's implementation
+/// variants) and how much halo a tile needs when several equations are
+/// applied back-to-back tile-locally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_STENCIL_STENCILBUNDLE_H
+#define YS_STENCIL_STENCILBUNDLE_H
+
+#include "stencil/StencilSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// One equation of a bundle: grid[OutputGrid] = Spec applied to the bundle's
+/// grids (StencilPoint::GridIdx indexes the bundle grid list).
+struct BundleEquation {
+  unsigned OutputGrid = 0;
+  StencilSpec Spec;
+};
+
+/// An ordered multi-equation stencil program over named grids.
+class StencilBundle {
+public:
+  StencilBundle() = default;
+  StencilBundle(std::string Name, std::vector<std::string> GridNames,
+                std::vector<BundleEquation> Equations);
+
+  const std::string &name() const { return Name; }
+  const std::vector<std::string> &gridNames() const { return GridNames; }
+  const std::vector<BundleEquation> &equations() const { return Equations; }
+  unsigned numGrids() const { return static_cast<unsigned>(GridNames.size()); }
+  unsigned numEquations() const {
+    return static_cast<unsigned>(Equations.size());
+  }
+
+  /// Grids read by equation \p EqIdx (deduplicated, sorted).
+  std::vector<unsigned> readsOf(unsigned EqIdx) const;
+
+  /// True if equation \p Later depends on the output of equation
+  /// \p Earlier (reads the grid Earlier writes).
+  bool dependsOn(unsigned Later, unsigned Earlier) const;
+
+  /// True if equations \p A and \p B (A before B in program order) may be
+  /// computed in the same fused sweep at the same grid point: B must not
+  /// read A's output at any nonzero offset (reading at offset zero is fine
+  /// because A's value for the current point is already available), and A
+  /// must not read B's output at all (anti-dependence through the sweep).
+  bool fusionLegal(unsigned A, unsigned B) const;
+
+  /// Greedy partition of the equations into maximal legal fused sweeps,
+  /// preserving program order.  Returns groups of equation indices.
+  std::vector<std::vector<unsigned>> greedyFusionGroups() const;
+
+  /// Maximum stencil radius over all equations.
+  int maxRadius() const;
+
+  /// Cumulative halo needed to apply all equations tile-locally without
+  /// inter-tile exchange (sum of radii along the dependence chain).
+  int chainedHalo() const;
+
+  /// Returns an empty string when well formed, else a diagnostic
+  /// (grid indices out of range, an equation writing a grid it reads at a
+  /// nonzero offset — which would be an in-place stencil data race).
+  std::string validate() const;
+
+private:
+  std::string Name;
+  std::vector<std::string> GridNames;
+  std::vector<BundleEquation> Equations;
+};
+
+} // namespace ys
+
+#endif // YS_STENCIL_STENCILBUNDLE_H

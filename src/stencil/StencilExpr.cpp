@@ -1,0 +1,356 @@
+//===- stencil/StencilExpr.cpp - Stencil expression AST --------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilExpr.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+#include <tuple>
+
+using namespace ys;
+
+Expr Expr::load(unsigned GridIdx, int Dx, int Dy, int Dz) {
+  auto N = std::make_shared<ExprNode>(ExprKind::Load);
+  N->GridIdx = GridIdx;
+  N->Dx = Dx;
+  N->Dy = Dy;
+  N->Dz = Dz;
+  return Expr(std::move(N));
+}
+
+Expr Expr::constant(double Value) {
+  auto N = std::make_shared<ExprNode>(ExprKind::Const);
+  N->Value = Value;
+  return Expr(std::move(N));
+}
+
+Expr Expr::add(Expr L, Expr R) {
+  assert(L.isValid() && R.isValid() && "add on invalid expr");
+  auto N = std::make_shared<ExprNode>(ExprKind::Add);
+  N->Lhs = L.Node;
+  N->Rhs = R.Node;
+  return Expr(std::move(N));
+}
+
+Expr Expr::sub(Expr L, Expr R) {
+  assert(L.isValid() && R.isValid() && "sub on invalid expr");
+  auto N = std::make_shared<ExprNode>(ExprKind::Sub);
+  N->Lhs = L.Node;
+  N->Rhs = R.Node;
+  return Expr(std::move(N));
+}
+
+Expr Expr::mul(Expr L, Expr R) {
+  assert(L.isValid() && R.isValid() && "mul on invalid expr");
+  auto N = std::make_shared<ExprNode>(ExprKind::Mul);
+  N->Lhs = L.Node;
+  N->Rhs = R.Node;
+  return Expr(std::move(N));
+}
+
+Expr Expr::div(Expr L, Expr R) {
+  assert(L.isValid() && R.isValid() && "div on invalid expr");
+  auto N = std::make_shared<ExprNode>(ExprKind::Div);
+  N->Lhs = L.Node;
+  N->Rhs = R.Node;
+  return Expr(std::move(N));
+}
+
+Expr Expr::neg(Expr E) {
+  assert(E.isValid() && "neg on invalid expr");
+  auto N = std::make_shared<ExprNode>(ExprKind::Neg);
+  N->Lhs = E.Node;
+  return Expr(std::move(N));
+}
+
+ExprKind Expr::kind() const {
+  assert(Node && "kind() on invalid expr");
+  return Node->Kind;
+}
+
+static unsigned sizeOf(const ExprNode *N) {
+  if (!N)
+    return 0;
+  return 1 + sizeOf(N->Lhs.get()) + sizeOf(N->Rhs.get());
+}
+
+unsigned Expr::size() const { return sizeOf(Node.get()); }
+
+static unsigned flopsOf(const ExprNode *N) {
+  if (!N)
+    return 0;
+  unsigned Self = 0;
+  switch (N->Kind) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Div:
+    Self = 1;
+    break;
+  case ExprKind::Neg:
+  case ExprKind::Load:
+  case ExprKind::Const:
+    Self = 0;
+    break;
+  }
+  return Self + flopsOf(N->Lhs.get()) + flopsOf(N->Rhs.get());
+}
+
+unsigned Expr::flops() const { return flopsOf(Node.get()); }
+
+static std::string offsetStr(const char *Axis, int D) {
+  if (D == 0)
+    return Axis;
+  return format("%s%+d", Axis, D);
+}
+
+static std::string strOf(const ExprNode *N) {
+  assert(N && "printing invalid expr");
+  switch (N->Kind) {
+  case ExprKind::Load:
+    return format("u%u[%s,%s,%s]", N->GridIdx, offsetStr("x", N->Dx).c_str(),
+                  offsetStr("y", N->Dy).c_str(), offsetStr("z", N->Dz).c_str());
+  case ExprKind::Const:
+    return trimmedDouble(N->Value, 6);
+  case ExprKind::Add:
+    return "(" + strOf(N->Lhs.get()) + " + " + strOf(N->Rhs.get()) + ")";
+  case ExprKind::Sub:
+    return "(" + strOf(N->Lhs.get()) + " - " + strOf(N->Rhs.get()) + ")";
+  case ExprKind::Mul:
+    return "(" + strOf(N->Lhs.get()) + " * " + strOf(N->Rhs.get()) + ")";
+  case ExprKind::Div:
+    return "(" + strOf(N->Lhs.get()) + " / " + strOf(N->Rhs.get()) + ")";
+  case ExprKind::Neg:
+    return "(-" + strOf(N->Lhs.get()) + ")";
+  }
+  return std::string();
+}
+
+std::string Expr::str() const { return strOf(Node.get()); }
+
+namespace {
+
+/// Linear form: constant + sum of coeff * load.
+struct LinearForm {
+  double Constant = 0.0;
+  std::map<std::tuple<unsigned, int, int, int>, double> Terms;
+  bool Ok = true;
+  std::string Err;
+
+  static LinearForm failure(std::string Message) {
+    LinearForm F;
+    F.Ok = false;
+    F.Err = std::move(Message);
+    return F;
+  }
+};
+
+LinearForm linearizeNode(const ExprNode *N) {
+  assert(N && "linearizing invalid expr");
+  switch (N->Kind) {
+  case ExprKind::Load: {
+    LinearForm F;
+    F.Terms[{N->GridIdx, N->Dx, N->Dy, N->Dz}] = 1.0;
+    return F;
+  }
+  case ExprKind::Const: {
+    LinearForm F;
+    F.Constant = N->Value;
+    return F;
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    LinearForm L = linearizeNode(N->Lhs.get());
+    if (!L.Ok)
+      return L;
+    LinearForm R = linearizeNode(N->Rhs.get());
+    if (!R.Ok)
+      return R;
+    double Sign = N->Kind == ExprKind::Add ? 1.0 : -1.0;
+    L.Constant += Sign * R.Constant;
+    for (const auto &[Key, Coeff] : R.Terms)
+      L.Terms[Key] += Sign * Coeff;
+    return L;
+  }
+  case ExprKind::Mul: {
+    LinearForm L = linearizeNode(N->Lhs.get());
+    if (!L.Ok)
+      return L;
+    LinearForm R = linearizeNode(N->Rhs.get());
+    if (!R.Ok)
+      return R;
+    // One side must be a pure constant for the product to stay linear.
+    const LinearForm *ConstSide = L.Terms.empty() ? &L : nullptr;
+    const LinearForm *VarSide = &R;
+    if (!ConstSide && R.Terms.empty()) {
+      ConstSide = &R;
+      VarSide = &L;
+    }
+    if (!ConstSide)
+      return LinearForm::failure("product of two grid-dependent expressions "
+                                 "is not linear");
+    LinearForm Out;
+    Out.Constant = ConstSide->Constant * VarSide->Constant;
+    for (const auto &[Key, Coeff] : VarSide->Terms)
+      Out.Terms[Key] = ConstSide->Constant * Coeff;
+    return Out;
+  }
+  case ExprKind::Div: {
+    LinearForm L = linearizeNode(N->Lhs.get());
+    if (!L.Ok)
+      return L;
+    LinearForm R = linearizeNode(N->Rhs.get());
+    if (!R.Ok)
+      return R;
+    if (!R.Terms.empty())
+      return LinearForm::failure("division by a grid-dependent expression "
+                                 "is not linear");
+    if (R.Constant == 0.0)
+      return LinearForm::failure("division by zero");
+    LinearForm Out;
+    Out.Constant = L.Constant / R.Constant;
+    for (const auto &[Key, Coeff] : L.Terms)
+      Out.Terms[Key] = Coeff / R.Constant;
+    return Out;
+  }
+  case ExprKind::Neg: {
+    LinearForm L = linearizeNode(N->Lhs.get());
+    if (!L.Ok)
+      return L;
+    L.Constant = -L.Constant;
+    for (auto &[Key, Coeff] : L.Terms)
+      Coeff = -Coeff;
+    return L;
+  }
+  }
+  return LinearForm::failure("unknown expression kind");
+}
+
+} // namespace
+
+Expr Expr::simplified() const {
+  assert(Node && "simplifying invalid expr");
+  const ExprNode *N = Node.get();
+  auto IsConst = [](const Expr &E, double V) {
+    return E.isValid() && E.kind() == ExprKind::Const &&
+           E.node()->Value == V;
+  };
+  auto ConstOf = [](const Expr &E) { return E.node()->Value; };
+
+  switch (N->Kind) {
+  case ExprKind::Load:
+  case ExprKind::Const:
+    return *this;
+  case ExprKind::Neg: {
+    Expr Sub = Expr(N->Lhs).simplified();
+    if (Sub.kind() == ExprKind::Const)
+      return constant(-ConstOf(Sub));
+    if (Sub.kind() == ExprKind::Neg)
+      return Expr(Sub.node()->Lhs); // --x -> x.
+    return neg(Sub);
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    Expr L = Expr(N->Lhs).simplified();
+    Expr R = Expr(N->Rhs).simplified();
+    bool IsAdd = N->Kind == ExprKind::Add;
+    if (L.kind() == ExprKind::Const && R.kind() == ExprKind::Const)
+      return constant(IsAdd ? ConstOf(L) + ConstOf(R)
+                            : ConstOf(L) - ConstOf(R));
+    if (IsConst(R, 0.0))
+      return L; // x +- 0 -> x.
+    if (IsAdd && IsConst(L, 0.0))
+      return R; // 0 + x -> x.
+    return IsAdd ? add(L, R) : sub(L, R);
+  }
+  case ExprKind::Mul: {
+    Expr L = Expr(N->Lhs).simplified();
+    Expr R = Expr(N->Rhs).simplified();
+    if (L.kind() == ExprKind::Const && R.kind() == ExprKind::Const)
+      return constant(ConstOf(L) * ConstOf(R));
+    if (IsConst(L, 0.0) || IsConst(R, 0.0))
+      return constant(0.0);
+    if (IsConst(L, 1.0))
+      return R;
+    if (IsConst(R, 1.0))
+      return L;
+    return mul(L, R);
+  }
+  case ExprKind::Div: {
+    Expr L = Expr(N->Lhs).simplified();
+    Expr R = Expr(N->Rhs).simplified();
+    if (L.kind() == ExprKind::Const && R.kind() == ExprKind::Const &&
+        ConstOf(R) != 0.0)
+      return constant(ConstOf(L) / ConstOf(R));
+    if (IsConst(R, 1.0))
+      return L;
+    return div(L, R);
+  }
+  }
+  return *this;
+}
+
+Expected<std::vector<StencilPoint>> Expr::linearize() const {
+  if (!Node)
+    return Error::failure("invalid (empty) expression");
+  LinearForm F = linearizeNode(Node.get());
+  if (!F.Ok)
+    return Error::failure(F.Err);
+  if (F.Constant != 0.0)
+    return Error::failure("expression has a nonzero constant term, which a "
+                          "StencilSpec cannot represent");
+  std::vector<StencilPoint> Points;
+  for (const auto &[Key, Coeff] : F.Terms) {
+    if (Coeff == 0.0)
+      continue;
+    auto [GridIdx, Dx, Dy, Dz] = Key;
+    StencilPoint P;
+    P.GridIdx = GridIdx;
+    P.Dx = Dx;
+    P.Dy = Dy;
+    P.Dz = Dz;
+    P.Coeff = Coeff;
+    Points.push_back(P);
+  }
+  if (Points.empty())
+    return Error::failure("expression linearizes to zero");
+  return Points;
+}
+
+Expected<StencilSpec> Expr::toSpec(const std::string &Name) const {
+  auto PointsOr = linearize();
+  if (!PointsOr)
+    return PointsOr.takeError();
+  return StencilSpec(Name, *PointsOr);
+}
+
+double Expr::evaluate(
+    const std::function<double(unsigned, int, int, int)> &LoadFn) const {
+  assert(Node && "evaluating invalid expr");
+  std::function<double(const ExprNode *)> Eval =
+      [&](const ExprNode *M) -> double {
+    switch (M->Kind) {
+    case ExprKind::Load:
+      return LoadFn(M->GridIdx, M->Dx, M->Dy, M->Dz);
+    case ExprKind::Const:
+      return M->Value;
+    case ExprKind::Add:
+      return Eval(M->Lhs.get()) + Eval(M->Rhs.get());
+    case ExprKind::Sub:
+      return Eval(M->Lhs.get()) - Eval(M->Rhs.get());
+    case ExprKind::Mul:
+      return Eval(M->Lhs.get()) * Eval(M->Rhs.get());
+    case ExprKind::Div:
+      return Eval(M->Lhs.get()) / Eval(M->Rhs.get());
+    case ExprKind::Neg:
+      return -Eval(M->Lhs.get());
+    }
+    return 0.0;
+  };
+  return Eval(Node.get());
+}

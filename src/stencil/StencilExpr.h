@@ -1,0 +1,137 @@
+//===- stencil/StencilExpr.h - Stencil expression AST ------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small expression AST for stencil equations, mirroring the equation DSL
+/// of YASK that YaskSite builds on.  Users (and the ODE front end) compose
+/// expressions from grid loads and arithmetic; linear constant-coefficient
+/// expressions lower to the flattened StencilSpec that the executor, code
+/// emitter and ECM model consume.
+///
+/// Expressions are immutable and shared; Expr is a cheap value handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_STENCIL_STENCILEXPR_H
+#define YS_STENCIL_STENCILEXPR_H
+
+#include "stencil/StencilSpec.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Node kind discriminator for the expression AST.
+enum class ExprKind {
+  Load,  ///< Grid access at a constant offset.
+  Const, ///< Floating-point literal.
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Right operand must fold to a constant for linearization.
+  Neg,
+};
+
+class ExprNode;
+
+/// Value handle to an immutable expression tree.
+class Expr {
+public:
+  Expr() = default;
+
+  /// \name Leaf constructors.
+  /// @{
+  static Expr load(unsigned GridIdx, int Dx, int Dy, int Dz);
+  static Expr constant(double Value);
+  /// @}
+
+  /// \name Combinators (also available as operators).
+  /// @{
+  static Expr add(Expr L, Expr R);
+  static Expr sub(Expr L, Expr R);
+  static Expr mul(Expr L, Expr R);
+  static Expr div(Expr L, Expr R);
+  static Expr neg(Expr E);
+  /// @}
+
+  bool isValid() const { return Node != nullptr; }
+  ExprKind kind() const;
+
+  /// Number of nodes in the tree.
+  unsigned size() const;
+
+  /// Adds/multiplies performed when evaluating the tree once.
+  unsigned flops() const;
+
+  /// Renders the expression as readable infix text, grids named
+  /// u0, u1, ... ("u0[x+1,y,z]").
+  std::string str() const;
+
+  /// Returns an algebraically simplified copy: constants fold
+  /// (2*3 -> 6), identities drop (x+0, x*1, x/1, --x), and
+  /// multiplication by zero collapses to 0.  Purely structural — never
+  /// changes the value the expression denotes.
+  Expr simplified() const;
+
+  /// Lowers a linear, constant-coefficient expression to stencil points
+  /// (combining repeated offsets).  Fails for nonlinear expressions
+  /// (grid*grid) or a nonzero constant term.
+  Expected<std::vector<StencilPoint>> linearize() const;
+
+  /// Convenience: linearize and wrap in a named StencilSpec.
+  Expected<StencilSpec> toSpec(const std::string &Name) const;
+
+  /// Evaluates the expression given a callback that resolves loads.
+  double evaluate(
+      const std::function<double(unsigned, int, int, int)> &LoadFn) const;
+
+  const ExprNode *node() const { return Node.get(); }
+
+private:
+  explicit Expr(std::shared_ptr<const ExprNode> Node)
+      : Node(std::move(Node)) {}
+  std::shared_ptr<const ExprNode> Node;
+};
+
+/// Immutable AST node.  Exposed so visitors (e.g. the source emitter) can
+/// walk trees; construct only through Expr.
+class ExprNode {
+public:
+  ExprKind Kind;
+  // Load payload.
+  unsigned GridIdx = 0;
+  int Dx = 0, Dy = 0, Dz = 0;
+  // Const payload.
+  double Value = 0.0;
+  // Children (unary ops use Lhs only).
+  std::shared_ptr<const ExprNode> Lhs;
+  std::shared_ptr<const ExprNode> Rhs;
+
+  explicit ExprNode(ExprKind Kind) : Kind(Kind) {}
+};
+
+inline Expr operator+(Expr L, Expr R) { return Expr::add(L, R); }
+inline Expr operator-(Expr L, Expr R) { return Expr::sub(L, R); }
+inline Expr operator*(Expr L, Expr R) { return Expr::mul(L, R); }
+inline Expr operator/(Expr L, Expr R) { return Expr::div(L, R); }
+inline Expr operator/(Expr L, double C) {
+  return Expr::div(L, Expr::constant(C));
+}
+inline Expr operator-(Expr E) { return Expr::neg(E); }
+inline Expr operator*(double C, Expr E) {
+  return Expr::mul(Expr::constant(C), E);
+}
+inline Expr operator+(Expr L, double C) {
+  return Expr::add(L, Expr::constant(C));
+}
+
+} // namespace ys
+
+#endif // YS_STENCIL_STENCILEXPR_H

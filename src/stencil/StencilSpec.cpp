@@ -1,0 +1,240 @@
+//===- stencil/StencilSpec.cpp - Stencil specification ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilSpec.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+using namespace ys;
+
+StencilSpec::StencilSpec(std::string Name, std::vector<StencilPoint> Points)
+    : Name(std::move(Name)), Points(std::move(Points)) {}
+
+unsigned StencilSpec::numInputGrids() const {
+  unsigned Max = 0;
+  for (const StencilPoint &P : Points)
+    Max = std::max(Max, P.GridIdx + 1);
+  return Max;
+}
+
+int StencilSpec::radius() const {
+  int R = 0;
+  for (const StencilPoint &P : Points) {
+    R = std::max(R, std::abs(P.Dx));
+    R = std::max(R, std::abs(P.Dy));
+    R = std::max(R, std::abs(P.Dz));
+  }
+  return R;
+}
+
+bool StencilSpec::is2D() const {
+  for (const StencilPoint &P : Points)
+    if (P.Dz != 0)
+      return false;
+  return true;
+}
+
+bool StencilSpec::is1D() const {
+  for (const StencilPoint &P : Points)
+    if (P.Dz != 0 || P.Dy != 0)
+      return false;
+  return true;
+}
+
+StencilShape StencilSpec::shape() const {
+  int R = radius();
+  // Star: every point lies on a coordinate axis.
+  bool AllOnAxis = true;
+  for (const StencilPoint &P : Points) {
+    unsigned NonZero =
+        (P.Dx != 0 ? 1u : 0u) + (P.Dy != 0 ? 1u : 0u) + (P.Dz != 0 ? 1u : 0u);
+    if (NonZero > 1) {
+      AllOnAxis = false;
+      break;
+    }
+  }
+  if (AllOnAxis)
+    return StencilShape::Star;
+
+  // Box: the full cube of points within the radius.
+  unsigned Dims = is1D() ? 1u : (is2D() ? 2u : 3u);
+  unsigned long long Expected = 1;
+  for (unsigned D = 0; D < Dims; ++D)
+    Expected *= static_cast<unsigned long long>(2 * R + 1);
+  if (numInputGrids() == 1 && Points.size() == Expected)
+    return StencilShape::Box;
+  return StencilShape::Other;
+}
+
+const char *StencilSpec::shapeName() const {
+  switch (shape()) {
+  case StencilShape::Star:
+    return "star";
+  case StencilShape::Box:
+    return "box";
+  case StencilShape::Other:
+    return "other";
+  }
+  return "other";
+}
+
+unsigned StencilSpec::mulsPerLup() const {
+  unsigned Muls = 0;
+  for (const StencilPoint &P : Points)
+    if (P.Coeff != 1.0)
+      ++Muls;
+  return Muls;
+}
+
+unsigned StencilSpec::addsPerLup() const {
+  return Points.empty() ? 0 : static_cast<unsigned>(Points.size()) - 1;
+}
+
+unsigned StencilSpec::flopsPerLup() const {
+  return mulsPerLup() + addsPerLup() + ExtraFlopsPerLup;
+}
+
+StreamCounts StencilSpec::streams() const {
+  std::set<std::tuple<unsigned, int, int>> Layers;
+  std::set<std::pair<unsigned, int>> Planes;
+  std::set<unsigned> Grids;
+  for (const StencilPoint &P : Points) {
+    Layers.insert({P.GridIdx, P.Dy, P.Dz});
+    Planes.insert({P.GridIdx, P.Dz});
+    Grids.insert(P.GridIdx);
+  }
+  StreamCounts C;
+  C.Layers = static_cast<unsigned>(Layers.size());
+  C.ZPlanes = static_cast<unsigned>(Planes.size());
+  C.Grids = static_cast<unsigned>(Grids.size());
+  return C;
+}
+
+std::vector<std::pair<int, int>> StencilSpec::rowOffsets(
+    unsigned GridIdx) const {
+  std::set<std::pair<int, int>> Rows;
+  for (const StencilPoint &P : Points)
+    if (P.GridIdx == GridIdx)
+      Rows.insert({P.Dy, P.Dz});
+  return std::vector<std::pair<int, int>>(Rows.begin(), Rows.end());
+}
+
+std::vector<int> StencilSpec::planeOffsets(unsigned GridIdx) const {
+  std::set<int> Planes;
+  for (const StencilPoint &P : Points)
+    if (P.GridIdx == GridIdx)
+      Planes.insert(P.Dz);
+  return std::vector<int>(Planes.begin(), Planes.end());
+}
+
+std::string StencilSpec::validateOffsets() const {
+  if (Points.empty())
+    return "stencil has no points";
+  for (size_t I = 0; I < Points.size(); ++I)
+    for (size_t J = I + 1; J < Points.size(); ++J)
+      if (Points[I].sameOffset(Points[J]))
+        return format("duplicate offset (%d,%d,%d) on grid %u", Points[I].Dx,
+                      Points[I].Dy, Points[I].Dz, Points[I].GridIdx);
+  return std::string();
+}
+
+std::string StencilSpec::validate() const {
+  if (std::string E = validateOffsets(); !E.empty())
+    return E;
+  std::set<unsigned> Grids;
+  for (const StencilPoint &P : Points)
+    Grids.insert(P.GridIdx);
+  for (unsigned G = 0; G < Grids.size(); ++G)
+    if (!Grids.count(G))
+      return format("input grid indices not contiguous: missing %u", G);
+  return std::string();
+}
+
+StencilSpec StencilSpec::star3d(int Radius, double CenterCoeff,
+                                double NeighborCoeff) {
+  std::vector<StencilPoint> Pts;
+  Pts.push_back({0, 0, 0, CenterCoeff, 0});
+  for (int R = 1; R <= Radius; ++R) {
+    Pts.push_back({R, 0, 0, NeighborCoeff, 0});
+    Pts.push_back({-R, 0, 0, NeighborCoeff, 0});
+    Pts.push_back({0, R, 0, NeighborCoeff, 0});
+    Pts.push_back({0, -R, 0, NeighborCoeff, 0});
+    Pts.push_back({0, 0, R, NeighborCoeff, 0});
+    Pts.push_back({0, 0, -R, NeighborCoeff, 0});
+  }
+  return StencilSpec(format("star3d-r%d", Radius), std::move(Pts));
+}
+
+StencilSpec StencilSpec::box3d(int Radius) {
+  std::vector<StencilPoint> Pts;
+  int N = 2 * Radius + 1;
+  double Coeff = 1.0 / (N * N * N);
+  for (int Dz = -Radius; Dz <= Radius; ++Dz)
+    for (int Dy = -Radius; Dy <= Radius; ++Dy)
+      for (int Dx = -Radius; Dx <= Radius; ++Dx)
+        Pts.push_back({Dx, Dy, Dz, Coeff, 0});
+  return StencilSpec(format("box3d-r%d", Radius), std::move(Pts));
+}
+
+StencilSpec StencilSpec::star2d(int Radius, double CenterCoeff,
+                                double NeighborCoeff) {
+  std::vector<StencilPoint> Pts;
+  Pts.push_back({0, 0, 0, CenterCoeff, 0});
+  for (int R = 1; R <= Radius; ++R) {
+    Pts.push_back({R, 0, 0, NeighborCoeff, 0});
+    Pts.push_back({-R, 0, 0, NeighborCoeff, 0});
+    Pts.push_back({0, R, 0, NeighborCoeff, 0});
+    Pts.push_back({0, -R, 0, NeighborCoeff, 0});
+  }
+  return StencilSpec(format("star2d-r%d", Radius), std::move(Pts));
+}
+
+StencilSpec StencilSpec::line1d(int Radius, double CenterCoeff,
+                                double NeighborCoeff) {
+  std::vector<StencilPoint> Pts;
+  Pts.push_back({0, 0, 0, CenterCoeff, 0});
+  for (int R = 1; R <= Radius; ++R) {
+    Pts.push_back({R, 0, 0, NeighborCoeff, 0});
+    Pts.push_back({-R, 0, 0, NeighborCoeff, 0});
+  }
+  return StencilSpec(format("line1d-r%d", Radius), std::move(Pts));
+}
+
+StencilSpec StencilSpec::heat3d() {
+  StencilSpec S = star3d(1, 0.0, 1.0 / 6.0);
+  // Drop the zero-coefficient center to match the classic 6-point average
+  // plus keep the center with a weight, giving the usual 7-point form.
+  std::vector<StencilPoint> Pts = S.points();
+  Pts[0].Coeff = 0.5; // Center weight.
+  for (size_t I = 1; I < Pts.size(); ++I)
+    Pts[I].Coeff = 1.0 / 12.0;
+  return StencilSpec("heat3d", std::move(Pts));
+}
+
+StencilSpec StencilSpec::heat2d() {
+  StencilSpec S = star2d(1, 0.5, 1.0 / 8.0);
+  return StencilSpec("heat2d", S.points());
+}
+
+StencilSpec StencilSpec::longRange(int RadiusX) {
+  std::vector<StencilPoint> Pts;
+  Pts.push_back({0, 0, 0, -2.0 * (RadiusX + 1), 0});
+  for (int R = 1; R <= RadiusX; ++R) {
+    Pts.push_back({R, 0, 0, 1.0, 0});
+    Pts.push_back({-R, 0, 0, 1.0, 0});
+  }
+  Pts.push_back({0, 1, 0, 1.0, 0});
+  Pts.push_back({0, -1, 0, 1.0, 0});
+  Pts.push_back({0, 0, 1, 1.0, 0});
+  Pts.push_back({0, 0, -1, 1.0, 0});
+  return StencilSpec(format("longrange-rx%d", RadiusX), std::move(Pts));
+}

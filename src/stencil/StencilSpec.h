@@ -1,0 +1,155 @@
+//===- stencil/StencilSpec.h - Stencil specification -------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central stencil description: a linear, constant-coefficient update of
+/// one output grid from one or more input grids, given as a set of
+/// (offset, coefficient) points.  This is the flattened form YaskSite/YASK
+/// compile; the general expression AST in StencilExpr.h lowers to it.
+///
+/// The spec also answers the structural questions the ECM model asks:
+/// flops per lattice update (LUP), number of distinct row "layers"
+/// (offsets in the y/z plane, which determine load streams and layer
+/// conditions), and the stencil's radius and shape class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_STENCIL_STENCILSPEC_H
+#define YS_STENCIL_STENCILSPEC_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// One access of a stencil: input grid index, offset and coefficient.
+struct StencilPoint {
+  int Dx = 0;
+  int Dy = 0;
+  int Dz = 0;
+  double Coeff = 1.0;
+  unsigned GridIdx = 0; ///< Which input grid the point reads.
+
+  bool sameOffset(const StencilPoint &O) const {
+    return Dx == O.Dx && Dy == O.Dy && Dz == O.Dz && GridIdx == O.GridIdx;
+  }
+};
+
+/// Shape classification of a stencil.
+enum class StencilShape {
+  Star,  ///< All points on the coordinate axes (classic r-point star).
+  Box,   ///< Full (2r+1)^d cube of points.
+  Other, ///< Anything else.
+};
+
+/// Number of distinct memory "streams" contributed by a stencil at each
+/// reuse granularity, per input grid and summed.  See LayerCondition.
+struct StreamCounts {
+  unsigned Layers = 0;  ///< Distinct (grid, dy, dz) row offsets.
+  unsigned ZPlanes = 0; ///< Distinct (grid, dz) plane offsets.
+  unsigned Grids = 0;   ///< Distinct input grids touched.
+};
+
+/// A linear constant-coefficient stencil: out = sum_i Coeff_i * in[off_i].
+class StencilSpec {
+public:
+  StencilSpec() = default;
+  StencilSpec(std::string Name, std::vector<StencilPoint> Points);
+
+  const std::string &name() const { return Name; }
+  const std::vector<StencilPoint> &points() const { return Points; }
+  unsigned numPoints() const { return static_cast<unsigned>(Points.size()); }
+
+  /// Number of distinct input grids read (max GridIdx + 1).
+  unsigned numInputGrids() const;
+
+  /// Maximum |offset| over all points and dimensions.
+  int radius() const;
+
+  /// True if the stencil only has offsets with Dz == 0 (2-D problem) or
+  /// additionally Dy == 0 (1-D problem).
+  bool is2D() const;
+  bool is1D() const;
+
+  /// Shape classification (star / box / other).
+  StencilShape shape() const;
+  /// Human-readable shape name ("star", "box", "other").
+  const char *shapeName() const;
+
+  /// Floating-point multiplies per lattice update.  Coefficients equal to
+  /// exactly 1.0 are counted as free (strength reduction, as YASK does).
+  unsigned mulsPerLup() const;
+  /// Floating-point additions per lattice update.
+  unsigned addsPerLup() const;
+  /// Total flops per lattice update, including ExtraFlopsPerLup.
+  unsigned flopsPerLup() const;
+
+  /// Distinct stream counts used by layer-condition analysis.
+  StreamCounts streams() const;
+
+  /// Distinct (dy,dz) row-offsets of input grid \p GridIdx, deduplicated.
+  std::vector<std::pair<int, int>> rowOffsets(unsigned GridIdx) const;
+  /// Distinct dz plane-offsets of input grid \p GridIdx, deduplicated.
+  std::vector<int> planeOffsets(unsigned GridIdx) const;
+
+  /// Additional pointwise flops per LUP performed outside the linear part
+  /// (e.g. a nonlinear reaction term applied by the ODE right-hand side).
+  /// Feeds only the in-core model; has no memory-traffic effect.
+  unsigned ExtraFlopsPerLup = 0;
+
+  /// Number of grids written per LUP.  Almost always 1; fused ODE update
+  /// sweeps write the stage value and the new state in one pass.  Feeds
+  /// the store-port and store-traffic terms of the performance model.
+  unsigned OutputGrids = 1;
+
+  /// Returns an empty string when well formed, else a diagnostic
+  /// (duplicate offsets, no points, non-contiguous grid indices).
+  std::string validate() const;
+
+  /// Like validate() but without the grid-index contiguity requirement —
+  /// for specs whose GridIdx values index an enclosing bundle's grid list.
+  std::string validateOffsets() const;
+
+  /// \name Factories for the paper's stencil test suite.
+  /// @{
+
+  /// Radius-r 3-D star: center plus 2*r points per axis, 6r+1 points.
+  /// Coefficients: \p CenterCoeff at the origin, \p NeighborCoeff elsewhere.
+  static StencilSpec star3d(int Radius, double CenterCoeff = -6.0,
+                            double NeighborCoeff = 1.0);
+
+  /// Radius-r 3-D box: all (2r+1)^3 points, uniform coefficient 1/(2r+1)^3.
+  static StencilSpec box3d(int Radius);
+
+  /// Radius-r 2-D star (Dz == 0 everywhere), 4r+1 points.
+  static StencilSpec star2d(int Radius, double CenterCoeff = -4.0,
+                            double NeighborCoeff = 1.0);
+
+  /// Radius-r 1-D stencil along x, 2r+1 points.
+  static StencilSpec line1d(int Radius, double CenterCoeff = -2.0,
+                            double NeighborCoeff = 1.0);
+
+  /// Classic 7-point heat/Jacobi stencil (star3d radius 1 with the usual
+  /// 1/6-average coefficients).
+  static StencilSpec heat3d();
+
+  /// 5-point 2-D heat stencil.
+  static StencilSpec heat2d();
+
+  /// Long-range variable-axis stencil: star along x with radius Rx and
+  /// radius 1 in y/z; stresses the in-core (x-register-reuse) model.
+  static StencilSpec longRange(int RadiusX);
+
+  /// @}
+
+private:
+  std::string Name;
+  std::vector<StencilPoint> Points;
+};
+
+} // namespace ys
+
+#endif // YS_STENCIL_STENCILSPEC_H

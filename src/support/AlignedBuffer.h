@@ -1,0 +1,95 @@
+//===- support/AlignedBuffer.h - Aligned heap storage ------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line / SIMD aligned heap buffer used by Grid storage so that folded
+/// vector layouts start on natural SIMD boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_ALIGNEDBUFFER_H
+#define YS_SUPPORT_ALIGNEDBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace ys {
+
+/// A heap buffer of T aligned to \p Alignment bytes.  Move-only.
+template <typename T, size_t Alignment = 64> class AlignedBuffer {
+public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t Count) { allocate(Count); }
+
+  AlignedBuffer(const AlignedBuffer &) = delete;
+  AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+  AlignedBuffer(AlignedBuffer &&Other) noexcept
+      : Data(std::exchange(Other.Data, nullptr)),
+        Count(std::exchange(Other.Count, 0)) {}
+
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept {
+    if (this != &Other) {
+      release();
+      Data = std::exchange(Other.Data, nullptr);
+      Count = std::exchange(Other.Count, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocates to hold \p NewCount elements; contents are not preserved.
+  void allocate(size_t NewCount) {
+    release();
+    if (NewCount == 0)
+      return;
+    size_t Bytes = NewCount * sizeof(T);
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    size_t Rounded = (Bytes + Alignment - 1) / Alignment * Alignment;
+    Data = static_cast<T *>(std::aligned_alloc(Alignment, Rounded));
+    assert(Data && "aligned_alloc failed");
+    Count = NewCount;
+  }
+
+  /// Sets all elements to zero bytes.
+  void zero() {
+    if (Data)
+      std::memset(Data, 0, Count * sizeof(T));
+  }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "AlignedBuffer index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "AlignedBuffer index out of range");
+    return Data[I];
+  }
+
+private:
+  void release() {
+    std::free(Data);
+    Data = nullptr;
+    Count = 0;
+  }
+
+  T *Data = nullptr;
+  size_t Count = 0;
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_ALIGNEDBUFFER_H

@@ -1,0 +1,98 @@
+//===- support/Error.h - Lightweight error handling -------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling utilities modeled after llvm::Error/Expected but
+/// without the unchecked-error machinery.  The library does not use C++
+/// exceptions; fallible operations return Expected<T> or Error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_ERROR_H
+#define YS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ys {
+
+/// An error carrying a human-readable message.  A default-constructed Error
+/// represents success.
+class Error {
+public:
+  Error() = default;
+
+  /// Creates a failure value with the given message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Returns true if this represents a failure.
+  explicit operator bool() const { return Message.has_value(); }
+
+  /// Returns the failure message.  Must only be called on failure values.
+  const std::string &message() const {
+    assert(Message && "message() called on a success value");
+    return *Message;
+  }
+
+private:
+  std::optional<std::string> Message;
+};
+
+/// Either a value of type T or an Error.  Mirrors llvm::Expected in spirit.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "constructing Expected from a success Error");
+  }
+
+  /// Returns true on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Accesses the contained value.  Must only be called on success.
+  T &operator*() {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Extracts the error.  Must only be called on failure.
+  const Error &takeError() const {
+    assert(Err && "takeError() on a success value");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Aborts with a message.  Used for violated invariants that must be caught
+/// even in release builds (mirrors llvm::report_fatal_error).
+[[noreturn]] inline void reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+} // namespace ys
+
+#endif // YS_SUPPORT_ERROR_H

@@ -1,0 +1,55 @@
+//===- support/Random.h - Deterministic PRNG ---------------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic PRNG.  Used to seed grids and to drive the
+/// random tuning strategy; deterministic across platforms so tests and
+/// benchmark tables are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_RANDOM_H
+#define YS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace ys {
+
+/// SplitMix64 generator.  Small state, excellent statistical quality for the
+/// purposes of this library, and fully deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Returns an integer uniformly distributed in [0, Bound).  Bound > 0.
+  uint64_t nextBounded(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_RANDOM_H

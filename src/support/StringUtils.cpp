@@ -1,0 +1,93 @@
+//===- support/StringUtils.cpp - String formatting helpers ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace ys;
+
+std::string ys::formatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed < 0)
+    return std::string();
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string ys::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string ys::join(const std::vector<std::string> &Parts,
+                     const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string ys::humanBytes(unsigned long long Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit + 1 < 5) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return format("%llu B", Bytes);
+  return format("%.1f %s", Value, Units[Unit]);
+}
+
+std::string ys::trimmedDouble(double Value, int Precision) {
+  std::string S = format("%.*f", Precision, Value);
+  size_t Dot = S.find('.');
+  if (Dot == std::string::npos)
+    return S;
+  size_t Last = S.find_last_not_of('0');
+  if (Last == Dot)
+    --Last;
+  S.erase(Last + 1);
+  return S;
+}
+
+bool ys::startsWith(const std::string &Str, const std::string &Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> ys::split(const std::string &Str, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Str.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(Str.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Str.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string ys::toLower(std::string Str) {
+  for (char &C : Str)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Str;
+}

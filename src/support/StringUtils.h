@@ -1,0 +1,49 @@
+//===- support/StringUtils.h - String formatting helpers --------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus small string helpers used
+/// throughout the library (joins, human-readable sizes, fixed-width floats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_STRINGUTILS_H
+#define YS_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Formats like printf and returns the result as a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of format().
+std::string formatV(const char *Fmt, va_list Args);
+
+/// Joins the given strings with a separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Renders a byte count as a human-readable string, e.g. "32 KiB".
+std::string humanBytes(unsigned long long Bytes);
+
+/// Renders a double with the given precision, trimming trailing zeros.
+std::string trimmedDouble(double Value, int Precision = 3);
+
+/// Returns true if \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+/// Splits a string on a separator character, keeping empty fields.
+std::vector<std::string> split(const std::string &Str, char Sep);
+
+/// Returns \p Str converted to lower case (ASCII only).
+std::string toLower(std::string Str);
+
+} // namespace ys
+
+#endif // YS_SUPPORT_STRINGUTILS_H

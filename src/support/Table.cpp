@@ -1,0 +1,64 @@
+//===- support/Table.cpp - Aligned text table printer ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ys;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Headers.size(); ++C) {
+      const std::string &Cell = C < Cells.size() ? Cells[C] : std::string();
+      Line += "| ";
+      Line += Cell;
+      Line.append(Widths[C] - Cell.size() + 1, ' ');
+    }
+    Line += "|\n";
+    return Line;
+  };
+
+  auto renderRule = [&] {
+    std::string Line;
+    for (size_t C = 0; C < Headers.size(); ++C) {
+      Line += "|";
+      Line.append(Widths[C] + 2, '-');
+    }
+    Line += "|\n";
+    return Line;
+  };
+
+  std::string Out = renderRow(Headers);
+  Out += renderRule();
+  for (const auto &Row : Rows)
+    Out += Row.empty() ? renderRule() : renderRow(Row);
+  return Out;
+}
+
+void Table::print() const {
+  std::string Out = render();
+  std::fwrite(Out.data(), 1, Out.size(), stdout);
+  std::fflush(stdout);
+}

@@ -1,0 +1,48 @@
+//===- support/Table.h - Aligned text table printer --------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text table renderer used by the benchmark harnesses to print paper-style
+/// tables (one bench binary per paper table/figure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_TABLE_H
+#define YS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends a data row.  Rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table, headers first, with a rule under the header.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows; // empty vector == separator
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_TABLE_H

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.cpp - Simple parallel-for pool -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace ys;
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumThreads(NumThreads == 0 ? 1 : NumThreads) {
+  // Worker 0 is the calling thread; spawn NumThreads - 1 helpers.
+  for (unsigned I = 1; I < this->NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runChunk(const Task &T, unsigned PartIdx) {
+  long Total = T.End - T.Begin;
+  if (Total <= 0)
+    return;
+  long Chunk = (Total + T.Parts - 1) / T.Parts;
+  long B = T.Begin + static_cast<long>(PartIdx) * Chunk;
+  long E = B + Chunk;
+  if (B >= T.End)
+    return;
+  if (E > T.End)
+    E = T.End;
+  T.Fn(PartIdx, B, E);
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  unsigned SeenGeneration = 0;
+  while (true) {
+    Task Local;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Current.Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Current.Generation;
+      Local = Current;
+    }
+    runChunk(Local, Index);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      assert(Remaining > 0 && "worker finished with no outstanding work");
+      if (--Remaining == 0)
+        WakeMaster.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallelForChunked(
+    long Begin, long End,
+    const std::function<void(unsigned, long, long)> &Fn) {
+  if (End <= Begin)
+    return;
+  if (NumThreads == 1) {
+    Fn(0, Begin, End);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Current.Fn = Fn;
+    Current.Begin = Begin;
+    Current.End = End;
+    Current.Parts = NumThreads;
+    ++Current.Generation;
+    Remaining = NumThreads - 1;
+  }
+  WakeWorkers.notify_all();
+  runChunk(Current, 0);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WakeMaster.wait(Lock, [&] { return Remaining == 0; });
+}
+
+void ThreadPool::parallelFor(long Begin, long End,
+                             const std::function<void(long)> &Fn) {
+  parallelForChunked(Begin, End, [&Fn](unsigned, long B, long E) {
+    for (long I = B; I < E; ++I)
+      Fn(I);
+  });
+}

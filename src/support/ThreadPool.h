@@ -1,0 +1,79 @@
+//===- support/ThreadPool.h - Simple parallel-for pool -----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal thread pool exposing a blocking parallelFor.  It replaces the
+/// OpenMP runtime used by YASK/YaskSite; the kernel executor decomposes the
+/// outermost blocked loop over this pool exactly as an `omp parallel for`
+/// with static scheduling would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_THREADPOOL_H
+#define YS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ys {
+
+/// A fixed-size pool of worker threads with a fork-join parallelFor.
+///
+/// Work items are contiguous index ranges handed to workers in static
+/// round-robin chunks.  parallelFor blocks until all indices are processed.
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (>= 1).  NumThreads == 1 runs
+  /// all work inline on the calling thread.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Runs Fn(I) for every I in [Begin, End), partitioned statically across
+  /// the pool (including the calling thread).  Blocks until complete.
+  void parallelFor(long Begin, long End,
+                   const std::function<void(long)> &Fn);
+
+  /// Runs Fn(ThreadIdx, Begin, End) once per participating thread with that
+  /// thread's contiguous sub-range.  Useful when per-thread setup matters.
+  void parallelForChunked(
+      long Begin, long End,
+      const std::function<void(unsigned, long, long)> &Fn);
+
+private:
+  struct Task {
+    // Chunked task state for one parallelFor invocation.
+    std::function<void(unsigned, long, long)> Fn;
+    long Begin = 0;
+    long End = 0;
+    unsigned Parts = 1;
+    unsigned Generation = 0;
+  };
+
+  void workerLoop(unsigned Index);
+  static void runChunk(const Task &T, unsigned PartIdx);
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable WakeMaster;
+  Task Current;
+  unsigned Remaining = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_THREADPOOL_H

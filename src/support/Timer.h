@@ -1,0 +1,79 @@
+//===- support/Timer.h - Wall-clock timing helpers ---------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-clock stopwatch plus a repeat-and-take-the-median measurement
+/// helper used by the measuring tuning strategies and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_TIMER_H
+#define YS_SUPPORT_TIMER_H
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace ys {
+
+/// A simple steady-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Statistics of repeated timing runs, in seconds.
+struct TimingStats {
+  double Min = 0;
+  double Median = 0;
+  double Mean = 0;
+  double Max = 0;
+  unsigned Repeats = 0;
+};
+
+/// Runs \p Fn \p Repeats times and returns timing statistics.  One untimed
+/// warm-up run is performed first.
+inline TimingStats measureSeconds(const std::function<void()> &Fn,
+                                  unsigned Repeats = 3) {
+  if (Repeats == 0)
+    Repeats = 1;
+  Fn(); // Warm-up.
+  std::vector<double> Samples;
+  Samples.reserve(Repeats);
+  for (unsigned I = 0; I < Repeats; ++I) {
+    Timer T;
+    Fn();
+    Samples.push_back(T.seconds());
+  }
+  std::sort(Samples.begin(), Samples.end());
+  TimingStats S;
+  S.Repeats = Repeats;
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  S.Median = Samples[Samples.size() / 2];
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Samples.size());
+  return S;
+}
+
+} // namespace ys
+
+#endif // YS_SUPPORT_TIMER_H

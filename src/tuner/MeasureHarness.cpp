@@ -1,0 +1,80 @@
+//===- tuner/MeasureHarness.cpp - Kernel measurement harness ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/MeasureHarness.h"
+
+#include "cachesim/StencilTrace.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+using namespace ys;
+
+MeasureHarness::MeasureHarness(StencilSpec Spec, GridDims Dims,
+                               unsigned Repeats, unsigned SweepsPerRepeat)
+    : Spec(std::move(Spec)), Dims(Dims), Repeats(Repeats),
+      SweepsPerRepeat(std::max(1u, SweepsPerRepeat)) {}
+
+MeasureHarness::~MeasureHarness() = default;
+
+void MeasureHarness::ensureBuffers(const KernelConfig &Config) {
+  if (!U || !(CurrentFold == Config.VectorFold)) {
+    CurrentFold = Config.VectorFold;
+    int Halo = Spec.radius();
+    U = std::make_unique<Grid>(Dims, Halo, CurrentFold);
+    V = std::make_unique<Grid>(Dims, Halo, CurrentFold);
+    Rng R(42);
+    U->fillRandom(R);
+  }
+  if (Config.Threads > 1 && (!Pool || PoolThreads != Config.Threads)) {
+    Pool = std::make_unique<ThreadPool>(Config.Threads);
+    PoolThreads = Config.Threads;
+  }
+}
+
+double MeasureHarness::measure(const KernelConfig &Config) {
+  ensureBuffers(Config);
+  KernelExecutor Exec(Spec, Config);
+  ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
+
+  TimingStats Stats = measureSeconds(
+      [&] {
+        if (Spec.numInputGrids() == 1) {
+          Exec.runTimeSteps(*U, *V, static_cast<int>(SweepsPerRepeat), P);
+        } else {
+          for (unsigned S = 0; S < SweepsPerRepeat; ++S)
+            Exec.runSweep({U.get()}, *V, P);
+        }
+        KernelRuns += SweepsPerRepeat;
+      },
+      Repeats);
+
+  double Lups = static_cast<double>(Dims.lups()) * SweepsPerRepeat;
+  return Lups / Stats.Median / 1e6;
+}
+
+MeasureFn MeasureHarness::measurer() {
+  return [this](const KernelConfig &C) { return measure(C); };
+}
+
+MeasureFn ys::makeTrafficProxyMeasurer(const StencilSpec &Spec,
+                                       const GridDims &Dims,
+                                       const MachineModel &Machine) {
+  // Captures by value so the returned callable is self-contained.
+  StencilSpec SpecCopy = Spec;
+  GridDims DimsCopy = Dims;
+  MachineModel MachineCopy = Machine;
+  return [SpecCopy, DimsCopy, MachineCopy](const KernelConfig &Config) {
+    CacheHierarchySim Sim = CacheHierarchySim::fromMachine(MachineCopy);
+    StencilTraceRunner Runner(SpecCopy, DimsCopy, Config);
+    TraceTraffic T = Config.WavefrontDepth > 1 ? Runner.runWavefront(Sim)
+                                               : Runner.run(Sim, 2);
+    double MemBytesPerLup = T.BytesPerLup.back();
+    if (MemBytesPerLup <= 0.0)
+      MemBytesPerLup = 0.1; // Fully cached: score very high.
+    // Memory-bound performance: BW / (bytes/LUP), in MLUP/s.
+    return MachineCopy.Memory.BandwidthGBs * 1e3 / MemBytesPerLup;
+  };
+}

@@ -1,0 +1,72 @@
+//===- tuner/MeasureHarness.h - Kernel measurement harness -------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth evaluation of kernel configurations for the measuring
+/// tuning strategies: allocates grids once, runs KernelExecutor sweeps
+/// under a candidate configuration, and reports the median MLUP/s.
+/// A cache-simulator-backed proxy mode is also provided: it scores a
+/// configuration by simulated memory traffic instead of wall time, which
+/// is deterministic and host-independent (useful on noisy machines and in
+/// tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_TUNER_MEASUREHARNESS_H
+#define YS_TUNER_MEASUREHARNESS_H
+
+#include "codegen/KernelExecutor.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+#include "tuner/TuningStrategy.h"
+
+#include <memory>
+
+namespace ys {
+
+class MachineModel;
+
+/// Host wall-clock measurement of stencil configurations.
+class MeasureHarness {
+public:
+  /// \p Repeats timing repetitions per configuration (median taken);
+  /// \p SweepsPerRepeat sweeps per timed run.
+  MeasureHarness(StencilSpec Spec, GridDims Dims, unsigned Repeats = 3,
+                 unsigned SweepsPerRepeat = 2);
+  ~MeasureHarness();
+
+  /// Returns a MeasureFn bound to this harness (valid while alive).
+  MeasureFn measurer();
+
+  /// Measures one configuration: median MLUP/s over the repeats.
+  double measure(const KernelConfig &Config);
+
+  unsigned totalKernelRuns() const { return KernelRuns; }
+
+private:
+  StencilSpec Spec;
+  GridDims Dims;
+  unsigned Repeats;
+  unsigned SweepsPerRepeat;
+  unsigned KernelRuns = 0;
+  Fold CurrentFold;
+  std::unique_ptr<Grid> U, V;
+  std::unique_ptr<ThreadPool> Pool;
+  unsigned PoolThreads = 0;
+
+  void ensureBuffers(const KernelConfig &Config);
+};
+
+/// Deterministic traffic-based scoring: MLUP/s-like score inversely
+/// proportional to simulated memory traffic per LUP on \p Machine (shape
+/// matches the memory-bound regime; used where determinism matters).
+MeasureFn makeTrafficProxyMeasurer(const StencilSpec &Spec,
+                                   const GridDims &Dims,
+                                   const MachineModel &Machine);
+
+} // namespace ys
+
+#endif // YS_TUNER_MEASUREHARNESS_H

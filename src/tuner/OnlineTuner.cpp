@@ -1,0 +1,64 @@
+//===- tuner/OnlineTuner.cpp - Runtime auto-tuning ---------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/OnlineTuner.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace ys;
+
+OnlineTuner::OnlineTuner(StencilSpec Spec,
+                         std::vector<KernelConfig> Candidates,
+                         int StepsPerTrial)
+    : Spec(std::move(Spec)), Candidates(std::move(Candidates)),
+      StepsPerTrial(std::max(1, StepsPerTrial)) {
+  assert(!this->Candidates.empty() && "need at least one candidate");
+  for (const KernelConfig &C : this->Candidates) {
+    assert(C.VectorFold == this->Candidates.front().VectorFold &&
+           "candidates must share the grid layout");
+    (void)C;
+  }
+}
+
+OnlineTuner::Result OnlineTuner::run(Grid &U, Grid &Scratch, int Steps,
+                                     ThreadPool *Pool) const {
+  Result R;
+  R.Best = Candidates.front();
+  Timer TotalTimer;
+  int Done = 0;
+
+  // Trial phase: rotate through the candidates, every trial doing real
+  // timesteps.  Wavefront candidates need their full depth per trial.
+  double BestSeconds = -1.0;
+  for (const KernelConfig &C : Candidates) {
+    int Depth = std::max(1, C.WavefrontDepth);
+    int TrialSteps = std::max(StepsPerTrial, Depth);
+    if (Done + TrialSteps > Steps)
+      break; // Not enough steps left for a fair trial.
+    KernelExecutor Exec(Spec, C);
+    Timer T;
+    Exec.runTimeSteps(U, Scratch, TrialSteps, Pool);
+    double PerStep = T.seconds() / TrialSteps;
+    Done += TrialSteps;
+    ++R.TrialsRun;
+    R.TrialLog.push_back({C, PerStep});
+    if (BestSeconds < 0.0 || PerStep < BestSeconds) {
+      BestSeconds = PerStep;
+      R.Best = C;
+    }
+  }
+  R.TuningSteps = Done;
+  R.TuningSeconds = TotalTimer.seconds();
+
+  // Production phase with the winner.
+  if (Done < Steps) {
+    KernelExecutor Exec(Spec, R.Best);
+    Exec.runTimeSteps(U, Scratch, Steps - Done, Pool);
+  }
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- tuner/OnlineTuner.h - Runtime auto-tuning ----------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// YASK's built-in runtime auto-tuner: during the first timesteps of a
+/// real simulation, candidate configurations are tried in rotation (every
+/// trial performs genuine timesteps, so no work is wasted); after all
+/// candidates are timed, the best one is locked in for the remainder.
+/// This is the search-based baseline YaskSite's analytic selection
+/// competes against in the paper's tuning-cost comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_TUNER_ONLINETUNER_H
+#define YS_TUNER_ONLINETUNER_H
+
+#include "codegen/KernelExecutor.h"
+#include "stencil/StencilSpec.h"
+#include "support/ThreadPool.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Tunes while time stepping.
+class OnlineTuner {
+public:
+  /// All candidates must share the vector fold (they execute on the same
+  /// grids).  \p StepsPerTrial timesteps are spent on each candidate.
+  OnlineTuner(StencilSpec Spec, std::vector<KernelConfig> Candidates,
+              int StepsPerTrial = 2);
+
+  struct Result {
+    KernelConfig Best;
+    unsigned TrialsRun = 0;
+    int TuningSteps = 0;  ///< Steps consumed during the trial phase.
+    double TuningSeconds = 0;
+    /// (candidate, seconds per step) for every completed trial.
+    std::vector<std::pair<KernelConfig, double>> TrialLog;
+  };
+
+  /// Advances U by \p Steps timesteps total (trial phase first, then the
+  /// locked-in best).  Numerically identical to plain time stepping.
+  Result run(Grid &U, Grid &Scratch, int Steps,
+             ThreadPool *Pool = nullptr) const;
+
+private:
+  StencilSpec Spec;
+  std::vector<KernelConfig> Candidates;
+  int StepsPerTrial;
+};
+
+} // namespace ys
+
+#endif // YS_TUNER_ONLINETUNER_H

@@ -1,0 +1,163 @@
+//===- tuner/TuningStrategy.cpp - Auto-tuning strategies -------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TuningStrategy.h"
+
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ys;
+
+TuningStrategy::~TuningStrategy() = default;
+
+namespace {
+
+/// Measures one config and maintains the running best.
+void measureInto(TuningResult &R, const KernelConfig &C,
+                 const MeasureFn &Measure) {
+  double Mlups = Measure(C);
+  ++R.Measurements;
+  R.MeasuredLog.push_back({C, Mlups});
+  if (Mlups > R.BestMlups || !R.BestWasMeasured) {
+    R.Best = C;
+    R.BestMlups = Mlups;
+    R.BestWasMeasured = true;
+  }
+}
+
+} // namespace
+
+TuningResult ExhaustiveStrategy::tune(const std::vector<KernelConfig> &Space,
+                                      const MeasureFn &Measure) {
+  assert(!Space.empty() && "empty tuning space");
+  Timer T;
+  TuningResult R;
+  for (const KernelConfig &C : Space)
+    measureInto(R, C, Measure);
+  R.TuningSeconds = T.seconds();
+  return R;
+}
+
+TuningResult RandomStrategy::tune(const std::vector<KernelConfig> &Space,
+                                  const MeasureFn &Measure) {
+  assert(!Space.empty() && "empty tuning space");
+  Timer T;
+  TuningResult R;
+  Rng Gen(Seed);
+  unsigned Count = std::min<unsigned>(Samples, Space.size());
+  // Sample without replacement via index shuffle.
+  std::vector<size_t> Indices(Space.size());
+  for (size_t I = 0; I < Indices.size(); ++I)
+    Indices[I] = I;
+  for (size_t I = Indices.size(); I > 1; --I)
+    std::swap(Indices[I - 1], Indices[Gen.nextBounded(I)]);
+  for (unsigned I = 0; I < Count; ++I)
+    measureInto(R, Space[Indices[I]], Measure);
+  R.TuningSeconds = T.seconds();
+  return R;
+}
+
+TuningResult HierarchicalStrategy::tune(const std::vector<KernelConfig> &Space,
+                                        const MeasureFn &Measure) {
+  assert(!Space.empty() && "empty tuning space");
+  Timer T;
+  TuningResult R;
+
+  // Distinct values per coordinate present in the space.
+  auto distinctValues = [&](auto Get) {
+    std::vector<long> Values;
+    for (const KernelConfig &C : Space) {
+      long V = Get(C);
+      if (std::find(Values.begin(), Values.end(), V) == Values.end())
+        Values.push_back(V);
+    }
+    std::sort(Values.begin(), Values.end());
+    return Values;
+  };
+
+  auto findInSpace = [&](const KernelConfig &Wanted) -> const KernelConfig * {
+    for (const KernelConfig &C : Space)
+      if (C == Wanted)
+        return &C;
+    return nullptr;
+  };
+
+  KernelConfig Current = Space.front();
+
+  // Stage 1: y-block.
+  for (long By : distinctValues([](const KernelConfig &C) {
+         return C.Block.Y;
+       })) {
+    KernelConfig C = Current;
+    C.Block.Y = By;
+    if (const KernelConfig *InSpace = findInSpace(C))
+      measureInto(R, *InSpace, Measure);
+  }
+  if (R.BestWasMeasured)
+    Current = R.Best;
+
+  // Stage 2: z-block.
+  for (long Bz : distinctValues([](const KernelConfig &C) {
+         return C.Block.Z;
+       })) {
+    KernelConfig C = Current;
+    C.Block.Z = Bz;
+    if (const KernelConfig *InSpace = findInSpace(C))
+      if (!(C == Current))
+        measureInto(R, *InSpace, Measure);
+  }
+  Current = R.Best;
+
+  // Stage 3: wavefront depth.
+  for (long Depth : distinctValues([](const KernelConfig &C) {
+         return static_cast<long>(C.WavefrontDepth);
+       })) {
+    KernelConfig C = Current;
+    C.WavefrontDepth = static_cast<int>(Depth);
+    if (const KernelConfig *InSpace = findInSpace(C))
+      if (!(C == Current))
+        measureInto(R, *InSpace, Measure);
+  }
+
+  R.TuningSeconds = T.seconds();
+  return R;
+}
+
+TuningResult ModelGuidedStrategy::tune(const std::vector<KernelConfig> &Space,
+                                       const MeasureFn &Measure) {
+  assert(!Space.empty() && "empty tuning space");
+  Timer T;
+  TuningResult R;
+
+  // Rank the whole space analytically.
+  std::vector<std::pair<double, const KernelConfig *>> Ranked;
+  for (const KernelConfig &C : Space) {
+    ECMPrediction P = Model.predict(Spec, Dims, C, ActiveCores);
+    ++R.ModelEvaluations;
+    Ranked.push_back({P.MLupsSaturated, &C});
+  }
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first > B.first;
+                   });
+
+  if (VerifyTopK == 0) {
+    R.Best = *Ranked.front().second;
+    R.BestMlups = Ranked.front().first;
+    R.BestWasMeasured = false;
+    R.TuningSeconds = T.seconds();
+    return R;
+  }
+
+  unsigned K = std::min<unsigned>(VerifyTopK, Ranked.size());
+  for (unsigned I = 0; I < K; ++I)
+    measureInto(R, *Ranked[I].second, Measure);
+  R.TuningSeconds = T.seconds();
+  return R;
+}

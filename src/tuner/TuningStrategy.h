@@ -1,0 +1,116 @@
+//===- tuner/TuningStrategy.h - Auto-tuning strategies -----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tuning strategies over a kernel-configuration space.  The paper's
+/// comparison is between search-based auto-tuning (YASK's tuner: run many
+/// variants, keep the best — here Exhaustive / Random / Hierarchical) and
+/// YaskSite's model-guided selection (rank analytically, run nothing, or
+/// verify only a top-k shortlist).  Every strategy reports its cost: model
+/// evaluations, kernel executions, and wall time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_TUNER_TUNINGSTRATEGY_H
+#define YS_TUNER_TUNINGSTRATEGY_H
+
+#include "codegen/KernelConfig.h"
+#include "ecm/ECMModel.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Measures one configuration, returning performance in MLUP/s.
+using MeasureFn = std::function<double(const KernelConfig &)>;
+
+/// Outcome and cost ledger of one tuning run.
+struct TuningResult {
+  KernelConfig Best;
+  double BestMlups = 0; ///< Performance of Best (measured if available,
+                        ///< else model-predicted).
+  bool BestWasMeasured = false;
+
+  unsigned ModelEvaluations = 0;
+  unsigned Measurements = 0;
+  double TuningSeconds = 0;
+
+  /// Every (config, MLUP/s) the strategy measured, in order.
+  std::vector<std::pair<KernelConfig, double>> MeasuredLog;
+};
+
+/// Interface of a tuning strategy.
+class TuningStrategy {
+public:
+  virtual ~TuningStrategy();
+
+  virtual const char *name() const = 0;
+
+  /// Tunes over \p Space using \p Measure for ground-truth evaluations.
+  virtual TuningResult tune(const std::vector<KernelConfig> &Space,
+                            const MeasureFn &Measure) = 0;
+};
+
+/// Measures every configuration in the space (YASK-exhaustive baseline).
+class ExhaustiveStrategy : public TuningStrategy {
+public:
+  const char *name() const override { return "exhaustive"; }
+  TuningResult tune(const std::vector<KernelConfig> &Space,
+                    const MeasureFn &Measure) override;
+};
+
+/// Measures a fixed-size random sample of the space.
+class RandomStrategy : public TuningStrategy {
+public:
+  RandomStrategy(unsigned Samples, uint64_t Seed)
+      : Samples(Samples), Seed(Seed) {}
+  const char *name() const override { return "random"; }
+  TuningResult tune(const std::vector<KernelConfig> &Space,
+                    const MeasureFn &Measure) override;
+
+private:
+  unsigned Samples;
+  uint64_t Seed;
+};
+
+/// Greedy coordinate descent over the block dimensions (the shape of
+/// YASK's built-in hill-climbing auto-tuner): first sweep the y-block with
+/// other parameters at their defaults, then the z-block, then the
+/// wavefront depth, keeping the best of each stage.
+class HierarchicalStrategy : public TuningStrategy {
+public:
+  const char *name() const override { return "hierarchical"; }
+  TuningResult tune(const std::vector<KernelConfig> &Space,
+                    const MeasureFn &Measure) override;
+};
+
+/// YaskSite's strategy: rank the space with the ECM model (zero
+/// executions); optionally measure only the model's top-k shortlist.
+class ModelGuidedStrategy : public TuningStrategy {
+public:
+  /// \p VerifyTopK == 0 selects purely on the model.
+  ModelGuidedStrategy(const ECMModel &Model, StencilSpec Spec, GridDims Dims,
+                      unsigned ActiveCores = 1, unsigned VerifyTopK = 0)
+      : Model(Model), Spec(std::move(Spec)), Dims(Dims),
+        ActiveCores(ActiveCores), VerifyTopK(VerifyTopK) {}
+
+  const char *name() const override { return "model-guided"; }
+  TuningResult tune(const std::vector<KernelConfig> &Space,
+                    const MeasureFn &Measure) override;
+
+private:
+  const ECMModel &Model;
+  StencilSpec Spec;
+  GridDims Dims;
+  unsigned ActiveCores;
+  unsigned VerifyTopK;
+};
+
+} // namespace ys
+
+#endif // YS_TUNER_TUNINGSTRATEGY_H

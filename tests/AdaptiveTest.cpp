@@ -1,0 +1,112 @@
+//===- tests/AdaptiveTest.cpp - adaptive stepping tests ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Adaptive.h"
+
+#include "ode/IVP.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+namespace {
+
+AdaptiveResult runAdaptive(double Tol, double H0, Grid &Y, Heat2DIVP &P,
+                           double TEnd) {
+  ExplicitRKIntegrator Integ(ButcherTableau::fehlberg45(),
+                             RKVariant::StageSeparate);
+  RKWorkspace WS;
+  AdaptiveOptions Opts;
+  Opts.Tolerance = Tol;
+  return integrateAdaptive(Integ, P, 0.0, TEnd, H0, Y, WS, Opts);
+}
+
+} // namespace
+
+TEST(Adaptive, ReachesFinalTime) {
+  Heat2DIVP P(10);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  double TEnd = P.suggestedDt() * 20;
+  AdaptiveResult R = runAdaptive(1e-7, P.suggestedDt(), Y, P, TEnd);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_NEAR(R.FinalTime, TEnd, 1e-12);
+  EXPECT_GT(R.AcceptedSteps, 0u);
+}
+
+TEST(Adaptive, SolutionMeetsToleranceScale) {
+  Heat2DIVP P(10);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  double TEnd = P.suggestedDt() * 20;
+  AdaptiveResult R = runAdaptive(1e-8, P.suggestedDt() / 4, Y, P, TEnd);
+  ASSERT_TRUE(R.Converged);
+  Grid Exact(P.dims(), P.halo());
+  P.exactSolution(TEnd, Exact);
+  // Global error within a couple orders of magnitude of the per-step tol.
+  EXPECT_LT(Grid::maxAbsDiffInterior(Y, Exact), 1e-5);
+}
+
+TEST(Adaptive, OversizedInitialStepGetsRejected) {
+  Heat2DIVP P(10);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  double TEnd = P.suggestedDt() * 10;
+  // Start with a wildly unstable step: the controller must reject and
+  // shrink.
+  AdaptiveResult R = runAdaptive(1e-8, P.suggestedDt() * 100, Y, P, TEnd);
+  EXPECT_GT(R.RejectedSteps, 0u);
+  EXPECT_TRUE(R.Converged);
+}
+
+TEST(Adaptive, TighterToleranceCostsMoreSteps) {
+  Heat2DIVP P(10);
+  double TEnd = P.suggestedDt() * 20;
+  Grid Y1(P.dims(), P.halo());
+  P.initialCondition(Y1);
+  AdaptiveResult Loose = runAdaptive(1e-5, P.suggestedDt(), Y1, P, TEnd);
+  Grid Y2(P.dims(), P.halo());
+  P.initialCondition(Y2);
+  AdaptiveResult Tight = runAdaptive(1e-10, P.suggestedDt(), Y2, P, TEnd);
+  EXPECT_GT(Tight.AcceptedSteps + Tight.RejectedSteps,
+            Loose.AcceptedSteps + Loose.RejectedSteps);
+}
+
+TEST(Adaptive, RejectionRestoresState) {
+  // With an enormous tolerance, nothing is rejected; with zero-ish
+  // tolerance everything is; ensure the state stays finite either way.
+  Heat2DIVP P(8);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  ExplicitRKIntegrator Integ(ButcherTableau::cashKarp45(),
+                             RKVariant::StageSeparate);
+  RKWorkspace WS;
+  AdaptiveOptions Opts;
+  Opts.Tolerance = 1e-30; // Unsatisfiable.
+  Opts.MaxSteps = 20;
+  AdaptiveResult R = integrateAdaptive(Integ, P, 0.0, 1.0,
+                                       P.suggestedDt(), Y, WS, Opts);
+  EXPECT_FALSE(R.Converged);
+  for (long X = 0; X < 8; ++X)
+    EXPECT_TRUE(std::isfinite(Y.at(X, 0, 0)));
+}
+
+TEST(Adaptive, WorksWithBogackiShampine) {
+  Heat2DIVP P(8);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  ExplicitRKIntegrator Integ(ButcherTableau::bogackiShampine32(),
+                             RKVariant::StageSeparate);
+  RKWorkspace WS;
+  AdaptiveOptions Opts;
+  Opts.Tolerance = 1e-6;
+  double TEnd = P.suggestedDt() * 10;
+  AdaptiveResult R = integrateAdaptive(Integ, P, 0.0, TEnd,
+                                       P.suggestedDt(), Y, WS, Opts);
+  EXPECT_TRUE(R.Converged);
+}

@@ -1,0 +1,90 @@
+//===- tests/ArchTest.cpp - machine model tests ----------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "arch/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+TEST(MachineModel, AllBuiltinsValidate) {
+  for (const MachineModel &M : MachineModel::allBuiltin())
+    EXPECT_EQ(M.validate(), "") << M.Name;
+}
+
+TEST(MachineModel, CascadeLakeParameters) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  EXPECT_EQ(M.Core.SimdBits, 512u);
+  EXPECT_EQ(M.Core.simdDoubles(), 8u);
+  EXPECT_EQ(M.Core.FmaPorts, 2u);
+  EXPECT_EQ(M.CoresPerSocket, 20u);
+  ASSERT_EQ(M.numLevels(), 3u);
+  EXPECT_EQ(M.level(0).SizeBytes, 32ull * 1024);
+  EXPECT_EQ(M.level(1).SizeBytes, 1024ull * 1024);
+  EXPECT_TRUE(M.level(2).Shared);
+  EXPECT_EQ(M.level(2).SharingCores, 20u);
+}
+
+TEST(MachineModel, RomeParameters) {
+  MachineModel M = MachineModel::rome();
+  EXPECT_EQ(M.Core.SimdBits, 256u);
+  EXPECT_EQ(M.Core.simdDoubles(), 4u);
+  EXPECT_EQ(M.CoresPerSocket, 64u);
+  // Rome's L3 is per-CCX: shared by 4 cores only.
+  EXPECT_TRUE(M.level(2).Shared);
+  EXPECT_EQ(M.level(2).SharingCores, 4u);
+  EXPECT_GT(M.Memory.BandwidthGBs, MachineModel::cascadeLakeSP()
+                                        .Memory.BandwidthGBs);
+}
+
+TEST(MachineModel, MemBytesPerCycle) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  // 115 GB/s at 2.5 GHz = 46 B/cy.
+  EXPECT_NEAR(M.memBytesPerCycle(), 46.0, 0.01);
+}
+
+TEST(MachineModel, LastLevelIndex) {
+  EXPECT_EQ(MachineModel::cascadeLakeSP().lastLevel(), 2u);
+}
+
+TEST(MachineModel, FindBuiltinCaseInsensitive) {
+  ASSERT_NE(MachineModel::findBuiltin("cascadelakesp"), nullptr);
+  ASSERT_NE(MachineModel::findBuiltin("Rome"), nullptr);
+  EXPECT_EQ(MachineModel::findBuiltin("Rome")->Name, "Rome");
+  EXPECT_EQ(MachineModel::findBuiltin("nonexistent"), nullptr);
+}
+
+TEST(MachineModel, ValidateCatchesMissingName) {
+  MachineModel M = MachineModel::rome();
+  M.Name.clear();
+  EXPECT_NE(M.validate(), "");
+}
+
+TEST(MachineModel, ValidateCatchesShrinkingCaches) {
+  MachineModel M = MachineModel::rome();
+  M.Caches[1].SizeBytes = 1024; // Smaller than L1.
+  EXPECT_NE(M.validate(), "");
+}
+
+TEST(MachineModel, ValidateCatchesZeroBandwidth) {
+  MachineModel M = MachineModel::rome();
+  M.Memory.BandwidthGBs = 0;
+  EXPECT_NE(M.validate(), "");
+}
+
+TEST(MachineModel, ValidateCatchesBadSimdWidth) {
+  MachineModel M = MachineModel::rome();
+  M.Core.SimdBits = 100;
+  EXPECT_NE(M.validate(), "");
+}
+
+TEST(MachineModel, SkylakeAndZen3Variants) {
+  MachineModel Skx = MachineModel::skylakeSP();
+  EXPECT_EQ(Skx.Core.SimdBits, 512u);
+  MachineModel Z3 = MachineModel::zen3();
+  EXPECT_EQ(Z3.level(2).SharingCores, 8u);
+  EXPECT_GT(Z3.Memory.BandwidthGBs, MachineModel::rome().Memory.BandwidthGBs);
+}

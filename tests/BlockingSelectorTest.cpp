@@ -1,0 +1,106 @@
+//===- tests/BlockingSelectorTest.cpp - analytic tuning tests ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/BlockingSelector.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+const GridDims BigDims{512, 512, 256};
+
+} // namespace
+
+TEST(BlockingSelector, AnalyticChoiceSatisfiesLayerCondition) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  BlockingSelector Sel(Model);
+  StencilSpec S = StencilSpec::star3d(4);
+  BlockingChoice Choice =
+      Sel.selectAnalytic(S, BigDims, KernelConfig(), /*TargetLevel=*/1);
+  ASSERT_GT(Choice.Config.Block.Y, 0);
+  EXPECT_EQ(Choice.Prediction.Traffic.LevelReuse[1], ReuseClass::Plane);
+  EXPECT_EQ(Choice.CandidatesEvaluated, 1u);
+}
+
+TEST(BlockingSelector, AnalyticSkipsBlockingWhenGridFits) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  BlockingSelector Sel(Model);
+  GridDims Small{64, 64, 64};
+  BlockingChoice Choice = Sel.selectAnalytic(StencilSpec::heat3d(), Small,
+                                             KernelConfig(), 2);
+  // 4 x 32 KiB planes fit L3 trivially: no blocking required.
+  EXPECT_TRUE(Choice.Config.Block.isUnblocked());
+}
+
+TEST(BlockingSelector, AnalyticBeatsUnblockedForWideStencils) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  BlockingSelector Sel(Model);
+  StencilSpec S = StencilSpec::star3d(4);
+  BlockingChoice Choice = Sel.selectAnalytic(S, BigDims, KernelConfig());
+  ECMPrediction Unblocked = Model.predict(S, BigDims, KernelConfig());
+  EXPECT_GT(Choice.Prediction.MLupsSaturated, Unblocked.MLupsSaturated);
+}
+
+TEST(BlockingSelector, CandidateSpaceRespectsDims) {
+  GridDims Tiny{32, 16, 8};
+  std::vector<KernelConfig> Space =
+      BlockingSelector::candidateSpace(Tiny, KernelConfig(), false);
+  ASSERT_FALSE(Space.empty());
+  for (const KernelConfig &C : Space) {
+    EXPECT_LE(C.Block.Y, 16);
+    EXPECT_LE(C.Block.Z, 8);
+    EXPECT_EQ(C.WavefrontDepth, 1);
+  }
+}
+
+TEST(BlockingSelector, CandidateSpaceAddsWavefrontDepths) {
+  std::vector<KernelConfig> Plain =
+      BlockingSelector::candidateSpace(BigDims, KernelConfig(), false);
+  std::vector<KernelConfig> Wave =
+      BlockingSelector::candidateSpace(BigDims, KernelConfig(), true);
+  EXPECT_GT(Wave.size(), Plain.size());
+  bool SawDepth = false;
+  for (const KernelConfig &C : Wave)
+    if (C.WavefrontDepth > 1) {
+      SawDepth = true;
+      EXPECT_GT(C.Block.Z, 0); // Wavefront only with z-blocking.
+    }
+  EXPECT_TRUE(SawDepth);
+}
+
+TEST(BlockingSelector, SelectBestIsArgmaxOverSpace) {
+  MachineModel M = MachineModel::rome();
+  ECMModel Model(M);
+  BlockingSelector Sel(Model);
+  StencilSpec S = StencilSpec::star3d(2);
+  BlockingChoice Best = Sel.selectBest(S, BigDims, KernelConfig(), true);
+  EXPECT_EQ(Best.CandidatesEvaluated,
+            BlockingSelector::candidateSpace(BigDims, KernelConfig(), true)
+                .size());
+  for (const KernelConfig &C :
+       BlockingSelector::candidateSpace(BigDims, KernelConfig(), true)) {
+    ECMPrediction P = Model.predict(S, BigDims, C);
+    EXPECT_LE(P.MLupsSaturated,
+              Best.Prediction.MLupsSaturated * 1.001 + 1e-9)
+        << C.str();
+  }
+}
+
+TEST(BlockingSelector, SelectBestAtLeastAnalytic) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  BlockingSelector Sel(Model);
+  StencilSpec S = StencilSpec::star3d(4);
+  BlockingChoice Analytic = Sel.selectAnalytic(S, BigDims, KernelConfig());
+  BlockingChoice Best = Sel.selectBest(S, BigDims, KernelConfig(), false);
+  EXPECT_GE(Best.Prediction.MLupsSaturated,
+            Analytic.Prediction.MLupsSaturated * 0.9);
+}

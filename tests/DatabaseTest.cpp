@@ -1,0 +1,118 @@
+//===- tests/DatabaseTest.cpp - tuning database tests -------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Database.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace ys;
+
+namespace {
+
+TuningRecord record(const char *Machine, const char *Method, long N,
+                    const char *Variant, double Sec = 1e-3,
+                    unsigned Cores = 20) {
+  TuningRecord R;
+  R.Machine = Machine;
+  R.Method = Method;
+  R.Problem = "heat3d";
+  R.Dims = {N, N, N};
+  R.Cores = Cores;
+  R.VariantName = Variant;
+  R.PredictedSecondsPerStep = Sec;
+  return R;
+}
+
+} // namespace
+
+TEST(TuningDatabase, InsertAndLookup) {
+  TuningDatabase Db;
+  Db.insert(record("CLX", "rk4", 128, "fused-update"));
+  Db.insert(record("Rome", "rk4", 128, "fused-argument"));
+  ASSERT_EQ(Db.size(), 2u);
+  const TuningRecord *R =
+      Db.lookup("CLX", "rk4", "heat3d", {128, 128, 128}, 20);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VariantName, "fused-update");
+  EXPECT_EQ(Db.lookup("CLX", "rk4", "heat3d", {64, 64, 64}, 20), nullptr);
+  EXPECT_EQ(Db.lookup("CLX", "rkf45", "heat3d", {128, 128, 128}, 20),
+            nullptr);
+}
+
+TEST(TuningDatabase, InsertReplacesSameKey) {
+  TuningDatabase Db;
+  Db.insert(record("CLX", "rk4", 128, "stage-separate", 2e-3));
+  Db.insert(record("CLX", "rk4", 128, "fused-update", 1e-3));
+  ASSERT_EQ(Db.size(), 1u);
+  EXPECT_EQ(Db.records()[0].VariantName, "fused-update");
+  EXPECT_DOUBLE_EQ(Db.records()[0].PredictedSecondsPerStep, 1e-3);
+}
+
+TEST(TuningDatabase, NearestLookupPicksClosestVolume) {
+  TuningDatabase Db;
+  Db.insert(record("CLX", "rk4", 64, "a"));
+  Db.insert(record("CLX", "rk4", 256, "b"));
+  const TuningRecord *R =
+      Db.lookupNearest("CLX", "rk4", "heat3d", {96, 96, 96}, 20);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VariantName, "a");
+  R = Db.lookupNearest("CLX", "rk4", "heat3d", {200, 200, 200}, 20);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VariantName, "b");
+  EXPECT_EQ(Db.lookupNearest("Rome", "rk4", "heat3d", {96, 96, 96}, 20),
+            nullptr);
+}
+
+TEST(TuningDatabase, SerializeRoundTrip) {
+  TuningDatabase Db;
+  Db.insert(record("CascadeLakeSP", "rkf45", 512, "rkf45/fused-update",
+                   3.25e-2, 20));
+  Db.insert(record("Rome", "heun2", 96, "heun2/stage-separate", 1e-4, 64));
+  std::string Text = Db.serialize();
+  auto LoadedOr = TuningDatabase::deserialize(Text);
+  ASSERT_TRUE(static_cast<bool>(LoadedOr))
+      << LoadedOr.takeError().message();
+  ASSERT_EQ(LoadedOr->size(), 2u);
+  const TuningRecord *R = LoadedOr->lookup("CascadeLakeSP", "rkf45",
+                                           "heat3d", {512, 512, 512}, 20);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->VariantName, "rkf45/fused-update");
+  EXPECT_NEAR(R->PredictedSecondsPerStep, 3.25e-2, 1e-12);
+}
+
+TEST(TuningDatabase, DeserializeSkipsCommentsAndBlanks) {
+  auto Db = TuningDatabase::deserialize(
+      "# header\n\nCLX|rk4|heat3d|8x8x8|1|v|0.5\n");
+  ASSERT_TRUE(static_cast<bool>(Db));
+  EXPECT_EQ(Db->size(), 1u);
+}
+
+TEST(TuningDatabase, DeserializeDiagnosesMalformedLines) {
+  auto Missing = TuningDatabase::deserialize("CLX|rk4|heat3d|8x8x8|1|v\n");
+  ASSERT_FALSE(static_cast<bool>(Missing));
+  EXPECT_NE(Missing.takeError().message().find("7 fields"),
+            std::string::npos);
+  auto BadDims =
+      TuningDatabase::deserialize("CLX|rk4|heat3d|8x8|1|v|0.5\n");
+  EXPECT_FALSE(static_cast<bool>(BadDims));
+  auto NegDims =
+      TuningDatabase::deserialize("CLX|rk4|heat3d|8x-8x8|1|v|0.5\n");
+  EXPECT_FALSE(static_cast<bool>(NegDims));
+}
+
+TEST(TuningDatabase, FileRoundTrip) {
+  std::string Path = testing::TempDir() + "/tuning_db_test.txt";
+  TuningDatabase Db;
+  Db.insert(record("CLX", "rk4", 128, "fused-update"));
+  ASSERT_FALSE(static_cast<bool>(Db.saveFile(Path)));
+  auto LoadedOr = TuningDatabase::loadFile(Path);
+  ASSERT_TRUE(static_cast<bool>(LoadedOr));
+  EXPECT_EQ(LoadedOr->size(), 1u);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(static_cast<bool>(TuningDatabase::loadFile(Path)));
+}

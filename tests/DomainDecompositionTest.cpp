@@ -1,0 +1,144 @@
+//===- tests/DomainDecompositionTest.cpp - rank decomposition tests ----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/DomainDecomposition.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+Grid randomGlobal(GridDims Dims, int Halo, uint64_t Seed = 7) {
+  Grid G(Dims, Halo);
+  Rng R(Seed);
+  G.fillRandom(R);
+  return G;
+}
+
+} // namespace
+
+TEST(DecomposedGrid, SlabPartitionCoversDomain) {
+  DecomposedGrid D({8, 8, 13}, 4, 1);
+  ASSERT_EQ(D.numRanks(), 4u);
+  EXPECT_EQ(D.rankZBegin(0), 0);
+  long Total = 0;
+  for (unsigned R = 0; R < 4; ++R) {
+    EXPECT_EQ(D.rankZBegin(R + 1) - D.rankZBegin(R), D.rank(R).dims().Nz);
+    Total += D.rank(R).dims().Nz;
+    if (R > 0) {
+      EXPECT_EQ(D.rankZBegin(R), D.rankZEnd(R - 1));
+    }
+  }
+  EXPECT_EQ(Total, 13);
+  EXPECT_EQ(D.rankZEnd(3), 13);
+}
+
+TEST(DecomposedGrid, ScatterGatherRoundTrip) {
+  GridDims Dims{10, 9, 11};
+  Grid Global = randomGlobal(Dims, 1);
+  DecomposedGrid D(Dims, 3, 1);
+  D.scatter(Global);
+  Grid Back(Dims, 1);
+  D.gather(Back);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Global, Back), 0.0);
+}
+
+TEST(DecomposedGrid, ScatterFillsInnerHalosFromNeighbors) {
+  GridDims Dims{6, 6, 9};
+  Grid Global = randomGlobal(Dims, 1);
+  DecomposedGrid D(Dims, 3, 1);
+  D.scatter(Global);
+  // Rank 1's bottom halo equals rank 0's top interior plane in the
+  // global frame.
+  long Z0 = D.rankZBegin(1);
+  EXPECT_EQ(D.rank(1).at(2, 3, -1), Global.at(2, 3, Z0 - 1));
+  // Rank 0's bottom halo is the global boundary.
+  EXPECT_EQ(D.rank(0).at(2, 3, -1), Global.at(2, 3, -1));
+}
+
+TEST(DecomposedGrid, ExchangeRefreshesStaleHalos) {
+  GridDims Dims{6, 6, 8};
+  Grid Global = randomGlobal(Dims, 1);
+  DecomposedGrid D(Dims, 2, 1);
+  D.scatter(Global);
+  // Perturb rank 0's top interior plane, then exchange.
+  long Nz0 = D.rank(0).dims().Nz;
+  D.rank(0).at(3, 3, Nz0 - 1) = 123.0;
+  D.exchangeHalos();
+  EXPECT_EQ(D.rank(1).at(3, 3, -1), 123.0);
+  EXPECT_GT(D.haloBytesExchanged(), 0ull);
+}
+
+TEST(DistributedStepper, MatchesMonolithicTimeStepping) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 10, 17};
+  Grid Global = randomGlobal(Dims, 1);
+
+  // Monolithic reference.
+  Grid URef(Dims, 1);
+  URef.copyInteriorFrom(Global);
+  Grid Scratch(Dims, 1);
+  KernelExecutor Exec(S, KernelConfig());
+  Exec.runTimeSteps(URef, Scratch, 5);
+
+  // Distributed run over 3 ranks.
+  for (unsigned Ranks : {1u, 3u, 5u}) {
+    DecomposedGrid U(Dims, Ranks, 1), V(Dims, Ranks, 1);
+    U.scatter(Global);
+    Grid Zero(Dims, 1);
+    V.scatter(Zero);
+    DistributedStepper Stepper(S, KernelConfig());
+    Stepper.runTimeSteps(U, V, 5);
+    Grid Result(Dims, 1);
+    U.gather(Result);
+    EXPECT_EQ(Grid::maxAbsDiffInterior(URef, Result), 0.0)
+        << Ranks << " ranks";
+  }
+}
+
+TEST(DistributedStepper, MatchesWithWideStencilAndRankParallel) {
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{10, 10, 16};
+  Grid Global = randomGlobal(Dims, 2, 21);
+
+  Grid URef(Dims, 2);
+  URef.copyInteriorFrom(Global);
+  Grid Scratch(Dims, 2);
+  KernelExecutor Exec(S, KernelConfig());
+  Exec.runTimeSteps(URef, Scratch, 4);
+
+  ThreadPool Pool(3);
+  DecomposedGrid U(Dims, 4, 2), V(Dims, 4, 2);
+  U.scatter(Global);
+  Grid Zero(Dims, 2);
+  V.scatter(Zero);
+  DistributedStepper Stepper(S, KernelConfig());
+  Stepper.runTimeSteps(U, V, 4, &Pool);
+  Grid Result(Dims, 2);
+  U.gather(Result);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(URef, Result), 0.0);
+}
+
+TEST(DistributedStepper, HaloTrafficScalesWithRanksAndSteps) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{8, 8, 12};
+  Grid Global = randomGlobal(Dims, 1);
+  DecomposedGrid U2(Dims, 2, 1), V2(Dims, 2, 1);
+  DecomposedGrid U4(Dims, 4, 1), V4(Dims, 4, 1);
+  U2.scatter(Global);
+  U4.scatter(Global);
+  DistributedStepper Stepper(S, KernelConfig());
+  Stepper.runTimeSteps(U2, V2, 3);
+  Stepper.runTimeSteps(U4, V4, 3);
+  // 4 ranks have 3 neighbor pairs vs 1: 3x the halo traffic.  Both
+  // source and scratch exchange, so compare the sums.
+  unsigned long long T2 =
+      U2.haloBytesExchanged() + V2.haloBytesExchanged();
+  unsigned long long T4 =
+      U4.haloBytesExchanged() + V4.haloBytesExchanged();
+  EXPECT_EQ(T4, 3 * T2);
+}

@@ -1,0 +1,226 @@
+//===- tests/DriverTest.cpp - CLI driver tests -------------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ys;
+
+namespace {
+
+std::string run(std::vector<std::string> Args, int ExpectCode = 0) {
+  std::string Out;
+  int Code = runDriver(Args, Out);
+  EXPECT_EQ(Code, ExpectCode) << Out;
+  return Out;
+}
+
+} // namespace
+
+TEST(DriverHelpers, ParseDimsCube) {
+  auto D = parseDims("128");
+  ASSERT_TRUE(static_cast<bool>(D));
+  EXPECT_EQ(D->Nx, 128);
+  EXPECT_EQ(D->Ny, 128);
+  EXPECT_EQ(D->Nz, 128);
+}
+
+TEST(DriverHelpers, ParseDimsExplicit) {
+  auto D = parseDims("512x256x128");
+  ASSERT_TRUE(static_cast<bool>(D));
+  EXPECT_EQ(D->Nx, 512);
+  EXPECT_EQ(D->Ny, 256);
+  EXPECT_EQ(D->Nz, 128);
+}
+
+TEST(DriverHelpers, ParseDimsRejectsGarbage) {
+  EXPECT_FALSE(static_cast<bool>(parseDims("12ab")));
+  EXPECT_FALSE(static_cast<bool>(parseDims("1x2")));
+  EXPECT_FALSE(static_cast<bool>(parseDims("0")));
+  EXPECT_FALSE(static_cast<bool>(parseDims("-4")));
+}
+
+TEST(DriverHelpers, ParseFold) {
+  auto F = parseFold("4x2x1");
+  ASSERT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ(F->X, 4);
+  EXPECT_EQ(F->Y, 2);
+  EXPECT_EQ(F->Z, 1);
+  EXPECT_FALSE(static_cast<bool>(parseFold("4x2")));
+  EXPECT_FALSE(static_cast<bool>(parseFold("0x2x1")));
+}
+
+TEST(DriverHelpers, ResolveBuiltinStencils) {
+  auto Heat = resolveStencil("heat3d");
+  ASSERT_TRUE(static_cast<bool>(Heat));
+  EXPECT_EQ(Heat->numPoints(), 7u);
+  auto Star = resolveStencil("star3d:3");
+  ASSERT_TRUE(static_cast<bool>(Star));
+  EXPECT_EQ(Star->radius(), 3);
+  auto Box = resolveStencil("box3d:2");
+  ASSERT_TRUE(static_cast<bool>(Box));
+  EXPECT_EQ(Box->numPoints(), 125u);
+  EXPECT_FALSE(static_cast<bool>(resolveStencil("star3d:99")));
+  EXPECT_FALSE(static_cast<bool>(resolveStencil("nonsense")));
+}
+
+TEST(DriverHelpers, ResolveStencilFromDslFile) {
+  std::string Path = testing::TempDir() + "/drv_test.stencil";
+  {
+    std::ofstream F(Path);
+    F << "stencil mine { grid u, v; v[x,y,z] = u[x+1,y,z] - u[x,y,z]; }";
+  }
+  auto Spec = resolveStencil(Path);
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.takeError().message();
+  EXPECT_EQ(Spec->numPoints(), 2u);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, HelpAndUsage) {
+  std::string Out = run({"help"});
+  EXPECT_NE(Out.find("usage: yasksite"), std::string::npos);
+  std::string Empty;
+  EXPECT_EQ(runDriver({}, Empty), 1);
+}
+
+TEST(Driver, MachinesListsBuiltins) {
+  std::string Out = run({"machines"});
+  EXPECT_NE(Out.find("CascadeLakeSP"), std::string::npos);
+  EXPECT_NE(Out.find("Rome"), std::string::npos);
+}
+
+TEST(Driver, StencilsListsBuiltins) {
+  std::string Out = run({"stencils"});
+  EXPECT_NE(Out.find("heat3d"), std::string::npos);
+  EXPECT_NE(Out.find("star3d:R"), std::string::npos);
+}
+
+TEST(Driver, PredictOutputsECM) {
+  std::string Out =
+      run({"predict", "heat3d", "--machine", "rome", "--dims", "256"});
+  EXPECT_NE(Out.find("machine  : Rome"), std::string::npos);
+  EXPECT_NE(Out.find("cy/CL"), std::string::npos);
+  EXPECT_NE(Out.find("MLUP/s"), std::string::npos);
+}
+
+TEST(Driver, PredictHonorsOptions) {
+  std::string Out = run({"predict", "star3d:2", "--by", "16", "--fold",
+                         "8x1x1", "--nt", "--cores", "4"});
+  EXPECT_NE(Out.find("block=Nx16xN"), std::string::npos);
+  EXPECT_NE(Out.find("fold=8x1x1"), std::string::npos);
+  EXPECT_NE(Out.find("at 4 cores"), std::string::npos);
+}
+
+TEST(Driver, TuneReportsChoices) {
+  std::string Out = run({"tune", "star3d:4", "--dims", "512"});
+  EXPECT_NE(Out.find("analytic LC"), std::string::npos);
+  EXPECT_NE(Out.find("model argmax"), std::string::npos);
+  EXPECT_NE(Out.find("zero kernel runs"), std::string::npos);
+}
+
+TEST(Driver, EmitProducesSource) {
+  std::string Out = run({"emit", "heat3d", "--by", "8"});
+  EXPECT_NE(Out.find("void kernel_heat3d("), std::string::npos);
+  EXPECT_NE(Out.find("#define IDX3"), std::string::npos);
+}
+
+TEST(Driver, TraceReportsBoundaries) {
+  std::string Out = run({"trace", "heat3d", "--dims", "48x48x24",
+                         "--sweeps", "1"});
+  EXPECT_NE(Out.find("memory"), std::string::npos);
+  EXPECT_NE(Out.find("bytes/LUP"), std::string::npos);
+}
+
+TEST(Driver, ParseSummarizesDsl) {
+  std::string Path = testing::TempDir() + "/drv_parse.stencil";
+  {
+    std::ofstream F(Path);
+    F << "stencil two { grid u, k1, k2;\n"
+         "  k1[x,y,z] = u[x+1,y,z] - u[x-1,y,z];\n"
+         "  k2[x,y,z] = k1[x,y,z] + u[x,y,z]; }";
+  }
+  std::string Out = run({"parse", Path});
+  EXPECT_NE(Out.find("stencil two"), std::string::npos);
+  EXPECT_NE(Out.find("2 equations"), std::string::npos);
+  EXPECT_NE(Out.find("fusion groups"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, ErrorsOnUnknownCommand) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"frobnicate"}, Out), 1);
+  EXPECT_NE(Out.find("unknown command"), std::string::npos);
+}
+
+TEST(Driver, ErrorsOnUnknownMachine) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"predict", "heat3d", "--machine", "vax"}, Out), 1);
+  EXPECT_NE(Out.find("unknown machine"), std::string::npos);
+}
+
+TEST(Driver, ErrorsOnBadOption) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"predict", "heat3d", "--bogus"}, Out), 1);
+  EXPECT_NE(Out.find("unknown or incomplete option"), std::string::npos);
+}
+
+TEST(Driver, ErrorsOnMissingStencil) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"predict"}, Out), 1);
+  EXPECT_NE(Out.find("missing stencil"), std::string::npos);
+}
+
+TEST(Driver, RunExecutesBuiltinStencil) {
+  std::string Out = run({"run", "heat3d", "--dims", "24", "--sweeps", "2"});
+  EXPECT_NE(Out.find("sweep 0: unew"), std::string::npos);
+  EXPECT_NE(Out.find("ran 2 steps"), std::string::npos);
+  EXPECT_NE(Out.find("checksum"), std::string::npos);
+  EXPECT_NE(Out.find("predicted on CascadeLakeSP"), std::string::npos);
+}
+
+TEST(Driver, RunExecutesMultiEquationDsl) {
+  std::string Path = testing::TempDir() + "/drv_run.stencil";
+  {
+    std::ofstream F(Path);
+    F << "stencil two { grid u, k, v;\n"
+         "  k[x,y,z] = u[x+1,y,z] - u[x-1,y,z];\n"
+         "  v[x,y,z] = u[x,y,z] + 0.25 * k[x,y,z]; }";
+  }
+  std::string Out = run({"run", Path, "--dims", "16", "--machine", "rome"});
+  EXPECT_NE(Out.find("fused k, v"), std::string::npos);
+  EXPECT_NE(Out.find("predicted on Rome"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, RunReportsDslErrors) {
+  std::string Path = testing::TempDir() + "/drv_bad.stencil";
+  {
+    std::ofstream F(Path);
+    F << "stencil bad { grid u; u[x,y,z] = u[x+1,y,z]; }";
+  }
+  std::string Out;
+  EXPECT_EQ(runDriver({"run", Path}, Out), 1);
+  EXPECT_NE(Out.find("in-place"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, ValidateComparesModelAndSimulator) {
+  std::string Out = run({"validate", "heat3d", "--dims", "48x48x24",
+                         "--sweeps", "4"});
+  EXPECT_NE(Out.find("predicted B/LUP"), std::string::npos);
+  EXPECT_NE(Out.find("sim steady-state"), std::string::npos);
+  EXPECT_NE(Out.find("verdict:"), std::string::npos);
+}
+
+TEST(Driver, PredictAsmFlagEmitsPseudoAssembly) {
+  std::string Out = run({"predict", "heat3d", "--fold", "8x1x1", "--asm"});
+  EXPECT_NE(Out.find("vfmadd"), std::string::npos);
+  EXPECT_NE(Out.find("T_nOL"), std::string::npos);
+}

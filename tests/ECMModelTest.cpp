@@ -1,0 +1,350 @@
+//===- tests/ECMModelTest.cpp - ECM model unit tests ------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/ECMModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+const GridDims BigDims{512, 512, 256}; // Far beyond every cache.
+
+KernelConfig avx512Config() {
+  KernelConfig C;
+  C.VectorFold.X = 8; // Full AVX-512 vectorization.
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// InCoreModel
+//===----------------------------------------------------------------------===//
+
+TEST(InCoreModel, Heat3dOnCascadeLake) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  InCoreModel IC(M);
+  InCoreTime T = IC.analyze(StencilSpec::heat3d(), avx512Config());
+  // 8 LUPs per CL at 8 doubles/vector = 1 vector iteration.
+  EXPECT_DOUBLE_EQ(T.VectorIters, 1.0);
+  // 7 muls, 6 adds -> 6 FMA + 1 mul = 7 ops on 2 ports = 3.5 cy.
+  EXPECT_DOUBLE_EQ(T.TOL, 3.5);
+  // 7 vector loads on 2 ports = 3.5 cy > 1 store on 1 port.
+  EXPECT_DOUBLE_EQ(T.TnOL, 3.5);
+}
+
+TEST(InCoreModel, ScalarLayoutIsSlower) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  InCoreModel IC(M);
+  InCoreTime Vec = IC.analyze(StencilSpec::heat3d(), avx512Config());
+  InCoreTime Scal = IC.analyze(StencilSpec::heat3d(), KernelConfig());
+  EXPECT_GT(Scal.TOL, Vec.TOL * 7.9); // 8x more iterations.
+  EXPECT_GT(Scal.TnOL, Vec.TnOL * 7.9);
+}
+
+TEST(InCoreModel, RomeHalfVectorWidth) {
+  MachineModel M = MachineModel::rome();
+  InCoreModel IC(M);
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  InCoreTime T = IC.analyze(StencilSpec::heat3d(), C);
+  EXPECT_DOUBLE_EQ(T.VectorIters, 2.0); // 8 LUPs / 4-wide vectors.
+}
+
+TEST(InCoreModel, FoldCannotExceedRegisterWidth) {
+  MachineModel M = MachineModel::rome(); // 4 doubles per register.
+  InCoreModel IC(M);
+  KernelConfig C;
+  C.VectorFold.X = 8; // Wider than the machine: clamped to 4.
+  InCoreTime T = IC.analyze(StencilSpec::heat3d(), C);
+  EXPECT_DOUBLE_EQ(T.VectorIters, 2.0);
+}
+
+TEST(InCoreModel, ExtraFlopsRaiseTOL) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  InCoreModel IC(M);
+  StencilSpec S = StencilSpec::heat3d();
+  InCoreTime Base = IC.analyze(S, avx512Config());
+  S.ExtraFlopsPerLup = 10;
+  InCoreTime More = IC.analyze(S, avx512Config());
+  EXPECT_GT(More.TOL, Base.TOL);
+  EXPECT_DOUBLE_EQ(More.TnOL, Base.TnOL);
+}
+
+//===----------------------------------------------------------------------===//
+// LayerConditionAnalysis
+//===----------------------------------------------------------------------===//
+
+TEST(LayerCondition, Heat3dBigGridOnCascadeLake) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  TrafficPrediction T =
+      LC.analyze(StencilSpec::heat3d(), BigDims, KernelConfig());
+  ASSERT_EQ(T.BytesPerLup.size(), 3u);
+  // 512x512 planes: 3 planes x 2 MiB >> L1/L2 -> row reuse at best there;
+  // L3 (27.5 MiB effective 13.7) holds the 6+2 MiB plane set -> plane
+  // reuse at L3: memory traffic 8 (load) + 16 (store+WA) = 24 B/LUP.
+  EXPECT_EQ(T.LevelReuse[2], ReuseClass::Plane);
+  EXPECT_DOUBLE_EQ(T.BytesPerLup[2], 24.0);
+  // Rows (5 x 4 KiB = 20 KiB) exceed half of L1 (16 KiB eff.) -> None.
+  EXPECT_EQ(T.LevelReuse[0], ReuseClass::None);
+  // L2 1 MiB holds the rows -> Row reuse: 3 streams + 16.
+  EXPECT_EQ(T.LevelReuse[1], ReuseClass::Row);
+  EXPECT_DOUBLE_EQ(T.BytesPerLup[1], 3 * 8.0 + 16.0);
+}
+
+TEST(LayerCondition, StreamingStoresCutWriteAllocate) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  KernelConfig NT;
+  NT.StreamingStores = true;
+  TrafficPrediction A =
+      LC.analyze(StencilSpec::heat3d(), BigDims, KernelConfig());
+  TrafficPrediction B = LC.analyze(StencilSpec::heat3d(), BigDims, NT);
+  EXPECT_DOUBLE_EQ(A.BytesPerLup[2] - B.BytesPerLup[2], 8.0);
+}
+
+TEST(LayerCondition, BlockingRestoresPlaneReuse) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  StencilSpec S = StencilSpec::star3d(4);
+  KernelConfig Blocked;
+  Blocked.Block.Y = 8;
+  TrafficPrediction U = LC.analyze(S, BigDims, KernelConfig());
+  TrafficPrediction B = LC.analyze(S, BigDims, Blocked);
+  // Unblocked: planes (10 x 2 MiB) overflow even L3.
+  EXPECT_NE(U.LevelReuse[2], ReuseClass::Plane);
+  // Blocked: plane footprint 10 x 512 x 8 x 8 = 320 KiB fits L2 (512 KiB
+  // effective).
+  EXPECT_EQ(B.LevelReuse[1], ReuseClass::Plane);
+  EXPECT_LT(B.BytesPerLup[2], U.BytesPerLup[2]);
+}
+
+TEST(LayerCondition, HaloFactorAppliesInTightPlaneLevels) {
+  // Halo reload is charged only at plane-reuse levels too small to retain
+  // two adjacent block windows.  star3d r2 with By=12: plane footprint
+  // 6 x 512 x 12 x 8 = 288 KiB; L2 effective 512 KiB holds one window but
+  // not two -> halo factor (12+4)/12 applies at L2.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  StencilSpec S = StencilSpec::star3d(2);
+  KernelConfig C;
+  C.Block.Y = 12;
+  TrafficPrediction T = LC.analyze(S, BigDims, C);
+  ASSERT_EQ(T.LevelReuse[1], ReuseClass::Plane);
+  EXPECT_NEAR(T.BytesPerLup[1], 8.0 * (16.0 / 12.0) + 16.0, 1e-9);
+  // L3 holds many windows: the halo is retained, memory sees each element
+  // once.
+  EXPECT_NEAR(T.BytesPerLup[2], 24.0, 1e-9);
+}
+
+TEST(LayerCondition, HaloAbsorbedWhenLevelHoldsTwoWindows) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  StencilSpec S = StencilSpec::star3d(2);
+  KernelConfig C;
+  C.Block.Y = 8; // Footprint 192 KiB; L2 holds two windows.
+  TrafficPrediction T = LC.analyze(S, BigDims, C);
+  ASSERT_EQ(T.LevelReuse[1], ReuseClass::Plane);
+  EXPECT_NEAR(T.BytesPerLup[1], 24.0, 1e-9);
+}
+
+TEST(LayerCondition, SharedCacheShrinksWithActiveCores) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  unsigned long long Full = LC.effectiveCapacity(2, 1);
+  unsigned long long Shared = LC.effectiveCapacity(2, 20);
+  EXPECT_EQ(Full, Shared * 20);
+  // Private caches unaffected.
+  EXPECT_EQ(LC.effectiveCapacity(0, 1), LC.effectiveCapacity(0, 20));
+}
+
+TEST(LayerCondition, TrafficMonotoneOutward) {
+  MachineModel M = MachineModel::rome();
+  LayerConditionAnalysis LC(M);
+  for (int R : {1, 2, 4}) {
+    TrafficPrediction T =
+        LC.analyze(StencilSpec::star3d(R), BigDims, KernelConfig());
+    for (size_t I = 1; I < T.BytesPerLup.size(); ++I)
+      EXPECT_LE(T.BytesPerLup[I], T.BytesPerLup[I - 1]);
+  }
+}
+
+TEST(LayerCondition, MaxPlaneBlockYMatchesAnalyze) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  StencilSpec S = StencilSpec::star3d(4);
+  long By = LC.maxPlaneBlockY(S, BigDims, /*Level=*/1);
+  ASSERT_GT(By, 0);
+  ASSERT_LT(By, BigDims.Ny);
+  KernelConfig C;
+  C.Block.Y = By;
+  TrafficPrediction T = LC.analyze(S, BigDims, C);
+  EXPECT_EQ(T.LevelReuse[1], ReuseClass::Plane);
+  // One grid row more must break the condition.
+  C.Block.Y = By + 1;
+  TrafficPrediction T2 = LC.analyze(S, BigDims, C);
+  EXPECT_NE(T2.LevelReuse[1], ReuseClass::Plane);
+}
+
+//===----------------------------------------------------------------------===//
+// ECMModel composition
+//===----------------------------------------------------------------------===//
+
+TEST(ECMModel, CompositionIsMaxOfOverlapAndTransfers) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  double Sum = P.InCore.TnOL;
+  for (double T : P.TData)
+    Sum += T;
+  EXPECT_DOUBLE_EQ(P.TECM, std::max(P.InCore.TOL, Sum));
+  EXPECT_GT(P.TECM, 0.0);
+  EXPECT_DOUBLE_EQ(P.CyclesPerLup, P.TECM / 8.0);
+}
+
+TEST(ECMModel, MemoryBoundStencilSaturatesBelowSocket) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  // A streaming stencil saturates memory bandwidth with a handful of
+  // cores on CLX (paper-typical: 5-12).
+  EXPECT_GE(P.SaturationCores, 2u);
+  EXPECT_LE(P.SaturationCores, 14u);
+  EXPECT_LT(P.MLupsSaturated, P.MLupsSingleCore * M.CoresPerSocket);
+}
+
+TEST(ECMModel, ScalingCapsAtSaturation) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  EXPECT_DOUBLE_EQ(P.mlupsAtCores(1), P.MLupsSingleCore);
+  EXPECT_DOUBLE_EQ(P.mlupsAtCores(2), 2 * P.MLupsSingleCore);
+  EXPECT_DOUBLE_EQ(P.mlupsAtCores(M.CoresPerSocket), P.MLupsSaturated);
+}
+
+TEST(ECMModel, MoreBandwidthIsFaster) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Slow(M);
+  MachineModel M2 = M;
+  M2.Memory.BandwidthGBs *= 2;
+  ECMModel Fast(M2);
+  ECMPrediction PS =
+      Slow.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  ECMPrediction PF =
+      Fast.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  EXPECT_GT(PF.MLupsSaturated, PS.MLupsSaturated * 1.9);
+  EXPECT_GE(PF.MLupsSingleCore, PS.MLupsSingleCore);
+}
+
+TEST(ECMModel, HeavierStencilIsSlowerPerCore) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction R1 =
+      Model.predict(StencilSpec::star3d(1), BigDims, avx512Config());
+  ECMPrediction R4 =
+      Model.predict(StencilSpec::star3d(4), BigDims, avx512Config());
+  EXPECT_LT(R4.MLupsSingleCore, R1.MLupsSingleCore);
+}
+
+TEST(ECMModel, WavefrontReducesMemoryTerm) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  KernelConfig Plain = avx512Config();
+  KernelConfig Wave = avx512Config();
+  Wave.WavefrontDepth = 4;
+  Wave.Block.Z = 8;
+  // Window: 2 buffers x 4 x (8+1) planes x 128 KiB = 9.2 MiB, inside the
+  // 13.75 MiB effective L3.
+  GridDims Dims{128, 128, 256};
+  ECMPrediction PP = Model.predict(StencilSpec::heat3d(), Dims, Plain);
+  ECMPrediction PW = Model.predict(StencilSpec::heat3d(), Dims, Wave);
+  EXPECT_LT(PW.Traffic.BytesPerLup.back(),
+            PP.Traffic.BytesPerLup.back() * 0.5);
+  EXPECT_GT(PW.MLupsSaturated, PP.MLupsSaturated * 1.5);
+}
+
+TEST(ECMModel, WavefrontNoopWhenWindowSpills) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  KernelConfig Wave = avx512Config();
+  Wave.WavefrontDepth = 8;
+  Wave.Block.Z = 64; // Window: 8 x (64+1) planes x 2 MiB >> L3.
+  GridDims Dims{512, 512, 512};
+  KernelConfig Plain = Wave; // Same spatial blocking, no temporal depth.
+  Plain.WavefrontDepth = 1;
+  ECMPrediction PP = Model.predict(StencilSpec::heat3d(), Dims, Plain);
+  ECMPrediction PW = Model.predict(StencilSpec::heat3d(), Dims, Wave);
+  EXPECT_DOUBLE_EQ(PW.Traffic.BytesPerLup.back(),
+                   PP.Traffic.BytesPerLup.back());
+}
+
+TEST(ECMModel, PredictedSecondsScalesWithWork) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  double OneSweep = Model.predictedSeconds(P, BigDims, 1, 1);
+  double TenSweeps = Model.predictedSeconds(P, BigDims, 10, 1);
+  EXPECT_NEAR(TenSweeps, 10 * OneSweep, 1e-12);
+  double AtSat = Model.predictedSeconds(P, BigDims, 1, P.SaturationCores);
+  EXPECT_LT(AtSat, OneSweep);
+}
+
+TEST(ECMModel, NotationStringContainsTerms) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), BigDims, avx512Config());
+  std::string S = P.str();
+  EXPECT_NE(S.find("||"), std::string::npos);
+  EXPECT_NE(S.find("cy/CL"), std::string::npos);
+  EXPECT_NE(S.find("MLUP/s"), std::string::npos);
+}
+
+TEST(InCoreModel, PseudoAsmStructure) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  InCoreModel IC(M);
+  std::string Asm = IC.emitPseudoAsm(StencilSpec::heat3d(), avx512Config());
+  // heat3d with a 1-D fold: 7 loads, 6 FMAs + 1 mul-ish arith, 1 store.
+  size_t Loads = 0, Fmas = 0, Stores = 0;
+  size_t Pos = 0;
+  while ((Pos = Asm.find("vload", Pos)) != std::string::npos) {
+    ++Loads;
+    Pos += 5;
+  }
+  Pos = 0;
+  while ((Pos = Asm.find("vfmadd", Pos)) != std::string::npos) {
+    ++Fmas;
+    Pos += 6;
+  }
+  Pos = 0;
+  while ((Pos = Asm.find("vstore", Pos)) != std::string::npos) {
+    ++Stores;
+    Pos += 6;
+  }
+  EXPECT_EQ(Loads, 7u);
+  EXPECT_EQ(Fmas, 6u);
+  EXPECT_EQ(Stores, 1u);
+  EXPECT_NE(Asm.find("T_OL = 3.5"), std::string::npos);
+  EXPECT_NE(Asm.find("T_nOL = 3.5"), std::string::npos);
+}
+
+TEST(InCoreModel, PseudoAsmStreamingStore) {
+  MachineModel M = MachineModel::rome();
+  InCoreModel IC(M);
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  C.StreamingStores = true;
+  std::string Asm = IC.emitPseudoAsm(StencilSpec::heat3d(), C);
+  EXPECT_NE(Asm.find("vmovnt"), std::string::npos);
+  EXPECT_NE(Asm.find("Rome"), std::string::npos);
+}

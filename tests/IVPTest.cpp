@@ -1,0 +1,216 @@
+//===- tests/IVPTest.cpp - initial value problem tests ----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/IVP.h"
+#include "ode/ExplicitRK.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+TEST(IVP, Heat2DBasics) {
+  Heat2DIVP P(16);
+  EXPECT_EQ(P.dims().Nz, 1);
+  EXPECT_EQ(P.halo(), 1);
+  EXPECT_TRUE(P.hasStencilForm());
+  EXPECT_FALSE(P.hasPointwise());
+  EXPECT_EQ(P.rhsStencil().numPoints(), 5u);
+}
+
+TEST(IVP, Heat2DRHSMatchesFiniteDifference) {
+  // For the interior of a quadratic field u = x^2 (grid-index based),
+  // the discrete Laplacian along x is exactly 2/h^2 and 0 along y.
+  long N = 12;
+  Heat2DIVP P(N);
+  double H = 1.0 / (N + 1);
+  Grid Y(P.dims(), P.halo());
+  // Use interior-only values; pick a row away from boundaries.
+  Y.fillFunction([&](long X, long, long) {
+    double Xc = (X + 1) * H;
+    return Xc * Xc;
+  });
+  // Extend into the x halo so the FD is exact at tested points.
+  for (long Yc = -1; Yc <= N; ++Yc) {
+    double X0 = 0.0, X1 = (N + 1) * H;
+    Y.at(-1, Yc, 0) = X0 * X0;
+    Y.at(N, Yc, 0) = X1 * X1;
+  }
+  // y halo must replicate the row value for d2/dy2 = 0.
+  for (long X = 0; X < N; ++X) {
+    double Xc = (X + 1) * H;
+    Y.at(X, -1, 0) = Xc * Xc;
+    Y.at(X, N, 0) = Xc * Xc;
+  }
+  Grid Out(P.dims(), P.halo());
+  P.evalRHS(0.0, Y, Out);
+  EXPECT_NEAR(Out.at(5, 6, 0), 2.0, 1e-6);
+  EXPECT_NEAR(Out.at(1, 1, 0), 2.0, 1e-6);
+}
+
+TEST(IVP, Heat3DExactSolutionDecays) {
+  Heat3DIVP P(8);
+  Grid Y0(P.dims(), P.halo()), Y1(P.dims(), P.halo());
+  P.exactSolution(0.0, Y0);
+  double T = P.suggestedDt() * 50;
+  P.exactSolution(T, Y1);
+  EXPECT_LT(std::abs(Y1.at(4, 4, 4)), std::abs(Y0.at(4, 4, 4)));
+  EXPECT_GT(Y0.interiorSum(), 0.0);
+}
+
+TEST(IVP, Heat3DExactSolutionIsRHSEigenfunction) {
+  // d/dt u = lambda u for the discrete sine mode: evalRHS(exact(0)) must
+  // equal lambda * exact(0).
+  long N = 10;
+  Heat3DIVP P(N);
+  Grid Y(P.dims(), P.halo()), F(P.dims(), P.halo());
+  P.exactSolution(0.0, Y);
+  P.evalRHS(0.0, Y, F);
+  // Recover lambda from the decay of the exact solution over dt.
+  double Dt = 1e-3 * P.suggestedDt();
+  Grid Ydt(P.dims(), P.halo());
+  P.exactSolution(Dt, Ydt);
+  double Lambda =
+      std::log(Ydt.at(3, 4, 5) / Y.at(3, 4, 5)) / Dt;
+  EXPECT_NEAR(F.at(3, 4, 5), Lambda * Y.at(3, 4, 5),
+              std::abs(Lambda * Y.at(3, 4, 5)) * 1e-6 + 1e-9);
+}
+
+TEST(IVP, ReactionDiffusionPointwise) {
+  ReactionDiffusion3DIVP P(8);
+  EXPECT_TRUE(P.hasPointwise());
+  EXPECT_DOUBLE_EQ(P.pointwise(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(P.pointwise(2.0), 2.0 - 8.0);
+  EXPECT_GT(P.rhsStencil().ExtraFlopsPerLup, 0u);
+}
+
+TEST(IVP, ReactionDiffusionRHSIncludesReaction) {
+  ReactionDiffusion3DIVP P(6);
+  Grid Y(P.dims(), P.halo()), Out(P.dims(), P.halo());
+  Y.fill(0.5); // Uniform field: Laplacian is zero in the deep interior.
+  Grid OutUniform(P.dims(), P.halo());
+  P.evalRHS(0.0, Y, OutUniform);
+  EXPECT_NEAR(OutUniform.at(2, 2, 2), P.pointwise(0.5), 1e-9);
+  (void)Out;
+}
+
+TEST(IVP, AdvectionUpwindStructure) {
+  Advection3DIVP P(8);
+  const StencilSpec &S = P.rhsStencil();
+  EXPECT_EQ(S.numPoints(), 4u); // Center + 3 upwind neighbors.
+  EXPECT_EQ(S.radius(), 1);
+  // All neighbor offsets are on the negative side (upwind for v > 0).
+  for (const StencilPoint &Pt : S.points())
+    EXPECT_LE(Pt.Dx + Pt.Dy + Pt.Dz, 0);
+}
+
+TEST(IVP, AdvectionConservesConstantField) {
+  Advection3DIVP P(8);
+  Grid Y(P.dims(), P.halo()), Out(P.dims(), P.halo());
+  Y.fill(3.0); // Constant everywhere incl. halo.
+  P.evalRHS(0.0, Y, Out);
+  EXPECT_NEAR(Out.at(4, 4, 4), 0.0, 1e-12);
+}
+
+TEST(IVP, InverterChainStructure) {
+  InverterChainIVP P(64);
+  EXPECT_FALSE(P.hasStencilForm());
+  EXPECT_EQ(P.dims().Nx, 64);
+  EXPECT_EQ(P.dims().Ny, 1);
+  EXPECT_EQ(P.halo(), 1);
+  EXPECT_EQ(P.rhsStencil().radius(), 1); // Model proxy.
+}
+
+TEST(IVP, InverterChainRHSIsBanded) {
+  // Changing y_i must affect only f_i and f_{i+1}.
+  InverterChainIVP P(32);
+  Grid Y(P.dims(), P.halo()), F0(P.dims(), P.halo()),
+      F1(P.dims(), P.halo());
+  P.initialCondition(Y);
+  P.evalRHS(0.2, Y, F0);
+  Y.at(10, 0, 0) += 0.125;
+  P.evalRHS(0.2, Y, F1);
+  for (long I = 0; I < 32; ++I) {
+    bool Affected = I == 10 || I == 11;
+    if (Affected)
+      EXPECT_NE(F0.at(I, 0, 0), F1.at(I, 0, 0)) << I;
+    else
+      EXPECT_EQ(F0.at(I, 0, 0), F1.at(I, 0, 0)) << I;
+  }
+}
+
+TEST(IVP, InverterChainEquilibratesTowardRails) {
+  // With zero input the first inverter decays toward uIn/UOp rails; just
+  // verify the RHS drives values into [0, UOp].
+  InverterChainIVP P(16);
+  Grid Y(P.dims(), P.halo()), F(P.dims(), P.halo());
+  P.initialCondition(Y);
+  P.evalRHS(0.0, Y, F);
+  for (long I = 0; I < 16; ++I)
+    EXPECT_TRUE(std::isfinite(F.at(I, 0, 0)));
+}
+
+TEST(IVP, SuggestedDtScalesWithResolution) {
+  Heat3DIVP Coarse(8), Fine(16);
+  EXPECT_GT(Coarse.suggestedDt(), Fine.suggestedDt() * 3.0);
+}
+
+TEST(IVP, AllBuiltinFactory) {
+  auto IVPs = allBuiltinIVPs(8, 128);
+  ASSERT_EQ(IVPs.size(), 6u);
+  for (const auto &P : IVPs) {
+    EXPECT_FALSE(P->name().empty());
+    EXPECT_GT(P->suggestedDt(), 0.0);
+    Grid Y(P->dims(), P->halo());
+    P->initialCondition(Y);
+    Grid F(P->dims(), P->halo());
+    P->evalRHS(0.0, Y, F);
+  }
+}
+
+TEST(IVP, BurgersStructure) {
+  Burgers3DIVP P(8);
+  EXPECT_FALSE(P.hasStencilForm());
+  EXPECT_EQ(P.rhsStencil().radius(), 1);
+  EXPECT_GT(P.rhsStencil().ExtraFlopsPerLup, 0u);
+}
+
+TEST(IVP, BurgersConstantFieldPureDiffusionFixedPoint) {
+  // For a field constant everywhere (incl. halo), both Lap and Grad
+  // vanish: f(u) == 0.
+  Burgers3DIVP P(8);
+  Grid Y(P.dims(), P.halo()), Out(P.dims(), P.halo());
+  Y.fill(2.0);
+  P.evalRHS(0.0, Y, Out);
+  EXPECT_NEAR(Out.at(4, 4, 4), 0.0, 1e-12);
+}
+
+TEST(IVP, BurgersAdvectionTermHasRightSign) {
+  // With u > 0 and a positive gradient, -u * grad term must be negative;
+  // kill diffusion with a linear-in-x field (Lap == 0).
+  long N = 8;
+  Burgers3DIVP P(N);
+  Grid Y(P.dims(), P.halo()), Out(P.dims(), P.halo());
+  for (long Z = -1; Z <= N; ++Z)
+    for (long Yc = -1; Yc <= N; ++Yc)
+      for (long X = -1; X <= N; ++X)
+        Y.at(X, Yc, Z) = 1.0 + 0.1 * X;
+  P.evalRHS(0.0, Y, Out);
+  EXPECT_LT(Out.at(4, 4, 4), 0.0);
+}
+
+TEST(IVP, BurgersIntegratesStably) {
+  Burgers3DIVP P(10);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  ExplicitRKIntegrator Integ(ButcherTableau::heun2(),
+                             RKVariant::StageSeparate);
+  RKWorkspace WS;
+  Integ.integrate(P, 0.0, P.suggestedDt(), 10, Y, WS);
+  for (long X = 0; X < 10; ++X)
+    EXPECT_TRUE(std::isfinite(Y.at(X, 5, 5)));
+}

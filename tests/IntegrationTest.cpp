@@ -1,0 +1,200 @@
+//===- tests/IntegrationTest.cpp - cross-module integration tests ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end paths across module boundaries: DSL text through the
+/// solution layer against the cache simulator and the ECM model, the
+/// Offsite pipeline against real integrators, and a few cross-cutting
+/// behaviors (workspace/layout changes, pool reuse) that unit tests
+/// don't reach.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/StencilTrace.h"
+#include "ecm/ECMModel.h"
+#include "ode/Adaptive.h"
+#include "ode/Registry.h"
+#include "offsite/Database.h"
+#include "offsite/Offsite.h"
+#include "solution/StencilSolution.h"
+#include "tuner/MeasureHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+TEST(Integration, DslToModelToSimulatorAgree) {
+  // A DSL-defined stencil must get the same memory-traffic prediction as
+  // its hand-built twin, and both must match the simulator.
+  const char *Dsl = R"(
+    stencil star2 {
+      grid u, unew;
+      unew[x,y,z] = u[x+2,y,z] + u[x-2,y,z] + u[x+1,y,z] + u[x-1,y,z]
+                  + u[x,y+2,z] + u[x,y-2,z] + u[x,y+1,z] + u[x,y-1,z]
+                  + u[x,y,z+2] + u[x,y,z-2] + u[x,y,z+1] + u[x,y,z-1]
+                  - 12 * u[x,y,z];
+    }
+  )";
+  auto SolOr = StencilSolution::fromDslSource(Dsl, {96, 96, 48});
+  ASSERT_TRUE(static_cast<bool>(SolOr));
+  ASSERT_EQ(SolOr->plan().size(), 1u);
+  const StencilSpec &FromDsl = SolOr->plan()[0].ModelSpec;
+  StencilSpec Builtin = StencilSpec::star3d(2);
+  EXPECT_EQ(FromDsl.numPoints(), Builtin.numPoints());
+  EXPECT_EQ(FromDsl.radius(), Builtin.radius());
+
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Caches[0].SizeBytes = 16 * 1024;
+  M.Caches[1].SizeBytes = 128 * 1024;
+  M.Caches[2].SizeBytes = 1024 * 1024;
+  ECMModel Model(M);
+  GridDims Dims{96, 96, 48};
+  double PredDsl =
+      Model.predict(FromDsl, Dims, {}).Traffic.BytesPerLup.back();
+  double PredBuiltin =
+      Model.predict(Builtin, Dims, {}).Traffic.BytesPerLup.back();
+  EXPECT_DOUBLE_EQ(PredDsl, PredBuiltin);
+
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+  TraceTraffic T = StencilTraceRunner(Builtin, Dims, {}).run(Sim, 2);
+  EXPECT_LT(std::abs(PredBuiltin - T.BytesPerLup.back()),
+            0.3 * T.BytesPerLup.back());
+}
+
+TEST(Integration, OffsitePipelineConsistentWithDirectIntegration) {
+  // The variant the tuner measures must behave exactly like a directly
+  // constructed integrator.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  OffsiteTuner Tuner(Model, 1);
+  Heat3DIVP Problem(12);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::heun2(), Problem);
+  ASSERT_FALSE(Vs.empty());
+  const ODEVariant &V = Vs.front();
+
+  Grid YA(Problem.dims(), Problem.halo(), V.Config.VectorFold);
+  Problem.initialCondition(YA);
+  ExplicitRKIntegrator Integ(V.Tableau, V.Variant, V.Config);
+  RKWorkspace WS;
+  double H = Problem.suggestedDt();
+  Integ.integrate(Problem, 0.0, H, 5, YA, WS);
+
+  Grid Exact(Problem.dims(), Problem.halo());
+  Problem.exactSolution(5 * H, Exact);
+  EXPECT_LT(Grid::maxAbsDiffInterior(YA, Exact), 1e-4);
+}
+
+TEST(Integration, DatabaseRecordsMatchTunerRanking) {
+  MachineModel M = MachineModel::rome();
+  ECMModel Model(M);
+  OffsiteTuner Tuner(Model, M.CoresPerSocket);
+  Heat3DIVP Problem(32);
+  std::vector<VariantPrediction> Ranked =
+      Tuner.rank(Tuner.enumerateRK(ButcherTableau::classicRK4(), Problem),
+                 Problem);
+
+  TuningDatabase Db;
+  TuningRecord R;
+  R.Machine = M.Name;
+  R.Method = "rk4";
+  R.Problem = Problem.name();
+  R.Dims = Problem.dims();
+  R.Cores = M.CoresPerSocket;
+  R.VariantName = Ranked.front().Variant.Name;
+  R.PredictedSecondsPerStep = Ranked.front().SecondsPerStep;
+  Db.insert(R);
+
+  auto Reloaded = TuningDatabase::deserialize(Db.serialize());
+  ASSERT_TRUE(static_cast<bool>(Reloaded));
+  const TuningRecord *Hit = Reloaded->lookup(M.Name, "rk4", "heat3d",
+                                             Problem.dims(),
+                                             M.CoresPerSocket);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->VariantName, Ranked.front().Variant.Name);
+}
+
+TEST(Integration, MeasureHarnessSurvivesFoldChanges) {
+  // Switching folds mid-tuning reallocates buffers transparently.
+  MeasureHarness H(StencilSpec::heat3d(), {24, 24, 24}, 1, 1);
+  KernelConfig Scalar;
+  KernelConfig Folded;
+  Folded.VectorFold.X = 4;
+  Folded.VectorFold.Y = 2;
+  EXPECT_GT(H.measure(Scalar), 0.0);
+  EXPECT_GT(H.measure(Folded), 0.0);
+  EXPECT_GT(H.measure(Scalar), 0.0);
+  EXPECT_GE(H.totalKernelRuns(), 3u);
+}
+
+TEST(Integration, PoolSharedAcrossSubsystems) {
+  // One pool drives the executor, a solution and an integrator in turn.
+  ThreadPool Pool(3);
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{16, 16, 16};
+  KernelConfig C;
+  C.Threads = 3;
+
+  Grid In(Dims, 1), Out(Dims, 1);
+  Rng R(2);
+  In.fillRandom(R);
+  KernelExecutor Exec(S, C);
+  Exec.runSweep({&In}, Out, &Pool);
+
+  auto SolOr = StencilSolution::fromDslSource(
+      "stencil s { grid u, v; v[x,y,z] = u[x+1,y,z] - u[x,y,z]; }", Dims,
+      C);
+  ASSERT_TRUE(static_cast<bool>(SolOr));
+  SolOr->grid(0).fillRandom(R);
+  SolOr->run(&Pool);
+
+  Heat3DIVP Problem(16);
+  ExplicitRKIntegrator Integ(ButcherTableau::heun2(),
+                             RKVariant::StageSeparate, C);
+  RKWorkspace WS;
+  Grid Y(Problem.dims(), Problem.halo());
+  Problem.initialCondition(Y);
+  Integ.integrate(Problem, 0.0, Problem.suggestedDt(), 2, Y, WS, &Pool);
+  EXPECT_TRUE(std::isfinite(Y.at(8, 8, 8)));
+}
+
+TEST(Integration, AdaptiveOnHeat3DMeetsExactSolution) {
+  Heat3DIVP P(8);
+  Grid Y(P.dims(), P.halo());
+  P.initialCondition(Y);
+  ExplicitRKIntegrator Integ(ButcherTableau::dormandPrince54(),
+                             RKVariant::StageSeparate);
+  RKWorkspace WS;
+  AdaptiveOptions Opts;
+  Opts.Tolerance = 1e-9;
+  double TEnd = P.suggestedDt() * 12;
+  AdaptiveResult R = integrateAdaptive(Integ, P, 0.0, TEnd,
+                                       P.suggestedDt() / 2, Y, WS, Opts);
+  ASSERT_TRUE(R.Converged);
+  Grid Exact(P.dims(), P.halo());
+  P.exactSolution(TEnd, Exact);
+  EXPECT_LT(Grid::maxAbsDiffInterior(Y, Exact), 1e-6);
+}
+
+TEST(Integration, RegistryDrivenSweepOverMethodsAndIvps) {
+  // Every explicit method integrates every stencil-form IVP for a step
+  // without blowing up (the CLI's whole input space).
+  for (const ButcherTableau &TB : ButcherTableau::allExplicit()) {
+    for (const std::string &Name : {std::string("heat3d"),
+                                    std::string("reaction-diffusion3d")}) {
+      auto IvpOr = ivpByName(Name, 8);
+      ASSERT_TRUE(static_cast<bool>(IvpOr));
+      IVP &Problem = **IvpOr;
+      Grid Y(Problem.dims(), Problem.halo());
+      Problem.initialCondition(Y);
+      ExplicitRKIntegrator Integ(TB, RKVariant::StageSeparate);
+      RKWorkspace WS;
+      Integ.integrate(Problem, 0.0, Problem.suggestedDt(), 2, Y, WS);
+      EXPECT_TRUE(std::isfinite(Y.at(4, 4, 4))) << TB.Name << " " << Name;
+    }
+  }
+}

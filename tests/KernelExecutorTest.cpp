@@ -1,0 +1,295 @@
+//===- tests/KernelExecutorTest.cpp - executor correctness -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ground truth is the reference triple loop; every transformed path
+/// (blocking, folding, threading, temporal wavefront) must reproduce it
+/// exactly (same FP operations per point => bit-identical results).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelExecutor.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+Grid randomGrid(GridDims Dims, int Halo, Fold F = Fold(), uint64_t Seed = 1) {
+  Grid G(Dims, Halo, F);
+  Rng R(Seed);
+  G.fillRandom(R);
+  return G;
+}
+
+/// Runs reference and configured sweeps and returns the max abs diff.
+double sweepDiff(const StencilSpec &Spec, GridDims Dims,
+                 const KernelConfig &Config, ThreadPool *Pool = nullptr) {
+  int Halo = Spec.radius();
+  Grid In = randomGrid(Dims, Halo, Config.VectorFold);
+  Grid OutRef(Dims, Halo, Config.VectorFold);
+  Grid OutCfg(Dims, Halo, Config.VectorFold);
+
+  KernelExecutor::runReference(Spec, {&In}, OutRef);
+  KernelExecutor Exec(Spec, Config);
+  Exec.runSweep({&In}, OutCfg, Pool);
+  return Grid::maxAbsDiffInterior(OutRef, OutCfg);
+}
+
+} // namespace
+
+TEST(KernelExecutor, UnblockedMatchesReference) {
+  EXPECT_EQ(sweepDiff(StencilSpec::heat3d(), {16, 14, 12}, KernelConfig()),
+            0.0);
+}
+
+TEST(KernelExecutor, LargeBoxStencil) {
+  // box3d r2 has 125 points; exercises the dynamic point tables.
+  EXPECT_EQ(sweepDiff(StencilSpec::box3d(2), {10, 10, 10}, KernelConfig()),
+            0.0);
+}
+
+TEST(KernelExecutor, MultiInputStencil) {
+  StencilSpec S("axpy3", {{0, 0, 0, 1.0, 0},
+                          {0, 0, 0, 0.5, 1},
+                          {1, 0, 0, 0.25, 2}});
+  GridDims Dims{12, 10, 8};
+  Grid A = randomGrid(Dims, 1, Fold(), 1);
+  Grid B = randomGrid(Dims, 1, Fold(), 2);
+  Grid C = randomGrid(Dims, 1, Fold(), 3);
+  Grid OutRef(Dims, 1), OutCfg(Dims, 1);
+  KernelExecutor::runReference(S, {&A, &B, &C}, OutRef);
+  KernelExecutor Exec(S, KernelConfig());
+  Exec.runSweep({&A, &B, &C}, OutCfg);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(OutRef, OutCfg), 0.0);
+}
+
+TEST(KernelExecutor, TimeSteppingEvenOdd) {
+  // Result must land in U regardless of step parity.
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{10, 10, 10};
+  for (int Steps : {1, 2, 3, 4}) {
+    Grid U = randomGrid(Dims, 1);
+    Grid Scratch(Dims, 1);
+    Grid Want = randomGrid(Dims, 1);
+    Grid Tmp(Dims, 1);
+    // Reference: repeated out-of-place sweeps.
+    for (int T = 0; T < Steps; ++T) {
+      KernelExecutor::runReference(S, {&Want}, Tmp);
+      Want.copyInteriorFrom(Tmp);
+    }
+    KernelExecutor Exec(S, KernelConfig());
+    Exec.runTimeSteps(U, Scratch, Steps);
+    EXPECT_EQ(Grid::maxAbsDiffInterior(U, Want), 0.0) << Steps << " steps";
+  }
+}
+
+TEST(KernelExecutor, ZeroStepsIsIdentity) {
+  GridDims Dims{6, 6, 6};
+  Grid U = randomGrid(Dims, 1);
+  Grid Copy(Dims, 1);
+  Copy.copyInteriorFrom(U);
+  Grid Scratch(Dims, 1);
+  KernelExecutor Exec(StencilSpec::heat3d(), KernelConfig());
+  Exec.runTimeSteps(U, Scratch, 0);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(U, Copy), 0.0);
+}
+
+TEST(KernelExecutor, ThreadedMatchesReference) {
+  ThreadPool Pool(4);
+  KernelConfig C;
+  C.Threads = 4;
+  C.Block.Z = 3; // Uneven block count vs. threads.
+  EXPECT_EQ(sweepDiff(StencilSpec::star3d(2), {20, 16, 14}, C, &Pool), 0.0);
+}
+
+TEST(KernelExecutor, HaloProvidesBoundary) {
+  // Nonzero halo must contribute to edge results.
+  StencilSpec S = StencilSpec::star3d(1, 0.0, 1.0);
+  GridDims Dims{4, 4, 4};
+  Grid In(Dims, 1);
+  In.fill(0.0);
+  In.fillHalo(2.0);
+  Grid Out(Dims, 1);
+  KernelExecutor::runReference(S, {&In}, Out);
+  // Corner cell sees 3 halo neighbors of value 2.
+  EXPECT_DOUBLE_EQ(Out.at(0, 0, 0), 6.0);
+  // Center cell sees none.
+  EXPECT_DOUBLE_EQ(Out.at(2, 2, 2), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: blocking configurations.
+//===----------------------------------------------------------------------===//
+
+struct BlockCase {
+  long Bx, By, Bz;
+};
+
+class BlockingEquivalence : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(BlockingEquivalence, Heat3dMatchesReference) {
+  BlockCase P = GetParam();
+  KernelConfig C;
+  C.Block.X = P.Bx;
+  C.Block.Y = P.By;
+  C.Block.Z = P.Bz;
+  EXPECT_EQ(sweepDiff(StencilSpec::heat3d(), {17, 13, 11}, C), 0.0);
+}
+
+TEST_P(BlockingEquivalence, Star3dR3MatchesReference) {
+  BlockCase P = GetParam();
+  KernelConfig C;
+  C.Block.X = P.Bx;
+  C.Block.Y = P.By;
+  C.Block.Z = P.Bz;
+  EXPECT_EQ(sweepDiff(StencilSpec::star3d(3), {19, 12, 9}, C), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blocks, BlockingEquivalence,
+    ::testing::Values(BlockCase{0, 0, 0}, BlockCase{4, 0, 0},
+                      BlockCase{0, 4, 0}, BlockCase{0, 0, 4},
+                      BlockCase{8, 4, 2}, BlockCase{5, 3, 7},
+                      BlockCase{1, 1, 1}, BlockCase{64, 64, 64}));
+
+//===----------------------------------------------------------------------===//
+// Property sweep: folded layouts.
+//===----------------------------------------------------------------------===//
+
+struct FoldCase {
+  int Fx, Fy, Fz;
+};
+
+class FoldEquivalence : public ::testing::TestWithParam<FoldCase> {};
+
+TEST_P(FoldEquivalence, FoldedSweepMatchesScalar) {
+  FoldCase P = GetParam();
+  Fold F;
+  F.X = P.Fx;
+  F.Y = P.Fy;
+  F.Z = P.Fz;
+  StencilSpec S = StencilSpec::star3d(1);
+  GridDims Dims{14, 10, 9};
+  // Scalar reference.
+  Grid InScalar = randomGrid(Dims, 1);
+  Grid OutScalar(Dims, 1);
+  KernelExecutor::runReference(S, {&InScalar}, OutScalar);
+  // Folded run with the same values.
+  Grid InFolded(Dims, 1, F);
+  InFolded.copyInteriorFrom(InScalar);
+  Grid OutFolded(Dims, 1, F);
+  KernelConfig C;
+  C.VectorFold = F;
+  C.Block.Y = 4;
+  KernelExecutor Exec(S, C);
+  Exec.runSweep({&InFolded}, OutFolded);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(OutScalar, OutFolded), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, FoldEquivalence,
+                         ::testing::Values(FoldCase{8, 1, 1},
+                                           FoldCase{4, 2, 1},
+                                           FoldCase{2, 2, 2},
+                                           FoldCase{1, 4, 2}));
+
+//===----------------------------------------------------------------------===//
+// Property sweep: temporal wavefront == plain time stepping.
+//===----------------------------------------------------------------------===//
+
+struct WavefrontCase {
+  int Depth;
+  int Radius;
+  long Bz;
+  int Steps;
+};
+
+class WavefrontEquivalence : public ::testing::TestWithParam<WavefrontCase> {
+};
+
+TEST_P(WavefrontEquivalence, MatchesPlainTimeStepping) {
+  WavefrontCase P = GetParam();
+  StencilSpec S = StencilSpec::star3d(P.Radius);
+  GridDims Dims{12, 10, 16};
+
+  Grid UPlain = randomGrid(Dims, P.Radius);
+  Grid UWave(Dims, P.Radius);
+  UWave.copyInteriorFrom(UPlain);
+  Grid S1(Dims, P.Radius), S2(Dims, P.Radius);
+
+  KernelConfig Plain;
+  KernelExecutor ExecPlain(S, Plain);
+  ExecPlain.runTimeSteps(UPlain, S1, P.Steps);
+
+  KernelConfig Wave;
+  Wave.WavefrontDepth = P.Depth;
+  Wave.Block.Z = P.Bz;
+  KernelExecutor ExecWave(S, Wave);
+  ExecWave.runTimeSteps(UWave, S2, P.Steps);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0)
+      << "depth=" << P.Depth << " r=" << P.Radius << " bz=" << P.Bz
+      << " steps=" << P.Steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Waves, WavefrontEquivalence,
+    ::testing::Values(WavefrontCase{2, 1, 4, 2}, WavefrontCase{2, 1, 4, 5},
+                      WavefrontCase{3, 1, 4, 9}, WavefrontCase{4, 1, 2, 8},
+                      WavefrontCase{2, 2, 5, 4}, WavefrontCase{3, 2, 8, 6},
+                      WavefrontCase{8, 1, 3, 16},
+                      WavefrontCase{2, 1, 16, 4}));
+
+TEST(KernelExecutor, WavefrontWithThreads) {
+  ThreadPool Pool(3);
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 12, 12};
+  Grid UPlain = randomGrid(Dims, 1);
+  Grid UWave(Dims, 1);
+  UWave.copyInteriorFrom(UPlain);
+  Grid S1(Dims, 1), S2(Dims, 1);
+
+  KernelExecutor ExecPlain(S, KernelConfig());
+  ExecPlain.runTimeSteps(UPlain, S1, 4);
+
+  KernelConfig Wave;
+  Wave.WavefrontDepth = 2;
+  Wave.Block.Z = 4;
+  Wave.Block.Y = 5;
+  Wave.Threads = 3;
+  KernelExecutor ExecWave(S, Wave);
+  ExecWave.runTimeSteps(UWave, S2, 4, &Pool);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0);
+}
+
+TEST(KernelExecutor, WavefrontNonzeroBoundary) {
+  // Constant-in-time Dirichlet boundary must be honored by the wavefront
+  // path (both buffers carry the halo).
+  StencilSpec S = StencilSpec::star3d(1, 0.25, 0.125);
+  GridDims Dims{8, 8, 12};
+  Grid UPlain(Dims, 1);
+  Rng R(9);
+  UPlain.fillRandom(R);
+  UPlain.fillHalo(1.5);
+  Grid UWave(Dims, 1);
+  UWave.copyInteriorFrom(UPlain);
+  UWave.fillHalo(1.5);
+  Grid S1(Dims, 1), S2(Dims, 1);
+  S1.fillHalo(1.5);
+  S2.fillHalo(1.5);
+
+  KernelExecutor ExecPlain(S, KernelConfig());
+  ExecPlain.runTimeSteps(UPlain, S1, 4);
+
+  KernelConfig Wave;
+  Wave.WavefrontDepth = 2;
+  Wave.Block.Z = 4;
+  KernelExecutor ExecWave(S, Wave);
+  ExecWave.runTimeSteps(UWave, S2, 4);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0);
+}

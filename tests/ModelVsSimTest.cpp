@@ -1,0 +1,167 @@
+//===- tests/ModelVsSimTest.cpp - ECM vs cache-simulator cross-check --------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper validates the analytic layer-condition traffic against LIKWID
+/// hardware counters; here the cache simulator plays the counters' role.
+/// These integration tests assert that the analytic per-boundary volumes
+/// agree with the simulated ones across stencils and configurations — the
+/// core evidence that "predict without running" is sound.
+///
+/// A custom machine model with small caches keeps simulated grids (and
+/// test runtime) small while preserving the three-level structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/StencilTrace.h"
+#include "ecm/ECMModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+namespace {
+
+/// A miniature three-level machine: 16 KiB / 128 KiB / 1 MiB.
+MachineModel miniMachine() {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Name = "Mini";
+  M.Caches[0].SizeBytes = 16 * 1024;
+  M.Caches[1].SizeBytes = 128 * 1024;
+  M.Caches[2].SizeBytes = 1024 * 1024;
+  return M;
+}
+
+/// Relative error helper.
+double relErr(double Predicted, double Simulated) {
+  if (Simulated == 0.0)
+    return Predicted == 0.0 ? 0.0 : 1.0;
+  return std::abs(Predicted - Simulated) / Simulated;
+}
+
+struct AgreementCase {
+  const char *Name;
+  int Radius;
+  long By; // 0 = unblocked.
+};
+
+class MemoryTrafficAgreement
+    : public ::testing::TestWithParam<AgreementCase> {};
+
+} // namespace
+
+TEST_P(MemoryTrafficAgreement, MemoryBytesWithin25Percent) {
+  AgreementCase P = GetParam();
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::star3d(P.Radius);
+  GridDims Dims{96, 96, 48};
+  KernelConfig C;
+  C.Block.Y = P.By;
+
+  ECMModel Model(M);
+  ECMPrediction Pred = Model.predict(S, Dims, C);
+
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(S, Dims, C);
+  TraceTraffic T = Runner.run(Sim, 3);
+
+  double PredMem = Pred.Traffic.BytesPerLup.back();
+  double SimMem = T.BytesPerLup.back();
+  EXPECT_LT(relErr(PredMem, SimMem), 0.25)
+      << P.Name << ": predicted " << PredMem << " B/LUP, simulated "
+      << SimMem << " B/LUP";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stencils, MemoryTrafficAgreement,
+    ::testing::Values(AgreementCase{"heat-unblocked", 1, 0},
+                      AgreementCase{"r2-unblocked", 2, 0},
+                      AgreementCase{"r1-by16", 1, 16},
+                      AgreementCase{"r2-by16", 2, 16}));
+
+TEST(ModelVsSim, ReuseClassTransitionMatchesSimulator) {
+  // Sweep the y-block size: the model's predicted L2 reuse transition
+  // (plane -> row) must coincide with a jump in simulated L2<->L3 traffic.
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{128, 128, 24};
+  ECMModel Model(M);
+
+  double PrevSim = -1;
+  for (long By : {8L, 16L, 64L, 128L}) {
+    KernelConfig C;
+    C.Block.Y = By;
+    ECMPrediction Pred = Model.predict(S, Dims, C);
+    CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+    TraceTraffic T = StencilTraceRunner(S, Dims, C).run(Sim, 2);
+    double SimL2 = T.BytesPerLup[1];
+    bool PredPlane = Pred.Traffic.LevelReuse[1] == ReuseClass::Plane;
+    // The LC safety factor derates capacity by 2x, so predictions within
+    // the [derated, full] capacity band may legitimately disagree with
+    // the exact LRU simulator; assert only outside the gray zone.
+    double FootprintRatio =
+        static_cast<double>(Pred.Traffic.PlaneFootprintBytes) /
+        static_cast<double>(M.Caches[1].SizeBytes);
+    bool GrayZone = FootprintRatio > 0.5 && FootprintRatio < 1.5;
+    if (!GrayZone) {
+      // Model says plane reuse at L2 -> simulated traffic must be small
+      // (input once + output), else clearly larger.
+      if (PredPlane)
+        EXPECT_LT(SimL2, 40.0) << "By=" << By;
+      else
+        EXPECT_GT(SimL2, 40.0) << "By=" << By;
+    }
+    if (PrevSim >= 0) {
+      EXPECT_GE(SimL2, PrevSim * 0.8); // Larger blocks never much better.
+    }
+    PrevSim = SimL2;
+  }
+}
+
+TEST(ModelVsSim, WavefrontTrafficReductionMatches) {
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{64, 64, 64};
+  KernelConfig Wave;
+  // Window: 2 buffers x 2 x (2+1) planes x 32 KiB = 384 KiB, inside the
+  // model's derated 512 KiB L3 capacity.
+  Wave.WavefrontDepth = 2;
+  Wave.Block.Z = 2;
+
+  ECMModel Model(M);
+  ECMPrediction PredPlain = Model.predict(S, Dims, KernelConfig());
+  ECMPrediction PredWave = Model.predict(S, Dims, Wave);
+  double PredReduction = PredPlain.Traffic.BytesPerLup.back() /
+                         PredWave.Traffic.BytesPerLup.back();
+
+  CacheHierarchySim SimP = CacheHierarchySim::fromMachine(M);
+  TraceTraffic TP = StencilTraceRunner(S, Dims, KernelConfig()).run(SimP, 4);
+  CacheHierarchySim SimW = CacheHierarchySim::fromMachine(M);
+  TraceTraffic TW = StencilTraceRunner(S, Dims, Wave).runWavefront(SimW);
+  double SimReduction = TP.BytesPerLup.back() / TW.BytesPerLup.back();
+
+  // Both must see a substantial reduction and agree within a factor ~1.6.
+  EXPECT_GT(PredReduction, 1.4);
+  EXPECT_GT(SimReduction, 1.4);
+  EXPECT_LT(std::abs(std::log(PredReduction / SimReduction)),
+            std::log(1.6))
+      << "pred x" << PredReduction << " sim x" << SimReduction;
+}
+
+TEST(ModelVsSim, StoreTrafficShareIsCorrect) {
+  // For the memory-bound heat stencil, stores (writeback) are 1/3 of
+  // memory traffic (8 of 24 B/LUP); verify in the simulator.
+  MachineModel M = miniMachine();
+  GridDims Dims{96, 96, 48};
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(StencilSpec::heat3d(), Dims, KernelConfig());
+  Runner.run(Sim, 3);
+  HierarchyTraffic T = Sim.traffic();
+  double StoreShare = static_cast<double>(T.MemStoreBytes) /
+                      (T.MemLoadBytes + T.MemStoreBytes);
+  EXPECT_NEAR(StoreShare, 1.0 / 3.0, 0.07);
+}

@@ -1,0 +1,122 @@
+//===- tests/MultiCoreSimTest.cpp - multicore cache simulation tests ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/MultiCoreSim.h"
+
+#include "ecm/LayerCondition.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+/// Small machine: 8K/32K private, 512K shared by up to 4 cores.
+MachineModel tinyMachine() {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Name = "Tiny";
+  M.Caches[0].SizeBytes = 8 * 1024;
+  M.Caches[1].SizeBytes = 32 * 1024;
+  M.Caches[2].SizeBytes = 512 * 1024;
+  M.Caches[2].SharingCores = 4;
+  return M;
+}
+
+} // namespace
+
+TEST(MultiCoreCacheSim, PrivateLevelsAreIsolated) {
+  MultiCoreCacheSim Sim(tinyMachine(), 2);
+  // Core 0 warms a line; core 1 accessing the same line misses privately
+  // but hits the shared level (one memory fill total).
+  Sim.load(0, 0);
+  Sim.load(1, 0);
+  EXPECT_EQ(Sim.memTrafficBytes(), 64ull);
+  // Both cores now hit privately.
+  Sim.load(0, 8);
+  Sim.load(1, 8);
+  EXPECT_EQ(Sim.memTrafficBytes(), 64ull);
+}
+
+TEST(MultiCoreCacheSim, SeparateGroupsDoNotShare) {
+  // 8 cores, 4 per shared group: cores 0 and 4 are in different groups.
+  MultiCoreCacheSim Sim(tinyMachine(), 8);
+  Sim.load(0, 0);
+  Sim.load(4, 0);
+  EXPECT_EQ(Sim.memTrafficBytes(), 2 * 64ull);
+}
+
+TEST(MultiCoreCacheSim, SharedCapacityContention) {
+  // Two cores streaming disjoint 400 KiB regions (800 KiB total) thrash
+  // a 512 KiB shared cache; one core's region alone fits.
+  MachineModel M = tinyMachine();
+  const unsigned N = 50 * 1024 / 8 * 8; // 400 KiB of doubles per core.
+  auto StreamTwice = [&](MultiCoreCacheSim &Sim, unsigned Cores) {
+    for (int Round = 0; Round < 2; ++Round)
+      for (unsigned I = 0; I < N; ++I)
+        for (unsigned C = 0; C < Cores; ++C)
+          Sim.load(C, (static_cast<uint64_t>(C) << 30) + I * 8);
+  };
+  MultiCoreCacheSim One(M, 1);
+  StreamTwice(One, 1);
+  MultiCoreCacheSim Two(M, 2);
+  StreamTwice(Two, 2);
+  // Single core: second pass hits in the shared cache -> traffic ~ one
+  // footprint.  Two cores: both passes miss -> ~double per-core traffic.
+  double PerCoreOne = static_cast<double>(One.memTrafficBytes());
+  double PerCoreTwo = Two.memTrafficBytes() / 2.0;
+  EXPECT_GT(PerCoreTwo, PerCoreOne * 1.6);
+}
+
+TEST(MultiCoreTrace, SingleCoreMatchesExpectedStreaming) {
+  MachineModel M = tinyMachine();
+  MultiCoreTraffic T = runMultiCoreStencilTrace(
+      M, 1, StencilSpec::heat3d(), {64, 64, 32}, KernelConfig(), 2);
+  // Grid 2 x 1 MiB >> 512 KiB shared: streaming with row/plane reuse in
+  // the private/shared levels -> 24..60 B/LUP at memory.
+  EXPECT_GT(T.MemBytesPerLup, 20.0);
+  EXPECT_LT(T.MemBytesPerLup, 64.0);
+}
+
+TEST(MultiCoreTrace, SharedPressureRaisesMemoryTraffic) {
+  // The paper's socket effect the LC derating models: with more active
+  // cores per shared cache, the per-core share shrinks and per-LUP
+  // memory traffic rises.
+  MachineModel M = tinyMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{48, 48, 32}; // Planes fit the shared cache for 1 core.
+  MultiCoreTraffic T1 =
+      runMultiCoreStencilTrace(M, 1, S, Dims, KernelConfig(), 2);
+  MultiCoreTraffic T4 =
+      runMultiCoreStencilTrace(M, 4, S, Dims, KernelConfig(), 2);
+  EXPECT_GT(T4.MemBytesPerLup, T1.MemBytesPerLup * 1.1)
+      << "1 core: " << T1.MemBytesPerLup
+      << " B/LUP, 4 cores: " << T4.MemBytesPerLup;
+}
+
+TEST(MultiCoreTrace, AgreesWithLayerConditionDerating) {
+  // The analytic ActiveCores derating must point the same direction as
+  // the simulated multicore traffic.
+  MachineModel M = tinyMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{48, 48, 32};
+  LayerConditionAnalysis LC(M);
+  double Pred1 = LC.analyze(S, Dims, KernelConfig(), 1).BytesPerLup.back();
+  double Pred4 = LC.analyze(S, Dims, KernelConfig(), 4).BytesPerLup.back();
+  MultiCoreTraffic Sim1 =
+      runMultiCoreStencilTrace(M, 1, S, Dims, KernelConfig(), 2);
+  MultiCoreTraffic Sim4 =
+      runMultiCoreStencilTrace(M, 4, S, Dims, KernelConfig(), 2);
+  EXPECT_GE(Pred4, Pred1);
+  EXPECT_GE(Sim4.MemBytesPerLup, Sim1.MemBytesPerLup);
+}
+
+TEST(MultiCoreTrace, LupAccounting) {
+  MachineModel M = tinyMachine();
+  MultiCoreTraffic T = runMultiCoreStencilTrace(
+      M, 3, StencilSpec::heat3d(), {16, 16, 15}, KernelConfig(), 2);
+  EXPECT_EQ(T.Lups, 2ull * 16 * 16 * 15);
+  EXPECT_GT(T.SharedBoundaryBytesPerLup, 0.0);
+}

@@ -1,0 +1,178 @@
+//===- tests/OffsiteTest.cpp - Offsite tuner tests ---------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Offsite.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+ECMModel &clxModel() {
+  static MachineModel M = MachineModel::cascadeLakeSP();
+  static ECMModel Model(M);
+  return Model;
+}
+
+} // namespace
+
+TEST(KendallTau, PerfectAgreement) {
+  EXPECT_DOUBLE_EQ(kendallTau({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  EXPECT_DOUBLE_EQ(kendallTau({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(KendallTau, PartialAgreement) {
+  double Tau = kendallTau({1, 2, 3, 4}, {1, 3, 2, 4});
+  EXPECT_GT(Tau, 0.0);
+  EXPECT_LT(Tau, 1.0);
+}
+
+TEST(KendallTau, ShortSequences) {
+  EXPECT_DOUBLE_EQ(kendallTau({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(kendallTau({1.0}, {2.0}), 1.0);
+}
+
+TEST(Offsite, EnumerateRKVariantCount) {
+  OffsiteTuner Tuner(clxModel());
+  Heat3DIVP P(64);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::classicRK4(), P);
+  // 3 fusion variants x {unblocked [, analytic]}.
+  EXPECT_GE(Vs.size(), 3u);
+  EXPECT_LE(Vs.size(), 6u);
+  for (const ODEVariant &V : Vs) {
+    EXPECT_FALSE(V.IsPIRK);
+    EXPECT_FALSE(V.Name.empty());
+  }
+}
+
+TEST(Offsite, EnumerateRKNonStencilRestriction) {
+  OffsiteTuner Tuner(clxModel());
+  InverterChainIVP P(1024);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::classicRK4(), P);
+  for (const ODEVariant &V : Vs)
+    EXPECT_EQ(V.Variant, RKVariant::StageSeparate);
+}
+
+TEST(Offsite, EnumeratePIRK) {
+  OffsiteTuner Tuner(clxModel());
+  Heat3DIVP P(64);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumeratePIRK(ButcherTableau::radauIIA2(), 2, P);
+  ASSERT_GE(Vs.size(), 2u);
+  for (const ODEVariant &V : Vs) {
+    EXPECT_TRUE(V.IsPIRK);
+    EXPECT_EQ(V.Corrector, 2u);
+  }
+}
+
+TEST(Offsite, SweepModelSpecRhs) {
+  RKStepStructure::Sweep Sweep;
+  Sweep.What = "fused rhs";
+  Sweep.IsRhs = true;
+  Sweep.StencilInputs = 3; // State + 2 stage grids.
+  Sweep.FlopsPerLup = 40;
+  StencilSpec Rhs = StencilSpec::star3d(1);
+  StencilSpec S = OffsiteTuner::sweepModelSpec(Sweep, Rhs);
+  EXPECT_EQ(S.numInputGrids(), 3u);
+  EXPECT_EQ(S.numPoints(), 3u * Rhs.numPoints());
+  EXPECT_EQ(S.radius(), Rhs.radius());
+  EXPECT_GE(S.flopsPerLup(), 40u);
+}
+
+TEST(Offsite, SweepModelSpecAxpy) {
+  RKStepStructure::Sweep Sweep;
+  Sweep.What = "axpy";
+  Sweep.IsRhs = false;
+  Sweep.CenterInputs = 4;
+  Sweep.FlopsPerLup = 6;
+  StencilSpec S =
+      OffsiteTuner::sweepModelSpec(Sweep, StencilSpec::star3d(1));
+  EXPECT_EQ(S.numInputGrids(), 4u);
+  EXPECT_EQ(S.radius(), 0);
+  // The spec's intrinsic flop count (4 muls + 3 adds) already covers the
+  // declared 6 flops; the model uses whichever is larger.
+  EXPECT_EQ(S.flopsPerLup(), 7u);
+}
+
+TEST(Offsite, SweepModelSpecMixedWithTwoOutputs) {
+  RKStepStructure::Sweep Sweep;
+  Sweep.What = "fused rhs+update";
+  Sweep.IsRhs = true;
+  Sweep.StencilInputs = 2;
+  Sweep.CenterInputs = 2;
+  Sweep.Outputs = 2;
+  Sweep.FlopsPerLup = 50;
+  StencilSpec Rhs = StencilSpec::star3d(1);
+  StencilSpec S = OffsiteTuner::sweepModelSpec(Sweep, Rhs);
+  EXPECT_EQ(S.numInputGrids(), 4u);
+  EXPECT_EQ(S.OutputGrids, 2u);
+  EXPECT_EQ(S.numPoints(), 2u * Rhs.numPoints() + 2u);
+}
+
+TEST(Offsite, PredictsFusedFasterThanSeparate) {
+  // Memory-bound regime: fewer sweeps must win in predicted time.
+  OffsiteTuner Tuner(clxModel(), /*Cores=*/20);
+  Heat3DIVP P(256);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::classicRK4(), P);
+  double SecSeparate = -1, SecFusedUpd = -1;
+  for (const ODEVariant &V : Vs) {
+    if (!V.Config.Block.isUnblocked())
+      continue;
+    VariantPrediction Pred = Tuner.predict(V, P);
+    if (V.Variant == RKVariant::StageSeparate)
+      SecSeparate = Pred.SecondsPerStep;
+    if (V.Variant == RKVariant::FusedUpdate)
+      SecFusedUpd = Pred.SecondsPerStep;
+  }
+  ASSERT_GT(SecSeparate, 0);
+  ASSERT_GT(SecFusedUpd, 0);
+  EXPECT_LT(SecFusedUpd, SecSeparate);
+}
+
+TEST(Offsite, RankSortsByPredictedTime) {
+  OffsiteTuner Tuner(clxModel(), 20);
+  Heat3DIVP P(128);
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::fehlberg45(), P);
+  std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, P);
+  ASSERT_EQ(Ranked.size(), Vs.size());
+  for (size_t I = 1; I < Ranked.size(); ++I)
+    EXPECT_LE(Ranked[I - 1].SecondsPerStep, Ranked[I].SecondsPerStep);
+}
+
+TEST(Offsite, PredictionScalesWithStageCount) {
+  OffsiteTuner Tuner(clxModel(), 1);
+  Heat3DIVP P(64);
+  ODEVariant Euler;
+  Euler.Tableau = ButcherTableau::explicitEuler();
+  ODEVariant Rk4;
+  Rk4.Tableau = ButcherTableau::classicRK4();
+  double SecEuler = Tuner.predict(Euler, P).SecondsPerStep;
+  double SecRk4 = Tuner.predict(Rk4, P).SecondsPerStep;
+  EXPECT_GT(SecRk4, SecEuler * 3.0);
+}
+
+TEST(Offsite, MeasureAndValidateSmallProblem) {
+  OffsiteTuner Tuner(clxModel(), 1);
+  Heat3DIVP P(16); // Small so the test stays fast.
+  std::vector<ODEVariant> Vs =
+      Tuner.enumerateRK(ButcherTableau::heun2(), P);
+  RankingValidation R = Tuner.validate(Vs, P, 1, 1);
+  ASSERT_EQ(R.MeasuredSeconds.size(), Vs.size());
+  for (double Sec : R.MeasuredSeconds)
+    EXPECT_GT(Sec, 0.0);
+  EXPECT_GE(R.KendallTau, -1.0);
+  EXPECT_LE(R.KendallTau, 1.0);
+  EXPECT_GE(R.PredictedBestMeasuredRank, 1u);
+  EXPECT_GE(R.SpeedupOverWorst, 1.0);
+}

@@ -1,0 +1,140 @@
+//===- tests/RegistryTest.cpp - named registry tests --------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Registry.h"
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+TEST(Registry, TableauLookup) {
+  auto T = tableauByName("rk4");
+  ASSERT_TRUE(static_cast<bool>(T));
+  EXPECT_EQ(T->Stages, 4u);
+  auto Radau = tableauByName("radauIIA2");
+  ASSERT_TRUE(static_cast<bool>(Radau));
+  EXPECT_FALSE(Radau->isExplicit());
+  EXPECT_FALSE(static_cast<bool>(tableauByName("rk99")));
+}
+
+TEST(Registry, TableauNamesCoverAllBuiltins) {
+  std::vector<std::string> Names = tableauNames();
+  EXPECT_EQ(Names.size(), ButcherTableau::allExplicit().size() +
+                              ButcherTableau::allImplicitBases().size());
+  for (const std::string &Name : Names)
+    EXPECT_TRUE(static_cast<bool>(tableauByName(Name))) << Name;
+}
+
+TEST(Registry, VariantLookup) {
+  auto A = rkVariantByName("stage-separate");
+  ASSERT_TRUE(static_cast<bool>(A));
+  EXPECT_EQ(*A, RKVariant::StageSeparate);
+  auto B = rkVariantByName("fused");
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(*B, RKVariant::FusedArgument);
+  auto C = rkVariantByName("fused-update");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_EQ(*C, RKVariant::FusedUpdate);
+  EXPECT_FALSE(static_cast<bool>(rkVariantByName("magic")));
+}
+
+TEST(Registry, IvpLookup) {
+  for (const std::string &Name : ivpNames()) {
+    auto P = ivpByName(Name, 8);
+    ASSERT_TRUE(static_cast<bool>(P)) << Name;
+    EXPECT_EQ((*P)->name(), Name);
+  }
+  EXPECT_FALSE(static_cast<bool>(ivpByName("nonsense", 8)));
+  EXPECT_FALSE(static_cast<bool>(ivpByName("heat3d", 2)));
+}
+
+TEST(Driver, OdeCommandIntegrates) {
+  std::string Out;
+  int Code = runDriver({"ode", "rk4", "--ivp", "heat3d", "--n", "12",
+                        "--steps", "4"},
+                       Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("variants of rk4 on heat3d"), std::string::npos);
+  EXPECT_NE(Out.find("integrated 4 steps"), std::string::npos);
+  EXPECT_NE(Out.find("max error vs exact"), std::string::npos);
+}
+
+TEST(Driver, OdeCommandHonorsVariantFlag) {
+  std::string Out;
+  int Code = runDriver({"ode", "heun2", "--ivp", "heat2d", "--n", "12",
+                        "--steps", "3", "--variant", "stage-separate"},
+                       Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("with stage-separate"), std::string::npos);
+}
+
+TEST(Driver, OdeCommandNonStencilIvp) {
+  std::string Out;
+  int Code = runDriver({"ode", "rk4", "--ivp", "inverter-chain", "--n",
+                        "64", "--steps", "3"},
+                       Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("inverter-chain"), std::string::npos);
+}
+
+TEST(Driver, OdeCommandRejectsImplicitMethod) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"ode", "gauss2", "--n", "8"}, Out), 1);
+  EXPECT_NE(Out.find("implicit"), std::string::npos);
+}
+
+TEST(Driver, OdeCommandRejectsUnknownMethod) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"ode", "rk99", "--n", "8"}, Out), 1);
+  EXPECT_NE(Out.find("unknown method"), std::string::npos);
+}
+
+TEST(Driver, TuneDbBuildAndQuery) {
+  std::string Path = testing::TempDir() + "/drv_tunedb.txt";
+  std::string Out;
+  int Code = runDriver({"tunedb", "build", Path, "--machine", "rome",
+                        "--n", "16"},
+                       Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("zero kernel executions"), std::string::npos);
+
+  Out.clear();
+  Code = runDriver({"tunedb", "query", Path, "rk4", "--machine", "rome",
+                    "--ivp", "heat3d", "--n", "16"},
+                   Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("rk4/"), std::string::npos);
+
+  // Nearest-size fallback.
+  Out.clear();
+  Code = runDriver({"tunedb", "query", Path, "rk4", "--machine", "rome",
+                    "--ivp", "heat3d", "--n", "48"},
+                   Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("[nearest size]"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, TuneDbQueryMissingRecord) {
+  std::string Path = testing::TempDir() + "/drv_tunedb2.txt";
+  std::string Out;
+  ASSERT_EQ(runDriver({"tunedb", "build", Path, "--n", "16"}, Out), 0);
+  Out.clear();
+  EXPECT_EQ(runDriver({"tunedb", "query", Path, "rk4", "--machine",
+                       "zen3", "--ivp", "heat3d", "--n", "16"},
+                      Out),
+            1);
+  EXPECT_NE(Out.find("no record"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, TuneDbRejectsBadSubcommand) {
+  std::string Out;
+  EXPECT_EQ(runDriver({"tunedb", "frob", "/tmp/x"}, Out), 1);
+  EXPECT_NE(Out.find("unknown tunedb subcommand"), std::string::npos);
+}

@@ -1,0 +1,90 @@
+//===- tests/ReportTest.cpp - Offsite report tests ----------------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offsite/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+struct Fixture {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model{M};
+  OffsiteTuner Tuner{Model, 1};
+  Heat3DIVP Problem{16};
+
+  std::vector<VariantPrediction> ranked() {
+    return Tuner.rank(Tuner.enumerateRK(ButcherTableau::heun2(), Problem),
+                      Problem);
+  }
+};
+
+} // namespace
+
+TEST(Report, WorkingSetScalesWithStages) {
+  Fixture F;
+  ODEVariant Heun;
+  Heun.Tableau = ButcherTableau::heun2();
+  ODEVariant Rk4;
+  Rk4.Tableau = ButcherTableau::classicRK4();
+  VariantWorkingSet A = variantWorkingSet(Heun, F.Problem);
+  VariantWorkingSet B = variantWorkingSet(Rk4, F.Problem);
+  EXPECT_GT(B.GridsAllocated, A.GridsAllocated);
+  EXPECT_EQ(A.BytesPerGrid, 18ull * 18 * 18 * 8);
+  EXPECT_EQ(A.TotalBytes, A.BytesPerGrid * A.GridsAllocated);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  Fixture F;
+  auto Ranked = F.ranked();
+  std::string Csv = rankingToCsv(Ranked, F.Problem);
+  EXPECT_NE(Csv.find("rank,variant,sweeps_per_step"), std::string::npos);
+  // Header + one line per variant.
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, Ranked.size() + 1);
+  EXPECT_NE(Csv.find("heun2/"), std::string::npos);
+}
+
+TEST(Report, CsvRanksAscending) {
+  Fixture F;
+  std::string Csv = rankingToCsv(F.ranked(), F.Problem);
+  EXPECT_NE(Csv.find("\n1,"), std::string::npos);
+  EXPECT_NE(Csv.find("\n2,"), std::string::npos);
+}
+
+TEST(Report, MarkdownRendersTable) {
+  Fixture F;
+  std::string Md = rankingToMarkdown(F.ranked(), F.Problem);
+  EXPECT_NE(Md.find("| rank | variant |"), std::string::npos);
+  EXPECT_NE(Md.find("| 1 | heun2/"), std::string::npos);
+  EXPECT_NE(Md.find("KiB"), std::string::npos);
+}
+
+TEST(Report, ValidationCsvAlignsColumns) {
+  Fixture F;
+  auto Vs = F.Tuner.enumerateRK(ButcherTableau::heun2(), F.Problem);
+  RankingValidation V = F.Tuner.validate(Vs, F.Problem, 1, 1);
+  std::string Csv = validationToCsv(V);
+  EXPECT_NE(Csv.find("measured_seconds_per_step"), std::string::npos);
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, V.Predicted.size() + 1);
+}
+
+TEST(Report, PirkVariantsSupported) {
+  Fixture F;
+  ODEVariant V;
+  V.IsPIRK = true;
+  V.Tableau = ButcherTableau::radauIIA2();
+  V.Corrector = 2;
+  VariantWorkingSet WS = variantWorkingSet(V, F.Problem);
+  EXPECT_EQ(WS.GridsAllocated, 2u * 2 + 2); // Two stage banks + Y + Arg.
+}

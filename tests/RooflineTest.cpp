@@ -1,0 +1,127 @@
+//===- tests/RooflineTest.cpp - roofline baseline + overlap ECM tests --------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ecm/ECMModel.h"
+#include "ecm/Roofline.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+const GridDims BigDims{512, 512, 256};
+
+KernelConfig avx512() {
+  KernelConfig C;
+  C.VectorFold.X = 8;
+  return C;
+}
+
+} // namespace
+
+TEST(Roofline, HeatIsMemoryBoundAtSocketScale) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  RooflineModel R(M);
+  RooflinePrediction P =
+      R.predict(StencilSpec::heat3d(), BigDims, avx512(), 20);
+  EXPECT_TRUE(P.MemoryBound);
+  // At 20 active cores the per-core L3 share drops below the plane
+  // footprint, leaving row reuse: 3 streams + store + WA = 40 B/LUP at
+  // 115 GB/s -> 2875 MLUP/s.
+  EXPECT_NEAR(P.BytesPerLup, 40.0, 1e-9);
+  EXPECT_NEAR(P.Mlups, 115.0 / 40.0 * 1e3, 1.0);
+}
+
+TEST(Roofline, ComputeBoundForHeavySingleCore) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  RooflineModel R(M);
+  // box3d r2: 249 flops/LUP; single scalar core cannot reach the
+  // bandwidth roof.
+  KernelConfig Scalar;
+  RooflinePrediction P =
+      R.predict(StencilSpec::box3d(2), BigDims, Scalar, 1);
+  EXPECT_FALSE(P.MemoryBound);
+  EXPECT_LT(P.Gflops, P.MemGflops);
+}
+
+TEST(Roofline, PeakScalesWithCoresAndSimd) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  RooflineModel R(M);
+  RooflinePrediction One =
+      R.predict(StencilSpec::box3d(2), BigDims, avx512(), 1);
+  RooflinePrediction Four =
+      R.predict(StencilSpec::box3d(2), BigDims, avx512(), 4);
+  EXPECT_NEAR(Four.PeakGflops, 4 * One.PeakGflops, 1e-9);
+  KernelConfig Scalar;
+  RooflinePrediction Sc =
+      R.predict(StencilSpec::box3d(2), BigDims, Scalar, 1);
+  EXPECT_NEAR(One.PeakGflops, 8 * Sc.PeakGflops, 1e-9);
+}
+
+TEST(Roofline, ECMIsMorePessimisticSingleCore) {
+  // The paper's motivation for ECM over roofline: single-core roofline
+  // ignores the in-cache transfer chain and overestimates performance.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  RooflineModel R(M);
+  ECMModel E(M);
+  StencilSpec S = StencilSpec::heat3d();
+  double Roof = R.predict(S, BigDims, avx512(), 1).Mlups;
+  double Ecm = E.predict(S, BigDims, avx512()).MLupsSingleCore;
+  EXPECT_LT(Ecm, Roof);
+}
+
+TEST(Roofline, ModelsAgreeAtSaturation) {
+  // Both models hit the same bandwidth roof at full socket occupancy.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  RooflineModel R(M);
+  ECMModel E(M);
+  StencilSpec S = StencilSpec::heat3d();
+  double Roof = R.predict(S, BigDims, avx512(), 20).Mlups;
+  // Same occupancy on both sides: 20 active cores sharing the L3.
+  double Ecm = E.predict(S, BigDims, avx512(), 20).MLupsSaturated;
+  EXPECT_NEAR(Roof, Ecm, Roof * 0.01);
+}
+
+TEST(OverlapECM, FullOverlapNeverSlower) {
+  MachineModel M = MachineModel::rome();
+  ECMModel Serial(M, 0.5, TransferOverlap::None);
+  ECMModel Overlap(M, 0.5, TransferOverlap::Full);
+  for (int Radius : {1, 2, 4}) {
+    StencilSpec S = StencilSpec::star3d(Radius);
+    KernelConfig C;
+    C.VectorFold.X = 4;
+    double TSerial = Serial.predict(S, BigDims, C).TECM;
+    double TOverlap = Overlap.predict(S, BigDims, C).TECM;
+    EXPECT_LE(TOverlap, TSerial) << Radius;
+    EXPECT_GT(TOverlap, 0.0);
+  }
+}
+
+TEST(OverlapECM, FullOverlapEqualsLargestTerm) {
+  MachineModel M = MachineModel::rome();
+  ECMModel Overlap(M, 0.5, TransferOverlap::Full);
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  ECMPrediction P = Overlap.predict(StencilSpec::heat3d(), BigDims, C);
+  double MaxTerm = std::max(P.InCore.TOL, P.InCore.TnOL);
+  for (double T : P.TData)
+    MaxTerm = std::max(MaxTerm, T);
+  EXPECT_DOUBLE_EQ(P.TECM, MaxTerm);
+}
+
+TEST(OverlapECM, SaturationPointMovesEarlier) {
+  // With overlapping transfers the single-core time shrinks, so fewer
+  // cores saturate the same memory bandwidth.
+  MachineModel M = MachineModel::rome();
+  ECMModel Serial(M, 0.5, TransferOverlap::None);
+  ECMModel Overlap(M, 0.5, TransferOverlap::Full);
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  StencilSpec S = StencilSpec::star3d(2);
+  EXPECT_LE(Overlap.predict(S, BigDims, C).SaturationCores,
+            Serial.predict(S, BigDims, C).SaturationCores);
+}

@@ -1,0 +1,125 @@
+//===- tests/SmallPiecesTest.cpp - small-utility coverage ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelConfig.h"
+#include "ecm/ECMModel.h"
+#include "stencil/Grid.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+TEST(SmallPieces, FoldStr) {
+  Fold F;
+  EXPECT_EQ(F.str(), "1x1x1");
+  F.X = 4;
+  F.Y = 2;
+  EXPECT_EQ(F.str(), "4x2x1");
+  EXPECT_EQ(F.elems(), 8);
+  EXPECT_FALSE(F.isScalar());
+}
+
+TEST(SmallPieces, GridDimsStrAndLups) {
+  GridDims D{512, 256, 128};
+  EXPECT_EQ(D.str(), "512x256x128");
+  EXPECT_EQ(D.lups(), 512L * 256 * 128);
+}
+
+TEST(SmallPieces, BlockSizeStrForms) {
+  BlockSize B;
+  EXPECT_EQ(B.str(), "unblocked");
+  B.Y = 16;
+  EXPECT_EQ(B.str(), "Nx16xN");
+  B.X = 8;
+  B.Z = 4;
+  EXPECT_EQ(B.str(), "8x16x4");
+}
+
+TEST(SmallPieces, BlockSizeResolvedClampsToDims) {
+  BlockSize B;
+  B.X = 1000;
+  B.Y = 0;
+  B.Z = 7;
+  BlockSize R = B.resolved({64, 32, 16});
+  EXPECT_EQ(R.X, 64);
+  EXPECT_EQ(R.Y, 32);
+  EXPECT_EQ(R.Z, 7);
+}
+
+TEST(SmallPieces, KernelConfigStrMentionsEverything) {
+  KernelConfig C;
+  C.VectorFold.X = 4;
+  C.Block.Y = 8;
+  C.WavefrontDepth = 4;
+  C.Threads = 16;
+  C.StreamingStores = true;
+  std::string S = C.str();
+  EXPECT_NE(S.find("fold=4x1x1"), std::string::npos);
+  EXPECT_NE(S.find("block=Nx8xN"), std::string::npos);
+  EXPECT_NE(S.find("wf=4"), std::string::npos);
+  EXPECT_NE(S.find("threads=16"), std::string::npos);
+  EXPECT_NE(S.find("nt"), std::string::npos);
+}
+
+TEST(SmallPieces, KernelConfigEquality) {
+  KernelConfig A, B;
+  EXPECT_TRUE(A == B);
+  B.Block.Y = 4;
+  EXPECT_FALSE(A == B);
+}
+
+TEST(SmallPieces, EcmPredictionAtZeroCores) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  KernelConfig C;
+  ECMPrediction P =
+      Model.predict(StencilSpec::heat3d(), {512, 512, 256}, C);
+  // Cores == 0 is treated as 1.
+  EXPECT_DOUBLE_EQ(P.mlupsAtCores(0), P.mlupsAtCores(1));
+}
+
+TEST(SmallPieces, TrafficPredictionStr) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  LayerConditionAnalysis LC(M);
+  TrafficPrediction T =
+      LC.analyze(StencilSpec::heat3d(), {512, 512, 256}, KernelConfig());
+  std::string S = T.str();
+  EXPECT_NE(S.find("B0="), std::string::npos);
+  EXPECT_NE(S.find("reuse="), std::string::npos);
+}
+
+TEST(SmallPieces, InCoreTimeStr) {
+  MachineModel M = MachineModel::rome();
+  InCoreModel IC(M);
+  std::string S = IC.analyze(StencilSpec::heat3d(), KernelConfig()).str();
+  EXPECT_NE(S.find("TOL="), std::string::npos);
+  EXPECT_NE(S.find("vec iters"), std::string::npos);
+}
+
+TEST(SmallPieces, TableEmptyRender) {
+  Table T({"only", "header"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| only | header |"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 0u);
+}
+
+TEST(SmallPieces, StencilPointSameOffset) {
+  StencilPoint A{1, 2, 3, 0.5, 0};
+  StencilPoint B{1, 2, 3, 9.0, 0};
+  StencilPoint C{1, 2, 3, 0.5, 1};
+  EXPECT_TRUE(A.sameOffset(B)); // Coefficient irrelevant.
+  EXPECT_FALSE(A.sameOffset(C)); // Grid matters.
+}
+
+TEST(SmallPieces, GridMoveSemantics) {
+  Grid A({8, 8, 8}, 1);
+  A.at(3, 3, 3) = 42.0;
+  const double *Ptr = A.data();
+  Grid B = std::move(A);
+  EXPECT_EQ(B.data(), Ptr);
+  EXPECT_EQ(B.at(3, 3, 3), 42.0);
+}

@@ -1,0 +1,188 @@
+//===- tests/SourceEmitterTest.cpp - code emission golden tests ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SourceEmitter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+} // namespace
+
+TEST(SourceEmitter, ExpressionForHeat) {
+  std::string E = SourceEmitter::emitExpression(StencilSpec::heat3d());
+  EXPECT_TRUE(contains(E, "0.5 * u0[IDX3(x, y, z)]"));
+  EXPECT_TRUE(contains(E, "u0[IDX3(x + 1, y, z)]"));
+  EXPECT_TRUE(contains(E, "u0[IDX3(x, y - 1, z)]"));
+  EXPECT_TRUE(contains(E, "u0[IDX3(x, y, z + 1)]"));
+}
+
+TEST(SourceEmitter, UnitCoefficientOmitsMultiply) {
+  StencilSpec S("s", {{1, 0, 0, 1.0, 0}});
+  std::string E = SourceEmitter::emitExpression(S);
+  EXPECT_EQ(E, "u0[IDX3(x + 1, y, z)]");
+}
+
+TEST(SourceEmitter, UnblockedKernelStructure) {
+  std::string Src =
+      SourceEmitter::emitKernel(StencilSpec::heat3d(), KernelConfig());
+  EXPECT_TRUE(contains(Src, "void kernel_heat3d("));
+  EXPECT_TRUE(contains(Src, "const double * __restrict u0"));
+  EXPECT_TRUE(contains(Src, "#pragma omp parallel for schedule(static)"));
+  EXPECT_TRUE(contains(Src, "#pragma omp simd"));
+  EXPECT_TRUE(contains(Src, "for (long z = 0; z < Nz; ++z)"));
+  EXPECT_FALSE(contains(Src, "zb")); // No blocking loops.
+}
+
+TEST(SourceEmitter, BlockedKernelStructure) {
+  KernelConfig C;
+  C.Block.X = 32;
+  C.Block.Y = 16;
+  C.Block.Z = 8;
+  std::string Src = SourceEmitter::emitKernel(StencilSpec::heat3d(), C);
+  EXPECT_TRUE(contains(Src, "for (long zb = 0; zb < Nz; zb += 8)"));
+  EXPECT_TRUE(contains(Src, "for (long yb = 0; yb < Ny; yb += 16)"));
+  EXPECT_TRUE(contains(Src, "for (long xb = 0; xb < Nx; xb += 32)"));
+  EXPECT_TRUE(contains(Src, "collapse(2)"));
+  EXPECT_TRUE(contains(Src, "std::min(zb + 8, Nz)"));
+}
+
+TEST(SourceEmitter, OptionsControlPragmas) {
+  SourceEmitter::Options Opts;
+  Opts.EmitOpenMP = false;
+  Opts.EmitSimdPragma = false;
+  Opts.EmitRestrict = false;
+  std::string Src =
+      SourceEmitter::emitKernel(StencilSpec::heat3d(), KernelConfig(), Opts);
+  EXPECT_FALSE(contains(Src, "#pragma"));
+  EXPECT_FALSE(contains(Src, "__restrict"));
+}
+
+TEST(SourceEmitter, CustomFunctionName) {
+  SourceEmitter::Options Opts;
+  Opts.FunctionName = "my_kernel";
+  std::string Src =
+      SourceEmitter::emitKernel(StencilSpec::heat3d(), KernelConfig(), Opts);
+  EXPECT_TRUE(contains(Src, "void my_kernel("));
+}
+
+TEST(SourceEmitter, DashesMangledInNames) {
+  std::string Src =
+      SourceEmitter::emitKernel(StencilSpec::star3d(2), KernelConfig());
+  EXPECT_TRUE(contains(Src, "void kernel_star3d_r2("));
+}
+
+TEST(SourceEmitter, MultiGridSignature) {
+  StencilSpec S("two", {{0, 0, 0, 1.0, 0}, {0, 0, 0, 0.5, 1}});
+  std::string Src = SourceEmitter::emitKernel(S, KernelConfig());
+  EXPECT_TRUE(contains(Src, "u0"));
+  EXPECT_TRUE(contains(Src, "u1"));
+}
+
+TEST(SourceEmitter, TranslationUnitHeader) {
+  KernelConfig C;
+  C.WavefrontDepth = 4;
+  std::string Src =
+      SourceEmitter::emitTranslationUnit(StencilSpec::heat3d(), C);
+  EXPECT_TRUE(contains(Src, "// stencil   : heat3d (star, radius 1"));
+  EXPECT_TRUE(contains(Src, "#define IDX3"));
+  EXPECT_TRUE(contains(Src, "#include <algorithm>"));
+  EXPECT_TRUE(contains(Src, "temporal wavefront depth 4"));
+  EXPECT_TRUE(contains(Src, "flops/LUP"));
+}
+
+TEST(SourceEmitter, EmittedSourceParsesAsCpp) {
+  // Smoke-check the emitted TU contains balanced braces.
+  std::string Src = SourceEmitter::emitTranslationUnit(
+      StencilSpec::star3d(2), KernelConfig());
+  long Balance = 0;
+  for (char Ch : Src) {
+    if (Ch == '{')
+      ++Balance;
+    if (Ch == '}')
+      --Balance;
+    EXPECT_GE(Balance, 0);
+  }
+  EXPECT_EQ(Balance, 0);
+}
+
+TEST(SourceEmitter, PingPongDriver) {
+  std::string Src = SourceEmitter::emitTimeStepDriver(
+      StencilSpec::heat3d(), KernelConfig());
+  EXPECT_TRUE(contains(Src, "void drive_kernel_heat3d("));
+  EXPECT_TRUE(contains(Src, "std::swap(even, odd);"));
+  EXPECT_FALSE(contains(Src, "frontier"));
+}
+
+TEST(SourceEmitter, WavefrontDriverFrontierSchedule) {
+  KernelConfig C;
+  C.WavefrontDepth = 4;
+  C.Block.Z = 8;
+  std::string Src =
+      SourceEmitter::emitTimeStepDriver(StencilSpec::star3d(2), C);
+  EXPECT_TRUE(contains(Src, "depth 4, radius 2, z-block 8"));
+  EXPECT_TRUE(contains(Src, "long frontier[4 + 1]"));
+  EXPECT_TRUE(contains(Src, "frontier[s - 1] - 2"));
+  EXPECT_TRUE(contains(Src, "while (frontier[4] < Nz)"));
+  EXPECT_TRUE(contains(Src, "kernel_star3d_r2_slab"));
+}
+
+TEST(SourceEmitter, WavefrontDriverClampsBlockToRadius) {
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 1; // Below radius+1: must be clamped for progress.
+  std::string Src =
+      SourceEmitter::emitTimeStepDriver(StencilSpec::star3d(2), C);
+  EXPECT_TRUE(contains(Src, "z-block 3"));
+}
+
+#include "frontend/Parser.h"
+
+TEST(SourceEmitter, DslRoundTripPreservesPoints) {
+  for (const StencilSpec &Orig :
+       {StencilSpec::heat3d(), StencilSpec::star3d(3),
+        StencilSpec::box3d(1), StencilSpec::longRange(4)}) {
+    std::string Dsl = SourceEmitter::emitDsl(Orig);
+    auto DefOr = Parser::parseSingle(Dsl);
+    ASSERT_TRUE(static_cast<bool>(DefOr))
+        << Orig.name() << ": " << DefOr.takeError().message() << "\n"
+        << Dsl;
+    auto SpecOr = DefOr->singleSpec();
+    ASSERT_TRUE(static_cast<bool>(SpecOr)) << Orig.name();
+    EXPECT_EQ(SpecOr->numPoints(), Orig.numPoints()) << Orig.name();
+    // Every original point must reappear with the same coefficient.
+    for (const StencilPoint &P : Orig.points()) {
+      bool Found = false;
+      for (const StencilPoint &Q : SpecOr->points())
+        if (P.sameOffset(Q)) {
+          EXPECT_DOUBLE_EQ(P.Coeff, Q.Coeff) << Orig.name();
+          Found = true;
+        }
+      EXPECT_TRUE(Found) << Orig.name();
+    }
+  }
+}
+
+TEST(SourceEmitter, DslRoundTripMultiGrid) {
+  StencilSpec S("axpy", {{0, 0, 0, 1.0, 0}, {0, 0, 0, -0.5, 1}});
+  std::string Dsl = SourceEmitter::emitDsl(S);
+  auto DefOr = Parser::parseSingle(Dsl);
+  ASSERT_TRUE(static_cast<bool>(DefOr)) << Dsl;
+  auto SpecOr = DefOr->singleSpec();
+  ASSERT_TRUE(static_cast<bool>(SpecOr));
+  EXPECT_EQ(SpecOr->numInputGrids(), 2u);
+}
+
+TEST(SourceEmitter, DslEmissionManglesName) {
+  std::string Dsl = SourceEmitter::emitDsl(StencilSpec::star3d(2));
+  EXPECT_NE(Dsl.find("stencil star3d_r2 {"), std::string::npos);
+}

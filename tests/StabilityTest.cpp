@@ -1,0 +1,77 @@
+//===- tests/StabilityTest.cpp - RK stability analysis tests -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ode/Stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+TEST(Stability, EulerStabilityFunction) {
+  // R(z) = 1 + z.
+  auto R = stabilityFunction(ButcherTableau::explicitEuler(), {-0.5, 0.0});
+  EXPECT_NEAR(R.real(), 0.5, 1e-12);
+  EXPECT_NEAR(R.imag(), 0.0, 1e-12);
+}
+
+TEST(Stability, RK4StabilityFunctionIsTruncatedExponential) {
+  // R(z) = 1 + z + z^2/2 + z^3/6 + z^4/24 for any 4-stage order-4 method.
+  std::complex<double> Z(-1.3, 0.7);
+  auto R = stabilityFunction(ButcherTableau::classicRK4(), Z);
+  std::complex<double> Want =
+      1.0 + Z + Z * Z / 2.0 + Z * Z * Z / 6.0 + Z * Z * Z * Z / 24.0;
+  EXPECT_NEAR(std::abs(R - Want), 0.0, 1e-12);
+}
+
+TEST(Stability, RealAxisLimits) {
+  EXPECT_NEAR(realAxisStabilityLimit(ButcherTableau::explicitEuler()), 2.0,
+              1e-4);
+  EXPECT_NEAR(realAxisStabilityLimit(ButcherTableau::heun2()), 2.0, 1e-4);
+  EXPECT_NEAR(realAxisStabilityLimit(ButcherTableau::kutta3()), 2.5127,
+              1e-3);
+  EXPECT_NEAR(realAxisStabilityLimit(ButcherTableau::classicRK4()), 2.7853,
+              1e-3);
+}
+
+TEST(Stability, ImplicitBasesAreAStableOnSearchedInterval) {
+  for (const ButcherTableau &TB : ButcherTableau::allImplicitBases())
+    EXPECT_GE(realAxisStabilityLimit(TB, 1e-4, 50.0), 50.0) << TB.Name;
+}
+
+TEST(Stability, SpectralBoundOfLaplacian) {
+  // 1-D second difference (1, -2, 1): symbol -2 + 2cos(k), max |.| = 4.
+  StencilSpec S = StencilSpec::line1d(1, -2.0, 1.0);
+  EXPECT_NEAR(stencilSpectralBound(S), 4.0, 1e-9);
+}
+
+TEST(Stability, SpectralBound3DLaplacian) {
+  // 3-D (-6, 1x6): max |symbol| = 12 at the checkerboard mode.
+  StencilSpec S = StencilSpec::star3d(1, -6.0, 1.0);
+  EXPECT_NEAR(stencilSpectralBound(S), 12.0, 1e-9);
+}
+
+TEST(Stability, MaxStableStepMatchesClassicalBound) {
+  // Forward Euler on u' = Lap_h u (h = 1): dt_max = 2/12 = 1/6.
+  StencilSpec S = StencilSpec::star3d(1, -6.0, 1.0);
+  double Dt = maxStableTimeStep(ButcherTableau::explicitEuler(), S);
+  EXPECT_NEAR(Dt, 1.0 / 6.0, 1e-4);
+}
+
+TEST(Stability, HigherOrderBuysLargerSteps) {
+  StencilSpec S = StencilSpec::star3d(1, -6.0, 1.0);
+  double DtEuler = maxStableTimeStep(ButcherTableau::explicitEuler(), S);
+  double DtRK4 = maxStableTimeStep(ButcherTableau::classicRK4(), S);
+  EXPECT_GT(DtRK4, DtEuler * 1.35); // 2.785/2.
+}
+
+TEST(Stability, UnstableOutsideTheLimit) {
+  ButcherTableau TB = ButcherTableau::classicRK4();
+  double Limit = realAxisStabilityLimit(TB);
+  EXPECT_LE(std::abs(stabilityFunction(TB, {-Limit + 1e-3, 0})), 1.0 + 1e-9);
+  EXPECT_GT(std::abs(stabilityFunction(TB, {-Limit - 0.1, 0})), 1.0);
+}

@@ -1,0 +1,132 @@
+//===- tests/StencilBundleTest.cpp - multi-equation bundle tests -----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilBundle.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+/// grid2 = star(grid0); grid3 = star(grid2): a two-stage chain.
+StencilBundle chainBundle() {
+  BundleEquation E0;
+  E0.OutputGrid = 2;
+  E0.Spec = StencilSpec::star3d(1);
+  BundleEquation E1;
+  E1.OutputGrid = 3;
+  std::vector<StencilPoint> Pts = StencilSpec::star3d(1).points();
+  for (StencilPoint &P : Pts)
+    P.GridIdx = 2;
+  E1.Spec = StencilSpec("stage2", Pts);
+  return StencilBundle("chain", {"u", "v", "k1", "k2"}, {E0, E1});
+}
+
+} // namespace
+
+TEST(StencilBundle, ValidatesChain) {
+  EXPECT_EQ(chainBundle().validate(), "");
+}
+
+TEST(StencilBundle, ReadsOf) {
+  StencilBundle B = chainBundle();
+  EXPECT_EQ(B.readsOf(0), std::vector<unsigned>{0});
+  EXPECT_EQ(B.readsOf(1), std::vector<unsigned>{2});
+}
+
+TEST(StencilBundle, DependsOn) {
+  StencilBundle B = chainBundle();
+  EXPECT_TRUE(B.dependsOn(1, 0));  // Eq 1 reads grid 2 = eq 0's output.
+  EXPECT_FALSE(B.dependsOn(0, 1));
+}
+
+TEST(StencilBundle, FusionIllegalAcrossNeighborDependence) {
+  StencilBundle B = chainBundle();
+  // Eq 1 reads eq 0's output at nonzero offsets: cannot fuse.
+  EXPECT_FALSE(B.fusionLegal(0, 1));
+}
+
+TEST(StencilBundle, FusionLegalForPointwiseDependence) {
+  // k = star(u); v = u + k (pointwise use of k).
+  BundleEquation E0;
+  E0.OutputGrid = 1;
+  E0.Spec = StencilSpec::star3d(1);
+  BundleEquation E1;
+  E1.OutputGrid = 2;
+  E1.Spec = StencilSpec("update", {{0, 0, 0, 1.0, 0}, {0, 0, 0, 0.5, 1}});
+  StencilBundle B("step", {"u", "k", "v"}, {E0, E1});
+  EXPECT_EQ(B.validate(), "");
+  EXPECT_TRUE(B.fusionLegal(0, 1));
+}
+
+TEST(StencilBundle, FusionIllegalWhenWritingSameGrid) {
+  BundleEquation E0;
+  E0.OutputGrid = 1;
+  E0.Spec = StencilSpec::star3d(1);
+  BundleEquation E1 = E0;
+  StencilBundle B("clash", {"u", "k"}, {E0, E1});
+  EXPECT_FALSE(B.fusionLegal(0, 1));
+}
+
+TEST(StencilBundle, GreedyGroupsRespectDependences) {
+  StencilBundle B = chainBundle();
+  auto Groups = B.greedyFusionGroups();
+  ASSERT_EQ(Groups.size(), 2u);
+  EXPECT_EQ(Groups[0], std::vector<unsigned>{0});
+  EXPECT_EQ(Groups[1], std::vector<unsigned>{1});
+}
+
+TEST(StencilBundle, GreedyGroupsFusePointwiseChain) {
+  BundleEquation E0;
+  E0.OutputGrid = 1;
+  E0.Spec = StencilSpec::star3d(1);
+  BundleEquation E1;
+  E1.OutputGrid = 2;
+  E1.Spec = StencilSpec("update", {{0, 0, 0, 1.0, 0}, {0, 0, 0, 0.5, 1}});
+  StencilBundle B("step", {"u", "k", "v"}, {E0, E1});
+  auto Groups = B.greedyFusionGroups();
+  ASSERT_EQ(Groups.size(), 1u);
+  EXPECT_EQ(Groups[0].size(), 2u);
+}
+
+TEST(StencilBundle, ChainedHaloAccumulates) {
+  StencilBundle B = chainBundle();
+  EXPECT_EQ(B.maxRadius(), 1);
+  EXPECT_EQ(B.chainedHalo(), 2); // Two radius-1 stages back to back.
+}
+
+TEST(StencilBundle, ChainedHaloIndependentStagesDoNotAccumulate) {
+  BundleEquation E0;
+  E0.OutputGrid = 1;
+  E0.Spec = StencilSpec::star3d(2);
+  BundleEquation E1;
+  E1.OutputGrid = 2;
+  E1.Spec = StencilSpec::star3d(1); // Also reads grid 0 only.
+  StencilBundle B("indep", {"u", "k1", "k2"}, {E0, E1});
+  EXPECT_EQ(B.chainedHalo(), 2);
+}
+
+TEST(StencilBundle, ValidateRejectsInPlaceStencil) {
+  BundleEquation E;
+  E.OutputGrid = 0; // Writes the grid it reads with offsets.
+  E.Spec = StencilSpec::star3d(1);
+  StencilBundle B("inplace", {"u"}, {E});
+  EXPECT_NE(B.validate(), "");
+}
+
+TEST(StencilBundle, ValidateRejectsOutOfRangeGrids) {
+  BundleEquation E;
+  E.OutputGrid = 5;
+  E.Spec = StencilSpec::star3d(1);
+  StencilBundle B("oob", {"u"}, {E});
+  EXPECT_NE(B.validate(), "");
+}
+
+TEST(StencilBundle, ValidateRejectsEmpty) {
+  StencilBundle B("empty", {"u"}, {});
+  EXPECT_NE(B.validate(), "");
+}

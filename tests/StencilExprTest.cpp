@@ -1,0 +1,202 @@
+//===- tests/StencilExprTest.cpp - expression AST tests --------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilExpr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+using namespace ys;
+
+namespace {
+
+/// Builds the 7-point heat expression: 0.5*u + 1/12 * (6 neighbors).
+Expr heatExpr() {
+  Expr U = Expr::load(0, 0, 0, 0);
+  Expr Sum = Expr::load(0, 1, 0, 0) + Expr::load(0, -1, 0, 0) +
+             Expr::load(0, 0, 1, 0) + Expr::load(0, 0, -1, 0) +
+             Expr::load(0, 0, 0, 1) + Expr::load(0, 0, 0, -1);
+  return 0.5 * U + (1.0 / 12.0) * Sum;
+}
+
+} // namespace
+
+TEST(StencilExpr, KindAndSize) {
+  Expr E = Expr::load(0, 1, 0, 0) + Expr::constant(2.0);
+  EXPECT_EQ(E.kind(), ExprKind::Add);
+  EXPECT_EQ(E.size(), 3u);
+}
+
+TEST(StencilExpr, FlopsCounting) {
+  Expr E = heatExpr();
+  // 5 adds inside Sum + 2 muls + 1 outer add = 8.
+  EXPECT_EQ(E.flops(), 8u);
+}
+
+TEST(StencilExpr, PrintsReadableText) {
+  Expr E = 2.0 * Expr::load(0, 1, -1, 0);
+  EXPECT_EQ(E.str(), "(2 * u0[x+1,y-1,z])");
+  Expr N = -Expr::load(1, 0, 0, 2);
+  EXPECT_EQ(N.str(), "(-u1[x,y,z+2])");
+}
+
+TEST(StencilExpr, LinearizeSimple) {
+  Expr E = 2.0 * Expr::load(0, 1, 0, 0) - Expr::load(0, 0, 0, 0);
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+  ASSERT_EQ(PointsOr->size(), 2u);
+}
+
+TEST(StencilExpr, LinearizeMergesRepeatedOffsets) {
+  Expr U = Expr::load(0, 0, 0, 0);
+  Expr E = U + U + 3.0 * U;
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+  ASSERT_EQ(PointsOr->size(), 1u);
+  EXPECT_DOUBLE_EQ((*PointsOr)[0].Coeff, 5.0);
+}
+
+TEST(StencilExpr, LinearizeCancellationDropsTerm) {
+  Expr U = Expr::load(0, 1, 0, 0);
+  Expr V = Expr::load(0, 0, 0, 0);
+  Expr E = (U + V) - U;
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+  ASSERT_EQ(PointsOr->size(), 1u);
+  EXPECT_EQ((*PointsOr)[0].Dx, 0);
+}
+
+TEST(StencilExpr, LinearizeRejectsNonlinear) {
+  Expr U = Expr::load(0, 0, 0, 0);
+  auto PointsOr = (U * U).linearize();
+  EXPECT_FALSE(static_cast<bool>(PointsOr));
+}
+
+TEST(StencilExpr, LinearizeRejectsConstantTerm) {
+  Expr E = Expr::load(0, 0, 0, 0) + 1.5;
+  auto PointsOr = E.linearize();
+  EXPECT_FALSE(static_cast<bool>(PointsOr));
+}
+
+TEST(StencilExpr, LinearizeRejectsZero) {
+  Expr U = Expr::load(0, 0, 0, 0);
+  auto PointsOr = (U - U).linearize();
+  EXPECT_FALSE(static_cast<bool>(PointsOr));
+}
+
+TEST(StencilExpr, ConstantFoldingThroughMul) {
+  Expr E = Expr::constant(2.0) * (Expr::constant(3.0) *
+                                  Expr::load(0, 0, 1, 0));
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+  EXPECT_DOUBLE_EQ((*PointsOr)[0].Coeff, 6.0);
+}
+
+TEST(StencilExpr, ToSpecNamesAndValidates) {
+  auto SpecOr = heatExpr().toSpec("heat");
+  ASSERT_TRUE(static_cast<bool>(SpecOr));
+  EXPECT_EQ(SpecOr->name(), "heat");
+  EXPECT_EQ(SpecOr->numPoints(), 7u);
+  EXPECT_EQ(SpecOr->validate(), "");
+  EXPECT_EQ(SpecOr->radius(), 1);
+}
+
+TEST(StencilExpr, EvaluateMatchesLinearization) {
+  Expr E = heatExpr();
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+
+  // A deterministic synthetic field.
+  auto Field = [](unsigned G, int Dx, int Dy, int Dz) {
+    return 0.1 * G + std::sin(Dx + 2.0 * Dy - Dz + 0.3);
+  };
+
+  double Direct = E.evaluate(Field);
+  double FromPoints = 0;
+  for (const StencilPoint &P : *PointsOr)
+    FromPoints += P.Coeff * Field(P.GridIdx, P.Dx, P.Dy, P.Dz);
+  EXPECT_NEAR(Direct, FromPoints, 1e-14);
+}
+
+TEST(StencilExpr, EvaluateSubNegMul) {
+  Expr E = -(Expr::load(0, 0, 0, 0) - Expr::constant(2.0)) *
+           Expr::constant(3.0);
+  double V = E.evaluate([](unsigned, int, int, int) { return 5.0; });
+  EXPECT_DOUBLE_EQ(V, -(5.0 - 2.0) * 3.0);
+}
+
+TEST(StencilExpr, MultiGridLinearize) {
+  Expr E = Expr::load(0, 0, 0, 0) + 0.5 * Expr::load(1, 0, 0, 0);
+  auto SpecOr = E.toSpec("axpy");
+  ASSERT_TRUE(static_cast<bool>(SpecOr));
+  EXPECT_EQ(SpecOr->numInputGrids(), 2u);
+}
+
+TEST(StencilExpr, DivisionByConstantLinearizes) {
+  Expr E = (Expr::load(0, 1, 0, 0) + Expr::load(0, -1, 0, 0)) / 4.0;
+  auto PointsOr = E.linearize();
+  ASSERT_TRUE(static_cast<bool>(PointsOr));
+  for (const StencilPoint &P : *PointsOr)
+    EXPECT_DOUBLE_EQ(P.Coeff, 0.25);
+  EXPECT_EQ(E.str(), "((u0[x+1,y,z] + u0[x-1,y,z]) / 4)");
+}
+
+TEST(StencilExpr, DivisionByGridRejected) {
+  Expr E = Expr::load(0, 0, 0, 0) / Expr::load(0, 1, 0, 0);
+  auto PointsOr = E.linearize();
+  ASSERT_FALSE(static_cast<bool>(PointsOr));
+  EXPECT_NE(PointsOr.takeError().message().find("division"),
+            std::string::npos);
+}
+
+TEST(StencilExpr, DivisionByZeroRejected) {
+  Expr E = Expr::load(0, 0, 0, 0) / 0.0;
+  EXPECT_FALSE(static_cast<bool>(E.linearize()));
+}
+
+TEST(StencilExpr, DivisionEvaluates) {
+  Expr E = Expr::constant(10.0) / Expr::constant(4.0);
+  EXPECT_DOUBLE_EQ(E.evaluate([](unsigned, int, int, int) { return 0.0; }),
+                   2.5);
+}
+
+TEST(StencilExpr, SimplifyFoldsConstants) {
+  Expr E = (Expr::constant(2.0) * Expr::constant(3.0) +
+            Expr::constant(4.0)) /
+           Expr::constant(2.0);
+  Expr S = E.simplified();
+  ASSERT_EQ(S.kind(), ExprKind::Const);
+  EXPECT_EQ(S.str(), "5");
+}
+
+TEST(StencilExpr, SimplifyDropsIdentities) {
+  Expr U = Expr::load(0, 0, 0, 0);
+  EXPECT_EQ((U + Expr::constant(0.0)).simplified().str(), "u0[x,y,z]");
+  EXPECT_EQ((Expr::constant(1.0) * U).simplified().str(), "u0[x,y,z]");
+  EXPECT_EQ((U / Expr::constant(1.0)).simplified().str(), "u0[x,y,z]");
+  EXPECT_EQ((-(-U)).simplified().str(), "u0[x,y,z]");
+}
+
+TEST(StencilExpr, SimplifyCollapsesMulByZero) {
+  Expr U = Expr::load(0, 1, 0, 0);
+  Expr S = (Expr::constant(0.0) * U).simplified();
+  ASSERT_EQ(S.kind(), ExprKind::Const);
+  EXPECT_DOUBLE_EQ(S.node()->Value, 0.0);
+}
+
+TEST(StencilExpr, SimplifyPreservesValue) {
+  Expr U = Expr::load(0, 1, 0, 0);
+  Expr V = Expr::load(0, 0, 0, 0);
+  Expr E = (2.0 * U + Expr::constant(0.0)) -
+           (Expr::constant(1.0) * V) / Expr::constant(1.0) +
+           Expr::constant(3.0) * Expr::constant(0.5);
+  Expr S = E.simplified();
+  EXPECT_LT(S.size(), E.size());
+  auto Field = [](unsigned, int Dx, int, int) { return 1.5 + Dx; };
+  EXPECT_DOUBLE_EQ(E.evaluate(Field), S.evaluate(Field));
+}

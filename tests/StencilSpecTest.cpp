@@ -1,0 +1,154 @@
+//===- tests/StencilSpecTest.cpp - stencil spec tests ----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/StencilSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+TEST(StencilSpec, Star3dPointCount) {
+  for (int R = 1; R <= 4; ++R) {
+    StencilSpec S = StencilSpec::star3d(R);
+    EXPECT_EQ(S.numPoints(), static_cast<unsigned>(6 * R + 1));
+    EXPECT_EQ(S.radius(), R);
+    EXPECT_EQ(S.shape(), StencilShape::Star);
+    EXPECT_EQ(S.validate(), "");
+  }
+}
+
+TEST(StencilSpec, Box3dPointCount) {
+  for (int R = 1; R <= 2; ++R) {
+    StencilSpec S = StencilSpec::box3d(R);
+    unsigned N = 2 * R + 1;
+    EXPECT_EQ(S.numPoints(), N * N * N);
+    EXPECT_EQ(S.shape(), StencilShape::Box);
+    EXPECT_EQ(S.validate(), "");
+  }
+}
+
+TEST(StencilSpec, Star2dIs2D) {
+  StencilSpec S = StencilSpec::star2d(2);
+  EXPECT_TRUE(S.is2D());
+  EXPECT_FALSE(S.is1D());
+  EXPECT_EQ(S.numPoints(), 9u);
+}
+
+TEST(StencilSpec, Line1dIs1D) {
+  StencilSpec S = StencilSpec::line1d(3);
+  EXPECT_TRUE(S.is1D());
+  EXPECT_TRUE(S.is2D());
+  EXPECT_EQ(S.numPoints(), 7u);
+}
+
+TEST(StencilSpec, Heat3dStructure) {
+  StencilSpec S = StencilSpec::heat3d();
+  EXPECT_EQ(S.numPoints(), 7u);
+  EXPECT_EQ(S.radius(), 1);
+  EXPECT_EQ(S.shapeName(), std::string("star"));
+}
+
+TEST(StencilSpec, LongRangeShape) {
+  StencilSpec S = StencilSpec::longRange(4);
+  EXPECT_EQ(S.radius(), 4);
+  EXPECT_EQ(S.shape(), StencilShape::Star);
+  EXPECT_EQ(S.numPoints(), 13u); // 9 on x-axis + 4 transverse.
+}
+
+TEST(StencilSpec, FlopCounts) {
+  // star3d r1: 7 points, all coeffs != 1 -> 7 muls, 6 adds.
+  StencilSpec S = StencilSpec::star3d(1, -6.0, 0.5);
+  EXPECT_EQ(S.mulsPerLup(), 7u);
+  EXPECT_EQ(S.addsPerLup(), 6u);
+  EXPECT_EQ(S.flopsPerLup(), 13u);
+}
+
+TEST(StencilSpec, UnitCoefficientsAreFreeMultiplies) {
+  StencilSpec S = StencilSpec::star3d(1, -6.0, 1.0);
+  EXPECT_EQ(S.mulsPerLup(), 1u); // Only the center has coeff != 1.
+}
+
+TEST(StencilSpec, ExtraFlopsCounted) {
+  StencilSpec S = StencilSpec::star3d(1);
+  unsigned Base = S.flopsPerLup();
+  S.ExtraFlopsPerLup = 5;
+  EXPECT_EQ(S.flopsPerLup(), Base + 5);
+}
+
+TEST(StencilSpec, StreamsStar3d) {
+  // star3d r1: layers (dy,dz) in {(0,0),(±1,0),(0,±1)} = 5; planes = 3.
+  StreamCounts C = StencilSpec::star3d(1).streams();
+  EXPECT_EQ(C.Layers, 5u);
+  EXPECT_EQ(C.ZPlanes, 3u);
+  EXPECT_EQ(C.Grids, 1u);
+}
+
+TEST(StencilSpec, StreamsBox3d) {
+  // box3d r1: layers = 9 (full 3x3 in (dy,dz)); planes = 3.
+  StreamCounts C = StencilSpec::box3d(1).streams();
+  EXPECT_EQ(C.Layers, 9u);
+  EXPECT_EQ(C.ZPlanes, 3u);
+}
+
+TEST(StencilSpec, RowAndPlaneOffsets) {
+  StencilSpec S = StencilSpec::star3d(2);
+  EXPECT_EQ(S.rowOffsets(0).size(), 9u);   // (0,0), (±1..2,0), (0,±1..2).
+  EXPECT_EQ(S.planeOffsets(0).size(), 5u); // dz in {-2..2}.
+}
+
+TEST(StencilSpec, ValidateRejectsDuplicates) {
+  StencilSpec S("dup", {{0, 0, 0, 1.0, 0}, {0, 0, 0, 2.0, 0}});
+  EXPECT_NE(S.validate(), "");
+}
+
+TEST(StencilSpec, ValidateRejectsEmpty) {
+  StencilSpec S("empty", {});
+  EXPECT_NE(S.validate(), "");
+}
+
+TEST(StencilSpec, ValidateRejectsGappedGridIndices) {
+  StencilSpec S("gap", {{0, 0, 0, 1.0, 0}, {1, 0, 0, 1.0, 2}});
+  EXPECT_NE(S.validate(), "");
+}
+
+TEST(StencilSpec, MultiGridStreams) {
+  StencilSpec S("multi", {{0, 0, 0, 1.0, 0}, {0, 0, 0, 0.5, 1}});
+  EXPECT_EQ(S.numInputGrids(), 2u);
+  StreamCounts C = S.streams();
+  EXPECT_EQ(C.Grids, 2u);
+  EXPECT_EQ(C.Layers, 2u);
+}
+
+TEST(StencilSpec, ShapeOtherForAsymmetric) {
+  StencilSpec S("asym", {{0, 0, 0, 1.0, 0},
+                         {-1, 0, 0, 1.0, 0},
+                         {-1, -1, 0, 1.0, 0}});
+  EXPECT_EQ(S.shape(), StencilShape::Other);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized sweeps over radii.
+//===----------------------------------------------------------------------===//
+
+class StarRadiusTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarRadiusTest, StreamsScaleWithRadius) {
+  int R = GetParam();
+  StencilSpec S = StencilSpec::star3d(R);
+  StreamCounts C = S.streams();
+  EXPECT_EQ(C.Layers, static_cast<unsigned>(4 * R + 1));
+  EXPECT_EQ(C.ZPlanes, static_cast<unsigned>(2 * R + 1));
+  EXPECT_EQ(S.rowOffsets(0).size(), static_cast<size_t>(4 * R + 1));
+}
+
+TEST_P(StarRadiusTest, ValidatesAndClassifies) {
+  StencilSpec S = StencilSpec::star3d(GetParam());
+  EXPECT_EQ(S.validate(), "");
+  EXPECT_EQ(S.shape(), StencilShape::Star);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, StarRadiusTest,
+                         ::testing::Values(1, 2, 3, 4, 6));

@@ -1,0 +1,231 @@
+//===- tests/TuningStrategyTest.cpp - tuning strategy tests -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TuningStrategy.h"
+
+#include "ecm/BlockingSelector.h"
+#include "tuner/MeasureHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ys;
+
+namespace {
+
+/// A deterministic synthetic objective over the candidate space: peaks at
+/// By == 32, Bz == 8, depth 1; smooth elsewhere.  Counts invocations.
+struct SyntheticObjective {
+  mutable unsigned Calls = 0;
+
+  double operator()(const KernelConfig &C) const {
+    ++Calls;
+    double Score = 1000.0;
+    Score -= std::abs(static_cast<double>(C.Block.Y) - 32.0);
+    Score -= 2.0 * std::abs(static_cast<double>(C.Block.Z) - 8.0);
+    Score -= 50.0 * (C.WavefrontDepth - 1);
+    return Score;
+  }
+};
+
+std::vector<KernelConfig> space() {
+  return BlockingSelector::candidateSpace({256, 256, 256}, KernelConfig(),
+                                          /*EnableWavefront=*/true);
+}
+
+} // namespace
+
+TEST(TuningStrategy, ExhaustiveFindsGlobalOptimum) {
+  SyntheticObjective Obj;
+  ExhaustiveStrategy S;
+  std::vector<KernelConfig> Space = space();
+  TuningResult R = S.tune(Space, [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  EXPECT_EQ(R.Measurements, Space.size());
+  EXPECT_EQ(R.Best.Block.Y, 32);
+  EXPECT_EQ(R.Best.Block.Z, 8);
+  EXPECT_EQ(R.Best.WavefrontDepth, 1);
+  EXPECT_TRUE(R.BestWasMeasured);
+  EXPECT_EQ(R.MeasuredLog.size(), Space.size());
+}
+
+TEST(TuningStrategy, RandomMeasuresExactlyKDistinct) {
+  SyntheticObjective Obj;
+  RandomStrategy S(10, /*Seed=*/42);
+  TuningResult R = S.tune(space(), [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  EXPECT_EQ(R.Measurements, 10u);
+  // Without replacement: all measured configs distinct.
+  for (size_t I = 0; I < R.MeasuredLog.size(); ++I)
+    for (size_t J = I + 1; J < R.MeasuredLog.size(); ++J)
+      EXPECT_FALSE(R.MeasuredLog[I].first == R.MeasuredLog[J].first);
+}
+
+TEST(TuningStrategy, RandomIsDeterministicPerSeed) {
+  SyntheticObjective Obj;
+  RandomStrategy A(5, 7), B(5, 7);
+  TuningResult RA = A.tune(space(), [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  TuningResult RB = B.tune(space(), [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  ASSERT_EQ(RA.MeasuredLog.size(), RB.MeasuredLog.size());
+  for (size_t I = 0; I < RA.MeasuredLog.size(); ++I)
+    EXPECT_TRUE(RA.MeasuredLog[I].first == RB.MeasuredLog[I].first);
+}
+
+TEST(TuningStrategy, HierarchicalCheaperThanExhaustive) {
+  SyntheticObjective Obj;
+  HierarchicalStrategy S;
+  std::vector<KernelConfig> Space = space();
+  TuningResult R = S.tune(Space, [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  EXPECT_LT(R.Measurements, Space.size() / 2);
+  EXPECT_GT(R.Measurements, 3u);
+  // The synthetic objective is separable, so coordinate descent finds the
+  // optimum.
+  EXPECT_EQ(R.Best.Block.Y, 32);
+  EXPECT_EQ(R.Best.Block.Z, 8);
+}
+
+TEST(TuningStrategy, ModelGuidedRunsNothing) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ModelGuidedStrategy S(Model, StencilSpec::star3d(2), {256, 256, 256});
+  unsigned MeasureCalls = 0;
+  TuningResult R = S.tune(space(), [&](const KernelConfig &) {
+    ++MeasureCalls;
+    return 0.0;
+  });
+  EXPECT_EQ(MeasureCalls, 0u);
+  EXPECT_EQ(R.Measurements, 0u);
+  EXPECT_FALSE(R.BestWasMeasured);
+  EXPECT_EQ(R.ModelEvaluations, space().size());
+  EXPECT_GT(R.BestMlups, 0.0);
+}
+
+TEST(TuningStrategy, ModelGuidedTopKMeasuresShortlist) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  ModelGuidedStrategy S(Model, StencilSpec::star3d(2), {256, 256, 256}, 1,
+                        /*VerifyTopK=*/3);
+  SyntheticObjective Obj;
+  TuningResult R = S.tune(space(), [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  EXPECT_EQ(R.Measurements, 3u);
+  EXPECT_TRUE(R.BestWasMeasured);
+}
+
+TEST(TuningStrategy, ModelGuidedPicksGoodConfigOnModelObjective) {
+  // When the ground truth IS the model, the strategy must find the true
+  // argmax (sanity of the ranking plumbing).
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  StencilSpec Spec = StencilSpec::star3d(4);
+  GridDims Dims{512, 512, 256};
+  ModelGuidedStrategy S(Model, Spec, Dims);
+  TuningResult R = S.tune(space(), [](const KernelConfig &) {
+    return 0.0;
+  });
+  ECMPrediction Best = Model.predict(Spec, Dims, R.Best);
+  for (const KernelConfig &C : space()) {
+    ECMPrediction P = Model.predict(Spec, Dims, C);
+    EXPECT_LE(P.MLupsSaturated, Best.MLupsSaturated * 1.001);
+  }
+}
+
+TEST(MeasureHarness, MeasuresRealKernels) {
+  MeasureHarness H(StencilSpec::heat3d(), {32, 32, 32}, /*Repeats=*/2,
+                   /*SweepsPerRepeat=*/1);
+  KernelConfig C;
+  double Mlups = H.measure(C);
+  EXPECT_GT(Mlups, 0.1);
+  EXPECT_GT(H.totalKernelRuns(), 0u);
+}
+
+TEST(MeasureHarness, TrafficProxyPrefersBlockedConfig) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  M.Caches[0].SizeBytes = 16 * 1024;
+  M.Caches[1].SizeBytes = 128 * 1024;
+  M.Caches[2].SizeBytes = 1024 * 1024;
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{128, 128, 24};
+  MeasureFn Proxy = makeTrafficProxyMeasurer(S, Dims, M);
+  KernelConfig Unblocked;
+  KernelConfig Blocked;
+  Blocked.Block.Y = 16;
+  EXPECT_GT(Proxy(Blocked), Proxy(Unblocked));
+}
+
+#include "tuner/OnlineTuner.h"
+
+TEST(OnlineTuner, ResultMatchesPlainStepping) {
+  // Every trial is a real timestep, so the tuned run must equal plain
+  // stepping bit for bit regardless of which candidates were tried.
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{14, 12, 16};
+  Grid URef(Dims, 1);
+  Rng R(3);
+  URef.fillRandom(R);
+  Grid UTuned(Dims, 1);
+  UTuned.copyInteriorFrom(URef);
+  Grid S1(Dims, 1), S2(Dims, 1);
+
+  const int Steps = 12;
+  KernelExecutor Plain(S, KernelConfig());
+  Plain.runTimeSteps(URef, S1, Steps);
+
+  KernelConfig A; // Unblocked.
+  KernelConfig B;
+  B.Block.Y = 4;
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 4;
+  OnlineTuner Tuner(S, {A, B, C}, 2);
+  OnlineTuner::Result Result = Tuner.run(UTuned, S2, Steps);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(URef, UTuned), 0.0);
+  EXPECT_EQ(Result.TrialsRun, 3u);
+  EXPECT_GT(Result.TuningSteps, 0);
+  EXPECT_LE(Result.TuningSteps, Steps);
+  EXPECT_EQ(Result.TrialLog.size(), 3u);
+}
+
+TEST(OnlineTuner, PicksACandidateAndLogsTimes) {
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{24, 24, 24};
+  Grid U(Dims, 2), Scratch(Dims, 2);
+  Rng R(5);
+  U.fillRandom(R);
+  KernelConfig A;
+  KernelConfig B;
+  B.Block.Y = 8;
+  OnlineTuner Tuner(S, {A, B}, 1);
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 10);
+  EXPECT_TRUE(Result.Best == A || Result.Best == B);
+  for (const auto &[Cfg, Sec] : Result.TrialLog)
+    EXPECT_GT(Sec, 0.0);
+}
+
+TEST(OnlineTuner, StopsTrialsWhenStepsRunOut) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{10, 10, 10};
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(1);
+  U.fillRandom(R);
+  std::vector<KernelConfig> Many(10);
+  for (size_t I = 0; I < Many.size(); ++I)
+    Many[I].Block.Y = static_cast<long>(I + 1);
+  OnlineTuner Tuner(S, Many, 2);
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 5);
+  EXPECT_LE(Result.TrialsRun, 2u); // Only 5 steps available.
+}

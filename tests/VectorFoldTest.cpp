@@ -1,0 +1,123 @@
+//===- tests/VectorFoldTest.cpp - fold selection tests ----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/VectorFold.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+TEST(VectorFold, CandidatesForEight) {
+  // Factorizations of 8 into (x,y,z): 8 = 2^3 -> C(3+2,2) = 10 ordered
+  // triples.
+  std::vector<Fold> C = VectorFold::candidates(8);
+  EXPECT_EQ(C.size(), 10u);
+  for (const Fold &F : C)
+    EXPECT_EQ(F.elems(), 8);
+}
+
+TEST(VectorFold, CandidatesForFour) {
+  std::vector<Fold> C = VectorFold::candidates(4);
+  EXPECT_EQ(C.size(), 6u); // (4,1,1),(1,4,1),(1,1,4),(2,2,1),(2,1,2),(1,2,2)
+}
+
+TEST(VectorFold, CandidatesForOne) {
+  std::vector<Fold> C = VectorFold::candidates(1);
+  ASSERT_EQ(C.size(), 1u);
+  EXPECT_TRUE(C[0].isScalar());
+}
+
+TEST(VectorFold, TouchedVectorsScalarFoldEqualsPointCount) {
+  StencilSpec S = StencilSpec::star3d(1);
+  Fold Scalar;
+  EXPECT_EQ(VectorFold::touchedVectors(S, Scalar), 7u);
+}
+
+TEST(VectorFold, TouchedVectors1DFoldHeat) {
+  // heat3d with 8x1x1 fold: x-neighbors spill into 2 extra vectors, y/z
+  // neighbors one vector each -> 1 (center covers x..) Let's count:
+  // center block {0}, x+1 reaches block 1, x-1 block -1; each y/z
+  // neighbor its own block: 3 + 4 = 7.
+  StencilSpec S = StencilSpec::star3d(1);
+  Fold F;
+  F.X = 8;
+  EXPECT_EQ(VectorFold::touchedVectors(S, F), 7u);
+}
+
+TEST(VectorFold, RadiusOneStarIsFoldInsensitive) {
+  // For the r1 star every fold of 8 touches the same 7 vector blocks; the
+  // fold win only appears at larger radii.
+  StencilSpec S = StencilSpec::star3d(1);
+  Fold F1d;
+  F1d.X = 8;
+  Fold F2d;
+  F2d.X = 4;
+  F2d.Y = 2;
+  EXPECT_EQ(VectorFold::touchedVectors(S, F2d),
+            VectorFold::touchedVectors(S, F1d));
+}
+
+TEST(VectorFold, FoldingReducesTouchedVectorsAtRadiusFour) {
+  // star3d r4: 1-D fold touches 19 blocks (every y/z offset its own
+  // vector); 4x2x1 shares y-offsets pairwise (15); 2x2x2 shares in all
+  // transverse dims (13).
+  StencilSpec S = StencilSpec::star3d(4);
+  Fold F1d;
+  F1d.X = 8;
+  Fold F421;
+  F421.X = 4;
+  F421.Y = 2;
+  Fold F222;
+  F222.X = 2;
+  F222.Y = 2;
+  F222.Z = 2;
+  EXPECT_EQ(VectorFold::touchedVectors(S, F1d), 19u);
+  EXPECT_EQ(VectorFold::touchedVectors(S, F421), 15u);
+  EXPECT_EQ(VectorFold::touchedVectors(S, F222), 13u);
+}
+
+TEST(VectorFold, SelectPicksMultiDimFoldOnAVX512) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  StencilSpec S = StencilSpec::star3d(4);
+  Fold F = VectorFold::select(S, M);
+  EXPECT_EQ(F.elems(), 8);
+  // YASK picks a multi-dimensional fold for long-range 3-D stars.
+  EXPECT_GT(F.Y * F.Z, 1);
+}
+
+TEST(VectorFold, SelectRespects2DProblems) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  StencilSpec S = StencilSpec::star2d(1);
+  Fold F = VectorFold::select(S, M);
+  EXPECT_EQ(F.Z, 1);
+  EXPECT_EQ(F.elems(), 8);
+}
+
+TEST(VectorFold, SelectRespects1DProblems) {
+  MachineModel M = MachineModel::rome();
+  StencilSpec S = StencilSpec::line1d(1);
+  Fold F = VectorFold::select(S, M);
+  EXPECT_EQ(F.Y, 1);
+  EXPECT_EQ(F.Z, 1);
+  EXPECT_EQ(F.X, 4);
+}
+
+TEST(VectorFold, SelectOnRomeUsesFourElems) {
+  MachineModel M = MachineModel::rome();
+  Fold F = VectorFold::select(StencilSpec::star3d(1), M);
+  EXPECT_EQ(F.elems(), 4);
+}
+
+TEST(VectorFold, SelectedBeatsOrMatchesAllCandidates) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  for (int R : {1, 2, 4}) {
+    StencilSpec S = StencilSpec::star3d(R);
+    Fold Best = VectorFold::select(S, M);
+    unsigned long long BestScore = VectorFold::touchedVectors(S, Best);
+    for (const Fold &F : VectorFold::candidates(8))
+      EXPECT_LE(BestScore, VectorFold::touchedVectors(S, F)) << F.str();
+  }
+}

@@ -1,0 +1,17 @@
+//===- tools/yasksite.cpp - yasksite command-line tool ----------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  std::string Out;
+  int Code = ys::runDriver(Args, Out);
+  std::fputs(Out.c_str(), Code == 0 ? stdout : stderr);
+  return Code;
+}
