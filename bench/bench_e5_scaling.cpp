@@ -14,6 +14,7 @@
 
 #include "BenchUtil.h"
 #include "cachesim/MultiCoreSim.h"
+#include "codegen/KernelExecutor.h"
 #include "ecm/ECMModel.h"
 #include "ecm/LayerCondition.h"
 #include "support/Table.h"
@@ -85,5 +86,53 @@ int main() {
     T.addRow({S.name(), ysbench::mlups(H.measure(KernelConfig()))});
   }
   T.print();
+
+  // Host thread scaling through the (z,y) tile scheduler, deliberately in
+  // the regime the old 1-D z decomposition could not feed: Nz/B.Z = 2
+  // z blocks, so any thread count above 2 used to leave cores idle.  The
+  // 2-D tiling exposes Nz/B.Z * Ny/B.Y tiles and work stealing levels the
+  // remainder; per-thread pool counters make imbalance visible.
+  {
+    unsigned MaxThreads = ThreadPool::defaultThreadCount();
+    StencilSpec S = StencilSpec::heat3d();
+    GridDims HostDims{192, 192, 64};
+    std::printf("\n-- Host thread scaling (%s, B.Z=32 -> 2 z blocks; "
+                "YS_THREADS caps the sweep) --\n",
+                HostDims.str().c_str());
+    Table TS({"threads", "MLUP/s", "pool stats", "max |diff| vs serial"});
+
+    // Serial reference for the bit-identity check.
+    Grid In(HostDims, 1);
+    Rng R(11);
+    In.fillRandom(R);
+    KernelConfig Serial;
+    Serial.Block = {0, 32, 32};
+    Grid RefOut(HostDims, 1);
+    KernelExecutor(S, Serial).runSweep({&In}, RefOut);
+
+    std::vector<unsigned> Counts;
+    for (unsigned T = 1; T < MaxThreads; T *= 2)
+      Counts.push_back(T);
+    Counts.push_back(MaxThreads);
+    for (unsigned Threads : Counts) {
+      KernelConfig C = Serial;
+      C.Threads = Threads;
+      MeasureHarness H(S, HostDims, 3, 2);
+      double Mlups = H.measure(C);
+
+      std::string Stats = "-";
+      double Diff = 0.0;
+      if (Threads > 1) {
+        ThreadPool Pool(Threads);
+        Grid Out(HostDims, 1, Fold(), &Pool, C.Block.Z, C.Block.Y);
+        KernelExecutor(S, C).runSweep({&In}, Out, &Pool);
+        Stats = Pool.stats().str();
+        Diff = Grid::maxAbsDiffInterior(RefOut, Out);
+      }
+      TS.addRow({format("%u", Threads), ysbench::mlups(Mlups), Stats,
+                 format("%.1e", Diff)});
+    }
+    TS.print();
+  }
   return 0;
 }

@@ -85,5 +85,35 @@ int main() {
                format("%.2fx", Base / Stats.Median)});
   }
   TH.print();
+
+  // Threaded wavefront: each slab's (zBlock, yBlock) tiles are spread over
+  // the pool; per-thread counters show how much the stealing path had to
+  // rebalance the narrow per-slab tile grids.
+  unsigned Threads = ThreadPool::defaultThreadCount();
+  if (Threads > 1) {
+    std::printf("\n-- Threaded wavefront (%u threads, depth 4, 8 steps) "
+                "--\n", Threads);
+    Table TT({"config", "seconds", "MLUP/s", "pool stats"});
+    for (int Depth : {1, 4}) {
+      KernelConfig C;
+      C.WavefrontDepth = Depth;
+      C.Block = {0, 32, 16};
+      C.Threads = Threads;
+      KernelExecutor Exec(S, C);
+      ThreadPool Pool(Threads);
+      Grid U(HostDims, 1, Fold(), &Pool, C.Block.Z, C.Block.Y);
+      Grid Scratch(HostDims, 1, Fold(), &Pool, C.Block.Z, C.Block.Y);
+      Rng R(1);
+      U.fillRandom(R);
+      Pool.resetStats();
+      TimingStats Stats = measureSeconds(
+          [&] { Exec.runTimeSteps(U, Scratch, 8, &Pool); }, 2);
+      double Mlups =
+          8.0 * static_cast<double>(HostDims.lups()) / Stats.Median / 1e6;
+      TT.addRow({format("depth %d", Depth), ysbench::seconds(Stats.Median),
+                 ysbench::mlups(Mlups), Pool.stats().str()});
+    }
+    TT.print();
+  }
   return 0;
 }

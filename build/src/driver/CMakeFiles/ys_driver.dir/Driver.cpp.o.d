@@ -232,19 +232,21 @@ src/driver/CMakeFiles/ys_driver.dir/Driver.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ode/Registry.h \
  /root/repo/src/ode/ButcherTableau.h /root/repo/src/ode/ExplicitRK.h \
  /root/repo/src/ode/IVP.h /root/repo/src/support/ThreadPool.h \
+ /root/repo/src/support/PoolStats.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/offsite/Database.h \
- /root/repo/src/offsite/Offsite.h /root/repo/src/ode/PIRK.h \
- /root/repo/src/solution/StencilSolution.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/offsite/Database.h /root/repo/src/offsite/Offsite.h \
+ /root/repo/src/ode/PIRK.h /root/repo/src/solution/StencilSolution.h \
  /root/repo/src/support/StringUtils.h /usr/include/c++/12/cstdarg \
  /root/repo/src/support/Table.h /root/repo/src/support/Timer.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

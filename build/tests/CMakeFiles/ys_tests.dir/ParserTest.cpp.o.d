@@ -303,6 +303,7 @@ tests/CMakeFiles/ys_tests.dir/ParserTest.cpp.o: \
  /root/repo/src/codegen/KernelConfig.h /root/repo/src/stencil/Grid.h \
  /root/repo/src/support/AlignedBuffer.h /usr/include/c++/12/cstring \
  /root/repo/src/support/Random.h /root/repo/src/support/ThreadPool.h \
+ /root/repo/src/support/PoolStats.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -310,5 +311,6 @@ tests/CMakeFiles/ys_tests.dir/ParserTest.cpp.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread

@@ -166,22 +166,32 @@ void KernelExecutor::runSweep(const std::vector<const Grid *> &Inputs,
   assert(Out.fold() == Config.VectorFold && "grid fold != configured fold");
 
   const GridDims &Dims = Out.dims();
-  unsigned Threads = Config.Threads;
-  if (!Pool || Threads <= 1 || Pool->numThreads() <= 1) {
+  // A candidate config may request fewer threads than the pool has; honor
+  // it, otherwise tuner measurements of Threads=k all run pool-wide.
+  unsigned Threads =
+      Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
+  if (!Pool || Threads <= 1) {
     sweepBlockedSerialZ(Inputs, Out, 0, Dims.Nz);
     return;
   }
 
-  // Decompose the z dimension over the pool at block granularity so the
-  // static chunks match the blocked loop structure.
+  // Decompose over 2-D (zBlock, yBlock) tiles at cache-block granularity.
+  // Compared with static z chunks this exposes Nz/B.Z * Ny/B.Y units of
+  // work, so thread counts beyond the z-block count still get fed, and the
+  // pool's stealing evens out non-divisible tile grids.
   BlockSize B = Config.Block.resolved(Dims);
   long NumZBlocks = (Dims.Nz + B.Z - 1) / B.Z;
-  Pool->parallelForChunked(
-      0, NumZBlocks, [&](unsigned, long Blk0, long Blk1) {
-        long Z0 = Blk0 * B.Z;
-        long Z1 = std::min(Blk1 * B.Z, Dims.Nz);
-        sweepBlockedSerialZ(Inputs, Out, Z0, Z1);
-      });
+  long NumYBlocks = (Dims.Ny + B.Y - 1) / B.Y;
+  Pool->parallelForTiles(
+      NumZBlocks, NumYBlocks,
+      [&](unsigned, long Zb, long Yb) {
+        long Z0 = Zb * B.Z, Z1 = std::min(Z0 + B.Z, Dims.Nz);
+        long Y0 = Yb * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
+        for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+          sweepRange(Inputs, Out, Z0, Z1, Y0, Y1, Xb,
+                     std::min(Xb + B.X, Dims.Nx));
+      },
+      Threads);
 }
 
 void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
@@ -232,20 +242,28 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
     return TimeLevel % 2 == 0 ? Even : Odd;
   };
 
+  unsigned Threads =
+      Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
   auto sweepSlab = [&](int S, long Z0, long Z1) {
     Grid *Src = bufferFor(S - 1);
     Grid *Dst = bufferFor(S);
     std::vector<const Grid *> Inputs = {Src};
-    if (Pool && Config.Threads > 1 && Pool->numThreads() > 1) {
-      long NumYBlocks = (Dims.Ny + B.Y - 1) / B.Y;
-      Pool->parallelForChunked(
-          0, NumYBlocks, [&](unsigned, long Blk0, long Blk1) {
-            long Y0 = Blk0 * B.Y;
-            long Y1 = std::min(Blk1 * B.Y, Dims.Ny);
+    if (Pool && Threads > 1) {
+      // The slab is at most one z block deep, but enumerating (zBlock,
+      // yBlock) tiles keeps the same tile->thread mapping as runSweep and
+      // still scales past the y-block count for thicker slabs.
+      long NumZT = (Z1 - Z0 + B.Z - 1) / B.Z;
+      long NumYT = (Dims.Ny + B.Y - 1) / B.Y;
+      Pool->parallelForTiles(
+          NumZT, NumYT,
+          [&](unsigned, long Zt, long Yt) {
+            long SZ0 = Z0 + Zt * B.Z, SZ1 = std::min(SZ0 + B.Z, Z1);
+            long Y0 = Yt * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
             for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-              sweepRange(Inputs, *Dst, Z0, Z1, Y0, Y1, Xb,
+              sweepRange(Inputs, *Dst, SZ0, SZ1, Y0, Y1, Xb,
                          std::min(Xb + B.X, Dims.Nx));
-          });
+          },
+          Threads);
       return;
     }
     for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)

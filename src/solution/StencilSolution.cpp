@@ -176,11 +176,13 @@ void StencilSolution::executeSweep(const PlanSweep &Sweep,
           }
         }
     };
-    if (Pool && Config.Threads > 1 && Pool->numThreads() > 1)
-      Pool->parallelForChunked(0, Dims.Nz,
-                               [&](unsigned, long Z0, long Z1) {
-                                 SweepZRange(Z0, Z1);
-                               });
+    unsigned Threads =
+        Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
+    if (Pool && Threads > 1)
+      Pool->parallelForChunked(
+          0, Dims.Nz,
+          [&](unsigned, long Z0, long Z1) { SweepZRange(Z0, Z1); },
+          Threads);
     else
       SweepZRange(0, Dims.Nz);
     return;

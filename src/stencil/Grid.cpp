@@ -7,9 +7,11 @@
 #include "stencil/Grid.h"
 
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace ys;
 
@@ -38,6 +40,56 @@ Grid::Grid(GridDims Dims, int Halo, Fold F)
   NVz = PadZ / F.Z;
   Store.allocate(static_cast<size_t>(PadX) * PadY * PadZ);
   Store.zero();
+}
+
+Grid::Grid(GridDims Dims, int Halo, Fold F, ThreadPool *FirstTouchPool,
+           long ZTile, long YTile)
+    : Dims(Dims), Halo(Halo), F(F), ScalarLayout(F.isScalar()) {
+  assert(Dims.Nx > 0 && Dims.Ny > 0 && Dims.Nz > 0 && "empty grid");
+  assert(Halo >= 0 && "negative halo");
+  assert(F.X > 0 && F.Y > 0 && F.Z > 0 && "degenerate fold");
+  PadX = roundUp(Dims.Nx + 2L * Halo, F.X);
+  PadY = roundUp(Dims.Ny + 2L * Halo, F.Y);
+  PadZ = roundUp(Dims.Nz + 2L * Halo, F.Z);
+  NVx = PadX / F.X;
+  NVy = PadY / F.Y;
+  NVz = PadZ / F.Z;
+  Store.allocate(static_cast<size_t>(PadX) * PadY * PadZ);
+  firstTouch(FirstTouchPool, ZTile, YTile);
+}
+
+void Grid::firstTouch(ThreadPool *Pool, long ZTile, long YTile) {
+  if (!Pool || Pool->numThreads() <= 1) {
+    Store.zero();
+    return;
+  }
+
+  // Memory-order view of the storage: Planes x Rows rows of RowElems
+  // contiguous doubles (for the folded layout a "row" is a run of fold
+  // bricks sharing (Vy, Vz), which is contiguous by construction).
+  long Planes = ScalarLayout ? PadZ : NVz;
+  long Rows = ScalarLayout ? PadY : NVy;
+  long RowElems = ScalarLayout ? PadX : NVx * F.elems();
+
+  // Convert interior-coordinate tile extents into plane/row units so the
+  // tile->thread mapping matches the sweep decomposition.
+  long ZT = ZTile > 0 ? (ZTile + F.Z - 1) / F.Z : 1;
+  long YT = YTile > 0 ? std::max<long>(1, (YTile + F.Y - 1) / F.Y) : Rows;
+  ZT = std::min(ZT, Planes);
+  YT = std::min(YT, Rows);
+  long NumZTiles = (Planes + ZT - 1) / ZT;
+  long NumYTiles = (Rows + YT - 1) / YT;
+
+  double *Base = Store.data();
+  Pool->parallelForTiles(
+      NumZTiles, NumYTiles, [&](unsigned, long Zt, long Yt) {
+        long P0 = Zt * ZT, P1 = std::min(P0 + ZT, Planes);
+        long R0 = Yt * YT, R1 = std::min(R0 + YT, Rows);
+        for (long P = P0; P < P1; ++P)
+          std::memset(Base + (P * Rows + R0) * RowElems, 0,
+                      static_cast<size_t>(R1 - R0) * RowElems *
+                          sizeof(double));
+      });
 }
 
 void Grid::fill(double Value) {

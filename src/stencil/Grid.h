@@ -30,6 +30,8 @@
 
 namespace ys {
 
+class ThreadPool;
+
 /// A SIMD vector fold shape: how many grid points a SIMD vector covers in
 /// each dimension.  The product is the vector length in elements.
 struct Fold {
@@ -66,6 +68,15 @@ public:
   /// Creates a grid with interior \p Dims, halo width \p Halo, and storage
   /// fold \p F.  Contents are zero-initialized.
   Grid(GridDims Dims, int Halo, Fold F = Fold());
+
+  /// Like the plain constructor, but performs the initial zeroing in
+  /// parallel on \p FirstTouchPool via firstTouch(), so pages are faulted
+  /// in (first-touched) by the threads that will later sweep them — on
+  /// NUMA machines this places each page on the worker's local node.
+  /// \p ZTile / \p YTile should match the sweep's cache-block sizes
+  /// (0 = one z plane / full y rows).
+  Grid(GridDims Dims, int Halo, Fold F, ThreadPool *FirstTouchPool,
+       long ZTile = 0, long YTile = 0);
 
   const GridDims &dims() const { return Dims; }
   int halo() const { return Halo; }
@@ -122,6 +133,14 @@ public:
 
   /// Sets every allocated element (incl. halo) to \p Value.
   void fill(double Value);
+
+  /// Zeroes all storage in parallel over (z,y) tiles with the same
+  /// tile->thread mapping the kernel executor uses for sweeps, so the
+  /// first touch of every page happens on the thread that will process
+  /// that region.  \p ZTile / \p YTile are interior-coordinate tile
+  /// extents (0 = one z plane at a time / full y rows).  Falls back to a
+  /// serial zero when \p Pool is null or single-threaded.
+  void firstTouch(ThreadPool *Pool, long ZTile = 0, long YTile = 0);
 
   /// Fills the interior with deterministic pseudo-random values in
   /// [-1, 1); the halo is set to zero.

@@ -1,0 +1,71 @@
+//===- support/PoolStats.h - Thread-pool execution counters ------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread execution counters snapshotted from a ThreadPool: how many
+/// tile tasks each thread ran, how many of those it stole from another
+/// thread's queue, and how long it was busy inside tasks.  The tuner's
+/// measurement harness and the scaling benches print these so load
+/// imbalance and scheduler regressions are observable instead of showing
+/// up only as unexplained MLUP/s noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_POOLSTATS_H
+#define YS_SUPPORT_POOLSTATS_H
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// A snapshot of one pool's per-thread counters since the last reset.
+struct PoolStats {
+  struct Thread {
+    unsigned long long TasksRun = 0;    ///< Tiles executed by this thread.
+    unsigned long long TasksStolen = 0; ///< Subset taken from another deque.
+    double BusySeconds = 0.0;           ///< Wall time spent inside tasks.
+  };
+
+  std::vector<Thread> Threads; ///< Indexed by pool thread id (0 = master).
+
+  unsigned long long totalRun() const {
+    unsigned long long N = 0;
+    for (const Thread &T : Threads)
+      N += T.TasksRun;
+    return N;
+  }
+
+  unsigned long long totalStolen() const {
+    unsigned long long N = 0;
+    for (const Thread &T : Threads)
+      N += T.TasksStolen;
+    return N;
+  }
+
+  double totalBusySeconds() const {
+    double S = 0.0;
+    for (const Thread &T : Threads)
+      S += T.BusySeconds;
+    return S;
+  }
+
+  /// Number of threads that executed at least one task.
+  unsigned activeThreads() const {
+    unsigned N = 0;
+    for (const Thread &T : Threads)
+      if (T.TasksRun > 0)
+        ++N;
+    return N;
+  }
+
+  /// One-line summary: "tiles=128 stolen=9 active=8/8 busy=0.42s".
+  std::string str() const;
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_POOLSTATS_H

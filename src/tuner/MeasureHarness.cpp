@@ -10,6 +10,8 @@
 #include "support/Random.h"
 #include "support/Timer.h"
 
+#include <cstdio>
+
 using namespace ys;
 
 MeasureHarness::MeasureHarness(StencilSpec Spec, GridDims Dims,
@@ -20,17 +22,30 @@ MeasureHarness::MeasureHarness(StencilSpec Spec, GridDims Dims,
 MeasureHarness::~MeasureHarness() = default;
 
 void MeasureHarness::ensureBuffers(const KernelConfig &Config) {
-  if (!U || !(CurrentFold == Config.VectorFold)) {
-    CurrentFold = Config.VectorFold;
-    int Halo = Spec.radius();
-    U = std::make_unique<Grid>(Dims, Halo, CurrentFold);
-    V = std::make_unique<Grid>(Dims, Halo, CurrentFold);
-    Rng R(42);
-    U->fillRandom(R);
-  }
+  // The pool must exist before the grids so first-touch initialization can
+  // fault pages in on the threads that will sweep them.
   if (Config.Threads > 1 && (!Pool || PoolThreads != Config.Threads)) {
     Pool = std::make_unique<ThreadPool>(Config.Threads);
     PoolThreads = Config.Threads;
+  }
+  if (!U || !(CurrentFold == Config.VectorFold)) {
+    CurrentFold = Config.VectorFold;
+    int Halo = Spec.radius();
+    ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
+    BlockSize B = Config.Block.resolved(Dims);
+    U = std::make_unique<Grid>(Dims, Halo, CurrentFold, P, B.Z, B.Y);
+    V = std::make_unique<Grid>(Dims, Halo, CurrentFold, P, B.Z, B.Y);
+    Rng R(42);
+    U->fillRandom(R);
+    // One buffer per additional input grid of the stencil; distinct
+    // deterministic contents so cross-grid coefficients are exercised.
+    ExtraInputs.clear();
+    for (unsigned G = 1; G < Spec.numInputGrids(); ++G) {
+      ExtraInputs.push_back(
+          std::make_unique<Grid>(Dims, Halo, CurrentFold, P, B.Z, B.Y));
+      Rng RG(42 + G);
+      ExtraInputs.back()->fillRandom(RG);
+    }
   }
 }
 
@@ -38,6 +53,13 @@ double MeasureHarness::measure(const KernelConfig &Config) {
   ensureBuffers(Config);
   KernelExecutor Exec(Spec, Config);
   ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
+  if (P)
+    P->resetStats();
+
+  std::vector<const Grid *> Inputs;
+  Inputs.push_back(U.get());
+  for (const std::unique_ptr<Grid> &G : ExtraInputs)
+    Inputs.push_back(G.get());
 
   TimingStats Stats = measureSeconds(
       [&] {
@@ -45,11 +67,16 @@ double MeasureHarness::measure(const KernelConfig &Config) {
           Exec.runTimeSteps(*U, *V, static_cast<int>(SweepsPerRepeat), P);
         } else {
           for (unsigned S = 0; S < SweepsPerRepeat; ++S)
-            Exec.runSweep({U.get()}, *V, P);
+            Exec.runSweep(Inputs, *V, P);
         }
         KernelRuns += SweepsPerRepeat;
       },
       Repeats);
+
+  LastStats = P ? P->stats() : PoolStats();
+  if (P && PrintPoolStats)
+    std::printf("  pool[%s]: %s\n", Config.str().c_str(),
+                LastStats.str().c_str());
 
   double Lups = static_cast<double>(Dims.lups()) * SweepsPerRepeat;
   return Lups / Stats.Median / 1e6;

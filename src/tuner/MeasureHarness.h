@@ -46,6 +46,14 @@ public:
 
   unsigned totalKernelRuns() const { return KernelRuns; }
 
+  /// Pool counters accumulated during the last measure() call (empty when
+  /// the configuration ran single-threaded).
+  const PoolStats &lastPoolStats() const { return LastStats; }
+
+  /// When enabled, measure() prints the pool-stats summary line after each
+  /// threaded measurement (imbalance/steal visibility while tuning).
+  void setPrintPoolStats(bool Enable) { PrintPoolStats = Enable; }
+
 private:
   StencilSpec Spec;
   GridDims Dims;
@@ -54,8 +62,12 @@ private:
   unsigned KernelRuns = 0;
   Fold CurrentFold;
   std::unique_ptr<Grid> U, V;
+  /// Input grids beyond the first for multi-input stencils.
+  std::vector<std::unique_ptr<Grid>> ExtraInputs;
   std::unique_ptr<ThreadPool> Pool;
   unsigned PoolThreads = 0;
+  PoolStats LastStats;
+  bool PrintPoolStats = false;
 
   void ensureBuffers(const KernelConfig &Config);
 };

@@ -32,6 +32,24 @@ OnlineTuner::Result OnlineTuner::run(Grid &U, Grid &Scratch, int Steps,
   Timer TotalTimer;
   int Done = 0;
 
+  // One untimed warm-up trial before the rotation (mirroring
+  // measureSeconds): without it the first candidate pays the cold-cache /
+  // page-fault cost alone and selection is biased toward whatever runs
+  // later.  Warm-up steps are real timesteps, so they count toward Steps.
+  {
+    const KernelConfig &C = Candidates.front();
+    int Depth = std::max(1, C.WavefrontDepth);
+    int WarmSteps = std::max(StepsPerTrial, Depth);
+    // Only warm up if a timed trial still fits afterwards; otherwise the
+    // warm-up would just eat the production budget.
+    if (Done + 2 * WarmSteps <= Steps) {
+      KernelExecutor Exec(Spec, C);
+      Exec.runTimeSteps(U, Scratch, WarmSteps, Pool);
+      Done += WarmSteps;
+      R.WarmupSteps = WarmSteps;
+    }
+  }
+
   // Trial phase: rotate through the candidates, every trial doing real
   // timesteps.  Wavefront candidates need their full depth per trial.
   double BestSeconds = -1.0;

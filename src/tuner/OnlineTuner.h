@@ -37,7 +37,8 @@ public:
   struct Result {
     KernelConfig Best;
     unsigned TrialsRun = 0;
-    int TuningSteps = 0;  ///< Steps consumed during the trial phase.
+    int TuningSteps = 0;  ///< Steps consumed during warm-up + trial phase.
+    int WarmupSteps = 0;  ///< Untimed steps run before the first trial.
     double TuningSeconds = 0;
     /// (candidate, seconds per step) for every completed trial.
     std::vector<std::pair<KernelConfig, double>> TrialLog;

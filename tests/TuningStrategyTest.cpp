@@ -216,6 +216,42 @@ TEST(OnlineTuner, PicksACandidateAndLogsTimes) {
     EXPECT_GT(Sec, 0.0);
 }
 
+TEST(OnlineTuner, RunsUntimedWarmupBeforeTrials) {
+  // Regression test: the first candidate used to be timed with cold
+  // caches/pages while later candidates ran warm, biasing selection.  The
+  // tuner now runs one untimed warm-up trial before the rotation, so with
+  // two candidates and StepsPerTrial=2 the tuning phase consumes
+  // 3 * 2 = 6 steps (warm-up + two timed trials), not 4.
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 12, 12};
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(9);
+  U.fillRandom(R);
+  KernelConfig A;
+  KernelConfig B;
+  B.Block.Y = 4;
+  OnlineTuner Tuner(S, {A, B}, 2);
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 20);
+  EXPECT_EQ(Result.WarmupSteps, 2);
+  EXPECT_EQ(Result.TrialsRun, 2u);
+  EXPECT_EQ(Result.TuningSteps, 6); // Warm-up steps are real, so counted.
+  EXPECT_EQ(Result.TrialLog.size(), 2u);
+}
+
+TEST(OnlineTuner, SkipsWarmupWhenStepsScarce) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{10, 10, 10};
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(2);
+  U.fillRandom(R);
+  OnlineTuner Tuner(S, {KernelConfig()}, 2);
+  // 3 steps: warm-up (2) + trial (2) would not fit, so no warm-up runs
+  // and the single candidate still gets its timed trial.
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 3);
+  EXPECT_EQ(Result.WarmupSteps, 0);
+  EXPECT_EQ(Result.TrialsRun, 1u);
+}
+
 TEST(OnlineTuner, StopsTrialsWhenStepsRunOut) {
   StencilSpec S = StencilSpec::heat3d();
   GridDims Dims{10, 10, 10};

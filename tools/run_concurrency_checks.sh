@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds the tree under ThreadSanitizer and runs the concurrency-labeled
+# tests (thread pool scheduler + parallel executor).  Part of the tier-1
+# quality gate for changes touching the threading layer.
+#
+# Usage: tools/run_concurrency_checks.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DYS_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure
