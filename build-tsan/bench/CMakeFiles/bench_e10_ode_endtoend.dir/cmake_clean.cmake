@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_ode_endtoend.dir/bench_e10_ode_endtoend.cpp.o"
+  "CMakeFiles/bench_e10_ode_endtoend.dir/bench_e10_ode_endtoend.cpp.o.d"
+  "bench_e10_ode_endtoend"
+  "bench_e10_ode_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ode_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

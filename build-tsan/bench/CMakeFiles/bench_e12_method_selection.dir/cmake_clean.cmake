@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_method_selection.dir/bench_e12_method_selection.cpp.o"
+  "CMakeFiles/bench_e12_method_selection.dir/bench_e12_method_selection.cpp.o.d"
+  "bench_e12_method_selection"
+  "bench_e12_method_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_method_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

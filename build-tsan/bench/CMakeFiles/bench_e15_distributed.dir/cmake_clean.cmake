@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_distributed.dir/bench_e15_distributed.cpp.o"
+  "CMakeFiles/bench_e15_distributed.dir/bench_e15_distributed.cpp.o.d"
+  "bench_e15_distributed"
+  "bench_e15_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_accuracy_selection.dir/bench_e16_accuracy_selection.cpp.o"
+  "CMakeFiles/bench_e16_accuracy_selection.dir/bench_e16_accuracy_selection.cpp.o.d"
+  "bench_e16_accuracy_selection"
+  "bench_e16_accuracy_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_accuracy_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_machine_models.dir/bench_e2_machine_models.cpp.o"
+  "CMakeFiles/bench_e2_machine_models.dir/bench_e2_machine_models.cpp.o.d"
+  "bench_e2_machine_models"
+  "bench_e2_machine_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_machine_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_ecm_singlecore.dir/bench_e3_ecm_singlecore.cpp.o"
+  "CMakeFiles/bench_e3_ecm_singlecore.dir/bench_e3_ecm_singlecore.cpp.o.d"
+  "bench_e3_ecm_singlecore"
+  "bench_e3_ecm_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_ecm_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

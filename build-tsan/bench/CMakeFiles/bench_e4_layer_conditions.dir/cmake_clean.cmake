@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_layer_conditions.dir/bench_e4_layer_conditions.cpp.o"
+  "CMakeFiles/bench_e4_layer_conditions.dir/bench_e4_layer_conditions.cpp.o.d"
+  "bench_e4_layer_conditions"
+  "bench_e4_layer_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_layer_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_wavefront.dir/bench_e7_wavefront.cpp.o"
+  "CMakeFiles/bench_e7_wavefront.dir/bench_e7_wavefront.cpp.o.d"
+  "bench_e7_wavefront"
+  "bench_e7_wavefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

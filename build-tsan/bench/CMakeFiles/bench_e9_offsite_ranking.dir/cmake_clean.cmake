@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_offsite_ranking.dir/bench_e9_offsite_ranking.cpp.o"
+  "CMakeFiles/bench_e9_offsite_ranking.dir/bench_e9_offsite_ranking.cpp.o.d"
+  "bench_e9_offsite_ranking"
+  "bench_e9_offsite_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_offsite_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

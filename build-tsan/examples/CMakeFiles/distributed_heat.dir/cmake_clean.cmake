@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_heat.dir/distributed_heat.cpp.o"
+  "CMakeFiles/distributed_heat.dir/distributed_heat.cpp.o.d"
+  "distributed_heat"
+  "distributed_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

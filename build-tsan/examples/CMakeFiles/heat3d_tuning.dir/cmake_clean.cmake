@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d_tuning.dir/heat3d_tuning.cpp.o"
+  "CMakeFiles/heat3d_tuning.dir/heat3d_tuning.cpp.o.d"
+  "heat3d_tuning"
+  "heat3d_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

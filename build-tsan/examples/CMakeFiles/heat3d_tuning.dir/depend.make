@@ -1,0 +1,2 @@
+# Empty dependencies file for heat3d_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_offsite.dir/ode_offsite.cpp.o"
+  "CMakeFiles/ode_offsite.dir/ode_offsite.cpp.o.d"
+  "ode_offsite"
+  "ode_offsite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_offsite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ode_offsite.
+# This may be replaced when dependencies are built.

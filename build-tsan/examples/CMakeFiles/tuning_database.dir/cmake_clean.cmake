@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_database.dir/tuning_database.cpp.o"
+  "CMakeFiles/tuning_database.dir/tuning_database.cpp.o.d"
+  "tuning_database"
+  "tuning_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

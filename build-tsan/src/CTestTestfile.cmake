@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("arch")
+subdirs("stencil")
+subdirs("codegen")
+subdirs("frontend")
+subdirs("solution")
+subdirs("driver")
+subdirs("cachesim")
+subdirs("ecm")
+subdirs("tuner")
+subdirs("ode")
+subdirs("offsite")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_arch.dir/MachineModel.cpp.o"
+  "CMakeFiles/ys_arch.dir/MachineModel.cpp.o.d"
+  "libys_arch.a"
+  "libys_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_cachesim.dir/CacheSim.cpp.o"
+  "CMakeFiles/ys_cachesim.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/ys_cachesim.dir/MultiCoreSim.cpp.o"
+  "CMakeFiles/ys_cachesim.dir/MultiCoreSim.cpp.o.d"
+  "CMakeFiles/ys_cachesim.dir/StencilTrace.cpp.o"
+  "CMakeFiles/ys_cachesim.dir/StencilTrace.cpp.o.d"
+  "libys_cachesim.a"
+  "libys_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

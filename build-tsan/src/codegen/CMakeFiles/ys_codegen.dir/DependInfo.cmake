@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/DomainDecomposition.cpp" "src/codegen/CMakeFiles/ys_codegen.dir/DomainDecomposition.cpp.o" "gcc" "src/codegen/CMakeFiles/ys_codegen.dir/DomainDecomposition.cpp.o.d"
+  "/root/repo/src/codegen/KernelConfig.cpp" "src/codegen/CMakeFiles/ys_codegen.dir/KernelConfig.cpp.o" "gcc" "src/codegen/CMakeFiles/ys_codegen.dir/KernelConfig.cpp.o.d"
+  "/root/repo/src/codegen/KernelExecutor.cpp" "src/codegen/CMakeFiles/ys_codegen.dir/KernelExecutor.cpp.o" "gcc" "src/codegen/CMakeFiles/ys_codegen.dir/KernelExecutor.cpp.o.d"
+  "/root/repo/src/codegen/SourceEmitter.cpp" "src/codegen/CMakeFiles/ys_codegen.dir/SourceEmitter.cpp.o" "gcc" "src/codegen/CMakeFiles/ys_codegen.dir/SourceEmitter.cpp.o.d"
+  "/root/repo/src/codegen/VectorFold.cpp" "src/codegen/CMakeFiles/ys_codegen.dir/VectorFold.cpp.o" "gcc" "src/codegen/CMakeFiles/ys_codegen.dir/VectorFold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/stencil/CMakeFiles/ys_stencil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/ys_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_codegen.dir/DomainDecomposition.cpp.o"
+  "CMakeFiles/ys_codegen.dir/DomainDecomposition.cpp.o.d"
+  "CMakeFiles/ys_codegen.dir/KernelConfig.cpp.o"
+  "CMakeFiles/ys_codegen.dir/KernelConfig.cpp.o.d"
+  "CMakeFiles/ys_codegen.dir/KernelExecutor.cpp.o"
+  "CMakeFiles/ys_codegen.dir/KernelExecutor.cpp.o.d"
+  "CMakeFiles/ys_codegen.dir/SourceEmitter.cpp.o"
+  "CMakeFiles/ys_codegen.dir/SourceEmitter.cpp.o.d"
+  "CMakeFiles/ys_codegen.dir/VectorFold.cpp.o"
+  "CMakeFiles/ys_codegen.dir/VectorFold.cpp.o.d"
+  "libys_codegen.a"
+  "libys_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

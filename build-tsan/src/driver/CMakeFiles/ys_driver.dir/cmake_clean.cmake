@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_driver.dir/Driver.cpp.o"
+  "CMakeFiles/ys_driver.dir/Driver.cpp.o.d"
+  "libys_driver.a"
+  "libys_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecm/BlockingSelector.cpp" "src/ecm/CMakeFiles/ys_ecm.dir/BlockingSelector.cpp.o" "gcc" "src/ecm/CMakeFiles/ys_ecm.dir/BlockingSelector.cpp.o.d"
+  "/root/repo/src/ecm/ECMModel.cpp" "src/ecm/CMakeFiles/ys_ecm.dir/ECMModel.cpp.o" "gcc" "src/ecm/CMakeFiles/ys_ecm.dir/ECMModel.cpp.o.d"
+  "/root/repo/src/ecm/InCoreModel.cpp" "src/ecm/CMakeFiles/ys_ecm.dir/InCoreModel.cpp.o" "gcc" "src/ecm/CMakeFiles/ys_ecm.dir/InCoreModel.cpp.o.d"
+  "/root/repo/src/ecm/LayerCondition.cpp" "src/ecm/CMakeFiles/ys_ecm.dir/LayerCondition.cpp.o" "gcc" "src/ecm/CMakeFiles/ys_ecm.dir/LayerCondition.cpp.o.d"
+  "/root/repo/src/ecm/Roofline.cpp" "src/ecm/CMakeFiles/ys_ecm.dir/Roofline.cpp.o" "gcc" "src/ecm/CMakeFiles/ys_ecm.dir/Roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/arch/CMakeFiles/ys_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/codegen/CMakeFiles/ys_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stencil/CMakeFiles/ys_stencil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_ecm.dir/BlockingSelector.cpp.o"
+  "CMakeFiles/ys_ecm.dir/BlockingSelector.cpp.o.d"
+  "CMakeFiles/ys_ecm.dir/ECMModel.cpp.o"
+  "CMakeFiles/ys_ecm.dir/ECMModel.cpp.o.d"
+  "CMakeFiles/ys_ecm.dir/InCoreModel.cpp.o"
+  "CMakeFiles/ys_ecm.dir/InCoreModel.cpp.o.d"
+  "CMakeFiles/ys_ecm.dir/LayerCondition.cpp.o"
+  "CMakeFiles/ys_ecm.dir/LayerCondition.cpp.o.d"
+  "CMakeFiles/ys_ecm.dir/Roofline.cpp.o"
+  "CMakeFiles/ys_ecm.dir/Roofline.cpp.o.d"
+  "libys_ecm.a"
+  "libys_ecm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_ecm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ys_ecm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/ys_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ys_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/ys_frontend.dir/Parser.cpp.o.d"
+  "libys_frontend.a"
+  "libys_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/Adaptive.cpp" "src/ode/CMakeFiles/ys_ode.dir/Adaptive.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/Adaptive.cpp.o.d"
+  "/root/repo/src/ode/ButcherTableau.cpp" "src/ode/CMakeFiles/ys_ode.dir/ButcherTableau.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/ButcherTableau.cpp.o.d"
+  "/root/repo/src/ode/ExplicitRK.cpp" "src/ode/CMakeFiles/ys_ode.dir/ExplicitRK.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/ExplicitRK.cpp.o.d"
+  "/root/repo/src/ode/IVP.cpp" "src/ode/CMakeFiles/ys_ode.dir/IVP.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/IVP.cpp.o.d"
+  "/root/repo/src/ode/PIRK.cpp" "src/ode/CMakeFiles/ys_ode.dir/PIRK.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/PIRK.cpp.o.d"
+  "/root/repo/src/ode/Registry.cpp" "src/ode/CMakeFiles/ys_ode.dir/Registry.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/Registry.cpp.o.d"
+  "/root/repo/src/ode/Stability.cpp" "src/ode/CMakeFiles/ys_ode.dir/Stability.cpp.o" "gcc" "src/ode/CMakeFiles/ys_ode.dir/Stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/codegen/CMakeFiles/ys_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stencil/CMakeFiles/ys_stencil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/ys_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

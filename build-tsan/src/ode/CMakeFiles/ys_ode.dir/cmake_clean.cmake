@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_ode.dir/Adaptive.cpp.o"
+  "CMakeFiles/ys_ode.dir/Adaptive.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/ButcherTableau.cpp.o"
+  "CMakeFiles/ys_ode.dir/ButcherTableau.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/ExplicitRK.cpp.o"
+  "CMakeFiles/ys_ode.dir/ExplicitRK.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/IVP.cpp.o"
+  "CMakeFiles/ys_ode.dir/IVP.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/PIRK.cpp.o"
+  "CMakeFiles/ys_ode.dir/PIRK.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/Registry.cpp.o"
+  "CMakeFiles/ys_ode.dir/Registry.cpp.o.d"
+  "CMakeFiles/ys_ode.dir/Stability.cpp.o"
+  "CMakeFiles/ys_ode.dir/Stability.cpp.o.d"
+  "libys_ode.a"
+  "libys_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

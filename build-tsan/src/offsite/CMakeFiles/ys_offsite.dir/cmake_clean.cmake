@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_offsite.dir/Database.cpp.o"
+  "CMakeFiles/ys_offsite.dir/Database.cpp.o.d"
+  "CMakeFiles/ys_offsite.dir/Offsite.cpp.o"
+  "CMakeFiles/ys_offsite.dir/Offsite.cpp.o.d"
+  "CMakeFiles/ys_offsite.dir/Report.cpp.o"
+  "CMakeFiles/ys_offsite.dir/Report.cpp.o.d"
+  "libys_offsite.a"
+  "libys_offsite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_offsite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_solution.dir/StencilSolution.cpp.o"
+  "CMakeFiles/ys_solution.dir/StencilSolution.cpp.o.d"
+  "libys_solution.a"
+  "libys_solution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_solution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/Grid.cpp" "src/stencil/CMakeFiles/ys_stencil.dir/Grid.cpp.o" "gcc" "src/stencil/CMakeFiles/ys_stencil.dir/Grid.cpp.o.d"
+  "/root/repo/src/stencil/GridNorms.cpp" "src/stencil/CMakeFiles/ys_stencil.dir/GridNorms.cpp.o" "gcc" "src/stencil/CMakeFiles/ys_stencil.dir/GridNorms.cpp.o.d"
+  "/root/repo/src/stencil/StencilBundle.cpp" "src/stencil/CMakeFiles/ys_stencil.dir/StencilBundle.cpp.o" "gcc" "src/stencil/CMakeFiles/ys_stencil.dir/StencilBundle.cpp.o.d"
+  "/root/repo/src/stencil/StencilExpr.cpp" "src/stencil/CMakeFiles/ys_stencil.dir/StencilExpr.cpp.o" "gcc" "src/stencil/CMakeFiles/ys_stencil.dir/StencilExpr.cpp.o.d"
+  "/root/repo/src/stencil/StencilSpec.cpp" "src/stencil/CMakeFiles/ys_stencil.dir/StencilSpec.cpp.o" "gcc" "src/stencil/CMakeFiles/ys_stencil.dir/StencilSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_stencil.dir/Grid.cpp.o"
+  "CMakeFiles/ys_stencil.dir/Grid.cpp.o.d"
+  "CMakeFiles/ys_stencil.dir/GridNorms.cpp.o"
+  "CMakeFiles/ys_stencil.dir/GridNorms.cpp.o.d"
+  "CMakeFiles/ys_stencil.dir/StencilBundle.cpp.o"
+  "CMakeFiles/ys_stencil.dir/StencilBundle.cpp.o.d"
+  "CMakeFiles/ys_stencil.dir/StencilExpr.cpp.o"
+  "CMakeFiles/ys_stencil.dir/StencilExpr.cpp.o.d"
+  "CMakeFiles/ys_stencil.dir/StencilSpec.cpp.o"
+  "CMakeFiles/ys_stencil.dir/StencilSpec.cpp.o.d"
+  "libys_stencil.a"
+  "libys_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/ys_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/ys_support.dir/Table.cpp.o"
+  "CMakeFiles/ys_support.dir/Table.cpp.o.d"
+  "CMakeFiles/ys_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/ys_support.dir/ThreadPool.cpp.o.d"
+  "libys_support.a"
+  "libys_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

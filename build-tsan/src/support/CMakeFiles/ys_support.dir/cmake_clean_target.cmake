@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libys_support.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_tuner.dir/MeasureHarness.cpp.o"
+  "CMakeFiles/ys_tuner.dir/MeasureHarness.cpp.o.d"
+  "CMakeFiles/ys_tuner.dir/OnlineTuner.cpp.o"
+  "CMakeFiles/ys_tuner.dir/OnlineTuner.cpp.o.d"
+  "CMakeFiles/ys_tuner.dir/TuningStrategy.cpp.o"
+  "CMakeFiles/ys_tuner.dir/TuningStrategy.cpp.o.d"
+  "libys_tuner.a"
+  "libys_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

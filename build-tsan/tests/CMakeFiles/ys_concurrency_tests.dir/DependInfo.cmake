@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ExecutorConcurrencyTest.cpp" "tests/CMakeFiles/ys_concurrency_tests.dir/ExecutorConcurrencyTest.cpp.o" "gcc" "tests/CMakeFiles/ys_concurrency_tests.dir/ExecutorConcurrencyTest.cpp.o.d"
+  "/root/repo/tests/ThreadPoolTest.cpp" "tests/CMakeFiles/ys_concurrency_tests.dir/ThreadPoolTest.cpp.o" "gcc" "tests/CMakeFiles/ys_concurrency_tests.dir/ThreadPoolTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tuner/CMakeFiles/ys_tuner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/codegen/CMakeFiles/ys_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stencil/CMakeFiles/ys_stencil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ecm/CMakeFiles/ys_ecm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cachesim/CMakeFiles/ys_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/ys_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

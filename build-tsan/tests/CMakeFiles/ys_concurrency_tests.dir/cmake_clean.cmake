@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_concurrency_tests.dir/ExecutorConcurrencyTest.cpp.o"
+  "CMakeFiles/ys_concurrency_tests.dir/ExecutorConcurrencyTest.cpp.o.d"
+  "CMakeFiles/ys_concurrency_tests.dir/ThreadPoolTest.cpp.o"
+  "CMakeFiles/ys_concurrency_tests.dir/ThreadPoolTest.cpp.o.d"
+  "ys_concurrency_tests"
+  "ys_concurrency_tests.pdb"
+  "ys_concurrency_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_concurrency_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

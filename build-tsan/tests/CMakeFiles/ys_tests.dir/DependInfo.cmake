@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AdaptiveTest.cpp" "tests/CMakeFiles/ys_tests.dir/AdaptiveTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/AdaptiveTest.cpp.o.d"
+  "/root/repo/tests/ArchTest.cpp" "tests/CMakeFiles/ys_tests.dir/ArchTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ArchTest.cpp.o.d"
+  "/root/repo/tests/BlockingSelectorTest.cpp" "tests/CMakeFiles/ys_tests.dir/BlockingSelectorTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/BlockingSelectorTest.cpp.o.d"
+  "/root/repo/tests/ButcherTableauTest.cpp" "tests/CMakeFiles/ys_tests.dir/ButcherTableauTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ButcherTableauTest.cpp.o.d"
+  "/root/repo/tests/CacheSimTest.cpp" "tests/CMakeFiles/ys_tests.dir/CacheSimTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/CacheSimTest.cpp.o.d"
+  "/root/repo/tests/DatabaseTest.cpp" "tests/CMakeFiles/ys_tests.dir/DatabaseTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/DatabaseTest.cpp.o.d"
+  "/root/repo/tests/DomainDecompositionTest.cpp" "tests/CMakeFiles/ys_tests.dir/DomainDecompositionTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/DomainDecompositionTest.cpp.o.d"
+  "/root/repo/tests/DriverTest.cpp" "tests/CMakeFiles/ys_tests.dir/DriverTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/DriverTest.cpp.o.d"
+  "/root/repo/tests/ECMModelTest.cpp" "tests/CMakeFiles/ys_tests.dir/ECMModelTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ECMModelTest.cpp.o.d"
+  "/root/repo/tests/EdgeCasesTest.cpp" "tests/CMakeFiles/ys_tests.dir/EdgeCasesTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/EdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/ExplicitRKTest.cpp" "tests/CMakeFiles/ys_tests.dir/ExplicitRKTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ExplicitRKTest.cpp.o.d"
+  "/root/repo/tests/FuzzPropertyTest.cpp" "tests/CMakeFiles/ys_tests.dir/FuzzPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/FuzzPropertyTest.cpp.o.d"
+  "/root/repo/tests/GridTest.cpp" "tests/CMakeFiles/ys_tests.dir/GridTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/GridTest.cpp.o.d"
+  "/root/repo/tests/IVPTest.cpp" "tests/CMakeFiles/ys_tests.dir/IVPTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/IVPTest.cpp.o.d"
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/ys_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/KernelExecutorTest.cpp" "tests/CMakeFiles/ys_tests.dir/KernelExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/KernelExecutorTest.cpp.o.d"
+  "/root/repo/tests/ModelVsSimTest.cpp" "tests/CMakeFiles/ys_tests.dir/ModelVsSimTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ModelVsSimTest.cpp.o.d"
+  "/root/repo/tests/MultiCoreSimTest.cpp" "tests/CMakeFiles/ys_tests.dir/MultiCoreSimTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/MultiCoreSimTest.cpp.o.d"
+  "/root/repo/tests/OffsiteTest.cpp" "tests/CMakeFiles/ys_tests.dir/OffsiteTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/OffsiteTest.cpp.o.d"
+  "/root/repo/tests/PIRKTest.cpp" "tests/CMakeFiles/ys_tests.dir/PIRKTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/PIRKTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/ys_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/RegistryTest.cpp" "tests/CMakeFiles/ys_tests.dir/RegistryTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/RegistryTest.cpp.o.d"
+  "/root/repo/tests/ReportTest.cpp" "tests/CMakeFiles/ys_tests.dir/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/ReportTest.cpp.o.d"
+  "/root/repo/tests/RooflineTest.cpp" "tests/CMakeFiles/ys_tests.dir/RooflineTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/RooflineTest.cpp.o.d"
+  "/root/repo/tests/SmallPiecesTest.cpp" "tests/CMakeFiles/ys_tests.dir/SmallPiecesTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/SmallPiecesTest.cpp.o.d"
+  "/root/repo/tests/SolutionTest.cpp" "tests/CMakeFiles/ys_tests.dir/SolutionTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/SolutionTest.cpp.o.d"
+  "/root/repo/tests/SourceEmitterTest.cpp" "tests/CMakeFiles/ys_tests.dir/SourceEmitterTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/SourceEmitterTest.cpp.o.d"
+  "/root/repo/tests/StabilityTest.cpp" "tests/CMakeFiles/ys_tests.dir/StabilityTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/StabilityTest.cpp.o.d"
+  "/root/repo/tests/StencilBundleTest.cpp" "tests/CMakeFiles/ys_tests.dir/StencilBundleTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/StencilBundleTest.cpp.o.d"
+  "/root/repo/tests/StencilExprTest.cpp" "tests/CMakeFiles/ys_tests.dir/StencilExprTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/StencilExprTest.cpp.o.d"
+  "/root/repo/tests/StencilSpecTest.cpp" "tests/CMakeFiles/ys_tests.dir/StencilSpecTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/StencilSpecTest.cpp.o.d"
+  "/root/repo/tests/StencilTraceTest.cpp" "tests/CMakeFiles/ys_tests.dir/StencilTraceTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/StencilTraceTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/ys_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TuningStrategyTest.cpp" "tests/CMakeFiles/ys_tests.dir/TuningStrategyTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/TuningStrategyTest.cpp.o.d"
+  "/root/repo/tests/VectorFoldTest.cpp" "tests/CMakeFiles/ys_tests.dir/VectorFoldTest.cpp.o" "gcc" "tests/CMakeFiles/ys_tests.dir/VectorFoldTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/solution/CMakeFiles/ys_solution.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/driver/CMakeFiles/ys_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/frontend/CMakeFiles/ys_frontend.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/offsite/CMakeFiles/ys_offsite.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ode/CMakeFiles/ys_ode.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuner/CMakeFiles/ys_tuner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ecm/CMakeFiles/ys_ecm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cachesim/CMakeFiles/ys_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/codegen/CMakeFiles/ys_codegen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stencil/CMakeFiles/ys_stencil.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/arch/CMakeFiles/ys_arch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/ys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

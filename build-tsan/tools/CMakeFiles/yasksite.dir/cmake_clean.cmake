@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasksite.dir/yasksite.cpp.o"
+  "CMakeFiles/yasksite.dir/yasksite.cpp.o.d"
+  "yasksite"
+  "yasksite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasksite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
