@@ -9,6 +9,12 @@
 /// search-based tuners (exhaustive, hill-climbing, random) pay per
 /// measurement, at comparable achieved performance.
 ///
+/// Measurements persist in a tuning cache (`YS_TUNE_CACHE=<file>`, default
+/// e8_tuning_cache.json), so a second invocation answers most strategies
+/// from the cache and times far fewer kernels — the cache hit/miss summary
+/// printed at the end makes the saving visible.  Set `YS_TRACE=<file>` for
+/// a JSON-lines record of every trial.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -17,6 +23,7 @@
 #include "support/Timer.h"
 #include "tuner/MeasureHarness.h"
 #include "tuner/OnlineTuner.h"
+#include "tuner/TuningCache.h"
 #include "tuner/TuningStrategy.h"
 
 using namespace ys;
@@ -36,7 +43,15 @@ int main() {
   std::printf("Search space: %zu configurations; stencil %s, grid %s\n\n",
               Space.size(), S.name().c_str(), Dims.str().c_str());
 
+  std::string CachePath = TuningCache::envPath();
+  if (CachePath.empty())
+    CachePath = "e8_tuning_cache.json";
+  TuningCache Cache = TuningCache::loadOrCreate(CachePath);
+  std::printf("Tuning cache: %s (%zu entries loaded)\n\n", CachePath.c_str(),
+              Cache.size());
+
   MeasureHarness Harness(S, Dims, 2, 1);
+  Harness.attachCache(&Cache, M);
   MeasureFn Measure = Harness.measurer();
 
   ExhaustiveStrategy Exhaustive;
@@ -45,8 +60,8 @@ int main() {
   ModelGuidedStrategy ModelOnly(Model, S, Dims);
   ModelGuidedStrategy ModelTop3(Model, S, Dims, 1, 3);
 
-  Table T({"strategy", "kernel runs", "model evals", "tuning time",
-           "best config", "best measured MLUP/s"});
+  Table T({"strategy", "kernel runs", "cache hits", "model evals",
+           "tuning time", "best config", "best measured MLUP/s"});
   std::vector<std::pair<TuningStrategy *, const char *>> Strategies = {
       {&Exhaustive, "exhaustive (YASK-style)"},
       {&Hierarchical, "hierarchical hill-climb"},
@@ -55,12 +70,16 @@ int main() {
       {&ModelTop3, "YaskSite model+top3 verify"}};
 
   for (auto &[Strategy, Label] : Strategies) {
+    unsigned RunsBefore = Harness.totalKernelRuns();
+    unsigned CachedBefore = Harness.cachedMeasurements();
     TuningResult R = Strategy->tune(Space, Measure);
+    unsigned Runs = Harness.totalKernelRuns() - RunsBefore;
+    unsigned CacheHits = Harness.cachedMeasurements() - CachedBefore;
     // For the model-only row, measure its pick once for the comparison
     // column (not counted as tuning cost).
     double BestMeasured =
         R.BestWasMeasured ? R.BestMlups : Measure(R.Best);
-    T.addRow({Label, format("%u", R.Measurements),
+    T.addRow({Label, format("%u", Runs), format("%u", CacheHits),
               format("%u", R.ModelEvaluations),
               ysbench::seconds(R.TuningSeconds), R.Best.Block.str(),
               ysbench::mlups(BestMeasured)});
@@ -69,20 +88,30 @@ int main() {
 
   // YASK's runtime auto-tuner: trials happen inside a real time-stepped
   // run, so no work is wasted — but the early steps run mis-tuned
-  // configurations.
+  // configurations.  With a warm cache, candidates measured on a prior
+  // invocation skip their timed trials entirely.
   std::printf("\n-- Online (in-run) auto-tuning over 32 timesteps --\n");
   {
     Grid U(Dims, S.radius()), Scratch(Dims, S.radius());
     Rng R(9);
     U.fillRandom(R);
     OnlineTuner Online(S, Space, /*StepsPerTrial=*/1);
+    Online.attachCache(&Cache, M);
     Timer Tm;
     OnlineTuner::Result OR = Online.run(U, Scratch, 32);
     double Total = Tm.seconds();
-    std::printf("trials run: %u of %zu candidates (%d tuning steps, "
-                "%.2f s); locked config %s; whole run %.2f s\n",
-                OR.TrialsRun, Space.size(), OR.TuningSteps,
-                OR.TuningSeconds, OR.Best.Block.str().c_str(), Total);
+    std::printf("trials timed: %u of %zu candidates (%u from cache); "
+                "%d tuning steps incl. %d warm-up, %.2f s; locked config "
+                "%s; whole run %.2f s\n",
+                OR.TrialsRun, Space.size(), OR.CachedTrials,
+                OR.TuningSteps, OR.WarmupSteps, OR.TuningSeconds,
+                OR.Best.Block.str().c_str(), Total);
   }
+
+  if (Error E = Cache.saveFile(CachePath))
+    std::printf("\nwarning: could not save tuning cache: %s\n",
+                E.message().c_str());
+  std::printf("\nTuning cache after this run: %s (saved to %s)\n",
+              Cache.statsString().c_str(), CachePath.c_str());
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "codegen/KernelExecutor.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <type_traits>
@@ -200,6 +202,16 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
          "time stepping requires a single-input stencil");
   assert(Steps >= 0 && "negative step count");
   int Depth = std::max(1, Config.WavefrontDepth);
+
+  // One structured record per multi-step run (phase "kernel_steps" with
+  // the scope's wall time); free when tracing is disabled.
+  TraceScope Scope("kernel_steps");
+  Scope.field("stencil", Spec.name())
+      .field("config", Config.str())
+      .field("dims", U.dims().str())
+      .field("steps", Steps)
+      .field("threads",
+             Pool ? std::min(Config.Threads, Pool->numThreads()) : 1u);
 
   Grid *Even = &U;
   Grid *Odd = &Scratch;

@@ -19,6 +19,7 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <cstdio>
@@ -662,7 +663,9 @@ const char *UsageText =
 
 } // namespace
 
-int ys::runDriver(const std::vector<std::string> &Args, std::string &Out) {
+namespace {
+
+int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
   if (Args.empty()) {
     Out += UsageText;
     return 1;
@@ -723,4 +726,18 @@ int ys::runDriver(const std::vector<std::string> &Args, std::string &Out) {
   if (Cmd == "validate")
     return cmdValidate(Opts, *SpecOr, Out);
   return cmdTrace(Opts, *SpecOr, Out);
+}
+
+} // namespace
+
+int ys::runDriver(const std::vector<std::string> &Args, std::string &Out) {
+  // Structured tracing (YS_TRACE=<file>): one record per driver
+  // invocation, covering command, arguments, exit code and wall time.
+  Trace::initFromEnv();
+  TraceScope Scope("driver");
+  Scope.field("command", Args.empty() ? std::string() : Args[0])
+      .field("args", join(Args, " "));
+  int Code = runDriverImpl(Args, Out);
+  Scope.field("exit_code", Code);
+  return Code;
 }

@@ -1,0 +1,218 @@
+//===- support/Json.cpp - Minimal JSON writing/scanning --------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ys;
+
+std::string ys::jsonEscape(const std::string &Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string ys::jsonUnescape(const std::string &Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (size_t I = 0; I < Str.size(); ++I) {
+    if (Str[I] != '\\' || I + 1 == Str.size()) {
+      Out += Str[I];
+      continue;
+    }
+    ++I;
+    switch (Str[I]) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u':
+      if (I + 4 < Str.size()) {
+        Out += static_cast<char>(
+            std::strtol(Str.substr(I + 1, 4).c_str(), nullptr, 16));
+        I += 4;
+      }
+      break;
+    default:
+      Out += Str[I]; // Covers \" and \\.
+    }
+  }
+  return Out;
+}
+
+void JsonObjectWriter::key(const std::string &Key) {
+  if (!First)
+    Out += ",";
+  First = false;
+  Out += "\"" + jsonEscape(Key) + "\":";
+}
+
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
+                                          const std::string &Value) {
+  key(Key);
+  Out += "\"" + jsonEscape(Value) + "\"";
+  return *this;
+}
+
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
+                                          const char *Value) {
+  return field(Key, std::string(Value));
+}
+
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
+                                          double Value) {
+  key(Key);
+  // %.17g round-trips doubles; JSON has no inf/nan, quote-free 0 fallback.
+  if (Value != Value || Value > 1.79e308 || Value < -1.79e308)
+    Out += "0";
+  else
+    Out += format("%.17g", Value);
+  return *this;
+}
+
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key, long Value) {
+  key(Key);
+  Out += format("%ld", Value);
+  return *this;
+}
+
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
+                                          unsigned long long Value) {
+  key(Key);
+  Out += format("%llu", Value);
+  return *this;
+}
+
+namespace {
+
+/// Finds the start of the value of "Key": in \p Line, skipping string
+/// contents so a key name inside a value cannot match.  Returns npos when
+/// the key is absent.
+size_t findValueStart(const std::string &Line, const std::string &Key) {
+  std::string Needle = "\"" + jsonEscape(Key) + "\":";
+  bool InString = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      if (Line.compare(I, Needle.size(), Needle) == 0)
+        return I + Needle.size();
+      InString = true;
+    }
+  }
+  return std::string::npos;
+}
+
+} // namespace
+
+std::optional<std::string> ys::jsonStringField(const std::string &Line,
+                                               const std::string &Key) {
+  size_t Start = findValueStart(Line, Key);
+  if (Start == std::string::npos || Start >= Line.size() ||
+      Line[Start] != '"')
+    return std::nullopt;
+  std::string Raw;
+  for (size_t I = Start + 1; I < Line.size(); ++I) {
+    if (Line[I] == '\\' && I + 1 < Line.size()) {
+      Raw += Line[I];
+      Raw += Line[I + 1];
+      ++I;
+      continue;
+    }
+    if (Line[I] == '"')
+      return jsonUnescape(Raw);
+    Raw += Line[I];
+  }
+  return std::nullopt; // Unterminated string.
+}
+
+std::optional<double> ys::jsonNumberField(const std::string &Line,
+                                          const std::string &Key) {
+  size_t Start = findValueStart(Line, Key);
+  if (Start == std::string::npos || Start >= Line.size())
+    return std::nullopt;
+  char C = Line[Start];
+  if (C != '-' && C != '+' && !std::isdigit(static_cast<unsigned char>(C)))
+    return std::nullopt;
+  const char *Begin = Line.c_str() + Start;
+  char *End = nullptr;
+  double V = std::strtod(Begin, &End);
+  if (End == Begin)
+    return std::nullopt;
+  return V;
+}
+
+bool ys::jsonLooksWellFormed(const std::string &Line) {
+  if (Line.size() < 2 || Line.front() != '{' || Line.back() != '}')
+    return false;
+  bool InString = false;
+  int Depth = 0;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+      if (++Depth > 1)
+        return false; // Flat objects only.
+      break;
+    case '}':
+      if (--Depth < 0)
+        return false;
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && Depth == 0;
+}

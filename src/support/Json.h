@@ -1,0 +1,70 @@
+//===- support/Json.h - Minimal JSON writing/scanning -----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON helpers shared by the structured-trace facility and the
+/// persistent tuning cache.  Both use *JSON lines* (one flat object per
+/// line, string/number values only), so a full parser is unnecessary: this
+/// header provides string escaping, an append-only object writer, and
+/// field extraction from a single-line flat object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_JSON_H
+#define YS_SUPPORT_JSON_H
+
+#include <optional>
+#include <string>
+
+namespace ys {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).  Does not add the surrounding quotes.
+std::string jsonEscape(const std::string &Str);
+
+/// Inverse of jsonEscape for the subset it produces.
+std::string jsonUnescape(const std::string &Str);
+
+/// Builds one flat JSON object incrementally: {"a":"x","b":1.5,...}.
+/// Field order is insertion order.  Values are strings, doubles, or
+/// integers; nothing nests.
+class JsonObjectWriter {
+public:
+  JsonObjectWriter() : Out("{") {}
+
+  JsonObjectWriter &field(const std::string &Key, const std::string &Value);
+  JsonObjectWriter &field(const std::string &Key, const char *Value);
+  JsonObjectWriter &field(const std::string &Key, double Value);
+  JsonObjectWriter &field(const std::string &Key, long Value);
+  JsonObjectWriter &field(const std::string &Key, unsigned long long Value);
+
+  /// Finishes and returns the object text (single line, no newline).
+  std::string str() const { return Out + "}"; }
+
+private:
+  void key(const std::string &Key);
+  std::string Out;
+  bool First = true;
+};
+
+/// Extracts the string value of \p Key from a single-line flat JSON object;
+/// std::nullopt when the key is absent or not a string.
+std::optional<std::string> jsonStringField(const std::string &Line,
+                                           const std::string &Key);
+
+/// Extracts the numeric value of \p Key; std::nullopt when absent or
+/// non-numeric.
+std::optional<double> jsonNumberField(const std::string &Line,
+                                      const std::string &Key);
+
+/// Structural well-formedness check for the flat single-line objects this
+/// module emits: starts with '{', ends with '}', quotes balanced outside
+/// escapes, braces not nested.  Used by tests to validate trace output.
+bool jsonLooksWellFormed(const std::string &Line);
+
+} // namespace ys
+
+#endif // YS_SUPPORT_JSON_H

@@ -40,15 +40,23 @@ private:
 
 /// Statistics of repeated timing runs, in seconds.
 struct TimingStats {
-  double Min = 0;
+  double Min = 0;    ///< Least-noise sample; preferred for perf reporting.
   double Median = 0;
   double Mean = 0;
   double Max = 0;
   unsigned Repeats = 0;
 };
 
+/// Smallest duration measureSeconds() will report for one sample.  A
+/// steady_clock read below its tick granularity can come back as exactly
+/// zero; dividing by such a sample produces inf MLUP/s and poisons any
+/// min/median over the repeats, so samples are floored at one nanosecond
+/// (the finest tick of every supported libstdc++ steady_clock).
+inline constexpr double kMinMeasurableSeconds = 1e-9;
+
 /// Runs \p Fn \p Repeats times and returns timing statistics.  One untimed
-/// warm-up run is performed first.
+/// warm-up run is performed first.  Samples are floored at
+/// kMinMeasurableSeconds (see above).
 inline TimingStats measureSeconds(const std::function<void()> &Fn,
                                   unsigned Repeats = 3) {
   if (Repeats == 0)
@@ -59,7 +67,7 @@ inline TimingStats measureSeconds(const std::function<void()> &Fn,
   for (unsigned I = 0; I < Repeats; ++I) {
     Timer T;
     Fn();
-    Samples.push_back(T.seconds());
+    Samples.push_back(std::max(T.seconds(), kMinMeasurableSeconds));
   }
   std::sort(Samples.begin(), Samples.end());
   TimingStats S;

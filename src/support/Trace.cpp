@@ -1,0 +1,125 @@
+//===- support/Trace.cpp - Structured JSON-lines tracing -------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace ys;
+
+std::atomic<bool> Trace::EnabledFlag{false};
+
+namespace {
+
+/// All mutable trace state behind one mutex; EnabledFlag mirrors whether
+/// File is non-null so hot paths can skip the lock entirely.
+struct TraceState {
+  std::mutex Mu;
+  std::FILE *File = nullptr;
+  Timer Epoch;
+  std::map<std::string, double> Counters;
+  bool EnvChecked = false;
+  bool AtExitRegistered = false;
+};
+
+TraceState &state() {
+  static TraceState S;
+  return S;
+}
+
+/// Must be called with the lock held.
+void flushCountersLocked(TraceState &S) {
+  if (!S.File || S.Counters.empty())
+    return;
+  JsonObjectWriter Obj;
+  Obj.field("ts", S.Epoch.seconds()).field("phase", "counters");
+  for (const auto &[Name, Value] : S.Counters)
+    Obj.field(Name, Value);
+  std::fprintf(S.File, "%s\n", Obj.str().c_str());
+  S.Counters.clear();
+}
+
+void closeFileLocked(TraceState &S) {
+  if (!S.File)
+    return;
+  flushCountersLocked(S);
+  std::fclose(S.File);
+  S.File = nullptr;
+}
+
+} // namespace
+
+bool Trace::openFile(const std::string &Path) {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  closeFileLocked(S);
+  EnabledFlag.store(false, std::memory_order_relaxed);
+  S.File = std::fopen(Path.c_str(), "a");
+  if (!S.File) {
+    std::fprintf(stderr, "warning: YS_TRACE: cannot open '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  S.Epoch.reset();
+  if (!S.AtExitRegistered) {
+    std::atexit([] { Trace::close(); });
+    S.AtExitRegistered = true;
+  }
+  EnabledFlag.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Trace::close() {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  closeFileLocked(S);
+  EnabledFlag.store(false, std::memory_order_relaxed);
+}
+
+void Trace::initFromEnv() {
+  TraceState &S = state();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.EnvChecked)
+      return;
+    S.EnvChecked = true;
+    if (S.File)
+      return; // A test already opened a sink explicitly.
+  }
+  if (const char *Path = std::getenv("YS_TRACE"))
+    if (*Path)
+      openFile(Path);
+}
+
+void Trace::emitLine(const std::string &JsonObject) {
+  if (!enabled())
+    return;
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (!S.File)
+    return;
+  std::fprintf(S.File, "%s\n", JsonObject.c_str());
+  std::fflush(S.File);
+}
+
+void Trace::addCounter(const std::string &Name, double Delta) {
+  if (!enabled())
+    return;
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Counters[Name] += Delta;
+}
+
+double Trace::now() {
+  if (!enabled())
+    return 0.0;
+  TraceState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Epoch.seconds();
+}

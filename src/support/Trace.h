@@ -1,0 +1,147 @@
+//===- support/Trace.h - Structured JSON-lines tracing ----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight structured tracing for the tuner stack: every interesting
+/// event (a tuning trial, a measurement, a kernel multi-step run, a driver
+/// command) appends one flat JSON object to a JSON-lines file.  Tracing is
+/// off unless the process sets `YS_TRACE=<file>` in the environment (or a
+/// test calls Trace::openFile), and the enabled check is a single relaxed
+/// atomic load so instrumented hot paths cost nothing when disabled.
+///
+/// Record shape: {"ts":<seconds since trace start>,"phase":"...",
+/// <caller fields>} — plus "seconds" for TraceScope records.  Named
+/// counters accumulate process-wide and flush as one {"phase":"counters"}
+/// record when the trace closes (atexit or explicit close()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SUPPORT_TRACE_H
+#define YS_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <string>
+
+namespace ys {
+
+/// Process-wide trace sink (JSON lines).
+class Trace {
+public:
+  /// True when a trace file is open.  Cheap enough for hot paths.
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Opens \p Path for appending trace records, closing any previous sink.
+  /// Returns false (and disables tracing) when the file cannot be opened.
+  static bool openFile(const std::string &Path);
+
+  /// Flushes counters and closes the sink.  Safe to call when disabled.
+  static void close();
+
+  /// Reads `YS_TRACE` and opens that file once per process.  Called lazily
+  /// by the instrumented call sites; cheap after the first call.
+  static void initFromEnv();
+
+  /// Appends one already-serialized JSON object line.  No-op when disabled.
+  static void emitLine(const std::string &JsonObject);
+
+  /// Adds \p Delta to the named process-wide counter (flushed on close()).
+  /// No-op when disabled.
+  static void addCounter(const std::string &Name, double Delta = 1.0);
+
+  /// Seconds since the trace was opened (0 when disabled).
+  static double now();
+
+private:
+  static std::atomic<bool> EnabledFlag;
+};
+
+/// Builds and emits one trace record.  When tracing is disabled every
+/// method is a no-op, so call sites can be written unconditionally.
+class TraceRecord {
+public:
+  explicit TraceRecord(const char *Phase) : Active(Trace::enabled()) {
+    if (Active)
+      Obj.field("ts", Trace::now()).field("phase", Phase);
+  }
+
+  TraceRecord &field(const char *Key, const std::string &V) {
+    if (Active)
+      Obj.field(Key, V);
+    return *this;
+  }
+  TraceRecord &field(const char *Key, const char *V) {
+    if (Active)
+      Obj.field(Key, V);
+    return *this;
+  }
+  TraceRecord &field(const char *Key, double V) {
+    if (Active)
+      Obj.field(Key, V);
+    return *this;
+  }
+  TraceRecord &field(const char *Key, long V) {
+    if (Active)
+      Obj.field(Key, V);
+    return *this;
+  }
+  TraceRecord &field(const char *Key, int V) {
+    return field(Key, static_cast<long>(V));
+  }
+  TraceRecord &field(const char *Key, unsigned V) {
+    return field(Key, static_cast<long>(V));
+  }
+  TraceRecord &field(const char *Key, unsigned long long V) {
+    if (Active)
+      Obj.field(Key, V);
+    return *this;
+  }
+
+  /// Emits the record.  Harmless to skip (nothing is written) or to call
+  /// at most once.
+  void emit() {
+    if (Active)
+      Trace::emitLine(Obj.str());
+    Active = false;
+  }
+
+private:
+  bool Active;
+  JsonObjectWriter Obj;
+};
+
+/// RAII phase timer: on destruction emits the record with a trailing
+/// "seconds" field measuring the scope's lifetime.
+class TraceScope {
+public:
+  explicit TraceScope(const char *Phase)
+      : Active(Trace::enabled()), Rec(Phase) {}
+
+  template <typename T> TraceScope &field(const char *Key, T V) {
+    Rec.field(Key, V);
+    return *this;
+  }
+
+  ~TraceScope() {
+    if (Active) {
+      Rec.field("seconds", T.seconds());
+      Rec.emit();
+    }
+  }
+
+private:
+  bool Active;
+  TraceRecord Rec;
+  Timer T;
+};
+
+} // namespace ys
+
+#endif // YS_SUPPORT_TRACE_H

@@ -9,6 +9,8 @@
 #include "cachesim/StencilTrace.h"
 #include "support/Random.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
+#include "tuner/TuningCache.h"
 
 #include <cstdio>
 
@@ -20,6 +22,12 @@ MeasureHarness::MeasureHarness(StencilSpec Spec, GridDims Dims,
       SweepsPerRepeat(std::max(1u, SweepsPerRepeat)) {}
 
 MeasureHarness::~MeasureHarness() = default;
+
+void MeasureHarness::attachCache(TuningCache *NewCache,
+                                 const MachineModel &Machine) {
+  Cache = NewCache;
+  CacheMachineId = TuningCache::machineId(Machine);
+}
 
 void MeasureHarness::ensureBuffers(const KernelConfig &Config) {
   // The pool must exist before the grids so first-touch initialization can
@@ -50,6 +58,23 @@ void MeasureHarness::ensureBuffers(const KernelConfig &Config) {
 }
 
 double MeasureHarness::measure(const KernelConfig &Config) {
+  Trace::initFromEnv();
+
+  std::string Key;
+  if (Cache) {
+    Key = TuningCache::fingerprint(Spec, CacheMachineId, Dims, Config,
+                                   TuningCache::effectiveThreads(Config));
+    if (const TuningCache::Entry *E = Cache->lookup(Key)) {
+      ++CachedMeasurements;
+      TraceRecord Rec("measure");
+      Rec.field("config", Config.str())
+          .field("mlups", E->Mlups)
+          .field("cached", 1L)
+          .emit();
+      return E->Mlups;
+    }
+  }
+
   ensureBuffers(Config);
   KernelExecutor Exec(Spec, Config);
   ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
@@ -78,8 +103,41 @@ double MeasureHarness::measure(const KernelConfig &Config) {
     std::printf("  pool[%s]: %s\n", Config.str().c_str(),
                 LastStats.str().c_str());
 
+  // Min-of-N: the least-noise repeat represents the configuration's
+  // capability (everything slower is interference).  measureSeconds
+  // floors every sample at the timer resolution, so Min > 0 always.
   double Lups = static_cast<double>(Dims.lups()) * SweepsPerRepeat;
-  return Lups / Stats.Median / 1e6;
+  double Mlups = Lups / Stats.Min / 1e6;
+  double SecondsPerStep = Stats.Min / SweepsPerRepeat;
+
+  if (Cache) {
+    TuningCache::Entry E;
+    E.Key = Key;
+    E.Summary = Spec.name() + " " + Dims.str() + " " + Config.str();
+    E.Mlups = Mlups;
+    E.SecondsPerStep = SecondsPerStep;
+    E.Repeats = Repeats;
+    Cache->insert(std::move(E));
+  }
+
+  TraceRecord Rec("measure");
+  Rec.field("config", Config.str())
+      .field("stencil", Spec.name())
+      .field("dims", Dims.str())
+      .field("repeats", Repeats)
+      .field("sweeps_per_repeat", SweepsPerRepeat)
+      .field("warmup_sweeps", SweepsPerRepeat)
+      .field("min_seconds", Stats.Min)
+      .field("median_seconds", Stats.Median)
+      .field("seconds_per_step", SecondsPerStep)
+      .field("mlups", Mlups)
+      .field("cached", 0L);
+  if (P)
+    Rec.field("pool_tiles", LastStats.totalRun())
+        .field("pool_stolen", LastStats.totalStolen())
+        .field("pool_busy_seconds", LastStats.totalBusySeconds());
+  Rec.emit();
+  return Mlups;
 }
 
 MeasureFn MeasureHarness::measurer() {

@@ -7,11 +7,18 @@
 /// \file
 /// Ground-truth evaluation of kernel configurations for the measuring
 /// tuning strategies: allocates grids once, runs KernelExecutor sweeps
-/// under a candidate configuration, and reports the median MLUP/s.
-/// A cache-simulator-backed proxy mode is also provided: it scores a
-/// configuration by simulated memory traffic instead of wall time, which
-/// is deterministic and host-independent (useful on noisy machines and in
-/// tests).
+/// under a candidate configuration, and reports the best (min-of-N
+/// repeats) MLUP/s — the least-noise statistic for performance work, with
+/// samples floored at the timer resolution so a sub-tick run can never
+/// produce an infinite rate.  A cache-simulator-backed proxy mode is also
+/// provided: it scores a configuration by simulated memory traffic
+/// instead of wall time, which is deterministic and host-independent
+/// (useful on noisy machines and in tests).
+///
+/// With a TuningCache attached, already-measured configurations are
+/// served from the cache without running the kernel at all, and new
+/// measurements are inserted; every measurement emits a structured trace
+/// record when YS_TRACE is set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,23 +35,33 @@
 namespace ys {
 
 class MachineModel;
+class TuningCache;
 
 /// Host wall-clock measurement of stencil configurations.
 class MeasureHarness {
 public:
-  /// \p Repeats timing repetitions per configuration (median taken);
+  /// \p Repeats timing repetitions per configuration (minimum taken);
   /// \p SweepsPerRepeat sweeps per timed run.
   MeasureHarness(StencilSpec Spec, GridDims Dims, unsigned Repeats = 3,
                  unsigned SweepsPerRepeat = 2);
   ~MeasureHarness();
 
+  /// Attaches a persistent result cache (borrowed; must outlive the
+  /// harness).  \p Machine identifies the host model the cached numbers
+  /// belong to; its parameters are part of every fingerprint.
+  void attachCache(TuningCache *Cache, const MachineModel &Machine);
+
   /// Returns a MeasureFn bound to this harness (valid while alive).
   MeasureFn measurer();
 
-  /// Measures one configuration: median MLUP/s over the repeats.
+  /// Measures one configuration: best (min-of-N) MLUP/s over the
+  /// repeats, or the cached value when the attached cache has it.
   double measure(const KernelConfig &Config);
 
   unsigned totalKernelRuns() const { return KernelRuns; }
+
+  /// Measure() calls answered from the attached cache without running.
+  unsigned cachedMeasurements() const { return CachedMeasurements; }
 
   /// Pool counters accumulated during the last measure() call (empty when
   /// the configuration ran single-threaded).
@@ -60,6 +77,9 @@ private:
   unsigned Repeats;
   unsigned SweepsPerRepeat;
   unsigned KernelRuns = 0;
+  unsigned CachedMeasurements = 0;
+  TuningCache *Cache = nullptr;
+  std::string CacheMachineId;
   Fold CurrentFold;
   std::unique_ptr<Grid> U, V;
   /// Input grids beyond the first for multi-input stencils.

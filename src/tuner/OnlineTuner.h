@@ -12,6 +12,17 @@
 /// This is the search-based baseline YaskSite's analytic selection
 /// competes against in the paper's tuning-cost comparison.
 ///
+/// Trial timing takes the minimum per-step time over the trial's
+/// step/macro-step chunks (not one sample for the whole trial), the
+/// standard low-noise methodology for performance measurement; samples are
+/// floored at the timer's resolution so a sub-tick chunk can never produce
+/// a zero or denormal seconds-per-step.
+///
+/// With a TuningCache attached, candidates whose fingerprint is already in
+/// the cache skip their timed trial entirely — their steps go to the
+/// production phase instead — and the cached seconds-per-step competes for
+/// the lock-in.  Newly timed trials are inserted into the cache.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef YS_TUNER_ONLINETUNER_H
@@ -26,6 +37,9 @@
 
 namespace ys {
 
+class MachineModel;
+class TuningCache;
+
 /// Tunes while time stepping.
 class OnlineTuner {
 public:
@@ -34,13 +48,20 @@ public:
   OnlineTuner(StencilSpec Spec, std::vector<KernelConfig> Candidates,
               int StepsPerTrial = 2);
 
+  /// Attaches a persistent result cache (borrowed; must outlive run()).
+  /// \p Machine identifies the host model the cached numbers belong to.
+  void attachCache(TuningCache *Cache, const MachineModel &Machine);
+
   struct Result {
     KernelConfig Best;
-    unsigned TrialsRun = 0;
-    int TuningSteps = 0;  ///< Steps consumed during warm-up + trial phase.
+    unsigned TrialsRun = 0;     ///< Candidates actually timed this run.
+    unsigned CachedTrials = 0;  ///< Candidates resolved from the cache.
+    int TuningSteps = 0;  ///< Steps consumed during warm-up + trial phase
+                          ///< (always includes WarmupSteps).
     int WarmupSteps = 0;  ///< Untimed steps run before the first trial.
     double TuningSeconds = 0;
-    /// (candidate, seconds per step) for every completed trial.
+    /// (candidate, seconds per step) for every completed trial, timed and
+    /// cached alike (cached entries run no steps; see CachedTrials).
     std::vector<std::pair<KernelConfig, double>> TrialLog;
   };
 
@@ -53,6 +74,8 @@ private:
   StencilSpec Spec;
   std::vector<KernelConfig> Candidates;
   int StepsPerTrial;
+  TuningCache *Cache = nullptr;
+  std::string CacheMachineId;
 };
 
 } // namespace ys

@@ -1,0 +1,215 @@
+//===- tuner/TuningCache.cpp - Persistent tuning-result cache --------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TuningCache.h"
+
+#include "arch/MachineModel.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace ys;
+
+namespace {
+
+/// 64-bit FNV-1a over a byte string: stable across platforms and runs
+/// (unlike std::hash, which is unspecified and per-process).
+uint64_t fnv1a(const std::string &Str) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Str) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t H) { return format("%016llx", (unsigned long long)H); }
+
+/// Canonical rendering of a kernel configuration.  KernelConfig::str()
+/// elides default-valued fields, so spell everything out explicitly here —
+/// a key must never collide across distinct configs.
+std::string canonicalConfig(const KernelConfig &C) {
+  return format("fold=%dx%dx%d;block=%ldx%ldx%ld;wf=%d;cfgthreads=%u;nt=%d",
+                C.VectorFold.X, C.VectorFold.Y, C.VectorFold.Z, C.Block.X,
+                C.Block.Y, C.Block.Z, C.WavefrontDepth, C.Threads,
+                C.StreamingStores ? 1 : 0);
+}
+
+/// Canonical rendering of a stencil: name plus every point, plus the
+/// model-visible extras.  Point order matters to the executor's FP
+/// summation order, so it is kept as-is (not sorted).
+std::string canonicalStencil(const StencilSpec &S) {
+  std::string Out = "stencil=" + S.name();
+  for (const StencilPoint &P : S.points())
+    Out += format(";p=%d,%d,%d,%u,%.17g", P.Dx, P.Dy, P.Dz, P.GridIdx,
+                  P.Coeff);
+  Out += format(";xflops=%u;outgrids=%u", S.ExtraFlopsPerLup, S.OutputGrids);
+  return Out;
+}
+
+} // namespace
+
+std::string TuningCache::machineId(const MachineModel &M) {
+  std::string Canon = format(
+      "core=%u,%u,%u,%u,%u,%u,%.17g",
+      M.Core.SimdBits, M.Core.FmaPorts, M.Core.ArithPorts, M.Core.LoadPorts,
+      M.Core.StorePorts, M.Core.CyclesPerSimdMemOp, M.Core.FrequencyGHz);
+  for (const CacheLevelModel &L : M.Caches)
+    Canon += format(";%s=%llu,%u,%u,%d,%u,%.17g,%d", L.Name.c_str(),
+                    L.SizeBytes, L.Associativity, L.LineBytes,
+                    L.Shared ? 1 : 0, L.SharingCores, L.BytesPerCycleToNext,
+                    L.Victim ? 1 : 0);
+  Canon += format(";mem=%.17g,%d;cores=%u", M.Memory.BandwidthGBs,
+                  M.Memory.SupportsStreamingStores ? 1 : 0, M.CoresPerSocket);
+  return M.Name + "#" + hex64(fnv1a(Canon));
+}
+
+std::string TuningCache::fingerprint(const StencilSpec &Spec,
+                                     const std::string &MachineId,
+                                     const GridDims &Dims,
+                                     const KernelConfig &Config,
+                                     unsigned Threads) {
+  std::string Canon = canonicalStencil(Spec) + "|machine=" + MachineId +
+                      format("|dims=%ldx%ldx%ld|", Dims.Nx, Dims.Ny,
+                             Dims.Nz) +
+                      canonicalConfig(Config) +
+                      format("|threads=%u", Threads);
+  return hex64(fnv1a(Canon));
+}
+
+std::string TuningCache::fingerprintRaw(const std::string &Canonical) {
+  return hex64(fnv1a(Canonical));
+}
+
+unsigned TuningCache::effectiveThreads(const KernelConfig &Config) {
+  return Config.Threads > 1 ? Config.Threads
+                            : ThreadPool::defaultThreadCount();
+}
+
+const TuningCache::Entry *TuningCache::lookup(const std::string &Key) {
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  return &It->second;
+}
+
+const TuningCache::Entry *TuningCache::peek(const std::string &Key) const {
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void TuningCache::insert(Entry E) {
+  Entries[E.Key] = std::move(E);
+}
+
+std::string TuningCache::statsString() const {
+  return format("%zu entries, %u hits / %u misses", Entries.size(), Hits,
+                Misses);
+}
+
+std::string TuningCache::serialize() const {
+  std::string Out = JsonObjectWriter()
+                        .field("format", "yasksite-tuning-cache")
+                        .field("version", (long)FormatVersion)
+                        .str() +
+                    "\n";
+  for (const auto &[Key, E] : Entries)
+    Out += JsonObjectWriter()
+               .field("key", E.Key)
+               .field("summary", E.Summary)
+               .field("mlups", E.Mlups)
+               .field("seconds_per_step", E.SecondsPerStep)
+               .field("repeats", (long)E.Repeats)
+               .str() +
+           "\n";
+  return Out;
+}
+
+Expected<TuningCache> TuningCache::deserialize(const std::string &Text) {
+  std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.empty() || Lines.front().empty())
+    return Error::failure("empty cache file (missing header)");
+
+  const std::string &Header = Lines.front();
+  std::optional<std::string> Format = jsonStringField(Header, "format");
+  std::optional<double> Version = jsonNumberField(Header, "version");
+  if (!jsonLooksWellFormed(Header) || !Format ||
+      *Format != "yasksite-tuning-cache" || !Version)
+    return Error::failure("unrecognized cache header: " + Header);
+  if ((int)*Version != FormatVersion)
+    return Error::failure(
+        format("cache format version %d, expected %d — ignoring old cache",
+               (int)*Version, FormatVersion));
+
+  TuningCache Cache;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    const std::string &Line = Lines[I];
+    if (Line.empty())
+      continue;
+    if (!jsonLooksWellFormed(Line))
+      return Error::failure(format("line %zu: malformed JSON", I + 1));
+    Entry E;
+    std::optional<std::string> Key = jsonStringField(Line, "key");
+    std::optional<double> Mlups = jsonNumberField(Line, "mlups");
+    std::optional<double> Sps = jsonNumberField(Line, "seconds_per_step");
+    if (!Key || Key->empty() || !Mlups || !Sps)
+      return Error::failure(format("line %zu: missing entry fields", I + 1));
+    E.Key = *Key;
+    E.Summary = jsonStringField(Line, "summary").value_or("");
+    E.Mlups = *Mlups;
+    E.SecondsPerStep = *Sps;
+    E.Repeats = (unsigned)jsonNumberField(Line, "repeats").value_or(0);
+    Cache.insert(std::move(E));
+  }
+  return Cache;
+}
+
+Error TuningCache::saveFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Error::failure(format("cannot write '%s'", Path.c_str()));
+  Out << serialize();
+  return Error::success();
+}
+
+Expected<TuningCache> TuningCache::loadFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Error::failure(format("cannot read '%s'", Path.c_str()));
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return deserialize(Buffer.str());
+}
+
+TuningCache TuningCache::loadOrCreate(const std::string &Path) {
+  std::ifstream Probe(Path);
+  if (!Probe)
+    return TuningCache(); // No file yet: start fresh, silently.
+  Probe.close();
+  Expected<TuningCache> Loaded = loadFile(Path);
+  if (!Loaded) {
+    std::fprintf(stderr,
+                 "warning: tuning cache '%s' rejected (%s); starting with "
+                 "an empty cache\n",
+                 Path.c_str(), Loaded.takeError().message().c_str());
+    return TuningCache();
+  }
+  return std::move(*Loaded);
+}
+
+std::string TuningCache::envPath() {
+  const char *E = std::getenv("YS_TUNE_CACHE");
+  return E ? std::string(E) : std::string();
+}

@@ -1,0 +1,132 @@
+//===- tuner/TuningCache.h - Persistent tuning-result cache ------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent cache of measured tuning results, in the spirit of
+/// Offsite's offline database of rated variants: once a (stencil, machine,
+/// grid, kernel configuration, thread count) combination has been timed on
+/// this host, repeat tuning runs — `MeasureHarness`, `OnlineTuner`, the
+/// e8/e9 benches — look the result up instead of re-timing it.
+///
+/// Keys are stable 64-bit FNV-1a fingerprints of a canonical textual
+/// rendering of every input that can change the measured number:
+///
+///   stencil  : name, points (offset/coeff/grid), extra flops, output grids
+///   machine  : model name + hash of all core/cache/memory parameters
+///   grid     : interior dims
+///   config   : fold, blocks, wavefront depth, config threads, NT stores
+///   threads  : the effective worker count (honors YS_THREADS)
+///
+/// so editing a machine model or changing YS_THREADS invalidates exactly
+/// the affected entries.  The file format is versioned JSON lines: a
+/// header object {"format":"yasksite-tuning-cache","version":N} followed
+/// by one entry object per line.  Corrupt or version-mismatched files are
+/// rejected with a diagnostic — loadOrCreate() then starts an empty cache
+/// with a warning instead of crashing or silently serving stale configs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_TUNER_TUNINGCACHE_H
+#define YS_TUNER_TUNINGCACHE_H
+
+#include "codegen/KernelConfig.h"
+#include "stencil/StencilSpec.h"
+#include "support/Error.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+class MachineModel;
+
+/// Persistent, fingerprint-keyed store of measured tuning results.
+class TuningCache {
+public:
+  /// Bumped whenever the key schema or entry layout changes; older files
+  /// are rejected (never reinterpreted).
+  static constexpr int FormatVersion = 1;
+
+  struct Entry {
+    std::string Key;     ///< Fingerprint (16 hex digits).
+    std::string Summary; ///< Human-readable key description.
+    double Mlups = 0;    ///< Measured performance.
+    double SecondsPerStep = 0; ///< Measured time per step/sweep.
+    unsigned Repeats = 0;      ///< Timing repetitions behind the numbers.
+  };
+
+  /// \name Fingerprinting.
+  /// @{
+
+  /// Stable machine identity: "<name>#<param hash>"; changes when any
+  /// modeled parameter changes, not just the name.
+  static std::string machineId(const MachineModel &M);
+
+  /// Full measurement fingerprint.  \p Threads is the effective worker
+  /// count (pass ThreadPool::defaultThreadCount() to honor YS_THREADS).
+  static std::string fingerprint(const StencilSpec &Spec,
+                                 const std::string &MachineId,
+                                 const GridDims &Dims,
+                                 const KernelConfig &Config,
+                                 unsigned Threads);
+
+  /// Fingerprint of an arbitrary canonical string (for non-stencil users
+  /// such as the e9 ODE-variant bench).
+  static std::string fingerprintRaw(const std::string &Canonical);
+
+  /// Effective worker count for fingerprinting: an explicit
+  /// Config.Threads when > 1, else the environment default (which honors
+  /// YS_THREADS).  Deliberately conservative — changing YS_THREADS forces
+  /// re-measurement even of serial configs, trading false misses for
+  /// never serving a number measured under a different thread setup.
+  static unsigned effectiveThreads(const KernelConfig &Config);
+
+  /// @}
+
+  /// Exact-key lookup; counts toward hits()/misses().
+  const Entry *lookup(const std::string &Key);
+
+  /// Lookup without touching the hit/miss counters.
+  const Entry *peek(const std::string &Key) const;
+
+  /// Inserts or replaces the entry with the same key.
+  void insert(Entry E);
+
+  size_t size() const { return Entries.size(); }
+  unsigned hits() const { return Hits; }
+  unsigned misses() const { return Misses; }
+  void resetStats() { Hits = Misses = 0; }
+
+  /// One-line summary, e.g. "42 entries, 17 hits / 3 misses".
+  std::string statsString() const;
+
+  /// \name Serialization (versioned JSON lines).
+  /// @{
+  std::string serialize() const;
+  static Expected<TuningCache> deserialize(const std::string &Text);
+  Error saveFile(const std::string &Path) const;
+  static Expected<TuningCache> loadFile(const std::string &Path);
+
+  /// Loads \p Path if it exists and is valid; on a corrupt or
+  /// version-mismatched file prints a warning to stderr and returns an
+  /// empty cache (the bad file is left in place and overwritten by the
+  /// next saveFile).  A missing file is not a warning.
+  static TuningCache loadOrCreate(const std::string &Path);
+  /// @}
+
+  /// Value of the `YS_TUNE_CACHE` environment variable, or "" when unset.
+  static std::string envPath();
+
+private:
+  std::map<std::string, Entry> Entries;
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+};
+
+} // namespace ys
+
+#endif // YS_TUNER_TUNINGCACHE_H

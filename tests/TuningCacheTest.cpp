@@ -1,0 +1,355 @@
+//===- tests/TuningCacheTest.cpp - Persistent tuning cache tests -----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/TuningCache.h"
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelExecutor.h"
+#include "stencil/Grid.h"
+#include "support/ThreadPool.h"
+#include "tuner/MeasureHarness.h"
+#include "tuner/OnlineTuner.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+TuningCache::Entry makeEntry(const std::string &Key, double Mlups) {
+  TuningCache::Entry E;
+  E.Key = Key;
+  E.Summary = "entry " + Key;
+  E.Mlups = Mlups;
+  E.SecondsPerStep = 1.0 / Mlups;
+  E.Repeats = 3;
+  return E;
+}
+
+std::string writeTempFile(const char *Name, const std::string &Text) {
+  std::string Path = testing::TempDir() + "/" + Name;
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+} // namespace
+
+TEST(TuningCache, HitMissCounters) {
+  TuningCache Cache;
+  Cache.insert(makeEntry("aaaa", 100));
+  EXPECT_EQ(Cache.lookup("bbbb"), nullptr);
+  ASSERT_NE(Cache.lookup("aaaa"), nullptr);
+  EXPECT_EQ(Cache.lookup("aaaa")->Mlups, 100);
+  EXPECT_EQ(Cache.hits(), 2u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  // peek() does not disturb the counters.
+  EXPECT_NE(Cache.peek("aaaa"), nullptr);
+  EXPECT_EQ(Cache.hits(), 2u);
+  Cache.resetStats();
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 0u);
+}
+
+TEST(TuningCache, InsertReplacesSameKey) {
+  TuningCache Cache;
+  Cache.insert(makeEntry("k", 10));
+  Cache.insert(makeEntry("k", 20));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.peek("k")->Mlups, 20);
+}
+
+TEST(TuningCache, FingerprintKeySensitivity) {
+  StencilSpec S = StencilSpec::heat3d();
+  std::string MachId = TuningCache::machineId(MachineModel::cascadeLakeSP());
+  GridDims Dims{32, 32, 32};
+  KernelConfig C;
+  C.Block.Y = 8;
+  std::string Base = TuningCache::fingerprint(S, MachId, Dims, C, 4);
+
+  // Same inputs -> same fingerprint (stable across calls).
+  EXPECT_EQ(TuningCache::fingerprint(S, MachId, Dims, C, 4), Base);
+
+  // Each key component changes the fingerprint.
+  EXPECT_NE(TuningCache::fingerprint(StencilSpec::star3d(2), MachId, Dims,
+                                     C, 4),
+            Base);
+  EXPECT_NE(TuningCache::fingerprint(
+                S, TuningCache::machineId(MachineModel::rome()), Dims, C, 4),
+            Base);
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, GridDims{32, 32, 48}, C, 4),
+            Base);
+  KernelConfig C2 = C;
+  C2.Block.Y = 16;
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, Dims, C2, 4), Base);
+  KernelConfig C3 = C;
+  C3.WavefrontDepth = 4;
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, Dims, C3, 4), Base);
+  KernelConfig C4 = C;
+  C4.StreamingStores = true;
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, Dims, C4, 4), Base);
+  // Thread count is part of the key.
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, Dims, C, 8), Base);
+  // A coefficient change (same shape) must change the key too.
+  EXPECT_NE(TuningCache::fingerprint(StencilSpec::star3d(1, -6.0, 1.5),
+                                     MachId,
+                                     Dims, C, 4),
+            TuningCache::fingerprint(StencilSpec::star3d(1), MachId, Dims,
+                                     C, 4));
+}
+
+TEST(TuningCache, MachineIdChangesWithModelParameters) {
+  MachineModel A = MachineModel::cascadeLakeSP();
+  MachineModel B = A;
+  EXPECT_EQ(TuningCache::machineId(A), TuningCache::machineId(B));
+  B.Memory.BandwidthGBs *= 2;
+  EXPECT_NE(TuningCache::machineId(A), TuningCache::machineId(B));
+  MachineModel C = A;
+  C.Caches[0].SizeBytes += 1024;
+  EXPECT_NE(TuningCache::machineId(A), TuningCache::machineId(C));
+  // The name is embedded, so same params + different name also differ.
+  MachineModel D = A;
+  D.Name = "renamed";
+  EXPECT_NE(TuningCache::machineId(A), TuningCache::machineId(D));
+}
+
+TEST(TuningCache, FingerprintHonorsYsThreadsEnv) {
+  // effectiveThreads() routes serial configs through the environment
+  // default, so changing YS_THREADS changes the fingerprint.
+  StencilSpec S = StencilSpec::heat3d();
+  std::string MachId = TuningCache::machineId(MachineModel::cascadeLakeSP());
+  GridDims Dims{16, 16, 16};
+  KernelConfig C; // Threads == 1.
+
+  const char *Saved = std::getenv("YS_THREADS");
+  std::string SavedValue = Saved ? Saved : "";
+
+  setenv("YS_THREADS", "3", 1);
+  EXPECT_EQ(TuningCache::effectiveThreads(C), 3u);
+  std::string F3 = TuningCache::fingerprint(S, MachId, Dims, C,
+                                            TuningCache::effectiveThreads(C));
+  setenv("YS_THREADS", "5", 1);
+  EXPECT_EQ(TuningCache::effectiveThreads(C), 5u);
+  std::string F5 = TuningCache::fingerprint(S, MachId, Dims, C,
+                                            TuningCache::effectiveThreads(C));
+  EXPECT_NE(F3, F5);
+
+  // An explicit Threads > 1 wins over the environment.
+  KernelConfig CT = C;
+  CT.Threads = 7;
+  EXPECT_EQ(TuningCache::effectiveThreads(CT), 7u);
+
+  if (Saved)
+    setenv("YS_THREADS", SavedValue.c_str(), 1);
+  else
+    unsetenv("YS_THREADS");
+}
+
+TEST(TuningCache, SerializeDeserializeRoundTrip) {
+  TuningCache Cache;
+  Cache.insert(makeEntry("0123456789abcdef", 1234.5));
+  TuningCache::Entry Odd = makeEntry("fedcba9876543210", 7.25);
+  Odd.Summary = "quoted \"name\" with \\ and\nnewline";
+  Cache.insert(Odd);
+
+  std::string Text = Cache.serialize();
+  auto LoadedOr = TuningCache::deserialize(Text);
+  ASSERT_TRUE(static_cast<bool>(LoadedOr));
+  EXPECT_EQ(LoadedOr->size(), 2u);
+  const TuningCache::Entry *E = LoadedOr->peek("0123456789abcdef");
+  ASSERT_NE(E, nullptr);
+  EXPECT_DOUBLE_EQ(E->Mlups, 1234.5);
+  EXPECT_DOUBLE_EQ(E->SecondsPerStep, 1.0 / 1234.5);
+  EXPECT_EQ(E->Repeats, 3u);
+  const TuningCache::Entry *O = LoadedOr->peek("fedcba9876543210");
+  ASSERT_NE(O, nullptr);
+  EXPECT_EQ(O->Summary, Odd.Summary);
+}
+
+TEST(TuningCache, FileRoundTripAndMissingFile) {
+  TuningCache Cache;
+  Cache.insert(makeEntry("abcd", 42));
+  std::string Path = testing::TempDir() + "/tuning_cache_test.json";
+  ASSERT_FALSE(static_cast<bool>(Cache.saveFile(Path)));
+  auto LoadedOr = TuningCache::loadFile(Path);
+  ASSERT_TRUE(static_cast<bool>(LoadedOr));
+  EXPECT_EQ(LoadedOr->size(), 1u);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(static_cast<bool>(TuningCache::loadFile(Path)));
+  // loadOrCreate on a missing file silently starts empty.
+  EXPECT_EQ(TuningCache::loadOrCreate(Path).size(), 0u);
+}
+
+TEST(TuningCache, CorruptFileRejectedWithoutCrashing) {
+  std::string Garbage =
+      writeTempFile("tuning_cache_garbage.json", "not json at all\n{{{\n");
+  auto Or = TuningCache::loadFile(Garbage);
+  ASSERT_FALSE(static_cast<bool>(Or));
+  EXPECT_NE(Or.takeError().message().find("header"), std::string::npos);
+  // loadOrCreate degrades to an empty cache instead of crashing or
+  // serving stale entries.
+  EXPECT_EQ(TuningCache::loadOrCreate(Garbage).size(), 0u);
+  std::remove(Garbage.c_str());
+
+  std::string Truncated = writeTempFile(
+      "tuning_cache_truncated.json",
+      "{\"format\":\"yasksite-tuning-cache\",\"version\":1}\n"
+      "{\"key\":\"abcd\",\"mlups\":12.5\n"); // Missing brace + fields.
+  auto Or2 = TuningCache::loadFile(Truncated);
+  EXPECT_FALSE(static_cast<bool>(Or2));
+  EXPECT_EQ(TuningCache::loadOrCreate(Truncated).size(), 0u);
+  std::remove(Truncated.c_str());
+}
+
+TEST(TuningCache, OldVersionRejected) {
+  std::string Old = writeTempFile(
+      "tuning_cache_oldversion.json",
+      "{\"format\":\"yasksite-tuning-cache\",\"version\":999}\n"
+      "{\"key\":\"abcd\",\"summary\":\"\",\"mlups\":1,"
+      "\"seconds_per_step\":1,\"repeats\":1}\n");
+  auto Or = TuningCache::loadFile(Old);
+  ASSERT_FALSE(static_cast<bool>(Or));
+  EXPECT_NE(Or.takeError().message().find("version"), std::string::npos);
+  EXPECT_EQ(TuningCache::loadOrCreate(Old).size(), 0u);
+  std::remove(Old.c_str());
+}
+
+TEST(TuningCache, MeasureHarnessServesRepeatMeasurementsFromCache) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{16, 16, 16};
+  MachineModel M = MachineModel::cascadeLakeSP();
+  MeasureHarness Harness(S, Dims, /*Repeats=*/1, /*SweepsPerRepeat=*/1);
+  TuningCache Cache;
+  Harness.attachCache(&Cache, M);
+
+  KernelConfig C;
+  C.Block.Y = 8;
+  double First = Harness.measure(C);
+  unsigned RunsAfterFirst = Harness.totalKernelRuns();
+  EXPECT_GT(First, 0);
+  EXPECT_GT(RunsAfterFirst, 0u);
+  EXPECT_EQ(Harness.cachedMeasurements(), 0u);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  double Second = Harness.measure(C);
+  EXPECT_EQ(Second, First); // Bit-identical: served from the cache.
+  EXPECT_EQ(Harness.totalKernelRuns(), RunsAfterFirst); // No kernel ran.
+  EXPECT_EQ(Harness.cachedMeasurements(), 1u);
+
+  // A different configuration is a miss and runs the kernel again.
+  KernelConfig C2;
+  C2.Block.Y = 4;
+  Harness.measure(C2);
+  EXPECT_GT(Harness.totalKernelRuns(), RunsAfterFirst);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(TuningCache, OnlineTunerSkipsCachedTrialsAndStaysBitExact) {
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{14, 12, 16};
+  MachineModel M = MachineModel::cascadeLakeSP();
+  const int Steps = 12;
+
+  KernelConfig A; // Unblocked.
+  KernelConfig B;
+  B.Block.Y = 4;
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 4;
+
+  Grid URef(Dims, 1);
+  Rng R(3);
+  URef.fillRandom(R);
+  Grid S0(Dims, 1);
+  KernelExecutor Plain(S, KernelConfig());
+  Plain.runTimeSteps(URef, S0, Steps);
+
+  TuningCache Cache;
+
+  // Cold run: all three candidates get timed and populate the cache.
+  Grid U1(Dims, 1);
+  Rng R1(3);
+  U1.fillRandom(R1);
+  Grid S1(Dims, 1);
+  OnlineTuner Tuner1(S, {A, B, C}, 2);
+  Tuner1.attachCache(&Cache, M);
+  OnlineTuner::Result Cold = Tuner1.run(U1, S1, Steps);
+  EXPECT_EQ(Cold.TrialsRun, 3u);
+  EXPECT_EQ(Cold.CachedTrials, 0u);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(URef, U1), 0.0);
+
+  // Warm run: no timed trials, no warm-up, same numerics.
+  Grid U2(Dims, 1);
+  Rng R2(3);
+  U2.fillRandom(R2);
+  Grid S2(Dims, 1);
+  OnlineTuner Tuner2(S, {A, B, C}, 2);
+  Tuner2.attachCache(&Cache, M);
+  OnlineTuner::Result Warm = Tuner2.run(U2, S2, Steps);
+  EXPECT_EQ(Warm.TrialsRun, 0u);
+  EXPECT_EQ(Warm.CachedTrials, 3u);
+  EXPECT_EQ(Warm.WarmupSteps, 0);
+  EXPECT_EQ(Warm.TuningSteps, 0);
+  EXPECT_EQ(Warm.TrialLog.size(), 3u);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(URef, U2), 0.0);
+
+  // The warm run's pick is the fastest cached candidate.
+  double BestSec = -1;
+  KernelConfig BestCfg;
+  for (const auto &[Cfg, Sec] : Warm.TrialLog)
+    if (BestSec < 0 || Sec < BestSec) {
+      BestSec = Sec;
+      BestCfg = Cfg;
+    }
+  EXPECT_TRUE(Warm.Best == BestCfg);
+}
+
+TEST(OnlineTunerAccounting, TuningStepsIncludeWarmup) {
+  // Regression (measurement audit): TuningSteps must include the warm-up
+  // steps everywhere it is consumed — it is the total step budget spent
+  // before production begins.
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 12, 12};
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(9);
+  U.fillRandom(R);
+  KernelConfig A;
+  KernelConfig B;
+  B.Block.Y = 4;
+  OnlineTuner Tuner(S, {A, B}, 2);
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 20);
+  EXPECT_EQ(Result.TuningSteps,
+            Result.WarmupSteps +
+                static_cast<int>(Result.TrialsRun) * 2);
+  EXPECT_GT(Result.WarmupSteps, 0);
+}
+
+TEST(OnlineTunerAccounting, TrialTimesNeverUnderflow) {
+  // Tiny grids step in well under a microsecond; min-of-N chunk timing
+  // must still report a strictly positive seconds-per-step (floored at
+  // the timer resolution), never zero or denormal.
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{4, 4, 4};
+  Grid U(Dims, 1), Scratch(Dims, 1);
+  Rng R(1);
+  U.fillRandom(R);
+  KernelConfig A;
+  KernelConfig B;
+  B.Block.Y = 2;
+  OnlineTuner Tuner(S, {A, B}, 4);
+  OnlineTuner::Result Result = Tuner.run(U, Scratch, 40);
+  ASSERT_EQ(Result.TrialLog.size(), 2u);
+  for (const auto &[Cfg, Sec] : Result.TrialLog) {
+    EXPECT_GE(Sec, 1e-9);
+    EXPECT_TRUE(std::isnormal(Sec));
+  }
+}

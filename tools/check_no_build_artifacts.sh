@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Repo-hygiene guard: fails when build artifacts are tracked by git.
+# A committed build tree (build/, build-tsan/, Testing/, stray object
+# files) bloats every clone and goes stale immediately; this check runs
+# under ctest so a regression is caught by the tier-1 gate.
+#
+# Usage: tools/check_no_build_artifacts.sh [repo-root]
+set -eu
+
+REPO_ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$REPO_ROOT"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git work tree; nothing to check."
+  exit 0
+fi
+
+# Tracked files under any build*/ or Testing/ directory, or with artifact
+# extensions anywhere in the tree.
+OFFENDERS="$(git ls-files | grep -E \
+  '(^|/)(build[^/]*|Testing)/|\.(o|obj|a|so|bin|exe)$' || true)"
+
+if [ -n "$OFFENDERS" ]; then
+  echo "error: build artifacts are tracked by git:" >&2
+  echo "$OFFENDERS" | head -20 >&2
+  N="$(echo "$OFFENDERS" | wc -l)"
+  [ "$N" -gt 20 ] && echo "... and $((N - 20)) more" >&2
+  echo "Remove them with: git rm -r --cached <path> (see .gitignore)" >&2
+  exit 1
+fi
+
+echo "check_no_build_artifacts: OK (no tracked build artifacts)"
