@@ -19,6 +19,23 @@ std::string BlockSize::str() const {
   return Part(X) + "x" + Part(Y) + "x" + Part(Z);
 }
 
+std::string KernelConfig::validate() const {
+  if (Block.X < 0 || Block.Y < 0 || Block.Z < 0)
+    return format("block size %ldx%ldx%ld has a negative extent (use 0 "
+                  "for unblocked)",
+                  Block.X, Block.Y, Block.Z);
+  if (VectorFold.X < 1 || VectorFold.Y < 1 || VectorFold.Z < 1)
+    return format("vector fold %s has a non-positive component",
+                  VectorFold.str().c_str());
+  if (WavefrontDepth < 1)
+    return format("wavefront depth %d must be >= 1 (1 disables temporal "
+                  "blocking)",
+                  WavefrontDepth);
+  if (Threads == 0)
+    return "thread count must be >= 1";
+  return std::string();
+}
+
 std::string KernelConfig::str() const {
   std::string S = format("fold=%s block=%s", VectorFold.str().c_str(),
                          Block.str().c_str());

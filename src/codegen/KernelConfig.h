@@ -33,8 +33,13 @@ struct BlockSize {
   }
   std::string str() const;
 
-  /// Resolves zero entries against concrete grid dims.
+  /// Resolves zero entries against concrete grid dims and clamps extents
+  /// larger than the domain to the full extent.  Negative extents are
+  /// invalid (see KernelConfig::validate()); they are clamped like zero
+  /// here so a release build iterates the full extent instead of
+  /// mis-iterating.
   BlockSize resolved(const GridDims &Dims) const {
+    assert(X >= 0 && Y >= 0 && Z >= 0 && "negative block extent");
     BlockSize B;
     B.X = X > 0 ? std::min(X, Dims.Nx) : Dims.Nx;
     B.Y = Y > 0 ? std::min(Y, Dims.Ny) : Dims.Ny;
@@ -52,6 +57,15 @@ struct KernelConfig {
   bool StreamingStores = false; ///< Non-temporal stores (model-visible).
 
   std::string str() const;
+
+  /// Returns an empty string when the configuration is executable, else a
+  /// clear diagnostic: negative block extents, non-positive fold
+  /// components, WavefrontDepth < 1, or Threads == 0.  Block extents
+  /// larger than the domain (or zero) are legal and clamp/expand via
+  /// BlockSize::resolved(); they are NOT errors.  Callers that accept
+  /// external configurations (driver, verification harness, tuner
+  /// frontends) must check this before constructing a KernelExecutor.
+  std::string validate() const;
 
   bool operator==(const KernelConfig &O) const {
     return VectorFold == O.VectorFold && Block == O.Block &&

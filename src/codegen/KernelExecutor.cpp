@@ -17,6 +17,7 @@ using namespace ys;
 KernelExecutor::KernelExecutor(StencilSpec Spec, KernelConfig Config)
     : Spec(std::move(Spec)), Config(Config) {
   assert(this->Spec.validate().empty() && "invalid stencil spec");
+  assert(this->Config.validate().empty() && "invalid kernel config");
 }
 
 void KernelExecutor::runReference(const StencilSpec &Spec,

@@ -20,6 +20,7 @@
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "verify/VariantChecker.h"
 
 #include <cmath>
 #include <cstdio>
@@ -134,6 +135,7 @@ struct DriverOptions {
   std::string StencilArg;
   std::string MachineName = "CascadeLakeSP";
   GridDims Dims{256, 256, 128};
+  bool DimsGiven = false;
   KernelConfig Config;
   unsigned Cores = 0; // 0 = command default (1 or full socket).
   int Sweeps = 2;
@@ -144,6 +146,11 @@ struct DriverOptions {
   std::string VariantName;
   int Steps = 10;
   bool ShowAsm = false;
+  // `verify` command extras.
+  std::string SeedsArg = "1";
+  std::string PatternsArg;
+  unsigned long long TolUlps = 0;
+  double TolAbs = 0.0;
 };
 
 /// Parses options after the command; returns empty string on success.
@@ -171,6 +178,7 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
       if (!DimsOr)
         return DimsOr.takeError().message();
       Opts.Dims = *DimsOr;
+      Opts.DimsGiven = true;
     } else if (Flag == "--fold" && Value(V)) {
       auto FoldOr = parseFold(V);
       if (!FoldOr)
@@ -197,6 +205,14 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
       Opts.VariantName = V;
     } else if (Flag == "--steps" && Value(V)) {
       Opts.Steps = std::atoi(V.c_str());
+    } else if (Flag == "--seeds" && Value(V)) {
+      Opts.SeedsArg = V;
+    } else if (Flag == "--patterns" && Value(V)) {
+      Opts.PatternsArg = V;
+    } else if (Flag == "--tol-ulps" && Value(V)) {
+      Opts.TolUlps = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (Flag == "--tol-abs" && Value(V)) {
+      Opts.TolAbs = std::atof(V.c_str());
     } else if (Flag == "--asm") {
       Opts.ShowAsm = true;
     } else if (Flag == "--nt") {
@@ -324,6 +340,61 @@ int cmdTrace(const DriverOptions &Opts, const StencilSpec &Spec,
   }
   Out += Tab.render();
   return 0;
+}
+
+int cmdVerify(const DriverOptions &Opts, const StencilSpec &Spec,
+              std::string &Out) {
+  // Verification wants coverage, not bandwidth: the oracle interprets an
+  // expression tree per cell, so default to small dims unless the user
+  // asked for specific ones.
+  GridDims Dims = Opts.DimsGiven ? Opts.Dims : GridDims{24, 16, 12};
+  CheckOptions CO;
+  CO.Steps = std::max(1, Opts.Sweeps);
+  CO.Tol.MaxUlps = static_cast<uint64_t>(Opts.TolUlps);
+  CO.Tol.AbsTol = Opts.TolAbs;
+  if (Opts.Cores)
+    CO.MaxThreads = Opts.Cores;
+
+  CO.Seeds.clear();
+  for (const std::string &S : split(Opts.SeedsArg, ',')) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+    if (!End || *End != '\0') {
+      Out += format("error: invalid seed '%s' in --seeds\n", S.c_str());
+      return 1;
+    }
+    CO.Seeds.push_back(V);
+  }
+  if (CO.Seeds.empty()) {
+    Out += "error: --seeds needs at least one seed\n";
+    return 1;
+  }
+  if (!Opts.PatternsArg.empty()) {
+    CO.Patterns.clear();
+    for (const std::string &P : split(Opts.PatternsArg, ',')) {
+      auto PatOr = patternByName(P);
+      if (!PatOr) {
+        Out += "error: " + PatOr.takeError().message() + "\n";
+        return 1;
+      }
+      CO.Patterns.push_back(*PatOr);
+    }
+  }
+
+  std::string CfgErr = Opts.Config.validate();
+  if (!CfgErr.empty()) {
+    Out += "error: invalid kernel config: " + CfgErr + "\n";
+    return 1;
+  }
+
+  VariantChecker Checker(Spec, Dims, CO);
+  CheckReport Report = Checker.checkAll();
+  Out += format("verify %s on %s: %d step(s), %zu pattern(s) x %zu "
+                "seed(s), tolerance %s\n",
+                Spec.name().c_str(), Dims.str().c_str(), CO.Steps,
+                CO.Patterns.size(), CO.Seeds.size(), CO.Tol.str().c_str());
+  Out += Report.summary() + "\n";
+  return Report.ok() ? 0 : 1;
 }
 
 int cmdParse(const std::string &Path, std::string &Out) {
@@ -652,6 +723,11 @@ const char *UsageText =
     "  emit    <stencil> [options]   print generated kernel source\n"
     "  trace   <stencil> [options]   cache-simulator traffic\n"
     "  validate <stencil> [options]  model-vs-simulator traffic check\n"
+    "  verify  <stencil> [options]   differential check of every executor\n"
+    "                                variant vs the reference interpreter;\n"
+    "                                --sweeps = steps, --seeds A,B --patterns\n"
+    "                                smooth,random,impulse,boundary-stress\n"
+    "                                --tol-ulps N --tol-abs X\n"
     "  run     <stencil> [options]   execute (DSL bundle or builtin); "
     "--sweeps = steps\n"
     "  ode     <method> [options]    integrate an IVP; --ivp NAME --n N "
@@ -691,7 +767,7 @@ int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
 
   bool Known = Cmd == "predict" || Cmd == "tune" || Cmd == "emit" ||
                Cmd == "trace" || Cmd == "run" || Cmd == "ode" ||
-               Cmd == "validate";
+               Cmd == "validate" || Cmd == "verify";
   if (!Known) {
     Out += format("error: unknown command '%s'\n", Cmd.c_str());
     Out += UsageText;
@@ -725,6 +801,8 @@ int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
     return cmdEmit(Opts, *SpecOr, Out);
   if (Cmd == "validate")
     return cmdValidate(Opts, *SpecOr, Out);
+  if (Cmd == "verify")
+    return cmdVerify(Opts, *SpecOr, Out);
   return cmdTrace(Opts, *SpecOr, Out);
 }
 

@@ -16,6 +16,8 @@
 ///   tune     <stencil> [options]     analytic + model-argmax selection
 ///   emit     <stencil> [options]     print generated C++ kernel source
 ///   trace    <stencil> [options]     cache-simulator traffic
+///   verify   <stencil> [options]     differential variant-space check
+///                                    against the reference interpreter
 ///   parse    <file.stencil>          parse and summarize a DSL file
 ///
 /// Common options: --machine <name> --dims NXxNYxNZ --by N --bz N --bx N

@@ -164,6 +164,8 @@ void Grid::copyHaloFrom(const Grid &Other) {
 
 double Grid::maxAbsDiffInterior(const Grid &A, const Grid &B) {
   assert(A.Dims == B.Dims && "diff requires equal dims");
+  if (A.Store.size() == 0 || B.Store.size() == 0)
+    return 0.0; // Default-constructed grids own no storage.
   double Max = 0.0;
   for (long Z = 0; Z < A.Dims.Nz; ++Z)
     for (long Y = 0; Y < A.Dims.Ny; ++Y)
@@ -173,6 +175,8 @@ double Grid::maxAbsDiffInterior(const Grid &A, const Grid &B) {
 }
 
 double Grid::interiorSum() const {
+  if (Store.size() == 0)
+    return 0.0;
   double Sum = 0.0;
   for (long Z = 0; Z < Dims.Nz; ++Z)
     for (long Y = 0; Y < Dims.Ny; ++Y)

@@ -14,8 +14,14 @@ using namespace ys;
 
 namespace {
 
+/// True for a default-constructed Grid: dims claim {1,1,1} but no storage
+/// is allocated, so reductions must return zero instead of reading it.
+bool hasNoStorage(const Grid &G) { return G.allocElems() == 0; }
+
 /// Applies Fn(value) over the interior in a fixed order.
 template <typename Fn> void forEachInterior(const Grid &G, Fn &&Visit) {
+  if (hasNoStorage(G))
+    return;
   const GridDims &D = G.dims();
   for (long Z = 0; Z < D.Nz; ++Z)
     for (long Y = 0; Y < D.Ny; ++Y)
@@ -32,12 +38,16 @@ double ys::normInf(const Grid &G) {
 }
 
 double ys::normL2(const Grid &G) {
+  if (hasNoStorage(G))
+    return 0;
   double Sum = 0;
   forEachInterior(G, [&](double V) { Sum += V * V; });
   return std::sqrt(Sum / static_cast<double>(G.dims().lups()));
 }
 
 double ys::normL1(const Grid &G) {
+  if (hasNoStorage(G))
+    return 0;
   double Sum = 0;
   forEachInterior(G, [&](double V) { Sum += std::fabs(V); });
   return Sum / static_cast<double>(G.dims().lups());
@@ -49,6 +59,8 @@ double ys::diffNormInf(const Grid &A, const Grid &B) {
 
 double ys::diffNormL2(const Grid &A, const Grid &B) {
   assert(A.dims() == B.dims() && "diff requires equal dims");
+  if (hasNoStorage(A) || hasNoStorage(B))
+    return 0;
   const GridDims &D = A.dims();
   double Sum = 0;
   for (long Z = 0; Z < D.Nz; ++Z)

@@ -1,0 +1,155 @@
+//===- verify/GridPatterns.cpp - Seeded grid initializers -------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/GridPatterns.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace ys;
+
+const char *ys::patternName(GridPattern P) {
+  switch (P) {
+  case GridPattern::Smooth:
+    return "smooth";
+  case GridPattern::Random:
+    return "random";
+  case GridPattern::Impulse:
+    return "impulse";
+  case GridPattern::BoundaryStress:
+    return "boundary-stress";
+  }
+  return "?";
+}
+
+const std::vector<GridPattern> &ys::allGridPatterns() {
+  static const std::vector<GridPattern> All = {
+      GridPattern::Smooth, GridPattern::Random, GridPattern::Impulse,
+      GridPattern::BoundaryStress};
+  return All;
+}
+
+Expected<GridPattern> ys::patternByName(const std::string &Name) {
+  for (GridPattern P : allGridPatterns())
+    if (Name == patternName(P))
+      return P;
+  return Error::failure(format("unknown grid pattern '%s' (try smooth, "
+                               "random, impulse, boundary-stress)",
+                               Name.c_str()));
+}
+
+namespace {
+
+/// SplitMix64 finalizer over a coordinate/seed mix; the per-cell hash
+/// behind the hash-based patterns.
+uint64_t mixHash(uint64_t Seed, long X, long Y, long Z) {
+  uint64_t H = Seed;
+  H ^= static_cast<uint64_t>(X) * 0x9E3779B97F4A7C15ull;
+  H ^= static_cast<uint64_t>(Y) * 0xBF58476D1CE4E5B9ull;
+  H ^= static_cast<uint64_t>(Z) * 0x94D049BB133111EBull;
+  H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ull;
+  H = (H ^ (H >> 27)) * 0x94D049BB133111EBull;
+  return H ^ (H >> 31);
+}
+
+/// Applies Fn(x, y, z) to every addressable cell (interior + halo) in a
+/// fixed logical order, independent of the storage fold.
+template <typename Fn> void forEachCell(Grid &G, Fn &&Set) {
+  const GridDims &D = G.dims();
+  int H = G.halo();
+  for (long Z = -H; Z < D.Nz + H; ++Z)
+    for (long Y = -H; Y < D.Ny + H; ++Y)
+      for (long X = -H; X < D.Nx + H; ++X)
+        G.at(X, Y, Z) = Set(X, Y, Z);
+}
+
+void fillSmooth(Grid &G, uint64_t Seed) {
+  // Low-frequency separable trig field with seed-derived phases; defined
+  // on halo cells too, so the Dirichlet boundary is smooth as well.
+  Rng R(Seed);
+  double Px = R.nextDouble(0.0, 6.28318530717958647692);
+  double Py = R.nextDouble(0.0, 6.28318530717958647692);
+  double Pz = R.nextDouble(0.0, 6.28318530717958647692);
+  const GridDims &D = G.dims();
+  double Wx = 6.28318530717958647692 / static_cast<double>(D.Nx + 2);
+  double Wy = 6.28318530717958647692 / static_cast<double>(D.Ny + 2);
+  double Wz = 6.28318530717958647692 / static_cast<double>(D.Nz + 2);
+  forEachCell(G, [&](long X, long Y, long Z) {
+    return std::sin(Wx * static_cast<double>(X) + Px) *
+               std::cos(Wy * static_cast<double>(Y) + Py) +
+           0.5 * std::sin(Wz * static_cast<double>(Z) + Pz);
+  });
+}
+
+void fillRandomPattern(Grid &G, uint64_t Seed) {
+  // Hash-based rather than sequential so the value of a cell does not
+  // depend on the traversal (and therefore not on dims of other axes).
+  forEachCell(G, [&](long X, long Y, long Z) -> double {
+    bool Interior = X >= 0 && X < G.dims().Nx && Y >= 0 &&
+                    Y < G.dims().Ny && Z >= 0 && Z < G.dims().Nz;
+    if (!Interior)
+      return 0.0;
+    double U =
+        static_cast<double>(mixHash(Seed, X, Y, Z) >> 11) * 0x1.0p-53;
+    return 2.0 * U - 1.0;
+  });
+}
+
+void fillImpulse(Grid &G, uint64_t Seed) {
+  G.fill(0.0);
+  const GridDims &D = G.dims();
+  // Center spike plus three seed-placed spikes of growing magnitude;
+  // exactly representable values so any divergence is a logic bug, not
+  // rounding.
+  G.at(D.Nx / 2, D.Ny / 2, D.Nz / 2) = 1.0;
+  Rng R(Seed);
+  double Mag = 2.0;
+  for (int I = 0; I < 3; ++I) {
+    long X = static_cast<long>(R.nextBounded(static_cast<uint64_t>(D.Nx)));
+    long Y = static_cast<long>(R.nextBounded(static_cast<uint64_t>(D.Ny)));
+    long Z = static_cast<long>(R.nextBounded(static_cast<uint64_t>(D.Nz)));
+    G.at(X, Y, Z) = R.nextBounded(2) ? Mag : -Mag;
+    Mag *= 2.0;
+  }
+}
+
+void fillBoundaryStress(Grid &G, uint64_t Seed) {
+  // Large-magnitude alternating halo against a small interior: any read
+  // of a wrong halo cell (or a write into the halo) moves the result by
+  // orders of magnitude.  All values are powers of two times small
+  // integers, hence exactly representable.
+  const GridDims &D = G.dims();
+  forEachCell(G, [&](long X, long Y, long Z) -> double {
+    bool Interior = X >= 0 && X < D.Nx && Y >= 0 && Y < D.Ny && Z >= 0 &&
+                    Z < D.Nz;
+    uint64_t H = mixHash(Seed, X, Y, Z);
+    if (!Interior)
+      return (H & 1 ? 1.0 : -1.0) * 1024.0 * (1.0 + ((H >> 1) & 3));
+    return (static_cast<double>(H & 0xFF) - 128.0) * 0x1.0p-10;
+  });
+}
+
+} // namespace
+
+void ys::fillPattern(Grid &G, GridPattern P, uint64_t Seed) {
+  G.fill(0.0); // Also clears fold-rounding padding beyond the halo.
+  switch (P) {
+  case GridPattern::Smooth:
+    fillSmooth(G, Seed);
+    break;
+  case GridPattern::Random:
+    fillRandomPattern(G, Seed);
+    break;
+  case GridPattern::Impulse:
+    fillImpulse(G, Seed);
+    break;
+  case GridPattern::BoundaryStress:
+    fillBoundaryStress(G, Seed);
+    break;
+  }
+}

@@ -1,0 +1,60 @@
+//===- verify/GridPatterns.h - Seeded grid initializers ----------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic seeded grid initializers shared by the differential
+/// verification harness, the unit tests and the benches.  A pattern is a
+/// pure function of (pattern kind, seed, logical coordinate): filling the
+/// same dims/halo with the same (kind, seed) always produces the same
+/// *logical* contents, independent of the grid's storage fold — which is
+/// exactly what variant-space equivalence checking needs, since the
+/// variants under test differ in layout.
+///
+/// Failures reproduce from a log line: print patternName() and the seed
+/// and any grid in any layout can be reconstructed bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_VERIFY_GRIDPATTERNS_H
+#define YS_VERIFY_GRIDPATTERNS_H
+
+#include "stencil/Grid.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ys {
+
+/// Input families for differential checks, each stressing a different
+/// failure mode of a transformed kernel.
+enum class GridPattern {
+  Smooth,         ///< Low-frequency trig field; catches index mix-ups that
+                  ///< alias to near-identical values under noise.
+  Random,         ///< Uniform [-1,1) interior, zero halo; the general case.
+  Impulse,        ///< Sparse spikes in a zero field; localizes divergence
+                  ///< to the exact cells an off-by-one would shift.
+  BoundaryStress, ///< Near-zero interior, large-magnitude halo; catches
+                  ///< halo/boundary handling and clamping bugs.
+};
+
+/// Stable lowercase name ("smooth", "random", "impulse",
+/// "boundary-stress"); the inverse of patternByName().
+const char *patternName(GridPattern P);
+
+/// All patterns, in declaration order.
+const std::vector<GridPattern> &allGridPatterns();
+
+/// Parses a patternName() string.
+Expected<GridPattern> patternByName(const std::string &Name);
+
+/// Fills \p G (interior and halo; any padding beyond the halo is zeroed)
+/// from (\p P, \p Seed).  Identical logical contents for any storage fold.
+void fillPattern(Grid &G, GridPattern P, uint64_t Seed);
+
+} // namespace ys
+
+#endif // YS_VERIFY_GRIDPATTERNS_H

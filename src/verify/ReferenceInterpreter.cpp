@@ -1,0 +1,60 @@
+//===- verify/ReferenceInterpreter.cpp - Golden-reference oracle ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ReferenceInterpreter.h"
+
+#include <cassert>
+
+using namespace ys;
+
+Expr ReferenceInterpreter::buildExpr(const StencilSpec &Spec) {
+  Expr Sum;
+  for (const StencilPoint &P : Spec.points()) {
+    Expr Term = Expr::mul(Expr::constant(P.Coeff),
+                          Expr::load(P.GridIdx, P.Dx, P.Dy, P.Dz));
+    Sum = Sum.isValid() ? Expr::add(Sum, Term) : Term;
+  }
+  return Sum;
+}
+
+ReferenceInterpreter::ReferenceInterpreter(StencilSpec S)
+    : Spec(std::move(S)), Tree(buildExpr(Spec)) {
+  assert(Spec.numPoints() > 0 && "empty stencil");
+}
+
+void ReferenceInterpreter::runSweep(const std::vector<const Grid *> &Inputs,
+                                    Grid &Out) const {
+  assert(Inputs.size() >= Spec.numInputGrids() && "missing input grids");
+  assert(Out.halo() >= Spec.radius() && "halo smaller than stencil radius");
+  const GridDims &Dims = Out.dims();
+  for (long Z = 0; Z < Dims.Nz; ++Z)
+    for (long Y = 0; Y < Dims.Ny; ++Y)
+      for (long X = 0; X < Dims.Nx; ++X)
+        Out.at(X, Y, Z) =
+            Tree.evaluate([&](unsigned GridIdx, int Dx, int Dy, int Dz) {
+              return Inputs[GridIdx]->at(X + Dx, Y + Dy, Z + Dz);
+            });
+}
+
+void ReferenceInterpreter::runTimeSteps(Grid &U, int Steps) const {
+  assert(Spec.numInputGrids() == 1 &&
+         "time stepping requires a single-input stencil");
+  assert(Steps >= 0 && "negative step count");
+  // Scalar-layout ping-pong buffers regardless of U's fold; the halo is
+  // copied once and never rewritten (constant-in-time Dirichlet).
+  Grid Even(U.dims(), U.halo());
+  Grid Odd(U.dims(), U.halo());
+  Even.copyInteriorFrom(U);
+  Even.copyHaloFrom(U);
+  Odd.copyHaloFrom(U);
+  Grid *Src = &Even;
+  Grid *Dst = &Odd;
+  for (int S = 0; S < Steps; ++S) {
+    runSweep({Src}, *Dst);
+    std::swap(Src, Dst);
+  }
+  U.copyInteriorFrom(*Src);
+}

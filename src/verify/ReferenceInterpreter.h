@@ -1,0 +1,68 @@
+//===- verify/ReferenceInterpreter.h - Golden-reference oracle ---*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The golden oracle of the differential verification harness: a
+/// deliberately naive, scalar, unblocked interpreter that evaluates a
+/// StencilSpec *from the expression tree* — every lattice update walks an
+/// Expr AST rebuilt from the spec's points and resolves loads through a
+/// callback.  No folding, no blocking, no threading, no pointer
+/// arithmetic: none of the machinery the optimized KernelExecutor paths
+/// share, so a bug in that machinery cannot cancel out of a comparison.
+///
+/// Semantics match the executor's contract (KernelExecutor.h): one sweep
+/// writes every interior point from halo-reachable reads; multi-timestep
+/// runs treat the halo as a constant-in-time Dirichlet boundary.  The
+/// accumulation order is the spec's point order (left-nested sum), the
+/// same order every executor path uses, so on a machine without FMA
+/// contraction the oracle is bit-identical to a correct variant — the
+/// harness' default tolerance is therefore *exact*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_VERIFY_REFERENCEINTERPRETER_H
+#define YS_VERIFY_REFERENCEINTERPRETER_H
+
+#include "stencil/Grid.h"
+#include "stencil/StencilExpr.h"
+#include "stencil/StencilSpec.h"
+
+#include <vector>
+
+namespace ys {
+
+/// Scalar, unblocked, expression-tree-walking stencil evaluator.
+class ReferenceInterpreter {
+public:
+  explicit ReferenceInterpreter(StencilSpec Spec);
+
+  const StencilSpec &spec() const { return Spec; }
+
+  /// The expression tree the interpreter walks (sum of coeff * load in
+  /// point order).
+  const Expr &expression() const { return Tree; }
+
+  /// One sweep: evaluates the expression tree at every interior point of
+  /// \p Out, reading from \p Inputs (halo provides boundary values).
+  /// Layout-agnostic: grids of any fold are read/written through at().
+  void runSweep(const std::vector<const Grid *> &Inputs, Grid &Out) const;
+
+  /// Advances the single-input stencil \p Steps timesteps in place, using
+  /// an internal scalar-layout scratch grid whose halo carries U's
+  /// boundary values (constant-in-time Dirichlet, like the executor).
+  void runTimeSteps(Grid &U, int Steps) const;
+
+  /// Builds the left-nested sum-of-(coeff * load) tree for \p Spec.
+  static Expr buildExpr(const StencilSpec &Spec);
+
+private:
+  StencilSpec Spec;
+  Expr Tree;
+};
+
+} // namespace ys
+
+#endif // YS_VERIFY_REFERENCEINTERPRETER_H

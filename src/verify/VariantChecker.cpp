@@ -1,0 +1,295 @@
+//===- verify/VariantChecker.cpp - Variant-space equivalence check ----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/VariantChecker.h"
+
+#include "codegen/KernelExecutor.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "verify/ReferenceInterpreter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+using namespace ys;
+
+std::string UlpTolerance::str() const {
+  if (AbsTol == 0.0 && MaxUlps == 0)
+    return "exact";
+  return format("abs<=%g or ulps<=%llu", AbsTol,
+                static_cast<unsigned long long>(MaxUlps));
+}
+
+uint64_t ys::ulpDistance(double A, double B) {
+  if (A == B)
+    return 0; // Also +0 vs -0.
+  if (std::isnan(A) || std::isnan(B))
+    return UINT64_MAX;
+  uint64_t UA, UB;
+  std::memcpy(&UA, &A, sizeof(UA));
+  std::memcpy(&UB, &B, sizeof(UB));
+  if ((UA ^ UB) & 0x8000000000000000ull)
+    return UINT64_MAX; // Opposite (nonzero) signs.
+  uint64_t MA = UA & 0x7FFFFFFFFFFFFFFFull;
+  uint64_t MB = UB & 0x7FFFFFFFFFFFFFFFull;
+  return MA > MB ? MA - MB : MB - MA;
+}
+
+bool ys::withinTolerance(double Got, double Want, const UlpTolerance &Tol) {
+  if (Got == Want)
+    return true;
+  if (std::fabs(Got - Want) <= Tol.AbsTol)
+    return true;
+  return ulpDistance(Got, Want) <= Tol.MaxUlps;
+}
+
+bool ys::findFirstDivergence(const Grid &Want, const Grid &Got,
+                             const UlpTolerance &Tol, CellDivergence &Div) {
+  const GridDims &D = Want.dims();
+  for (long Z = 0; Z < D.Nz; ++Z)
+    for (long Y = 0; Y < D.Ny; ++Y)
+      for (long X = 0; X < D.Nx; ++X) {
+        double W = Want.at(X, Y, Z);
+        double G = Got.at(X, Y, Z);
+        if (withinTolerance(G, W, Tol))
+          continue;
+        Div.X = X;
+        Div.Y = Y;
+        Div.Z = Z;
+        Div.Got = G;
+        Div.Want = W;
+        Div.Ulps = ulpDistance(G, W);
+        return true;
+      }
+  return false;
+}
+
+std::string VariantFailure::str() const {
+  return format("config [%s] pattern=%s seed=%llu: first divergence at "
+                "(%ld,%ld,%ld): got %.17g want %.17g (%llu ulps)",
+                Config.str().c_str(), patternName(Pattern),
+                static_cast<unsigned long long>(Seed), Cell.X, Cell.Y,
+                Cell.Z, Cell.Got, Cell.Want,
+                static_cast<unsigned long long>(Cell.Ulps));
+}
+
+std::string CheckReport::summary() const {
+  std::string S = format("%u variants, %u comparisons: %s", VariantsChecked,
+                         ComparisonsRun,
+                         Failures.empty()
+                             ? "all match the reference interpreter"
+                             : format("%zu FAILURE(S)", Failures.size())
+                                   .c_str());
+  for (const VariantFailure &F : Failures)
+    S += "\n  FAIL " + F.str();
+  for (const auto &[C, Why] : Rejected)
+    S += format("\n  rejected [%s]: %s", C.str().c_str(), Why.c_str());
+  return S;
+}
+
+VariantChecker::VariantChecker(StencilSpec S, GridDims Dims,
+                               CheckOptions Opts)
+    : Spec(std::move(S)), Dims(Dims), Opts(std::move(Opts)) {}
+
+unsigned VariantChecker::maxThreads() const {
+  unsigned T =
+      Opts.MaxThreads ? Opts.MaxThreads : ThreadPool::defaultThreadCount();
+  return T == 0 ? 1 : T;
+}
+
+std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
+  std::vector<KernelConfig> Configs;
+  auto Add = [&](const KernelConfig &C) {
+    if (!C.validate().empty())
+      return;
+    for (const KernelConfig &E : Configs)
+      if (E == C)
+        return;
+    Configs.push_back(C);
+  };
+
+  const bool SingleInput = Spec.numInputGrids() == 1;
+  const unsigned MaxT = maxThreads();
+
+  // Axis: vector folds (storage layout the SIMD register covers).
+  const Fold Folds[] = {{1, 1, 1}, {4, 1, 1}, {2, 2, 1}, {1, 2, 2}};
+  for (const Fold &F : Folds) {
+    KernelConfig C;
+    C.VectorFold = F;
+    Add(C);
+  }
+
+  // Axis: cache blocks — unblocked, dividing, non-dividing, degenerate
+  // one-cell, larger-than-domain (must clamp), and partially specified.
+  const BlockSize Blocks[] = {{0, 0, 0},
+                              {4, 4, 4},
+                              {3, 5, 2},
+                              {1, 1, 1},
+                              {Dims.Nx + 7, Dims.Ny + 3, Dims.Nz + 1},
+                              {0, 4, 0}};
+  for (const BlockSize &B : Blocks) {
+    KernelConfig C;
+    C.Block = B;
+    Add(C);
+  }
+
+  // Axis: temporal wavefront depths (single-input stencils only; time
+  // stepping requires one input grid).  A small z block forces the
+  // frontier logic through its Bz > radius clamp.
+  if (SingleInput)
+    for (int D : {2, 3})
+      for (const BlockSize &B : {BlockSize{0, 0, 0}, BlockSize{0, 4, 2}}) {
+        KernelConfig C;
+        C.WavefrontDepth = D;
+        C.Block = B;
+        Add(C);
+      }
+
+  // Axis: thread counts 1 / 2 / max, on a blocked sweep and (when
+  // possible) a wavefront variant.
+  for (unsigned T : {1u, 2u, MaxT}) {
+    KernelConfig C;
+    C.Threads = T;
+    C.Block = {0, 4, 4};
+    Add(C);
+    if (SingleInput) {
+      KernelConfig W;
+      W.Threads = T;
+      W.WavefrontDepth = 2;
+      Add(W);
+    }
+  }
+
+  // Cross-axis combinations (fold x block x wavefront x threads).
+  {
+    KernelConfig C;
+    C.VectorFold = {2, 2, 1};
+    C.Block = {3, 5, 2};
+    C.Threads = 2;
+    if (SingleInput)
+      C.WavefrontDepth = 2;
+    Add(C);
+  }
+  {
+    KernelConfig C;
+    C.VectorFold = {4, 1, 1};
+    C.Block = {4, 4, 4};
+    C.Threads = MaxT;
+    if (SingleInput)
+      C.WavefrontDepth = 3;
+    Add(C);
+  }
+  {
+    KernelConfig C;
+    C.VectorFold = {1, 2, 2};
+    C.Block = {1, 1, 1};
+    C.Threads = 2;
+    Add(C);
+  }
+  {
+    KernelConfig C;
+    C.StreamingStores = true; // Model-visible only; must not change values.
+    Add(C);
+  }
+  return Configs;
+}
+
+CheckReport VariantChecker::checkAll(ThreadPool *Pool) const {
+  return check(enumerateConfigs(), Pool);
+}
+
+CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
+                                  ThreadPool *Pool) const {
+  CheckReport Report;
+
+  std::vector<KernelConfig> Valid;
+  unsigned NeedThreads = 1;
+  for (const KernelConfig &C : Configs) {
+    std::string Why = C.validate();
+    if (!Why.empty()) {
+      Report.Rejected.push_back({C, std::move(Why)});
+      continue;
+    }
+    NeedThreads = std::max(NeedThreads, C.Threads);
+    Valid.push_back(C);
+  }
+  Report.VariantsChecked = static_cast<unsigned>(Valid.size());
+
+  std::unique_ptr<ThreadPool> OwnPool;
+  if (!Pool && NeedThreads > 1) {
+    OwnPool = std::make_unique<ThreadPool>(NeedThreads);
+    Pool = OwnPool.get();
+  }
+
+  const bool SingleInput = Spec.numInputGrids() == 1;
+  const int Halo = Spec.radius();
+  const unsigned NumInputs = Spec.numInputGrids();
+  ReferenceInterpreter Oracle(Spec);
+  // Distinct deterministic contents per input grid of a multi-input
+  // stencil; both the oracle and every variant derive them the same way.
+  auto InputSeed = [](uint64_t Seed, unsigned G) {
+    return Seed + 0x9E3779B97F4A7C15ull * G;
+  };
+
+  for (uint64_t Seed : Opts.Seeds)
+    for (GridPattern Pattern : Opts.Patterns) {
+      // Oracle result, computed once per (pattern, seed) and compared
+      // against every variant.
+      Grid RefOut(Dims, Halo);
+      std::vector<Grid> RefInputs;
+      if (SingleInput) {
+        fillPattern(RefOut, Pattern, Seed);
+        Oracle.runTimeSteps(RefOut, Opts.Steps);
+      } else {
+        for (unsigned G = 0; G < NumInputs; ++G) {
+          RefInputs.emplace_back(Dims, Halo);
+          fillPattern(RefInputs.back(), Pattern, InputSeed(Seed, G));
+        }
+        std::vector<const Grid *> Ptrs;
+        for (const Grid &G : RefInputs)
+          Ptrs.push_back(&G);
+        Oracle.runSweep(Ptrs, RefOut);
+      }
+
+      for (const KernelConfig &C : Valid) {
+        KernelExecutor Exec(Spec, C);
+        ThreadPool *P = C.Threads > 1 ? Pool : nullptr;
+        Grid Out(Dims, Halo, C.VectorFold);
+        if (SingleInput) {
+          fillPattern(Out, Pattern, Seed);
+          Grid Scratch(Dims, Halo, C.VectorFold);
+          Scratch.copyHaloFrom(Out);
+          Exec.runTimeSteps(Out, Scratch, Opts.Steps, P);
+        } else {
+          std::vector<Grid> Inputs;
+          std::vector<const Grid *> Ptrs;
+          for (unsigned G = 0; G < NumInputs; ++G) {
+            Inputs.emplace_back(Dims, Halo, C.VectorFold);
+            fillPattern(Inputs.back(), Pattern, InputSeed(Seed, G));
+          }
+          for (const Grid &G : Inputs)
+            Ptrs.push_back(&G);
+          Exec.runSweep(Ptrs, Out, P);
+        }
+
+        ++Report.ComparisonsRun;
+        CellDivergence Div;
+        if (findFirstDivergence(RefOut, Out, Opts.Tol, Div)) {
+          VariantFailure F;
+          F.Config = C;
+          F.Pattern = Pattern;
+          F.Seed = Seed;
+          F.Cell = Div;
+          Report.Failures.push_back(std::move(F));
+          if (Opts.StopOnFirstFailure)
+            return Report;
+        }
+      }
+    }
+  return Report;
+}

@@ -1,0 +1,147 @@
+//===- verify/VariantChecker.h - Variant-space equivalence check -*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential verification of the executor's variant space: enumerates
+/// the KernelConfig axes the tuner explores — vector folds, cache-block
+/// sizes (including degenerate and non-dividing blocks and blocks larger
+/// than the domain), temporal wavefront depths, plain sweep vs. wavefront,
+/// and thread counts 1 / 2 / max — runs every variant through
+/// KernelExecutor on seeded input patterns, and compares the result grid
+/// cell-by-cell against the ReferenceInterpreter oracle under a
+/// configurable ULP/absolute tolerance.  The first divergent cell of a
+/// failing variant is reported with its coordinate, both values, the ULP
+/// distance, and the (config, pattern, seed) triple that reproduces it.
+///
+/// This is the correctness backstop every performance PR runs against:
+/// `yasksite verify <stencil>`, `ctest -L verify`, and
+/// `tools/run_sanitizer_checks.sh` all drive this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_VERIFY_VARIANTCHECKER_H
+#define YS_VERIFY_VARIANTCHECKER_H
+
+#include "codegen/KernelConfig.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+#include "verify/GridPatterns.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+class ThreadPool;
+
+/// Comparison tolerance.  A cell passes when |got - want| <= AbsTol OR
+/// ulpDistance(got, want) <= MaxUlps.  The default (0, 0) demands
+/// bit-equality (modulo signed zero), which all current variants satisfy
+/// because every executor path accumulates in spec point order.
+struct UlpTolerance {
+  double AbsTol = 0.0;
+  uint64_t MaxUlps = 0;
+
+  std::string str() const;
+};
+
+/// Order-preserving ULP distance between two doubles: 0 iff they compare
+/// equal (so +0 == -0), UINT64_MAX if either is NaN or the values have
+/// opposite (nonzero) sign.
+uint64_t ulpDistance(double A, double B);
+
+/// True when \p Got matches \p Want under \p Tol.
+bool withinTolerance(double Got, double Want, const UlpTolerance &Tol);
+
+/// One divergent cell.
+struct CellDivergence {
+  long X = 0, Y = 0, Z = 0;
+  double Got = 0.0;
+  double Want = 0.0;
+  uint64_t Ulps = 0;
+};
+
+/// Scans the interiors of \p Want and \p Got (same dims) in a fixed order
+/// and reports the first cell outside tolerance; returns false when the
+/// grids match everywhere.
+bool findFirstDivergence(const Grid &Want, const Grid &Got,
+                         const UlpTolerance &Tol, CellDivergence &Div);
+
+/// A failing variant: the config and the (pattern, seed) input that
+/// exposed it, plus its first divergent cell.
+struct VariantFailure {
+  KernelConfig Config;
+  GridPattern Pattern = GridPattern::Smooth;
+  uint64_t Seed = 0;
+  CellDivergence Cell;
+
+  /// One reproducible line: config, pattern, seed, cell, values, ULPs.
+  std::string str() const;
+};
+
+/// Knobs of one verification run.
+struct CheckOptions {
+  int Steps = 2;                     ///< Timesteps per comparison
+                                     ///< (single-input stencils).
+  std::vector<uint64_t> Seeds = {1}; ///< Seeds per pattern.
+  std::vector<GridPattern> Patterns = allGridPatterns();
+  UlpTolerance Tol;                  ///< Default: exact.
+  unsigned MaxThreads = 0; ///< "max" of the thread axis; 0 = the
+                           ///< YS_THREADS / hardware default.
+  bool StopOnFirstFailure = false;
+};
+
+/// Aggregate result of a verification run.
+struct CheckReport {
+  unsigned VariantsChecked = 0; ///< Distinct configs executed.
+  unsigned ComparisonsRun = 0;  ///< (config, pattern, seed) grid compares.
+  std::vector<VariantFailure> Failures; ///< First divergence per failure.
+  /// Configs rejected by KernelConfig::validate() with their diagnostics
+  /// (never executed).
+  std::vector<std::pair<KernelConfig, std::string>> Rejected;
+
+  bool ok() const { return Failures.empty(); }
+  /// Multi-line human-readable summary (counts, then failure lines).
+  std::string summary() const;
+};
+
+/// Enumerates and differentially checks the executor variant space for
+/// one stencil on one grid size.
+class VariantChecker {
+public:
+  VariantChecker(StencilSpec Spec, GridDims Dims, CheckOptions Opts = {});
+
+  const StencilSpec &spec() const { return Spec; }
+  const CheckOptions &options() const { return Opts; }
+
+  /// The curated variant space: every axis the tuner explores is covered
+  /// on its own against a plain base, plus cross-axis combinations.
+  /// Multi-input stencils get no wavefront variants (time stepping
+  /// requires a single input).  All configs are valid and deduplicated.
+  std::vector<KernelConfig> enumerateConfigs() const;
+
+  /// Checks enumerateConfigs() against the oracle.  \p Pool (optional) is
+  /// used for threaded variants; when null, one is created on demand
+  /// sized to the thread axis.
+  CheckReport checkAll(ThreadPool *Pool = nullptr) const;
+
+  /// Checks an explicit config list.  Invalid configs are reported in
+  /// CheckReport::Rejected rather than executed.
+  CheckReport check(const std::vector<KernelConfig> &Configs,
+                    ThreadPool *Pool = nullptr) const;
+
+private:
+  StencilSpec Spec;
+  GridDims Dims;
+  CheckOptions Opts;
+
+  unsigned maxThreads() const;
+};
+
+} // namespace ys
+
+#endif // YS_VERIFY_VARIANTCHECKER_H

@@ -219,6 +219,26 @@ TEST(Driver, ValidateComparesModelAndSimulator) {
   EXPECT_NE(Out.find("verdict:"), std::string::npos);
 }
 
+TEST(Driver, VerifyChecksVariantsAgainstOracle) {
+  std::string Out = run({"verify", "heat3d", "--dims", "10x8x6",
+                         "--seeds", "1,2", "--patterns", "random,impulse"});
+  EXPECT_NE(Out.find("all match the reference interpreter"),
+            std::string::npos);
+  EXPECT_NE(Out.find("2 pattern(s) x 2 seed(s)"), std::string::npos);
+}
+
+TEST(Driver, VerifyRejectsBadArguments) {
+  std::string Out;
+  EXPECT_NE(runDriver({"verify", "heat3d", "--patterns", "nope"}, Out), 0);
+  EXPECT_NE(Out.find("nope"), std::string::npos);
+  Out.clear();
+  EXPECT_NE(runDriver({"verify", "heat3d", "--seeds", "1,x"}, Out), 0);
+  Out.clear();
+  // An invalid explicit config is rejected with the validate() text.
+  EXPECT_NE(runDriver({"verify", "heat3d", "--wf", "0"}, Out), 0);
+  EXPECT_NE(Out.find("wavefront"), std::string::npos);
+}
+
 TEST(Driver, PredictAsmFlagEmitsPseudoAssembly) {
   std::string Out = run({"predict", "heat3d", "--fold", "8x1x1", "--asm"});
   EXPECT_NE(Out.find("vfmadd"), std::string::npos);

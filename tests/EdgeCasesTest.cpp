@@ -12,6 +12,7 @@
 #include "offsite/Database.h"
 #include "solution/StencilSolution.h"
 #include "support/ThreadPool.h"
+#include "verify/GridPatterns.h"
 
 #include <gtest/gtest.h>
 
@@ -45,14 +46,15 @@ TEST(EdgeCases, ExecutorOnDegenerateGrids) {
   StencilSpec S = StencilSpec::line1d(2);
   GridDims Dims{32, 1, 1};
   Grid In(Dims, 2), OutRef(Dims, 2), OutCfg(Dims, 2);
-  Rng R(3);
-  In.fillRandom(R);
+  const uint64_t Seed = 3;
+  fillPattern(In, GridPattern::Random, Seed);
   KernelExecutor::runReference(S, {&In}, OutRef);
   KernelConfig C;
   C.Block.X = 5;
   KernelExecutor Exec(S, C);
   Exec.runSweep({&In}, OutCfg);
-  EXPECT_EQ(Grid::maxAbsDiffInterior(OutRef, OutCfg), 0.0);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(OutRef, OutCfg), 0.0)
+      << "pattern=random seed=" << Seed;
 }
 
 TEST(EdgeCases, WavefrontDepthLargerThanSteps) {
@@ -60,8 +62,8 @@ TEST(EdgeCases, WavefrontDepthLargerThanSteps) {
   StencilSpec S = StencilSpec::heat3d();
   GridDims Dims{8, 8, 8};
   Grid A(Dims, 1), B(Dims, 1);
-  Rng R(4);
-  A.fillRandom(R);
+  const uint64_t Seed = 4;
+  fillPattern(A, GridPattern::Random, Seed);
   B.copyInteriorFrom(A);
   Grid S1(Dims, 1), S2(Dims, 1);
   KernelExecutor Plain(S, KernelConfig());
@@ -71,7 +73,8 @@ TEST(EdgeCases, WavefrontDepthLargerThanSteps) {
   Wf.Block.Z = 2;
   KernelExecutor Wave(S, Wf);
   Wave.runTimeSteps(B, S2, 3);
-  EXPECT_EQ(Grid::maxAbsDiffInterior(A, B), 0.0);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(A, B), 0.0)
+      << "pattern=random seed=" << Seed;
 }
 
 TEST(EdgeCases, AdaptiveZeroLengthInterval) {
@@ -143,9 +146,10 @@ TEST(EdgeCases, StencilSpecSinglePoint) {
   EXPECT_TRUE(S.is1D());
   GridDims Dims{8, 8, 8};
   Grid In(Dims, 0), Out(Dims, 0);
-  Rng R(1);
-  In.fillRandom(R);
+  const uint64_t Seed = 1;
+  fillPattern(In, GridPattern::Random, Seed);
   KernelExecutor Exec(S, KernelConfig());
   Exec.runSweep({&In}, Out);
-  EXPECT_EQ(Grid::maxAbsDiffInterior(In, Out), 0.0);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(In, Out), 0.0)
+      << "pattern=random seed=" << Seed;
 }

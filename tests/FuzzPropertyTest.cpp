@@ -17,6 +17,7 @@
 #include "ecm/ECMModel.h"
 #include "frontend/Parser.h"
 #include "support/Random.h"
+#include "verify/GridPatterns.h"
 
 #include <gtest/gtest.h>
 
@@ -75,15 +76,16 @@ TEST_P(FuzzSeed, ExecutorMatchesReference) {
 
   int Halo = Spec.radius();
   Grid In(Dims, Halo, Config.VectorFold);
-  Rng Fill(GetParam() ^ 0xabcdef);
-  In.fillRandom(Fill);
+  const uint64_t FillSeed = GetParam() ^ 0xabcdef;
+  fillPattern(In, GridPattern::Random, FillSeed);
   Grid OutRef(Dims, Halo, Config.VectorFold);
   Grid OutCfg(Dims, Halo, Config.VectorFold);
   KernelExecutor::runReference(Spec, {&In}, OutRef);
   KernelExecutor Exec(Spec, Config);
   Exec.runSweep({&In}, OutCfg);
   EXPECT_EQ(Grid::maxAbsDiffInterior(OutRef, OutCfg), 0.0)
-      << "config " << Config.str();
+      << "config " << Config.str() << " pattern=random seed=" << FillSeed
+      << " (test seed " << GetParam() << ")";
 }
 
 TEST_P(FuzzSeed, WavefrontMatchesPlainStepping) {
@@ -97,8 +99,8 @@ TEST_P(FuzzSeed, WavefrontMatchesPlainStepping) {
 
   int Halo = Spec.radius();
   Grid UPlain(Dims, Halo);
-  Rng Fill(GetParam() * 31 + 7);
-  UPlain.fillRandom(Fill);
+  const uint64_t FillSeed = GetParam() * 31 + 7;
+  fillPattern(UPlain, GridPattern::Random, FillSeed);
   Grid UWave(Dims, Halo);
   UWave.copyInteriorFrom(UPlain);
   Grid S1(Dims, Halo), S2(Dims, Halo);
@@ -113,7 +115,9 @@ TEST_P(FuzzSeed, WavefrontMatchesPlainStepping) {
   Wave.runTimeSteps(UWave, S2, Steps);
 
   EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0)
-      << "steps=" << Steps << " depth=" << Depth;
+      << "steps=" << Steps << " depth=" << Depth
+      << " pattern=random seed=" << FillSeed << " (test seed "
+      << GetParam() << ")";
 }
 
 TEST_P(FuzzSeed, CacheSimCountersSelfConsistent) {

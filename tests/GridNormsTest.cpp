@@ -1,0 +1,116 @@
+//===- tests/GridNormsTest.cpp - norm/reduction unit tests -----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/GridNorms.h"
+
+#include "support/ThreadPool.h"
+#include "verify/GridPatterns.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+/// 2x2x1 grid with halo 1 and hand-pickable interior values.
+Grid makeSmall(double V00, double V10, double V01, double V11) {
+  Grid G({2, 2, 1}, 1);
+  G.at(0, 0, 0) = V00;
+  G.at(1, 0, 0) = V10;
+  G.at(0, 1, 0) = V01;
+  G.at(1, 1, 0) = V11;
+  return G;
+}
+
+} // namespace
+
+TEST(GridNorms, HandComputedValues) {
+  // Interior {3, -4, 0, 12}: Linf = 12, L1 = 19/4, L2 = sqrt(169/4).
+  Grid G = makeSmall(3.0, -4.0, 0.0, 12.0);
+  EXPECT_DOUBLE_EQ(normInf(G), 12.0);
+  EXPECT_DOUBLE_EQ(normL1(G), 4.75);
+  EXPECT_DOUBLE_EQ(normL2(G), 6.5);
+  MinMax MM = interiorMinMax(G);
+  EXPECT_DOUBLE_EQ(MM.Min, -4.0);
+  EXPECT_DOUBLE_EQ(MM.Max, 12.0);
+
+  Grid Zero({2, 2, 1}, 1);
+  EXPECT_DOUBLE_EQ(diffNormInf(G, Zero), 12.0);
+  EXPECT_DOUBLE_EQ(diffNormL2(G, Zero), 6.5);
+  EXPECT_DOUBLE_EQ(diffNormL2(G, G), 0.0);
+}
+
+TEST(GridNorms, HaloIsExcluded) {
+  Grid G = makeSmall(3.0, -4.0, 0.0, 12.0);
+  double Inf = normInf(G), L1 = normL1(G), L2 = normL2(G);
+  G.fillHalo(1e9); // Must not leak into any interior reduction.
+  EXPECT_DOUBLE_EQ(normInf(G), Inf);
+  EXPECT_DOUBLE_EQ(normL1(G), L1);
+  EXPECT_DOUBLE_EQ(normL2(G), L2);
+  MinMax MM = interiorMinMax(G);
+  EXPECT_DOUBLE_EQ(MM.Min, -4.0);
+  EXPECT_DOUBLE_EQ(MM.Max, 12.0);
+
+  Grid H = makeSmall(3.0, -4.0, 0.0, 12.0);
+  H.fillHalo(-1e9);
+  EXPECT_DOUBLE_EQ(diffNormInf(G, H), 0.0);
+  EXPECT_DOUBLE_EQ(diffNormL2(G, H), 0.0);
+}
+
+TEST(GridNorms, FoldedLayoutAgreesWithScalar) {
+  GridDims Dims{11, 6, 5};
+  Grid S(Dims, 2);
+  fillPattern(S, GridPattern::Random, 17);
+  Grid F(Dims, 2, {4, 1, 1});
+  fillPattern(F, GridPattern::Random, 17);
+  EXPECT_DOUBLE_EQ(normInf(S), normInf(F));
+  EXPECT_DOUBLE_EQ(normL1(S), normL1(F));
+  EXPECT_DOUBLE_EQ(normL2(S), normL2(F));
+  EXPECT_DOUBLE_EQ(diffNormInf(S, F), 0.0);
+}
+
+TEST(GridNorms, NumaFirstTouchedGridMatchesPlain) {
+  // First-touch placement changes which thread faults each page, never
+  // the values: reductions over a pool-touched grid must be identical.
+  GridDims Dims{16, 8, 6};
+  ThreadPool Pool(2);
+  Grid Plain(Dims, 1);
+  Grid Touched(Dims, 1, Fold(), &Pool, /*ZTile=*/2, /*YTile=*/4);
+  fillPattern(Plain, GridPattern::Smooth, 23);
+  fillPattern(Touched, GridPattern::Smooth, 23);
+  EXPECT_DOUBLE_EQ(normInf(Plain), normInf(Touched));
+  EXPECT_DOUBLE_EQ(normL1(Plain), normL1(Touched));
+  EXPECT_DOUBLE_EQ(normL2(Plain), normL2(Touched));
+  EXPECT_DOUBLE_EQ(diffNormInf(Plain, Touched), 0.0);
+}
+
+TEST(GridNorms, OneCellGrid) {
+  Grid G({1, 1, 1}, 1);
+  G.at(0, 0, 0) = -5.0;
+  EXPECT_DOUBLE_EQ(normInf(G), 5.0);
+  EXPECT_DOUBLE_EQ(normL1(G), 5.0);
+  EXPECT_DOUBLE_EQ(normL2(G), 5.0);
+  MinMax MM = interiorMinMax(G);
+  EXPECT_DOUBLE_EQ(MM.Min, -5.0);
+  EXPECT_DOUBLE_EQ(MM.Max, -5.0);
+}
+
+TEST(GridNorms, DefaultConstructedGridIsSafeZero) {
+  // A default-constructed Grid claims dims {1,1,1} but owns no storage;
+  // every reduction must return zero instead of reading it.
+  Grid Empty;
+  EXPECT_EQ(Empty.allocElems(), 0u);
+  EXPECT_DOUBLE_EQ(normInf(Empty), 0.0);
+  EXPECT_DOUBLE_EQ(normL1(Empty), 0.0);
+  EXPECT_DOUBLE_EQ(normL2(Empty), 0.0);
+  MinMax MM = interiorMinMax(Empty);
+  EXPECT_DOUBLE_EQ(MM.Min, 0.0);
+  EXPECT_DOUBLE_EQ(MM.Max, 0.0);
+  Grid AlsoEmpty;
+  EXPECT_DOUBLE_EQ(diffNormInf(Empty, AlsoEmpty), 0.0);
+  EXPECT_DOUBLE_EQ(diffNormL2(Empty, AlsoEmpty), 0.0);
+  EXPECT_DOUBLE_EQ(Empty.interiorSum(), 0.0);
+}

@@ -1,0 +1,171 @@
+//===- tests/MeasureHarnessTest.cpp - measurement-harness tests ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/MeasureHarness.h"
+
+#include "arch/MachineModel.h"
+#include "support/ThreadPool.h"
+#include "tuner/TuningCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace ys;
+
+namespace {
+
+/// RAII save/override/restore of one environment variable.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = std::getenv(Name);
+    HadOld = Old != nullptr;
+    if (HadOld)
+      OldValue = Old;
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      setenv(Name.c_str(), OldValue.c_str(), 1);
+    else
+      unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name;
+  std::string OldValue;
+  bool HadOld = false;
+};
+
+} // namespace
+
+TEST(MeasureHarness, ReturnsFinitePositiveMlups) {
+  MeasureHarness H(StencilSpec::heat3d(), {16, 8, 6}, /*Repeats=*/2,
+                   /*SweepsPerRepeat=*/1);
+  double Mlups = H.measure(KernelConfig());
+  EXPECT_GT(Mlups, 0.0);
+  EXPECT_TRUE(std::isfinite(Mlups)); // Timer floor: never inf.
+}
+
+TEST(MeasureHarness, WarmupRunsAreExcludedFromTheRepeatCount) {
+  // measureSeconds performs one untimed warm-up invocation plus Repeats
+  // timed ones; the kernel-run counter sees all of them, the statistics
+  // only the timed repeats.
+  const unsigned Repeats = 3, Sweeps = 2;
+  MeasureHarness H(StencilSpec::heat3d(), {12, 8, 6}, Repeats, Sweeps);
+  EXPECT_EQ(H.totalKernelRuns(), 0u);
+  H.measure(KernelConfig());
+  EXPECT_EQ(H.totalKernelRuns(), (Repeats + 1) * Sweeps);
+  H.measure(KernelConfig());
+  EXPECT_EQ(H.totalKernelRuns(), 2 * (Repeats + 1) * Sweeps);
+}
+
+TEST(MeasureHarness, CacheServesRepeatMeasurements) {
+  TuningCache Cache;
+  MachineModel M = MachineModel::cascadeLakeSP();
+  MeasureHarness H(StencilSpec::heat3d(), {12, 8, 6}, 2, 1);
+  H.attachCache(&Cache, M);
+
+  KernelConfig C;
+  C.Block = {4, 4, 4};
+  double First = H.measure(C);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(H.cachedMeasurements(), 0u);
+  unsigned RunsAfterFirst = H.totalKernelRuns();
+
+  // The repeat is answered from the cache: same number, no kernel runs.
+  double Second = H.measure(C);
+  EXPECT_EQ(Second, First);
+  EXPECT_EQ(H.cachedMeasurements(), 1u);
+  EXPECT_EQ(H.totalKernelRuns(), RunsAfterFirst);
+
+  // A different configuration is a different fingerprint.
+  KernelConfig Other;
+  Other.Block = {3, 5, 2};
+  H.measure(Other);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(H.cachedMeasurements(), 1u);
+  EXPECT_GT(H.totalKernelRuns(), RunsAfterFirst);
+}
+
+TEST(MeasureHarness, MeasurerBindsToTheHarness) {
+  TuningCache Cache;
+  MachineModel M = MachineModel::rome();
+  MeasureHarness H(StencilSpec::heat3d(), {10, 8, 6}, 2, 1);
+  H.attachCache(&Cache, M);
+  MeasureFn Fn = H.measurer();
+  double A = Fn(KernelConfig());
+  double B = Fn(KernelConfig());
+  EXPECT_EQ(A, B); // Second call served from the attached cache.
+  EXPECT_EQ(H.cachedMeasurements(), 1u);
+}
+
+TEST(MeasureHarness, MultiInputStencilMeasures) {
+  StencilSpec S("pair", {{0, 0, 0, 0.5, 0},
+                         {1, 0, 0, 0.25, 0},
+                         {0, 0, 0, -1.5, 1},
+                         {0, 0, 1, 2.0, 1}});
+  ASSERT_EQ(S.numInputGrids(), 2u);
+  MeasureHarness H(S, {12, 8, 6}, 2, 2);
+  double Mlups = H.measure(KernelConfig());
+  EXPECT_GT(Mlups, 0.0);
+  EXPECT_TRUE(std::isfinite(Mlups));
+  EXPECT_EQ(H.totalKernelRuns(), 3u * 2u); // (warm-up + 2 repeats) x sweeps.
+}
+
+TEST(MeasureHarness, YsThreadsControlsTheDefaultThreadCount) {
+  {
+    ScopedEnv E("YS_THREADS", "3");
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    // Serial configs fingerprint under the environment default...
+    KernelConfig Serial;
+    EXPECT_EQ(TuningCache::effectiveThreads(Serial), 3u);
+    // ...while an explicit thread count wins over the environment.
+    KernelConfig Threaded;
+    Threaded.Threads = 2;
+    EXPECT_EQ(TuningCache::effectiveThreads(Threaded), 2u);
+  }
+  {
+    // Garbage and non-positive values fall back to the hardware default.
+    unsigned HW = [] {
+      ScopedEnv Unset("YS_THREADS", nullptr);
+      return ThreadPool::defaultThreadCount();
+    }();
+    EXPECT_GE(HW, 1u);
+    ScopedEnv E("YS_THREADS", "definitely-not-a-number");
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), HW);
+    ScopedEnv E0("YS_THREADS", "0");
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), HW);
+    ScopedEnv ENeg("YS_THREADS", "-4");
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), HW);
+  }
+}
+
+TEST(MeasureHarness, YsThreadsChangesTheCacheFingerprint) {
+  // The effective worker count is part of every fingerprint, so changing
+  // YS_THREADS must never serve a number measured under a different
+  // thread setup.
+  StencilSpec S = StencilSpec::heat3d();
+  std::string Id = "test-machine#0";
+  KernelConfig C;
+  std::string FpA, FpB;
+  {
+    ScopedEnv E("YS_THREADS", "1");
+    FpA = TuningCache::fingerprint(S, Id, {8, 8, 8}, C,
+                                   TuningCache::effectiveThreads(C));
+  }
+  {
+    ScopedEnv E("YS_THREADS", "2");
+    FpB = TuningCache::fingerprint(S, Id, {8, 8, 8}, C,
+                                   TuningCache::effectiveThreads(C));
+  }
+  EXPECT_NE(FpA, FpB);
+}

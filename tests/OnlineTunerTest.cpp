@@ -1,0 +1,205 @@
+//===- tests/OnlineTunerTest.cpp - runtime auto-tuner tests ----------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/OnlineTuner.h"
+
+#include "arch/MachineModel.h"
+#include "codegen/KernelExecutor.h"
+#include "support/Timer.h"
+#include "tuner/TuningCache.h"
+#include "verify/GridPatterns.h"
+
+#include <gtest/gtest.h>
+
+using namespace ys;
+
+namespace {
+
+const GridDims kDims{12, 8, 6};
+
+std::vector<KernelConfig> makeCandidates() {
+  KernelConfig Plain;
+  KernelConfig Blocked;
+  Blocked.Block = {4, 4, 4};
+  KernelConfig Odd;
+  Odd.Block = {3, 5, 2};
+  return {Plain, Blocked, Odd};
+}
+
+/// Plants a cache entry for \p C with a synthetic per-step time, as if it
+/// had been measured on \p Id before.
+void plant(TuningCache &Cache, const StencilSpec &S, const std::string &Id,
+           const KernelConfig &C, double SecondsPerStep) {
+  TuningCache::Entry E;
+  E.Key = TuningCache::fingerprint(S, Id, kDims, C,
+                                   TuningCache::effectiveThreads(C));
+  E.Summary = "planted";
+  E.SecondsPerStep = SecondsPerStep;
+  E.Mlups = 1.0;
+  E.Repeats = 1;
+  Cache.insert(E);
+}
+
+/// U after \p Steps plain reference timesteps from the given pattern.
+Grid expectedState(const StencilSpec &S, uint64_t Seed, int Steps) {
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, Seed);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  KernelExecutor Exec(S, KernelConfig());
+  Exec.runTimeSteps(U, Scratch, Steps);
+  return U;
+}
+
+} // namespace
+
+TEST(OnlineTuner, ConvergesOnPlantedOptimum) {
+  // Seed the cache with a synthetic cost surface: every candidate is
+  // "already measured", and the non-first candidate with block {3,5,2}
+  // is planted as the fastest.  The tuner must lock onto it without
+  // running a single timed trial.
+  StencilSpec S = StencilSpec::heat3d();
+  MachineModel M = MachineModel::cascadeLakeSP();
+  std::string Id = TuningCache::machineId(M);
+  std::vector<KernelConfig> Candidates = makeCandidates();
+
+  TuningCache Cache;
+  plant(Cache, S, Id, Candidates[0], 3e-3);
+  plant(Cache, S, Id, Candidates[1], 2e-3);
+  plant(Cache, S, Id, Candidates[2], 1e-3); // Planted optimum.
+
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+  Tuner.attachCache(&Cache, M);
+
+  const int Steps = 7;
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 5);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result R = Tuner.run(U, Scratch, Steps);
+
+  EXPECT_TRUE(R.Best == Candidates[2]) << R.Best.str();
+  EXPECT_EQ(R.TrialsRun, 0u);
+  EXPECT_EQ(R.CachedTrials, 3u);
+  EXPECT_EQ(R.TuningSteps, 0); // All steps went to production.
+  EXPECT_EQ(R.WarmupSteps, 0); // Fully cached rotation: no warm-up.
+  ASSERT_EQ(R.TrialLog.size(), 3u);
+  EXPECT_DOUBLE_EQ(R.TrialLog[2].second, 1e-3);
+
+  // And the tuned run is numerically identical to plain time stepping.
+  Grid Want = expectedState(S, 5, Steps);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
+}
+
+TEST(OnlineTuner, WarmupStepsAreAccountedAndExcludedFromTiming) {
+  StencilSpec S = StencilSpec::heat3d();
+  std::vector<KernelConfig> Candidates = makeCandidates();
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+
+  const int Steps = 12;
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 9);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result R = Tuner.run(U, Scratch, Steps);
+
+  // One untimed warm-up trial of StepsPerTrial steps, then one timed
+  // trial per candidate; warm-up steps are real timesteps and count
+  // toward TuningSteps (but not toward any TrialLog sample).
+  EXPECT_EQ(R.WarmupSteps, 2);
+  EXPECT_EQ(R.TrialsRun, 3u);
+  EXPECT_EQ(R.CachedTrials, 0u);
+  EXPECT_EQ(R.TuningSteps, R.WarmupSteps + 3 * 2);
+  ASSERT_EQ(R.TrialLog.size(), 3u);
+  for (const auto &[C, Sec] : R.TrialLog)
+    EXPECT_GE(Sec, kMinMeasurableSeconds) << C.str();
+
+  // Warm-up + trials + production together advanced exactly Steps steps.
+  Grid Want = expectedState(S, 9, Steps);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
+}
+
+TEST(OnlineTuner, SkipsWarmupWhenTheBudgetIsTooSmall) {
+  StencilSpec S = StencilSpec::heat3d();
+  std::vector<KernelConfig> Candidates = makeCandidates();
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+
+  // Steps == 3 < 2 * warm-up, so warming up would eat the whole budget:
+  // the tuner must skip it, run what fits, and still advance exactly 3.
+  const int Steps = 3;
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 2);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result R = Tuner.run(U, Scratch, Steps);
+
+  EXPECT_EQ(R.WarmupSteps, 0);
+  EXPECT_EQ(R.TrialsRun, 1u); // Only one 2-step trial fits in 3 steps.
+  EXPECT_EQ(R.TuningSteps, 2);
+
+  Grid Want = expectedState(S, 2, Steps);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
+}
+
+TEST(OnlineTuner, TimedTrialsPopulateTheCacheForTheNextRun) {
+  StencilSpec S = StencilSpec::heat3d();
+  MachineModel M = MachineModel::rome();
+  std::vector<KernelConfig> Candidates = makeCandidates();
+  TuningCache Cache;
+
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+  Tuner.attachCache(&Cache, M);
+
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 4);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result First = Tuner.run(U, Scratch, 12);
+  EXPECT_EQ(First.TrialsRun, 3u);
+  EXPECT_EQ(Cache.size(), 3u);
+
+  // A second tuning run on the same host resolves every candidate from
+  // the cache and spends its entire budget on production steps.
+  Grid U2(kDims, S.radius());
+  fillPattern(U2, GridPattern::Random, 4);
+  Grid Scratch2(kDims, S.radius());
+  Scratch2.copyHaloFrom(U2);
+  OnlineTuner::Result Second = Tuner.run(U2, Scratch2, 12);
+  EXPECT_EQ(Second.TrialsRun, 0u);
+  EXPECT_EQ(Second.CachedTrials, 3u);
+  EXPECT_EQ(Second.TuningSteps, 0);
+  EXPECT_EQ(Second.WarmupSteps, 0);
+}
+
+TEST(OnlineTuner, MixedCachedAndTimedTrialsCompeteForTheLockIn) {
+  StencilSpec S = StencilSpec::heat3d();
+  MachineModel M = MachineModel::cascadeLakeSP();
+  std::string Id = TuningCache::machineId(M);
+  std::vector<KernelConfig> Candidates = makeCandidates();
+
+  // Only the last candidate is pre-measured — impossibly fast, so it must
+  // beat both freshly timed trials for the lock-in.
+  TuningCache Cache;
+  plant(Cache, S, Id, Candidates[2], 1e-12);
+
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+  Tuner.attachCache(&Cache, M);
+
+  const int Steps = 12;
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 7);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result R = Tuner.run(U, Scratch, Steps);
+
+  EXPECT_EQ(R.CachedTrials, 1u);
+  EXPECT_EQ(R.TrialsRun, 2u);
+  EXPECT_EQ(R.WarmupSteps, 2); // Uncached trials remain: warm-up runs.
+  EXPECT_TRUE(R.Best == Candidates[2]) << R.Best.str();
+
+  Grid Want = expectedState(S, 7, Steps);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
+}
