@@ -15,6 +15,7 @@
 
 #include "arch/MachineModel.h"
 #include "stencil/StencilSpec.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -50,6 +51,41 @@ inline std::vector<ys::MachineModel> paperMachines() {
 inline std::string mlups(double Value) {
   return ys::format("%.0f", Value);
 }
+
+/// JSON-lines result file: one flat ys::JsonObjectWriter object per line
+/// (the same format the structured-trace facility and tuning cache use),
+/// so bench output is machine-readable with the repo's own helpers.  The
+/// bench suites write BENCH_<name>.json files through this.
+class JsonLinesWriter {
+public:
+  explicit JsonLinesWriter(const std::string &Path, bool Append = false)
+      : F(std::fopen(Path.c_str(), Append ? "a" : "w")) {
+    if (!F)
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   Path.c_str());
+  }
+  JsonLinesWriter(const JsonLinesWriter &) = delete;
+  JsonLinesWriter &operator=(const JsonLinesWriter &) = delete;
+  ~JsonLinesWriter() {
+    if (F)
+      std::fclose(F);
+  }
+
+  bool ok() const { return F != nullptr; }
+
+  /// Writes one finished object as a line and flushes (results survive an
+  /// interrupted run).
+  void write(const ys::JsonObjectWriter &Obj) {
+    if (!F)
+      return;
+    std::fputs(Obj.str().c_str(), F);
+    std::fputc('\n', F);
+    std::fflush(F);
+  }
+
+private:
+  std::FILE *F;
+};
 
 /// Formats seconds compactly (ms / us adaptive).
 inline std::string seconds(double Value) {

@@ -8,12 +8,29 @@
 /// sweep throughput by stencil, blocking, fold, and wavefront depth.
 /// Complements the experiment binaries with statistically managed timings.
 ///
+/// Besides the default google-benchmark mode, the binary has two modes of
+/// its own (which bypass google-benchmark entirely):
+///
+///   --ys-compare [--ys-json=PATH]   scalar-vs-folded GLUP/s for heat3d
+///                                   r1 on every available SIMD dispatch
+///                                   target, as JSON lines (default
+///                                   BENCH_micro.json)
+///   --ys-smoke                      one tiny plan built and run per
+///                                   dispatch target; the `perf`-labeled
+///                                   ctest smoke
+///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "codegen/KernelExecutor.h"
+#include "codegen/KernelPlan.h"
 #include "support/Random.h"
+#include "support/Timer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace ys;
 
@@ -85,6 +102,147 @@ void BM_WavefrontTimeSteps(benchmark::State &State) {
 }
 BENCHMARK(BM_WavefrontTimeSteps)->Arg(1)->Arg(2)->Arg(4);
 
+//===----------------------------------------------------------------------===//
+// --ys-compare / --ys-smoke: plan-dispatch measurement without
+// google-benchmark
+//===----------------------------------------------------------------------===//
+
+/// Min-of-repeats GLUP/s of one configuration on one forced SIMD target.
+/// The executor is reused across warm-up and timed repeats, so the plan
+/// is compiled once and the timed region is the steady-state hot path.
+double measureGlups(const StencilSpec &Spec, const KernelConfig &Config,
+                    GridDims Dims, unsigned Repeats,
+                    unsigned SweepsPerRepeat) {
+  Grid In(Dims, Spec.radius(), Config.VectorFold);
+  Grid Out(Dims, Spec.radius(), Config.VectorFold);
+  Rng R(1);
+  In.fillRandom(R);
+  Out.copyHaloFrom(In);
+  KernelExecutor Exec(Spec, Config);
+  const Grid *InPtr = &In;
+  TimingStats Stats = measureSeconds(
+      [&] {
+        for (unsigned S = 0; S < SweepsPerRepeat; ++S)
+          Exec.runSweep(&InPtr, 1, Out);
+      },
+      Repeats);
+  double Lups = static_cast<double>(Dims.lups()) * SweepsPerRepeat;
+  return Lups / Stats.Min / 1e9;
+}
+
+/// Scalar-vs-folded sweep throughput for heat3d r1, per dispatch target.
+/// Emits one JSON line per (target, fold) plus a summary line per target
+/// with the best folded-to-scalar ratio.
+int runCompare(const std::string &JsonPath) {
+  ysbench::banner("micro", "scalar vs folded compiled-plan kernels",
+                  "heat3d r1; GLUP/s, min over repeats; one line per "
+                  "(simd, fold)");
+  ysbench::JsonLinesWriter Json(JsonPath);
+  if (!Json.ok())
+    return 1;
+
+  const StencilSpec Spec = StencilSpec::heat3d();
+  const GridDims Dims{128, 128, 64};
+  const unsigned Repeats = 5, Sweeps = 2;
+  const Fold Folds[] = {{1, 1, 1}, {8, 1, 1}, {4, 2, 1}, {2, 2, 1}};
+
+  int Failures = 0;
+  for (SimdTarget T : availableSimdTargets()) {
+    setenv("YS_SIMD", simdTargetName(T), 1);
+    double ScalarGlups = 0.0, BestFolded = 0.0;
+    std::string BestFoldName;
+    for (const Fold &F : Folds) {
+      KernelConfig C;
+      C.VectorFold = F;
+      double Glups = measureGlups(Spec, C, Dims, Repeats, Sweeps);
+      std::printf("  %-7s fold %-7s %7.3f GLUP/s\n", simdTargetName(T),
+                  F.str().c_str(), Glups);
+      JsonObjectWriter Obj;
+      Obj.field("bench", "micro_scalar_vs_folded")
+          .field("stencil", Spec.name())
+          .field("dims", Dims.str())
+          .field("simd", simdTargetName(T))
+          .field("fold", F.str())
+          .field("glups", Glups)
+          .field("repeats", static_cast<long>(Repeats));
+      Json.write(Obj);
+      if (F.isScalar())
+        ScalarGlups = Glups;
+      else if (Glups > BestFolded) {
+        BestFolded = Glups;
+        BestFoldName = F.str();
+      }
+    }
+    double Ratio = ScalarGlups > 0 ? BestFolded / ScalarGlups : 0.0;
+    // Acceptance bar: the best folded kernel within 10% of (or faster
+    // than) the scalar layout.
+    bool Ok = Ratio >= 0.9;
+    std::printf("  %-7s best folded %s: %.2fx scalar  [%s]\n",
+                simdTargetName(T), BestFoldName.c_str(), Ratio,
+                Ok ? "ok" : "BELOW 0.9x");
+    JsonObjectWriter Sum;
+    Sum.field("bench", "micro_folded_ratio")
+        .field("simd", simdTargetName(T))
+        .field("best_fold", BestFoldName)
+        .field("scalar_glups", ScalarGlups)
+        .field("folded_glups", BestFolded)
+        .field("ratio", Ratio)
+        .field("ok", static_cast<long>(Ok));
+    Json.write(Sum);
+    Failures += Ok ? 0 : 1;
+  }
+  unsetenv("YS_SIMD");
+  std::printf("results: %s\n", JsonPath.c_str());
+  return Failures == 0 ? 0 : 1;
+}
+
+/// Fast smoke for CI (the `perf`-labeled ctest): build and run one small
+/// plan per available dispatch target; fails on any dispatch mismatch.
+int runSmoke() {
+  const StencilSpec Spec = StencilSpec::heat3d();
+  const GridDims Dims{32, 16, 16};
+  int Failures = 0;
+  for (SimdTarget T : availableSimdTargets()) {
+    setenv("YS_SIMD", simdTargetName(T), 1);
+    KernelConfig C;
+    C.VectorFold = {static_cast<int>(simdTargetDoubles(T)), 1, 1};
+    double Glups = measureGlups(Spec, C, Dims, 2, 1);
+    bool Ok = Glups > 0.0;
+    std::printf("smoke %-7s fold %-7s %.3f GLUP/s [%s]\n",
+                simdTargetName(T), C.VectorFold.str().c_str(), Glups,
+                Ok ? "ok" : "FAIL");
+    Failures += Ok ? 0 : 1;
+  }
+  unsetenv("YS_SIMD");
+  return Failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bool Compare = false, Smoke = false;
+  std::string JsonPath = "BENCH_micro.json";
+  // Strip the --ys-* flags; everything else is google-benchmark's.
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ys-compare") == 0)
+      Compare = true;
+    else if (std::strcmp(argv[I], "--ys-smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--ys-json=", 10) == 0)
+      JsonPath = argv[I] + 10;
+    else
+      argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  if (Smoke)
+    return runSmoke();
+  if (Compare)
+    return runCompare(JsonPath);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

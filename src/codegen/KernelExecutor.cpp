@@ -10,7 +10,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <type_traits>
 
 using namespace ys;
 
@@ -36,113 +35,25 @@ void KernelExecutor::runReference(const StencilSpec &Spec,
       }
 }
 
-/// Computes one rectangular region with the fast scalar-layout kernel or
-/// the layout-generic fallback.
-void KernelExecutor::sweepRange(const std::vector<const Grid *> &Inputs,
-                                Grid &Out, long Z0, long Z1, long Y0, long Y1,
-                                long X0, long X1) const {
-  const std::vector<StencilPoint> &Points = Spec.points();
-  unsigned NumPoints = Spec.numPoints();
-
-  bool AllScalar = Out.hasScalarLayout();
-  for (const Grid *In : Inputs)
-    AllScalar &= In->hasScalarLayout();
-
-  if (AllScalar) {
-    // Fast path: constant linear offsets, pointer arithmetic inner loop.
-    // All grids share geometry (asserted in runSweep), so one offset table
-    // serves every input grid; per-point base pointers avoid the indirect
-    // grid lookup in the inner loop.  Dispatching on the point count to a
-    // compile-time-sized kernel lets the compiler fully unroll and
-    // vectorize the accumulation for the common stencil sizes.
-    std::vector<long> Offsets(NumPoints);
-    std::vector<double> Coeffs(NumPoints);
-    std::vector<const double *> PointBase(NumPoints);
-    for (unsigned P = 0; P < NumPoints; ++P) {
-      Offsets[P] =
-          Out.scalarNeighborOffset(Points[P].Dx, Points[P].Dy, Points[P].Dz);
-      Coeffs[P] = Points[P].Coeff;
-      PointBase[P] = Inputs[Points[P].GridIdx]->data();
-    }
-    double *OutBase = Out.data();
-
-    auto RunRows = [&](auto InnerKernel) {
-      for (long Z = Z0; Z < Z1; ++Z)
-        for (long Y = Y0; Y < Y1; ++Y) {
-          size_t Row = Out.linearIndex(X0, Y, Z);
-          InnerKernel(Row, X1 - X0);
-        }
-    };
-    auto FixedKernel = [&](auto NConst) {
-      constexpr unsigned N = decltype(NConst)::value;
-      long Off[N];
-      double C[N];
-      const double *Base[N];
-      for (unsigned P = 0; P < N; ++P) {
-        Off[P] = Offsets[P];
-        C[P] = Coeffs[P];
-        Base[P] = PointBase[P];
-      }
-      RunRows([&, Off, C, Base](size_t Row, long Count) {
-        for (long X = 0; X < Count; ++X) {
-          double Acc = 0.0;
-          for (unsigned P = 0; P < N; ++P)
-            Acc += C[P] * Base[P][Row + X + Off[P]];
-          OutBase[Row + X] = Acc;
-        }
-      });
-    };
-
-    switch (NumPoints) {
-    case 2:
-      FixedKernel(std::integral_constant<unsigned, 2>());
-      break;
-    case 5:
-      FixedKernel(std::integral_constant<unsigned, 5>());
-      break;
-    case 7:
-      FixedKernel(std::integral_constant<unsigned, 7>());
-      break;
-    case 13:
-      FixedKernel(std::integral_constant<unsigned, 13>());
-      break;
-    case 25:
-      FixedKernel(std::integral_constant<unsigned, 25>());
-      break;
-    case 27:
-      FixedKernel(std::integral_constant<unsigned, 27>());
-      break;
-    default:
-      RunRows([&](size_t Row, long Count) {
-        for (long X = 0; X < Count; ++X) {
-          double Acc = 0.0;
-          for (unsigned P = 0; P < NumPoints; ++P)
-            Acc += Coeffs[P] * PointBase[P][Row + X + Offsets[P]];
-          OutBase[Row + X] = Acc;
-        }
-      });
-      break;
-    }
-    return;
+KernelPlan &KernelExecutor::ensurePlan(const Grid &Out) const {
+  SimdTarget Target = selectSimdTarget();
+  if (!Plan || !Plan->matchesGeometry(Out) || Plan->target() != Target) {
+    Plan = std::make_unique<KernelPlan>(Spec, Config, Out, Target);
+    ++PlanBuildCount;
   }
+  return *Plan;
+}
 
-  // Layout-generic path (folded storage).
-  for (long Z = Z0; Z < Z1; ++Z)
-    for (long Y = Y0; Y < Y1; ++Y)
-      for (long X = X0; X < X1; ++X) {
-        double Acc = 0.0;
-        for (const StencilPoint &P : Points)
-          Acc += P.Coeff *
-                 Inputs[P.GridIdx]->at(X + P.Dx, Y + P.Dy, Z + P.Dz);
-        Out.at(X, Y, Z) = Acc;
-      }
+/// Computes one rectangular region through the compiled plan.  The plan
+/// owns every table the inner kernels read, so this is allocation-free.
+void KernelExecutor::sweepRange(long Z0, long Z1, long Y0, long Y1, long X0,
+                                long X1) const {
+  Plan->runRange(Z0, Z1, Y0, Y1, X0, X1);
 }
 
 /// Runs the blocked loop nest over z in [Z0, Z1) on the calling thread.
-void KernelExecutor::sweepBlockedSerialZ(
-    const std::vector<const Grid *> &Inputs, Grid &Out, long Z0,
-    long Z1) const {
-  const GridDims &Dims = Out.dims();
+void KernelExecutor::sweepBlockedSerialZ(const GridDims &Dims, long Z0,
+                                         long Z1) const {
   BlockSize B = Config.Block.resolved(Dims);
   for (long Zb = Z0; Zb < Z1; Zb += B.Z) {
     long Ze = std::min(Zb + B.Z, Z1);
@@ -150,7 +61,7 @@ void KernelExecutor::sweepBlockedSerialZ(
       long Ye = std::min(Yb + B.Y, Dims.Ny);
       for (long Xb = 0; Xb < Dims.Nx; Xb += B.X) {
         long Xe = std::min(Xb + B.X, Dims.Nx);
-        sweepRange(Inputs, Out, Zb, Ze, Yb, Ye, Xb, Xe);
+        sweepRange(Zb, Ze, Yb, Ye, Xb, Xe);
       }
     }
   }
@@ -158,15 +69,22 @@ void KernelExecutor::sweepBlockedSerialZ(
 
 void KernelExecutor::runSweep(const std::vector<const Grid *> &Inputs,
                               Grid &Out, ThreadPool *Pool) const {
-  assert(Inputs.size() >= Spec.numInputGrids() && "missing input grids");
+  runSweep(Inputs.data(), static_cast<unsigned>(Inputs.size()), Out, Pool);
+}
+
+void KernelExecutor::runSweep(const Grid *const *Inputs, unsigned NumInputs,
+                              Grid &Out, ThreadPool *Pool) const {
+  assert(NumInputs >= Spec.numInputGrids() && "missing input grids");
   assert(Out.halo() >= Spec.radius() && "halo smaller than stencil radius");
-  for (const Grid *In : Inputs) {
-    assert(In->dims() == Out.dims() && "input dims mismatch");
-    assert(In->halo() == Out.halo() && "input halo mismatch");
-    assert(In->fold() == Out.fold() && "input fold mismatch");
-    (void)In;
+  for (unsigned I = 0; I < NumInputs; ++I) {
+    assert(Inputs[I]->dims() == Out.dims() && "input dims mismatch");
+    assert(Inputs[I]->halo() == Out.halo() && "input halo mismatch");
+    assert(Inputs[I]->fold() == Out.fold() && "input fold mismatch");
   }
   assert(Out.fold() == Config.VectorFold && "grid fold != configured fold");
+
+  KernelPlan &P = ensurePlan(Out);
+  P.bind(Inputs, NumInputs, Out);
 
   const GridDims &Dims = Out.dims();
   // A candidate config may request fewer threads than the pool has; honor
@@ -174,7 +92,7 @@ void KernelExecutor::runSweep(const std::vector<const Grid *> &Inputs,
   unsigned Threads =
       Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
   if (!Pool || Threads <= 1) {
-    sweepBlockedSerialZ(Inputs, Out, 0, Dims.Nz);
+    sweepBlockedSerialZ(Dims, 0, Dims.Nz);
     return;
   }
 
@@ -191,8 +109,7 @@ void KernelExecutor::runSweep(const std::vector<const Grid *> &Inputs,
         long Z0 = Zb * B.Z, Z1 = std::min(Z0 + B.Z, Dims.Nz);
         long Y0 = Yb * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
         for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-          sweepRange(Inputs, Out, Z0, Z1, Y0, Y1, Xb,
-                     std::min(Xb + B.X, Dims.Nx));
+          sweepRange(Z0, Z1, Y0, Y1, Xb, std::min(Xb + B.X, Dims.Nx));
       },
       Threads);
 }
@@ -205,14 +122,17 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
   int Depth = std::max(1, Config.WavefrontDepth);
 
   // One structured record per multi-step run (phase "kernel_steps" with
-  // the scope's wall time); free when tracing is disabled.
+  // the scope's wall time).  The field arguments themselves allocate, so
+  // they are gated on tracing being enabled to keep the disabled hot path
+  // allocation-free.
   TraceScope Scope("kernel_steps");
-  Scope.field("stencil", Spec.name())
-      .field("config", Config.str())
-      .field("dims", U.dims().str())
-      .field("steps", Steps)
-      .field("threads",
-             Pool ? std::min(Config.Threads, Pool->numThreads()) : 1u);
+  if (Trace::enabled())
+    Scope.field("stencil", Spec.name())
+        .field("config", Config.str())
+        .field("dims", U.dims().str())
+        .field("steps", Steps)
+        .field("threads",
+               Pool ? std::min(Config.Threads, Pool->numThreads()) : 1u);
 
   Grid *Even = &U;
   Grid *Odd = &Scratch;
@@ -226,9 +146,10 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
     Done += Depth;
   }
 
-  // Remaining plain sweeps.
+  // Remaining plain sweeps (pointer-array path: no per-sweep allocation).
   for (; Done < Steps; ++Done) {
-    runSweep({Even}, *Odd, Pool);
+    const Grid *In = Even;
+    runSweep(&In, 1, *Odd, Pool);
     std::swap(Even, Odd);
   }
 
@@ -248,6 +169,10 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
   BlockSize B = Config.Block.resolved(Dims);
   long Bz = std::max<long>(B.Z, R + 1); // Progress needs Bz > radius.
 
+  // One plan serves both buffers (same geometry); each slab rebinds the
+  // source/destination pointers, which is allocation-free.
+  KernelPlan &P = ensurePlan(*Even);
+
   std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
   Frontier[0] = Dims.Nz;
 
@@ -260,7 +185,8 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
   auto sweepSlab = [&](int S, long Z0, long Z1) {
     Grid *Src = bufferFor(S - 1);
     Grid *Dst = bufferFor(S);
-    std::vector<const Grid *> Inputs = {Src};
+    const Grid *SrcPtr = Src;
+    P.bind(&SrcPtr, 1, *Dst);
     if (Pool && Threads > 1) {
       // The slab is at most one z block deep, but enumerating (zBlock,
       // yBlock) tiles keeps the same tile->thread mapping as runSweep and
@@ -273,7 +199,7 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
             long SZ0 = Z0 + Zt * B.Z, SZ1 = std::min(SZ0 + B.Z, Z1);
             long Y0 = Yt * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
             for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-              sweepRange(Inputs, *Dst, SZ0, SZ1, Y0, Y1, Xb,
+              sweepRange(SZ0, SZ1, Y0, Y1, Xb,
                          std::min(Xb + B.X, Dims.Nx));
           },
           Threads);
@@ -281,8 +207,8 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
     }
     for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
       for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-        sweepRange(Inputs, *Dst, Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny),
-                   Xb, std::min(Xb + B.X, Dims.Nx));
+        sweepRange(Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny), Xb,
+                   std::min(Xb + B.X, Dims.Nx));
   };
 
   while (Frontier[Depth] < Dims.Nz) {

@@ -11,6 +11,11 @@
 /// wavefront blocking over multiple timesteps.  The reference path is a
 /// plain triple loop used as ground truth by tests and the tuner.
 ///
+/// The per-range inner kernels live in a KernelPlan compiled lazily on
+/// first use and cached while the grid geometry stays the same, so
+/// repeated sweeps (tuner warm-up + timed trials, multi-step runs) reuse
+/// one plan and the steady-state hot path performs no allocation.
+///
 /// Semantics: one sweep computes Out(x,y,z) = sum_p Coeff_p * In_g(x+dx, ...)
 /// for every interior point; halo cells provide boundary values and are
 /// never written.  Multi-timestep runs treat the halo as a constant-in-time
@@ -22,15 +27,21 @@
 #define YS_CODEGEN_KERNELEXECUTOR_H
 
 #include "codegen/KernelConfig.h"
+#include "codegen/KernelPlan.h"
 #include "stencil/Grid.h"
 #include "stencil/StencilSpec.h"
 #include "support/ThreadPool.h"
 
+#include <memory>
 #include <vector>
 
 namespace ys {
 
 /// Executes one stencil under a fixed kernel configuration.
+///
+/// Not copyable (it owns its cached KernelPlan).  An executor may be
+/// driven from one thread at a time; the parallelism is internal (the
+/// pool passed to the run methods).
 class KernelExecutor {
 public:
   KernelExecutor(StencilSpec Spec, KernelConfig Config);
@@ -43,6 +54,11 @@ public:
   /// the configured fold.  \p Pool, when non-null and Config.Threads > 1,
   /// parallelizes the outer blocked loop.
   void runSweep(const std::vector<const Grid *> &Inputs, Grid &Out,
+                ThreadPool *Pool = nullptr) const;
+
+  /// Pointer-array overload of runSweep for callers that must not
+  /// allocate (the steady-state stepping loop, benchmarks).
+  void runSweep(const Grid *const *Inputs, unsigned NumInputs, Grid &Out,
                 ThreadPool *Pool = nullptr) const;
 
   /// Applies \p Steps timesteps to the single-input stencil: U <- S^Steps(U),
@@ -60,17 +76,41 @@ public:
   /// Lattice updates per sweep for the given dims.
   static long lupsPerSweep(const GridDims &Dims) { return Dims.lups(); }
 
+  /// Times the cached kernel plan has been (re)built.  A full
+  /// runTimeSteps() on one geometry costs exactly one build — this is the
+  /// regression handle for the "plan per tile" allocation bug.
+  unsigned planBuilds() const { return PlanBuildCount; }
+
+  /// SIMD target the cached plan dispatches to; before the first run,
+  /// the target a new plan would get (selectSimdTarget()).
+  SimdTarget planTarget() const {
+    return Plan ? Plan->target() : selectSimdTarget();
+  }
+
+  /// The cached plan, or null before the first run.  Exposed for tests
+  /// and benchmarks that inspect plan properties (e.g. unit-stride point
+  /// counts).
+  const KernelPlan *plan() const { return Plan.get(); }
+
 private:
-  void sweepRange(const std::vector<const Grid *> &Inputs, Grid &Out,
-                  long Z0, long Z1, long Y0, long Y1, long X0,
+  /// Returns the cached plan, (re)compiling it when absent, when \p Out's
+  /// geometry changed, or when the selected SIMD target changed.
+  KernelPlan &ensurePlan(const Grid &Out) const;
+
+  /// Thin dispatcher into the bound plan for one rectangular range.
+  void sweepRange(long Z0, long Z1, long Y0, long Y1, long X0,
                   long X1) const;
-  void sweepBlockedSerialZ(const std::vector<const Grid *> &Inputs,
-                           Grid &Out, long Z0, long Z1) const;
+  void sweepBlockedSerialZ(const GridDims &Dims, long Z0, long Z1) const;
   void wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
                           ThreadPool *Pool) const;
 
   StencilSpec Spec;
   KernelConfig Config;
+  /// Geometry-keyed compiled plan.  Mutable: plans are a cache, and all
+  /// public entry points stay const.  Rebinding/rebuilding is only done
+  /// by the (single) driving thread, never by pool workers.
+  mutable std::unique_ptr<KernelPlan> Plan;
+  mutable unsigned PlanBuildCount = 0;
 };
 
 } // namespace ys

@@ -1,0 +1,235 @@
+//===- codegen/KernelPlan.cpp - Compiled stencil kernel plan ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelPlan.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace ys;
+using plankernels::KernelTable;
+
+const char *ys::simdTargetName(SimdTarget T) {
+  switch (T) {
+  case SimdTarget::Scalar:
+    return "scalar";
+  case SimdTarget::AVX2:
+    return "avx2";
+  case SimdTarget::AVX512:
+    return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<SimdTarget> ys::parseSimdTarget(const std::string &Name) {
+  if (Name == "scalar")
+    return SimdTarget::Scalar;
+  if (Name == "avx2")
+    return SimdTarget::AVX2;
+  if (Name == "avx512" || Name == "avx512f")
+    return SimdTarget::AVX512;
+  return std::nullopt;
+}
+
+unsigned ys::simdTargetDoubles(SimdTarget T) {
+  switch (T) {
+  case SimdTarget::Scalar:
+    return 1;
+  case SimdTarget::AVX2:
+    return 4;
+  case SimdTarget::AVX512:
+    return 8;
+  }
+  return 1;
+}
+
+static bool compiledIn(SimdTarget T) {
+  switch (T) {
+  case SimdTarget::Scalar:
+    return true;
+  case SimdTarget::AVX2:
+#ifdef YS_PLAN_HAVE_AVX2
+    return true;
+#else
+    return false;
+#endif
+  case SimdTarget::AVX512:
+#ifdef YS_PLAN_HAVE_AVX512
+    return true;
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+static bool cpuSupports(SimdTarget T) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (T) {
+  case SimdTarget::Scalar:
+    return true;
+  case SimdTarget::AVX2:
+    return __builtin_cpu_supports("avx2");
+  case SimdTarget::AVX512:
+    return __builtin_cpu_supports("avx512f");
+  }
+#endif
+  return T == SimdTarget::Scalar;
+}
+
+const std::vector<SimdTarget> &ys::availableSimdTargets() {
+  static const std::vector<SimdTarget> Targets = [] {
+    std::vector<SimdTarget> V{SimdTarget::Scalar};
+    for (SimdTarget T : {SimdTarget::AVX2, SimdTarget::AVX512})
+      if (compiledIn(T) && cpuSupports(T))
+        V.push_back(T);
+    return V;
+  }();
+  return Targets;
+}
+
+SimdTarget ys::bestSimdTarget() { return availableSimdTargets().back(); }
+
+SimdTarget ys::selectSimdTarget() {
+  const char *Env = std::getenv("YS_SIMD");
+  if (!Env || !*Env)
+    return bestSimdTarget();
+  std::optional<SimdTarget> T = parseSimdTarget(Env);
+  if (T)
+    for (SimdTarget A : availableSimdTargets())
+      if (A == *T)
+        return *T;
+  static std::once_flag WarnOnce;
+  std::call_once(WarnOnce, [&] {
+    std::fprintf(stderr, "ys: YS_SIMD=%s is %s; using %s\n", Env,
+                 T ? "not available on this host" : "not a known target",
+                 simdTargetName(bestSimdTarget()));
+  });
+  return bestSimdTarget();
+}
+
+static const KernelTable &tableFor(SimdTarget T) {
+#ifdef YS_PLAN_HAVE_AVX512
+  if (T == SimdTarget::AVX512)
+    return plankernels::avx512Kernels();
+#endif
+#ifdef YS_PLAN_HAVE_AVX2
+  if (T == SimdTarget::AVX2)
+    return plankernels::avx2Kernels();
+#endif
+  (void)T;
+  return plankernels::scalarKernels();
+}
+
+KernelPlan::KernelPlan(const StencilSpec &Spec, const KernelConfig &Config,
+                       const Grid &Proto, SimdTarget Target)
+    : Target(Target), Kernels(&tableFor(Target)), Dims(Proto.dims()),
+      Halo(Proto.halo()), F(Proto.fold()), PadX(Proto.padX()),
+      PadY(Proto.padY()), PadZ(Proto.padZ()) {
+  assert(F == Config.VectorFold && "grid fold != configured fold");
+  (void)Config;
+
+  const std::vector<StencilPoint> &Points = Spec.points();
+  const unsigned NumPoints = Spec.numPoints();
+  const int E = F.elems();
+
+  Coeff.resize(NumPoints);
+  ScalarOff.resize(NumPoints);
+  LaneOff.resize(static_cast<size_t>(NumPoints) * E);
+  Lane0Off.resize(NumPoints);
+  UnitStride.resize(NumPoints);
+  PointGrid.resize(NumPoints);
+  PointBase.assign(NumPoints, nullptr);
+  LaneX.resize(E);
+  LaneY.resize(E);
+  LaneZ.resize(E);
+
+  for (int L = 0; L < E; ++L) {
+    int Ix, Iy, Iz;
+    Proto.laneCoords(L, Ix, Iy, Iz);
+    LaneX[L] = Ix;
+    LaneY[L] = Iy;
+    LaneZ[L] = Iz;
+  }
+
+  for (unsigned P = 0; P < NumPoints; ++P) {
+    const StencilPoint &Pt = Points[P];
+    Coeff[P] = Pt.Coeff;
+    PointGrid[P] = Pt.GridIdx;
+    ScalarOff[P] = Proto.hasScalarLayout()
+                       ? Proto.scalarNeighborOffset(Pt.Dx, Pt.Dy, Pt.Dz)
+                       : 0;
+    bool Unit = true;
+    for (int L = 0; L < E; ++L) {
+      long Off = Proto.foldNeighborOffset(L, Pt.Dx, Pt.Dy, Pt.Dz);
+      LaneOff[static_cast<size_t>(P) * E + L] = Off;
+      if (L == 0)
+        Lane0Off[P] = Off;
+      Unit &= Off == Lane0Off[P] + L;
+    }
+    UnitStride[P] = Unit ? 1 : 0;
+  }
+
+  Tables.PadX = PadX;
+  Tables.PadY = PadY;
+  Tables.NVx = Proto.numVecX();
+  Tables.NVy = Proto.numVecY();
+  Tables.Halo = Halo;
+  Tables.Fx = F.X;
+  Tables.Fy = F.Y;
+  Tables.Fz = F.Z;
+  Tables.E = E;
+  Tables.ScalarLayout = Proto.hasScalarLayout();
+  Tables.NumPoints = NumPoints;
+  Tables.Coeff = Coeff.data();
+  Tables.ScalarOff = ScalarOff.data();
+  Tables.LaneOff = LaneOff.data();
+  Tables.Lane0Off = Lane0Off.data();
+  Tables.UnitStride = UnitStride.data();
+  Tables.LaneX = LaneX.data();
+  Tables.LaneY = LaneY.data();
+  Tables.LaneZ = LaneZ.data();
+  Tables.PointBase = PointBase.data();
+}
+
+bool KernelPlan::matchesGeometry(const Grid &G) const {
+  return G.dims() == Dims && G.halo() == Halo && G.fold() == F &&
+         G.padX() == PadX && G.padY() == PadY && G.padZ() == PadZ;
+}
+
+void KernelPlan::bind(const Grid *const *Inputs, unsigned NumInputs,
+                      Grid &Out) {
+  assert(matchesGeometry(Out) && "output geometry != plan geometry");
+  (void)NumInputs;
+  for (unsigned P = 0, N = Tables.NumPoints; P < N; ++P) {
+    assert(PointGrid[P] < NumInputs && "missing input grid");
+    const Grid *In = Inputs[PointGrid[P]];
+    assert(matchesGeometry(*In) && "input geometry != plan geometry");
+    assert(In != &Out && "output grid may not alias an input");
+    PointBase[P] = In->data();
+  }
+  Tables.OutBase = Out.data();
+}
+
+void KernelPlan::runRange(long Z0, long Z1, long Y0, long Y1, long X0,
+                          long X1) const {
+  assert(Tables.OutBase && "runRange() before bind()");
+  if (Z1 <= Z0 || Y1 <= Y0 || X1 <= X0)
+    return;
+  if (Tables.ScalarLayout)
+    Kernels->SweepScalar(Tables, Z0, Z1, Y0, Y1, X0, X1);
+  else
+    Kernels->SweepFolded(Tables, Z0, Z1, Y0, Y1, X0, X1);
+}
+
+unsigned KernelPlan::numUnitStridePoints() const {
+  unsigned N = 0;
+  for (unsigned char U : UnitStride)
+    N += U;
+  return N;
+}

@@ -1,0 +1,128 @@
+//===- codegen/KernelPlan.h - Compiled stencil kernel plan -------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A KernelPlan is the compiled form of one (StencilSpec, KernelConfig,
+/// grid geometry) triple: flattened coefficient and neighbor-offset
+/// tables, per-input base-pointer slots, and a pointer to the fold-aware
+/// inner kernels of one SIMD dispatch target.  The executor builds a plan
+/// once per geometry and reuses it for every cache-block range of every
+/// sweep — the per-range hot path is table lookups and the kernel call,
+/// with no allocation and no per-cell layout arithmetic.
+///
+/// For folded storage the plan exploits that fold-linear neighbor offsets
+/// are constant per (point, lane) across all fold blocks
+/// (Grid::foldNeighborOffset), so a full block updates as E independent
+/// SIMD lanes; points whose lane offsets are consecutive are flagged for
+/// contiguous vector loads.
+///
+/// SIMD dispatch: kernels are compiled once per instruction-set target
+/// (scalar baseline, AVX2, AVX-512 where the compiler supports them) and
+/// selected at runtime from CPU capabilities, overridable with the
+/// `YS_SIMD` environment variable (`scalar` / `avx2` / `avx512`) for
+/// reproducible measurements.  All targets produce bit-identical results:
+/// the kernel translation units disable FMA contraction and accumulate in
+/// spec point order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_KERNELPLAN_H
+#define YS_CODEGEN_KERNELPLAN_H
+
+#include "codegen/KernelConfig.h"
+#include "codegen/KernelPlanKernels.h"
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Instruction-set targets the plan kernels can dispatch to at runtime.
+enum class SimdTarget { Scalar, AVX2, AVX512 };
+
+/// Lower-case target name ("scalar", "avx2", "avx512"); also the accepted
+/// YS_SIMD spellings.
+const char *simdTargetName(SimdTarget T);
+
+/// Parses a YS_SIMD value; empty optional for unknown names.
+std::optional<SimdTarget> parseSimdTarget(const std::string &Name);
+
+/// Vector width in doubles a target models (scalar=1, avx2=4, avx512=8).
+unsigned simdTargetDoubles(SimdTarget T);
+
+/// Targets both compiled into this binary and supported by the CPU, in
+/// ascending width order.  Scalar is always available.
+const std::vector<SimdTarget> &availableSimdTargets();
+
+/// Widest available target.
+SimdTarget bestSimdTarget();
+
+/// Dispatch target for new plans: the YS_SIMD override when it names an
+/// available target (otherwise a one-time stderr warning), else the
+/// widest available target.
+SimdTarget selectSimdTarget();
+
+/// One compiled kernel plan.  Not copyable: the dispatch tables point
+/// into plan-owned storage.
+class KernelPlan {
+public:
+  /// Compiles the plan for \p Spec under \p Config on the geometry of
+  /// \p Proto (dims, halo, fold, padding), dispatching to \p Target.
+  KernelPlan(const StencilSpec &Spec, const KernelConfig &Config,
+             const Grid &Proto, SimdTarget Target);
+
+  KernelPlan(const KernelPlan &) = delete;
+  KernelPlan &operator=(const KernelPlan &) = delete;
+
+  SimdTarget target() const { return Target; }
+
+  /// True when \p G has exactly the geometry the plan was compiled for.
+  bool matchesGeometry(const Grid &G) const;
+
+  /// Rebinds the per-point input base pointers and the output base to
+  /// concrete grids (all matching the plan geometry).  Pure pointer
+  /// copies into preallocated slots: no allocation.  \p Inputs holds
+  /// spec().numInputGrids() grids indexed by StencilPoint::GridIdx.
+  void bind(const Grid *const *Inputs, unsigned NumInputs, Grid &Out);
+
+  /// Computes the interior range [Z0,Z1) x [Y0,Y1) x [X0,X1) of the bound
+  /// output.  Read-only on the plan: safe to call concurrently on
+  /// disjoint ranges after one bind().
+  void runRange(long Z0, long Z1, long Y0, long Y1, long X0,
+                long X1) const;
+
+  /// Stencil points whose folded lane offsets are consecutive (served by
+  /// contiguous vector loads rather than an offset table).
+  unsigned numUnitStridePoints() const;
+
+private:
+  SimdTarget Target;
+  const plankernels::KernelTable *Kernels = nullptr;
+  plankernels::PlanTables Tables;
+
+  // Geometry key (matchesGeometry).
+  GridDims Dims;
+  int Halo = 0;
+  Fold F;
+  long PadX = 0, PadY = 0, PadZ = 0;
+
+  // Backing storage for the table pointers.
+  std::vector<double> Coeff;
+  std::vector<long> ScalarOff;
+  std::vector<long> LaneOff;
+  std::vector<long> Lane0Off;
+  std::vector<unsigned char> UnitStride;
+  std::vector<int> LaneX, LaneY, LaneZ;
+  std::vector<unsigned> PointGrid;
+  std::vector<const double *> PointBase;
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_KERNELPLAN_H

@@ -1,0 +1,79 @@
+//===- codegen/KernelPlanKernels.h - Plan kernel dispatch ABI ----*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ABI between KernelPlan and its per-SIMD-target kernel translation
+/// units.  A plan flattens everything a sweep needs — coefficients,
+/// scalar-layout neighbor offsets, fold-linear per-lane offsets, per-point
+/// base-pointer slots — into one PlanTables struct; the kernels (compiled
+/// from KernelPlanKernels.inc once per instruction-set target) only ever
+/// read it.  Keeping the tables plain pointers into plan-owned storage is
+/// what makes the steady-state sweep path allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_KERNELPLANKERNELS_H
+#define YS_CODEGEN_KERNELPLANKERNELS_H
+
+#include <cstddef>
+
+namespace ys::plankernels {
+
+/// Flattened, layout-resolved view of one compiled plan plus the grid
+/// bindings of the current sweep.  Built and owned by KernelPlan.
+struct PlanTables {
+  // --- Geometry (extents are padded, i.e. interior + 2*halo rounded up
+  // --- to the fold). ---
+  long PadX = 0, PadY = 0; ///< Scalar-layout strides.
+  long NVx = 0, NVy = 0;   ///< Fold-block counts per dimension.
+  int Halo = 0;
+  int Fx = 1, Fy = 1, Fz = 1;
+  int E = 1; ///< Fold elements (Fx*Fy*Fz).
+  bool ScalarLayout = true;
+  unsigned NumPoints = 0;
+
+  // --- Per-point tables ([NumPoints] unless noted). ---
+  const double *Coeff = nullptr;
+  const long *ScalarOff = nullptr; ///< Scalar-layout neighbor offsets.
+  const long *LaneOff = nullptr;   ///< [NumPoints*E] fold-linear offsets.
+  const long *Lane0Off = nullptr;  ///< Lane-0 offset per point.
+  /// Nonzero when the point's lane offsets are consecutive
+  /// (LaneOff[p][l] == Lane0Off[p] + l): one contiguous vector load
+  /// instead of a per-lane offset table.
+  const unsigned char *UnitStride = nullptr;
+
+  // --- Per-lane in-fold coordinates ([E]). ---
+  const int *LaneX = nullptr, *LaneY = nullptr, *LaneZ = nullptr;
+
+  // --- Sweep bindings (rewritten by KernelPlan::bind; pointer copies
+  // --- only). ---
+  const double *const *PointBase = nullptr; ///< [NumPoints] input bases.
+  double *OutBase = nullptr;
+};
+
+/// One dispatch target's kernel entry points.  Both sweep the interior
+/// range [Z0,Z1) x [Y0,Y1) x [X0,X1) (interior coordinates; halo handled
+/// via PlanTables::Halo) of the bound grids.  Pure readers of \p T:
+/// thread-safe for disjoint ranges.
+struct KernelTable {
+  void (*SweepScalar)(const PlanTables &T, long Z0, long Z1, long Y0,
+                      long Y1, long X0, long X1);
+  void (*SweepFolded)(const PlanTables &T, long Z0, long Z1, long Y0,
+                      long Y1, long X0, long X1);
+};
+
+/// Baseline-ISA kernels; always compiled.
+const KernelTable &scalarKernels();
+#ifdef YS_PLAN_HAVE_AVX2
+const KernelTable &avx2Kernels();
+#endif
+#ifdef YS_PLAN_HAVE_AVX512
+const KernelTable &avx512Kernels();
+#endif
+
+} // namespace ys::plankernels
+
+#endif // YS_CODEGEN_KERNELPLANKERNELS_H

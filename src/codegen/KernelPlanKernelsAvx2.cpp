@@ -1,0 +1,22 @@
+//===- codegen/KernelPlanKernelsAvx2.cpp - AVX2 plan kernels ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX2 instantiation of the plan kernels: same bodies as the baseline
+// (KernelPlanKernels.inc), compiled with -mavx2 -fopenmp-simd
+// -ffp-contract=off.  Only added to the build when the compiler accepts
+// -mavx2 on an x86 host (src/codegen/CMakeLists.txt); contraction stays
+// off so results are bit-identical to the baseline target.
+//
+//===----------------------------------------------------------------------===//
+
+#define YS_PLAN_TARGET_NS target_avx2
+#include "codegen/KernelPlanKernels.inc"
+
+namespace ys::plankernels {
+
+const KernelTable &avx2Kernels() { return target_avx2::kernels(); }
+
+} // namespace ys::plankernels

@@ -1,0 +1,24 @@
+//===- codegen/KernelPlanKernelsAvx512.cpp - AVX-512 plan kernels ----------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// AVX-512 instantiation of the plan kernels: same bodies as the baseline
+// (KernelPlanKernels.inc), compiled with -mavx512f -fopenmp-simd
+// -ffp-contract=off.  Only added to the build when the compiler accepts
+// -mavx512f on an x86 host (src/codegen/CMakeLists.txt).  GCC contracts
+// mul+add into FMA under -mavx512f by default, which rounds differently
+// than the baseline's separate operations — -ffp-contract=off is what
+// keeps this target on the verifier's bit-exactness contract.
+//
+//===----------------------------------------------------------------------===//
+
+#define YS_PLAN_TARGET_NS target_avx512
+#include "codegen/KernelPlanKernels.inc"
+
+namespace ys::plankernels {
+
+const KernelTable &avx512Kernels() { return target_avx512::kernels(); }
+
+} // namespace ys::plankernels

@@ -1,0 +1,21 @@
+//===- codegen/KernelPlanKernelsScalar.cpp - baseline plan kernels ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Baseline-ISA instantiation of the plan kernels: compiled with the
+// project-wide flags only (plus -fopenmp-simd -ffp-contract=off), so it
+// runs on any host and doubles as the rounding reference for the wider
+// targets.  Bodies live in KernelPlanKernels.inc.
+//
+//===----------------------------------------------------------------------===//
+
+#define YS_PLAN_TARGET_NS target_scalar
+#include "codegen/KernelPlanKernels.inc"
+
+namespace ys::plankernels {
+
+const KernelTable &scalarKernels() { return target_scalar::kernels(); }
+
+} // namespace ys::plankernels

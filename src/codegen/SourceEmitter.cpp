@@ -34,6 +34,109 @@ std::string SourceEmitter::emitExpression(const StencilSpec &Spec) {
   return Out;
 }
 
+/// Emits the fold-aware kernel: the same inner-loop shape as the
+/// in-process KernelPlan fast path — per-point fold-linear offset tables
+/// computed once before the sweep, then per fold block a simd lane loop
+/// accumulating the stencil points in spec order.
+static std::string emitFoldedKernel(const StencilSpec &Spec,
+                                    const KernelConfig &Config,
+                                    const SourceEmitter::Options &Opts,
+                                    const std::string &Name,
+                                    const std::string &Restrict) {
+  const Fold &F = Config.VectorFold;
+  const std::vector<StencilPoint> &Points = Spec.points();
+  std::string Src;
+
+  // Signature: base pointers plus the padded extent in fold-block units.
+  std::string Params;
+  for (unsigned G = 0; G < Spec.numInputGrids(); ++G)
+    Params += format("const double *%s u%u, ", Restrict.c_str(), G);
+  Params += format("double *%s out,\n    long NVx, long NVy, long NVz",
+                   Restrict.c_str());
+  Src += format("void %s(%s) {\n", Name.c_str(), Params.c_str());
+
+  Src += format("  // Vector fold %s (%d lanes).  Fold-linear neighbor\n",
+                F.str().c_str(), F.elems());
+  Src += "  // offsets are constant per (point, lane) across every fold\n";
+  Src += "  // block, so the tables below are computed once per sweep.\n";
+  std::string Decl = "  long ";
+  for (unsigned P = 0; P < Points.size(); ++P)
+    Decl += format("%soff%u[FOLD_ELEMS]", P ? ", " : "", P);
+  Src += Decl + ";\n";
+  Src += "  for (int l = 0; l < FOLD_ELEMS; ++l) {\n";
+  Src += "    const int ix = l % FOLD_X;\n";
+  Src += "    const int iy = (l / FOLD_X) % FOLD_Y;\n";
+  Src += "    const int iz = l / (FOLD_X * FOLD_Y);\n";
+  for (unsigned P = 0; P < Points.size(); ++P)
+    Src += format("    off%u[l] = FOLD_OFF(%s, %s, %s);\n", P,
+                  indexArg("ix", Points[P].Dx).c_str(),
+                  indexArg("iy", Points[P].Dy).c_str(),
+                  indexArg("iz", Points[P].Dz).c_str());
+  Src += "  }\n";
+
+  bool Blocked = !Config.Block.isUnblocked();
+  if (Opts.EmitOpenMP)
+    Src += std::string("  #pragma omp parallel for schedule(static)") +
+           (Blocked ? " collapse(2)" : "") + "\n";
+
+  std::string Indent;
+  if (Blocked) {
+    // Cache blocks expressed in fold-block units (rounded up).
+    auto VecBlock = [](long B, int Fd) {
+      return B > 0 ? (B + Fd - 1) / Fd : 1;
+    };
+    long Bx = VecBlock(Config.Block.X, F.X);
+    long By = VecBlock(Config.Block.Y, F.Y);
+    long Bz = VecBlock(Config.Block.Z, F.Z);
+    Src += format("  for (long vzb = 0; vzb < NVz; vzb += %ld)\n", Bz);
+    Src += format("    for (long vyb = 0; vyb < NVy; vyb += %ld)\n", By);
+    Src += format("      for (long vxb = 0; vxb < NVx; vxb += %ld) {\n",
+                  Bx);
+    Src += format("        long vze = std::min(vzb + %ld, NVz);\n", Bz);
+    Src += format("        long vye = std::min(vyb + %ld, NVy);\n", By);
+    Src += format("        long vxe = std::min(vxb + %ld, NVx);\n", Bx);
+    Src += "        for (long vz = vzb; vz < vze; ++vz)\n";
+    Src += "          for (long vy = vyb; vy < vye; ++vy)\n";
+    Src += "            for (long vx = vxb; vx < vxe; ++vx) {\n";
+    Indent = "              ";
+  } else {
+    Src += "  for (long vz = 0; vz < NVz; ++vz)\n";
+    Src += "    for (long vy = 0; vy < NVy; ++vy)\n";
+    Src += "      for (long vx = 0; vx < NVx; ++vx) {\n";
+    Indent = "        ";
+  }
+
+  std::string SimdPragma =
+      Opts.EmitSimdPragma ? Indent + "#pragma omp simd\n" : "";
+  Src += Indent +
+         "const long base = ((vz * NVy + vy) * NVx + vx) * FOLD_ELEMS;\n";
+  Src += Indent + "double acc[FOLD_ELEMS];\n";
+  Src += SimdPragma;
+  Src += Indent + "for (int l = 0; l < FOLD_ELEMS; ++l)\n";
+  Src += Indent + "  acc[l] = 0.0;\n";
+  for (unsigned P = 0; P < Points.size(); ++P) {
+    std::string Coeff = Points[P].Coeff != 1.0
+                            ? trimmedDouble(Points[P].Coeff, 9) + " * "
+                            : std::string();
+    Src += SimdPragma;
+    Src += Indent + "for (int l = 0; l < FOLD_ELEMS; ++l)\n";
+    Src += Indent + format("  acc[l] += %su%u[base + off%u[l]];\n",
+                           Coeff.c_str(), Points[P].GridIdx, P);
+  }
+  Src += SimdPragma;
+  Src += Indent + "for (int l = 0; l < FOLD_ELEMS; ++l)\n";
+  Src += Indent + "  out[base + l] = acc[l];\n";
+
+  if (Blocked) {
+    Src += "            }\n";
+    Src += "      }\n";
+  } else {
+    Src += "      }\n";
+  }
+  Src += "}\n";
+  return Src;
+}
+
 std::string SourceEmitter::emitKernel(const StencilSpec &Spec,
                                       const KernelConfig &Config,
                                       const Options &Opts) {
@@ -45,6 +148,10 @@ std::string SourceEmitter::emitKernel(const StencilSpec &Spec,
       C = '_';
 
   std::string Restrict = Opts.EmitRestrict ? " __restrict" : "";
+
+  if (!Config.VectorFold.isScalar())
+    return emitFoldedKernel(Spec, Config, Opts, Name, Restrict);
+
   std::string Src;
 
   // Signature: one const pointer per input grid plus the output.
@@ -212,9 +319,33 @@ std::string SourceEmitter::emitTranslationUnit(const StencilSpec &Spec,
                   "driver loop, not this sweep kernel\n",
                   Config.WavefrontDepth);
   Src += "\n#include <algorithm>\n\n";
-  Src += "// Grids are padded to PadX x PadY x PadZ with the halo folded\n";
-  Src += "// into the origin; IDX3 addresses interior coordinates.\n";
-  Src += "#define IDX3(x, y, z) (((z) * PadY + (y)) * PadX + (x))\n\n";
+  const Fold &F = Config.VectorFold;
+  if (F.isScalar()) {
+    Src += "// Grids are padded to PadX x PadY x PadZ with the halo folded\n";
+    Src += "// into the origin; IDX3 addresses interior coordinates.\n";
+    Src += "#define IDX3(x, y, z) (((z) * PadY + (y)) * PadX + (x))\n\n";
+  } else {
+    Src += "// Folded storage: the grid is an array of NVx*NVy*NVz\n";
+    Src += "// (FOLD_X x FOLD_Y x FOLD_Z) blocks of FOLD_ELEMS contiguous\n";
+    Src += "// doubles each; a SIMD register holds one block.\n";
+    Src += format("#define FOLD_X %d\n#define FOLD_Y %d\n"
+                  "#define FOLD_Z %d\n#define FOLD_ELEMS %d\n",
+                  F.X, F.Y, F.Z, F.elems());
+    Src += "// Floor division: negative deltas land in the preceding "
+           "block.\n";
+    Src += "#define FOLD_DIV(a, f) "
+           "((a) >= 0 ? (a) / (f) : -((-(a) + (f) - 1) / (f)))\n";
+    Src += "// Fold-linear offset of in-fold coordinate (gx, gy, gz)\n";
+    Src += "// relative to its block's base index; the coordinates may\n";
+    Src += "// reach into neighboring blocks.\n";
+    Src += "#define FOLD_OFF(gx, gy, gz) \\\n";
+    Src += "  (((FOLD_DIV((gz), FOLD_Z) * NVy + FOLD_DIV((gy), FOLD_Y)) * "
+           "NVx + \\\n";
+    Src += "    FOLD_DIV((gx), FOLD_X)) * FOLD_ELEMS + \\\n";
+    Src += "   (((gz) - FOLD_DIV((gz), FOLD_Z) * FOLD_Z) * FOLD_Y + \\\n";
+    Src += "    ((gy) - FOLD_DIV((gy), FOLD_Y) * FOLD_Y)) * FOLD_X + \\\n";
+    Src += "   ((gx) - FOLD_DIV((gx), FOLD_X) * FOLD_X))\n\n";
+  }
   Src += emitKernel(Spec, Config, Opts);
   return Src;
 }

@@ -7,8 +7,11 @@
 /// \file
 /// Emits the C++ source a YASK-style code generator would produce for a
 /// stencil under a kernel configuration: the blocked OpenMP loop nest, the
-/// SIMD inner loop, and the unrolled stencil expression.  The emitted text
-/// is a demonstration artifact (golden-tested); execution in this repo goes
+/// SIMD inner loop, and the unrolled stencil expression.  Folded configs
+/// emit the same fold-aware shape the in-process KernelPlan fast path
+/// executes: per-point fold-linear offset tables built once per sweep and
+/// a `#pragma omp simd` lane loop per fold block.  The emitted text is a
+/// demonstration artifact (golden-tested); execution in this repo goes
 /// through KernelExecutor, which applies the same transformations.
 ///
 //===----------------------------------------------------------------------===//

@@ -128,6 +128,70 @@ public:
   /// True if stored with the degenerate {1,1,1} fold.
   bool hasScalarLayout() const { return ScalarLayout; }
 
+  /// \name Fold-linear indexing.
+  ///
+  /// The storage is an array of NVx*NVy*NVz fold blocks of foldElems()
+  /// contiguous doubles each; block (Vx, Vy, Vz) covers padded coordinates
+  /// [Vx*F.X, (Vx+1)*F.X) x ... and starts at blockBaseIndex().  Lanes
+  /// enumerate a block x-fastest: Lane = (Iz*F.Y + Iy)*F.X + Ix.  The
+  /// invariant tying these helpers to linearIndex() is
+  ///
+  ///   blockBaseIndex(V) + foldNeighborOffset(L, Dx, Dy, Dz)
+  ///     == linearIndex of the (Dx,Dy,Dz)-neighbor of block V's lane L
+  ///
+  /// for every block V — the offset depends only on (lane, delta), which
+  /// is what lets a kernel plan precompute one offset table valid across
+  /// the whole grid.  The scalar layout degenerates cleanly (one lane,
+  /// blocks = cells), so these are valid for every fold.
+  /// @{
+
+  /// Doubles per fold block (= fold().elems()).
+  int foldElems() const { return F.elems(); }
+
+  /// Padded extent in fold-block units per dimension.
+  long numVecX() const { return NVx; }
+  long numVecY() const { return NVy; }
+  long numVecZ() const { return NVz; }
+
+  /// Linear index of lane 0 of fold block (Vx, Vy, Vz).
+  size_t blockBaseIndex(long Vx, long Vy, long Vz) const {
+    assert(Vx >= 0 && Vx < NVx && "x block out of range");
+    assert(Vy >= 0 && Vy < NVy && "y block out of range");
+    assert(Vz >= 0 && Vz < NVz && "z block out of range");
+    return static_cast<size_t>((Vz * NVy + Vy) * NVx + Vx) * F.elems();
+  }
+
+  /// In-fold (x, y, z) coordinates of lane \p Lane.
+  void laneCoords(int Lane, int &Ix, int &Iy, int &Iz) const {
+    assert(Lane >= 0 && Lane < F.elems() && "lane out of range");
+    Ix = Lane % F.X;
+    Iy = (Lane / F.X) % F.Y;
+    Iz = Lane / (F.X * F.Y);
+  }
+
+  /// Fold-linear offset, relative to a block's base index, of the
+  /// (Dx, Dy, Dz)-neighbor of lane \p Lane.  Constant across blocks; may
+  /// be negative.  Only valid when the neighbor stays inside the padded
+  /// extent, which a halo >= |delta| guarantees for interior blocks.
+  long foldNeighborOffset(int Lane, int Dx, int Dy, int Dz) const {
+    int Ix, Iy, Iz;
+    laneCoords(Lane, Ix, Iy, Iz);
+    // Split lane + delta into (block delta, in-fold coordinate) with a
+    // floor division so negative deltas land in the preceding block.
+    auto Split = [](long A, int Fd, long &Block, long &In) {
+      Block = A >= 0 ? A / Fd : -((-A + Fd - 1) / Fd);
+      In = A - Block * Fd;
+    };
+    long Bx, NIx, By, NIy, Bz, NIz;
+    Split(Ix + Dx, F.X, Bx, NIx);
+    Split(Iy + Dy, F.Y, By, NIy);
+    Split(Iz + Dz, F.Z, Bz, NIz);
+    return ((Bz * NVy + By) * NVx + Bx) * F.elems() +
+           (NIz * F.Y + NIy) * F.X + NIx;
+  }
+
+  /// @}
+
   /// \name Bulk initialization and comparison helpers.
   /// @{
 

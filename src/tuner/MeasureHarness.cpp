@@ -76,7 +76,13 @@ double MeasureHarness::measure(const KernelConfig &Config) {
   }
 
   ensureBuffers(Config);
-  KernelExecutor Exec(Spec, Config);
+  // Reuse the executor — and therefore its compiled kernel plan — across
+  // warm-up, timed repeats, and repeated measurements of one candidate:
+  // the harness exists to time steady-state kernels, not plan compilation.
+  if (!Exec || !(ExecConfig == Config)) {
+    Exec = std::make_unique<KernelExecutor>(Spec, Config);
+    ExecConfig = Config;
+  }
   ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
   if (P)
     P->resetStats();
@@ -89,10 +95,10 @@ double MeasureHarness::measure(const KernelConfig &Config) {
   TimingStats Stats = measureSeconds(
       [&] {
         if (Spec.numInputGrids() == 1) {
-          Exec.runTimeSteps(*U, *V, static_cast<int>(SweepsPerRepeat), P);
+          Exec->runTimeSteps(*U, *V, static_cast<int>(SweepsPerRepeat), P);
         } else {
           for (unsigned S = 0; S < SweepsPerRepeat; ++S)
-            Exec.runSweep(Inputs, *V, P);
+            Exec->runSweep(Inputs, *V, P);
         }
         KernelRuns += SweepsPerRepeat;
       },

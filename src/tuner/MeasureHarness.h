@@ -81,6 +81,11 @@ private:
   TuningCache *Cache = nullptr;
   std::string CacheMachineId;
   Fold CurrentFold;
+  /// Executor reused across measure() calls of the same configuration, so
+  /// its compiled kernel plan survives from warm-up into the timed
+  /// repeats (and across repeated measurements of one candidate).
+  std::unique_ptr<KernelExecutor> Exec;
+  KernelConfig ExecConfig;
   std::unique_ptr<Grid> U, V;
   /// Input grids beyond the first for multi-input stencils.
   std::vector<std::unique_ptr<Grid>> ExtraInputs;

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 using namespace ys;
 
@@ -85,6 +86,11 @@ OnlineTuner::Result OnlineTuner::run(Grid &U, Grid &Scratch, int Steps,
   // page-fault cost alone and selection is biased toward whatever runs
   // later.  Warm-up steps are real timesteps, so they count toward Steps.
   // A fully cached rotation times nothing, so it needs no warm-up either.
+  // The warm-up executor outlives the warm-up so the first timed candidate
+  // reuses its compiled kernel plan: warm-up exists to reach steady state,
+  // and rebuilding the plan between warm-up and trial would throw part of
+  // that away.
+  std::unique_ptr<KernelExecutor> WarmExec;
   if (!ToTime.empty()) {
     const KernelConfig &C = *ToTime.front().Config;
     int Depth = std::max(1, C.WavefrontDepth);
@@ -92,10 +98,10 @@ OnlineTuner::Result OnlineTuner::run(Grid &U, Grid &Scratch, int Steps,
     // Only warm up if a timed trial still fits afterwards; otherwise the
     // warm-up would just eat the production budget.
     if (Done + 2 * WarmSteps <= Steps) {
-      KernelExecutor Exec(Spec, C);
+      WarmExec = std::make_unique<KernelExecutor>(Spec, C);
       TraceScope Scope("online_warmup");
       Scope.field("config", C.str()).field("steps", WarmSteps);
-      Exec.runTimeSteps(*Even, *Odd, WarmSteps, Pool);
+      WarmExec->runTimeSteps(*Even, *Odd, WarmSteps, Pool);
       Done += WarmSteps;
       R.WarmupSteps = WarmSteps;
     }
@@ -113,7 +119,16 @@ OnlineTuner::Result OnlineTuner::run(Grid &U, Grid &Scratch, int Steps,
     int TrialSteps = std::max(StepsPerTrial, Depth);
     if (Done + TrialSteps > Steps)
       break; // Not enough steps left for a fair trial.
-    KernelExecutor Exec(Spec, C);
+    // The candidate that ran the warm-up keeps its executor (and plan).
+    std::unique_ptr<KernelExecutor> OwnExec;
+    KernelExecutor *ExecPtr;
+    if (WarmExec && &P == &ToTime.front()) {
+      ExecPtr = WarmExec.get();
+    } else {
+      OwnExec = std::make_unique<KernelExecutor>(Spec, C);
+      ExecPtr = OwnExec.get();
+    }
+    KernelExecutor &Exec = *ExecPtr;
     double PerStep = -1.0;
     unsigned Chunks = 0;
     int Run = 0;

@@ -117,7 +117,10 @@ std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
   const unsigned MaxT = maxThreads();
 
   // Axis: vector folds (storage layout the SIMD register covers).
-  const Fold Folds[] = {{1, 1, 1}, {4, 1, 1}, {2, 2, 1}, {1, 2, 2}};
+  // {8,1,1} is the full AVX-512 width; it rarely divides the test dims,
+  // so it drives the partial-fold-block path of the compiled plans.
+  const Fold Folds[] = {
+      {1, 1, 1}, {4, 1, 1}, {2, 2, 1}, {1, 2, 2}, {8, 1, 1}};
   for (const Fold &F : Folds) {
     KernelConfig C;
     C.VectorFold = F;
@@ -189,6 +192,17 @@ std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
     C.VectorFold = {1, 2, 2};
     C.Block = {1, 1, 1};
     C.Threads = 2;
+    Add(C);
+  }
+  {
+    // Wide fold x non-dividing block x threads: partial fold blocks on
+    // every tile boundary.
+    KernelConfig C;
+    C.VectorFold = {8, 1, 1};
+    C.Block = {3, 5, 2};
+    C.Threads = 2;
+    if (SingleInput)
+      C.WavefrontDepth = 2;
     Add(C);
   }
   {

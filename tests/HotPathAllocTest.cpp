@@ -1,0 +1,143 @@
+//===- tests/HotPathAllocTest.cpp - zero-allocation hot path guard ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Asserts the steady-state sweep path performs no heap allocation: once
+/// the executor's kernel plan is built and bound, repeat runSweep /
+/// runTimeSteps calls on the same geometry must not touch the allocator.
+/// The guard is a global operator new/delete replacement counting every
+/// allocation, which is why this test lives in its own binary — the
+/// replacement is process-wide and would distort allocation-sensitive
+/// tests elsewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelExecutor.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<long> GAllocCount{0};
+
+long allocCount() { return GAllocCount.load(std::memory_order_relaxed); }
+
+void *countedAlloc(size_t Size, size_t Align) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  void *P = Align > alignof(std::max_align_t)
+                ? std::aligned_alloc(Align, (Size + Align - 1) / Align * Align)
+                : std::malloc(Size);
+  if (!P)
+    throw std::bad_alloc();
+  return P;
+}
+
+} // namespace
+
+// Global replacements: every flavor funnels through countedAlloc/free so
+// sized, aligned, and nothrow variants are all counted.
+void *operator new(size_t Size) {
+  return countedAlloc(Size, alignof(std::max_align_t));
+}
+void *operator new[](size_t Size) {
+  return countedAlloc(Size, alignof(std::max_align_t));
+}
+void *operator new(size_t Size, std::align_val_t Align) {
+  return countedAlloc(Size, static_cast<size_t>(Align));
+}
+void *operator new[](size_t Size, std::align_val_t Align) {
+  return countedAlloc(Size, static_cast<size_t>(Align));
+}
+void *operator new(size_t Size, const std::nothrow_t &) noexcept {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(Size);
+}
+void *operator new[](size_t Size, const std::nothrow_t &) noexcept {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(Size);
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+void operator delete[](void *P, size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+using namespace ys;
+
+namespace {
+
+struct Fixture {
+  StencilSpec Spec = StencilSpec::heat3d();
+  GridDims Dims{24, 16, 12};
+  KernelConfig Config;
+  Grid U, V;
+
+  explicit Fixture(Fold F, BlockSize B = BlockSize()) {
+    Config.VectorFold = F;
+    Config.Block = B;
+    U = Grid(Dims, 1, F);
+    V = Grid(Dims, 1, F);
+    Rng R(11);
+    U.fillRandom(R);
+    V.copyHaloFrom(U);
+  }
+};
+
+} // namespace
+
+TEST(HotPathAlloc, RepeatSweepsAllocateNothing) {
+  for (Fold F : {Fold{1, 1, 1}, Fold{8, 1, 1}, Fold{2, 2, 1}}) {
+    SCOPED_TRACE(F.str());
+    Fixture Fx(F, {8, 8, 4}); // Blocked: many tile ranges per sweep.
+    KernelExecutor Exec(Fx.Spec, Fx.Config);
+    const Grid *In = &Fx.U;
+    // Warm run: builds and binds the plan (allocates).
+    Exec.runSweep(&In, 1, Fx.V);
+    ASSERT_EQ(Exec.planBuilds(), 1u);
+    long Before = allocCount();
+    for (int I = 0; I < 10; ++I)
+      Exec.runSweep(&In, 1, Fx.V);
+    EXPECT_EQ(allocCount(), Before)
+        << "steady-state runSweep touched the heap";
+    EXPECT_EQ(Exec.planBuilds(), 1u);
+  }
+}
+
+TEST(HotPathAlloc, RepeatTimeSteppingAllocatesNothing) {
+  Fixture Fx({4, 1, 1}, {0, 8, 4});
+  KernelExecutor Exec(Fx.Spec, Fx.Config);
+  Exec.runTimeSteps(Fx.U, Fx.V, 2); // Warm-up: plan build + bind.
+  long Before = allocCount();
+  Exec.runTimeSteps(Fx.U, Fx.V, 6);
+  EXPECT_EQ(allocCount(), Before)
+      << "steady-state runTimeSteps touched the heap";
+  EXPECT_EQ(Exec.planBuilds(), 1u);
+}
+
+TEST(HotPathAlloc, CounterActuallyCounts) {
+  // Self-test of the guard: an allocation must move the counter.
+  long Before = allocCount();
+  volatile int *P = new int[32];
+  EXPECT_GT(allocCount(), Before);
+  delete[] const_cast<int *>(P);
+}

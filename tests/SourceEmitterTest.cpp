@@ -56,6 +56,64 @@ TEST(SourceEmitter, BlockedKernelStructure) {
   EXPECT_TRUE(contains(Src, "std::min(zb + 8, Nz)"));
 }
 
+TEST(SourceEmitter, FoldedKernelStructure) {
+  KernelConfig C;
+  C.VectorFold = {2, 2, 1};
+  std::string Src = SourceEmitter::emitKernel(StencilSpec::heat3d(), C);
+  // Fold-block signature instead of raw extents.
+  EXPECT_TRUE(contains(Src, "long NVx, long NVy, long NVz"));
+  // Per-point fold-linear offset tables, built once before the sweep.
+  EXPECT_TRUE(contains(Src, "off0[FOLD_ELEMS]"));
+  EXPECT_TRUE(contains(Src, "off0[l] = FOLD_OFF(ix, iy, iz)"));
+  EXPECT_TRUE(contains(Src, "FOLD_OFF(ix + 1, iy, iz)"));
+  // Vectorized lane loop accumulating per fold block.
+  EXPECT_TRUE(contains(Src, "#pragma omp simd"));
+  EXPECT_TRUE(contains(Src, "double acc[FOLD_ELEMS];"));
+  EXPECT_TRUE(contains(Src, "acc[l] += 0.5 * u0[base + off0[l]];"));
+  EXPECT_TRUE(contains(Src, "out[base + l] = acc[l];"));
+  EXPECT_TRUE(contains(
+      Src, "const long base = ((vz * NVy + vy) * NVx + vx) * FOLD_ELEMS;"));
+  // Folded kernels never use the scalar index macro.
+  EXPECT_FALSE(contains(Src, "IDX3"));
+}
+
+TEST(SourceEmitter, FoldedBlockedKernelIteratesVectorBlocks) {
+  KernelConfig C;
+  C.VectorFold = {4, 2, 1};
+  C.Block.X = 32;
+  C.Block.Y = 16;
+  C.Block.Z = 8;
+  std::string Src = SourceEmitter::emitKernel(StencilSpec::heat3d(), C);
+  // Block sizes are converted to fold-block units (ceil-div by the fold).
+  EXPECT_TRUE(contains(Src, "vxb += 8"));
+  EXPECT_TRUE(contains(Src, "vyb += 8"));
+  EXPECT_TRUE(contains(Src, "vzb += 8"));
+  EXPECT_TRUE(contains(Src, "collapse(2)"));
+}
+
+TEST(SourceEmitter, FoldedTranslationUnitDefinesFoldMacros) {
+  KernelConfig C;
+  C.VectorFold = {2, 2, 1};
+  std::string Src =
+      SourceEmitter::emitTranslationUnit(StencilSpec::heat3d(), C);
+  EXPECT_TRUE(contains(Src, "#define FOLD_X 2"));
+  EXPECT_TRUE(contains(Src, "#define FOLD_Y 2"));
+  EXPECT_TRUE(contains(Src, "#define FOLD_Z 1"));
+  EXPECT_TRUE(contains(Src, "#define FOLD_ELEMS 4"));
+  EXPECT_TRUE(contains(Src, "#define FOLD_DIV"));
+  EXPECT_TRUE(contains(Src, "#define FOLD_OFF"));
+  EXPECT_FALSE(contains(Src, "#define IDX3"));
+}
+
+TEST(SourceEmitter, ScalarEmissionUnchangedByFoldSupport) {
+  // Default (scalar-fold) configs keep the classic IDX3 loop nest.
+  std::string Src = SourceEmitter::emitTranslationUnit(StencilSpec::heat3d(),
+                                                       KernelConfig());
+  EXPECT_TRUE(contains(Src, "#define IDX3"));
+  EXPECT_FALSE(contains(Src, "FOLD_OFF"));
+  EXPECT_FALSE(contains(Src, "NVx"));
+}
+
 TEST(SourceEmitter, OptionsControlPragmas) {
   SourceEmitter::Options Opts;
   Opts.EmitOpenMP = false;

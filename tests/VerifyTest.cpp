@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/KernelExecutor.h"
+#include "codegen/KernelPlan.h"
 #include "support/ThreadPool.h"
 #include "verify/GridPatterns.h"
 #include "verify/ReferenceInterpreter.h"
@@ -27,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 using namespace ys;
@@ -373,6 +375,41 @@ INSTANTIATE_TEST_SUITE_P(StarAndBox, VerifyMatrix,
                                            MatrixCase{"box", 3},
                                            MatrixCase{"box", 4}),
                          matrixName);
+
+TEST(VerifyMatrix, FoldedFastPathBitwiseAcrossSimdTargets) {
+  // The folded compiled-plan fast path must be bit-identical to the
+  // golden interpreter on every SIMD dispatch target this binary can run,
+  // for both a multi-axis fold and the full AVX-512-width {8,1,1} fold
+  // (which does not divide the x extent here, so partial fold blocks run
+  // on both edges).  Each target is forced via YS_SIMD.
+  StencilSpec Spec = StencilSpec::heat3d();
+  GridDims Dims{11, 10, 9};
+  Grid Ref(Dims, 1);
+  fillPattern(Ref, GridPattern::Random, 3);
+  ReferenceInterpreter(Spec).runTimeSteps(Ref, 2);
+
+  const Fold Folds[] = {{2, 2, 1}, {8, 1, 1}};
+  for (SimdTarget T : availableSimdTargets()) {
+    SCOPED_TRACE(simdTargetName(T));
+    ASSERT_EQ(setenv("YS_SIMD", simdTargetName(T), 1), 0);
+    for (const Fold &F : Folds) {
+      SCOPED_TRACE(F.str());
+      KernelConfig C;
+      C.VectorFold = F;
+      KernelExecutor Exec(Spec, C);
+      Grid Out(Dims, 1, F), Scratch(Dims, 1, F);
+      fillPattern(Out, GridPattern::Random, 3);
+      Scratch.copyHaloFrom(Out);
+      Exec.runTimeSteps(Out, Scratch, 2);
+      EXPECT_EQ(Exec.planTarget(), T);
+      CellDivergence Div;
+      EXPECT_FALSE(findFirstDivergence(Ref, Out, UlpTolerance(), Div))
+          << "first divergence at (" << Div.X << "," << Div.Y << ","
+          << Div.Z << "): got " << Div.Got << " want " << Div.Want;
+    }
+  }
+  unsetenv("YS_SIMD");
+}
 
 TEST(VerifyMatrix, MultiInputStencilSweepMode) {
   // Two-grid stencil: the checker falls back to single-sweep comparisons

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Builds the tree in Release mode and runs the benchmark suite, emitting
+# machine-readable BENCH_*.json result files (JSON lines, one flat object
+# per measurement) into the build directory:
+#
+#   BENCH_micro.json   scalar-vs-folded compiled-plan kernels per SIMD
+#                      dispatch target (bench_micro_kernels --ys-compare)
+#
+# The scalar-vs-folded comparison exits non-zero when the best folded
+# kernel falls below 0.9x scalar throughput on any target, so this script
+# doubles as the perf acceptance gate.
+#
+# Usage: tools/run_bench_suite.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build-release}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+
+cd "$BUILD_DIR"
+./bench/bench_micro_kernels --ys-compare --ys-json=BENCH_micro.json
+
+echo "bench results:"
+ls -l BENCH_*.json
