@@ -13,8 +13,10 @@
 ///
 ///   --ys-compare [--ys-json=PATH]   scalar-vs-folded GLUP/s for heat3d
 ///                                   r1 on every available SIMD dispatch
-///                                   target, as JSON lines (default
-///                                   BENCH_micro.json)
+///                                   target, plus plan-vs-JIT rows per
+///                                   fold (skipped when no system
+///                                   compiler is available), as JSON
+///                                   lines (default BENCH_micro.json)
 ///   --ys-smoke                      one tiny plan built and run per
 ///                                   dispatch target; the `perf`-labeled
 ///                                   ctest smoke
@@ -22,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "codegen/JitCompiler.h"
 #include "codegen/KernelExecutor.h"
 #include "codegen/KernelPlan.h"
 #include "support/Random.h"
@@ -112,13 +115,15 @@ BENCHMARK(BM_WavefrontTimeSteps)->Arg(1)->Arg(2)->Arg(4);
 /// is compiled once and the timed region is the steady-state hot path.
 double measureGlups(const StencilSpec &Spec, const KernelConfig &Config,
                     GridDims Dims, unsigned Repeats,
-                    unsigned SweepsPerRepeat) {
+                    unsigned SweepsPerRepeat,
+                    KernelBackend Backend = KernelBackend::Plan) {
   Grid In(Dims, Spec.radius(), Config.VectorFold);
   Grid Out(Dims, Spec.radius(), Config.VectorFold);
   Rng R(1);
   In.fillRandom(R);
   Out.copyHaloFrom(In);
   KernelExecutor Exec(Spec, Config);
+  Exec.setBackend(Backend);
   const Grid *InPtr = &In;
   TimingStats Stats = measureSeconds(
       [&] {
@@ -192,6 +197,50 @@ int runCompare(const std::string &JsonPath) {
     Failures += Ok ? 0 : 1;
   }
   unsetenv("YS_SIMD");
+
+  // Plan-vs-JIT: the same kernels timed through the runtime-JIT backend
+  // (system compiler + dlopen) next to the in-process plans, one row per
+  // (backend, fold).  Informational — the acceptance gate above stays on
+  // the plan numbers — and skipped entirely when no compiler works, so
+  // the suite still runs in compilerless sandboxes.
+  if (!JitRuntime::instance().available()) {
+    std::printf("  plan-vs-jit: skipped (no working C++ compiler)\n");
+  } else {
+    const Fold JitFolds[] = {{1, 1, 1}, {4, 2, 1}};
+    for (const Fold &F : JitFolds) {
+      KernelConfig C;
+      C.VectorFold = F;
+      double Plan =
+          measureGlups(Spec, C, Dims, Repeats, Sweeps, KernelBackend::Plan);
+      double Jit =
+          measureGlups(Spec, C, Dims, Repeats, Sweeps, KernelBackend::Jit);
+      double Ratio = Plan > 0 ? Jit / Plan : 0.0;
+      std::printf("  plan-vs-jit fold %-7s plan %7.3f  jit %7.3f GLUP/s "
+                  "(%.2fx)\n",
+                  F.str().c_str(), Plan, Jit, Ratio);
+      for (const auto &[Backend, Glups] :
+           {std::pair<const char *, double>{"plan", Plan},
+            std::pair<const char *, double>{"jit", Jit}}) {
+        JsonObjectWriter Obj;
+        Obj.field("bench", "micro_plan_vs_jit")
+            .field("stencil", Spec.name())
+            .field("dims", Dims.str())
+            .field("backend", Backend)
+            .field("fold", F.str())
+            .field("glups", Glups)
+            .field("repeats", static_cast<long>(Repeats));
+        Json.write(Obj);
+      }
+      JsonObjectWriter Sum;
+      Sum.field("bench", "micro_jit_ratio")
+          .field("fold", F.str())
+          .field("plan_glups", Plan)
+          .field("jit_glups", Jit)
+          .field("ratio", Ratio);
+      Json.write(Sum);
+    }
+  }
+
   std::printf("results: %s\n", JsonPath.c_str());
   return Failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,301 @@
+//===- codegen/JitCompiler.cpp - Runtime JIT of emitted kernels ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/JitCompiler.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+using namespace ys;
+
+const char *ys::kernelBackendName(KernelBackend B) {
+  switch (B) {
+  case KernelBackend::Plan:
+    return "plan";
+  case KernelBackend::Jit:
+    return "jit";
+  }
+  return "plan";
+}
+
+std::optional<KernelBackend> ys::parseKernelBackend(const std::string &Name) {
+  std::string L = toLower(Name);
+  if (L == "plan")
+    return KernelBackend::Plan;
+  if (L == "jit")
+    return KernelBackend::Jit;
+  return std::nullopt;
+}
+
+KernelBackend ys::selectKernelBackend() {
+  const char *Env = std::getenv("YS_BACKEND");
+  if (!Env || !*Env)
+    return KernelBackend::Plan;
+  std::optional<KernelBackend> B = parseKernelBackend(Env);
+  if (B)
+    return *B;
+  static bool Warned = false;
+  if (!Warned) {
+    std::fprintf(stderr,
+                 "ys: YS_BACKEND=%s is not a known backend (plan, jit); "
+                 "using plan\n",
+                 Env);
+    Warned = true;
+  }
+  return KernelBackend::Plan;
+}
+
+namespace {
+
+/// First line of `<Command> --version`, or "" when the command cannot be
+/// run.  Doubles as the availability probe.
+std::string probeCompilerVersion(const std::string &Command) {
+  if (Command.empty())
+    return std::string();
+  std::string Cmd = Command + " --version 2>/dev/null";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return std::string();
+  char Buf[512];
+  std::string FirstLine;
+  if (std::fgets(Buf, sizeof(Buf), Pipe)) {
+    FirstLine = Buf;
+    while (!FirstLine.empty() &&
+           (FirstLine.back() == '\n' || FirstLine.back() == '\r'))
+      FirstLine.pop_back();
+  }
+  // Drain so the child does not die on SIGPIPE with a nonzero status.
+  while (std::fgets(Buf, sizeof(Buf), Pipe))
+    ;
+  int Status = pclose(Pipe);
+  if (Status != 0)
+    return std::string();
+  return FirstLine;
+}
+
+/// Last ~20 lines of the compiler log, for compile-failure diagnostics.
+std::string logTail(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::string();
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  size_t First = Lines.size() > 20 ? Lines.size() - 20 : 0;
+  std::string Out;
+  for (size_t I = First; I < Lines.size(); ++I)
+    Out += Lines[I] + "\n";
+  return Out;
+}
+
+/// Writes \p Text to \p Path via a same-directory temp file + atomic
+/// rename, so concurrent processes and killed runs cannot leave a
+/// truncated file under the final name.
+bool writeFileAtomic(const std::string &Path, const std::string &Text) {
+  std::string Tmp = Path + format(".tmp.%ld", (long)getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::trunc | std::ios::binary);
+    if (!Out)
+      return false;
+    Out << Text;
+    Out.flush();
+    if (!Out) {
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string JitCompiler::detectCompiler() {
+  const char *Env = std::getenv("YS_CXX");
+  if (Env && *Env)
+    return Env; // Explicit choice, even if broken: the probe reports it.
+  for (const char *Candidate : {"c++", "g++", "clang++", "cc"})
+    if (!probeCompilerVersion(Candidate).empty())
+      return Candidate;
+  return std::string();
+}
+
+std::string JitCompiler::defaultCacheDir() {
+  const char *Env = std::getenv("YS_JIT_CACHE");
+  if (Env && *Env)
+    return Env;
+  // Next to the tuning cache when one is configured: the two stores
+  // travel together (wipe one directory to reset this host's state).
+  const char *Tune = std::getenv("YS_TUNE_CACHE");
+  if (Tune && *Tune) {
+    std::filesystem::path P(Tune);
+    return (P.parent_path() / "yasksite-jit").string();
+  }
+  std::error_code EC;
+  std::filesystem::path Tmp = std::filesystem::temp_directory_path(EC);
+  if (EC)
+    Tmp = "/tmp";
+  return (Tmp / format("yasksite-jit-%ld", (long)getuid())).string();
+}
+
+JitCompiler::JitCompiler(Config C) : Cfg(std::move(C)) {
+  if (Cfg.Compiler.empty())
+    Cfg.Compiler = detectCompiler();
+  if (Cfg.CacheDir.empty())
+    Cfg.CacheDir = defaultCacheDir();
+  CompilerVersion = probeCompilerVersion(Cfg.Compiler);
+}
+
+std::string JitCompiler::fingerprint(const std::string &Source) const {
+  std::string Canon = Source;
+  Canon += "\n#compiler=" + CompilerVersion;
+  Canon += "\n#flags=" + join(Cfg.Flags, " ");
+  return fingerprintRaw64(Canon);
+}
+
+std::string JitCompiler::soPath(const std::string &Key) const {
+  return (std::filesystem::path(Cfg.CacheDir) / ("ys-jit-" + Key + ".so"))
+      .string();
+}
+
+Expected<JitKernel> JitCompiler::loadObject(const std::string &SoPath,
+                                            const std::string &Symbol,
+                                            const std::string &Key) {
+  void *Raw = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Raw) {
+    const char *Why = dlerror();
+    return Error::failure(format("dlopen('%s') failed: %s", SoPath.c_str(),
+                                 Why ? Why : "unknown error"));
+  }
+  std::shared_ptr<void> Handle(Raw, [](void *H) { dlclose(H); });
+  void *Sym = dlsym(Raw, Symbol.c_str());
+  if (!Sym)
+    return Error::failure(format("symbol '%s' not found in '%s'",
+                                 Symbol.c_str(), SoPath.c_str()));
+  Handles[Key] = Handle;
+  return JitKernel(std::move(Handle), Sym);
+}
+
+Expected<JitKernel> JitCompiler::compile(const std::string &Source,
+                                         const std::string &Symbol) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  if (!available()) {
+    ++Stats.Failures;
+    return Error::failure(format(
+        "no working C++ compiler ('%s'); set YS_CXX or use YS_BACKEND=plan",
+        Cfg.Compiler.empty() ? "none found" : Cfg.Compiler.c_str()));
+  }
+
+  std::string Key = fingerprint(Source);
+
+  // In-process hit: the object is already mapped; just resolve the symbol.
+  auto It = Handles.find(Key);
+  if (It != Handles.end()) {
+    void *Sym = dlsym(It->second.get(), Symbol.c_str());
+    if (Sym) {
+      ++Stats.MemoryHits;
+      return JitKernel(It->second, Sym);
+    }
+  }
+
+  std::error_code EC;
+  std::filesystem::create_directories(Cfg.CacheDir, EC);
+  if (EC) {
+    ++Stats.Failures;
+    return Error::failure(format("cannot create JIT cache dir '%s': %s",
+                                 Cfg.CacheDir.c_str(),
+                                 EC.message().c_str()));
+  }
+
+  std::string So = soPath(Key);
+
+  // Disk hit: a previous process (or run) built this exact source with
+  // this exact compiler + flags.  Zero compiler invocations.
+  if (std::filesystem::exists(So)) {
+    Expected<JitKernel> K = loadObject(So, Symbol, Key);
+    if (K)
+      ++Stats.DiskHits;
+    else
+      ++Stats.Failures;
+    return K;
+  }
+
+  // Miss: persist the source (kept for debugging) and compile.  The
+  // object lands under a temp name and is renamed into place, so a
+  // concurrent process either sees the complete object or none.
+  std::filesystem::path Dir(Cfg.CacheDir);
+  std::string Src = (Dir / ("ys-jit-" + Key + ".cpp")).string();
+  std::string Log = (Dir / ("ys-jit-" + Key + ".log")).string();
+  std::string TmpSo = So + format(".tmp.%ld", (long)getpid());
+  if (!writeFileAtomic(Src, Source)) {
+    ++Stats.Failures;
+    return Error::failure(format("cannot write '%s'", Src.c_str()));
+  }
+
+  std::string Cmd = Cfg.Compiler;
+  for (const std::string &Flag : Cfg.Flags)
+    Cmd += " " + Flag;
+  Cmd += format(" -o '%s' '%s' > '%s' 2>&1", TmpSo.c_str(), Src.c_str(),
+                Log.c_str());
+  ++Stats.Invocations;
+  int Rc = std::system(Cmd.c_str());
+  if (Rc != 0) {
+    std::remove(TmpSo.c_str());
+    ++Stats.Failures;
+    return Error::failure(format("compiler exited with status %d:\n%s", Rc,
+                                 logTail(Log).c_str()));
+  }
+  if (std::rename(TmpSo.c_str(), So.c_str()) != 0) {
+    std::remove(TmpSo.c_str());
+    ++Stats.Failures;
+    return Error::failure(format("cannot move '%s' into place",
+                                 TmpSo.c_str()));
+  }
+
+  Expected<JitKernel> K = loadObject(So, Symbol, Key);
+  if (!K)
+    ++Stats.Failures;
+  return K;
+}
+
+JitStats JitCompiler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void JitCompiler::resetStats() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats = JitStats();
+}
+
+namespace {
+std::mutex RuntimeMutex;
+std::unique_ptr<JitCompiler> Runtime;
+} // namespace
+
+JitCompiler &JitRuntime::instance() {
+  std::lock_guard<std::mutex> Lock(RuntimeMutex);
+  if (!Runtime)
+    Runtime = std::make_unique<JitCompiler>();
+  return *Runtime;
+}
+
+void JitRuntime::configure(JitCompiler::Config C) {
+  std::lock_guard<std::mutex> Lock(RuntimeMutex);
+  Runtime = std::make_unique<JitCompiler>(std::move(C));
+}

@@ -1,0 +1,186 @@
+//===- codegen/JitCompiler.h - Runtime JIT of emitted kernels ----*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime JIT backend: compiles SourceEmitter-generated translation units
+/// with the system compiler (the VexCL `generator::build_kernel`
+/// compile-and-dlopen idiom), caches the shared objects in a
+/// content-addressed store, and hands back callable kernel symbols.
+///
+/// The flags match the in-process plan-kernel TUs (`-O3 -ffp-contract=off
+/// -fopenmp-simd`), so a JITted kernel is bit-identical to the KernelPlan
+/// path and the ReferenceInterpreter — the verifier enforces this.
+///
+/// Cache layout: one `ys-jit-<key>.so` (plus the `.cpp` it was built from
+/// and a `.log` with the compiler diagnostics) per distinct source, in
+/// `$YS_JIT_CACHE`, or a `yasksite-jit/` directory next to the
+/// `$YS_TUNE_CACHE` file, or the system temp directory.  The key is the
+/// FNV-1a fingerprint (TuningCache::fingerprintRaw) of the source text,
+/// the compiler's `--version` line, and the flag list — touching any of
+/// them invalidates exactly the affected objects.  Writes go through a
+/// temp file + atomic rename, so concurrent processes race benignly and a
+/// killed run cannot leave a truncated object behind.
+///
+/// Backend selection: `YS_BACKEND=jit|plan` (default plan) picks which
+/// path KernelExecutor dispatches sweeps through; `YS_CXX` overrides the
+/// probed compiler (c++ / g++ / clang++ / cc).  When no compiler works,
+/// the executor falls back to plans with a one-time warning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_CODEGEN_JITCOMPILER_H
+#define YS_CODEGEN_JITCOMPILER_H
+
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Which execution path KernelExecutor dispatches sweeps through.
+enum class KernelBackend {
+  Plan, ///< In-process precompiled kernel plans (the default).
+  Jit,  ///< Runtime-compiled shared objects (falls back to Plan when no
+        ///< compiler is available).
+};
+
+/// "plan" / "jit".
+const char *kernelBackendName(KernelBackend B);
+
+/// Parses a backend name (case-insensitive); nullopt when unrecognized.
+std::optional<KernelBackend> parseKernelBackend(const std::string &Name);
+
+/// Backend selected by the YS_BACKEND environment variable, defaulting to
+/// Plan.  An unrecognized value warns once on stderr and selects Plan.
+KernelBackend selectKernelBackend();
+
+/// Signature of the range kernel emitted by
+/// SourceEmitter::emitJitTranslationUnit: one rectangular interior range
+/// of one sweep over the baked-in geometry.
+using JitRangeKernelFn = void (*)(const double *const *Ins, double *Out,
+                                  long Z0, long Z1, long Y0, long Y1,
+                                  long X0, long X1);
+
+/// A resolved symbol in a loaded shared object.  Copyable; the dlopen
+/// handle stays alive while any copy does.
+class JitKernel {
+public:
+  JitKernel() = default;
+  JitKernel(std::shared_ptr<void> Handle, void *Sym)
+      : Handle(std::move(Handle)), Sym(Sym) {}
+
+  explicit operator bool() const { return Sym != nullptr; }
+
+  /// The symbol as a function pointer of the caller's choosing.
+  template <typename Fn> Fn fn() const {
+    return reinterpret_cast<Fn>(Sym);
+  }
+  JitRangeKernelFn rangeKernel() const { return fn<JitRangeKernelFn>(); }
+
+private:
+  std::shared_ptr<void> Handle; ///< Keeps the .so mapped.
+  void *Sym = nullptr;
+};
+
+/// Counters for the cache-behavior contract: a warm cache must serve a
+/// repeat build with zero compiler invocations.
+struct JitStats {
+  unsigned Invocations = 0; ///< Compiler processes spawned.
+  unsigned MemoryHits = 0;  ///< Served from the in-process handle map.
+  unsigned DiskHits = 0;    ///< dlopen of an existing cached object.
+  unsigned Failures = 0;    ///< Failed compiles (missing compiler, bad TU).
+};
+
+/// Compiles C++ source strings to shared objects and resolves symbols,
+/// with a content-addressed on-disk store and an in-process handle map.
+/// Thread-safe; one instance may serve many executors.
+class JitCompiler {
+public:
+  struct Config {
+    /// Compiler command; empty means "probe" (YS_CXX, then c++/g++/
+    /// clang++/cc).
+    std::string Compiler;
+    /// Flags every build uses; part of the cache key.  The default
+    /// mirrors the in-process plan kernels.
+    std::vector<std::string> Flags = {"-O3", "-ffp-contract=off",
+                                      "-fopenmp-simd", "-fPIC", "-shared"};
+    /// Cache directory; empty means defaultCacheDir().
+    std::string CacheDir;
+  };
+
+  JitCompiler() : JitCompiler(Config()) {}
+  explicit JitCompiler(Config C);
+
+  /// True when a working compiler was found (its --version ran).
+  bool available() const { return !CompilerVersion.empty(); }
+
+  const std::string &compiler() const { return Cfg.Compiler; }
+  const std::string &compilerVersion() const { return CompilerVersion; }
+  const std::string &cacheDir() const { return Cfg.CacheDir; }
+
+  /// Content-addressed cache key of \p Source under this compiler +
+  /// flag configuration (16 hex digits).
+  std::string fingerprint(const std::string &Source) const;
+
+  /// Compiles \p Source (or serves it from the cache) and resolves
+  /// \p Symbol.  Serialized internally; safe from any thread.
+  Expected<JitKernel> compile(const std::string &Source,
+                              const std::string &Symbol);
+
+  JitStats stats() const;
+  void resetStats();
+
+  /// \name Environment defaults.
+  /// @{
+
+  /// $YS_CXX when set, else the first of c++ / g++ / clang++ / cc whose
+  /// --version runs; "" when none works.
+  static std::string detectCompiler();
+
+  /// $YS_JIT_CACHE when set; else "yasksite-jit" next to the
+  /// $YS_TUNE_CACHE file; else "<tmp>/yasksite-jit-<uid>".
+  static std::string defaultCacheDir();
+
+  /// @}
+
+private:
+  std::string soPath(const std::string &Key) const;
+  Expected<JitKernel> loadObject(const std::string &SoPath,
+                                 const std::string &Symbol,
+                                 const std::string &Key);
+
+  Config Cfg;
+  std::string CompilerVersion; ///< First --version line; "" = unavailable.
+
+  mutable std::mutex Mutex;
+  /// Key -> loaded object, so repeat compiles of the same source don't
+  /// even touch the filesystem.
+  std::map<std::string, std::shared_ptr<void>> Handles;
+  JitStats Stats;
+};
+
+/// The process-wide JIT runtime KernelExecutor uses: a JitCompiler
+/// configured from the environment on first use.
+class JitRuntime {
+public:
+  /// The shared compiler instance (created on first call).
+  static JitCompiler &instance();
+
+  /// Replaces the shared instance with one built from \p C — for tests
+  /// that need a private cache directory or a deliberately broken
+  /// compiler.  Passing a default-constructed Config restores the
+  /// environment-derived setup.
+  static void configure(JitCompiler::Config C);
+};
+
+} // namespace ys
+
+#endif // YS_CODEGEN_JITCOMPILER_H

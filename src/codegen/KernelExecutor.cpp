@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace ys;
 
@@ -17,6 +18,16 @@ KernelExecutor::KernelExecutor(StencilSpec Spec, KernelConfig Config)
     : Spec(std::move(Spec)), Config(Config) {
   assert(this->Spec.validate().empty() && "invalid stencil spec");
   assert(this->Config.validate().empty() && "invalid kernel config");
+  JitIns.resize(this->Spec.numInputGrids(), nullptr);
+}
+
+void KernelExecutor::setBackend(KernelBackend B) {
+  if (Backend == B)
+    return;
+  Backend = B;
+  JitK = JitKernel();
+  JitFn = nullptr;
+  JitFailed = false;
 }
 
 void KernelExecutor::runReference(const StencilSpec &Spec,
@@ -44,10 +55,64 @@ KernelPlan &KernelExecutor::ensurePlan(const Grid &Out) const {
   return *Plan;
 }
 
-/// Computes one rectangular region through the compiled plan.  The plan
-/// owns every table the inner kernels read, so this is allocation-free.
+bool KernelExecutor::ensureJit(const Grid &Out) const {
+  if (JitFn && JitGeo.matches(Out))
+    return true;
+  if (JitFailed)
+    return false;
+  JitGeometry G(Out);
+  std::string Source = SourceEmitter::emitJitTranslationUnit(Spec, G);
+  Expected<JitKernel> Kernel = JitRuntime::instance().compile(
+      Source, SourceEmitter::jitKernelSymbol());
+  if (!Kernel) {
+    static bool Warned = false;
+    if (!Warned) {
+      std::fprintf(stderr,
+                   "ys: jit backend unavailable (%s); falling back to "
+                   "kernel plans\n",
+                   Kernel.takeError().message().c_str());
+      Warned = true;
+    }
+    JitFailed = true;
+    JitK = JitKernel();
+    JitFn = nullptr;
+    return false;
+  }
+  JitK = *Kernel;
+  JitFn = JitK.rangeKernel();
+  JitGeo = G;
+  ++JitBuildCount;
+  return true;
+}
+
+void KernelExecutor::prepareBackend(const Grid &Out) const {
+  if (Backend == KernelBackend::Jit && ensureJit(Out))
+    return;
+  JitFn = nullptr; // Plan path: sweepRange must not see a stale kernel.
+  ensurePlan(Out);
+}
+
+void KernelExecutor::bindBuffers(const Grid *const *Inputs,
+                                 unsigned NumInputs, Grid &Out) const {
+  if (JitFn) {
+    assert(JitIns.size() == Spec.numInputGrids() && "input slots mismatch");
+    for (unsigned G = 0; G < Spec.numInputGrids(); ++G)
+      JitIns[G] = Inputs[G]->data();
+    JitOut = Out.data();
+    return;
+  }
+  Plan->bind(Inputs, NumInputs, Out);
+}
+
+/// Computes one rectangular region through the bound backend.  Both the
+/// plan and the JIT kernel own/bake every table they read, so this is
+/// allocation-free.
 void KernelExecutor::sweepRange(long Z0, long Z1, long Y0, long Y1, long X0,
                                 long X1) const {
+  if (JitFn) {
+    JitFn(JitIns.data(), JitOut, Z0, Z1, Y0, Y1, X0, X1);
+    return;
+  }
   Plan->runRange(Z0, Z1, Y0, Y1, X0, X1);
 }
 
@@ -83,8 +148,8 @@ void KernelExecutor::runSweep(const Grid *const *Inputs, unsigned NumInputs,
   }
   assert(Out.fold() == Config.VectorFold && "grid fold != configured fold");
 
-  KernelPlan &P = ensurePlan(Out);
-  P.bind(Inputs, NumInputs, Out);
+  prepareBackend(Out);
+  bindBuffers(Inputs, NumInputs, Out);
 
   const GridDims &Dims = Out.dims();
   // A candidate config may request fewer threads than the pool has; honor
@@ -169,9 +234,10 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
   BlockSize B = Config.Block.resolved(Dims);
   long Bz = std::max<long>(B.Z, R + 1); // Progress needs Bz > radius.
 
-  // One plan serves both buffers (same geometry); each slab rebinds the
-  // source/destination pointers, which is allocation-free.
-  KernelPlan &P = ensurePlan(*Even);
+  // One plan (or JIT kernel) serves both buffers (same geometry); each
+  // slab rebinds the source/destination pointers, which is
+  // allocation-free.
+  prepareBackend(*Even);
 
   std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
   Frontier[0] = Dims.Nz;
@@ -186,7 +252,7 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
     Grid *Src = bufferFor(S - 1);
     Grid *Dst = bufferFor(S);
     const Grid *SrcPtr = Src;
-    P.bind(&SrcPtr, 1, *Dst);
+    bindBuffers(&SrcPtr, 1, *Dst);
     if (Pool && Threads > 1) {
       // The slab is at most one z block deep, but enumerating (zBlock,
       // yBlock) tiles keeps the same tile->thread mapping as runSweep and

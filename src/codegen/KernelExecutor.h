@@ -26,8 +26,10 @@
 #ifndef YS_CODEGEN_KERNELEXECUTOR_H
 #define YS_CODEGEN_KERNELEXECUTOR_H
 
+#include "codegen/JitCompiler.h"
 #include "codegen/KernelConfig.h"
 #include "codegen/KernelPlan.h"
+#include "codegen/SourceEmitter.h"
 #include "stencil/Grid.h"
 #include "stencil/StencilSpec.h"
 #include "support/ThreadPool.h"
@@ -92,12 +94,55 @@ public:
   /// counts).
   const KernelPlan *plan() const { return Plan.get(); }
 
+  /// \name JIT backend.
+  ///
+  /// Sweeps dispatch either through the in-process KernelPlan or through
+  /// a runtime-compiled range kernel (codegen/JitCompiler.h).  The JIT
+  /// kernel bakes in only (stencil, fold, geometry); blocking, threading,
+  /// and wavefront scheduling stay in this class, so one compiled object
+  /// serves every (block, threads, wavefront) variant.
+  /// @{
+
+  /// Backend sweeps are requested to dispatch through; initialized from
+  /// YS_BACKEND (default plan).
+  KernelBackend backend() const { return Backend; }
+
+  /// Overrides the requested backend; takes effect on the next run and
+  /// clears any earlier jit-unavailable fallback decision.
+  void setBackend(KernelBackend B);
+
+  /// Backend the current sweeps actually execute through: Jit only once
+  /// a compiled kernel is bound; Plan before the first run and after a
+  /// compile failure forced the fallback.
+  KernelBackend activeBackend() const {
+    return JitFn ? KernelBackend::Jit : KernelBackend::Plan;
+  }
+
+  /// Times a JIT kernel was compiled/loaded for this executor; like
+  /// planBuilds(), a full runTimeSteps() on one geometry costs one build.
+  unsigned jitBuilds() const { return JitBuildCount; }
+
+  /// @}
+
 private:
   /// Returns the cached plan, (re)compiling it when absent, when \p Out's
   /// geometry changed, or when the selected SIMD target changed.
   KernelPlan &ensurePlan(const Grid &Out) const;
 
-  /// Thin dispatcher into the bound plan for one rectangular range.
+  /// Ensures a JIT range kernel for \p Out's geometry is loaded; false
+  /// (with a one-time warning) when compilation is unavailable, after
+  /// which this executor stays on the plan path.
+  bool ensureJit(const Grid &Out) const;
+
+  /// Prepares whichever backend the next sweeps run through (compiling
+  /// the plan or the JIT object as needed).
+  void prepareBackend(const Grid &Out) const;
+
+  /// Binds the grid base pointers on the prepared backend.
+  void bindBuffers(const Grid *const *Inputs, unsigned NumInputs,
+                   Grid &Out) const;
+
+  /// Thin dispatcher into the bound backend for one rectangular range.
   void sweepRange(long Z0, long Z1, long Y0, long Y1, long X0,
                   long X1) const;
   void sweepBlockedSerialZ(const GridDims &Dims, long Z0, long Z1) const;
@@ -111,6 +156,19 @@ private:
   /// by the (single) driving thread, never by pool workers.
   mutable std::unique_ptr<KernelPlan> Plan;
   mutable unsigned PlanBuildCount = 0;
+
+  /// JIT backend state, same caching discipline as the plan: rebuilt on
+  /// geometry change by the driving thread, read-only for pool workers.
+  KernelBackend Backend = selectKernelBackend();
+  mutable JitKernel JitK;             ///< Keeps the .so mapped.
+  mutable JitRangeKernelFn JitFn = nullptr; ///< Non-null = jit active.
+  mutable JitGeometry JitGeo;         ///< Geometry JitFn was built for.
+  mutable bool JitFailed = false;     ///< Compile failed; stay on plans.
+  mutable unsigned JitBuildCount = 0;
+  /// Bound base pointers (preallocated: the steady-state hot path must
+  /// not allocate).
+  mutable std::vector<const double *> JitIns;
+  mutable double *JitOut = nullptr;
 };
 
 } // namespace ys

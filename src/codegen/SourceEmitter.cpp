@@ -16,13 +16,30 @@ static std::string indexArg(const char *Axis, int D) {
   return format("%s %c %d", Axis, D > 0 ? '+' : '-', D > 0 ? D : -D);
 }
 
+/// Coefficient prefix "<coeff> * " (empty for 1.0).  Literals use
+/// shortest-round-trip precision so the compiled kernel reproduces the
+/// interpreter arithmetic bit-for-bit — a fixed %.9f would round 1.0/3.0
+/// and flush 1e-12 to 0 — and negative coefficients are parenthesized so
+/// splicing a term after "+ " stays well-formed.
+static std::string coeffFactor(double Coeff) {
+  if (Coeff == 1.0)
+    return std::string();
+  std::string S = roundTripDouble(Coeff);
+  if (Coeff < 0.0)
+    S = "(" + S + ")";
+  return S + " * ";
+}
+
+/// extern "C" prefix for function definitions when requested.
+static const char *linkagePrefix(const SourceEmitter::Options &Opts) {
+  return Opts.EmitExternC ? "extern \"C\" " : "";
+}
+
 std::string SourceEmitter::emitExpression(const StencilSpec &Spec) {
   std::string Out;
   bool First = true;
   for (const StencilPoint &P : Spec.points()) {
-    std::string Term;
-    if (P.Coeff != 1.0)
-      Term = trimmedDouble(P.Coeff, 9) + " * ";
+    std::string Term = coeffFactor(P.Coeff);
     Term += format("u%u[IDX3(%s, %s, %s)]", P.GridIdx,
                    indexArg("x", P.Dx).c_str(), indexArg("y", P.Dy).c_str(),
                    indexArg("z", P.Dz).c_str());
@@ -53,7 +70,8 @@ static std::string emitFoldedKernel(const StencilSpec &Spec,
     Params += format("const double *%s u%u, ", Restrict.c_str(), G);
   Params += format("double *%s out,\n    long NVx, long NVy, long NVz",
                    Restrict.c_str());
-  Src += format("void %s(%s) {\n", Name.c_str(), Params.c_str());
+  Src += format("%svoid %s(%s) {\n", linkagePrefix(Opts), Name.c_str(),
+                Params.c_str());
 
   Src += format("  // Vector fold %s (%d lanes).  Fold-linear neighbor\n",
                 F.str().c_str(), F.elems());
@@ -115,9 +133,7 @@ static std::string emitFoldedKernel(const StencilSpec &Spec,
   Src += Indent + "for (int l = 0; l < FOLD_ELEMS; ++l)\n";
   Src += Indent + "  acc[l] = 0.0;\n";
   for (unsigned P = 0; P < Points.size(); ++P) {
-    std::string Coeff = Points[P].Coeff != 1.0
-                            ? trimmedDouble(Points[P].Coeff, 9) + " * "
-                            : std::string();
+    std::string Coeff = coeffFactor(Points[P].Coeff);
     Src += SimdPragma;
     Src += Indent + "for (int l = 0; l < FOLD_ELEMS; ++l)\n";
     Src += Indent + format("  acc[l] += %su%u[base + off%u[l]];\n",
@@ -161,7 +177,8 @@ std::string SourceEmitter::emitKernel(const StencilSpec &Spec,
   Params += format("double *%s out,\n    long Nx, long Ny, long Nz, "
                    "long PadX, long PadY",
                    Restrict.c_str());
-  Src += format("void %s(%s) {\n", Name.c_str(), Params.c_str());
+  Src += format("%svoid %s(%s) {\n", linkagePrefix(Opts), Name.c_str(),
+                Params.c_str());
 
   bool Blocked = !Config.Block.isUnblocked();
   std::string Indent = "  ";
@@ -247,7 +264,8 @@ std::string SourceEmitter::emitDsl(const StencilSpec &Spec,
 }
 
 std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
-                                              const KernelConfig &Config) {
+                                              const KernelConfig &Config,
+                                              const Options &Opts) {
   std::string Name = "kernel_" + Spec.name();
   for (char &C : Name)
     if (C == '-')
@@ -256,9 +274,9 @@ std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
 
   if (Config.WavefrontDepth <= 1) {
     Src += "// Plain ping-pong time stepping.\n";
-    Src += format("void drive_%s(double *even, double *odd, long steps,\n"
+    Src += format("%svoid drive_%s(double *even, double *odd, long steps,\n"
                   "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
-                  Name.c_str());
+                  linkagePrefix(Opts), Name.c_str());
     Src += "  for (long t = 0; t < steps; ++t) {\n";
     Src += format("    %s(even, odd, Nx, Ny, Nz, PadX, PadY);\n",
                   Name.c_str());
@@ -271,15 +289,37 @@ std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
   int Depth = Config.WavefrontDepth;
   int R = Spec.radius() > 0 ? Spec.radius() : 1;
   long Bz = Config.Block.Z > R ? Config.Block.Z : R + 1;
+
+  // The z-slab kernel the frontier schedule advances each time level
+  // through: one sweep restricted to z in [z0, z1).  The wavefront
+  // schedule itself is sequential (the frontier caps order the slabs), so
+  // parallelism lives inside the slab's y/x loops, not across slabs.
+  std::string Restrict = Opts.EmitRestrict ? " __restrict" : "";
+  Src += "// One z-slab [z0, z1) of a single sweep.\n";
+  Src += format("%svoid %s_slab(const double *%s u0, double *%s out,\n"
+                "    long z0, long z1, long Nx, long Ny, "
+                "long PadX, long PadY) {\n",
+                linkagePrefix(Opts), Name.c_str(), Restrict.c_str(),
+                Restrict.c_str());
+  Src += "  for (long z = z0; z < z1; ++z)\n";
+  Src += "    for (long y = 0; y < Ny; ++y) {\n";
+  if (Opts.EmitSimdPragma)
+    Src += "      #pragma omp simd\n";
+  Src += "      for (long x = 0; x < Nx; ++x)\n";
+  Src += "        out[IDX3(x, y, z)] =\n";
+  Src += "          " + emitExpression(Spec) + ";\n";
+  Src += "    }\n";
+  Src += "}\n\n";
+
   Src += format("// Temporal wavefront driver: depth %d, radius %d, "
                 "z-block %ld.\n",
                 Depth, R, Bz);
   Src += "// frontier[s] = exclusive z up to which time level s is done;\n";
   Src += "// the cap frontier[s] <= frontier[s-1] - radius makes the\n";
   Src += "// two-buffer scheme race-free.\n";
-  Src += format("void drive_%s_wavefront(double *even, double *odd,\n"
+  Src += format("%svoid drive_%s_wavefront(double *even, double *odd,\n"
                 "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
-                Name.c_str());
+                linkagePrefix(Opts), Name.c_str());
   Src += format("  long frontier[%d + 1] = {0};\n", Depth);
   Src += "  frontier[0] = Nz;\n";
   Src += format("  while (frontier[%d] < Nz) {\n", Depth);
@@ -314,6 +354,8 @@ std::string SourceEmitter::emitTranslationUnit(const StencilSpec &Spec,
   Src += format("// config    : %s\n", Config.str().c_str());
   Src += format("// flops/LUP : %u (%u mul, %u add)\n", Spec.flopsPerLup(),
                 Spec.mulsPerLup(), Spec.addsPerLup());
+  const bool EmitDriver = Config.WavefrontDepth > 1 &&
+                          Config.VectorFold.isScalar();
   if (Config.WavefrontDepth > 1)
     Src += format("// temporal wavefront depth %d is realized by the "
                   "driver loop, not this sweep kernel\n",
@@ -347,5 +389,147 @@ std::string SourceEmitter::emitTranslationUnit(const StencilSpec &Spec,
     Src += "   ((gx) - FOLD_DIV((gx), FOLD_X) * FOLD_X))\n\n";
   }
   Src += emitKernel(Spec, Config, Opts);
+  // Wavefront configs also get the slab kernel + frontier driver, making
+  // the unit self-contained (every called function is defined).  The
+  // driver addresses the scalar layout, so folded wavefront configs keep
+  // the sweep kernel alone.
+  if (EmitDriver)
+    Src += "\n" + emitTimeStepDriver(Spec, Config, Opts);
+  return Src;
+}
+
+JitGeometry::JitGeometry(const Grid &G)
+    : Dims(G.dims()), Halo(G.halo()), F(G.fold()), PadX(G.padX()),
+      PadY(G.padY()), PadZ(G.padZ()), NVx(G.numVecX()), NVy(G.numVecY()),
+      NVz(G.numVecZ()) {}
+
+JitGeometry JitGeometry::forDims(const GridDims &Dims, int Halo,
+                                 const Fold &F) {
+  auto RoundUp = [](long V, int M) { return (V + M - 1) / M * M; };
+  JitGeometry G;
+  G.Dims = Dims;
+  G.Halo = Halo;
+  G.F = F;
+  G.PadX = RoundUp(Dims.Nx + 2L * Halo, F.X);
+  G.PadY = RoundUp(Dims.Ny + 2L * Halo, F.Y);
+  G.PadZ = RoundUp(Dims.Nz + 2L * Halo, F.Z);
+  G.NVx = G.PadX / F.X;
+  G.NVy = G.PadY / F.Y;
+  G.NVz = G.PadZ / F.Z;
+  return G;
+}
+
+bool JitGeometry::matches(const Grid &G) const {
+  return G.dims() == Dims && G.halo() == Halo && G.fold() == F &&
+         G.padX() == PadX && G.padY() == PadY && G.padZ() == PadZ;
+}
+
+std::string JitGeometry::str() const {
+  return format("%s halo %d fold %s pad %ldx%ldx%ld", Dims.str().c_str(),
+                Halo, F.str().c_str(), PadX, PadY, PadZ);
+}
+
+/// Index argument "<axis> + Halo [+/- delta]" in padded coordinates.
+static std::string paddedArg(const char *Axis, int D) {
+  if (D == 0)
+    return format("%s + Halo", Axis);
+  return format("%s + Halo %c %d", Axis, D > 0 ? '+' : '-', D > 0 ? D : -D);
+}
+
+std::string SourceEmitter::emitJitTranslationUnit(const StencilSpec &Spec,
+                                                  const JitGeometry &G) {
+  const Fold &F = G.F;
+  const std::vector<StencilPoint> &Points = Spec.points();
+  std::string Src;
+
+  Src += "// Auto-generated JIT stencil kernel (YaskSite reproduction).\n";
+  Src += format("// stencil  : %s (%s, radius %d, %u points)\n",
+                Spec.name().c_str(), Spec.shapeName(), Spec.radius(),
+                Spec.numPoints());
+  Src += format("// geometry : %s\n", G.str().c_str());
+  Src += "// Contract: computes one rectangular interior range of one\n";
+  Src += "// sweep.  Accumulation is in spec point order and the build\n";
+  Src += "// uses -ffp-contract=off, so results are bit-identical to the\n";
+  Src += "// ReferenceInterpreter and the in-process KernelPlan path.\n";
+  Src += "// Blocking, threading, and wavefront scheduling stay in\n";
+  Src += "// KernelExecutor, which invokes this kernel once per range.\n\n";
+
+  Src += "namespace {\n";
+  Src += format("constexpr long PadX = %ld;\n", G.PadX);
+  Src += format("constexpr long PadY = %ld;\n", G.PadY);
+  Src += format("constexpr long Halo = %d;\n", G.Halo);
+  if (F.isScalar()) {
+    Src += "// Mirrors Grid::linearIndex for the scalar layout.\n";
+    Src += "inline long ysIdx(long gx, long gy, long gz) {\n";
+    Src += "  return (gz * PadY + gy) * PadX + gx;\n";
+    Src += "}\n";
+  } else {
+    Src += format("constexpr long FoldX = %d;\n", F.X);
+    Src += format("constexpr long FoldY = %d;\n", F.Y);
+    Src += format("constexpr long FoldZ = %d;\n", F.Z);
+    Src += format("constexpr long FoldElems = %d;\n", F.elems());
+    Src += format("constexpr long NVX = %ld;\n", G.NVx);
+    Src += format("constexpr long NVY = %ld;\n", G.NVy);
+    Src += "// Mirrors Grid::linearIndex for the folded layout: block\n";
+    Src += "// index times FoldElems plus the x-fastest in-fold lane.\n";
+    Src += "// Padded coordinates are non-negative, so / and % agree with\n";
+    Src += "// floor division, and the fold dims are literals, so the\n";
+    Src += "// compiler strength-reduces the divisions.\n";
+    Src += "inline long ysIdx(long gx, long gy, long gz) {\n";
+    Src += "  const long vx = gx / FoldX, ix = gx % FoldX;\n";
+    Src += "  const long vy = gy / FoldY, iy = gy % FoldY;\n";
+    Src += "  const long vz = gz / FoldZ, iz = gz % FoldZ;\n";
+    Src += "  return ((vz * NVY + vy) * NVX + vx) * FoldElems +\n";
+    Src += "         (iz * FoldY + iy) * FoldX + ix;\n";
+    Src += "}\n";
+  }
+  Src += "} // namespace\n\n";
+
+  Src += format("extern \"C\" void %s(const double *const *ins, "
+                "double *out,\n    long z0, long z1, long y0, long y1, "
+                "long x0, long x1) {\n",
+                jitKernelSymbol());
+  for (unsigned In = 0; In < Spec.numInputGrids(); ++In)
+    Src += format("  const double *__restrict u%u = ins[%u];\n", In, In);
+  Src += "  for (long z = z0; z < z1; ++z)\n";
+  Src += "    for (long y = y0; y < y1; ++y) {\n";
+  Src += "      #pragma omp simd\n";
+  Src += "      for (long x = x0; x < x1; ++x) {\n";
+
+  std::string Expr;
+  bool First = true;
+  for (const StencilPoint &P : Points) {
+    std::string Term = coeffFactor(P.Coeff);
+    if (F.isScalar()) {
+      // Neighbor offsets are layout constants in the scalar layout
+      // (Grid::scalarNeighborOffset), so fold them into the literal.
+      long Off = (static_cast<long>(P.Dz) * G.PadY + P.Dy) * G.PadX + P.Dx;
+      if (Off == 0)
+        Term += format("u%u[i]", P.GridIdx);
+      else
+        Term += format("u%u[i %c %ld]", P.GridIdx, Off > 0 ? '+' : '-',
+                       Off > 0 ? Off : -Off);
+    } else {
+      Term += format("u%u[ysIdx(%s, %s, %s)]", P.GridIdx,
+                     paddedArg("x", P.Dx).c_str(),
+                     paddedArg("y", P.Dy).c_str(),
+                     paddedArg("z", P.Dz).c_str());
+    }
+    if (!First)
+      Expr += "\n            + ";
+    Expr += Term;
+    First = false;
+  }
+
+  if (F.isScalar()) {
+    Src += "        const long i = ysIdx(x + Halo, y + Halo, z + Halo);\n";
+    Src += "        out[i] =\n";
+  } else {
+    Src += "        out[ysIdx(x + Halo, y + Halo, z + Halo)] =\n";
+  }
+  Src += "            " + Expr + ";\n";
+  Src += "      }\n";
+  Src += "    }\n";
+  Src += "}\n";
   return Src;
 }

@@ -7,6 +7,7 @@
 #include "driver/Driver.h"
 
 #include "cachesim/StencilTrace.h"
+#include "codegen/JitCompiler.h"
 #include "codegen/SourceEmitter.h"
 #include "codegen/VectorFold.h"
 #include "ecm/BlockingSelector.h"
@@ -151,6 +152,8 @@ struct DriverOptions {
   std::string PatternsArg;
   unsigned long long TolUlps = 0;
   double TolAbs = 0.0;
+  // `verify`/`emit` backend: "" = YS_BACKEND / default behavior.
+  std::string BackendArg;
 };
 
 /// Parses options after the command; returns empty string on success.
@@ -213,6 +216,10 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
       Opts.TolUlps = std::strtoull(V.c_str(), nullptr, 10);
     } else if (Flag == "--tol-abs" && Value(V)) {
       Opts.TolAbs = std::atof(V.c_str());
+    } else if (Flag == "--backend" && Value(V)) {
+      if (!parseKernelBackend(V))
+        return format("unknown backend '%s' (plan, jit)", V.c_str());
+      Opts.BackendArg = V;
     } else if (Flag == "--asm") {
       Opts.ShowAsm = true;
     } else if (Flag == "--nt") {
@@ -315,6 +322,14 @@ int cmdTune(const DriverOptions &Opts, const StencilSpec &Spec,
 
 int cmdEmit(const DriverOptions &Opts, const StencilSpec &Spec,
             std::string &Out) {
+  if (parseKernelBackend(Opts.BackendArg) == KernelBackend::Jit) {
+    // The unit the jit backend would compile for --dims sized grids.
+    JitGeometry G = JitGeometry::forDims(
+        Opts.DimsGiven ? Opts.Dims : GridDims{32, 32, 32}, Spec.radius(),
+        Opts.Config.VectorFold);
+    Out += SourceEmitter::emitJitTranslationUnit(Spec, G);
+    return 0;
+  }
   Out += SourceEmitter::emitTranslationUnit(Spec, Opts.Config);
   return 0;
 }
@@ -387,6 +402,9 @@ int cmdVerify(const DriverOptions &Opts, const StencilSpec &Spec,
     return 1;
   }
 
+  if (!Opts.BackendArg.empty())
+    CO.Backend = parseKernelBackend(Opts.BackendArg);
+
   VariantChecker Checker(Spec, Dims, CO);
   CheckReport Report = Checker.checkAll();
   Out += format("verify %s on %s: %d step(s), %zu pattern(s) x %zu "
@@ -394,6 +412,15 @@ int cmdVerify(const DriverOptions &Opts, const StencilSpec &Spec,
                 Spec.name().c_str(), Dims.str().c_str(), CO.Steps,
                 CO.Patterns.size(), CO.Seeds.size(), CO.Tol.str().c_str());
   Out += Report.summary() + "\n";
+  // When the jit backend was in play, show the cache behavior: a warm
+  // cache run reports zero compiler invocations.
+  if (Report.JitComparisons > 0) {
+    JitStats S = JitRuntime::instance().stats();
+    Out += format("jit: %u compile(s), %u memory hit(s), %u disk hit(s) "
+                  "[cache %s]\n",
+                  S.Invocations, S.MemoryHits, S.DiskHits,
+                  JitRuntime::instance().cacheDir().c_str());
+  }
   return Report.ok() ? 0 : 1;
 }
 
@@ -728,6 +755,7 @@ const char *UsageText =
     "                                --sweeps = steps, --seeds A,B --patterns\n"
     "                                smooth,random,impulse,boundary-stress\n"
     "                                --tol-ulps N --tol-abs X\n"
+    "                                --backend plan|jit (default: YS_BACKEND)\n"
     "  run     <stencil> [options]   execute (DSL bundle or builtin); "
     "--sweeps = steps\n"
     "  ode     <method> [options]    integrate an IVP; --ivp NAME --n N "
@@ -735,7 +763,9 @@ const char *UsageText =
     "  tunedb  build|query <path> .. offline tuning database\n"
     "  parse   <file.stencil>        parse and summarize a DSL file\n"
     "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
-    "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n";
+    "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n"
+    "         --backend plan|jit (emit/verify; env: YS_BACKEND, YS_CXX,\n"
+    "         YS_JIT_CACHE)\n";
 
 } // namespace
 

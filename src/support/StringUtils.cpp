@@ -8,6 +8,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace ys;
 
@@ -65,6 +66,24 @@ std::string ys::trimmedDouble(double Value, int Precision) {
     --Last;
   S.erase(Last + 1);
   return S;
+}
+
+std::string ys::fingerprintRaw64(const std::string &Canonical) {
+  unsigned long long H = 1469598103934665603ull;
+  for (unsigned char C : Canonical) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return format("%016llx", H);
+}
+
+std::string ys::roundTripDouble(double Value) {
+  for (int Precision = 15; Precision <= 17; ++Precision) {
+    std::string S = format("%.*g", Precision, Value);
+    if (std::strtod(S.c_str(), nullptr) == Value)
+      return S;
+  }
+  return format("%.17g", Value); // Non-finite values land here.
 }
 
 bool ys::startsWith(const std::string &Str, const std::string &Prefix) {

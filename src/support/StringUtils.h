@@ -35,6 +35,18 @@ std::string humanBytes(unsigned long long Bytes);
 /// Renders a double with the given precision, trimming trailing zeros.
 std::string trimmedDouble(double Value, int Precision = 3);
 
+/// Renders a finite double with the shortest %g precision (15..17
+/// significant digits) that parses back to the exact same bit pattern, so
+/// emitted source literals round-trip: "0.5" stays "0.5" while 1.0/3.0
+/// becomes "0.33333333333333331" and 1e-12 keeps its magnitude.
+std::string roundTripDouble(double Value);
+
+/// Stable 64-bit FNV-1a fingerprint of a byte string, rendered as 16 hex
+/// digits.  Stable across platforms and runs (unlike std::hash); the
+/// shared implementation behind TuningCache::fingerprintRaw and the JIT
+/// object-cache keys.
+std::string fingerprintRaw64(const std::string &Canonical);
+
 /// Returns true if \p Str starts with \p Prefix.
 bool startsWith(const std::string &Str, const std::string &Prefix);
 

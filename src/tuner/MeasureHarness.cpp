@@ -60,10 +60,12 @@ void MeasureHarness::ensureBuffers(const KernelConfig &Config) {
 double MeasureHarness::measure(const KernelConfig &Config) {
   Trace::initFromEnv();
 
+  KernelBackend Backend = effectiveBackend();
   std::string Key;
   if (Cache) {
     Key = TuningCache::fingerprint(Spec, CacheMachineId, Dims, Config,
-                                   TuningCache::effectiveThreads(Config));
+                                   TuningCache::effectiveThreads(Config),
+                                   kernelBackendName(Backend));
     if (const TuningCache::Entry *E = Cache->lookup(Key)) {
       ++CachedMeasurements;
       TraceRecord Rec("measure");
@@ -83,6 +85,7 @@ double MeasureHarness::measure(const KernelConfig &Config) {
     Exec = std::make_unique<KernelExecutor>(Spec, Config);
     ExecConfig = Config;
   }
+  Exec->setBackend(Backend); // No-op when unchanged.
   ThreadPool *P = Config.Threads > 1 ? Pool.get() : nullptr;
   if (P)
     P->resetStats();

@@ -31,6 +31,7 @@
 #include "tuner/TuningStrategy.h"
 
 #include <memory>
+#include <optional>
 
 namespace ys {
 
@@ -71,6 +72,17 @@ public:
   /// threaded measurement (imbalance/steal visibility while tuning).
   void setPrintPoolStats(bool Enable) { PrintPoolStats = Enable; }
 
+  /// Forces the execution backend timed by measure() (plan or jit);
+  /// unset (the default) follows YS_BACKEND.  The backend is part of the
+  /// tuning-cache fingerprint, so plan-measured and jit-measured numbers
+  /// never answer each other's queries.
+  void setBackend(std::optional<KernelBackend> B) { BackendOverride = B; }
+
+  /// Backend measure() will request on its executors.
+  KernelBackend effectiveBackend() const {
+    return BackendOverride ? *BackendOverride : selectKernelBackend();
+  }
+
 private:
   StencilSpec Spec;
   GridDims Dims;
@@ -86,6 +98,7 @@ private:
   /// repeats (and across repeated measurements of one candidate).
   std::unique_ptr<KernelExecutor> Exec;
   KernelConfig ExecConfig;
+  std::optional<KernelBackend> BackendOverride;
   std::unique_ptr<Grid> U, V;
   /// Input grids beyond the first for multi-input stencils.
   std::vector<std::unique_ptr<Grid>> ExtraInputs;

@@ -17,6 +17,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 using namespace ys;
 
 namespace {
@@ -77,17 +79,22 @@ std::string TuningCache::fingerprint(const StencilSpec &Spec,
                                      const std::string &MachineId,
                                      const GridDims &Dims,
                                      const KernelConfig &Config,
-                                     unsigned Threads) {
+                                     unsigned Threads,
+                                     const std::string &Backend) {
   std::string Canon = canonicalStencil(Spec) + "|machine=" + MachineId +
                       format("|dims=%ldx%ldx%ld|", Dims.Nx, Dims.Ny,
                              Dims.Nz) +
                       canonicalConfig(Config) +
                       format("|threads=%u", Threads);
+  // Appended only for non-default backends so historical plan-path keys
+  // (and therefore existing cache files) remain valid.
+  if (Backend != "plan")
+    Canon += "|backend=" + Backend;
   return hex64(fnv1a(Canon));
 }
 
 std::string TuningCache::fingerprintRaw(const std::string &Canonical) {
-  return hex64(fnv1a(Canonical));
+  return fingerprintRaw64(Canonical); // Shared FNV-1a (support layer).
 }
 
 unsigned TuningCache::effectiveThreads(const KernelConfig &Config) {
@@ -177,10 +184,28 @@ Expected<TuningCache> TuningCache::deserialize(const std::string &Text) {
 }
 
 Error TuningCache::saveFile(const std::string &Path) const {
-  std::ofstream Out(Path);
-  if (!Out)
-    return Error::failure(format("cannot write '%s'", Path.c_str()));
-  Out << serialize();
+  // Write-to-temp + atomic rename (same directory, so the rename cannot
+  // cross filesystems): a killed run or two concurrent savers can no
+  // longer leave a truncated/interleaved file that the next loadOrCreate
+  // rejects wholesale.  Concurrent savers race benignly — last complete
+  // rename wins.
+  std::string Tmp = Path + format(".tmp.%ld", (long)getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return Error::failure(format("cannot write '%s'", Tmp.c_str()));
+    Out << serialize();
+    Out.flush();
+    if (!Out) {
+      std::remove(Tmp.c_str());
+      return Error::failure(format("short write to '%s'", Tmp.c_str()));
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Error::failure(format("cannot rename '%s' over '%s'",
+                                 Tmp.c_str(), Path.c_str()));
+  }
   return Error::success();
 }
 

@@ -68,11 +68,17 @@ public:
 
   /// Full measurement fingerprint.  \p Threads is the effective worker
   /// count (pass ThreadPool::defaultThreadCount() to honor YS_THREADS).
+  /// \p Backend names the execution backend the number was measured
+  /// under ("plan" or "jit"); "plan" keeps the historical key unchanged,
+  /// so existing caches stay valid, while jit-measured numbers get
+  /// distinct keys and can never be served for plan queries (or vice
+  /// versa).
   static std::string fingerprint(const StencilSpec &Spec,
                                  const std::string &MachineId,
                                  const GridDims &Dims,
                                  const KernelConfig &Config,
-                                 unsigned Threads);
+                                 unsigned Threads,
+                                 const std::string &Backend = "plan");
 
   /// Fingerprint of an arbitrary canonical string (for non-stencil users
   /// such as the e9 ODE-variant bench).

@@ -85,6 +85,8 @@ std::string CheckReport::summary() const {
                              ? "all match the reference interpreter"
                              : format("%zu FAILURE(S)", Failures.size())
                                    .c_str());
+  if (JitComparisons > 0)
+    S += format(" (%u via jit backend)", JitComparisons);
   for (const VariantFailure &F : Failures)
     S += "\n  FAIL " + F.str();
   for (const auto &[C, Why] : Rejected)
@@ -272,6 +274,8 @@ CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
 
       for (const KernelConfig &C : Valid) {
         KernelExecutor Exec(Spec, C);
+        if (Opts.Backend)
+          Exec.setBackend(*Opts.Backend);
         ThreadPool *P = C.Threads > 1 ? Pool : nullptr;
         Grid Out(Dims, Halo, C.VectorFold);
         if (SingleInput) {
@@ -292,6 +296,8 @@ CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
         }
 
         ++Report.ComparisonsRun;
+        if (Exec.activeBackend() == KernelBackend::Jit)
+          ++Report.JitComparisons;
         CellDivergence Div;
         if (findFirstDivergence(RefOut, Out, Opts.Tol, Div)) {
           VariantFailure F;

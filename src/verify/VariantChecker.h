@@ -25,12 +25,14 @@
 #ifndef YS_VERIFY_VARIANTCHECKER_H
 #define YS_VERIFY_VARIANTCHECKER_H
 
+#include "codegen/JitCompiler.h"
 #include "codegen/KernelConfig.h"
 #include "stencil/Grid.h"
 #include "stencil/StencilSpec.h"
 #include "verify/GridPatterns.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -93,12 +95,20 @@ struct CheckOptions {
   unsigned MaxThreads = 0; ///< "max" of the thread axis; 0 = the
                            ///< YS_THREADS / hardware default.
   bool StopOnFirstFailure = false;
+  /// Execution backend forced on every variant (plan or jit); unset = the
+  /// executor's YS_BACKEND default.  With the jit backend unavailable the
+  /// executors fall back to plans — CheckReport::JitComparisons tells the
+  /// caller how many comparisons actually ran JIT-compiled code.
+  std::optional<KernelBackend> Backend;
 };
 
 /// Aggregate result of a verification run.
 struct CheckReport {
   unsigned VariantsChecked = 0; ///< Distinct configs executed.
   unsigned ComparisonsRun = 0;  ///< (config, pattern, seed) grid compares.
+  unsigned JitComparisons = 0;  ///< Comparisons executed through the JIT
+                                ///< backend (0 on the plan path or after
+                                ///< a no-compiler fallback).
   std::vector<VariantFailure> Failures; ///< First divergence per failure.
   /// Configs rejected by KernelConfig::validate() with their diagnostics
   /// (never executed).

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace ys;
 
 namespace {
@@ -30,6 +32,38 @@ TEST(SourceEmitter, UnitCoefficientOmitsMultiply) {
   StencilSpec S("s", {{1, 0, 0, 1.0, 0}});
   std::string E = SourceEmitter::emitExpression(S);
   EXPECT_EQ(E, "u0[IDX3(x + 1, y, z)]");
+}
+
+TEST(SourceEmitter, CoefficientsSurviveTextRoundTrip) {
+  // Regression: coefficients used to be truncated to 9 significant
+  // digits, so a compiled kernel could not be bit-identical to the
+  // interpreter.  Every printed coefficient must parse back to the exact
+  // double, including non-terminating binary fractions, tiny magnitudes,
+  // and values needing all 17 digits.
+  const double Cases[] = {1.0 / 3.0, 1e-12, 0.1, -2.0 / 7.0,
+                          6.283185307179586, 1.0 + 1e-15};
+  for (double Coeff : Cases) {
+    SCOPED_TRACE(Coeff);
+    StencilSpec S("c", {{0, 0, 0, Coeff, 0}});
+    std::string E = SourceEmitter::emitExpression(S);
+    // Strip the load factor; what precedes "u0[" (if anything) is the
+    // printed coefficient text.
+    size_t Star = E.find(" * u0[");
+    ASSERT_NE(Star, std::string::npos) << E;
+    std::string Text = E.substr(0, Star);
+    if (Text.front() == '(') // Negatives are parenthesized.
+      Text = Text.substr(1, Text.size() - 2);
+    EXPECT_EQ(std::strtod(Text.c_str(), nullptr), Coeff) << Text;
+  }
+}
+
+TEST(SourceEmitter, NegativeCoefficientsParenthesized) {
+  // "a + -0.5 * b" is legal but "-" gluing onto the previous term is
+  // fragile under textual post-processing; the emitter wraps negatives.
+  StencilSpec S("n", {{0, 0, 0, -0.5, 0}, {1, 0, 0, 0.25, 0}});
+  std::string E = SourceEmitter::emitExpression(S);
+  EXPECT_TRUE(contains(E, "(-0.5) * u0[IDX3(x, y, z)]"));
+  EXPECT_FALSE(contains(E, "+ -"));
 }
 
 TEST(SourceEmitter, UnblockedKernelStructure) {
@@ -191,7 +225,42 @@ TEST(SourceEmitter, WavefrontDriverFrontierSchedule) {
   EXPECT_TRUE(contains(Src, "long frontier[4 + 1]"));
   EXPECT_TRUE(contains(Src, "frontier[s - 1] - 2"));
   EXPECT_TRUE(contains(Src, "while (frontier[4] < Nz)"));
-  EXPECT_TRUE(contains(Src, "kernel_star3d_r2_slab"));
+  // The slab kernel the frontier schedule calls must be *defined* in the
+  // emitted text, not merely referenced — a bare call used to leave the
+  // driver un-linkable.
+  EXPECT_TRUE(contains(Src, "void kernel_star3d_r2_slab("));
+  size_t SlabDef = Src.find("void kernel_star3d_r2_slab(");
+  size_t Driver = Src.find("void drive_kernel_star3d_r2_wavefront(");
+  ASSERT_NE(Driver, std::string::npos);
+  EXPECT_LT(SlabDef, Driver); // Defined before its call site.
+  EXPECT_TRUE(contains(Src, "kernel_star3d_r2_slab(src, dst,"));
+}
+
+TEST(SourceEmitter, WavefrontTranslationUnitIsSelfContained) {
+  // A wavefront TU must carry kernel, slab kernel, and driver so it
+  // compiles standalone (the jit suite actually builds it; this is the
+  // cheap structural check).
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 4;
+  std::string Src =
+      SourceEmitter::emitTranslationUnit(StencilSpec::heat3d(), C);
+  EXPECT_TRUE(contains(Src, "void kernel_heat3d("));
+  EXPECT_TRUE(contains(Src, "void kernel_heat3d_slab("));
+  EXPECT_TRUE(contains(Src, "void drive_kernel_heat3d_wavefront("));
+}
+
+TEST(SourceEmitter, ExternCLinkageOnEveryFunction) {
+  SourceEmitter::Options Opts;
+  Opts.EmitExternC = true;
+  KernelConfig C;
+  C.WavefrontDepth = 2;
+  std::string Src =
+      SourceEmitter::emitTranslationUnit(StencilSpec::heat3d(), C, Opts);
+  EXPECT_TRUE(contains(Src, "extern \"C\" void kernel_heat3d("));
+  EXPECT_TRUE(contains(Src, "extern \"C\" void kernel_heat3d_slab("));
+  EXPECT_TRUE(
+      contains(Src, "extern \"C\" void drive_kernel_heat3d_wavefront("));
 }
 
 TEST(SourceEmitter, WavefrontDriverClampsBlockToRadius) {

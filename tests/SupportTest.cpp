@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 
@@ -54,6 +55,34 @@ TEST(StringUtils, TrimmedDouble) {
   EXPECT_EQ(trimmedDouble(2.0, 3), "2");
   EXPECT_EQ(trimmedDouble(0.125, 6), "0.125");
   EXPECT_EQ(trimmedDouble(-0.5, 2), "-0.5");
+}
+
+TEST(StringUtils, RoundTripDouble) {
+  // Shortest representation for exactly representable values...
+  EXPECT_EQ(roundTripDouble(0.5), "0.5");
+  EXPECT_EQ(roundTripDouble(2.0), "2");
+  EXPECT_EQ(roundTripDouble(-0.25), "-0.25");
+  // ...and exact round-trip for everything else, digits as needed.
+  const double Cases[] = {1.0 / 3.0,  1e-12,     0.1, -2.0 / 7.0,
+                          1.0 + 1e-15, 6.283185307179586};
+  for (double V : Cases) {
+    SCOPED_TRACE(V);
+    std::string S = roundTripDouble(V);
+    EXPECT_EQ(std::strtod(S.c_str(), nullptr), V) << S;
+  }
+}
+
+TEST(StringUtils, FingerprintRaw64) {
+  // 16 hex digits, deterministic, and content-sensitive.  The empty-input
+  // value is pinned: it is the offset basis every existing on-disk
+  // tuning-cache and JIT-object key was derived from, so changing the
+  // hash constants would silently orphan all cached state.  (The basis is
+  // a historical variant, not the canonical FNV-1a one — kept for
+  // exactly that compatibility reason.)
+  EXPECT_EQ(fingerprintRaw64("").size(), 16u);
+  EXPECT_EQ(fingerprintRaw64("abc"), fingerprintRaw64("abc"));
+  EXPECT_NE(fingerprintRaw64("abc"), fingerprintRaw64("abd"));
+  EXPECT_EQ(fingerprintRaw64(""), "14650fb0739d0383");
 }
 
 TEST(StringUtils, StartsWith) {

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
@@ -186,6 +187,46 @@ TEST(TuningCache, FileRoundTripAndMissingFile) {
   EXPECT_FALSE(static_cast<bool>(TuningCache::loadFile(Path)));
   // loadOrCreate on a missing file silently starts empty.
   EXPECT_EQ(TuningCache::loadOrCreate(Path).size(), 0u);
+}
+
+TEST(TuningCache, SaveFileIsAtomicAndRepairsCorruptTarget) {
+  // saveFile writes through a same-directory temp file + rename: a save
+  // over a corrupt (or concurrently read) file either fully replaces it
+  // or leaves it untouched, and never leaves the temp file behind.
+  std::string Path = writeTempFile("tuning_cache_atomic.json",
+                                   "corrupt leftover from a killed run\n");
+  TuningCache Cache;
+  Cache.insert(makeEntry("abcd", 10));
+  ASSERT_FALSE(static_cast<bool>(Cache.saveFile(Path)));
+  auto LoadedOr = TuningCache::loadFile(Path);
+  ASSERT_TRUE(static_cast<bool>(LoadedOr));
+  EXPECT_EQ(LoadedOr->size(), 1u);
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(testing::TempDir()))
+    EXPECT_EQ(Entry.path().filename().string().find(
+                  "tuning_cache_atomic.json.tmp"),
+              std::string::npos)
+        << Entry.path();
+  std::remove(Path.c_str());
+
+  // An unwritable destination reports failure without leaving debris.
+  Error E = Cache.saveFile("/no/such/dir/cache.json");
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+TEST(TuningCache, BackendIsPartOfTheFingerprint) {
+  // Plan-measured and jit-measured numbers must never answer each other's
+  // queries; the historical plan keys are unchanged (an explicit "plan"
+  // and the default produce the same key, so existing caches stay valid).
+  StencilSpec S = StencilSpec::heat3d();
+  std::string MachId = TuningCache::machineId(MachineModel::cascadeLakeSP());
+  GridDims Dims{32, 32, 32};
+  KernelConfig C;
+  std::string Default = TuningCache::fingerprint(S, MachId, Dims, C, 4);
+  EXPECT_EQ(TuningCache::fingerprint(S, MachId, Dims, C, 4, "plan"),
+            Default);
+  EXPECT_NE(TuningCache::fingerprint(S, MachId, Dims, C, 4, "jit"),
+            Default);
 }
 
 TEST(TuningCache, CorruptFileRejectedWithoutCrashing) {

@@ -411,6 +411,26 @@ TEST(VerifyMatrix, FoldedFastPathBitwiseAcrossSimdTargets) {
   unsetenv("YS_SIMD");
 }
 
+TEST(VerifyMatrix, JitBackendMatchesOracleWhenCompilerAvailable) {
+  // The same differential harness, forced onto the runtime-JIT backend.
+  // With a system compiler every comparison must run JIT-compiled code
+  // and still be bit-identical; without one the executors fall back to
+  // plans and the matrix must stay green (JitComparisons then reads 0).
+  CheckOptions CO;
+  CO.Steps = 2;
+  CO.Patterns = {GridPattern::Random, GridPattern::BoundaryStress};
+  CO.Backend = KernelBackend::Jit;
+  VariantChecker Checker(StencilSpec::heat3d(), {11, 10, 9}, CO);
+  CheckReport Report = Checker.checkAll();
+  EXPECT_TRUE(Report.ok()) << Report.summary();
+  if (JitRuntime::instance().available()) {
+    EXPECT_EQ(Report.JitComparisons, Report.ComparisonsRun);
+    EXPECT_NE(Report.summary().find("via jit backend"), std::string::npos);
+  } else {
+    EXPECT_EQ(Report.JitComparisons, 0u);
+  }
+}
+
 TEST(VerifyMatrix, MultiInputStencilSweepMode) {
   // Two-grid stencil: the checker falls back to single-sweep comparisons
   // and enumerates no wavefront variants.

@@ -4,7 +4,9 @@
 # per measurement) into the build directory:
 #
 #   BENCH_micro.json   scalar-vs-folded compiled-plan kernels per SIMD
-#                      dispatch target (bench_micro_kernels --ys-compare)
+#                      dispatch target, plus plan-vs-JIT GLUP/s rows per
+#                      fold when a system compiler is available
+#                      (bench_micro_kernels --ys-compare)
 #
 # The scalar-vs-folded comparison exits non-zero when the best folded
 # kernel falls below 0.9x scalar throughput on any target, so this script

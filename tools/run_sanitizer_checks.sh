@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Builds the tree under AddressSanitizer + UndefinedBehaviorSanitizer and
-# runs the `verify`-labeled differential-verification suite, so every
-# enumerated kernel variant (folds, cache blocks, wavefronts, threads) is
-# checked against the golden reference interpreter with full memory and UB
-# checking.  Part of the tier-1 quality gate for changes touching the
-# executor, the grid layout, or the verification harness itself.
+# runs the `verify`- and `jit`-labeled suites, so every enumerated kernel
+# variant (folds, cache blocks, wavefronts, threads) is checked against
+# the golden reference interpreter with full memory and UB checking —
+# including the runtime-JIT backend, whose dlopen'd kernels run inside
+# the instrumented process.  Part of the tier-1 quality gate for changes
+# touching the executor, the grid layout, the JIT backend, or the
+# verification harness itself.
 #
 # Usage: tools/run_sanitizer_checks.sh [build-dir]
 set -eu
@@ -16,4 +18,4 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DYS_SANITIZE=address,undefined
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_stack_use_after_return=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-  ctest --test-dir "$BUILD_DIR" -L verify --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L 'verify|jit' --output-on-failure
