@@ -1,0 +1,206 @@
+//===- bench/bench_service.cpp - Tuning-service throughput ------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput of the long-lived tuning service (service/TuningService.h)
+/// under concurrent load, in three scenarios:
+///
+///   model    — ECM predict queries from several threads (admission
+///              control: these never touch the trial lane);
+///   dedup    — many threads requesting the same few measurements: the
+///              in-flight coalescing means K distinct configs cost exactly
+///              K timed trials regardless of the request count;
+///   cachehit — repeat measurements answered by the sharded front.
+///
+/// Reports queries/sec per scenario and the dedup ratio (requests answered
+/// without a trial / total requests).  `--ys-json=PATH` writes JSON-lines
+/// results (default BENCH_service.json); `--ys-smoke` shrinks the run for
+/// CI (ctest -L perf).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "service/TuningService.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace ys;
+
+namespace {
+
+struct Scenario {
+  std::string Name;
+  unsigned Threads = 0;
+  unsigned long long Queries = 0;
+  double Seconds = 0;
+  double Qps = 0;
+};
+
+Scenario runModelScenario(TuningService &Service, unsigned Threads,
+                          unsigned QueriesPerThread) {
+  Scenario R{"model", Threads, 0, 0, 0};
+  Timer T;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      for (unsigned I = 0; I < QueriesPerThread; ++I) {
+        PredictQuery Q;
+        Q.Stencil = (I + W) % 2 ? "heat3d" : "star3d:2";
+        Q.Dims = GridDims{128 + 16 * static_cast<long>(I % 4), 64, 64};
+        Q.Cores = 1 + (I % 4);
+        auto ROr = Service.predict(Q);
+        if (!ROr)
+          std::fprintf(stderr, "predict failed: %s\n",
+                       ROr.takeError().message().c_str());
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  R.Seconds = T.seconds();
+  R.Queries = static_cast<unsigned long long>(Threads) * QueriesPerThread;
+  R.Qps = R.Queries / R.Seconds;
+  return R;
+}
+
+MeasureQuery benchQuery(long Bx) {
+  MeasureQuery Q;
+  Q.Stencil = "heat3d";
+  Q.Dims = GridDims{32, 16, 16};
+  Q.Config.Block.X = Bx;
+  Q.Backend = "plan";
+  return Q;
+}
+
+Scenario runMeasureScenario(TuningService &Service, unsigned Threads,
+                            const std::vector<long> &Configs) {
+  Scenario R{"dedup", Threads, 0, 0, 0};
+  Timer T;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&] {
+      for (long Bx : Configs)
+        if (auto ROr = Service.measure(benchQuery(Bx)); !ROr)
+          std::fprintf(stderr, "measure failed: %s\n",
+                       ROr.takeError().message().c_str());
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  R.Seconds = T.seconds();
+  R.Queries = static_cast<unsigned long long>(Threads) * Configs.size();
+  R.Qps = R.Queries / R.Seconds;
+  return R;
+}
+
+Scenario runCacheHitScenario(TuningService &Service, unsigned Threads,
+                             unsigned QueriesPerThread,
+                             const std::vector<long> &Configs) {
+  Scenario R{"cachehit", Threads, 0, 0, 0};
+  Timer T;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&] {
+      for (unsigned I = 0; I < QueriesPerThread; ++I)
+        if (auto ROr = Service.measure(benchQuery(Configs[I % Configs.size()]));
+            !ROr)
+          std::fprintf(stderr, "measure failed: %s\n",
+                       ROr.takeError().message().c_str());
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  R.Seconds = T.seconds();
+  R.Queries = static_cast<unsigned long long>(Threads) * QueriesPerThread;
+  R.Qps = R.Queries / R.Seconds;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string JsonPath = "BENCH_service.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ys-smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--ys-json=", 10) == 0)
+      JsonPath = argv[I] + 10;
+  }
+
+  ysbench::banner("SERVICE", "Tuning-service throughput under concurrency",
+                  "Model queries bypass the trial lane; identical "
+                  "measurements coalesce onto one trial.");
+
+  const unsigned Threads = Smoke ? 2 : 8;
+  const unsigned ModelQueries = Smoke ? 25 : 250;
+  const unsigned CacheHitQueries = Smoke ? 50 : 1000;
+  const std::vector<long> Configs =
+      Smoke ? std::vector<long>{8, 16} : std::vector<long>{8, 16, 32, 64};
+
+  ServiceOptions SO;
+  SO.Repeats = 1;
+  SO.SweepsPerRepeat = 1;
+  TuningService Service(SO);
+
+  Scenario Model = runModelScenario(Service, Threads, ModelQueries);
+  Scenario Dedup = runMeasureScenario(Service, Threads, Configs);
+  ServiceStats AfterDedup = Service.stats();
+  Scenario CacheHit =
+      runCacheHitScenario(Service, Threads, CacheHitQueries, Configs);
+  ServiceStats Final = Service.stats();
+
+  double DedupRatio =
+      AfterDedup.MeasureRequests
+          ? 1.0 - static_cast<double>(AfterDedup.TimedTrials) /
+                      static_cast<double>(AfterDedup.MeasureRequests)
+          : 0.0;
+
+  Table T({"scenario", "threads", "queries", "wall", "queries/s"});
+  for (const Scenario &S : {Model, Dedup, CacheHit})
+    T.addRow({S.Name, format("%u", S.Threads), format("%llu", S.Queries),
+              ysbench::seconds(S.Seconds), format("%.0f", S.Qps)});
+  std::printf("%s", T.render().c_str());
+  std::printf("\ndedup: %llu measure requests -> %llu timed trials "
+              "(%llu coalesced, %llu cache hits); dedup ratio %.3f\n",
+              AfterDedup.MeasureRequests, AfterDedup.TimedTrials,
+              AfterDedup.Coalesced, AfterDedup.CacheHits, DedupRatio);
+  std::printf("final: %llu kernel runs for %llu measure requests, "
+              "%zu cache entries\n",
+              Final.KernelRuns, Final.MeasureRequests, Final.CacheEntries);
+
+  ysbench::JsonLinesWriter Json(JsonPath);
+  for (const Scenario &S : {Model, Dedup, CacheHit}) {
+    JsonObjectWriter Obj;
+    Obj.field("bench", "service")
+        .field("scenario", S.Name)
+        .field("threads", static_cast<long>(S.Threads))
+        .field("queries", S.Queries)
+        .field("seconds", S.Seconds)
+        .field("qps", S.Qps);
+    Json.write(Obj);
+  }
+  JsonObjectWriter Summary;
+  Summary.field("bench", "service")
+      .field("scenario", "summary")
+      .field("measure_requests", AfterDedup.MeasureRequests)
+      .field("timed_trials", AfterDedup.TimedTrials)
+      .field("coalesced", AfterDedup.Coalesced)
+      .field("cache_hits", Final.CacheHits)
+      .field("kernel_runs", Final.KernelRuns)
+      .field("dedup_ratio", DedupRatio);
+  Json.write(Summary);
+  std::printf("json: %s\n", JsonPath.c_str());
+
+  // The dedup guarantee is structural; fail loudly if it ever regresses.
+  if (Final.TimedTrials != Configs.size()) {
+    std::fprintf(stderr,
+                 "FAIL: expected exactly %zu timed trials, got %llu\n",
+                 Configs.size(), Final.TimedTrials);
+    return 1;
+  }
+  return 0;
+}

@@ -8,126 +8,27 @@
 
 #include "cachesim/StencilTrace.h"
 #include "codegen/JitCompiler.h"
-#include "codegen/SourceEmitter.h"
-#include "codegen/VectorFold.h"
-#include "ecm/BlockingSelector.h"
 #include "ecm/InCoreModel.h"
 #include "frontend/Parser.h"
 #include "ode/Registry.h"
 #include "offsite/Database.h"
-#include "offsite/Offsite.h"
+#include "service/Serve.h"
 #include "solution/StencilSolution.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
+#include "tuner/TuningCache.h"
 #include "verify/VariantChecker.h"
 
+#include <climits>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace ys;
-
-std::vector<std::string> ys::builtinStencilNames() {
-  return {"heat3d",     "heat2d",    "star3d:R", "star2d:R",
-          "box3d:R",    "line1d:R",  "longrange:RX"};
-}
-
-Expected<StencilSpec> ys::resolveStencil(const std::string &Arg) {
-  if (Arg == "heat3d")
-    return StencilSpec::heat3d();
-  if (Arg == "heat2d")
-    return StencilSpec::heat2d();
-
-  auto Parameterized = [&](const std::string &Prefix,
-                           int &Radius) -> bool {
-    if (!startsWith(Arg, Prefix + ":"))
-      return false;
-    Radius = std::atoi(Arg.substr(Prefix.size() + 1).c_str());
-    return true;
-  };
-  int R = 0;
-  if (Parameterized("star3d", R)) {
-    if (R < 1 || R > 8)
-      return Error::failure("star3d radius must be in [1, 8]");
-    return StencilSpec::star3d(R);
-  }
-  if (Parameterized("star2d", R)) {
-    if (R < 1 || R > 8)
-      return Error::failure("star2d radius must be in [1, 8]");
-    return StencilSpec::star2d(R);
-  }
-  if (Parameterized("box3d", R)) {
-    if (R < 1 || R > 3)
-      return Error::failure("box3d radius must be in [1, 3]");
-    return StencilSpec::box3d(R);
-  }
-  if (Parameterized("line1d", R)) {
-    if (R < 1 || R > 16)
-      return Error::failure("line1d radius must be in [1, 16]");
-    return StencilSpec::line1d(R);
-  }
-  if (Parameterized("longrange", R)) {
-    if (R < 1 || R > 16)
-      return Error::failure("longrange x-radius must be in [1, 16]");
-    return StencilSpec::longRange(R);
-  }
-
-  // Otherwise treat the argument as a DSL file path.
-  std::ifstream In(Arg);
-  if (!In)
-    return Error::failure(format("unknown stencil '%s' (not a builtin and "
-                                 "not a readable file)",
-                                 Arg.c_str()));
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  auto DefOr = Parser::parseSingle(Buffer.str());
-  if (!DefOr)
-    return Error::failure(format("%s: %s", Arg.c_str(),
-                                 DefOr.takeError().message().c_str()));
-  return DefOr->singleSpec();
-}
-
-Expected<GridDims> ys::parseDims(const std::string &Arg) {
-  std::vector<std::string> Parts = split(Arg, 'x');
-  GridDims Dims;
-  auto ToLong = [](const std::string &S, long &V) {
-    char *End = nullptr;
-    V = std::strtol(S.c_str(), &End, 10);
-    return End && *End == '\0' && V > 0;
-  };
-  if (Parts.size() == 1) {
-    long N;
-    if (!ToLong(Parts[0], N))
-      return Error::failure(format("invalid dims '%s'", Arg.c_str()));
-    Dims.Nx = Dims.Ny = Dims.Nz = N;
-    return Dims;
-  }
-  if (Parts.size() != 3)
-    return Error::failure(
-        format("dims must be 'N' or 'NXxNYxNZ', got '%s'", Arg.c_str()));
-  if (!ToLong(Parts[0], Dims.Nx) || !ToLong(Parts[1], Dims.Ny) ||
-      !ToLong(Parts[2], Dims.Nz))
-    return Error::failure(format("invalid dims '%s'", Arg.c_str()));
-  return Dims;
-}
-
-Expected<Fold> ys::parseFold(const std::string &Arg) {
-  std::vector<std::string> Parts = split(Arg, 'x');
-  if (Parts.size() != 3)
-    return Error::failure(
-        format("fold must be 'FXxFYxFZ', got '%s'", Arg.c_str()));
-  Fold F;
-  F.X = std::atoi(Parts[0].c_str());
-  F.Y = std::atoi(Parts[1].c_str());
-  F.Z = std::atoi(Parts[2].c_str());
-  if (F.X < 1 || F.Y < 1 || F.Z < 1)
-    return Error::failure(format("invalid fold '%s'", Arg.c_str()));
-  return F;
-}
 
 namespace {
 
@@ -154,26 +55,86 @@ struct DriverOptions {
   double TolAbs = 0.0;
   // `verify`/`emit` backend: "" = YS_BACKEND / default behavior.
   std::string BackendArg;
+  // `tune`/`serve` service extras.
+  bool Measure = false;     ///< tune: run one timed trial of the winner.
+  std::string CachePath;    ///< "" = YS_TUNE_CACHE.
+  long Repeats = 3;         ///< Timing repetitions for trials.
 };
 
 /// Parses options after the command; returns empty string on success.
+/// Accepts both `--flag value` and `--flag=value`; numeric values are
+/// checked (trailing garbage, overflow, sign), with the offending flag
+/// named in the diagnostic.
 std::string parseOptions(const std::vector<std::string> &Args, size_t From,
                          bool NeedStencil, DriverOptions &Opts) {
   size_t I = From;
+  bool MissingStencil = false;
   if (NeedStencil) {
-    if (I >= Args.size())
-      return "missing stencil argument";
-    Opts.StencilArg = Args[I++];
+    // A flag in the stencil slot is a missing stencil, not a stencil: keep
+    // parsing so a bad flag value is still diagnosed as such.
+    if (I < Args.size() && !startsWith(Args[I], "--"))
+      Opts.StencilArg = Args[I++];
+    else
+      MissingStencil = true;
   }
   while (I < Args.size()) {
-    const std::string &Flag = Args[I];
+    std::string Flag = Args[I];
+    std::string Inline;
+    bool HasInline = false;
+    if (startsWith(Flag, "--")) {
+      size_t Eq = Flag.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Flag.substr(Eq + 1);
+        Flag.resize(Eq);
+        HasInline = true;
+      }
+    }
     auto Value = [&](std::string &Out) -> bool {
+      if (HasInline) {
+        Out = Inline;
+        return true;
+      }
       if (I + 1 >= Args.size())
         return false;
       Out = Args[++I];
       return true;
     };
     std::string V;
+    std::string NumErr;
+    auto AsLong = [&](long &Out) -> bool {
+      Expected<long> P = parseLong(V);
+      if (!P) {
+        NumErr = format("invalid %s value: %s", Flag.c_str(),
+                        P.takeError().message().c_str());
+        return false;
+      }
+      Out = *P;
+      return true;
+    };
+    auto AsInt = [&](int &Out) -> bool {
+      long L = 0;
+      if (!AsLong(L))
+        return false;
+      if (L < INT_MIN || L > INT_MAX) {
+        NumErr = format("invalid %s value: '%s' is out of range",
+                        Flag.c_str(), V.c_str());
+        return false;
+      }
+      Out = static_cast<int>(L);
+      return true;
+    };
+    auto AsUnsigned = [&](unsigned &Out) -> bool {
+      long L = 0;
+      if (!AsLong(L))
+        return false;
+      if (L < 0 || L > static_cast<long>(UINT_MAX)) {
+        NumErr = format("invalid %s value: '%s' is out of range",
+                        Flag.c_str(), V.c_str());
+        return false;
+      }
+      Out = static_cast<unsigned>(L);
+      return true;
+    };
     if (Flag == "--machine" && Value(V)) {
       Opts.MachineName = V;
     } else if (Flag == "--dims" && Value(V)) {
@@ -189,47 +150,85 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
       Opts.Config.VectorFold = *FoldOr;
       Opts.FoldGiven = true;
     } else if (Flag == "--bx" && Value(V)) {
-      Opts.Config.Block.X = std::atol(V.c_str());
+      if (!AsLong(Opts.Config.Block.X))
+        return NumErr;
     } else if (Flag == "--by" && Value(V)) {
-      Opts.Config.Block.Y = std::atol(V.c_str());
+      if (!AsLong(Opts.Config.Block.Y))
+        return NumErr;
     } else if (Flag == "--bz" && Value(V)) {
-      Opts.Config.Block.Z = std::atol(V.c_str());
+      if (!AsLong(Opts.Config.Block.Z))
+        return NumErr;
     } else if (Flag == "--wf" && Value(V)) {
-      Opts.Config.WavefrontDepth = std::atoi(V.c_str());
+      if (!AsInt(Opts.Config.WavefrontDepth))
+        return NumErr;
     } else if (Flag == "--cores" && Value(V)) {
-      Opts.Cores = static_cast<unsigned>(std::atoi(V.c_str()));
+      if (!AsUnsigned(Opts.Cores))
+        return NumErr;
     } else if (Flag == "--sweeps" && Value(V)) {
-      Opts.Sweeps = std::atoi(V.c_str());
+      if (!AsInt(Opts.Sweeps))
+        return NumErr;
     } else if (Flag == "--ivp" && Value(V)) {
       Opts.IvpName = V;
     } else if (Flag == "--n" && Value(V)) {
-      Opts.Resolution = std::atol(V.c_str());
+      if (!AsLong(Opts.Resolution))
+        return NumErr;
     } else if (Flag == "--variant" && Value(V)) {
       Opts.VariantName = V;
     } else if (Flag == "--steps" && Value(V)) {
-      Opts.Steps = std::atoi(V.c_str());
+      if (!AsInt(Opts.Steps))
+        return NumErr;
     } else if (Flag == "--seeds" && Value(V)) {
       Opts.SeedsArg = V;
     } else if (Flag == "--patterns" && Value(V)) {
       Opts.PatternsArg = V;
     } else if (Flag == "--tol-ulps" && Value(V)) {
-      Opts.TolUlps = std::strtoull(V.c_str(), nullptr, 10);
+      Expected<unsigned long long> P = parseUnsigned(V);
+      if (!P)
+        return format("invalid --tol-ulps value: %s",
+                      P.takeError().message().c_str());
+      Opts.TolUlps = *P;
     } else if (Flag == "--tol-abs" && Value(V)) {
-      Opts.TolAbs = std::atof(V.c_str());
+      Expected<double> P = parseDouble(V);
+      if (!P)
+        return format("invalid --tol-abs value: %s",
+                      P.takeError().message().c_str());
+      Opts.TolAbs = *P;
     } else if (Flag == "--backend" && Value(V)) {
       if (!parseKernelBackend(V))
         return format("unknown backend '%s' (plan, jit)", V.c_str());
       Opts.BackendArg = V;
-    } else if (Flag == "--asm") {
+    } else if (Flag == "--cache" && Value(V)) {
+      Opts.CachePath = V;
+    } else if (Flag == "--repeats" && Value(V)) {
+      if (!AsLong(Opts.Repeats))
+        return NumErr;
+      if (Opts.Repeats < 1)
+        return format("invalid --repeats value: '%s' (must be >= 1)",
+                      V.c_str());
+    } else if (Flag == "--measure" && !HasInline) {
+      Opts.Measure = true;
+    } else if (Flag == "--asm" && !HasInline) {
       Opts.ShowAsm = true;
-    } else if (Flag == "--nt") {
+    } else if (Flag == "--nt" && !HasInline) {
       Opts.Config.StreamingStores = true;
     } else {
-      return format("unknown or incomplete option '%s'", Flag.c_str());
+      return format("unknown or incomplete option '%s'", Args[I].c_str());
     }
     ++I;
   }
+  if (MissingStencil)
+    return "missing stencil argument";
   return std::string();
+}
+
+/// Service configuration for one driver invocation.
+ServiceOptions driverServiceOptions(const DriverOptions &Opts) {
+  ServiceOptions SO;
+  SO.CachePath =
+      Opts.CachePath.empty() ? TuningCache::envPath() : Opts.CachePath;
+  SO.Repeats = static_cast<unsigned>(Opts.Repeats);
+  SO.SweepsPerRepeat = static_cast<unsigned>(std::max(1, Opts.Sweeps));
+  return SO;
 }
 
 const MachineModel *findMachine(const DriverOptions &Opts,
@@ -265,72 +264,91 @@ int cmdStencils(std::string &Out) {
   return 0;
 }
 
-int cmdPredict(const DriverOptions &Opts, const StencilSpec &Spec,
+int cmdPredict(const DriverOptions &Opts, TuningService &Service,
                std::string &Out) {
-  const MachineModel *M = findMachine(Opts, Out);
-  if (!M)
+  PredictQuery Q;
+  Q.Stencil = Opts.StencilArg;
+  Q.Machine = Opts.MachineName;
+  Q.Dims = Opts.Dims;
+  Q.Config = Opts.Config;
+  Q.FoldGiven = Opts.FoldGiven;
+  Q.Cores = Opts.Cores ? Opts.Cores : 1;
+  auto ROr = Service.predict(Q);
+  if (!ROr) {
+    Out += "error: " + ROr.takeError().message() + "\n";
     return 1;
-  KernelConfig Config = Opts.Config;
-  if (!Opts.FoldGiven)
-    Config.VectorFold = VectorFold::select(Spec, *M);
-  unsigned Cores = Opts.Cores ? Opts.Cores : 1;
-  ECMModel Model(*M);
-  ECMPrediction P = Model.predict(Spec, Opts.Dims, Config, Cores);
+  }
+  const PredictResult &R = *ROr;
   Out += format("stencil  : %s (%s, radius %d, %u points, %u flops/LUP)\n",
-                Spec.name().c_str(), Spec.shapeName(), Spec.radius(),
-                Spec.numPoints(), Spec.flopsPerLup());
-  Out += format("machine  : %s, grid %s, config %s\n", M->Name.c_str(),
-                Opts.Dims.str().c_str(), Config.str().c_str());
-  Out += format("ECM      : %s\n", P.str().c_str());
-  Out += format("traffic  : %s\n", P.Traffic.str().c_str());
-  Out += format("at %u cores: %.0f MLUP/s\n", Cores,
-                P.mlupsAtCores(Cores));
+                R.Spec.name().c_str(), R.Spec.shapeName(), R.Spec.radius(),
+                R.Spec.numPoints(), R.Spec.flopsPerLup());
+  Out += format("machine  : %s, grid %s, config %s\n",
+                R.MachineName.c_str(), Opts.Dims.str().c_str(),
+                R.Config.str().c_str());
+  Out += format("ECM      : %s\n", R.Prediction.str().c_str());
+  Out += format("traffic  : %s\n", R.Prediction.Traffic.str().c_str());
+  Out += format("at %u cores: %.0f MLUP/s\n", R.Cores,
+                R.Prediction.mlupsAtCores(R.Cores));
   if (Opts.ShowAsm) {
+    const MachineModel *M = findMachine(Opts, Out);
+    if (!M)
+      return 1;
     InCoreModel IC(*M);
-    Out += "\n" + IC.emitPseudoAsm(Spec, Config);
+    Out += "\n" + IC.emitPseudoAsm(R.Spec, R.Config);
   }
   return 0;
 }
 
-int cmdTune(const DriverOptions &Opts, const StencilSpec &Spec,
+int cmdTune(const DriverOptions &Opts, TuningService &Service,
             std::string &Out) {
-  const MachineModel *M = findMachine(Opts, Out);
-  if (!M)
+  TuneQuery Q;
+  Q.Stencil = Opts.StencilArg;
+  Q.Machine = Opts.MachineName;
+  Q.Dims = Opts.Dims;
+  Q.Config = Opts.Config;
+  Q.FoldGiven = Opts.FoldGiven;
+  Q.Cores = Opts.Cores;
+  Q.Measure = Opts.Measure;
+  auto ROr = Service.tune(Q);
+  if (!ROr) {
+    Out += "error: " + ROr.takeError().message() + "\n";
     return 1;
-  KernelConfig Base = Opts.Config;
-  if (!Opts.FoldGiven)
-    Base.VectorFold = VectorFold::select(Spec, *M);
-  ECMModel Model(*M);
-  BlockingSelector Selector(Model);
-  unsigned Cores = Opts.Cores ? Opts.Cores : M->CoresPerSocket;
-  BlockingChoice Analytic =
-      Selector.selectAnalytic(Spec, Opts.Dims, Base, -1, Cores);
-  BlockingChoice Best =
-      Selector.selectBest(Spec, Opts.Dims, Base, true, Cores);
-  ECMPrediction Unblocked = Model.predict(Spec, Opts.Dims, Base, Cores);
+  }
+  const TuneResult &R = *ROr;
   Out += format("unblocked    : %.0f MLUP/s saturated\n",
-                Unblocked.MLupsSaturated);
+                R.Unblocked.MLupsSaturated);
   Out += format("analytic LC  : %s -> %.0f MLUP/s\n",
-                Analytic.Config.str().c_str(),
-                Analytic.Prediction.MLupsSaturated);
+                R.Analytic.Config.str().c_str(),
+                R.Analytic.Prediction.MLupsSaturated);
   Out += format("model argmax : %s -> %.0f MLUP/s (%u candidates, zero "
                 "kernel runs)\n",
-                Best.Config.str().c_str(), Best.Prediction.MLupsSaturated,
-                Best.CandidatesEvaluated);
+                R.Best.Config.str().c_str(),
+                R.Best.Prediction.MLupsSaturated,
+                R.Best.CandidatesEvaluated);
+  if (R.Measured) {
+    Out += format("measured     : %.0f MLUP/s on this host (%s)\n",
+                  R.MeasuredMlups, R.MeasureSource.c_str());
+    if (!driverServiceOptions(Opts).CachePath.empty())
+      if (Error E = Service.saveCache())
+        Out += "warning: " + E.message() + "\n";
+  }
   return 0;
 }
 
-int cmdEmit(const DriverOptions &Opts, const StencilSpec &Spec,
+int cmdEmit(const DriverOptions &Opts, TuningService &Service,
             std::string &Out) {
-  if (parseKernelBackend(Opts.BackendArg) == KernelBackend::Jit) {
-    // The unit the jit backend would compile for --dims sized grids.
-    JitGeometry G = JitGeometry::forDims(
-        Opts.DimsGiven ? Opts.Dims : GridDims{32, 32, 32}, Spec.radius(),
-        Opts.Config.VectorFold);
-    Out += SourceEmitter::emitJitTranslationUnit(Spec, G);
-    return 0;
+  EmitQuery Q;
+  Q.Stencil = Opts.StencilArg;
+  Q.Config = Opts.Config;
+  Q.Backend = Opts.BackendArg;
+  Q.Dims = Opts.Dims;
+  Q.DimsGiven = Opts.DimsGiven;
+  auto SrcOr = Service.emitSource(Q);
+  if (!SrcOr) {
+    Out += "error: " + SrcOr.takeError().message() + "\n";
+    return 1;
   }
-  Out += SourceEmitter::emitTranslationUnit(Spec, Opts.Config);
+  Out += *SrcOr;
   return 0;
 }
 
@@ -372,13 +390,13 @@ int cmdVerify(const DriverOptions &Opts, const StencilSpec &Spec,
 
   CO.Seeds.clear();
   for (const std::string &S : split(Opts.SeedsArg, ',')) {
-    char *End = nullptr;
-    unsigned long long V = std::strtoull(S.c_str(), &End, 10);
-    if (!End || *End != '\0') {
-      Out += format("error: invalid seed '%s' in --seeds\n", S.c_str());
+    Expected<unsigned long long> V = parseUnsigned(S);
+    if (!V) {
+      Out += format("error: invalid seed in --seeds: %s\n",
+                    V.takeError().message().c_str());
       return 1;
     }
-    CO.Seeds.push_back(V);
+    CO.Seeds.push_back(*V);
   }
   if (CO.Seeds.empty()) {
     Out += "error: --seeds needs at least one seed\n";
@@ -558,44 +576,31 @@ int cmdRun(const DriverOptions &Opts, std::string &Out) {
   return 0;
 }
 
-int cmdOde(const DriverOptions &Opts, std::string &Out) {
-  const MachineModel *M = findMachine(Opts, Out);
-  if (!M)
-    return 1;
-  auto TableauOr = tableauByName(Opts.StencilArg);
-  if (!TableauOr) {
-    Out += "error: " + TableauOr.takeError().message() + "\n";
-    return 1;
-  }
-  if (!TableauOr->isExplicit()) {
-    Out += format("error: '%s' is an implicit PIRK base; the ode command "
-                  "integrates explicit methods\n",
-                  TableauOr->Name.c_str());
+int cmdOde(const DriverOptions &Opts, TuningService &Service,
+           std::string &Out) {
+  RankQuery Q;
+  Q.Method = Opts.StencilArg;
+  Q.Ivp = Opts.IvpName;
+  Q.Resolution = Opts.Resolution;
+  Q.Machine = Opts.MachineName;
+  Q.Cores = Opts.Cores ? Opts.Cores : 1;
+  auto ROr = Service.rank(Q);
+  if (!ROr) {
+    Out += "error: " + ROr.takeError().message() + "\n";
     return 1;
   }
-  auto IvpOr = ivpByName(Opts.IvpName, Opts.Resolution);
-  if (!IvpOr) {
-    Out += "error: " + IvpOr.takeError().message() + "\n";
-    return 1;
-  }
-  IVP &Problem = **IvpOr;
-
-  unsigned Cores = Opts.Cores ? Opts.Cores : 1;
-  ECMModel Model(*M);
-  OffsiteTuner Tuner(Model, Cores);
-  std::vector<ODEVariant> Vs = Tuner.enumerateRK(*TableauOr, Problem);
-  std::vector<VariantPrediction> Ranked = Tuner.rank(Vs, Problem);
+  const RankResult &R = *ROr;
   Out += format("variants of %s on %s (predicted for %s, %u cores):\n",
-                TableauOr->Name.c_str(), Problem.name().c_str(),
-                M->Name.c_str(), Cores);
-  for (const VariantPrediction &P : Ranked)
+                R.MethodName.c_str(), R.ProblemName.c_str(),
+                R.MachineName.c_str(), R.Cores);
+  for (const VariantPrediction &P : R.Ranked)
     Out += format("  %-44s %2u sweeps/step  %.3g s/step\n",
                   P.Variant.Name.c_str(), P.SweepsPerStep,
                   P.SecondsPerStep);
 
   // Pick the variant: explicit flag or the model's choice.
-  RKVariant Variant = Ranked.front().Variant.Variant;
-  KernelConfig Config = Ranked.front().Variant.Config;
+  RKVariant Variant = R.Ranked.front().Variant.Variant;
+  KernelConfig Config = R.Ranked.front().Variant.Config;
   if (!Opts.VariantName.empty()) {
     auto VarOr = rkVariantByName(Opts.VariantName);
     if (!VarOr) {
@@ -606,6 +611,15 @@ int cmdOde(const DriverOptions &Opts, std::string &Out) {
     Config = Opts.Config;
   }
 
+  // Integration runs in the driver: it needs the tableau and problem
+  // objects, which the ranking above has already vetted.
+  auto TableauOr = tableauByName(Q.Method);
+  auto IvpOr = ivpByName(Q.Ivp, Q.Resolution);
+  if (!TableauOr || !IvpOr) {
+    Out += "error: method or IVP vanished after ranking\n";
+    return 1;
+  }
+  IVP &Problem = **IvpOr;
   ExplicitRKIntegrator Integ(*TableauOr, Variant, Config);
   if (!Integ.supports(Problem)) {
     Out += format("error: variant %s unsupported for %s (needs the "
@@ -660,27 +674,29 @@ int cmdTuneDb(const std::vector<std::string> &Args, std::string &Out) {
     if (!M)
       return 1;
     unsigned Cores = Opts.Cores ? Opts.Cores : M->CoresPerSocket;
-    ECMModel Model(*M);
-    OffsiteTuner Tuner(Model, Cores);
+    TuningService Service(driverServiceOptions(Opts));
     TuningDatabase Db;
     std::vector<std::string> Problems = {"heat2d", "heat3d",
                                          "reaction-diffusion3d"};
     for (const ButcherTableau &TB : ButcherTableau::allExplicit())
       for (const std::string &ProblemName : Problems) {
-        auto IvpOr = ivpByName(ProblemName, Opts.Resolution);
-        if (!IvpOr)
+        RankQuery Q;
+        Q.Method = TB.Name;
+        Q.Ivp = ProblemName;
+        Q.Resolution = Opts.Resolution;
+        Q.Machine = Opts.MachineName;
+        Q.Cores = Cores;
+        auto RankedOr = Service.rank(Q);
+        if (!RankedOr || RankedOr->Ranked.empty())
           continue;
-        IVP &Problem = **IvpOr;
-        std::vector<VariantPrediction> Ranked =
-            Tuner.rank(Tuner.enumerateRK(TB, Problem), Problem);
         TuningRecord R;
         R.Machine = M->Name;
         R.Method = TB.Name;
         R.Problem = ProblemName;
-        R.Dims = Problem.dims();
+        R.Dims = RankedOr->ProblemDims;
         R.Cores = Cores;
-        R.VariantName = Ranked.front().Variant.Name;
-        R.PredictedSecondsPerStep = Ranked.front().SecondsPerStep;
+        R.VariantName = RankedOr->Ranked.front().Variant.Name;
+        R.PredictedSecondsPerStep = RankedOr->Ranked.front().SecondsPerStep;
         Db.insert(std::move(R));
       }
     if (Error E = Db.saveFile(Path)) {
@@ -746,7 +762,9 @@ const char *UsageText =
     "  machines                      list built-in machine models\n"
     "  stencils                      list built-in stencil names\n"
     "  predict <stencil> [options]   analytic ECM prediction\n"
-    "  tune    <stencil> [options]   model-driven parameter selection\n"
+    "  tune    <stencil> [options]   model-driven parameter selection;\n"
+    "                                --measure times the winner on this "
+    "host\n"
     "  emit    <stencil> [options]   print generated kernel source\n"
     "  trace   <stencil> [options]   cache-simulator traffic\n"
     "  validate <stencil> [options]  model-vs-simulator traffic check\n"
@@ -760,12 +778,18 @@ const char *UsageText =
     "--sweeps = steps\n"
     "  ode     <method> [options]    integrate an IVP; --ivp NAME --n N "
     "--steps N --variant V\n"
+    "  serve   [options]             tuning service: one flat JSON request\n"
+    "                                per stdin line, one response per line\n"
+    "                                (ops: ping predict tune measure rank\n"
+    "                                emit stats save shutdown); --cache "
+    "PATH\n"
+    "                                --repeats N (default: YS_TUNE_CACHE)\n"
     "  tunedb  build|query <path> .. offline tuning database\n"
     "  parse   <file.stencil>        parse and summarize a DSL file\n"
     "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
     "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n"
     "         --backend plan|jit (emit/verify; env: YS_BACKEND, YS_CXX,\n"
-    "         YS_JIT_CACHE)\n";
+    "         YS_JIT_CACHE)  [--flag=value also accepted]\n";
 
 } // namespace
 
@@ -794,6 +818,15 @@ int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
     }
     return cmdParse(Args[1], Out);
   }
+  if (Cmd == "serve") {
+    DriverOptions Opts;
+    std::string OptErr = parseOptions(Args, 1, /*NeedStencil=*/false, Opts);
+    if (!OptErr.empty()) {
+      Out += "error: " + OptErr + "\n";
+      return 1;
+    }
+    return runServeLoop(std::cin, std::cout, driverServiceOptions(Opts));
+  }
 
   bool Known = Cmd == "predict" || Cmd == "tune" || Cmd == "emit" ||
                Cmd == "trace" || Cmd == "run" || Cmd == "ode" ||
@@ -810,12 +843,23 @@ int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
     Out += "error: " + OptErr + "\n";
     return 1;
   }
-  // `run` accepts multi-equation DSL bundles and `ode` takes a method
-  // name, so both resolve their own input.
+  // `run` accepts multi-equation DSL bundles, so it resolves its own
+  // input.
   if (Cmd == "run")
     return cmdRun(Opts, Out);
-  if (Cmd == "ode")
-    return cmdOde(Opts, Out);
+
+  // Service-backed subcommands: build a query, let the service resolve
+  // and validate it.
+  if (Cmd == "predict" || Cmd == "tune" || Cmd == "emit" || Cmd == "ode") {
+    TuningService Service(driverServiceOptions(Opts));
+    if (Cmd == "predict")
+      return cmdPredict(Opts, Service, Out);
+    if (Cmd == "tune")
+      return cmdTune(Opts, Service, Out);
+    if (Cmd == "emit")
+      return cmdEmit(Opts, Service, Out);
+    return cmdOde(Opts, Service, Out);
+  }
 
   auto SpecOr = resolveStencil(Opts.StencilArg);
   if (!SpecOr) {
@@ -823,12 +867,6 @@ int runDriverImpl(const std::vector<std::string> &Args, std::string &Out) {
     return 1;
   }
 
-  if (Cmd == "predict")
-    return cmdPredict(Opts, *SpecOr, Out);
-  if (Cmd == "tune")
-    return cmdTune(Opts, *SpecOr, Out);
-  if (Cmd == "emit")
-    return cmdEmit(Opts, *SpecOr, Out);
   if (Cmd == "validate")
     return cmdValidate(Opts, *SpecOr, Out);
   if (Cmd == "verify")

@@ -7,7 +7,9 @@
 /// \file
 /// The command-line driver behind the `yasksite` tool.  Implemented as a
 /// library (string-in / string-out) so the test suite can exercise every
-/// command without spawning processes.
+/// command without spawning processes.  The subcommands are thin clients
+/// of the service layer (service/TuningService.h): they decode flags,
+/// build a query, and format the result.
 ///
 /// Commands:
 ///   machines                         list built-in machine models
@@ -18,22 +20,26 @@
 ///   trace    <stencil> [options]     cache-simulator traffic
 ///   verify   <stencil> [options]     differential variant-space check
 ///                                    against the reference interpreter
+///   serve                            line-delimited JSON service on
+///                                    stdin/stdout
 ///   parse    <file.stencil>          parse and summarize a DSL file
 ///
 /// Common options: --machine <name> --dims NXxNYxNZ --by N --bz N --bx N
-///   --fold FXxFYxFZ --wf D --cores N --nt --sweeps N
+///   --fold FXxFYxFZ --wf D --cores N --nt --sweeps N  (both `--flag value`
+///   and `--flag=value` forms are accepted)
 /// Stencil argument: a built-in name (heat3d, star3d:R, box3d:R,
-/// longrange:RX, heat2d, line1d:R) or a path to a .stencil DSL file.
+/// longrange:R, heat2d, line1d:R) or a path to a .stencil DSL file.
+///
+/// The argument-resolution helpers (resolveStencil, parseDims, parseFold,
+/// builtinStencilNames) live in service/Resolve.h and are re-exported
+/// here for existing users.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef YS_DRIVER_DRIVER_H
 #define YS_DRIVER_DRIVER_H
 
-#include "arch/MachineModel.h"
-#include "codegen/KernelConfig.h"
-#include "stencil/StencilSpec.h"
-#include "support/Error.h"
+#include "service/Resolve.h"
 
 #include <string>
 #include <vector>
@@ -42,26 +48,9 @@ namespace ys {
 
 /// Runs one driver invocation.  \p Args excludes the program name.
 /// Output (and error text) is appended to \p Out.  Returns the process
-/// exit code (0 == success).
+/// exit code (0 == success).  Exception: the `serve` command streams
+/// responses to stdout directly (it is interactive).
 int runDriver(const std::vector<std::string> &Args, std::string &Out);
-
-/// \name Argument-resolution helpers (exposed for tests).
-/// @{
-
-/// Resolves a stencil argument: built-in name, parameterized builtin
-/// ("star3d:2"), or a .stencil DSL file path.
-Expected<StencilSpec> resolveStencil(const std::string &Arg);
-
-/// Parses grid dims: "N" (an N^3 cube) or the explicit "NXxNYxNZ".
-Expected<GridDims> parseDims(const std::string &Arg);
-
-/// Parses "FXxFYxFZ".
-Expected<Fold> parseFold(const std::string &Arg);
-
-/// Names of all built-in stencils the driver accepts.
-std::vector<std::string> builtinStencilNames();
-
-/// @}
 
 } // namespace ys
 

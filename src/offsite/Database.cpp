@@ -86,14 +86,33 @@ Expected<TuningDatabase> TuningDatabase::deserialize(
     if (DimParts.size() != 3)
       return Error::failure(format("line %u: malformed dims '%s'", LineNo,
                                    Fields[3].c_str()));
-    R.Dims.Nx = std::atol(DimParts[0].c_str());
-    R.Dims.Ny = std::atol(DimParts[1].c_str());
-    R.Dims.Nz = std::atol(DimParts[2].c_str());
+    // Checked parsing throughout: atoi/atol/strtod-without-end-checks
+    // silently turn a corrupted field into 0, which lookup() then serves
+    // as a real record.
+    Expected<long> Nx = parseLong(DimParts[0]);
+    Expected<long> Ny = parseLong(DimParts[1]);
+    Expected<long> Nz = parseLong(DimParts[2]);
+    if (!Nx || !Ny || !Nz)
+      return Error::failure(format("line %u: malformed dims '%s'", LineNo,
+                                   Fields[3].c_str()));
+    R.Dims.Nx = *Nx;
+    R.Dims.Ny = *Ny;
+    R.Dims.Nz = *Nz;
     if (R.Dims.Nx <= 0 || R.Dims.Ny <= 0 || R.Dims.Nz <= 0)
       return Error::failure(format("line %u: nonpositive dims", LineNo));
-    R.Cores = static_cast<unsigned>(std::atoi(Fields[4].c_str()));
+    Expected<unsigned long long> Cores = parseUnsigned(Fields[4]);
+    if (!Cores)
+      return Error::failure(format("line %u: malformed cores '%s': %s",
+                                   LineNo, Fields[4].c_str(),
+                                   Cores.takeError().message().c_str()));
+    R.Cores = static_cast<unsigned>(*Cores);
     R.VariantName = Fields[5];
-    R.PredictedSecondsPerStep = std::strtod(Fields[6].c_str(), nullptr);
+    Expected<double> Sps = parseDouble(Fields[6]);
+    if (!Sps)
+      return Error::failure(format("line %u: malformed seconds '%s': %s",
+                                   LineNo, Fields[6].c_str(),
+                                   Sps.takeError().message().c_str()));
+    R.PredictedSecondsPerStep = *Sps;
     Db.insert(std::move(R));
   }
   return Db;

@@ -1,0 +1,140 @@
+//===- service/Resolve.cpp - Query-argument resolution ---------------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Resolve.h"
+
+#include "frontend/Parser.h"
+#include "support/StringUtils.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ys;
+
+std::vector<std::string> ys::builtinStencilNames() {
+  // Keep this list in lockstep with resolveStencil below: every name here
+  // must parse, with R standing for a single integer radius.
+  return {"heat3d",  "heat2d",   "star3d:R", "star2d:R",
+          "box3d:R", "line1d:R", "longrange:R"};
+}
+
+Expected<StencilSpec> ys::resolveStencil(const std::string &Arg) {
+  if (Arg == "heat3d")
+    return StencilSpec::heat3d();
+  if (Arg == "heat2d")
+    return StencilSpec::heat2d();
+
+  std::string RadiusErr;
+  auto Parameterized = [&](const std::string &Prefix, int &Radius) -> bool {
+    if (!startsWith(Arg, Prefix + ":"))
+      return false;
+    std::string Suffix = Arg.substr(Prefix.size() + 1);
+    Expected<long> R = parseLong(Suffix);
+    if (!R) {
+      RadiusErr = format("invalid %s radius '%s'", Prefix.c_str(),
+                         Suffix.c_str());
+      Radius = 0; // Out of every accepted range: rejected below.
+      return true;
+    }
+    Radius = *R > 1000 ? 1000 : static_cast<int>(*R);
+    return true;
+  };
+  int R = 0;
+  if (Parameterized("star3d", R)) {
+    if (!RadiusErr.empty())
+      return Error::failure(RadiusErr);
+    if (R < 1 || R > 8)
+      return Error::failure("star3d radius must be in [1, 8]");
+    return StencilSpec::star3d(R);
+  }
+  if (Parameterized("star2d", R)) {
+    if (!RadiusErr.empty())
+      return Error::failure(RadiusErr);
+    if (R < 1 || R > 8)
+      return Error::failure("star2d radius must be in [1, 8]");
+    return StencilSpec::star2d(R);
+  }
+  if (Parameterized("box3d", R)) {
+    if (!RadiusErr.empty())
+      return Error::failure(RadiusErr);
+    if (R < 1 || R > 3)
+      return Error::failure("box3d radius must be in [1, 3]");
+    return StencilSpec::box3d(R);
+  }
+  if (Parameterized("line1d", R)) {
+    if (!RadiusErr.empty())
+      return Error::failure(RadiusErr);
+    if (R < 1 || R > 16)
+      return Error::failure("line1d radius must be in [1, 16]");
+    return StencilSpec::line1d(R);
+  }
+  if (Parameterized("longrange", R)) {
+    if (!RadiusErr.empty())
+      return Error::failure(RadiusErr);
+    if (R < 1 || R > 16)
+      return Error::failure("longrange x-radius must be in [1, 16]");
+    return StencilSpec::longRange(R);
+  }
+
+  // Otherwise treat the argument as a DSL file path.
+  std::ifstream In(Arg);
+  if (!In)
+    return Error::failure(format("unknown stencil '%s' (not a builtin and "
+                                 "not a readable file)",
+                                 Arg.c_str()));
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  auto DefOr = Parser::parseSingle(Buffer.str());
+  if (!DefOr)
+    return Error::failure(format("%s: %s", Arg.c_str(),
+                                 DefOr.takeError().message().c_str()));
+  return DefOr->singleSpec();
+}
+
+Expected<GridDims> ys::parseDims(const std::string &Arg) {
+  std::vector<std::string> Parts = split(Arg, 'x');
+  GridDims Dims;
+  auto ToLong = [](const std::string &S, long &V) {
+    Expected<long> P = parseLong(S);
+    if (!P || *P <= 0)
+      return false;
+    V = *P;
+    return true;
+  };
+  if (Parts.size() == 1) {
+    long N;
+    if (!ToLong(Parts[0], N))
+      return Error::failure(format("invalid dims '%s'", Arg.c_str()));
+    Dims.Nx = Dims.Ny = Dims.Nz = N;
+    return Dims;
+  }
+  if (Parts.size() != 3)
+    return Error::failure(
+        format("dims must be 'N' or 'NXxNYxNZ', got '%s'", Arg.c_str()));
+  if (!ToLong(Parts[0], Dims.Nx) || !ToLong(Parts[1], Dims.Ny) ||
+      !ToLong(Parts[2], Dims.Nz))
+    return Error::failure(format("invalid dims '%s'", Arg.c_str()));
+  return Dims;
+}
+
+Expected<Fold> ys::parseFold(const std::string &Arg) {
+  std::vector<std::string> Parts = split(Arg, 'x');
+  if (Parts.size() != 3)
+    return Error::failure(
+        format("fold must be 'FXxFYxFZ', got '%s'", Arg.c_str()));
+  Fold F;
+  auto Component = [](const std::string &S, int &V) {
+    Expected<long> P = parseLong(S);
+    if (!P || *P < 1 || *P > 64)
+      return false;
+    V = static_cast<int>(*P);
+    return true;
+  };
+  if (!Component(Parts[0], F.X) || !Component(Parts[1], F.Y) ||
+      !Component(Parts[2], F.Z))
+    return Error::failure(format("invalid fold '%s'", Arg.c_str()));
+  return F;
+}

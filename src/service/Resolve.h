@@ -1,0 +1,46 @@
+//===- service/Resolve.h - Query-argument resolution -------------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolution of the textual arguments every tuning-service query (and the
+/// CLI driver on top of it) accepts: stencil names ("heat3d", "star3d:2",
+/// or a .stencil DSL file path), grid dims ("N" or "NXxNYxNZ"), and vector
+/// folds ("FXxFYxFZ").  Lives in the service layer so the long-lived
+/// `TuningService` and the one-shot driver share one parser; all numeric
+/// pieces go through the checked support/StringUtils parsers, so garbage
+/// like "star3d:2x" or a fold of "4xx1" is a diagnostic, never a silent 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SERVICE_RESOLVE_H
+#define YS_SERVICE_RESOLVE_H
+
+#include "stencil/Grid.h"
+#include "stencil/StencilSpec.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace ys {
+
+/// Resolves a stencil argument: built-in name, parameterized builtin
+/// ("star3d:2"), or a .stencil DSL file path.
+Expected<StencilSpec> resolveStencil(const std::string &Arg);
+
+/// Parses grid dims: "N" (an N^3 cube) or the explicit "NXxNYxNZ".
+Expected<GridDims> parseDims(const std::string &Arg);
+
+/// Parses "FXxFYxFZ".
+Expected<Fold> parseFold(const std::string &Arg);
+
+/// Names of all built-in stencils resolveStencil accepts, rendered exactly
+/// as the resolver parses them (R = radius placeholder).
+std::vector<std::string> builtinStencilNames();
+
+} // namespace ys
+
+#endif // YS_SERVICE_RESOLVE_H

@@ -1,0 +1,297 @@
+//===- service/Serve.cpp - Line-delimited JSON service front ---------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Serve.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace ys;
+
+namespace {
+
+/// Truthy request field: string "true"/"1"/"yes" or any non-zero number.
+bool boolField(const std::string &Line, const std::string &Key) {
+  if (std::optional<bool> B = jsonBoolField(Line, Key))
+    return *B;
+  if (std::optional<std::string> S = jsonStringField(Line, Key))
+    return *S == "true" || *S == "1" || *S == "yes";
+  if (std::optional<double> N = jsonNumberField(Line, Key))
+    return *N != 0;
+  return false;
+}
+
+long longField(const std::string &Line, const std::string &Key,
+               long Default) {
+  if (std::optional<double> N = jsonNumberField(Line, Key))
+    return static_cast<long>(*N);
+  return Default;
+}
+
+std::string stringField(const std::string &Line, const std::string &Key,
+                        const std::string &Default = std::string()) {
+  if (std::optional<std::string> S = jsonStringField(Line, Key))
+    return *S;
+  return Default;
+}
+
+/// Decodes the kernel-config request fields shared by predict / tune /
+/// measure / emit: fold "FXxFYxFZ", bx/by/bz, wf, threads, nt.
+Error parseConfigFields(const std::string &Line, KernelConfig &Config,
+                        bool &FoldGiven) {
+  FoldGiven = false;
+  if (std::optional<std::string> F = jsonStringField(Line, "fold")) {
+    auto FoldOr = parseFold(*F);
+    if (!FoldOr)
+      return FoldOr.takeError();
+    Config.VectorFold = *FoldOr;
+    FoldGiven = true;
+  }
+  Config.Block.X = longField(Line, "bx", Config.Block.X);
+  Config.Block.Y = longField(Line, "by", Config.Block.Y);
+  Config.Block.Z = longField(Line, "bz", Config.Block.Z);
+  Config.WavefrontDepth =
+      static_cast<int>(longField(Line, "wf", Config.WavefrontDepth));
+  Config.Threads =
+      static_cast<unsigned>(longField(Line, "threads", Config.Threads));
+  if (boolField(Line, "nt"))
+    Config.StreamingStores = true;
+  return Error::success();
+}
+
+Error parseDimsField(const std::string &Line, GridDims &Dims,
+                     bool &DimsGiven) {
+  DimsGiven = false;
+  if (std::optional<std::string> D = jsonStringField(Line, "dims")) {
+    auto DimsOr = parseDims(*D);
+    if (!DimsOr)
+      return DimsOr.takeError();
+    Dims = *DimsOr;
+    DimsGiven = true;
+  }
+  return Error::success();
+}
+
+/// Response skeleton echoing the request's op and optional id.
+JsonObjectWriter beginResponse(const std::string &Line,
+                               const std::string &Op, bool Ok) {
+  JsonObjectWriter W;
+  W.field("ok", Ok).field("op", Op);
+  if (std::optional<std::string> Id = jsonStringField(Line, "id"))
+    W.field("id", *Id);
+  return W;
+}
+
+std::string errorResponse(const std::string &Line, const std::string &Op,
+                          const std::string &Message) {
+  JsonObjectWriter W = beginResponse(Line, Op, false);
+  W.field("error", Message);
+  return W.str();
+}
+
+std::string opPredict(TuningService &Service, const std::string &Line) {
+  PredictQuery Q;
+  Q.Stencil = stringField(Line, "stencil");
+  Q.Machine = stringField(Line, "machine", Q.Machine);
+  Q.Cores = static_cast<unsigned>(longField(Line, "cores", 1));
+  bool DimsGiven;
+  if (Error E = parseDimsField(Line, Q.Dims, DimsGiven))
+    return errorResponse(Line, "predict", E.message());
+  if (Error E = parseConfigFields(Line, Q.Config, Q.FoldGiven))
+    return errorResponse(Line, "predict", E.message());
+  auto ROr = Service.predict(Q);
+  if (!ROr)
+    return errorResponse(Line, "predict", ROr.takeError().message());
+  JsonObjectWriter W = beginResponse(Line, "predict", true);
+  W.field("stencil", ROr->Spec.name())
+      .field("machine", ROr->MachineName)
+      .field("config", ROr->Config.str())
+      .field("cores", static_cast<long>(ROr->Cores))
+      .field("mlups", ROr->Prediction.mlupsAtCores(ROr->Cores))
+      .field("mlups_saturated", ROr->Prediction.MLupsSaturated)
+      .field("ecm", ROr->Prediction.str());
+  return W.str();
+}
+
+std::string opTune(TuningService &Service, const std::string &Line) {
+  TuneQuery Q;
+  Q.Stencil = stringField(Line, "stencil");
+  Q.Machine = stringField(Line, "machine", Q.Machine);
+  Q.Cores = static_cast<unsigned>(longField(Line, "cores", 0));
+  Q.Measure = boolField(Line, "measure");
+  bool DimsGiven;
+  if (Error E = parseDimsField(Line, Q.Dims, DimsGiven))
+    return errorResponse(Line, "tune", E.message());
+  if (Error E = parseConfigFields(Line, Q.Config, Q.FoldGiven))
+    return errorResponse(Line, "tune", E.message());
+  auto ROr = Service.tune(Q);
+  if (!ROr)
+    return errorResponse(Line, "tune", ROr.takeError().message());
+  JsonObjectWriter W = beginResponse(Line, "tune", true);
+  W.field("machine", ROr->MachineName)
+      .field("cores", static_cast<long>(ROr->Cores))
+      .field("unblocked_mlups", ROr->Unblocked.MLupsSaturated)
+      .field("analytic_config", ROr->Analytic.Config.str())
+      .field("analytic_mlups", ROr->Analytic.Prediction.MLupsSaturated)
+      .field("best_config", ROr->Best.Config.str())
+      .field("best_mlups", ROr->Best.Prediction.MLupsSaturated)
+      .field("candidates",
+             static_cast<long>(ROr->Best.CandidatesEvaluated));
+  if (ROr->Measured)
+    W.field("measured_mlups", ROr->MeasuredMlups)
+        .field("measure_source", ROr->MeasureSource);
+  return W.str();
+}
+
+std::string opMeasure(TuningService &Service, const std::string &Line) {
+  MeasureQuery Q;
+  Q.Stencil = stringField(Line, "stencil");
+  Q.Machine = stringField(Line, "machine", Q.Machine);
+  Q.Backend = stringField(Line, "backend");
+  bool DimsGiven, FoldGiven;
+  if (Error E = parseDimsField(Line, Q.Dims, DimsGiven))
+    return errorResponse(Line, "measure", E.message());
+  if (Error E = parseConfigFields(Line, Q.Config, FoldGiven))
+    return errorResponse(Line, "measure", E.message());
+  auto ROr = Service.measure(Q);
+  if (!ROr)
+    return errorResponse(Line, "measure", ROr.takeError().message());
+  JsonObjectWriter W = beginResponse(Line, "measure", true);
+  W.field("mlups", ROr->Mlups)
+      .field("seconds_per_step", ROr->SecondsPerStep)
+      .field("key", ROr->Key)
+      .field("source", ROr->Source);
+  return W.str();
+}
+
+std::string opRank(TuningService &Service, const std::string &Line) {
+  RankQuery Q;
+  Q.Method = stringField(Line, "method");
+  Q.Ivp = stringField(Line, "ivp", Q.Ivp);
+  Q.Resolution = longField(Line, "n", Q.Resolution);
+  Q.Machine = stringField(Line, "machine", Q.Machine);
+  Q.Cores = static_cast<unsigned>(longField(Line, "cores", 1));
+  auto ROr = Service.rank(Q);
+  if (!ROr)
+    return errorResponse(Line, "rank", ROr.takeError().message());
+  // Flat-object protocol: the ranking is one semicolon-joined string of
+  // "variant:sweeps-per-step:seconds-per-step", fastest first.
+  std::string Ranked;
+  for (const VariantPrediction &P : ROr->Ranked) {
+    if (!Ranked.empty())
+      Ranked += ";";
+    Ranked += format("%s:%u:%.6g", P.Variant.Name.c_str(), P.SweepsPerStep,
+                     P.SecondsPerStep);
+  }
+  JsonObjectWriter W = beginResponse(Line, "rank", true);
+  W.field("machine", ROr->MachineName)
+      .field("method", ROr->MethodName)
+      .field("problem", ROr->ProblemName)
+      .field("cores", static_cast<long>(ROr->Cores))
+      .field("variants", static_cast<long>(ROr->Ranked.size()));
+  if (!ROr->Ranked.empty())
+    W.field("best_variant", ROr->Ranked.front().Variant.Name)
+        .field("best_seconds_per_step", ROr->Ranked.front().SecondsPerStep);
+  W.field("ranked", Ranked);
+  return W.str();
+}
+
+std::string opEmit(TuningService &Service, const std::string &Line) {
+  EmitQuery Q;
+  Q.Stencil = stringField(Line, "stencil");
+  Q.Backend = stringField(Line, "backend");
+  bool FoldGiven;
+  if (Error E = parseDimsField(Line, Q.Dims, Q.DimsGiven))
+    return errorResponse(Line, "emit", E.message());
+  if (Error E = parseConfigFields(Line, Q.Config, FoldGiven))
+    return errorResponse(Line, "emit", E.message());
+  auto SrcOr = Service.emitSource(Q);
+  if (!SrcOr)
+    return errorResponse(Line, "emit", SrcOr.takeError().message());
+  JsonObjectWriter W = beginResponse(Line, "emit", true);
+  W.field("source", *SrcOr);
+  return W.str();
+}
+
+std::string opStats(TuningService &Service, const std::string &Line) {
+  ServiceStats S = Service.stats();
+  JsonObjectWriter W = beginResponse(Line, "stats", true);
+  W.field("model_queries", S.ModelQueries)
+      .field("rank_queries", S.RankQueries)
+      .field("emit_queries", S.EmitQueries)
+      .field("measure_requests", S.MeasureRequests)
+      .field("cache_hits", S.CacheHits)
+      .field("cache_misses", S.CacheMisses)
+      .field("timed_trials", S.TimedTrials)
+      .field("coalesced", S.Coalesced)
+      .field("kernel_runs", S.KernelRuns)
+      .field("cache_entries", static_cast<unsigned long long>(S.CacheEntries));
+  return W.str();
+}
+
+std::string opSave(TuningService &Service, const std::string &Line) {
+  std::string Path = stringField(Line, "path");
+  Error E = Path.empty() ? Service.saveCache() : Service.saveCache(Path);
+  if (E)
+    return errorResponse(Line, "save", E.message());
+  JsonObjectWriter W = beginResponse(Line, "save", true);
+  W.field("entries",
+          static_cast<unsigned long long>(Service.cacheFront().size()));
+  return W.str();
+}
+
+} // namespace
+
+std::string ys::serveRequest(TuningService &Service, const std::string &Line,
+                             bool &Quit) {
+  Quit = false;
+  if (!jsonLooksWellFormed(Line))
+    return errorResponse(Line, "", "malformed request (one flat JSON "
+                                   "object per line)");
+  std::string Op = stringField(Line, "op");
+  if (Op == "ping")
+    return beginResponse(Line, "ping", true).str();
+  if (Op == "predict")
+    return opPredict(Service, Line);
+  if (Op == "tune")
+    return opTune(Service, Line);
+  if (Op == "measure")
+    return opMeasure(Service, Line);
+  if (Op == "rank")
+    return opRank(Service, Line);
+  if (Op == "emit")
+    return opEmit(Service, Line);
+  if (Op == "stats")
+    return opStats(Service, Line);
+  if (Op == "save")
+    return opSave(Service, Line);
+  if (Op == "shutdown") {
+    Quit = true;
+    return beginResponse(Line, "shutdown", true).str();
+  }
+  return errorResponse(Line, Op,
+                       format("unknown op '%s' (ping, predict, tune, "
+                              "measure, rank, emit, stats, save, shutdown)",
+                              Op.c_str()));
+}
+
+int ys::runServeLoop(std::istream &In, std::ostream &Out,
+                     const ServiceOptions &Opts) {
+  TuningService Service(Opts);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    bool Quit = false;
+    Out << serveRequest(Service, Line, Quit) << "\n" << std::flush;
+    if (Quit)
+      break;
+  }
+  return 0;
+}

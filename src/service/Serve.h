@@ -1,0 +1,41 @@
+//===- service/Serve.h - Line-delimited JSON service front -------*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `yasksite serve`: a request/response front over TuningService speaking
+/// *JSON lines* — one flat request object per input line, one flat
+/// response object per output line (support/Json; string and number
+/// values only, nothing nests).  See README.md "Tuning service" for the
+/// schema.  The loop is synchronous per line but the service underneath
+/// shares its cache/dedup/trial machinery with all in-process users.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SERVICE_SERVE_H
+#define YS_SERVICE_SERVE_H
+
+#include "service/TuningService.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace ys {
+
+/// Handles one request line against \p Service and returns the response
+/// line (no trailing newline).  Never throws; malformed input yields an
+/// {"ok":"false","error":...} response.  Sets \p Quit when the request
+/// was a `shutdown`.
+std::string serveRequest(TuningService &Service, const std::string &Line,
+                         bool &Quit);
+
+/// Reads request lines from \p In until EOF or a `shutdown` request,
+/// writing one response line (flushed) per request to \p Out.  Returns 0.
+int runServeLoop(std::istream &In, std::ostream &Out,
+                 const ServiceOptions &Opts);
+
+} // namespace ys
+
+#endif // YS_SERVICE_SERVE_H

@@ -1,0 +1,69 @@
+//===- service/ShardedCache.cpp - Mutex-striped tuning-cache front ---------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardedCache.h"
+
+using namespace ys;
+
+unsigned ShardedTuningCache::shardOf(const std::string &Key) {
+  unsigned long long H = 1469598103934665603ull;
+  for (unsigned char C : Key) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return static_cast<unsigned>(H % NumShards);
+}
+
+std::optional<TuningCache::Entry>
+ShardedTuningCache::lookup(const std::string &Key) {
+  Shard &S = Shards[shardOf(Key)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (const TuningCache::Entry *E = S.Cache.peek(Key)) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return *E;
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::optional<TuningCache::Entry>
+ShardedTuningCache::peek(const std::string &Key) const {
+  const Shard &S = Shards[shardOf(Key)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (const TuningCache::Entry *E = S.Cache.peek(Key))
+    return *E;
+  return std::nullopt;
+}
+
+void ShardedTuningCache::insert(TuningCache::Entry E) {
+  Shard &S = Shards[shardOf(E.Key)];
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Cache.insert(std::move(E));
+}
+
+void ShardedTuningCache::absorb(const TuningCache &Tier) {
+  for (const auto &[Key, E] : Tier.entries())
+    insert(E);
+}
+
+TuningCache ShardedTuningCache::snapshot() const {
+  TuningCache Merged;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const auto &[Key, E] : S.Cache.entries())
+      Merged.insert(E);
+  }
+  return Merged;
+}
+
+size_t ShardedTuningCache::size() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Cache.size();
+  }
+  return Total;
+}

@@ -1,0 +1,83 @@
+//===- service/ShardedCache.h - Mutex-striped tuning-cache front -*- C++ -*-===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, sharded front over `TuningCache` for the tuning service:
+/// the key space is striped across `NumShards` independently-locked
+/// `TuningCache` instances, so concurrent lookups from service threads
+/// contend only when they hash to the same stripe.  Hit/miss counters are
+/// process-wide atomics (the per-shard TuningCache counters stay untouched
+/// and are not used here).
+///
+/// The existing versioned JSON-lines file remains the persistence tier:
+/// `absorb()` distributes a loaded `TuningCache` into the stripes and
+/// `snapshot()` merges them back into one `TuningCache` for an atomic
+/// `saveFile`.  The front never holds more than one stripe lock at a time,
+/// so it cannot deadlock against callers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef YS_SERVICE_SHARDEDCACHE_H
+#define YS_SERVICE_SHARDEDCACHE_H
+
+#include "tuner/TuningCache.h"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ys {
+
+/// Thread-safe sharded in-memory front over the persistent TuningCache.
+class ShardedTuningCache {
+public:
+  static constexpr unsigned NumShards = 16;
+
+  /// Exact-key lookup; returns a copy of the entry (the reference a plain
+  /// TuningCache returns would dangle once the stripe lock is released).
+  /// Counts toward hits()/misses().
+  std::optional<TuningCache::Entry> lookup(const std::string &Key);
+
+  /// Lookup without touching the hit/miss counters.
+  std::optional<TuningCache::Entry> peek(const std::string &Key) const;
+
+  /// Inserts or replaces the entry with the same key.
+  void insert(TuningCache::Entry E);
+
+  /// Distributes every entry of \p Tier into the stripes (insert-or-replace
+  /// semantics).  Used to warm the front from a loaded JSON-lines file.
+  void absorb(const TuningCache &Tier);
+
+  /// Merges all stripes into one TuningCache for persistence.  Consistent
+  /// per stripe; concurrent inserts during the merge land in either the
+  /// snapshot or the next one.
+  TuningCache snapshot() const;
+
+  size_t size() const;
+  unsigned long long hits() const { return Hits.load(std::memory_order_relaxed); }
+  unsigned long long misses() const { return Misses.load(std::memory_order_relaxed); }
+  void resetStats() { Hits = Misses = 0; }
+
+private:
+  /// Stripe index of a key: stable FNV-1a over the key bytes (the keys are
+  /// themselves FNV fingerprints, but hashing again keeps the striping
+  /// independent of the key format).
+  static unsigned shardOf(const std::string &Key);
+
+  struct alignas(64) Shard {
+    mutable std::mutex M;
+    TuningCache Cache;
+  };
+
+  Shard Shards[NumShards];
+  std::atomic<unsigned long long> Hits{0};
+  std::atomic<unsigned long long> Misses{0};
+};
+
+} // namespace ys
+
+#endif // YS_SERVICE_SHARDEDCACHE_H

@@ -95,6 +95,12 @@ JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
   return field(Key, std::string(Value));
 }
 
+JsonObjectWriter &JsonObjectWriter::field(const std::string &Key, bool Value) {
+  key(Key);
+  Out += Value ? "true" : "false";
+  return *this;
+}
+
 JsonObjectWriter &JsonObjectWriter::field(const std::string &Key,
                                           double Value) {
   key(Key);
@@ -182,6 +188,18 @@ std::optional<double> ys::jsonNumberField(const std::string &Line,
   if (End == Begin)
     return std::nullopt;
   return V;
+}
+
+std::optional<bool> ys::jsonBoolField(const std::string &Line,
+                                      const std::string &Key) {
+  size_t Start = findValueStart(Line, Key);
+  if (Start == std::string::npos)
+    return std::nullopt;
+  if (Line.compare(Start, 4, "true") == 0)
+    return true;
+  if (Line.compare(Start, 5, "false") == 0)
+    return false;
+  return std::nullopt;
 }
 
 bool ys::jsonLooksWellFormed(const std::string &Line) {

@@ -37,6 +37,7 @@ public:
 
   JsonObjectWriter &field(const std::string &Key, const std::string &Value);
   JsonObjectWriter &field(const std::string &Key, const char *Value);
+  JsonObjectWriter &field(const std::string &Key, bool Value);
   JsonObjectWriter &field(const std::string &Key, double Value);
   JsonObjectWriter &field(const std::string &Key, long Value);
   JsonObjectWriter &field(const std::string &Key, unsigned long long Value);
@@ -57,6 +58,10 @@ std::optional<std::string> jsonStringField(const std::string &Line,
 
 /// Extracts the numeric value of \p Key; std::nullopt when absent or
 /// non-numeric.
+/// Extracts an unquoted true/false value.
+std::optional<bool> jsonBoolField(const std::string &Line,
+                                  const std::string &Key);
+
 std::optional<double> jsonNumberField(const std::string &Line,
                                       const std::string &Key);
 

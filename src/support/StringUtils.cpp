@@ -7,6 +7,8 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -84,6 +86,73 @@ std::string ys::roundTripDouble(double Value) {
       return S;
   }
   return format("%.17g", Value); // Non-finite values land here.
+}
+
+namespace {
+
+/// Shared strictness checks: the strtoX family skips leading whitespace
+/// and stops at the first bad character, both of which would let garbage
+/// through.  Returns an error message, or "" when the string is a clean
+/// candidate for strtoX.
+std::string precheckNumber(const std::string &Str) {
+  if (Str.empty())
+    return "empty string";
+  if (std::isspace(static_cast<unsigned char>(Str[0])))
+    return "leading whitespace";
+  return std::string();
+}
+
+} // namespace
+
+Expected<long> ys::parseLong(const std::string &Str) {
+  std::string Pre = precheckNumber(Str);
+  if (!Pre.empty())
+    return Error::failure(format("'%s' is not an integer (%s)", Str.c_str(),
+                                 Pre.c_str()));
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(Str.c_str(), &End, 10);
+  if (End == Str.c_str() || *End != '\0')
+    return Error::failure(format("'%s' is not an integer", Str.c_str()));
+  if (errno == ERANGE)
+    return Error::failure(format("'%s' is out of range", Str.c_str()));
+  return V;
+}
+
+Expected<unsigned long long> ys::parseUnsigned(const std::string &Str) {
+  std::string Pre = precheckNumber(Str);
+  if (!Pre.empty())
+    return Error::failure(format("'%s' is not a non-negative integer (%s)",
+                                 Str.c_str(), Pre.c_str()));
+  if (Str.find('-') != std::string::npos)
+    return Error::failure(
+        format("'%s' is not a non-negative integer", Str.c_str()));
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Str.c_str(), &End, 10);
+  if (End == Str.c_str() || *End != '\0')
+    return Error::failure(
+        format("'%s' is not a non-negative integer", Str.c_str()));
+  if (errno == ERANGE)
+    return Error::failure(format("'%s' is out of range", Str.c_str()));
+  return V;
+}
+
+Expected<double> ys::parseDouble(const std::string &Str) {
+  std::string Pre = precheckNumber(Str);
+  if (!Pre.empty())
+    return Error::failure(format("'%s' is not a number (%s)", Str.c_str(),
+                                 Pre.c_str()));
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Str.c_str(), &End);
+  if (End == Str.c_str() || *End != '\0')
+    return Error::failure(format("'%s' is not a number", Str.c_str()));
+  if (errno == ERANGE && (V == HUGE_VAL || V == -HUGE_VAL))
+    return Error::failure(format("'%s' is out of range", Str.c_str()));
+  if (!std::isfinite(V))
+    return Error::failure(format("'%s' is not a finite number", Str.c_str()));
+  return V;
 }
 
 bool ys::startsWith(const std::string &Str, const std::string &Prefix) {

@@ -13,6 +13,8 @@
 #ifndef YS_SUPPORT_STRINGUTILS_H
 #define YS_SUPPORT_STRINGUTILS_H
 
+#include "support/Error.h"
+
 #include <cstdarg>
 #include <string>
 #include <vector>
@@ -46,6 +48,30 @@ std::string roundTripDouble(double Value);
 /// shared implementation behind TuningCache::fingerprintRaw and the JIT
 /// object-cache keys.
 std::string fingerprintRaw64(const std::string &Canonical);
+
+/// \name Checked numeric parsing.
+///
+/// The std::atoi/atol family silently maps garbage ("abc", "", "12x"),
+/// overflow, and unexpected signs to 0 or a truncated value.  These
+/// parsers accept exactly one complete number — no leading whitespace, no
+/// trailing characters — and report everything else as an Error, so a
+/// mistyped CLI flag becomes a diagnostic instead of a silent zero.
+/// @{
+
+/// Parses a signed decimal integer.  Rejects empty strings, leading
+/// whitespace, trailing garbage, and values outside [long min, long max].
+Expected<long> parseLong(const std::string &Str);
+
+/// Parses a non-negative decimal integer.  Additionally rejects any '-'
+/// sign (strtoull would silently wrap negatives to huge values).
+Expected<unsigned long long> parseUnsigned(const std::string &Str);
+
+/// Parses a finite floating-point number (decimal or exponent notation).
+/// Rejects empty strings, leading whitespace, trailing garbage, overflow,
+/// and non-finite spellings ("inf", "nan").
+Expected<double> parseDouble(const std::string &Str);
+
+/// @}
 
 /// Returns true if \p Str starts with \p Prefix.
 bool startsWith(const std::string &Str, const std::string &Prefix);

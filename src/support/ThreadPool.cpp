@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace ys;
@@ -41,9 +42,18 @@ std::string PoolStats::str() const {
 
 unsigned ThreadPool::defaultThreadCount() {
   if (const char *E = std::getenv("YS_THREADS")) {
-    long V = std::strtol(E, nullptr, 10);
-    if (V > 0)
-      return static_cast<unsigned>(V);
+    Expected<long> V = parseLong(E);
+    if (V && *V > 0)
+      return static_cast<unsigned>(*V);
+    // A silently ignored YS_THREADS makes every downstream measurement
+    // (and its cache fingerprint) quietly use hardware_concurrency; warn
+    // once so a typo like YS_THREADS=1O is visible.
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "warning: YS_THREADS='%s' is not a positive integer; "
+                   "using hardware concurrency\n",
+                   E);
   }
   unsigned HW = std::thread::hardware_concurrency();
   return HW == 0 ? 1 : HW;

@@ -11,6 +11,7 @@
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -46,10 +47,9 @@ std::string canonicalConfig(const KernelConfig &C) {
                 C.StreamingStores ? 1 : 0);
 }
 
-/// Canonical rendering of a stencil: name plus every point, plus the
-/// model-visible extras.  Point order matters to the executor's FP
-/// summation order, so it is kept as-is (not sorted).
-std::string canonicalStencil(const StencilSpec &S) {
+} // namespace
+
+std::string TuningCache::canonicalStencil(const StencilSpec &S) {
   std::string Out = "stencil=" + S.name();
   for (const StencilPoint &P : S.points())
     Out += format(";p=%d,%d,%d,%u,%.17g", P.Dx, P.Dy, P.Dz, P.GridIdx,
@@ -57,8 +57,6 @@ std::string canonicalStencil(const StencilSpec &S) {
   Out += format(";xflops=%u;outgrids=%u", S.ExtraFlopsPerLup, S.OutputGrids);
   return Out;
 }
-
-} // namespace
 
 std::string TuningCache::machineId(const MachineModel &M) {
   std::string Canon = format(
@@ -188,8 +186,13 @@ Error TuningCache::saveFile(const std::string &Path) const {
   // cross filesystems): a killed run or two concurrent savers can no
   // longer leave a truncated/interleaved file that the next loadOrCreate
   // rejects wholesale.  Concurrent savers race benignly — last complete
-  // rename wins.
-  std::string Tmp = Path + format(".tmp.%ld", (long)getpid());
+  // rename wins.  The temp name carries a process-wide atomic counter in
+  // addition to the pid: two threads of one process saving concurrently
+  // must not share a temp file, or their writes interleave and the rename
+  // publishes a corrupt cache.
+  static std::atomic<unsigned long> SaveCounter{0};
+  std::string Tmp = Path + format(".tmp.%ld.%lu", (long)getpid(),
+                                  SaveCounter.fetch_add(1) + 1);
   {
     std::ofstream Out(Tmp, std::ios::trunc);
     if (!Out)

@@ -84,6 +84,13 @@ public:
   /// such as the e9 ODE-variant bench).
   static std::string fingerprintRaw(const std::string &Canonical);
 
+  /// Canonical rendering of a stencil: name plus every point, plus the
+  /// model-visible extras.  Point order matters to the executor's FP
+  /// summation order, so it is kept as-is (not sorted).  Part of every
+  /// fingerprint; also used by the tuning service to key per-stencil
+  /// measurement harnesses.
+  static std::string canonicalStencil(const StencilSpec &S);
+
   /// Effective worker count for fingerprinting: an explicit
   /// Config.Threads when > 1, else the environment default (which honors
   /// YS_THREADS).  Deliberately conservative — changing YS_THREADS forces
@@ -103,6 +110,10 @@ public:
   void insert(Entry E);
 
   size_t size() const { return Entries.size(); }
+
+  /// All entries, keyed by fingerprint (used by the sharded service front
+  /// to distribute/merge the persistence tier).
+  const std::map<std::string, Entry> &entries() const { return Entries; }
   unsigned hits() const { return Hits; }
   unsigned misses() const { return Misses; }
   void resetStats() { Hits = Misses = 0; }

@@ -6,6 +6,8 @@
 
 #include "driver/Driver.h"
 
+#include "support/StringUtils.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -243,4 +245,77 @@ TEST(Driver, PredictAsmFlagEmitsPseudoAssembly) {
   std::string Out = run({"predict", "heat3d", "--fold", "8x1x1", "--asm"});
   EXPECT_NE(Out.find("vfmadd"), std::string::npos);
   EXPECT_NE(Out.find("T_nOL"), std::string::npos);
+}
+
+TEST(Driver, RejectsGarbageNumericOptionValues) {
+  // Every numeric flag fed garbage must produce a per-flag diagnostic
+  // instead of silently running with 0 (the old atoi behavior).
+  struct Case {
+    const char *Flag;
+    const char *Value;
+  };
+  const Case Cases[] = {
+      {"--bx", "12junk"},  {"--by", "abc"},     {"--bz", ""},
+      {"--wf", "abc"},     {"--cores", "xyz"},  {"--sweeps", "2.5"},
+      {"--n", "1e3"},      {"--steps", "ten"},  {"--repeats", "-"},
+      {"--cores", "99999999999999999999"},
+  };
+  for (const Case &C : Cases) {
+    std::string Out;
+    EXPECT_NE(runDriver({"tune", "heat3d", C.Flag, C.Value}, Out), 0)
+        << C.Flag << "=" << C.Value;
+    EXPECT_NE(Out.find(format("invalid %s value", C.Flag)),
+              std::string::npos)
+        << Out;
+  }
+  std::string Out;
+  EXPECT_NE(runDriver({"verify", "heat3d", "--tol-ulps", "-1"}, Out), 0);
+  EXPECT_NE(Out.find("invalid --tol-ulps value"), std::string::npos);
+  Out.clear();
+  EXPECT_NE(runDriver({"verify", "heat3d", "--tol-abs", "0.1.2"}, Out), 0);
+  EXPECT_NE(Out.find("invalid --tol-abs value"), std::string::npos);
+}
+
+TEST(Driver, EqualsFormOptionsAccepted) {
+  // --flag=value is equivalent to --flag value.
+  std::string Out = run({"predict", "heat3d", "--dims=64", "--cores=2"});
+  EXPECT_NE(Out.find("64x64x64"), std::string::npos);
+  EXPECT_NE(Out.find("at 2 cores"), std::string::npos);
+  Out.clear();
+  EXPECT_NE(runDriver({"tune", "heat3d", "--wf=abc"}, Out), 0);
+  EXPECT_NE(Out.find("invalid --wf value"), std::string::npos);
+  // A flag in the stencil slot is a missing stencil, and its value is
+  // still checked first.
+  Out.clear();
+  EXPECT_NE(runDriver({"tune", "--wf=abc"}, Out), 0);
+  EXPECT_NE(Out.find("invalid --wf value"), std::string::npos);
+  Out.clear();
+  EXPECT_NE(runDriver({"tune", "--wf=4"}, Out), 0);
+  EXPECT_NE(Out.find("missing stencil argument"), std::string::npos);
+}
+
+TEST(Driver, StencilListingMatchesResolver) {
+  // Every advertised builtin must resolve (R standing for a radius).
+  std::string Out = run({"stencils"});
+  for (std::string Name : builtinStencilNames()) {
+    EXPECT_NE(Out.find(Name), std::string::npos) << Name;
+    size_t Colon = Name.find(':');
+    if (Colon != std::string::npos) {
+      EXPECT_EQ(Name.substr(Colon), ":R")
+          << "parameterized builtins advertise a single radius: " << Name;
+      Name = Name.substr(0, Colon) + ":2";
+    }
+    auto SpecOr = resolveStencil(Name);
+    EXPECT_TRUE(static_cast<bool>(SpecOr))
+        << Name << ": " << SpecOr.takeError().message();
+  }
+}
+
+TEST(Driver, RejectsGarbageStencilRadius) {
+  std::string Out;
+  EXPECT_NE(runDriver({"predict", "star3d:abc"}, Out), 0);
+  EXPECT_NE(Out.find("invalid star3d radius 'abc'"), std::string::npos);
+  Out.clear();
+  EXPECT_NE(runDriver({"predict", "longrange:2x"}, Out), 0);
+  EXPECT_NE(Out.find("invalid longrange radius"), std::string::npos);
 }

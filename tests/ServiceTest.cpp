@@ -1,0 +1,489 @@
+//===- tests/ServiceTest.cpp - Tuning service concurrency tests ------------===//
+//
+// Part of the YaskSite reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Concurrency contract of the TuningService (run under TSan via
+// tools/run_concurrency_checks.sh):
+//
+//  * request deduplication — N concurrent identical measure queries cost
+//    exactly one timed trial, broadcast to every waiter;
+//  * admission control — model-only queries complete while a trial is in
+//    flight, they never queue behind it;
+//  * cache tiers — the sharded in-memory front and the JSON-lines
+//    persistence tier agree after save/load;
+//  * the serve protocol front (line-delimited JSON) on top of it all.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Serve.h"
+#include "service/TuningService.h"
+#include "support/Json.h"
+#include "tuner/TuningCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ys;
+
+namespace {
+
+MeasureQuery tinyQuery(long Bx = 0) {
+  MeasureQuery Q;
+  Q.Stencil = "heat3d";
+  Q.Dims = GridDims{16, 8, 8};
+  Q.Config.Block.X = Bx;
+  Q.Backend = "plan"; // Independent of YS_BACKEND in the environment.
+  return Q;
+}
+
+std::string tempPath(const char *Name) {
+  return testing::TempDir() + "/" + Name + std::to_string(::getpid()) +
+         ".jsonl";
+}
+
+TEST(ShardedCacheTest, InsertLookupAndStats) {
+  ShardedTuningCache Front;
+  EXPECT_EQ(Front.size(), 0u);
+  EXPECT_FALSE(Front.lookup("0123456789abcdef"));
+  EXPECT_EQ(Front.misses(), 1u);
+
+  TuningCache::Entry E;
+  E.Key = "0123456789abcdef";
+  E.Summary = "test entry";
+  E.Mlups = 42.0;
+  E.SecondsPerStep = 0.5;
+  E.Repeats = 3;
+  Front.insert(E);
+  EXPECT_EQ(Front.size(), 1u);
+
+  auto Got = Front.lookup(E.Key);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(Got->Mlups, 42.0);
+  EXPECT_EQ(Front.hits(), 1u);
+
+  // peek() does not perturb the counters.
+  EXPECT_TRUE(Front.peek(E.Key).has_value());
+  EXPECT_EQ(Front.hits(), 1u);
+  EXPECT_EQ(Front.misses(), 1u);
+}
+
+TEST(ShardedCacheTest, AbsorbAndSnapshotRoundTrip) {
+  TuningCache Tier;
+  for (int I = 0; I < 64; ++I) {
+    TuningCache::Entry E;
+    E.Key = TuningCache::fingerprintRaw("entry" + std::to_string(I));
+    E.Summary = "entry " + std::to_string(I);
+    E.Mlups = 100.0 + I;
+    E.SecondsPerStep = 0.001 * (I + 1);
+    E.Repeats = 3;
+    Tier.insert(std::move(E));
+  }
+  ShardedTuningCache Front;
+  Front.absorb(Tier);
+  EXPECT_EQ(Front.size(), Tier.size());
+
+  TuningCache Merged = Front.snapshot();
+  ASSERT_EQ(Merged.size(), Tier.size());
+  for (const auto &[Key, E] : Tier.entries()) {
+    const TuningCache::Entry *Got = Merged.peek(Key);
+    ASSERT_NE(Got, nullptr) << Key;
+    EXPECT_EQ(Got->Summary, E.Summary);
+    EXPECT_EQ(Got->Mlups, E.Mlups);
+  }
+}
+
+// Eight concurrent identical measure queries through the real
+// MeasureHarness: exactly one timed trial runs, every caller gets the
+// same number.
+TEST(TuningServiceTest, EightConcurrentIdenticalQueriesOneTrial) {
+  ServiceOptions SO;
+  SO.Repeats = 1;
+  SO.SweepsPerRepeat = 1;
+  TuningService Service(SO);
+
+  constexpr int N = 8;
+  std::vector<std::thread> Threads;
+  std::vector<double> Mlups(N, -1.0);
+  std::vector<std::string> Sources(N);
+  std::atomic<int> Ready{0};
+  std::mutex StartMutex;
+  std::condition_variable StartCV;
+  bool Go = false;
+
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      {
+        std::unique_lock<std::mutex> Lock(StartMutex);
+        ++Ready;
+        StartCV.notify_all();
+        StartCV.wait(Lock, [&] { return Go; });
+      }
+      auto ROr = Service.measure(tinyQuery());
+      ASSERT_TRUE(ROr) << ROr.takeError().message();
+      Mlups[I] = ROr->Mlups;
+      Sources[I] = ROr->Source;
+    });
+  {
+    std::unique_lock<std::mutex> Lock(StartMutex);
+    StartCV.wait(Lock, [&] { return Ready == N; });
+    Go = true;
+  }
+  StartCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.TimedTrials, 1u) << "identical queries must coalesce";
+  EXPECT_EQ(S.MeasureRequests, 8u);
+  EXPECT_GT(S.KernelRuns, 0u) << "the one trial really ran the kernel";
+  // Every request either missed (leader/coalesced) or hit the cache after
+  // the trial landed; no second trial either way.
+  EXPECT_EQ(S.CacheHits + S.CacheMisses, 8u);
+  EXPECT_EQ(S.Coalesced, S.CacheMisses - 1);
+  for (int I = 0; I < N; ++I) {
+    EXPECT_EQ(Mlups[I], Mlups[0]) << "all callers see the same answer";
+    EXPECT_TRUE(Sources[I] == "trial" || Sources[I] == "coalesced" ||
+                Sources[I] == "cache")
+        << Sources[I];
+  }
+  // A repeat query is now a pure cache hit.
+  auto Again = Service.measure(tinyQuery());
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Again->Source, "cache");
+  EXPECT_EQ(Service.stats().TimedTrials, 1u);
+}
+
+// Deterministic coalescing: with the trial blocked inside the measure
+// seam, all followers are guaranteed in flight, so the split must be
+// exactly 1 leader + 7 coalesced.
+TEST(TuningServiceTest, CoalescingBroadcastsOneTrialToAllWaiters) {
+  std::mutex GateMutex;
+  std::condition_variable GateCV;
+  bool Release = false;
+  std::atomic<int> TrialCalls{0};
+
+  ServiceOptions SO;
+  SO.MeasureOverride = [&](const KernelConfig &) {
+    TrialCalls.fetch_add(1);
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCV.wait(Lock, [&] { return Release; });
+    return 123.0;
+  };
+  TuningService Service(SO);
+
+  constexpr int N = 8;
+  std::atomic<int> Done{0};
+  std::vector<std::string> Sources(N);
+  for (int I = 0; I < N; ++I)
+    Service.measureAsync(tinyQuery(), [&, I](Expected<MeasureResult> ROr) {
+      ASSERT_TRUE(ROr) << ROr.takeError().message();
+      EXPECT_EQ(ROr->Mlups, 123.0);
+      Sources[I] = ROr->Source;
+      Done.fetch_add(1);
+    });
+
+  // The leader's trial is blocked on the gate; nobody has an answer yet.
+  while (TrialCalls.load() == 0)
+    std::this_thread::yield();
+  EXPECT_EQ(Done.load(), 0);
+
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    Release = true;
+  }
+  GateCV.notify_all();
+  Service.waitIdle();
+
+  EXPECT_EQ(Done.load(), N);
+  EXPECT_EQ(TrialCalls.load(), 1);
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.TimedTrials, 1u);
+  EXPECT_EQ(S.Coalesced, 7u);
+  int Leaders = 0, Followers = 0;
+  for (const std::string &Src : Sources)
+    Src == "trial" ? ++Leaders : ++Followers;
+  EXPECT_EQ(Leaders, 1);
+  EXPECT_EQ(Followers, 7);
+}
+
+// Admission control: model-only queries are answered on the calling
+// thread while a timed trial is still in flight.
+TEST(TuningServiceTest, ModelQueriesNeverQueueBehindTrials) {
+  std::mutex GateMutex;
+  std::condition_variable GateCV;
+  bool Release = false;
+  std::atomic<int> TrialCalls{0};
+
+  ServiceOptions SO;
+  SO.MeasureOverride = [&](const KernelConfig &) {
+    TrialCalls.fetch_add(1);
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCV.wait(Lock, [&] { return Release; });
+    return 77.0;
+  };
+  TuningService Service(SO);
+
+  std::atomic<int> Done{0};
+  Service.measureAsync(tinyQuery(),
+                       [&](Expected<MeasureResult>) { Done.fetch_add(1); });
+  while (TrialCalls.load() == 0)
+    std::this_thread::yield();
+
+  // Trial lane is occupied; every model-only query still completes now.
+  PredictQuery PQ;
+  PQ.Stencil = "heat3d";
+  auto POr = Service.predict(PQ);
+  ASSERT_TRUE(POr) << POr.takeError().message();
+  EXPECT_GT(POr->Prediction.MLupsSaturated, 0.0);
+
+  TuneQuery TQ;
+  TQ.Stencil = "star3d:2";
+  auto TOr = Service.tune(TQ);
+  ASSERT_TRUE(TOr) << TOr.takeError().message();
+  EXPECT_GT(TOr->Best.CandidatesEvaluated, 0u);
+  EXPECT_FALSE(TOr->Measured);
+
+  RankQuery RQ;
+  RQ.Method = "rk4";
+  RQ.Resolution = 16;
+  auto ROr = Service.rank(RQ);
+  ASSERT_TRUE(ROr) << ROr.takeError().message();
+  EXPECT_FALSE(ROr->Ranked.empty());
+
+  EmitQuery EQ;
+  EQ.Stencil = "heat3d";
+  auto SrcOr = Service.emitSource(EQ);
+  ASSERT_TRUE(SrcOr);
+  EXPECT_NE(SrcOr->find("for"), std::string::npos);
+
+  // The trial was blocked the whole time.
+  EXPECT_EQ(Done.load(), 0);
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    Release = true;
+  }
+  GateCV.notify_all();
+  Service.waitIdle();
+  EXPECT_EQ(Done.load(), 1);
+}
+
+// The sharded front and the JSON-lines persistence tier agree after
+// save/load, and a fresh service warmed from the file answers from cache.
+TEST(TuningServiceTest, FrontAgreesWithPersistenceTier) {
+  std::string Path = tempPath("service_tier_");
+  std::remove(Path.c_str());
+
+  std::atomic<int> TrialCalls{0};
+  ServiceOptions SO;
+  SO.CachePath = Path;
+  SO.MeasureOverride = [&](const KernelConfig &C) {
+    TrialCalls.fetch_add(1);
+    return 100.0 + static_cast<double>(C.Block.X);
+  };
+  {
+    TuningService Service(SO);
+    for (long Bx : {8, 16, 32, 64, 128}) {
+      auto ROr = Service.measure(tinyQuery(Bx));
+      ASSERT_TRUE(ROr) << ROr.takeError().message();
+      EXPECT_EQ(ROr->Mlups, 100.0 + Bx);
+    }
+    EXPECT_EQ(TrialCalls.load(), 5);
+    ASSERT_FALSE(Service.saveCache());
+
+    auto TierOr = TuningCache::loadFile(Path);
+    ASSERT_TRUE(TierOr) << TierOr.takeError().message();
+    TuningCache Snapshot = Service.cacheFront().snapshot();
+    ASSERT_EQ(TierOr->size(), Snapshot.size());
+    for (const auto &[Key, E] : Snapshot.entries()) {
+      const TuningCache::Entry *Tiered = TierOr->peek(Key);
+      ASSERT_NE(Tiered, nullptr) << Key;
+      EXPECT_EQ(Tiered->Summary, E.Summary);
+      EXPECT_DOUBLE_EQ(Tiered->Mlups, E.Mlups);
+      EXPECT_DOUBLE_EQ(Tiered->SecondsPerStep, E.SecondsPerStep);
+      EXPECT_EQ(Tiered->Repeats, E.Repeats);
+    }
+  }
+
+  // A new service instance loads the tier into its front: repeat queries
+  // are pure cache hits, the measure seam is never called again.
+  TrialCalls = 0;
+  TuningService Warm(SO);
+  EXPECT_EQ(Warm.cacheFront().size(), 5u);
+  for (long Bx : {8, 16, 32, 64, 128}) {
+    auto ROr = Warm.measure(tinyQuery(Bx));
+    ASSERT_TRUE(ROr);
+    EXPECT_EQ(ROr->Source, "cache");
+    EXPECT_EQ(ROr->Mlups, 100.0 + Bx);
+  }
+  EXPECT_EQ(TrialCalls.load(), 0);
+  std::remove(Path.c_str());
+}
+
+TEST(TuningServiceTest, ErrorsPropagateWithoutTouchingTrialLane) {
+  TuningService Service;
+  auto BadStencil = Service.measure([] {
+    MeasureQuery Q;
+    Q.Stencil = "noSuchStencil";
+    return Q;
+  }());
+  EXPECT_FALSE(BadStencil);
+  EXPECT_NE(BadStencil.takeError().message().find("unknown stencil"),
+            std::string::npos);
+
+  MeasureQuery BadMachineQ = tinyQuery();
+  BadMachineQ.Machine = "noSuchMachine";
+  auto BadMachine = Service.measure(BadMachineQ);
+  EXPECT_FALSE(BadMachine);
+  EXPECT_NE(BadMachine.takeError().message().find("unknown machine"),
+            std::string::npos);
+
+  MeasureQuery BadConfigQ = tinyQuery();
+  BadConfigQ.Config.WavefrontDepth = 0;
+  auto BadConfig = Service.measure(BadConfigQ);
+  EXPECT_FALSE(BadConfig);
+  EXPECT_NE(BadConfig.takeError().message().find("wavefront"),
+            std::string::npos);
+
+  MeasureQuery BadBackendQ = tinyQuery();
+  BadBackendQ.Backend = "cuda";
+  auto BadBackend = Service.measure(BadBackendQ);
+  EXPECT_FALSE(BadBackend);
+  EXPECT_NE(BadBackend.takeError().message().find("unknown backend"),
+            std::string::npos);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.MeasureRequests, 4u);
+  EXPECT_EQ(S.TimedTrials, 0u);
+}
+
+// Concurrent saveFile calls on one path: every save must succeed (unique
+// temp names, atomic rename) and the surviving file must be loadable.
+TEST(TuningCacheConcurrencyTest, ConcurrentSaveFileIsAtomic) {
+  TuningCache Cache;
+  for (int I = 0; I < 50; ++I) {
+    TuningCache::Entry E;
+    E.Key = TuningCache::fingerprintRaw("save" + std::to_string(I));
+    E.Summary = "entry " + std::to_string(I);
+    E.Mlups = I;
+    E.Repeats = 1;
+    Cache.insert(std::move(E));
+  }
+  std::string Path = tempPath("concurrent_save_");
+  std::remove(Path.c_str());
+
+  constexpr int N = 8;
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Failures(N);
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      for (int Round = 0; Round < 4; ++Round)
+        if (Error E = Cache.saveFile(Path))
+          Failures[I] = E.message();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 0; I < N; ++I)
+    EXPECT_TRUE(Failures[I].empty()) << Failures[I];
+
+  auto LoadedOr = TuningCache::loadFile(Path);
+  ASSERT_TRUE(LoadedOr) << LoadedOr.takeError().message();
+  EXPECT_EQ(LoadedOr->size(), 50u);
+  std::remove(Path.c_str());
+}
+
+// The serve front: line-delimited JSON requests against a service whose
+// measure seam is instrumented.
+TEST(ServeProtocolTest, RequestsAndResponsesLineByLine) {
+  std::atomic<int> TrialCalls{0};
+  ServiceOptions SO;
+  SO.MeasureOverride = [&](const KernelConfig &) {
+    TrialCalls.fetch_add(1);
+    return 250.0;
+  };
+
+  std::istringstream In(
+      "{\"op\":\"ping\",\"id\":\"a\"}\n"
+      "\n" // blank lines are skipped
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"64\","
+      "\"cores\":4}\n"
+      "{\"op\":\"tune\",\"stencil\":\"star3d:2\"}\n"
+      "{\"op\":\"measure\",\"stencil\":\"heat3d\",\"dims\":\"16x8x8\","
+      "\"backend\":\"plan\",\"id\":\"m1\"}\n"
+      "{\"op\":\"measure\",\"stencil\":\"heat3d\",\"dims\":\"16x8x8\","
+      "\"backend\":\"plan\",\"id\":\"m2\"}\n"
+      "{\"op\":\"rank\",\"method\":\"rk4\",\"n\":16}\n"
+      "{\"op\":\"emit\",\"stencil\":\"heat3d\"}\n"
+      "{\"op\":\"predict\",\"stencil\":\"nope\"}\n"
+      "not json\n"
+      "{\"op\":\"wat\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"ping\"}\n"); // after shutdown: must not be answered
+  std::ostringstream OutStream;
+  EXPECT_EQ(runServeLoop(In, OutStream, SO), 0);
+
+  std::vector<std::string> Lines;
+  {
+    std::istringstream Split(OutStream.str());
+    std::string Line;
+    while (std::getline(Split, Line))
+      Lines.push_back(Line);
+  }
+  ASSERT_EQ(Lines.size(), 12u) << OutStream.str();
+  for (const std::string &Line : Lines)
+    EXPECT_TRUE(jsonLooksWellFormed(Line)) << Line;
+
+  auto Field = [&](size_t I, const char *Key) {
+    return jsonStringField(Lines[I], Key).value_or("");
+  };
+  auto Ok = [&](size_t I) { return jsonBoolField(Lines[I], "ok"); };
+  EXPECT_EQ(Field(0, "op"), "ping");
+  EXPECT_EQ(Field(0, "id"), "a");
+  EXPECT_EQ(Ok(0), true);
+
+  EXPECT_EQ(Field(1, "op"), "predict");
+  EXPECT_GT(jsonNumberField(Lines[1], "mlups").value_or(0), 0.0);
+
+  EXPECT_EQ(Field(2, "op"), "tune");
+  EXPECT_GT(jsonNumberField(Lines[2], "candidates").value_or(0), 0.0);
+
+  EXPECT_EQ(Field(3, "id"), "m1");
+  EXPECT_EQ(Field(3, "source"), "trial");
+  EXPECT_EQ(jsonNumberField(Lines[3], "mlups").value_or(0), 250.0);
+  EXPECT_EQ(Field(4, "id"), "m2");
+  EXPECT_EQ(Field(4, "source"), "cache");
+  EXPECT_EQ(TrialCalls.load(), 1) << "repeat measure answered from cache";
+
+  EXPECT_EQ(Field(5, "op"), "rank");
+  EXPECT_NE(Field(5, "ranked"), "");
+
+  EXPECT_EQ(Field(6, "op"), "emit");
+  EXPECT_NE(Field(6, "source").find("for"), std::string::npos);
+
+  EXPECT_EQ(Ok(7), false);
+  EXPECT_NE(Field(7, "error").find("unknown stencil"), std::string::npos);
+
+  EXPECT_EQ(Ok(8), false);
+  EXPECT_NE(Field(8, "error").find("malformed"), std::string::npos);
+
+  EXPECT_EQ(Ok(9), false);
+  EXPECT_NE(Field(9, "error").find("unknown op"), std::string::npos);
+
+  EXPECT_EQ(Field(10, "op"), "stats");
+  EXPECT_EQ(jsonNumberField(Lines[10], "timed_trials").value_or(-1), 1.0);
+  EXPECT_EQ(jsonNumberField(Lines[10], "cache_hits").value_or(-1), 1.0);
+
+  EXPECT_EQ(Field(11, "op"), "shutdown");
+  EXPECT_EQ(Ok(11), true);
+}
+
+} // namespace

@@ -319,3 +319,41 @@ TEST(Timer, MeasureSecondsStats) {
   EXPECT_LE(S.Median, S.Max);
   EXPECT_GE(S.Mean, 0.0);
 }
+
+TEST(StringUtils, ParseLongAcceptsIntegers) {
+  EXPECT_EQ(*parseLong("42"), 42);
+  EXPECT_EQ(*parseLong("-7"), -7);
+  EXPECT_EQ(*parseLong("0"), 0);
+  EXPECT_EQ(*parseLong("+5"), 5);
+}
+
+TEST(StringUtils, ParseLongRejectsGarbage) {
+  EXPECT_FALSE(static_cast<bool>(parseLong("")));
+  EXPECT_FALSE(static_cast<bool>(parseLong(" 5")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("5 ")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("12junk")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("abc")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("2.5")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("-")));
+  EXPECT_FALSE(static_cast<bool>(parseLong("999999999999999999999999")));
+}
+
+TEST(StringUtils, ParseUnsignedRejectsNegatives) {
+  EXPECT_EQ(*parseUnsigned("18446744073709551615"), ~0ull);
+  EXPECT_EQ(*parseUnsigned("0"), 0ull);
+  // strtoull would silently wrap these; the checked parser must not.
+  EXPECT_FALSE(static_cast<bool>(parseUnsigned("-1")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsigned("-0")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsigned("18446744073709551616")));
+  EXPECT_FALSE(static_cast<bool>(parseUnsigned("1x")));
+}
+
+TEST(StringUtils, ParseDoubleChecksRangeAndTail) {
+  EXPECT_DOUBLE_EQ(*parseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parseDouble("-2e-3"), -2e-3);
+  EXPECT_FALSE(static_cast<bool>(parseDouble("")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("0.1.2")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("1e999")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("nan")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("inf")));
+}

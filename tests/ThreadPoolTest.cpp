@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -188,6 +189,28 @@ TEST(ThreadPoolTiles, StatsResetAndBusyTime) {
 
 TEST(ThreadPoolTiles, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTiles, UnparseableYsThreadsFallsBackWithWarning) {
+  const char *Old = std::getenv("YS_THREADS");
+  std::string Saved = Old ? Old : "";
+  // Garbage and non-positive values fall back to hardware concurrency
+  // (and warn once to stderr) instead of silently running serial.
+  setenv("YS_THREADS", "abc", 1);
+  unsigned Fallback = ThreadPool::defaultThreadCount();
+  EXPECT_GE(Fallback, 1u);
+  setenv("YS_THREADS", "-3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), Fallback);
+  setenv("YS_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), Fallback);
+  setenv("YS_THREADS", "8nope", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), Fallback);
+  setenv("YS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+  if (Old)
+    setenv("YS_THREADS", Saved.c_str(), 1);
+  else
+    unsetenv("YS_THREADS");
 }
 
 } // namespace

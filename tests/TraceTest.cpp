@@ -81,6 +81,22 @@ TEST(Json, ObjectWriterAndFieldExtraction) {
   EXPECT_FALSE(jsonStringField(Obj, "mlups").has_value());
 }
 
+TEST(Json, BoolFieldsWriteBareTokensAndReadBack) {
+  std::string Obj = JsonObjectWriter()
+                        .field("ok", true)
+                        .field("bad", false)
+                        .field("name", "true")
+                        .str();
+  EXPECT_TRUE(jsonLooksWellFormed(Obj));
+  EXPECT_NE(Obj.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(Obj.find("\"bad\":false"), std::string::npos);
+  EXPECT_EQ(jsonBoolField(Obj, "ok"), true);
+  EXPECT_EQ(jsonBoolField(Obj, "bad"), false);
+  // Quoted "true" is a string, not a bool; absent keys stay absent.
+  EXPECT_FALSE(jsonBoolField(Obj, "name").has_value());
+  EXPECT_FALSE(jsonBoolField(Obj, "missing").has_value());
+}
+
 TEST(Json, WellFormedRejectsBrokenLines) {
   EXPECT_TRUE(jsonLooksWellFormed("{}"));
   EXPECT_TRUE(jsonLooksWellFormed("{\"a\":\"b{not nesting}\"}"));
