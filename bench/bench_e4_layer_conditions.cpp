@@ -9,25 +9,41 @@
 /// break points — where a cache level loses plane reuse — must appear at
 /// the same block sizes in the model and in the simulator.
 ///
+/// The second section times the sampled fast-mode simulation against the
+/// exact replay across the E14 grid-size staircase (below / inside / above
+/// the outermost layer-condition break) and gates on the contract the test
+/// suite pins: on the largest streaming grid the sampled replay must be
+/// >= 10x faster wall-clock with the memory-boundary B/LUP within 10%,
+/// and sizes inside the gray zone must fall back to the exact replay.
+///
+///   --ys-json[=PATH]  write JSON-lines rows (default BENCH_cachesim.json)
+///   --ys-smoke        shrunk run for CI (ctest -L sim), structural gates
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "cachesim/StencilTrace.h"
 #include "ecm/ECMModel.h"
 #include "support/Table.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstring>
 
 using namespace ys;
 
-int main() {
-  ysbench::banner("E4", "Layer-condition break points (block-size sweep)",
-                  "Mini machine (16K/128K/1M) so the simulated grid stays "
-                  "small; reuse column: per-level P(lane)/R(ow)/-(none).");
+namespace {
 
+MachineModel miniMachine() {
   MachineModel M = MachineModel::cascadeLakeSP();
   M.Name = "Mini";
   M.Caches[0].SizeBytes = 16 * 1024;
   M.Caches[1].SizeBytes = 128 * 1024;
   M.Caches[2].SizeBytes = 1024 * 1024;
+  return M;
+}
+
+void breakPointSweep(const MachineModel &M) {
   ECMModel Model(M);
   GridDims Dims{128, 128, 32};
 
@@ -60,5 +76,183 @@ int main() {
     }
     T.print();
   }
+}
+
+struct SampledRow {
+  GridDims Dims;
+  double FullSeconds = 0;
+  double SampledSeconds = 0;
+  double WallSpeedup = 0;
+  double StructSpeedup = 0;
+  double FullMem = 0;
+  double SampledMem = 0;
+  double DeltaPct = 0;
+  bool Sampled = false;
+  std::string FallbackReason;
+};
+
+SampledRow runSampledCase(const MachineModel &M, const StencilSpec &S,
+                          GridDims Dims, int Sweeps) {
+  SampledRow Row;
+  Row.Dims = Dims;
+  StencilTraceRunner Runner(S, Dims, KernelConfig());
+
+  CacheHierarchySim FullSim = CacheHierarchySim::fromMachine(M);
+  Timer FullTimer;
+  TraceTraffic Full = Runner.run(FullSim, Sweeps);
+  Row.FullSeconds = FullTimer.seconds();
+
+  CacheHierarchySim SampledSim = CacheHierarchySim::fromMachine(M);
+  Timer SampledTimer;
+  TraceTraffic Sampled = Runner.run(SampledSim, Sweeps, SimMode::Sampled);
+  Row.SampledSeconds = SampledTimer.seconds();
+
+  Row.WallSpeedup =
+      Row.SampledSeconds > 0 ? Row.FullSeconds / Row.SampledSeconds : 0;
+  Row.StructSpeedup =
+      Sampled.ReplayedLups
+          ? static_cast<double>(Sampled.Lups) / Sampled.ReplayedLups
+          : 0;
+  Row.FullMem = Full.BytesPerLup.back();
+  Row.SampledMem = Sampled.BytesPerLup.back();
+  Row.DeltaPct = Row.FullMem > 0
+                     ? 100.0 * std::abs(Row.SampledMem - Row.FullMem) /
+                           Row.FullMem
+                     : 0;
+  Row.Sampled = Sampled.Sampled;
+  Row.FallbackReason = Sampled.FallbackReason;
+  return Row;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  bool WriteJson = false;
+  std::string JsonPath = "BENCH_cachesim.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ys-smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(argv[I], "--ys-json") == 0)
+      WriteJson = true;
+    else if (std::strncmp(argv[I], "--ys-json=", 10) == 0) {
+      WriteJson = true;
+      JsonPath = argv[I] + 10;
+    }
+  }
+
+  ysbench::banner("E4", "Layer-condition break points (block-size sweep)",
+                  "Mini machine (16K/128K/1M) so the simulated grid stays "
+                  "small; reuse column: per-level P(lane)/R(ow)/-(none).");
+
+  MachineModel M = miniMachine();
+  if (!Smoke)
+    breakPointSweep(M);
+
+  // Full vs sampled replay across the E14 grid-size staircase.  64^3 has
+  // too few z-planes for an interior steady-state window, 128x128 sits in
+  // the outermost gray zone — both must fall back; the streaming sizes
+  // must sample and agree.
+  StencilSpec S = StencilSpec::star3d(2);
+  const int Sweeps = 2;
+  std::vector<GridDims> Grids;
+  if (Smoke)
+    Grids = {GridDims{64, 64, 64}, GridDims{96, 96, 96}};
+  else
+    Grids = {GridDims{64, 64, 64}, GridDims{96, 96, 96},
+             GridDims{128, 128, 96}, GridDims{192, 192, 128}};
+
+  std::printf("\n-- %s, full vs sampled replay (%d sweeps) --\n",
+              S.name().c_str(), Sweeps);
+  Table T({"grid", "full", "sampled", "speedup", "replay", "full mem",
+           "sampled mem", "delta", "mode"});
+  std::vector<SampledRow> Rows;
+  for (const GridDims &Dims : Grids) {
+    SampledRow Row = runSampledCase(M, S, Dims, Sweeps);
+    Rows.push_back(Row);
+    T.addRow({Dims.str(), ysbench::seconds(Row.FullSeconds),
+              ysbench::seconds(Row.SampledSeconds),
+              format("%.1fx", Row.WallSpeedup),
+              Row.Sampled ? format("1/%.0f", Row.StructSpeedup)
+                          : std::string("all"),
+              format("%.1f", Row.FullMem), format("%.1f", Row.SampledMem),
+              format("%.1f%%", Row.DeltaPct),
+              Row.Sampled ? std::string("sampled")
+                          : std::string("fallback")});
+  }
+  T.print();
+  for (const SampledRow &Row : Rows)
+    if (!Row.Sampled)
+      std::printf("  %s fallback: %s\n", Row.Dims.str().c_str(),
+                  Row.FallbackReason.c_str());
+
+  if (WriteJson) {
+    ysbench::JsonLinesWriter Json(JsonPath);
+    for (const SampledRow &Row : Rows) {
+      JsonObjectWriter Obj;
+      Obj.field("bench", "cachesim")
+          .field("stencil", S.name())
+          .field("grid", Row.Dims.str())
+          .field("sweeps", static_cast<long>(Sweeps))
+          .field("full_seconds", Row.FullSeconds)
+          .field("sampled_seconds", Row.SampledSeconds)
+          .field("wall_speedup", Row.WallSpeedup)
+          .field("struct_speedup", Row.StructSpeedup)
+          .field("full_mem_blup", Row.FullMem)
+          .field("sampled_mem_blup", Row.SampledMem)
+          .field("delta_pct", Row.DeltaPct)
+          .field("sampled", Row.Sampled);
+      if (!Row.FallbackReason.empty())
+        Obj.field("fallback_reason", Row.FallbackReason);
+      Json.write(Obj);
+    }
+  }
+
+  // Gates.  Fallback correctness first: the staircase's ambiguous sizes
+  // must decline sampling.
+  int Failures = 0;
+  if (Rows[0].Sampled) {
+    std::fprintf(stderr, "GATE: %s should fall back (too few units)\n",
+                 Rows[0].Dims.str().c_str());
+    ++Failures;
+  }
+  if (!Smoke && Rows[2].Sampled) {
+    std::fprintf(stderr, "GATE: %s should fall back (gray zone)\n",
+                 Rows[2].Dims.str().c_str());
+    ++Failures;
+  }
+  // Accuracy and speed on the streaming sizes.  The smoke run gates on
+  // the machine-independent structural speedup; the full run additionally
+  // gates wall clock >= 10x on the largest grid.
+  const SampledRow &Smallest = Rows[1];
+  const SampledRow &Largest = Rows.back();
+  for (const SampledRow *Row : {&Smallest, &Largest}) {
+    if (!Row->Sampled) {
+      std::fprintf(stderr, "GATE: %s unexpectedly fell back: %s\n",
+                   Row->Dims.str().c_str(), Row->FallbackReason.c_str());
+      ++Failures;
+      continue;
+    }
+    if (Row->DeltaPct > 10.0) {
+      std::fprintf(stderr, "GATE: %s memory delta %.1f%% > 10%%\n",
+                   Row->Dims.str().c_str(), Row->DeltaPct);
+      ++Failures;
+    }
+    if (Row->StructSpeedup < 5.0) {
+      std::fprintf(stderr, "GATE: %s structural speedup %.1fx < 5x\n",
+                   Row->Dims.str().c_str(), Row->StructSpeedup);
+      ++Failures;
+    }
+  }
+  if (!Smoke && Largest.Sampled && Largest.WallSpeedup < 10.0) {
+    std::fprintf(stderr, "GATE: %s wall speedup %.1fx < 10x\n",
+                 Largest.Dims.str().c_str(), Largest.WallSpeedup);
+    ++Failures;
+  }
+  if (Failures) {
+    std::fprintf(stderr, "%d gate failure(s)\n", Failures);
+    return 1;
+  }
+  std::printf("\nall gates passed\n");
   return 0;
 }

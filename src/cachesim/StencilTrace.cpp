@@ -6,10 +6,35 @@
 
 #include "cachesim/StencilTrace.h"
 
+#include "ecm/LayerCondition.h"
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace ys;
+
+const char *ys::simModeName(SimMode Mode) {
+  switch (Mode) {
+  case SimMode::Full:
+    return "full";
+  case SimMode::Sampled:
+    return "sampled";
+  case SimMode::Auto:
+    return "auto";
+  }
+  return "full";
+}
+
+std::optional<SimMode> ys::parseSimMode(const std::string &Name) {
+  if (Name == "full")
+    return SimMode::Full;
+  if (Name == "sampled")
+    return SimMode::Sampled;
+  if (Name == "auto")
+    return SimMode::Auto;
+  return std::nullopt;
+}
 
 StencilTraceRunner::StencilTraceRunner(StencilSpec Spec, GridDims Dims,
                                        KernelConfig Config, int Halo)
@@ -73,10 +98,188 @@ TraceTraffic StencilTraceRunner::run(CacheHierarchySim &Sim,
   HierarchyTraffic T = Sim.traffic();
   TraceTraffic Out;
   Out.Lups = static_cast<unsigned long long>(Dims.lups()) * Sweeps;
+  Out.ReplayedLups = Out.Lups;
   for (unsigned long long Bytes : T.BoundaryBytes)
     Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
                               static_cast<double>(Out.Lups));
   return Out;
+}
+
+StencilTraceRunner::SamplePlan
+StencilTraceRunner::planSampled(const CacheHierarchySim &Sim) const {
+  SamplePlan Plan;
+
+  // Classify the layer-condition regime against a machine model
+  // synthesized from the simulated levels.  SafetyFactor 1.0: the
+  // simulator has exact capacities, the derating is for real hardware.
+  MachineModel Synth;
+  Synth.Name = "simulated-hierarchy";
+  for (unsigned I = 0; I < Sim.numLevels(); ++I) {
+    const CacheSimLevelConfig &C = Sim.level(I).config();
+    CacheLevelModel L;
+    L.Name = C.Name.empty() ? format("L%u", I + 1) : C.Name;
+    L.SizeBytes = C.SizeBytes;
+    L.Associativity = C.Associativity;
+    L.LineBytes = C.LineBytes;
+    Synth.Caches.push_back(L);
+  }
+  LayerConditionAnalysis LC(Synth, /*SafetyFactor=*/1.0);
+  SimRegime Regime = LC.classifyForSampling(Spec, Dims, Config);
+  if (Regime.Ambiguous) {
+    Plan.Reason = Regime.Reason;
+    return Plan;
+  }
+
+  // Execution-order sample units matching traceBlockedSweep's loop nest:
+  // z-block rows when z is blocked, (y,x) block columns when only inner
+  // dimensions are blocked, bare z-planes otherwise.
+  BlockSize B = Config.Block.resolved(Dims);
+  if (B.Z < Dims.Nz) {
+    Plan.Axis = SampleAxis::ZRow;
+    Plan.UnitCount = (Dims.Nz + B.Z - 1) / B.Z;
+    Plan.UnitLups = B.Z * Dims.Ny * Dims.Nx;
+  } else if (B.Y < Dims.Ny || B.X < Dims.Nx) {
+    Plan.Axis = SampleAxis::Column;
+    Plan.UnitCount =
+        ((Dims.Ny + B.Y - 1) / B.Y) * ((Dims.Nx + B.X - 1) / B.X);
+    Plan.UnitLups = Dims.Nz * B.Y * B.X;
+  } else {
+    Plan.Axis = SampleAxis::ZPlane;
+    Plan.UnitCount = Dims.Nz;
+    Plan.UnitLups = Dims.Ny * Dims.Nx;
+  }
+
+  // The warmup prefix must (a) stream enough data through the hierarchy to
+  // reach fill/writeback steady state — cycle ~1.5x every simulated line —
+  // and (b) span the stencil's reuse distance along the unit axis.  The
+  // measurement window needs the reuse distance again so its rate is a
+  // whole number of reuse periods.
+  unsigned long long TotalCacheBytes = 0;
+  for (unsigned I = 0; I < Sim.numLevels(); ++I)
+    TotalCacheBytes += Sim.level(I).config().SizeBytes;
+  unsigned Outs = std::max(1u, Spec.OutputGrids);
+  double TouchedPerLup =
+      static_cast<double>(Spec.numInputGrids() + Outs) * 8.0;
+  long CapacityUnits = static_cast<long>(
+      1.5 * static_cast<double>(TotalCacheBytes) /
+          (static_cast<double>(Plan.UnitLups) * TouchedPerLup) +
+      1.0);
+  long R = std::max(1, Spec.radius());
+  long ReuseUnits = 2;
+  if (Plan.Axis == SampleAxis::ZPlane)
+    ReuseUnits = 2 * R + 2;
+  else if (Plan.Axis == SampleAxis::ZRow)
+    ReuseUnits = (2 * R + 2 + B.Z - 1) / B.Z;
+  Plan.WarmupUnits = std::max(CapacityUnits, ReuseUnits);
+  Plan.MeasureUnits = std::max<long>(ReuseUnits, 2);
+
+  // The replayed prefix must stay a small, interior part of the sweep:
+  // if it covers half the units there is nothing left to extrapolate and
+  // edge effects dominate.
+  if (Plan.UnitCount < 2 * (Plan.WarmupUnits + Plan.MeasureUnits)) {
+    Plan.Reason = format(
+        "sweep has %ld sample units but warmup+measure needs %ld: too few "
+        "for an interior steady-state window",
+        Plan.UnitCount, Plan.WarmupUnits + Plan.MeasureUnits);
+    return Plan;
+  }
+  Plan.UseSampling = true;
+  return Plan;
+}
+
+long StencilTraceRunner::traceUnits(CacheHierarchySim &Sim,
+                                    unsigned InGridBase, unsigned OutGrid,
+                                    const SamplePlan &Plan, long UnitFrom,
+                                    long UnitTo) const {
+  BlockSize B = Config.Block.resolved(Dims);
+  long Lups = 0;
+  switch (Plan.Axis) {
+  case SampleAxis::ZPlane: {
+    long Z1 = std::min<long>(UnitTo, Dims.Nz);
+    traceRange(Sim, InGridBase, OutGrid, UnitFrom, Z1, 0, Dims.Ny, 0,
+               Dims.Nx);
+    Lups = (Z1 - UnitFrom) * Dims.Ny * Dims.Nx;
+    break;
+  }
+  case SampleAxis::ZRow: {
+    for (long U = UnitFrom; U < UnitTo; ++U) {
+      long Zb = U * B.Z;
+      long Z1 = std::min(Zb + B.Z, Dims.Nz);
+      if (Zb >= Z1)
+        break;
+      for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+        for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+          traceRange(Sim, InGridBase, OutGrid, Zb, Z1, Yb,
+                     std::min(Yb + B.Y, Dims.Ny), Xb,
+                     std::min(Xb + B.X, Dims.Nx));
+      Lups += (Z1 - Zb) * Dims.Ny * Dims.Nx;
+    }
+    break;
+  }
+  case SampleAxis::Column: {
+    long NxBlocks = (Dims.Nx + B.X - 1) / B.X;
+    for (long U = UnitFrom; U < UnitTo; ++U) {
+      long Yb = (U / NxBlocks) * B.Y;
+      long Xb = (U % NxBlocks) * B.X;
+      if (Yb >= Dims.Ny)
+        break;
+      long Y1 = std::min(Yb + B.Y, Dims.Ny);
+      long X1 = std::min(Xb + B.X, Dims.Nx);
+      traceRange(Sim, InGridBase, OutGrid, 0, Dims.Nz, Yb, Y1, Xb, X1);
+      Lups += Dims.Nz * (Y1 - Yb) * (X1 - Xb);
+    }
+    break;
+  }
+  }
+  return Lups;
+}
+
+TraceTraffic StencilTraceRunner::runSampled(CacheHierarchySim &Sim,
+                                            int Sweeps,
+                                            const SamplePlan &Plan) const {
+  unsigned NumIn = Spec.numInputGrids();
+  unsigned InBase = 0;
+  unsigned OutGrid = NumIn == 1 ? 1u : NumIn;
+
+  // Replay one sweep's warmup prefix, checkpoint the counters, replay the
+  // measurement window, and extrapolate each boundary's steady byte rate
+  // across the unreplayed remainder.  One sweep suffices: planSampled()
+  // admits only unambiguous streaming regimes, where consecutive sweeps
+  // see no residual reuse and carry identical traffic.
+  long WarmLups =
+      traceUnits(Sim, InBase, OutGrid, Plan, 0, Plan.WarmupUnits);
+  HierarchyTraffic T1 = Sim.traffic();
+  long MeasLups =
+      traceUnits(Sim, InBase, OutGrid, Plan, Plan.WarmupUnits,
+                 Plan.WarmupUnits + Plan.MeasureUnits);
+  HierarchyTraffic T2 = Sim.traffic();
+
+  TraceTraffic Out;
+  Out.Sampled = true;
+  Out.Lups = static_cast<unsigned long long>(Dims.lups()) * Sweeps;
+  Out.ReplayedLups = static_cast<unsigned long long>(WarmLups + MeasLups);
+  double SweepLups = static_cast<double>(Dims.lups());
+  double Remaining = SweepLups - static_cast<double>(WarmLups + MeasLups);
+  for (size_t I = 0; I < T2.BoundaryBytes.size(); ++I) {
+    double Observed = static_cast<double>(T2.BoundaryBytes[I]);
+    double Window = Observed - static_cast<double>(T1.BoundaryBytes[I]);
+    double Rate = MeasLups > 0 ? Window / static_cast<double>(MeasLups) : 0;
+    Out.BytesPerLup.push_back((Observed + Rate * Remaining) / SweepLups);
+  }
+  return Out;
+}
+
+TraceTraffic StencilTraceRunner::run(CacheHierarchySim &Sim, int Sweeps,
+                                     SimMode Mode) const {
+  if (Mode == SimMode::Full)
+    return run(Sim, Sweeps);
+  SamplePlan Plan = planSampled(Sim);
+  if (!Plan.UseSampling) {
+    TraceTraffic Out = run(Sim, Sweeps);
+    Out.FallbackReason = Plan.Reason;
+    return Out;
+  }
+  return runSampled(Sim, Sweeps, Plan);
 }
 
 TraceTraffic StencilTraceRunner::runWavefront(CacheHierarchySim &Sim) const {
@@ -117,6 +320,7 @@ TraceTraffic StencilTraceRunner::runWavefront(CacheHierarchySim &Sim) const {
   TraceTraffic Out;
   Out.Lups =
       static_cast<unsigned long long>(Dims.lups()) * static_cast<unsigned>(Depth);
+  Out.ReplayedLups = Out.Lups;
   for (unsigned long long Bytes : T.BoundaryBytes)
     Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
                               static_cast<double>(Out.Lups));

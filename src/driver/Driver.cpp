@@ -59,6 +59,10 @@ struct DriverOptions {
   bool Measure = false;     ///< tune: run one timed trial of the winner.
   std::string CachePath;    ///< "" = YS_TUNE_CACHE.
   long Repeats = 3;         ///< Timing repetitions for trials.
+  /// `predict`/`trace`/`validate` simulator coverage: "full", "sampled",
+  /// "auto", or "off" (predict only).  "" = command default (predict:
+  /// auto; trace/validate: full, preserving exact replay).
+  std::string SimModeArg;
 };
 
 /// Parses options after the command; returns empty string on success.
@@ -205,6 +209,11 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
       if (Opts.Repeats < 1)
         return format("invalid --repeats value: '%s' (must be >= 1)",
                       V.c_str());
+    } else if (Flag == "--sim-mode" && Value(V)) {
+      if (V != "off" && !parseSimMode(V))
+        return format("unknown --sim-mode '%s' (full, sampled, auto, off)",
+                      V.c_str());
+      Opts.SimModeArg = V;
     } else if (Flag == "--measure" && !HasInline) {
       Opts.Measure = true;
     } else if (Flag == "--asm" && !HasInline) {
@@ -273,6 +282,10 @@ int cmdPredict(const DriverOptions &Opts, TuningService &Service,
   Q.Config = Opts.Config;
   Q.FoldGiven = Opts.FoldGiven;
   Q.Cores = Opts.Cores ? Opts.Cores : 1;
+  Q.SimCheck = Opts.SimModeArg != "off";
+  if (std::optional<SimMode> Mode =
+          parseSimMode(Opts.SimModeArg.empty() ? "auto" : Opts.SimModeArg))
+    Q.Sim = *Mode;
   auto ROr = Service.predict(Q);
   if (!ROr) {
     Out += "error: " + ROr.takeError().message() + "\n";
@@ -287,6 +300,17 @@ int cmdPredict(const DriverOptions &Opts, TuningService &Service,
                 R.Config.str().c_str());
   Out += format("ECM      : %s\n", R.Prediction.str().c_str());
   Out += format("traffic  : %s\n", R.Prediction.Traffic.str().c_str());
+  if (R.SimChecked) {
+    Out += format("sim check: %s replay, mem %.1f B/LUP (model %.1f, "
+                  "delta %.0f%%), replayed %llu of %llu LUPs\n",
+                  R.SimModeUsed.c_str(), R.SimMemBytesPerLup,
+                  R.ModelMemBytesPerLup, R.SimDeltaFraction * 100,
+                  R.SimTraffic.ReplayedLups, R.SimTraffic.Lups);
+    if (!R.SimNote.empty())
+      Out += format("           (exact fallback: %s)\n", R.SimNote.c_str());
+  } else if (Q.SimCheck) {
+    Out += format("sim check: skipped (%s)\n", R.SimNote.c_str());
+  }
   Out += format("at %u cores: %.0f MLUP/s\n", R.Cores,
                 R.Prediction.mlupsAtCores(R.Cores));
   if (Opts.ShowAsm) {
@@ -359,11 +383,24 @@ int cmdTrace(const DriverOptions &Opts, const StencilSpec &Spec,
     return 1;
   CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
   StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
-  TraceTraffic T = Opts.Config.WavefrontDepth > 1
-                       ? Runner.runWavefront(Sim)
-                       : Runner.run(Sim, std::max(1, Opts.Sweeps));
+  // Wavefront traces are exact-only; plain sweeps honor --sim-mode
+  // (default full, preserving the historical exact replay).
+  SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
+  TraceTraffic T =
+      Opts.Config.WavefrontDepth > 1
+          ? Runner.runWavefront(Sim)
+          : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
   Out += format("simulated %llu LUPs on %s caches, config %s\n", T.Lups,
                 M->Name.c_str(), Opts.Config.str().c_str());
+  if (T.Sampled)
+    Out += format("sampled replay: %llu of %llu LUPs simulated (%.0fx), "
+                  "extrapolated along the layer-condition staircase\n",
+                  T.ReplayedLups, T.Lups,
+                  static_cast<double>(T.Lups) /
+                      static_cast<double>(std::max<unsigned long long>(
+                          T.ReplayedLups, 1)));
+  else if (!T.FallbackReason.empty())
+    Out += format("exact fallback: %s\n", T.FallbackReason.c_str());
   Table Tab({"boundary", "bytes/LUP"});
   for (size_t I = 0; I < T.BytesPerLup.size(); ++I) {
     std::string Name = I + 1 < T.BytesPerLup.size()
@@ -505,21 +542,30 @@ int cmdValidate(const DriverOptions &Opts, const StencilSpec &Spec,
 
   CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
   StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
-  TraceTraffic T = Opts.Config.WavefrontDepth > 1
-                       ? Runner.runWavefront(Sim)
-                       : Runner.run(Sim, std::max(1, Opts.Sweeps));
+  SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
+  TraceTraffic T =
+      Opts.Config.WavefrontDepth > 1
+          ? Runner.runWavefront(Sim)
+          : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
 
   // The simulated numbers include the cold first touch of every grid;
   // the model predicts steady state.  Subtract the compulsory traffic
-  // (one fill per grid cell over all sweeps) before comparing.
+  // (one fill per grid cell over all sweeps) before comparing.  Sampled
+  // replays extrapolate a warmed-up window and are steady state already.
   unsigned GridsTouched =
       Spec.numInputGrids() == 1 ? 2 : Spec.numInputGrids() + 1;
-  double ColdPerLup = static_cast<double>(GridsTouched) * 8.0 /
-                      std::max(1, Opts.Sweeps);
+  double ColdPerLup = T.Sampled ? 0.0
+                                : static_cast<double>(GridsTouched) * 8.0 /
+                                      std::max(1, Opts.Sweeps);
 
   Out += format("stencil %s on %s, grid %s, config %s\n",
                 Spec.name().c_str(), M->Name.c_str(),
                 Opts.Dims.str().c_str(), Opts.Config.str().c_str());
+  if (T.Sampled)
+    Out += format("(sampled simulation: %llu of %llu LUPs replayed)\n",
+                  T.ReplayedLups, T.Lups);
+  else if (!T.FallbackReason.empty())
+    Out += format("(exact fallback: %s)\n", T.FallbackReason.c_str());
   Out += format("(cold-start adjustment: %.1f B/LUP over %d sweeps)\n",
                 ColdPerLup, std::max(1, Opts.Sweeps));
   Table Tab({"boundary", "predicted B/LUP", "simulated B/LUP",
@@ -761,13 +807,17 @@ const char *UsageText =
     "commands:\n"
     "  machines                      list built-in machine models\n"
     "  stencils                      list built-in stencil names\n"
-    "  predict <stencil> [options]   analytic ECM prediction\n"
+    "  predict <stencil> [options]   analytic ECM prediction with a\n"
+    "                                simulator cross-check (--sim-mode\n"
+    "                                auto|sampled|full|off, default auto)\n"
     "  tune    <stencil> [options]   model-driven parameter selection;\n"
     "                                --measure times the winner on this "
     "host\n"
     "  emit    <stencil> [options]   print generated kernel source\n"
-    "  trace   <stencil> [options]   cache-simulator traffic\n"
-    "  validate <stencil> [options]  model-vs-simulator traffic check\n"
+    "  trace   <stencil> [options]   cache-simulator traffic; --sim-mode\n"
+    "                                full|sampled|auto (default full)\n"
+    "  validate <stencil> [options]  model-vs-simulator traffic check;\n"
+    "                                --sim-mode full|sampled|auto\n"
     "  verify  <stencil> [options]   differential check of every executor\n"
     "                                variant vs the reference interpreter;\n"
     "                                --sweeps = steps, --seeds A,B --patterns\n"
@@ -788,6 +838,7 @@ const char *UsageText =
     "  parse   <file.stencil>        parse and summarize a DSL file\n"
     "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
     "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n"
+    "         --sim-mode full|sampled|auto|off (predict/trace/validate)\n"
     "         --backend plan|jit (emit/verify; env: YS_BACKEND, YS_CXX,\n"
     "         YS_JIT_CACHE)  [--flag=value also accepted]\n";
 

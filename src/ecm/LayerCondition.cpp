@@ -138,6 +138,55 @@ TrafficPrediction LayerConditionAnalysis::analyze(
   return Out;
 }
 
+SimRegime LayerConditionAnalysis::classifyForSampling(
+    const StencilSpec &Spec, const GridDims &Dims, const KernelConfig &Config,
+    unsigned ActiveCoresPerSharedCache) const {
+  SimRegime R;
+  R.Prediction = analyze(Spec, Dims, Config, ActiveCoresPerSharedCache);
+
+  unsigned Outs = std::max(1u, Spec.OutputGrids);
+  unsigned long long WorkingSetBytes =
+      static_cast<unsigned long long>(Spec.numInputGrids() + Outs) *
+      Dims.Nx * Dims.Ny * Dims.Nz * 8;
+  unsigned long long TotalCapacity = 0;
+  for (unsigned Level = 0; Level < Machine.numLevels(); ++Level)
+    TotalCapacity += effectiveCapacity(Level, ActiveCoresPerSharedCache);
+  if (WorkingSetBytes < 2 * TotalCapacity) {
+    R.Ambiguous = true;
+    R.Reason = format("working set (%llu B) within 2x of total cache "
+                      "capacity (%llu B): traffic is residency-dominated",
+                      WorkingSetBytes, TotalCapacity);
+    return R;
+  }
+
+  // Gray zone at the outermost level: the memory staircase (E14) steps
+  // exactly where a footprint crosses that capacity, and near the step the
+  // reuse class is alignment/conflict dependent.
+  unsigned Last = Machine.numLevels() - 1;
+  unsigned long long Cap =
+      effectiveCapacity(Last, ActiveCoresPerSharedCache);
+  auto inGrayZone = [Cap](unsigned long long Footprint) {
+    return Cap > 0 && 2 * Footprint > Cap && 2 * Footprint < 3 * Cap;
+  };
+  if (inGrayZone(R.Prediction.PlaneFootprintBytes)) {
+    R.Ambiguous = true;
+    R.Reason = format("plane footprint (%llu B) in the gray zone of the "
+                      "%s capacity (%llu B)",
+                      R.Prediction.PlaneFootprintBytes,
+                      Machine.level(Last).Name.c_str(), Cap);
+    return R;
+  }
+  if (inGrayZone(R.Prediction.RowFootprintBytes)) {
+    R.Ambiguous = true;
+    R.Reason = format("row footprint (%llu B) in the gray zone of the "
+                      "%s capacity (%llu B)",
+                      R.Prediction.RowFootprintBytes,
+                      Machine.level(Last).Name.c_str(), Cap);
+    return R;
+  }
+  return R;
+}
+
 long LayerConditionAnalysis::maxPlaneBlockY(
     const StencilSpec &Spec, const GridDims &Dims, unsigned Level,
     unsigned ActiveCoresPerSharedCache) const {

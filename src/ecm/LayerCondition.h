@@ -60,6 +60,17 @@ struct TrafficPrediction {
   std::string str() const;
 };
 
+/// Outcome of asking whether a (stencil, dims, config) point sits firmly
+/// inside one layer-condition regime — the precondition for the cache
+/// simulator's sampled fast mode (cachesim/StencilTrace.h).  Ambiguous
+/// points (boundary grid sizes on the E14 staircase, cache-resident
+/// working sets) must be simulated exactly.
+struct SimRegime {
+  TrafficPrediction Prediction;
+  bool Ambiguous = false;
+  std::string Reason; ///< Why classification is ambiguous (empty if not).
+};
+
 /// Performs layer-condition analysis against a machine model.
 class LayerConditionAnalysis {
 public:
@@ -75,6 +86,20 @@ public:
   TrafficPrediction analyze(const StencilSpec &Spec, const GridDims &Dims,
                             const KernelConfig &Config,
                             unsigned ActiveCoresPerSharedCache = 1) const;
+
+  /// Decides whether the point sits firmly inside one layer-condition
+  /// regime at every cache level, or on a regime boundary where an
+  /// analytic extrapolation cannot be trusted.  A point is ambiguous when
+  /// (a) the whole working set is within 2x of the total cache capacity
+  /// (per-sweep traffic is dominated by residency, not streaming), or
+  /// (b) a plane/row footprint lands in the gray zone (0.5, 1.5) of the
+  /// outermost level's capacity — the band where E14 shows the traffic
+  /// staircase mid-step.  Uses the analysis' own SafetyFactor; the sampled
+  /// simulator constructs this with SafetyFactor 1.0 (raw capacities).
+  SimRegime classifyForSampling(const StencilSpec &Spec,
+                                const GridDims &Dims,
+                                const KernelConfig &Config,
+                                unsigned ActiveCoresPerSharedCache = 1) const;
 
   /// Effective capacity of cache level \p Level in bytes.
   unsigned long long effectiveCapacity(

@@ -105,6 +105,20 @@ std::string opPredict(TuningService &Service, const std::string &Line) {
     return errorResponse(Line, "predict", E.message());
   if (Error E = parseConfigFields(Line, Q.Config, Q.FoldGiven))
     return errorResponse(Line, "predict", E.message());
+  // Simulator cross-check: "off" disables it, "full"/"sampled" force a
+  // replay mode, "auto" (the default) lets the service decide per budget.
+  std::string SimArg = stringField(Line, "sim", "auto");
+  if (SimArg == "off") {
+    Q.SimCheck = false;
+  } else if (std::optional<SimMode> Mode = parseSimMode(SimArg)) {
+    Q.SimCheck = true;
+    Q.Sim = *Mode;
+  } else {
+    return errorResponse(Line, "predict",
+                         format("unknown sim mode '%s' (off, full, "
+                                "sampled, auto)",
+                                SimArg.c_str()));
+  }
   auto ROr = Service.predict(Q);
   if (!ROr)
     return errorResponse(Line, "predict", ROr.takeError().message());
@@ -116,6 +130,18 @@ std::string opPredict(TuningService &Service, const std::string &Line) {
       .field("mlups", ROr->Prediction.mlupsAtCores(ROr->Cores))
       .field("mlups_saturated", ROr->Prediction.MLupsSaturated)
       .field("ecm", ROr->Prediction.str());
+  if (Q.SimCheck) {
+    W.field("sim_mode", ROr->SimModeUsed);
+    if (ROr->SimChecked)
+      W.field("sim_mem_blup", ROr->SimMemBytesPerLup)
+          .field("model_mem_blup", ROr->ModelMemBytesPerLup)
+          .field("sim_delta_pct", ROr->SimDeltaFraction * 100.0)
+          .field("sim_replayed_lups",
+                 static_cast<unsigned long long>(
+                     ROr->SimTraffic.ReplayedLups));
+    if (!ROr->SimNote.empty())
+      W.field("sim_note", ROr->SimNote);
+  }
   return W.str();
 }
 
@@ -231,6 +257,7 @@ std::string opStats(TuningService &Service, const std::string &Line) {
       .field("timed_trials", S.TimedTrials)
       .field("coalesced", S.Coalesced)
       .field("kernel_runs", S.KernelRuns)
+      .field("sim_checks", S.SimChecks)
       .field("cache_entries", static_cast<unsigned long long>(S.CacheEntries));
   return W.str();
 }

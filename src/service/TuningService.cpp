@@ -15,6 +15,7 @@
 #include "support/Trace.h"
 #include "tuner/MeasureHarness.h"
 
+#include <cmath>
 #include <optional>
 
 using namespace ys;
@@ -67,7 +68,60 @@ Expected<PredictResult> TuningService::predict(const PredictQuery &Q) {
   R.Cores = Q.Cores ? Q.Cores : 1;
   ECMModel Model(M);
   R.Prediction = Model.predict(R.Spec, Q.Dims, R.Config, R.Cores);
+
+  if (Q.SimCheck)
+    simCheck(Q, M, R);
   return R;
+}
+
+void TuningService::simCheck(const PredictQuery &Q, const MachineModel &M,
+                             PredictResult &R) {
+  // Cross-check the model's traffic against the cache simulator.  The
+  // sampled fast mode makes this affordable per query; Auto additionally
+  // bounds the replay by SimReplayBudgetLups so a predict never stalls
+  // behind a production-sized exact replay (it reports "skipped" instead).
+  CacheHierarchySim Sim =
+      CacheHierarchySim::fromMachine(M, /*PerCoreShare=*/R.Cores > 1);
+  StencilTraceRunner Runner(R.Spec, Q.Dims, R.Config);
+  StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
+  unsigned long long FullLups =
+      static_cast<unsigned long long>(Q.Dims.lups());
+  SimMode Mode = Q.Sim;
+  if (Mode == SimMode::Auto) {
+    unsigned long long Cost =
+        Plan.UseSampling ? static_cast<unsigned long long>(Plan.replayLups())
+                         : FullLups;
+    if (Cost > Options.SimReplayBudgetLups) {
+      R.SimModeUsed = "skipped";
+      R.SimNote = Plan.UseSampling
+                      ? format("sampled replay of %ld LUPs exceeds the "
+                               "service budget (%llu)",
+                               Plan.replayLups(),
+                               Options.SimReplayBudgetLups)
+                      : Plan.Reason + "; exact replay exceeds the service "
+                                      "budget";
+      return;
+    }
+    Mode = Plan.UseSampling ? SimMode::Sampled : SimMode::Full;
+  }
+
+  SimChecks.fetch_add(1, std::memory_order_relaxed);
+  // Full replays use two sweeps so the cold first touch is amortized;
+  // a sampled replay is steady-state by construction.
+  R.SimTraffic = Mode == SimMode::Full ? Runner.run(Sim, 2)
+                                       : Runner.run(Sim, 1, Mode);
+  R.SimChecked = true;
+  R.SimModeUsed = R.SimTraffic.Sampled ? "sampled" : "full";
+  R.SimNote = R.SimTraffic.FallbackReason;
+  R.SimMemBytesPerLup = R.SimTraffic.BytesPerLup.empty()
+                            ? 0
+                            : R.SimTraffic.BytesPerLup.back();
+  R.ModelMemBytesPerLup = R.Prediction.Traffic.BytesPerLup.empty()
+                              ? 0
+                              : R.Prediction.Traffic.BytesPerLup.back();
+  R.SimDeltaFraction =
+      std::abs(R.ModelMemBytesPerLup - R.SimMemBytesPerLup) /
+      std::max(R.SimMemBytesPerLup, 1.0);
 }
 
 Expected<TuneResult> TuningService::tune(const TuneQuery &Q) {
@@ -357,6 +411,7 @@ ServiceStats TuningService::stats() const {
   S.TimedTrials = TimedTrials.load(std::memory_order_relaxed);
   S.Coalesced = Coalesced.load(std::memory_order_relaxed);
   S.KernelRuns = KernelRuns.load(std::memory_order_relaxed);
+  S.SimChecks = SimChecks.load(std::memory_order_relaxed);
   S.CacheEntries = Front.size();
   return S;
 }

@@ -39,6 +39,7 @@
 #ifndef YS_SERVICE_TUNINGSERVICE_H
 #define YS_SERVICE_TUNINGSERVICE_H
 
+#include "cachesim/StencilTrace.h"
 #include "ecm/BlockingSelector.h"
 #include "offsite/Offsite.h"
 #include "service/Resolve.h"
@@ -71,6 +72,17 @@ struct PredictQuery {
   KernelConfig Config;
   bool FoldGiven = false; ///< When false, the fold is model-selected.
   unsigned Cores = 1;
+
+  /// Cross-check the ECM traffic prediction against the cache simulator
+  /// (sampled fast mode) and report the memory-boundary delta.  With
+  /// SimMode::Auto the service samples only when the sampled plan is both
+  /// trustworthy and within ServiceOptions::SimReplayBudgetLups, running a
+  /// cheap full replay for small grids and skipping (with a reason)
+  /// otherwise; Full/Sampled force the respective replay.  Off by default
+  /// for programmatic callers (model-only answers stay microsecond-fast);
+  /// the serve protocol and the CLI default to "auto".
+  bool SimCheck = false;
+  SimMode Sim = SimMode::Auto;
 };
 
 struct PredictResult {
@@ -79,6 +91,17 @@ struct PredictResult {
   KernelConfig Config; ///< With the model-selected fold filled in.
   unsigned Cores = 1;
   ECMPrediction Prediction;
+
+  /// \name Simulator cross-check (when PredictQuery::SimCheck).
+  /// @{
+  bool SimChecked = false;   ///< A replay actually ran.
+  std::string SimModeUsed;   ///< "sampled" | "full" | "skipped" | "".
+  std::string SimNote;       ///< Fallback/skip reason, when any.
+  TraceTraffic SimTraffic;   ///< Per-boundary simulated traffic.
+  double SimMemBytesPerLup = 0;   ///< Simulated memory-boundary B/LUP.
+  double ModelMemBytesPerLup = 0; ///< ECM prediction for the same boundary.
+  double SimDeltaFraction = 0;    ///< |model - sim| / sim.
+  /// @}
 };
 
 /// Model-driven parameter selection; optionally measure the winner.
@@ -160,6 +183,12 @@ struct ServiceOptions {
   unsigned Repeats = 3;
   unsigned SweepsPerRepeat = 2;
 
+  /// Budget for the predict-path simulator cross-check under
+  /// SimMode::Auto: the largest replay (sampled prefix, or full grid when
+  /// the plan declines) the service will run per query.  Keeps predict
+  /// latency bounded — queries above the budget report "skipped".
+  unsigned long long SimReplayBudgetLups = 4 * 1000 * 1000;
+
   /// Test seam: when set, replaces the MeasureHarness for trials.  The
   /// dedup/admission machinery is identical either way.
   MeasureFn MeasureOverride;
@@ -176,6 +205,7 @@ struct ServiceStats {
   unsigned long long TimedTrials = 0; ///< Trials actually executed.
   unsigned long long Coalesced = 0;   ///< Requests served by another's trial.
   unsigned long long KernelRuns = 0;  ///< Harness kernel sweeps (all trials).
+  unsigned long long SimChecks = 0;   ///< Predict-path simulator replays.
   size_t CacheEntries = 0;
 };
 
@@ -244,6 +274,8 @@ private:
     std::string Backend; ///< Canonical backend name for the harness.
   };
 
+  void simCheck(const PredictQuery &Q, const MachineModel &M,
+                PredictResult &R);
   Expected<TrialJob> prepare(const MeasureQuery &Q) const;
   void runTrial(const TrialJob &Job);
   void enqueue(TrialJob Job);
@@ -275,6 +307,7 @@ private:
   mutable std::atomic<unsigned long long> TimedTrials{0};
   mutable std::atomic<unsigned long long> Coalesced{0};
   mutable std::atomic<unsigned long long> KernelRuns{0};
+  mutable std::atomic<unsigned long long> SimChecks{0};
 };
 
 } // namespace ys

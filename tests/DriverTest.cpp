@@ -140,6 +140,39 @@ TEST(Driver, TraceReportsBoundaries) {
   EXPECT_NE(Out.find("bytes/LUP"), std::string::npos);
 }
 
+TEST(Driver, PredictSimModeFlagControlsTheCrossCheck) {
+  // Default is "auto": the predict output carries the simulator
+  // cross-check line (a cheap exact replay for this small grid).
+  std::string Auto = run({"predict", "heat3d", "--dims", "48x48x32"});
+  EXPECT_NE(Auto.find("sim check:"), std::string::npos);
+  std::string Off =
+      run({"predict", "heat3d", "--dims", "48x48x32", "--sim-mode", "off"});
+  EXPECT_EQ(Off.find("sim check:"), std::string::npos) << Off;
+  std::string Out;
+  EXPECT_EQ(runDriver({"predict", "heat3d", "--sim-mode", "bogus"}, Out), 1);
+  EXPECT_NE(Out.find("unknown --sim-mode"), std::string::npos);
+}
+
+TEST(Driver, TraceSampledReportsReplayShareAndFallsBackWhenResident) {
+  // A streaming grid samples: the trace reports how little of the grid
+  // was actually replayed.
+  std::string Sampled = run({"trace", "heat3d", "--dims", "256x256x128",
+                             "--sweeps", "2", "--sim-mode", "sampled"});
+  EXPECT_NE(Sampled.find("sampled replay:"), std::string::npos) << Sampled;
+  EXPECT_NE(Sampled.find("bytes/LUP"), std::string::npos);
+  // A cache-resident grid falls back to the exact replay with a reason.
+  std::string Resident = run({"trace", "heat3d", "--dims", "32",
+                              "--sim-mode", "sampled"});
+  EXPECT_NE(Resident.find("exact fallback:"), std::string::npos) << Resident;
+}
+
+TEST(Driver, ValidateHonorsSimMode) {
+  std::string Out = run({"validate", "heat3d", "--dims", "256x256x128",
+                         "--sim-mode", "sampled"});
+  EXPECT_NE(Out.find("(sampled simulation:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("sim steady-state"), std::string::npos);
+}
+
 TEST(Driver, ParseSummarizesDsl) {
   std::string Path = testing::TempDir() + "/drv_parse.stencil";
   {

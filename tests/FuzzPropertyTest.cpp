@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 using namespace ys;
@@ -223,6 +224,48 @@ TEST_P(FuzzSeed, TraceTrafficBoundedByWorstCase) {
   for (double B : T.BytesPerLup)
     EXPECT_LE(B, WorstCase);
   EXPECT_GT(T.BytesPerLup.back(), 0.0);
+}
+
+TEST_P(FuzzSeed, SampledTrafficMatchesFullOrFallsBackExactly) {
+  // The sampled fast mode's contract over random (stencil, dims, config)
+  // tuples: either it samples and the memory-boundary traffic lands
+  // within 10% of the exact replay, or it declines with an explicit
+  // reason and reproduces the exact replay bit for bit.
+  Rng R(GetParam());
+  StencilSpec Spec = randomSpec(R);
+  KernelConfig Config = randomConfig(R);
+  GridDims Dims{static_cast<long>(40 + 8 * R.nextBounded(5)),
+                static_cast<long>(40 + 8 * R.nextBounded(5)),
+                static_cast<long>(32 + 16 * R.nextBounded(5))};
+  // Small hierarchy so random grids mostly stream (sampling engages) but
+  // resident/gray cases still occur across seeds (fallback engages).
+  auto makeSim = [] {
+    return CacheHierarchySim({{"L1", 8 * 1024, 8, 64},
+                              {"L2", 32 * 1024, 8, 64},
+                              {"L3", 256 * 1024, 16, 64}});
+  };
+  CacheHierarchySim SimFull = makeSim(), SimSampled = makeSim();
+  StencilTraceRunner Runner(Spec, Dims, Config);
+  TraceTraffic Full = Runner.run(SimFull, 1);
+  TraceTraffic Sampled = Runner.run(SimSampled, 1, SimMode::Sampled);
+
+  std::string Ctx = "seed=" + std::to_string(GetParam()) + " dims=" +
+                    Dims.str() + " config=" + Config.str();
+  ASSERT_EQ(Sampled.BytesPerLup.size(), Full.BytesPerLup.size()) << Ctx;
+  if (Sampled.Sampled) {
+    EXPECT_TRUE(Sampled.FallbackReason.empty()) << Ctx;
+    EXPECT_LT(Sampled.ReplayedLups, Full.Lups) << Ctx;
+    double FullMem = Full.BytesPerLup.back();
+    double SampledMem = Sampled.BytesPerLup.back();
+    EXPECT_LE(std::abs(SampledMem - FullMem), 0.10 * FullMem)
+        << Ctx << ": sampled mem " << SampledMem << " vs full " << FullMem;
+  } else {
+    EXPECT_FALSE(Sampled.FallbackReason.empty()) << Ctx;
+    EXPECT_EQ(Sampled.ReplayedLups, Full.Lups) << Ctx;
+    for (size_t I = 0; I < Full.BytesPerLup.size(); ++I)
+      EXPECT_EQ(Sampled.BytesPerLup[I], Full.BytesPerLup[I])
+          << Ctx << " boundary " << I;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,

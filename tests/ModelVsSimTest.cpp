@@ -152,6 +152,195 @@ TEST(ModelVsSim, WavefrontTrafficReductionMatches) {
       << "pred x" << PredReduction << " sim x" << SimReduction;
 }
 
+//===----------------------------------------------------------------------===//
+// Sampled fast mode vs. exact full replay (the E14 staircase).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One point of the sampled-vs-full equivalence matrix.
+struct SampledCase {
+  const char *Name;
+  bool Box; ///< box3d vs star3d.
+  int Radius;
+  GridDims Dims;
+  long By, Bz;  ///< 0 = unblocked.
+  bool Victim;  ///< Exclusive-LLC hierarchy.
+};
+
+class SampledVsFull : public ::testing::TestWithParam<SampledCase> {};
+
+} // namespace
+
+TEST_P(SampledVsFull, MemoryTrafficWithin10PercentOfFullReplay) {
+  SampledCase P = GetParam();
+  MachineModel M = miniMachine();
+  StencilSpec S =
+      P.Box ? StencilSpec::box3d(P.Radius) : StencilSpec::star3d(P.Radius);
+  KernelConfig C;
+  C.Block.Y = P.By;
+  C.Block.Z = P.Bz;
+
+  CacheHierarchySim SimFull =
+      CacheHierarchySim::fromMachine(M, false, P.Victim);
+  CacheHierarchySim SimSampled =
+      CacheHierarchySim::fromMachine(M, false, P.Victim);
+  StencilTraceRunner Runner(S, P.Dims, C);
+  TraceTraffic Full = Runner.run(SimFull, 1);
+  TraceTraffic Sampled = Runner.run(SimSampled, 1, SimMode::Sampled);
+
+  ASSERT_TRUE(Sampled.Sampled)
+      << P.Name << ": expected a sampled replay, got exact fallback: "
+      << Sampled.FallbackReason;
+  // planSampled admits grids with as few as 2x(warmup+measure) units,
+  // so the replayed share can be exactly one half at the boundary.
+  EXPECT_LE(Sampled.ReplayedLups, Full.Lups / 2) << P.Name;
+  ASSERT_EQ(Sampled.BytesPerLup.size(), Full.BytesPerLup.size());
+  for (size_t I = 0; I < Full.BytesPerLup.size(); ++I)
+    EXPECT_LT(relErr(Sampled.BytesPerLup[I], Full.BytesPerLup[I]), 0.10)
+        << P.Name << " boundary " << I << ": sampled "
+        << Sampled.BytesPerLup[I] << " vs full " << Full.BytesPerLup[I];
+}
+
+// Grid sizes sit firmly on staircase steps (outside the L3 gray zones,
+// working set >= 2x total capacity) so sampling must engage; the gray
+// boundary sizes themselves are covered by the fallback tests below.
+INSTANTIATE_TEST_SUITE_P(
+    Staircase, SampledVsFull,
+    ::testing::Values(
+        SampledCase{"star-r1", false, 1, {96, 96, 64}, 0, 0, false},
+        SampledCase{"star-r2", false, 2, {96, 96, 64}, 0, 0, false},
+        SampledCase{"star-r3", false, 3, {80, 80, 56}, 0, 0, false},
+        SampledCase{"box-r1", true, 1, {96, 96, 64}, 0, 0, false},
+        SampledCase{"box-r2", true, 2, {80, 80, 48}, 0, 0, false},
+        SampledCase{"box-r3", true, 3, {80, 80, 56}, 0, 0, false},
+        SampledCase{"star-r2-row-regime", false, 2, {192, 192, 48}, 0, 0,
+                    false},
+        SampledCase{"star-r2-by16", false, 2, {128, 128, 64}, 16, 0, false},
+        SampledCase{"star-r2-bz8", false, 2, {96, 96, 128}, 0, 8, false},
+        SampledCase{"star-r2-victim", false, 2, {96, 96, 64}, 0, 0, true},
+        SampledCase{"box-r1-victim", true, 1, {96, 96, 64}, 0, 0, true}));
+
+TEST(SampledVsFullFallback, RegimeBoundarySizesDeclineSampling) {
+  // Grid sizes whose plane footprint lands in the outermost level's gray
+  // zone (the staircase mid-step) must be declined by the plan.
+  MachineModel M = miniMachine();
+  struct Boundary {
+    bool Box;
+    int Radius;
+    GridDims Dims;
+  } Cases[] = {
+      {false, 2, {128, 128, 64}}, // 6 planes x 128^2 x 8 = 768K vs 1M L3.
+      {false, 1, {144, 144, 64}}, // 4 planes x 144^2 x 8 = 648K vs 1M L3.
+      {true, 3, {96, 96, 64}},    // 8 planes x 96^2 x 8 = 576K vs 1M L3.
+  };
+  for (const Boundary &B : Cases) {
+    StencilSpec S =
+        B.Box ? StencilSpec::box3d(B.Radius) : StencilSpec::star3d(B.Radius);
+    CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+    StencilTraceRunner Runner(S, B.Dims, KernelConfig());
+    StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
+    EXPECT_FALSE(Plan.UseSampling) << B.Dims.str();
+    EXPECT_NE(Plan.Reason.find("gray zone"), std::string::npos)
+        << B.Dims.str() << ": " << Plan.Reason;
+  }
+}
+
+TEST(SampledVsFullFallback, ResidentWorkingSetDeclinesSampling) {
+  MachineModel M = miniMachine();
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(StencilSpec::star3d(2), {24, 24, 24},
+                            KernelConfig());
+  StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
+  EXPECT_FALSE(Plan.UseSampling);
+  EXPECT_NE(Plan.Reason.find("working set"), std::string::npos)
+      << Plan.Reason;
+}
+
+TEST(SampledVsFullFallback, DegenerateBlocksDeclineSampling) {
+  // A z-block of half the grid leaves two sample units — no room for an
+  // interior warmup+measure window.
+  MachineModel M = miniMachine();
+  KernelConfig C;
+  C.Block.Z = 32;
+  CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(StencilSpec::star3d(2), {96, 96, 64}, C);
+  StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
+  EXPECT_FALSE(Plan.UseSampling);
+  EXPECT_NE(Plan.Reason.find("sample units"), std::string::npos)
+      << Plan.Reason;
+}
+
+TEST(SampledVsFullFallback, ExactFallbackMatchesFullReplayExactly) {
+  // When sampling is requested but declined, the result must be the exact
+  // replay, bit for bit, with the reason attached.
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{32, 32, 32};
+  CacheHierarchySim SimA = CacheHierarchySim::fromMachine(M);
+  CacheHierarchySim SimB = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(S, Dims, KernelConfig());
+  TraceTraffic Fallback = Runner.run(SimA, 2, SimMode::Sampled);
+  TraceTraffic Full = Runner.run(SimB, 2);
+
+  EXPECT_FALSE(Fallback.Sampled);
+  EXPECT_FALSE(Fallback.FallbackReason.empty());
+  EXPECT_EQ(Fallback.Lups, Full.Lups);
+  EXPECT_EQ(Fallback.ReplayedLups, Full.Lups);
+  ASSERT_EQ(Fallback.BytesPerLup.size(), Full.BytesPerLup.size());
+  for (size_t I = 0; I < Full.BytesPerLup.size(); ++I)
+    EXPECT_EQ(Fallback.BytesPerLup[I], Full.BytesPerLup[I]);
+}
+
+TEST(SampledVsFull, FullModeBitIdenticalToLegacyRun) {
+  // SimMode::Full must not perturb the historical simulator in any way:
+  // identical traffic and identical per-level counters.
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{48, 48, 32};
+  KernelConfig C;
+  C.Block.Y = 16;
+  CacheHierarchySim SimA = CacheHierarchySim::fromMachine(M);
+  CacheHierarchySim SimB = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(S, Dims, C);
+  TraceTraffic Legacy = Runner.run(SimA, 3);
+  TraceTraffic Full = Runner.run(SimB, 3, SimMode::Full);
+
+  EXPECT_EQ(Legacy.Lups, Full.Lups);
+  ASSERT_EQ(Legacy.BytesPerLup.size(), Full.BytesPerLup.size());
+  for (size_t I = 0; I < Legacy.BytesPerLup.size(); ++I)
+    EXPECT_EQ(Legacy.BytesPerLup[I], Full.BytesPerLup[I]);
+  for (unsigned L = 0; L < SimA.numLevels(); ++L) {
+    const CacheLevelStats &A = SimA.level(L).stats();
+    const CacheLevelStats &B = SimB.level(L).stats();
+    EXPECT_EQ(A.Accesses, B.Accesses) << "level " << L;
+    EXPECT_EQ(A.Hits, B.Hits) << "level " << L;
+    EXPECT_EQ(A.Misses, B.Misses) << "level " << L;
+    EXPECT_EQ(A.FillLines, B.FillLines) << "level " << L;
+    EXPECT_EQ(A.WritebackLines, B.WritebackLines) << "level " << L;
+  }
+}
+
+TEST(SampledVsFull, DeepGridReplaysAtMostATenthOfTheLups) {
+  // The acceptance pin: on a deep streaming grid the sampled mode must
+  // replay <= 1/10 of the lattice updates (the deterministic counterpart
+  // of the >=10x wall-clock gate in bench_e4) while staying within 10%
+  // of the exact memory-boundary traffic.
+  MachineModel M = miniMachine();
+  StencilSpec S = StencilSpec::star3d(2);
+  GridDims Dims{96, 96, 224};
+  CacheHierarchySim SimFull = CacheHierarchySim::fromMachine(M);
+  CacheHierarchySim SimSampled = CacheHierarchySim::fromMachine(M);
+  StencilTraceRunner Runner(S, Dims, KernelConfig());
+  TraceTraffic Full = Runner.run(SimFull, 1);
+  TraceTraffic Sampled = Runner.run(SimSampled, 1, SimMode::Sampled);
+
+  ASSERT_TRUE(Sampled.Sampled) << Sampled.FallbackReason;
+  EXPECT_LE(Sampled.ReplayedLups * 10, Sampled.Lups);
+  EXPECT_LT(relErr(Sampled.BytesPerLup.back(), Full.BytesPerLup.back()),
+            0.10);
+}
+
 TEST(ModelVsSim, StoreTrafficShareIsCorrect) {
   // For the memory-bound heat stencil, stores (writeback) are 1/3 of
   // memory traffic (8 of 24 B/LUP); verify in the simulator.

@@ -486,4 +486,112 @@ TEST(ServeProtocolTest, RequestsAndResponsesLineByLine) {
   EXPECT_EQ(Ok(11), true);
 }
 
+// The predict-path simulator cross-check: Auto picks a full replay for
+// small (residency-ambiguous) grids, samples streaming grids, and skips
+// with a reason when even the sampled replay busts the service budget.
+TEST(TuningServiceTest, PredictSimCheckFollowsTheAutoPolicy) {
+  TuningService Service((ServiceOptions()));
+
+  // Default queries stay model-only: no replay, no sim fields.
+  PredictQuery Plain;
+  Plain.Stencil = "heat3d";
+  Plain.Dims = GridDims{48, 48, 32};
+  auto PlainOr = Service.predict(Plain);
+  ASSERT_TRUE(PlainOr) << PlainOr.takeError().message();
+  EXPECT_FALSE(PlainOr->SimChecked);
+  EXPECT_EQ(PlainOr->SimModeUsed, "");
+  EXPECT_EQ(Service.stats().SimChecks, 0ull);
+
+  // Small grid: the working set is cache-resident on CLX, the sampled
+  // plan declines, and the (cheap) exact replay runs instead.
+  PredictQuery Small = Plain;
+  Small.SimCheck = true;
+  auto SmallOr = Service.predict(Small);
+  ASSERT_TRUE(SmallOr) << SmallOr.takeError().message();
+  EXPECT_TRUE(SmallOr->SimChecked);
+  EXPECT_EQ(SmallOr->SimModeUsed, "full");
+  EXPECT_EQ(SmallOr->SimTraffic.ReplayedLups, SmallOr->SimTraffic.Lups);
+  EXPECT_GT(SmallOr->SimMemBytesPerLup, 0.0);
+  // The model legitimately predicts zero memory traffic for this
+  // cache-resident grid; the replay reports the cold-start bytes.
+  EXPECT_GE(SmallOr->ModelMemBytesPerLup, 0.0);
+  EXPECT_GE(SmallOr->SimDeltaFraction, 0.0);
+
+  // Streaming grid on a per-core cache slice: the plan samples and the
+  // replay covers a small fraction of the grid.
+  PredictQuery Streaming;
+  Streaming.Stencil = "heat3d";
+  Streaming.Dims = GridDims{96, 96, 72};
+  Streaming.Cores = 2;
+  Streaming.SimCheck = true;
+  auto StreamOr = Service.predict(Streaming);
+  ASSERT_TRUE(StreamOr) << StreamOr.takeError().message();
+  EXPECT_TRUE(StreamOr->SimChecked);
+  EXPECT_EQ(StreamOr->SimModeUsed, "sampled") << StreamOr->SimNote;
+  EXPECT_LT(StreamOr->SimTraffic.ReplayedLups, StreamOr->SimTraffic.Lups);
+  EXPECT_GT(StreamOr->SimMemBytesPerLup, 0.0);
+
+  // Production-sized grid: even the sampled prefix exceeds the replay
+  // budget, so the check is skipped with a reason instead of stalling.
+  PredictQuery Huge;
+  Huge.Stencil = "heat3d";
+  Huge.Dims = GridDims{768, 768, 256};
+  Huge.SimCheck = true;
+  auto HugeOr = Service.predict(Huge);
+  ASSERT_TRUE(HugeOr) << HugeOr.takeError().message();
+  EXPECT_FALSE(HugeOr->SimChecked);
+  EXPECT_EQ(HugeOr->SimModeUsed, "skipped");
+  EXPECT_NE(HugeOr->SimNote.find("budget"), std::string::npos)
+      << HugeOr->SimNote;
+
+  EXPECT_EQ(Service.stats().SimChecks, 2ull);
+}
+
+// Serve-protocol surface of the sim cross-check: the "sim" request field
+// and the sim_* response fields.
+TEST(ServeProtocolTest, PredictSimFieldsFollowTheRequest) {
+  std::istringstream In(
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"48x48x32\","
+      "\"id\":\"auto\"}\n"
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"48x48x32\","
+      "\"sim\":\"off\",\"id\":\"off\"}\n"
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"48x48x32\","
+      "\"sim\":\"bogus\",\"id\":\"bad\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"shutdown\"}\n");
+  std::ostringstream OutStream;
+  EXPECT_EQ(runServeLoop(In, OutStream, ServiceOptions()), 0);
+
+  std::vector<std::string> Lines;
+  {
+    std::istringstream Split(OutStream.str());
+    std::string Line;
+    while (std::getline(Split, Line))
+      Lines.push_back(Line);
+  }
+  ASSERT_EQ(Lines.size(), 5u) << OutStream.str();
+
+  // Default is "auto": the small grid runs an exact replay and reports
+  // the delta against the model.
+  EXPECT_EQ(jsonStringField(Lines[0], "sim_mode").value_or(""), "full");
+  EXPECT_GT(jsonNumberField(Lines[0], "sim_mem_blup").value_or(0), 0.0);
+  EXPECT_GE(jsonNumberField(Lines[0], "model_mem_blup").value_or(-1), 0.0);
+  EXPECT_GE(jsonNumberField(Lines[0], "sim_delta_pct").value_or(-1), 0.0);
+  EXPECT_GT(jsonNumberField(Lines[0], "sim_replayed_lups").value_or(0), 0.0);
+
+  // "sim":"off" suppresses the cross-check entirely.
+  EXPECT_EQ(jsonBoolField(Lines[1], "ok"), true);
+  EXPECT_EQ(jsonStringField(Lines[1], "sim_mode").has_value(), false)
+      << Lines[1];
+
+  // Unknown modes are a request error.
+  EXPECT_EQ(jsonBoolField(Lines[2], "ok"), false);
+  EXPECT_NE(jsonStringField(Lines[2], "error").value_or("").find(
+                "unknown sim mode"),
+            std::string::npos)
+      << Lines[2];
+
+  EXPECT_EQ(jsonNumberField(Lines[3], "sim_checks").value_or(-1), 1.0);
+}
+
 } // namespace

@@ -8,9 +8,15 @@
 #                      fold when a system compiler is available
 #                      (bench_micro_kernels --ys-compare)
 #
+#   BENCH_cachesim.json  full-vs-sampled cache-simulation wall time and
+#                        memory-traffic delta across the E14 grid-size
+#                        staircase (bench_e4_layer_conditions --ys-json)
+#
 # The scalar-vs-folded comparison exits non-zero when the best folded
-# kernel falls below 0.9x scalar throughput on any target, so this script
-# doubles as the perf acceptance gate.
+# kernel falls below 0.9x scalar throughput on any target, and the
+# cache-simulation rows gate the sampled fast mode (>= 10x wall speedup
+# on the largest grid, memory B/LUP within 10%, gray-zone fallback), so
+# this script doubles as the perf acceptance gate.
 #
 # Usage: tools/run_bench_suite.sh [build-dir]
 set -eu
@@ -23,6 +29,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 
 cd "$BUILD_DIR"
 ./bench/bench_micro_kernels --ys-compare --ys-json=BENCH_micro.json
+./bench/bench_e4_layer_conditions --ys-json=BENCH_cachesim.json
 
 echo "bench results:"
 ls -l BENCH_*.json
