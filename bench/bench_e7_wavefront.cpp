@@ -1,12 +1,18 @@
-//===- bench/bench_e7_wavefront.cpp - E7: temporal wavefront ----------------===//
+//===- bench/bench_e7_wavefront.cpp - E7: temporal schedules ----------------===//
 //
 // Part of the YaskSite reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
-/// E7 (paper Fig.: temporal wavefront blocking): predicted memory-traffic
-/// reduction and speedup for wavefront depths 1..8, validated against the
-/// cache simulator and against host wall-clock time stepping.
+/// E7 (paper Fig.: temporal blocking): predicted memory-traffic reduction
+/// and speedup for the temporal schedules (wavefront, diamond,
+/// deep-temporal) over fusion depths 2..8, validated against the cache
+/// simulator and against host wall-clock time stepping.
+///
+/// --ys-smoke        shrunk run gating the simulated traffic reductions
+///                   (used as the `schedule` ctest label).
+/// --ys-json[=PATH]  emit one JSON-lines row per (schedule, depth) to
+///                   PATH (default BENCH_schedules.json).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,10 +23,48 @@
 #include "support/Table.h"
 #include "support/Timer.h"
 
+#include <cstring>
+
 using namespace ys;
 
-int main() {
-  ysbench::banner("E7", "Temporal wavefront blocking",
+namespace {
+
+struct SchedRow {
+  Schedule Sched = Schedule::Wavefront;
+  int Depth = 1;
+  double PredMem = 0;
+  double SimMem = 0;
+  double PredMlups = 0;
+};
+
+KernelConfig schedConfig(Schedule Sched, int Depth, long Bz) {
+  KernelConfig C;
+  C.Sched = Sched;
+  C.WavefrontDepth = Depth;
+  // Deep-temporal's per-plane pipeline ignores the z block; the others
+  // use it as the frontier slab / minimum tile width.
+  C.Block.Z = Sched == Schedule::DeepTemporal ? 0 : Bz;
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  bool WriteJson = false;
+  std::string JsonPath = "BENCH_schedules.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ys-smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(argv[I], "--ys-json") == 0)
+      WriteJson = true;
+    else if (std::strncmp(argv[I], "--ys-json=", 10) == 0) {
+      WriteJson = true;
+      JsonPath = argv[I] + 10;
+    }
+  }
+
+  ysbench::banner("E7", "Temporal schedules (wavefront/diamond/deep)",
                   "Mini machine for the simulator; host timing uses this "
                   "machine's real caches.");
 
@@ -33,44 +77,115 @@ int main() {
   GridDims Dims{64, 64, 64};
   StencilSpec S = StencilSpec::heat3d();
 
-  Table T({"depth", "pred mem B/LUP", "sim mem B/LUP", "pred speedup",
-           "sim traffic gain"});
-  double PredBase = 0, SimBase = 0, PredPerfBase = 0;
-  for (int Depth : {1, 2, 4, 8}) {
-    KernelConfig C;
-    C.WavefrontDepth = Depth;
-    C.Block.Z = 2;
-    ECMPrediction P = Model.predict(S, Dims, C);
+  // Depth-1 baseline: one plain blocked sweep.
+  KernelConfig Base;
+  Base.Block.Z = 2;
+  ECMPrediction BaseP = Model.predict(S, Dims, Base);
+  double PredBase, SimBase, PredPerfBase = BaseP.MLupsSaturated;
+  {
     CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
-    StencilTraceRunner Runner(S, Dims, C);
-    TraceTraffic Traffic =
-        Depth > 1 ? Runner.runWavefront(Sim) : Runner.run(Sim, 4);
-    double PredMem = P.Traffic.BytesPerLup.back();
-    double SimMem = Traffic.BytesPerLup.back();
-    if (Depth == 1) {
-      PredBase = PredMem;
-      SimBase = SimMem;
-      PredPerfBase = P.MLupsSaturated;
+    StencilTraceRunner Runner(S, Dims, Base);
+    PredBase = BaseP.Traffic.BytesPerLup.back();
+    SimBase = Runner.run(Sim, 4).BytesPerLup.back();
+  }
+
+  Table T({"schedule", "depth", "pred mem B/LUP", "sim mem B/LUP",
+           "pred speedup", "sim traffic gain"});
+  T.addRow({"(sweep)", "1", format("%.1f", PredBase),
+            format("%.1f", SimBase), "1.00x", "1.00x"});
+  std::vector<SchedRow> Rows;
+  for (Schedule Sched : {Schedule::Wavefront, Schedule::Diamond,
+                         Schedule::DeepTemporal}) {
+    for (int Depth : {2, 4, 8}) {
+      KernelConfig C = schedConfig(Sched, Depth, 2);
+      SchedRow Row;
+      Row.Sched = Sched;
+      Row.Depth = Depth;
+      ECMPrediction P = Model.predict(S, Dims, C);
+      Row.PredMem = P.Traffic.BytesPerLup.back();
+      Row.PredMlups = P.MLupsSaturated;
+      CacheHierarchySim Sim = CacheHierarchySim::fromMachine(M);
+      StencilTraceRunner Runner(S, Dims, C);
+      Row.SimMem = Runner.runTemporal(Sim).BytesPerLup.back();
+      Rows.push_back(Row);
+      T.addRow({scheduleName(Sched), format("%d", Depth),
+                format("%.1f", Row.PredMem), format("%.1f", Row.SimMem),
+                format("%.2fx", Row.PredMlups / PredPerfBase),
+                format("%.2fx", SimBase / Row.SimMem)});
     }
-    T.addRow({format("%d", Depth), format("%.1f", PredMem),
-              format("%.1f", SimMem),
-              format("%.2fx", P.MLupsSaturated / PredPerfBase),
-              format("%.2fx", SimBase / SimMem)});
   }
   T.print();
-  (void)PredBase;
+
+  if (WriteJson) {
+    ysbench::JsonLinesWriter Json(JsonPath);
+    for (const SchedRow &Row : Rows) {
+      JsonObjectWriter Obj;
+      Obj.field("bench", "schedules")
+          .field("stencil", S.name())
+          .field("grid", Dims.str())
+          .field("schedule", scheduleName(Row.Sched))
+          .field("depth", static_cast<long>(Row.Depth))
+          .field("pred_mem_blup", Row.PredMem)
+          .field("sim_mem_blup", Row.SimMem)
+          .field("pred_speedup", Row.PredMlups / PredPerfBase)
+          .field("sim_traffic_gain", SimBase / Row.SimMem);
+      Json.write(Obj);
+    }
+  }
+
+  // Gates: every schedule at depth 4 fits the mini L3 window and must
+  // show its traffic signature in the simulator — a clear reduction for
+  // the pure time-skewed schedules, a smaller one for diamond (its
+  // phase-2 boundary diamonds reload the tile edges).
+  int Failures = 0;
+  for (const SchedRow &Row : Rows) {
+    if (Row.Depth != 4)
+      continue;
+    double Gain = SimBase / Row.SimMem;
+    double Need = Row.Sched == Schedule::Diamond ? 1.1 : 1.3;
+    if (Gain < Need) {
+      std::fprintf(stderr,
+                   "GATE: %s depth %d sim traffic gain %.2fx < %.2fx\n",
+                   scheduleName(Row.Sched), Row.Depth, Gain, Need);
+      ++Failures;
+    }
+    // The model's temporal rescale must stay on the same side of the
+    // ledger as the simulator (within 2x either way).
+    if (Row.PredMem > 2.0 * Row.SimMem || Row.SimMem > 2.0 * Row.PredMem) {
+      std::fprintf(stderr,
+                   "GATE: %s depth %d pred %.1f vs sim %.1f B/LUP "
+                   "disagree by more than 2x\n",
+                   scheduleName(Row.Sched), Row.Depth, Row.PredMem,
+                   Row.SimMem);
+      ++Failures;
+    }
+  }
+  if (Smoke) {
+    std::printf("smoke: %s\n", Failures ? "FAIL" : "ok");
+    return Failures ? 1 : 0;
+  }
 
   // Host timing: 16 timesteps on a grid larger than typical host LLC.
   std::printf("\n-- Host wall-clock (16 timesteps, %s grid) --\n",
               GridDims{256, 256, 128}.str().c_str());
   GridDims HostDims{256, 256, 128};
-  Table TH({"depth", "seconds", "MLUP/s", "speedup vs depth 1"});
-  double Base = 0;
-  for (int Depth : {1, 2, 4}) {
+  Table TH({"config", "seconds", "MLUP/s", "speedup vs sweep"});
+  struct HostCase {
+    const char *Label;
     KernelConfig C;
-    C.WavefrontDepth = Depth;
-    C.Block.Z = 16;
-    KernelExecutor Exec(S, C);
+  };
+  KernelConfig HostBase;
+  HostBase.Block.Z = 16;
+  std::vector<HostCase> HostCases = {
+      {"sweep", HostBase},
+      {"wavefront d2", schedConfig(Schedule::Wavefront, 2, 16)},
+      {"wavefront d4", schedConfig(Schedule::Wavefront, 4, 16)},
+      {"diamond d4", schedConfig(Schedule::Diamond, 4, 16)},
+      {"deep-temporal d4", schedConfig(Schedule::DeepTemporal, 4, 0)},
+  };
+  double HostBaseSec = 0;
+  for (const HostCase &HC : HostCases) {
+    KernelExecutor Exec(S, HC.C);
     Grid U(HostDims, 1), Scratch(HostDims, 1);
     Rng R(1);
     U.fillRandom(R);
@@ -78,31 +193,34 @@ int main() {
         [&] { Exec.runTimeSteps(U, Scratch, 16); }, 2);
     double Mlups =
         16.0 * static_cast<double>(HostDims.lups()) / Stats.Median / 1e6;
-    if (Depth == 1)
-      Base = Stats.Median;
-    TH.addRow({format("%d", Depth), ysbench::seconds(Stats.Median),
+    if (HostBaseSec == 0)
+      HostBaseSec = Stats.Median;
+    TH.addRow({HC.Label, ysbench::seconds(Stats.Median),
                ysbench::mlups(Mlups),
-               format("%.2fx", Base / Stats.Median)});
+               format("%.2fx", HostBaseSec / Stats.Median)});
   }
   TH.print();
 
-  // Threaded wavefront: each slab's (zBlock, yBlock) tiles are spread over
-  // the pool; per-thread counters show how much the stealing path had to
-  // rebalance the narrow per-slab tile grids.
+  // Threaded temporal schedules: each slab's (zBlock, yBlock) tiles are
+  // spread over the pool; per-thread counters show how much the stealing
+  // path had to rebalance the narrow per-slab tile grids.
   unsigned Threads = ThreadPool::defaultThreadCount();
   if (Threads > 1) {
-    std::printf("\n-- Threaded wavefront (%u threads, depth 4, 8 steps) "
+    std::printf("\n-- Threaded schedules (%u threads, depth 4, 8 steps) "
                 "--\n", Threads);
     Table TT({"config", "seconds", "MLUP/s", "pool stats"});
-    for (int Depth : {1, 4}) {
-      KernelConfig C;
-      C.WavefrontDepth = Depth;
-      C.Block = {0, 32, 16};
-      C.Threads = Threads;
-      KernelExecutor Exec(S, C);
+    std::vector<HostCase> ThreadedCases = {
+        {"sweep", HostBase},
+        {"wavefront d4", schedConfig(Schedule::Wavefront, 4, 16)},
+        {"diamond d4", schedConfig(Schedule::Diamond, 4, 16)},
+    };
+    for (HostCase &HC : ThreadedCases) {
+      HC.C.Block.Y = 32;
+      HC.C.Threads = Threads;
+      KernelExecutor Exec(S, HC.C);
       ThreadPool Pool(Threads);
-      Grid U(HostDims, 1, Fold(), &Pool, C.Block.Z, C.Block.Y);
-      Grid Scratch(HostDims, 1, Fold(), &Pool, C.Block.Z, C.Block.Y);
+      Grid U(HostDims, 1, Fold(), &Pool, HC.C.Block.Z, HC.C.Block.Y);
+      Grid Scratch(HostDims, 1, Fold(), &Pool, HC.C.Block.Z, HC.C.Block.Y);
       Rng R(1);
       U.fillRandom(R);
       Pool.resetStats();
@@ -110,10 +228,10 @@ int main() {
           [&] { Exec.runTimeSteps(U, Scratch, 8, &Pool); }, 2);
       double Mlups =
           8.0 * static_cast<double>(HostDims.lups()) / Stats.Median / 1e6;
-      TT.addRow({format("depth %d", Depth), ysbench::seconds(Stats.Median),
+      TT.addRow({HC.Label, ysbench::seconds(Stats.Median),
                  ysbench::mlups(Mlups), Pool.stats().str()});
     }
     TT.print();
   }
-  return 0;
+  return Failures ? 1 : 0;
 }

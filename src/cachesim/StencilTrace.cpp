@@ -282,6 +282,32 @@ TraceTraffic StencilTraceRunner::run(CacheHierarchySim &Sim, int Sweeps,
   return runSampled(Sim, Sweeps, Plan);
 }
 
+void StencilTraceRunner::traceLevelSlab(CacheHierarchySim &Sim, int S,
+                                        long Z0, long Z1,
+                                        const BlockSize &B) const {
+  // Two-buffer parity: grid 0 holds even time levels, grid 1 odd ones, so
+  // level S reads (S-1)'s buffer and writes its own.
+  unsigned Src = (S - 1) % 2 == 0 ? 0u : 1u;
+  unsigned Dst = 1u - Src;
+  for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+    for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+      traceRange(Sim, Src, Dst, Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny),
+                 Xb, std::min(Xb + B.X, Dims.Nx));
+}
+
+TraceTraffic StencilTraceRunner::finishTemporal(CacheHierarchySim &Sim,
+                                                int Depth) const {
+  HierarchyTraffic T = Sim.traffic();
+  TraceTraffic Out;
+  Out.Lups = static_cast<unsigned long long>(Dims.lups()) *
+             static_cast<unsigned>(Depth);
+  Out.ReplayedLups = Out.Lups;
+  for (unsigned long long Bytes : T.BoundaryBytes)
+    Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
+                              static_cast<double>(Out.Lups));
+  return Out;
+}
+
 TraceTraffic StencilTraceRunner::runWavefront(CacheHierarchySim &Sim) const {
   assert(Spec.numInputGrids() == 1 &&
          "wavefront trace requires a single-input stencil");
@@ -295,34 +321,82 @@ TraceTraffic StencilTraceRunner::runWavefront(CacheHierarchySim &Sim) const {
   std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
   Frontier[0] = Dims.Nz;
 
-  auto sweepSlab = [&](int S, long Z0, long Z1) {
-    unsigned Src = (S - 1) % 2 == 0 ? 0u : 1u;
-    unsigned Dst = 1u - Src;
-    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
-      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-        traceRange(Sim, Src, Dst, Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny),
-                   Xb, std::min(Xb + B.X, Dims.Nx));
-  };
-
   while (Frontier[Depth] < Dims.Nz) {
     for (int S = 1; S <= Depth; ++S) {
       long Cap =
           Frontier[S - 1] >= Dims.Nz ? Dims.Nz : Frontier[S - 1] - R;
       long Target = std::min(Cap, Frontier[S] + Bz);
       if (Target > Frontier[S]) {
-        sweepSlab(S, Frontier[S], Target);
+        traceLevelSlab(Sim, S, Frontier[S], Target, B);
         Frontier[S] = Target;
       }
     }
   }
 
-  HierarchyTraffic T = Sim.traffic();
-  TraceTraffic Out;
-  Out.Lups =
-      static_cast<unsigned long long>(Dims.lups()) * static_cast<unsigned>(Depth);
-  Out.ReplayedLups = Out.Lups;
-  for (unsigned long long Bytes : T.BoundaryBytes)
-    Out.BytesPerLup.push_back(static_cast<double>(Bytes) /
-                              static_cast<double>(Out.Lups));
-  return Out;
+  return finishTemporal(Sim, Depth);
+}
+
+TraceTraffic StencilTraceRunner::runDiamond(CacheHierarchySim &Sim) const {
+  assert(Spec.numInputGrids() == 1 &&
+         "diamond trace requires a single-input stencil");
+  int Depth = std::max(1, Config.WavefrontDepth);
+  long R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+  long W = std::max<long>(B.Z, 2 * Depth * R);
+  long NumTiles = (Dims.Nz + W - 1) / W;
+
+  // Mirrors KernelExecutor::diamondMacroStep: phase-1 trapezoids per tile,
+  // phase-2 boundary diamonds between adjacent tiles.
+  for (long K = 0; K < NumTiles; ++K)
+    for (int S = 1; S <= Depth; ++S) {
+      long Z0 = K == 0 ? 0 : K * W + S * R;
+      long Z1 = K == NumTiles - 1 ? Dims.Nz : (K + 1) * W - S * R;
+      if (Z1 > Z0)
+        traceLevelSlab(Sim, S, Z0, Z1, B);
+    }
+  for (long K = 0; K + 1 < NumTiles; ++K) {
+    long Boundary = (K + 1) * W;
+    for (int S = 1; S <= Depth; ++S) {
+      long Z0 = std::max<long>(0, Boundary - S * R);
+      long Z1 = std::min<long>(Dims.Nz, Boundary + S * R);
+      if (Z1 > Z0)
+        traceLevelSlab(Sim, S, Z0, Z1, B);
+    }
+  }
+
+  return finishTemporal(Sim, Depth);
+}
+
+TraceTraffic
+StencilTraceRunner::runDeepTemporal(CacheHierarchySim &Sim) const {
+  assert(Spec.numInputGrids() == 1 &&
+         "deep-temporal trace requires a single-input stencil");
+  int Depth = std::max(1, Config.WavefrontDepth);
+  long R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+
+  // Mirrors KernelExecutor::deepTemporalMacroStep: wave w computes level s
+  // on plane z = w - (s-1)*R, s ascending.
+  long LastWave = Dims.Nz - 1 + static_cast<long>(Depth - 1) * R;
+  for (long Wave = 0; Wave <= LastWave; ++Wave)
+    for (int S = 1; S <= Depth; ++S) {
+      long Z = Wave - static_cast<long>(S - 1) * R;
+      if (Z >= 0 && Z < Dims.Nz)
+        traceLevelSlab(Sim, S, Z, Z + 1, B);
+    }
+
+  return finishTemporal(Sim, Depth);
+}
+
+TraceTraffic StencilTraceRunner::runTemporal(CacheHierarchySim &Sim) const {
+  if (!Config.isTemporal())
+    return run(Sim, 1);
+  switch (Config.Sched) {
+  case Schedule::Diamond:
+    return runDiamond(Sim);
+  case Schedule::DeepTemporal:
+    return runDeepTemporal(Sim);
+  default:
+    return runWavefront(Sim);
+  }
 }

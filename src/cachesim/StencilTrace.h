@@ -91,6 +91,13 @@ public:
   /// same frontier schedule as KernelExecutor::wavefrontMacroStep.
   TraceTraffic runWavefront(CacheHierarchySim &Sim) const;
 
+  /// Replays one temporal macro step under the configured schedule,
+  /// mirroring the matching KernelExecutor macro step (wavefront frontier
+  /// train, two-phase diamond tiles, or per-plane deep-temporal pipeline).
+  /// Falls back to run(Sim, 1) for non-temporal configs so callers can
+  /// dispatch unconditionally.
+  TraceTraffic runTemporal(CacheHierarchySim &Sim) const;
+
   /// How the iteration space decomposes into execution-order sample units.
   enum class SampleAxis {
     ZPlane, ///< Unblocked (or only x-blocked): unit = one z-plane.
@@ -130,6 +137,14 @@ private:
   void traceRange(CacheHierarchySim &Sim, unsigned InGrid, unsigned OutGrid,
                   long Z0, long Z1, long Y0, long Y1, long X0,
                   long X1) const;
+  /// Time level \p S of the two-buffer parity scheme over z in [Z0, Z1)
+  /// (grid 0 holds even levels), blocked over (y, x) — the trace twin of
+  /// KernelExecutor::runLevelSlab.
+  void traceLevelSlab(CacheHierarchySim &Sim, int S, long Z0, long Z1,
+                      const BlockSize &B) const;
+  TraceTraffic runDiamond(CacheHierarchySim &Sim) const;
+  TraceTraffic runDeepTemporal(CacheHierarchySim &Sim) const;
+  TraceTraffic finishTemporal(CacheHierarchySim &Sim, int Depth) const;
   void traceBlockedSweep(CacheHierarchySim &Sim, unsigned InGridBase,
                          unsigned OutGrid) const;
   long traceUnits(CacheHierarchySim &Sim, unsigned InGridBase,

@@ -10,6 +10,32 @@
 
 using namespace ys;
 
+const char *ys::scheduleName(Schedule S) {
+  switch (S) {
+  case Schedule::Sweep:
+    return "sweep";
+  case Schedule::Wavefront:
+    return "wavefront";
+  case Schedule::Diamond:
+    return "diamond";
+  case Schedule::DeepTemporal:
+    return "deep-temporal";
+  }
+  return "sweep";
+}
+
+std::optional<Schedule> ys::parseSchedule(const std::string &Name) {
+  if (Name == "sweep")
+    return Schedule::Sweep;
+  if (Name == "wavefront")
+    return Schedule::Wavefront;
+  if (Name == "diamond")
+    return Schedule::Diamond;
+  if (Name == "deep-temporal" || Name == "deeptemporal")
+    return Schedule::DeepTemporal;
+  return std::nullopt;
+}
+
 std::string BlockSize::str() const {
   if (isUnblocked())
     return "unblocked";
@@ -31,6 +57,10 @@ std::string KernelConfig::validate() const {
     return format("wavefront depth %d must be >= 1 (1 disables temporal "
                   "blocking)",
                   WavefrontDepth);
+  if (Sched == Schedule::Sweep && WavefrontDepth > 1)
+    return format("schedule 'sweep' cannot fuse %d timesteps (pick "
+                  "wavefront, diamond, or deep-temporal, or use wf=1)",
+                  WavefrontDepth);
   if (Threads == 0)
     return "thread count must be >= 1";
   return std::string();
@@ -41,6 +71,9 @@ std::string KernelConfig::str() const {
                          Block.str().c_str());
   if (WavefrontDepth > 1)
     S += format(" wf=%d", WavefrontDepth);
+  // Wavefront stays implicit so historical "wf=N" strings are unchanged.
+  if (Sched != Schedule::Wavefront && Sched != Schedule::Sweep)
+    S += format(" sched=%s", scheduleName(Sched));
   if (Threads > 1)
     S += format(" threads=%u", Threads);
   if (StreamingStores)

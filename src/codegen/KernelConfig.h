@@ -17,9 +17,31 @@
 
 #include "stencil/Grid.h"
 
+#include <optional>
 #include <string>
 
 namespace ys {
+
+/// How multiple timesteps are scheduled over the grid.
+///
+///  * Sweep        — no temporal blocking: one full spatial sweep per
+///                   timestep (requires WavefrontDepth == 1).
+///  * Wavefront    — temporal wavefront along z: a frontier per fused time
+///                   level, spaced >= radius planes apart (Malas et al.
+///                   style shared-cache wavefront).
+///  * Diamond      — two-phase trapezoid/diamond tiling along z: disjoint
+///                   downward-sloping tiles first, then the boundary
+///                   diamonds between them; the cache window is one tile
+///                   wide instead of one frontier train long.
+///  * DeepTemporal — minimal-skew per-plane pipeline (AN5D-style high
+///                   degree): every wave advances all fused levels by one
+///                   plane, so the window stays near Depth*radius planes
+///                   and supports much higher depths.
+enum class Schedule { Sweep, Wavefront, Diamond, DeepTemporal };
+
+/// "sweep" | "wavefront" | "diamond" | "deep-temporal".
+const char *scheduleName(Schedule S);
+std::optional<Schedule> parseSchedule(const std::string &Name);
 
 /// Cache-block extents in grid points; 0 means "unblocked" (full extent).
 struct BlockSize {
@@ -52,7 +74,11 @@ struct BlockSize {
 struct KernelConfig {
   Fold VectorFold;        ///< Storage/SIMD fold; {1,1,1} == scalar layout.
   BlockSize Block;        ///< Spatial cache blocking.
-  int WavefrontDepth = 1; ///< Timesteps fused per wavefront pass (1 == off).
+  int WavefrontDepth = 1; ///< Timesteps fused per temporal pass (1 == off).
+  /// Temporal schedule applied when WavefrontDepth > 1.  The default is
+  /// Wavefront so every pre-schedule config (wf=N alone) keeps its meaning;
+  /// at depth 1 all temporal schedules degrade to plain sweeps.
+  Schedule Sched = Schedule::Wavefront;
   unsigned Threads = 1;   ///< Worker threads for the outer decomposition.
   bool StreamingStores = false; ///< Non-temporal stores (model-visible).
 
@@ -60,17 +86,25 @@ struct KernelConfig {
 
   /// Returns an empty string when the configuration is executable, else a
   /// clear diagnostic: negative block extents, non-positive fold
-  /// components, WavefrontDepth < 1, or Threads == 0.  Block extents
-  /// larger than the domain (or zero) are legal and clamp/expand via
-  /// BlockSize::resolved(); they are NOT errors.  Callers that accept
-  /// external configurations (driver, verification harness, tuner
-  /// frontends) must check this before constructing a KernelExecutor.
+  /// components, WavefrontDepth < 1, Sched == Sweep with a temporal depth,
+  /// or Threads == 0.  Block extents larger than the domain (or zero) are
+  /// legal and clamp/expand via BlockSize::resolved(); they are NOT
+  /// errors.  Callers that accept external configurations (driver,
+  /// verification harness, tuner frontends) must check this before
+  /// constructing a KernelExecutor.
   std::string validate() const;
+
+  /// True when this config fuses timesteps (any non-sweep schedule at
+  /// depth > 1); the executor, trace replay, and ECM model all branch on
+  /// this single predicate.
+  bool isTemporal() const {
+    return WavefrontDepth > 1 && Sched != Schedule::Sweep;
+  }
 
   bool operator==(const KernelConfig &O) const {
     return VectorFold == O.VectorFold && Block == O.Block &&
-           WavefrontDepth == O.WavefrontDepth && Threads == O.Threads &&
-           StreamingStores == O.StreamingStores;
+           WavefrontDepth == O.WavefrontDepth && Sched == O.Sched &&
+           Threads == O.Threads && StreamingStores == O.StreamingStores;
   }
 };
 

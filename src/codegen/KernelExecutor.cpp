@@ -184,7 +184,12 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
   assert(Spec.numInputGrids() == 1 &&
          "time stepping requires a single-input stencil");
   assert(Steps >= 0 && "negative step count");
-  int Depth = std::max(1, Config.WavefrontDepth);
+  // KernelConfig::validate() rejects WavefrontDepth < 1 and every external
+  // entry point (driver, service, verify harness) checks it; a silent
+  // clamp here would hide an unvalidated call site.
+  assert(Config.WavefrontDepth >= 1 &&
+         "unvalidated config reached the executor (wf < 1)");
+  int Depth = Config.WavefrontDepth;
 
   // One structured record per multi-step run (phase "kernel_steps" with
   // the scope's wall time).  The field arguments themselves allocate, so
@@ -203,9 +208,22 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
   Grid *Odd = &Scratch;
   int Done = 0;
 
-  // Temporal wavefront macro-steps of Depth sweeps each.
-  while (Depth > 1 && Steps - Done >= Depth) {
-    wavefrontMacroStep(Even, Odd, Depth, Pool);
+  // Temporal macro-steps of Depth sweeps each, under the configured
+  // schedule.  All three schedules share the two-buffer parity scheme
+  // (level s lands in Even when s is even), so the odd-depth swap and the
+  // final copy-back are schedule-independent.
+  while (Config.isTemporal() && Steps - Done >= Depth) {
+    switch (Config.Sched) {
+    case Schedule::Diamond:
+      diamondMacroStep(Even, Odd, Depth, Pool);
+      break;
+    case Schedule::DeepTemporal:
+      deepTemporalMacroStep(Even, Odd, Depth, Pool);
+      break;
+    default:
+      wavefrontMacroStep(Even, Odd, Depth, Pool);
+      break;
+    }
     if (Depth % 2 != 0)
       std::swap(Even, Odd);
     Done += Depth;
@@ -220,6 +238,39 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
 
   if (Even != &U)
     U.copyInteriorFrom(*Even);
+}
+
+void KernelExecutor::runLevelSlab(Grid *Even, Grid *Odd, int S, long Z0,
+                                  long Z1, const BlockSize &B,
+                                  ThreadPool *Pool,
+                                  unsigned Threads) const {
+  const GridDims &Dims = Even->dims();
+  Grid *Src = S % 2 == 0 ? Odd : Even;  // Level S-1's buffer.
+  Grid *Dst = S % 2 == 0 ? Even : Odd;  // Level S's buffer.
+  const Grid *SrcPtr = Src;
+  bindBuffers(&SrcPtr, 1, *Dst);
+  if (Pool && Threads > 1) {
+    // The slab is often at most one z block deep, but enumerating (zBlock,
+    // yBlock) tiles keeps the same tile->thread mapping as runSweep and
+    // still scales past the y-block count for thicker slabs.
+    long NumZT = (Z1 - Z0 + B.Z - 1) / B.Z;
+    long NumYT = (Dims.Ny + B.Y - 1) / B.Y;
+    Pool->parallelForTiles(
+        NumZT, NumYT,
+        [&](unsigned, long Zt, long Yt) {
+          long SZ0 = Z0 + Zt * B.Z, SZ1 = std::min(SZ0 + B.Z, Z1);
+          long Y0 = Yt * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
+          for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+            sweepRange(SZ0, SZ1, Y0, Y1, Xb,
+                       std::min(Xb + B.X, Dims.Nx));
+        },
+        Threads);
+    return;
+  }
+  for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
+    for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
+      sweepRange(Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny), Xb,
+                 std::min(Xb + B.X, Dims.Nx));
 }
 
 /// Applies Depth sweeps with temporal wavefront blocking along z.  The
@@ -242,40 +293,8 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
   std::vector<long> Frontier(static_cast<size_t>(Depth) + 1, 0);
   Frontier[0] = Dims.Nz;
 
-  auto bufferFor = [&](int TimeLevel) {
-    return TimeLevel % 2 == 0 ? Even : Odd;
-  };
-
   unsigned Threads =
       Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
-  auto sweepSlab = [&](int S, long Z0, long Z1) {
-    Grid *Src = bufferFor(S - 1);
-    Grid *Dst = bufferFor(S);
-    const Grid *SrcPtr = Src;
-    bindBuffers(&SrcPtr, 1, *Dst);
-    if (Pool && Threads > 1) {
-      // The slab is at most one z block deep, but enumerating (zBlock,
-      // yBlock) tiles keeps the same tile->thread mapping as runSweep and
-      // still scales past the y-block count for thicker slabs.
-      long NumZT = (Z1 - Z0 + B.Z - 1) / B.Z;
-      long NumYT = (Dims.Ny + B.Y - 1) / B.Y;
-      Pool->parallelForTiles(
-          NumZT, NumYT,
-          [&](unsigned, long Zt, long Yt) {
-            long SZ0 = Z0 + Zt * B.Z, SZ1 = std::min(SZ0 + B.Z, Z1);
-            long Y0 = Yt * B.Y, Y1 = std::min(Y0 + B.Y, Dims.Ny);
-            for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-              sweepRange(SZ0, SZ1, Y0, Y1, Xb,
-                         std::min(Xb + B.X, Dims.Nx));
-          },
-          Threads);
-      return;
-    }
-    for (long Yb = 0; Yb < Dims.Ny; Yb += B.Y)
-      for (long Xb = 0; Xb < Dims.Nx; Xb += B.X)
-        sweepRange(Z0, Z1, Yb, std::min(Yb + B.Y, Dims.Ny), Xb,
-                   std::min(Xb + B.X, Dims.Nx));
-  };
 
   while (Frontier[Depth] < Dims.Nz) {
     bool Progressed = false;
@@ -284,12 +303,92 @@ void KernelExecutor::wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
           Frontier[S - 1] >= Dims.Nz ? Dims.Nz : Frontier[S - 1] - R;
       long Target = std::min(Cap, Frontier[S] + Bz);
       if (Target > Frontier[S]) {
-        sweepSlab(S, Frontier[S], Target);
+        runLevelSlab(Even, Odd, S, Frontier[S], Target, B, Pool, Threads);
         Frontier[S] = Target;
         Progressed = true;
       }
     }
     assert(Progressed && "wavefront stalled; block size too small?");
     (void)Progressed;
+  }
+}
+
+/// Applies Depth sweeps as a two-phase trapezoid/diamond decomposition
+/// along z with tile width W = max(Bz, 2*Depth*R):
+///
+///   Phase 1, per tile k over [k*W, (k+1)*W): level s covers
+///     [k*W + s*R, (k+1)*W - s*R), with the first/last tile extended to
+///     the domain edge (the halo is a constant-in-time boundary there).
+///   Phase 2, per interior tile boundary b = (k+1)*W: level s fills the
+///     remaining diamond [b - s*R, b + s*R), clipped to the domain.
+///
+/// Dependences: a phase-1 level-s slab reads level s-1 exactly on its own
+/// tile's level-(s-1) slab; a phase-2 level-s diamond reads level s-1 from
+/// the already-finished phase 1 plus its own boundary's level s-1 (s
+/// ascends).  Anti-dependences: overwriting level s-2 at z is safe because
+/// every level-(s-1) cell within radius of z is already computed, and
+/// W >= 2*Depth*R keeps neighboring boundaries' writes out of the live
+/// reload band.  With one tile (W >= Nz) this degenerates to Depth plain
+/// sweeps.
+void KernelExecutor::diamondMacroStep(Grid *Even, Grid *Odd, int Depth,
+                                      ThreadPool *Pool) const {
+  const GridDims &Dims = Even->dims();
+  long R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+  long W = std::max<long>(B.Z, 2 * Depth * R);
+
+  prepareBackend(*Even);
+  unsigned Threads =
+      Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
+
+  long NumTiles = (Dims.Nz + W - 1) / W;
+
+  // Phase 1: downward-sloping trapezoids, mutually independent.
+  for (long K = 0; K < NumTiles; ++K) {
+    for (int S = 1; S <= Depth; ++S) {
+      long Z0 = K == 0 ? 0 : K * W + S * R;
+      long Z1 = K == NumTiles - 1 ? Dims.Nz : (K + 1) * W - S * R;
+      if (Z1 > Z0)
+        runLevelSlab(Even, Odd, S, Z0, Z1, B, Pool, Threads);
+    }
+  }
+
+  // Phase 2: the boundary diamonds between adjacent tiles.
+  for (long K = 0; K + 1 < NumTiles; ++K) {
+    long Boundary = (K + 1) * W;
+    for (int S = 1; S <= Depth; ++S) {
+      long Z0 = std::max<long>(0, Boundary - S * R);
+      long Z1 = std::min<long>(Dims.Nz, Boundary + S * R);
+      if (Z1 > Z0)
+        runLevelSlab(Even, Odd, S, Z0, Z1, B, Pool, Threads);
+    }
+  }
+}
+
+/// Applies Depth sweeps as a minimal-skew per-plane pipeline (AN5D-style
+/// high-degree temporal blocking): wave w advances level s on plane
+/// z = w - (s-1)*R, s ascending.  Level s-1's plane z+R completes earlier
+/// in the same wave, so the read dependence is exact; the last reader of
+/// the level s-2 plane being overwritten is level s-1's plane z+R, also
+/// earlier in the same wave.  The live window spans about Depth*R + 2R
+/// planes per buffer regardless of the z block size, which is what lets
+/// this schedule sustain much higher depths than the wavefront.
+void KernelExecutor::deepTemporalMacroStep(Grid *Even, Grid *Odd, int Depth,
+                                           ThreadPool *Pool) const {
+  const GridDims &Dims = Even->dims();
+  long R = std::max(1, Spec.radius());
+  BlockSize B = Config.Block.resolved(Dims);
+
+  prepareBackend(*Even);
+  unsigned Threads =
+      Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
+
+  long LastWave = Dims.Nz - 1 + static_cast<long>(Depth - 1) * R;
+  for (long Wave = 0; Wave <= LastWave; ++Wave) {
+    for (int S = 1; S <= Depth; ++S) {
+      long Z = Wave - static_cast<long>(S - 1) * R;
+      if (Z >= 0 && Z < Dims.Nz)
+        runLevelSlab(Even, Odd, S, Z, Z + 1, B, Pool, Threads);
+    }
   }
 }

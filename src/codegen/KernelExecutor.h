@@ -146,8 +146,24 @@ private:
   void sweepRange(long Z0, long Z1, long Y0, long Y1, long X0,
                   long X1) const;
   void sweepBlockedSerialZ(const GridDims &Dims, long Z0, long Z1) const;
+
+  /// Computes time level \p S over z in [Z0, Z1) of the two-buffer parity
+  /// scheme (level s lives in Even when s is even), decomposing the slab
+  /// over (z,y) tiles when a pool is available.  Shared by every temporal
+  /// macro step.
+  void runLevelSlab(Grid *Even, Grid *Odd, int S, long Z0, long Z1,
+                    const BlockSize &B, ThreadPool *Pool,
+                    unsigned Threads) const;
+
+  /// One macro step of Depth fused sweeps under the configured temporal
+  /// schedule (wavefront frontier train / two-phase diamond tiles /
+  /// per-plane deep-temporal pipeline).
   void wavefrontMacroStep(Grid *Even, Grid *Odd, int Depth,
                           ThreadPool *Pool) const;
+  void diamondMacroStep(Grid *Even, Grid *Odd, int Depth,
+                        ThreadPool *Pool) const;
+  void deepTemporalMacroStep(Grid *Even, Grid *Odd, int Depth,
+                             ThreadPool *Pool) const;
 
   StencilSpec Spec;
   KernelConfig Config;

@@ -8,6 +8,8 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
+
 using namespace ys;
 
 static std::string indexArg(const char *Axis, int D) {
@@ -290,9 +292,9 @@ std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
   int R = Spec.radius() > 0 ? Spec.radius() : 1;
   long Bz = Config.Block.Z > R ? Config.Block.Z : R + 1;
 
-  // The z-slab kernel the frontier schedule advances each time level
-  // through: one sweep restricted to z in [z0, z1).  The wavefront
-  // schedule itself is sequential (the frontier caps order the slabs), so
+  // The z-slab kernel every temporal schedule advances each time level
+  // through: one sweep restricted to z in [z0, z1).  The schedules
+  // themselves are sequential (slab order carries the dependences), so
   // parallelism lives inside the slab's y/x loops, not across slabs.
   std::string Restrict = Opts.EmitRestrict ? " __restrict" : "";
   Src += "// One z-slab [z0, z1) of a single sweep.\n";
@@ -310,6 +312,77 @@ std::string SourceEmitter::emitTimeStepDriver(const StencilSpec &Spec,
   Src += "          " + emitExpression(Spec) + ";\n";
   Src += "    }\n";
   Src += "}\n\n";
+
+  // Every driver selects the level-s source/destination buffers with the
+  // same two-buffer parity expressions, emitted once per slab call site.
+  const char *Parity = "      double *src = (s - 1) % 2 == 0 ? even : odd;\n"
+                       "      double *dst = s % 2 == 0 ? even : odd;\n";
+
+  if (Config.Sched == Schedule::Diamond) {
+    long W = std::max<long>(Config.Block.Z, 2L * Depth * R);
+    Src += format("// Temporal diamond driver: depth %d, radius %d, tile "
+                  "width %ld.\n",
+                  Depth, R, W);
+    Src += "// Phase 1 computes the per-tile trapezoids; phase 2 fills the\n";
+    Src += "// boundary diamonds between adjacent tiles (see\n";
+    Src += "// KernelExecutor::diamondMacroStep for the dependence proof).\n";
+    Src += format("%svoid drive_%s_diamond(double *even, double *odd,\n"
+                  "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
+                  linkagePrefix(Opts), Name.c_str());
+    Src += format("  const long W = %ld;\n", W);
+    Src += "  const long tiles = (Nz + W - 1) / W;\n";
+    Src += "  for (long k = 0; k < tiles; ++k)\n";
+    Src += format("    for (int s = 1; s <= %d; ++s) {\n", Depth);
+    Src += format("      long z0 = k == 0 ? 0 : k * W + s * %dL;\n", R);
+    Src += format("      long z1 = k == tiles - 1 ? Nz "
+                  ": (k + 1) * W - s * %dL;\n",
+                  R);
+    Src += "      if (z1 <= z0)\n";
+    Src += "        continue;\n";
+    Src += Parity;
+    Src += format("      %s_slab(src, dst, z0, z1, Nx, Ny, PadX, PadY);\n",
+                  Name.c_str());
+    Src += "    }\n";
+    Src += "  for (long k = 0; k + 1 < tiles; ++k) {\n";
+    Src += "    long boundary = (k + 1) * W;\n";
+    Src += format("    for (int s = 1; s <= %d; ++s) {\n", Depth);
+    Src += format("      long z0 = boundary - s * %dL;\n", R);
+    Src += "      if (z0 < 0) z0 = 0;\n";
+    Src += format("      long z1 = boundary + s * %dL;\n", R);
+    Src += "      if (z1 > Nz) z1 = Nz;\n";
+    Src += "      if (z1 <= z0)\n";
+    Src += "        continue;\n";
+    Src += Parity;
+    Src += format("      %s_slab(src, dst, z0, z1, Nx, Ny, PadX, PadY);\n",
+                  Name.c_str());
+    Src += "    }\n";
+    Src += "  }\n";
+    Src += "}\n";
+    return Src;
+  }
+
+  if (Config.Sched == Schedule::DeepTemporal) {
+    Src += format("// Deep-temporal driver: depth %d, radius %d.  Wave w\n"
+                  "// advances level s on plane z = w - (s-1)*radius, s\n"
+                  "// ascending (minimal-skew per-plane pipeline).\n",
+                  Depth, R);
+    Src += format("%svoid drive_%s_deep_temporal(double *even, double *odd,\n"
+                  "    long Nx, long Ny, long Nz, long PadX, long PadY) {\n",
+                  linkagePrefix(Opts), Name.c_str());
+    Src += format("  const long lastWave = Nz - 1 + %ldL;\n",
+                  static_cast<long>(Depth - 1) * R);
+    Src += "  for (long w = 0; w <= lastWave; ++w)\n";
+    Src += format("    for (int s = 1; s <= %d; ++s) {\n", Depth);
+    Src += format("      long z = w - (s - 1) * %dL;\n", R);
+    Src += "      if (z < 0 || z >= Nz)\n";
+    Src += "        continue;\n";
+    Src += Parity;
+    Src += format("      %s_slab(src, dst, z, z + 1, Nx, Ny, PadX, PadY);\n",
+                  Name.c_str());
+    Src += "    }\n";
+    Src += "}\n";
+    return Src;
+  }
 
   Src += format("// Temporal wavefront driver: depth %d, radius %d, "
                 "z-block %ld.\n",
@@ -357,9 +430,9 @@ std::string SourceEmitter::emitTranslationUnit(const StencilSpec &Spec,
   const bool EmitDriver = Config.WavefrontDepth > 1 &&
                           Config.VectorFold.isScalar();
   if (Config.WavefrontDepth > 1)
-    Src += format("// temporal wavefront depth %d is realized by the "
+    Src += format("// temporal %s depth %d is realized by the "
                   "driver loop, not this sweep kernel\n",
-                  Config.WavefrontDepth);
+                  scheduleName(Config.Sched), Config.WavefrontDepth);
   Src += "\n#include <algorithm>\n\n";
   const Fold &F = Config.VectorFold;
   if (F.isScalar()) {

@@ -165,6 +165,13 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
     } else if (Flag == "--wf" && Value(V)) {
       if (!AsInt(Opts.Config.WavefrontDepth))
         return NumErr;
+    } else if (Flag == "--schedule" && Value(V)) {
+      std::optional<Schedule> Sched = parseSchedule(V);
+      if (!Sched)
+        return format("unknown schedule '%s' (sweep, wavefront, diamond, "
+                      "deep-temporal)",
+                      V.c_str());
+      Opts.Config.Sched = *Sched;
     } else if (Flag == "--cores" && Value(V)) {
       if (!AsUnsigned(Opts.Cores))
         return NumErr;
@@ -383,12 +390,13 @@ int cmdTrace(const DriverOptions &Opts, const StencilSpec &Spec,
     return 1;
   CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
   StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
-  // Wavefront traces are exact-only; plain sweeps honor --sim-mode
-  // (default full, preserving the historical exact replay).
+  // Temporal traces (wavefront/diamond/deep-temporal) are exact-only;
+  // plain sweeps honor --sim-mode (default full, preserving the
+  // historical exact replay).
   SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
   TraceTraffic T =
-      Opts.Config.WavefrontDepth > 1
-          ? Runner.runWavefront(Sim)
+      Opts.Config.isTemporal()
+          ? Runner.runTemporal(Sim)
           : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
   Out += format("simulated %llu LUPs on %s caches, config %s\n", T.Lups,
                 M->Name.c_str(), Opts.Config.str().c_str());
@@ -544,8 +552,8 @@ int cmdValidate(const DriverOptions &Opts, const StencilSpec &Spec,
   StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
   SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
   TraceTraffic T =
-      Opts.Config.WavefrontDepth > 1
-          ? Runner.runWavefront(Sim)
+      Opts.Config.isTemporal()
+          ? Runner.runTemporal(Sim)
           : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
 
   // The simulated numbers include the cold first touch of every grid;
@@ -838,6 +846,7 @@ const char *UsageText =
     "  parse   <file.stencil>        parse and summarize a DSL file\n"
     "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
     "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n"
+    "         --schedule sweep|wavefront|diamond|deep-temporal\n"
     "         --sim-mode full|sampled|auto|off (predict/trace/validate)\n"
     "         --backend plan|jit (emit/verify; env: YS_BACKEND, YS_CXX,\n"
     "         YS_JIT_CACHE)  [--flag=value also accepted]\n";

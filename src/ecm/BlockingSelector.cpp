@@ -37,7 +37,7 @@ BlockingChoice BlockingSelector::selectAnalytic(
 }
 
 std::vector<KernelConfig> BlockingSelector::candidateSpace(
-    const GridDims &Dims, const KernelConfig &Base, bool EnableWavefront) {
+    const GridDims &Dims, const KernelConfig &Base, bool EnableTemporal) {
   std::vector<KernelConfig> Space;
 
   std::vector<long> YBlocks = {0, 4, 8, 16, 32, 64, 128, 256};
@@ -53,12 +53,27 @@ std::vector<KernelConfig> BlockingSelector::candidateSpace(
       C.Block.Y = By;
       C.Block.Z = Bz;
       C.WavefrontDepth = 1;
+      C.Sched = Schedule::Wavefront; // Depth 1: schedule is inert.
       Space.push_back(C);
-      if (EnableWavefront && Bz > 0)
+      if (EnableTemporal && Bz > 0)
         for (int Depth : {2, 4, 8}) {
           KernelConfig W = C;
           W.WavefrontDepth = Depth;
           Space.push_back(W);
+          // Diamond rides the same (By, Bz) grid; its tile width is
+          // max(Bz, 2*Depth*R), so the z block doubles as the tile knob.
+          KernelConfig D = W;
+          D.Sched = Schedule::Diamond;
+          Space.push_back(D);
+        }
+      if (EnableTemporal && Bz == 0)
+        // Deep-temporal slides single planes, so the z block is irrelevant;
+        // enumerate it once per y-block with the high depths it exists for.
+        for (int Depth : {4, 8, 16}) {
+          KernelConfig DT = C;
+          DT.WavefrontDepth = Depth;
+          DT.Sched = Schedule::DeepTemporal;
+          Space.push_back(DT);
         }
     }
   }
@@ -68,10 +83,10 @@ std::vector<KernelConfig> BlockingSelector::candidateSpace(
 BlockingChoice BlockingSelector::selectBest(const StencilSpec &Spec,
                                             const GridDims &Dims,
                                             const KernelConfig &Base,
-                                            bool EnableWavefront,
+                                            bool EnableTemporal,
                                             unsigned ActiveCores) const {
   std::vector<KernelConfig> Space =
-      candidateSpace(Dims, Base, EnableWavefront);
+      candidateSpace(Dims, Base, EnableTemporal);
 
   BlockingChoice Best;
   bool HaveBest = false;

@@ -48,18 +48,20 @@ public:
                                 int TargetLevel = -1,
                                 unsigned ActiveCores = 1) const;
 
-  /// Model-argmax over a structured candidate set.  \p EnableWavefront
-  /// adds temporal depths {2,4,8} to the space.
+  /// Model-argmax over a structured candidate set.  \p EnableTemporal
+  /// adds the temporal schedules to the space: wavefront and diamond at
+  /// depths {2,4,8} per z-blocked point, deep-temporal at depths {4,8,16}
+  /// per unblocked-z point.
   BlockingChoice selectBest(const StencilSpec &Spec, const GridDims &Dims,
                             const KernelConfig &Base,
-                            bool EnableWavefront = false,
+                            bool EnableTemporal = false,
                             unsigned ActiveCores = 1) const;
 
   /// The structured candidate set used by selectBest (also consumed by the
   /// measuring tuners so every strategy searches the same space).
   static std::vector<KernelConfig> candidateSpace(const GridDims &Dims,
                                                   const KernelConfig &Base,
-                                                  bool EnableWavefront);
+                                                  bool EnableTemporal);
 
 private:
   const ECMModel &Model;

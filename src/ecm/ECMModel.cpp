@@ -38,8 +38,8 @@ ECMPrediction ECMModel::predict(const StencilSpec &Spec, const GridDims &Dims,
   ECMPrediction P;
   P.InCore = InCore.analyze(Spec, Config);
   P.Traffic = LC.analyze(Spec, Dims, Config, ActiveCoresPerSharedCache);
-  if (Config.WavefrontDepth > 1)
-    applyWavefront(Spec, Dims, Config, ActiveCoresPerSharedCache, P.Traffic);
+  if (Config.isTemporal())
+    applySchedule(Spec, Dims, Config, ActiveCoresPerSharedCache, P.Traffic);
 
   const double BytesPerCL = 8.0; // LUPs per cache line of results.
   for (unsigned I = 0; I < Machine.numLevels(); ++I) {
@@ -79,40 +79,73 @@ ECMPrediction ECMModel::predict(const StencilSpec &Spec, const GridDims &Dims,
   return P;
 }
 
-void ECMModel::applyWavefront(const StencilSpec &Spec, const GridDims &Dims,
-                              const KernelConfig &Config,
-                              unsigned ActiveCoresPerSharedCache,
-                              TrafficPrediction &Traffic) const {
+void ECMModel::applySchedule(const StencilSpec &Spec, const GridDims &Dims,
+                             const KernelConfig &Config,
+                             unsigned ActiveCoresPerSharedCache,
+                             TrafficPrediction &Traffic) const {
   (void)ActiveCoresPerSharedCache;
   int Depth = Config.WavefrontDepth;
-  int R = std::max(1, Spec.radius());
+  long R = std::max(1, Spec.radius());
   BlockSize B = Config.Block.resolved(Dims);
   long Bz = std::max<long>(B.Z, R + 1);
 
-  // At steady state the frontiers are spaced ~R planes apart and each
-  // advances by Bz per wave, so the live region spans Depth*R + 2*Bz
-  // planes in both time-level buffers.  The window is cooperatively
-  // shared: all threads work inside one wavefront, so the full shared
-  // last-level capacity (one window per cache instance) applies — no
-  // per-core derating and no LC safety factor (the window is the only
-  // tenant).
-  unsigned long long WindowPlanes =
-      static_cast<unsigned long long>(Depth) * R + 2ull * Bz;
+  // Each schedule keeps a different z-window of both time-level buffers
+  // live in the outermost shared cache, and pays a different per-cell
+  // reload signature once the window is resident.  The window is
+  // cooperatively shared: all threads work inside one temporal pass, so
+  // the full shared last-level capacity (one window per cache instance)
+  // applies — no per-core derating and no LC safety factor.
+  unsigned long long WindowPlanes = 0;
+  double TemporalBytes = 0;
+  switch (Config.Sched) {
+  case Schedule::Sweep:
+    return; // Not temporal (predict() never routes Sweep here).
+  case Schedule::Wavefront:
+    // Frontiers spaced ~R planes apart, each advancing by Bz per wave:
+    // the live region spans Depth*R + 2*Bz planes.  Memory sees per macro
+    // step and cell: source fill (8 B), write-allocate fill of the
+    // destination (8 B), and both buffers written back (16 B) — 32 B per
+    // Depth LUPs.  Streaming stores are not applicable inside a temporal
+    // pass (intermediate values are reused from cache).
+    WindowPlanes = static_cast<unsigned long long>(Depth) * R + 2ull * Bz;
+    TemporalBytes = 32.0 / Depth;
+    break;
+  case Schedule::Diamond: {
+    // The window is one diamond tile (width W >= 2*Depth*R) plus its read
+    // halo, independent of how long the fused-step train is.  The
+    // boundary diamonds re-touch ~2*Depth*R planes per tile from memory
+    // when the neighboring tile has already been evicted, so the 32 B
+    // streaming term carries a (W + 2*R*Depth)/W reload factor.
+    long W = std::max<long>(Bz, 2 * Depth * R);
+    WindowPlanes = static_cast<unsigned long long>(W) + 2ull * R;
+    TemporalBytes = (32.0 / Depth) *
+                    (static_cast<double>(W) + 2.0 * R * Depth) /
+                    static_cast<double>(W);
+    break;
+  }
+  case Schedule::DeepTemporal:
+    // Minimal-skew pipeline: the live window is the plane pipeline itself,
+    // ~Depth*R + 2*R planes (+2 for the in-flight planes), the smallest of
+    // the three — which is what lets deep-temporal sustain high depths.
+    // Each cell is streamed exactly once per macro step: 32 B / Depth with
+    // no reload factor.
+    WindowPlanes =
+        static_cast<unsigned long long>(Depth) * R + 2ull * R + 2ull;
+    TemporalBytes = 32.0 / Depth;
+    break;
+  }
+
   unsigned long long WorkingSet =
       2ull * WindowPlanes * Dims.Nx * Dims.Ny * 8;
 
   unsigned Last = Machine.lastLevel();
-  if (WorkingSet > Machine.level(Last).SizeBytes)
+  // Spill at >= capacity: the window is never the cache's only tenant, so
+  // exactly-full already loses the temporal reuse.
+  if (WorkingSet >= Machine.level(Last).SizeBytes)
     return; // Window spills: temporal reuse lost, keep per-sweep traffic.
 
-  // With the window cache-resident, memory sees per macro step and cell:
-  // a fill of the source buffer (8 B), a write-allocate fill of the
-  // destination buffer (8 B) and both buffers written back (16 B) — 32 B
-  // per Depth LUPs.  Streaming stores are not applicable inside the
-  // wavefront (intermediate values are reused from cache).
-  double WavefrontBytes = 32.0 / Depth;
   double &MemBytes = Traffic.BytesPerLup.back();
-  MemBytes = std::min(MemBytes, WavefrontBytes);
+  MemBytes = std::min(MemBytes, TemporalBytes);
 }
 
 double ECMModel::predictedSeconds(const ECMPrediction &P, const GridDims &Dims,

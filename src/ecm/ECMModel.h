@@ -9,8 +9,9 @@
 /// of YaskSite: combines the in-core time with the per-boundary transfer
 /// times derived from layer conditions into a single-core cycle prediction,
 /// then scales across cores up to the memory-bandwidth saturation point.
-/// A temporal-wavefront extension rescales the memory-boundary traffic for
-/// depth-d temporal blocking in a shared cache.
+/// A temporal-blocking extension rescales the memory-boundary traffic for
+/// depth-d schedules (wavefront, diamond, deep-temporal) whose cache
+/// window fits a shared cache.
 ///
 /// Units: cycles per cache line of results (8 double LUPs), converted to
 /// MLUP/s with the core frequency.
@@ -88,13 +89,16 @@ public:
                           double Sweeps, unsigned Cores) const;
 
 private:
-  /// Applies the temporal-wavefront traffic rescaling when
-  /// Config.WavefrontDepth > 1 and the wavefront working set fits the
-  /// outermost shared cache.
-  void applyWavefront(const StencilSpec &Spec, const GridDims &Dims,
-                      const KernelConfig &Config,
-                      unsigned ActiveCoresPerSharedCache,
-                      TrafficPrediction &Traffic) const;
+  /// Applies the temporal-blocking traffic rescaling for the configured
+  /// schedule (wavefront / diamond / deep-temporal) when the schedule's
+  /// cache window fits the outermost shared cache.  Each schedule has a
+  /// distinct window size and reload signature (see
+  /// docs/performance-model.md), which is what lets the selector rank
+  /// them against each other per platform.
+  void applySchedule(const StencilSpec &Spec, const GridDims &Dims,
+                     const KernelConfig &Config,
+                     unsigned ActiveCoresPerSharedCache,
+                     TrafficPrediction &Traffic) const;
 
   const MachineModel &Machine;
   InCoreModel InCore;

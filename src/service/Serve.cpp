@@ -42,7 +42,7 @@ std::string stringField(const std::string &Line, const std::string &Key,
 }
 
 /// Decodes the kernel-config request fields shared by predict / tune /
-/// measure / emit: fold "FXxFYxFZ", bx/by/bz, wf, threads, nt.
+/// measure / emit: fold "FXxFYxFZ", bx/by/bz, wf, schedule, threads, nt.
 Error parseConfigFields(const std::string &Line, KernelConfig &Config,
                         bool &FoldGiven) {
   FoldGiven = false;
@@ -58,6 +58,14 @@ Error parseConfigFields(const std::string &Line, KernelConfig &Config,
   Config.Block.Z = longField(Line, "bz", Config.Block.Z);
   Config.WavefrontDepth =
       static_cast<int>(longField(Line, "wf", Config.WavefrontDepth));
+  if (std::optional<std::string> S = jsonStringField(Line, "schedule")) {
+    std::optional<Schedule> Sched = parseSchedule(*S);
+    if (!Sched)
+      return Error::failure(format("unknown schedule '%s' (sweep, "
+                                   "wavefront, diamond, deep-temporal)",
+                                   S->c_str()));
+    Config.Sched = *Sched;
+  }
   Config.Threads =
       static_cast<unsigned>(longField(Line, "threads", Config.Threads));
   if (boolField(Line, "nt"))
@@ -313,6 +321,13 @@ int ys::runServeLoop(std::istream &In, std::ostream &Out,
   TuningService Service(Opts);
   std::string Line;
   while (std::getline(In, Line)) {
+    // Clients on CRLF transports (or hand-typed input) leave trailing \r /
+    // whitespace on the line; without the trim jsonLooksWellFormed rejects
+    // every such request as malformed.
+    while (!Line.empty() &&
+           (Line.back() == '\r' || Line.back() == ' ' ||
+            Line.back() == '\t'))
+      Line.pop_back();
     if (Line.empty())
       continue;
     bool Quit = false;

@@ -83,33 +83,51 @@ void TuningService::simCheck(const PredictQuery &Q, const MachineModel &M,
   CacheHierarchySim Sim =
       CacheHierarchySim::fromMachine(M, /*PerCoreShare=*/R.Cores > 1);
   StencilTraceRunner Runner(R.Spec, Q.Dims, R.Config);
-  StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
   unsigned long long FullLups =
       static_cast<unsigned long long>(Q.Dims.lups());
   SimMode Mode = Q.Sim;
-  if (Mode == SimMode::Auto) {
+  if (R.Config.isTemporal()) {
+    // Temporal schedules have no sampled fast path; one macro step
+    // replays Depth full sweeps exactly, so that is what the budget must
+    // cover.  The model's traffic carries the temporal rescale, so the
+    // plain-sweep replay would not be comparable anyway.
     unsigned long long Cost =
-        Plan.UseSampling ? static_cast<unsigned long long>(Plan.replayLups())
-                         : FullLups;
-    if (Cost > Options.SimReplayBudgetLups) {
+        FullLups * static_cast<unsigned long long>(R.Config.WavefrontDepth);
+    if (Mode == SimMode::Auto && Cost > Options.SimReplayBudgetLups) {
       R.SimModeUsed = "skipped";
-      R.SimNote = Plan.UseSampling
-                      ? format("sampled replay of %ld LUPs exceeds the "
-                               "service budget (%llu)",
-                               Plan.replayLups(),
-                               Options.SimReplayBudgetLups)
-                      : Plan.Reason + "; exact replay exceeds the service "
-                                      "budget";
+      R.SimNote = format("temporal replay of %llu LUPs exceeds the "
+                         "service budget (%llu)",
+                         Cost, Options.SimReplayBudgetLups);
       return;
     }
-    Mode = Plan.UseSampling ? SimMode::Sampled : SimMode::Full;
+    SimChecks.fetch_add(1, std::memory_order_relaxed);
+    R.SimTraffic = Runner.runTemporal(Sim);
+  } else {
+    StencilTraceRunner::SamplePlan Plan = Runner.planSampled(Sim);
+    if (Mode == SimMode::Auto) {
+      unsigned long long Cost =
+          Plan.UseSampling
+              ? static_cast<unsigned long long>(Plan.replayLups())
+              : FullLups;
+      if (Cost > Options.SimReplayBudgetLups) {
+        R.SimModeUsed = "skipped";
+        R.SimNote = Plan.UseSampling
+                        ? format("sampled replay of %ld LUPs exceeds the "
+                                 "service budget (%llu)",
+                                 Plan.replayLups(),
+                                 Options.SimReplayBudgetLups)
+                        : Plan.Reason + "; exact replay exceeds the "
+                                        "service budget";
+        return;
+      }
+      Mode = Plan.UseSampling ? SimMode::Sampled : SimMode::Full;
+    }
+    SimChecks.fetch_add(1, std::memory_order_relaxed);
+    // Full replays use two sweeps so the cold first touch is amortized;
+    // a sampled replay is steady-state by construction.
+    R.SimTraffic = Mode == SimMode::Full ? Runner.run(Sim, 2)
+                                         : Runner.run(Sim, 1, Mode);
   }
-
-  SimChecks.fetch_add(1, std::memory_order_relaxed);
-  // Full replays use two sweeps so the cold first touch is amortized;
-  // a sampled replay is steady-state by construction.
-  R.SimTraffic = Mode == SimMode::Full ? Runner.run(Sim, 2)
-                                       : Runner.run(Sim, 1, Mode);
   R.SimChecked = true;
   R.SimModeUsed = R.SimTraffic.Sampled ? "sampled" : "full";
   R.SimNote = R.SimTraffic.FallbackReason;

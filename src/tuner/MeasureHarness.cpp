@@ -163,8 +163,8 @@ MeasureFn ys::makeTrafficProxyMeasurer(const StencilSpec &Spec,
   return [SpecCopy, DimsCopy, MachineCopy](const KernelConfig &Config) {
     CacheHierarchySim Sim = CacheHierarchySim::fromMachine(MachineCopy);
     StencilTraceRunner Runner(SpecCopy, DimsCopy, Config);
-    TraceTraffic T = Config.WavefrontDepth > 1 ? Runner.runWavefront(Sim)
-                                               : Runner.run(Sim, 2);
+    TraceTraffic T = Config.isTemporal() ? Runner.runTemporal(Sim)
+                                         : Runner.run(Sim, 2);
     double MemBytesPerLup = T.BytesPerLup.back();
     if (MemBytesPerLup <= 0.0)
       MemBytesPerLup = 0.1; // Fully cached: score very high.

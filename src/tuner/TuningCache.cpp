@@ -41,10 +41,16 @@ std::string hex64(uint64_t H) { return format("%016llx", (unsigned long long)H);
 /// elides default-valued fields, so spell everything out explicitly here —
 /// a key must never collide across distinct configs.
 std::string canonicalConfig(const KernelConfig &C) {
-  return format("fold=%dx%dx%d;block=%ldx%ldx%ld;wf=%d;cfgthreads=%u;nt=%d",
-                C.VectorFold.X, C.VectorFold.Y, C.VectorFold.Z, C.Block.X,
-                C.Block.Y, C.Block.Z, C.WavefrontDepth, C.Threads,
-                C.StreamingStores ? 1 : 0);
+  std::string S =
+      format("fold=%dx%dx%d;block=%ldx%ldx%ld;wf=%d;cfgthreads=%u;nt=%d",
+             C.VectorFold.X, C.VectorFold.Y, C.VectorFold.Z, C.Block.X,
+             C.Block.Y, C.Block.Z, C.WavefrontDepth, C.Threads,
+             C.StreamingStores ? 1 : 0);
+  // Appended only for non-default schedules so historical wavefront keys
+  // (and therefore existing cache files) remain valid.
+  if (C.Sched != Schedule::Wavefront)
+    S += format(";sched=%s", scheduleName(C.Sched));
+  return S;
 }
 
 } // namespace

@@ -124,6 +124,22 @@ TuningResult HierarchicalStrategy::tune(const std::vector<KernelConfig> &Space,
       if (!(C == Current))
         measureInto(R, *InSpace, Measure);
   }
+  Current = R.Best;
+
+  // Stage 4: temporal schedule.  Sweeping the schedule last lets diamond /
+  // deep-temporal inherit the blocking and depth the earlier stages
+  // settled on (the space only contains valid combinations, so schedules
+  // that need a different depth/z-block pairing are simply absent here and
+  // found by the exhaustive/model-guided strategies instead).
+  for (long Sched : distinctValues([](const KernelConfig &C) {
+         return static_cast<long>(C.Sched);
+       })) {
+    KernelConfig C = Current;
+    C.Sched = static_cast<Schedule>(Sched);
+    if (const KernelConfig *InSpace = findInSpace(C))
+      if (!(C == Current))
+        measureInto(R, *InSpace, Measure);
+  }
 
   R.TuningSeconds = T.seconds();
   return R;

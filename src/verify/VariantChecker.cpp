@@ -143,31 +143,40 @@ std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
     Add(C);
   }
 
-  // Axis: temporal wavefront depths (single-input stencils only; time
+  // Axis: temporal schedules x depths (single-input stencils only; time
   // stepping requires one input grid).  A small z block forces the
-  // frontier logic through its Bz > radius clamp.
+  // wavefront frontier through its Bz > radius clamp, gives diamond a
+  // sub-minimum tile width (clamped to 2*Depth*R), and is irrelevant to
+  // deep-temporal — which is itself the interesting case.
   if (SingleInput)
-    for (int D : {2, 3})
-      for (const BlockSize &B : {BlockSize{0, 0, 0}, BlockSize{0, 4, 2}}) {
-        KernelConfig C;
-        C.WavefrontDepth = D;
-        C.Block = B;
-        Add(C);
-      }
+    for (Schedule Sched : {Schedule::Wavefront, Schedule::Diamond,
+                           Schedule::DeepTemporal})
+      for (int D : {2, 3})
+        for (const BlockSize &B :
+             {BlockSize{0, 0, 0}, BlockSize{0, 4, 2}}) {
+          KernelConfig C;
+          C.Sched = Sched;
+          C.WavefrontDepth = D;
+          C.Block = B;
+          Add(C);
+        }
 
   // Axis: thread counts 1 / 2 / max, on a blocked sweep and (when
-  // possible) a wavefront variant.
+  // possible) each temporal schedule.
   for (unsigned T : {1u, 2u, MaxT}) {
     KernelConfig C;
     C.Threads = T;
     C.Block = {0, 4, 4};
     Add(C);
-    if (SingleInput) {
-      KernelConfig W;
-      W.Threads = T;
-      W.WavefrontDepth = 2;
-      Add(W);
-    }
+    if (SingleInput)
+      for (Schedule Sched : {Schedule::Wavefront, Schedule::Diamond,
+                             Schedule::DeepTemporal}) {
+        KernelConfig W;
+        W.Threads = T;
+        W.Sched = Sched;
+        W.WavefrontDepth = 2;
+        Add(W);
+      }
   }
 
   // Cross-axis combinations (fold x block x wavefront x threads).
@@ -187,6 +196,30 @@ std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
     C.Threads = MaxT;
     if (SingleInput)
       C.WavefrontDepth = 3;
+    Add(C);
+  }
+  {
+    // Fold x block x diamond x threads.
+    KernelConfig C;
+    C.VectorFold = {2, 2, 1};
+    C.Block = {3, 5, 2};
+    C.Threads = 2;
+    if (SingleInput) {
+      C.Sched = Schedule::Diamond;
+      C.WavefrontDepth = 3;
+    }
+    Add(C);
+  }
+  {
+    // Fold x deep-temporal at a depth whose skew exceeds the z extent of
+    // small test grids (the pipeline must still be exact).
+    KernelConfig C;
+    C.VectorFold = {4, 1, 1};
+    C.Threads = MaxT;
+    if (SingleInput) {
+      C.Sched = Schedule::DeepTemporal;
+      C.WavefrontDepth = 4;
+    }
     Add(C);
   }
   {

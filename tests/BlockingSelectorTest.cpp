@@ -61,19 +61,42 @@ TEST(BlockingSelector, CandidateSpaceRespectsDims) {
   }
 }
 
-TEST(BlockingSelector, CandidateSpaceAddsWavefrontDepths) {
+TEST(BlockingSelector, CandidateSpaceAddsTemporalSchedules) {
   std::vector<KernelConfig> Plain =
       BlockingSelector::candidateSpace(BigDims, KernelConfig(), false);
-  std::vector<KernelConfig> Wave =
+  std::vector<KernelConfig> Temporal =
       BlockingSelector::candidateSpace(BigDims, KernelConfig(), true);
-  EXPECT_GT(Wave.size(), Plain.size());
-  bool SawDepth = false;
-  for (const KernelConfig &C : Wave)
-    if (C.WavefrontDepth > 1) {
-      SawDepth = true;
+  EXPECT_GT(Temporal.size(), Plain.size());
+  for (const KernelConfig &C : Plain)
+    EXPECT_EQ(C.WavefrontDepth, 1);
+
+  bool SawWavefront = false, SawDiamond = false, SawDeepTemporal = false;
+  for (const KernelConfig &C : Temporal) {
+    EXPECT_TRUE(C.validate().empty()) << C.str();
+    if (C.WavefrontDepth <= 1)
+      continue;
+    switch (C.Sched) {
+    case Schedule::Wavefront:
+      SawWavefront = true;
       EXPECT_GT(C.Block.Z, 0); // Wavefront only with z-blocking.
+      break;
+    case Schedule::Diamond:
+      SawDiamond = true;
+      EXPECT_GT(C.Block.Z, 0); // The z block doubles as the tile width.
+      break;
+    case Schedule::DeepTemporal:
+      SawDeepTemporal = true;
+      EXPECT_EQ(C.Block.Z, 0); // Per-plane pipeline: z block irrelevant.
+      EXPECT_GE(C.WavefrontDepth, 4); // Exists for high depths.
+      break;
+    case Schedule::Sweep:
+      ADD_FAILURE() << "sweep candidate with temporal depth: " << C.str();
+      break;
     }
-  EXPECT_TRUE(SawDepth);
+  }
+  EXPECT_TRUE(SawWavefront);
+  EXPECT_TRUE(SawDiamond);
+  EXPECT_TRUE(SawDeepTemporal);
 }
 
 TEST(BlockingSelector, SelectBestIsArgmaxOverSpace) {

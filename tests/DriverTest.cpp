@@ -274,6 +274,38 @@ TEST(Driver, VerifyRejectsBadArguments) {
   EXPECT_NE(Out.find("wavefront"), std::string::npos);
 }
 
+TEST(Driver, ScheduleFlagSelectsTemporalSchedules) {
+  // Valid schedules flow through to the config (visible in the echoed
+  // config string) and run end to end on the temporal paths.
+  std::string Out = run({"predict", "heat3d", "--dims", "256", "--bz", "8",
+                         "--wf", "4", "--schedule", "diamond"});
+  EXPECT_NE(Out.find("sched=diamond"), std::string::npos) << Out;
+
+  Out = run({"verify", "heat3d", "--dims", "10x8x6", "--wf", "3",
+             "--schedule", "deep-temporal", "--seeds", "1"});
+  EXPECT_NE(Out.find("all match the reference interpreter"),
+            std::string::npos)
+      << Out;
+
+  Out = run({"trace", "heat3d", "--dims", "24x20x16", "--bz", "4", "--wf",
+             "2", "--schedule", "diamond"});
+  EXPECT_NE(Out.find("bytes/LUP"), std::string::npos) << Out;
+}
+
+TEST(Driver, ScheduleFlagRejectsBadCombinations) {
+  std::string Out;
+  EXPECT_NE(runDriver({"predict", "heat3d", "--schedule", "zigzag"}, Out),
+            0);
+  EXPECT_NE(Out.find("unknown schedule"), std::string::npos) << Out;
+  Out.clear();
+  // Sweep cannot fuse timesteps: validate() rejects the combination.
+  EXPECT_NE(runDriver({"verify", "heat3d", "--schedule", "sweep", "--wf",
+                       "2"},
+                      Out),
+            0);
+  EXPECT_NE(Out.find("sweep"), std::string::npos) << Out;
+}
+
 TEST(Driver, PredictAsmFlagEmitsPseudoAssembly) {
   std::string Out = run({"predict", "heat3d", "--fold", "8x1x1", "--asm"});
   EXPECT_NE(Out.find("vfmadd"), std::string::npos);

@@ -287,6 +287,98 @@ TEST(ECMModel, WavefrontNoopWhenWindowSpills) {
                    PP.Traffic.BytesPerLup.back());
 }
 
+TEST(ECMModel, SpillsAtExactCapacityBoundary) {
+  // The window is never the cache's only tenant: WorkingSet == SizeBytes
+  // must already spill (>=, not >), and one byte of slack must fit.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  KernelConfig Wave = avx512Config();
+  Wave.WavefrontDepth = 4;
+  Wave.Block.Z = 8;
+  GridDims Dims{128, 128, 256};
+  StencilSpec S = StencilSpec::heat3d();
+
+  // Wavefront window: Depth*R + 2*Bz = 4 + 16 planes, two buffers.
+  unsigned long long WindowPlanes = 4ull * 1 + 2ull * 8;
+  unsigned long long WorkingSet =
+      2ull * WindowPlanes * Dims.Nx * Dims.Ny * 8;
+
+  MachineModel Exact = M;
+  Exact.Caches.back().SizeBytes = WorkingSet;
+  ECMModel ExactModel(Exact);
+  KernelConfig Plain = Wave;
+  Plain.WavefrontDepth = 1;
+  ECMPrediction PP = ExactModel.predict(S, Dims, Plain);
+  ECMPrediction PW = ExactModel.predict(S, Dims, Wave);
+  EXPECT_DOUBLE_EQ(PW.Traffic.BytesPerLup.back(),
+                   PP.Traffic.BytesPerLup.back())
+      << "exactly-full window must count as spilled";
+
+  MachineModel Fits = M;
+  Fits.Caches.back().SizeBytes = WorkingSet + 1;
+  ECMModel FitsModel(Fits);
+  ECMPrediction PFPlain = FitsModel.predict(S, Dims, Plain);
+  ECMPrediction PF = FitsModel.predict(S, Dims, Wave);
+  EXPECT_LT(PF.Traffic.BytesPerLup.back(),
+            PFPlain.Traffic.BytesPerLup.back())
+      << "one byte of slack must enable the temporal rescale";
+}
+
+TEST(ECMModel, DiamondReducesMemoryTermWithReloadFactor) {
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  KernelConfig Plain = avx512Config();
+  KernelConfig Diamond = avx512Config();
+  Diamond.Sched = Schedule::Diamond;
+  Diamond.WavefrontDepth = 4;
+  Diamond.Block.Z = 32; // Tile width 32 >= 2*4*1.
+  GridDims Dims{128, 128, 256};
+  StencilSpec S = StencilSpec::heat3d();
+  ECMPrediction PP = Model.predict(S, Dims, Plain);
+  ECMPrediction PD = Model.predict(S, Dims, Diamond);
+  // Clear win over plain sweeps...
+  EXPECT_LT(PD.Traffic.BytesPerLup.back(),
+            PP.Traffic.BytesPerLup.back() * 0.75);
+  // ...but the boundary diamonds reload ~2*Depth*R planes per tile, so
+  // diamond traffic carries a (W + 2*R*Depth)/W factor over the pure
+  // 32/Depth streaming floor that a fitting wavefront reaches (Bz=8
+  // keeps the wavefront window inside L3 on these dims).
+  KernelConfig Wave = avx512Config();
+  Wave.Sched = Schedule::Wavefront;
+  Wave.WavefrontDepth = 4;
+  Wave.Block.Z = 8;
+  ECMPrediction PW = Model.predict(S, Dims, Wave);
+  EXPECT_GT(PD.Traffic.BytesPerLup.back(),
+            PW.Traffic.BytesPerLup.back());
+}
+
+TEST(ECMModel, DeepTemporalSustainsDepthsThatSpillTheWavefront) {
+  // At depth 16 with a 64-plane z block the wavefront window (144 planes,
+  // 36 MiB) spills L3, but the deep-temporal pipeline window (~20 planes,
+  // 5 MiB) still fits — the signature that justifies the schedule.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  GridDims Dims{128, 128, 512};
+  StencilSpec S = StencilSpec::heat3d();
+  KernelConfig Plain = avx512Config();
+
+  KernelConfig Wave = avx512Config();
+  Wave.WavefrontDepth = 16;
+  Wave.Block.Z = 64;
+  KernelConfig Deep = avx512Config();
+  Deep.Sched = Schedule::DeepTemporal;
+  Deep.WavefrontDepth = 16;
+
+  ECMPrediction PP = Model.predict(S, Dims, Plain);
+  ECMPrediction PW = Model.predict(S, Dims, Wave);
+  ECMPrediction PD = Model.predict(S, Dims, Deep);
+  EXPECT_DOUBLE_EQ(PW.Traffic.BytesPerLup.back(),
+                   PP.Traffic.BytesPerLup.back())
+      << "wavefront window must spill at this depth";
+  EXPECT_LT(PD.Traffic.BytesPerLup.back(),
+            PP.Traffic.BytesPerLup.back() * 0.2)
+      << "deep-temporal must keep the 32/Depth streaming floor";
+}
+
 TEST(ECMModel, PredictedSecondsScalesWithWork) {
   MachineModel M = MachineModel::cascadeLakeSP();
   ECMModel Model(M);

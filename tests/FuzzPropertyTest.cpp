@@ -59,6 +59,16 @@ KernelConfig randomConfig(Rng &R) {
     Fold Folds[] = {{1, 1, 1}, {4, 1, 1}, {2, 2, 1}, {1, 2, 2}};
     C.VectorFold = Folds[R.nextBounded(4)];
   }
+  // ~1 in 3 configs are temporal, spread over all three temporal
+  // schedules and a few fusion depths.  Paths that ignore the schedule
+  // (single sweeps, trace replays without runTemporal) must keep working
+  // when these fields are set.
+  if (R.nextBounded(3) == 0) {
+    Schedule Scheds[] = {Schedule::Wavefront, Schedule::Diamond,
+                         Schedule::DeepTemporal};
+    C.Sched = Scheds[R.nextBounded(3)];
+    C.WavefrontDepth = 2 + static_cast<int>(R.nextBounded(3));
+  }
   return C;
 }
 
@@ -89,36 +99,74 @@ TEST_P(FuzzSeed, ExecutorMatchesReference) {
       << " (test seed " << GetParam() << ")";
 }
 
-TEST_P(FuzzSeed, WavefrontMatchesPlainStepping) {
+TEST_P(FuzzSeed, TemporalSchedulesMatchPlainStepping) {
   Rng R(GetParam());
-  // Wavefront needs a symmetric-ish halo but works for any spec; reuse
-  // the random one.
+  // Every temporal schedule must reproduce plain stepping bit for bit on
+  // random specs, step counts, depths, and z blockings.
   StencilSpec Spec = randomSpec(R);
   GridDims Dims{10, 9, static_cast<long>(8 + R.nextBounded(10))};
   int Steps = 2 + static_cast<int>(R.nextBounded(5));
   int Depth = 2 + static_cast<int>(R.nextBounded(3));
 
   int Halo = Spec.radius();
-  Grid UPlain(Dims, Halo);
+  Grid U0(Dims, Halo);
   const uint64_t FillSeed = GetParam() * 31 + 7;
-  fillPattern(UPlain, GridPattern::Random, FillSeed);
-  Grid UWave(Dims, Halo);
-  UWave.copyInteriorFrom(UPlain);
-  Grid S1(Dims, Halo), S2(Dims, Halo);
+  fillPattern(U0, GridPattern::Random, FillSeed);
 
+  Grid UPlain(Dims, Halo);
+  UPlain.copyInteriorFrom(U0);
+  Grid S1(Dims, Halo), S2(Dims, Halo);
   KernelExecutor Plain(Spec, KernelConfig());
   Plain.runTimeSteps(UPlain, S1, Steps);
 
-  KernelConfig WaveCfg;
-  WaveCfg.WavefrontDepth = Depth;
-  WaveCfg.Block.Z = 1 + static_cast<long>(R.nextBounded(6));
-  KernelExecutor Wave(Spec, WaveCfg);
-  Wave.runTimeSteps(UWave, S2, Steps);
+  for (Schedule Sched : {Schedule::Wavefront, Schedule::Diamond,
+                         Schedule::DeepTemporal}) {
+    KernelConfig Cfg;
+    Cfg.Sched = Sched;
+    Cfg.WavefrontDepth = Depth;
+    if (Sched != Schedule::DeepTemporal)
+      Cfg.Block.Z = 1 + static_cast<long>(R.nextBounded(6));
+    ASSERT_EQ(Cfg.validate(), "");
 
-  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0)
-      << "steps=" << Steps << " depth=" << Depth
-      << " pattern=random seed=" << FillSeed << " (test seed "
+    Grid UT(Dims, Halo);
+    UT.copyInteriorFrom(U0);
+    KernelExecutor Exec(Spec, Cfg);
+    Exec.runTimeSteps(UT, S2, Steps);
+    EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UT), 0.0)
+        << "sched=" << scheduleName(Sched) << " steps=" << Steps
+        << " depth=" << Depth << " pattern=random seed=" << FillSeed
+        << " (test seed " << GetParam() << ")";
+  }
+}
+
+TEST_P(FuzzSeed, TemporalTraceMatchesExecutorLupCount) {
+  Rng R(GetParam());
+  // The trace replay of a temporal schedule must account exactly
+  // Depth * Nx*Ny*Nz lattice updates per macro step and report nonzero
+  // traffic at every cache boundary it models.
+  StencilSpec Spec = randomSpec(R);
+  KernelConfig Cfg;
+  Schedule Scheds[] = {Schedule::Wavefront, Schedule::Diamond,
+                       Schedule::DeepTemporal};
+  Cfg.Sched = Scheds[R.nextBounded(3)];
+  Cfg.WavefrontDepth = 2 + static_cast<int>(R.nextBounded(3));
+  if (Cfg.Sched != Schedule::DeepTemporal)
+    Cfg.Block.Z = 1 + static_cast<long>(R.nextBounded(6));
+  ASSERT_EQ(Cfg.validate(), "");
+  GridDims Dims{static_cast<long>(16 + R.nextBounded(8)),
+                static_cast<long>(12 + R.nextBounded(6)),
+                static_cast<long>(10 + R.nextBounded(8))};
+
+  CacheHierarchySim Sim({{"L1", 8 * 1024, 8, 64},
+                         {"L2", 64 * 1024, 8, 64}});
+  StencilTraceRunner Runner(Spec, Dims, Cfg);
+  TraceTraffic T = Runner.runTemporal(Sim);
+  EXPECT_EQ(T.Lups, static_cast<unsigned long long>(Cfg.WavefrontDepth) *
+                        Dims.Nx * Dims.Ny * Dims.Nz)
+      << "sched=" << scheduleName(Cfg.Sched) << " (test seed "
       << GetParam() << ")";
+  for (double B : T.BytesPerLup)
+    EXPECT_GT(B, 0.0) << scheduleName(Cfg.Sched);
 }
 
 TEST_P(FuzzSeed, CacheSimCountersSelfConsistent) {

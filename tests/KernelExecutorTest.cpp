@@ -266,6 +266,166 @@ TEST(KernelExecutor, WavefrontWithThreads) {
   EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, UWave), 0.0);
 }
 
+//===----------------------------------------------------------------------===//
+// Property sweep: diamond / deep-temporal schedules == plain stepping.
+//===----------------------------------------------------------------------===//
+
+struct ScheduleCase {
+  Schedule Sched;
+  int Depth;
+  int Radius;
+  long Bz;
+  int Steps;
+};
+
+class ScheduleEquivalence : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleEquivalence, MatchesPlainTimeStepping) {
+  ScheduleCase P = GetParam();
+  StencilSpec S = StencilSpec::star3d(P.Radius);
+  GridDims Dims{12, 10, 16};
+
+  Grid UPlain = randomGrid(Dims, P.Radius);
+  Grid USched(Dims, P.Radius);
+  USched.copyInteriorFrom(UPlain);
+  Grid S1(Dims, P.Radius), S2(Dims, P.Radius);
+
+  KernelExecutor ExecPlain(S, KernelConfig());
+  ExecPlain.runTimeSteps(UPlain, S1, P.Steps);
+
+  KernelConfig C;
+  C.Sched = P.Sched;
+  C.WavefrontDepth = P.Depth;
+  C.Block.Z = P.Bz;
+  KernelExecutor ExecSched(S, C);
+  ExecSched.runTimeSteps(USched, S2, P.Steps);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, USched), 0.0)
+      << "sched=" << scheduleName(P.Sched) << " depth=" << P.Depth
+      << " r=" << P.Radius << " bz=" << P.Bz << " steps=" << P.Steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Diamonds, ScheduleEquivalence,
+    ::testing::Values(
+        // Multi-tile (Nz=16 > W), single-tile degenerate (W >= Nz),
+        // odd depth (buffer swap), wide radius, non-multiple steps.
+        ScheduleCase{Schedule::Diamond, 2, 1, 4, 4},
+        ScheduleCase{Schedule::Diamond, 2, 1, 4, 5},
+        ScheduleCase{Schedule::Diamond, 3, 1, 2, 9},
+        ScheduleCase{Schedule::Diamond, 2, 2, 8, 4},
+        ScheduleCase{Schedule::Diamond, 4, 1, 0, 8},
+        ScheduleCase{Schedule::Diamond, 8, 1, 2, 16},
+        ScheduleCase{Schedule::Diamond, 2, 1, 32, 6}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DeepTemporal, ScheduleEquivalence,
+    ::testing::Values(
+        // Depths beyond the z extent's skew, odd depths, wide radius,
+        // leftover plain steps (steps not a depth multiple).
+        ScheduleCase{Schedule::DeepTemporal, 2, 1, 0, 4},
+        ScheduleCase{Schedule::DeepTemporal, 3, 1, 4, 9},
+        ScheduleCase{Schedule::DeepTemporal, 4, 2, 0, 8},
+        ScheduleCase{Schedule::DeepTemporal, 8, 1, 0, 16},
+        ScheduleCase{Schedule::DeepTemporal, 16, 1, 0, 16},
+        ScheduleCase{Schedule::DeepTemporal, 4, 1, 0, 6}));
+
+TEST(KernelExecutor, DiamondWithThreads) {
+  ThreadPool Pool(3);
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 12, 12};
+  Grid UPlain = randomGrid(Dims, 1);
+  Grid USched(Dims, 1);
+  USched.copyInteriorFrom(UPlain);
+  Grid S1(Dims, 1), S2(Dims, 1);
+
+  KernelExecutor ExecPlain(S, KernelConfig());
+  ExecPlain.runTimeSteps(UPlain, S1, 4);
+
+  KernelConfig C;
+  C.Sched = Schedule::Diamond;
+  C.WavefrontDepth = 2;
+  C.Block.Z = 4;
+  C.Block.Y = 5;
+  C.Threads = 3;
+  KernelExecutor ExecSched(S, C);
+  ExecSched.runTimeSteps(USched, S2, 4, &Pool);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, USched), 0.0);
+}
+
+TEST(KernelExecutor, DeepTemporalWithThreads) {
+  ThreadPool Pool(4);
+  StencilSpec S = StencilSpec::heat3d();
+  GridDims Dims{12, 12, 12};
+  Grid UPlain = randomGrid(Dims, 1);
+  Grid USched(Dims, 1);
+  USched.copyInteriorFrom(UPlain);
+  Grid S1(Dims, 1), S2(Dims, 1);
+
+  KernelExecutor ExecPlain(S, KernelConfig());
+  ExecPlain.runTimeSteps(UPlain, S1, 6);
+
+  KernelConfig C;
+  C.Sched = Schedule::DeepTemporal;
+  C.WavefrontDepth = 3;
+  C.Block.Y = 4;
+  C.Threads = 4;
+  KernelExecutor ExecSched(S, C);
+  ExecSched.runTimeSteps(USched, S2, 6, &Pool);
+
+  EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, USched), 0.0);
+}
+
+TEST(KernelExecutor, ScheduleNonzeroBoundary) {
+  // Constant-in-time Dirichlet boundary must be honored by both new
+  // schedules (both buffers carry the halo).
+  for (Schedule Sched : {Schedule::Diamond, Schedule::DeepTemporal}) {
+    StencilSpec S = StencilSpec::star3d(1, 0.25, 0.125);
+    GridDims Dims{8, 8, 12};
+    Grid UPlain(Dims, 1);
+    Rng R(9);
+    UPlain.fillRandom(R);
+    UPlain.fillHalo(1.5);
+    Grid USched(Dims, 1);
+    USched.copyInteriorFrom(UPlain);
+    USched.fillHalo(1.5);
+    Grid S1(Dims, 1), S2(Dims, 1);
+    S1.fillHalo(1.5);
+    S2.fillHalo(1.5);
+
+    KernelExecutor ExecPlain(S, KernelConfig());
+    ExecPlain.runTimeSteps(UPlain, S1, 4);
+
+    KernelConfig C;
+    C.Sched = Sched;
+    C.WavefrontDepth = 2;
+    C.Block.Z = 4;
+    KernelExecutor ExecSched(S, C);
+    ExecSched.runTimeSteps(USched, S2, 4);
+
+    EXPECT_EQ(Grid::maxAbsDiffInterior(UPlain, USched), 0.0)
+        << scheduleName(Sched);
+  }
+}
+
+TEST(KernelExecutor, InvalidDepthRejectedByValidation) {
+  // The executor no longer clamps an invalid wavefront depth; every entry
+  // point must reject it via KernelConfig::validate() before construction.
+  for (int Depth : {0, -1, -7}) {
+    KernelConfig C;
+    C.WavefrontDepth = Depth;
+    EXPECT_FALSE(C.validate().empty()) << "wf=" << Depth;
+  }
+  KernelConfig SweepFused;
+  SweepFused.Sched = Schedule::Sweep;
+  SweepFused.WavefrontDepth = 2;
+  EXPECT_FALSE(SweepFused.validate().empty());
+  KernelConfig SweepPlain;
+  SweepPlain.Sched = Schedule::Sweep;
+  EXPECT_TRUE(SweepPlain.validate().empty());
+}
+
 TEST(KernelExecutor, WavefrontNonzeroBoundary) {
   // Constant-in-time Dirichlet boundary must be honored by the wavefront
   // path (both buffers carry the halo).

@@ -94,6 +94,53 @@ TEST(OnlineTuner, ConvergesOnPlantedOptimum) {
   EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
 }
 
+TEST(OnlineTuner, DiamondScheduleCanWinThePlantedOptimum) {
+  // Candidate rotation spanning all four schedules; the diamond config is
+  // planted fastest.  The tuner must lock onto it from the cache alone and
+  // the production steps it runs under the diamond schedule must stay
+  // bit-identical to plain stepping.
+  StencilSpec S = StencilSpec::heat3d();
+  MachineModel M = MachineModel::cascadeLakeSP();
+  std::string Id = TuningCache::machineId(M);
+
+  KernelConfig Plain; // Sweep-equivalent: depth 1.
+  KernelConfig Wave;
+  Wave.WavefrontDepth = 4;
+  Wave.Block.Z = 2;
+  KernelConfig Diamond;
+  Diamond.Sched = Schedule::Diamond;
+  Diamond.WavefrontDepth = 4;
+  Diamond.Block.Z = 2;
+  KernelConfig Deep;
+  Deep.Sched = Schedule::DeepTemporal;
+  Deep.WavefrontDepth = 4;
+  std::vector<KernelConfig> Candidates = {Plain, Wave, Diamond, Deep};
+
+  TuningCache Cache;
+  plant(Cache, S, Id, Candidates[0], 4e-3);
+  plant(Cache, S, Id, Candidates[1], 3e-3);
+  plant(Cache, S, Id, Candidates[2], 1e-3); // Diamond: planted optimum.
+  plant(Cache, S, Id, Candidates[3], 2e-3);
+
+  OnlineTuner Tuner(S, Candidates, /*StepsPerTrial=*/2);
+  Tuner.attachCache(&Cache, M);
+
+  const int Steps = 9;
+  Grid U(kDims, S.radius());
+  fillPattern(U, GridPattern::Random, 7);
+  Grid Scratch(kDims, S.radius());
+  Scratch.copyHaloFrom(U);
+  OnlineTuner::Result R = Tuner.run(U, Scratch, Steps);
+
+  EXPECT_TRUE(R.Best == Candidates[2]) << R.Best.str();
+  EXPECT_EQ(R.Best.Sched, Schedule::Diamond);
+  EXPECT_EQ(R.TrialsRun, 0u);
+  EXPECT_EQ(R.CachedTrials, 4u);
+
+  Grid Want = expectedState(S, 7, Steps);
+  EXPECT_EQ(Grid::maxAbsDiffInterior(Want, U), 0.0);
+}
+
 TEST(OnlineTuner, WarmupStepsAreAccountedAndExcludedFromTiming) {
   StencilSpec S = StencilSpec::heat3d();
   std::vector<KernelConfig> Candidates = makeCandidates();

@@ -486,6 +486,64 @@ TEST(ServeProtocolTest, RequestsAndResponsesLineByLine) {
   EXPECT_EQ(Ok(11), true);
 }
 
+// Robustness sweep for the serve loop: CRLF / trailing-whitespace framing,
+// malformed lines, unknown ops, and bad config fields must each produce an
+// error response without killing the loop — later requests still answer.
+TEST(ServeProtocolTest, BadInputKeepsTheLoopAlive) {
+  ServiceOptions SO;
+  SO.MeasureOverride = [](const KernelConfig &) { return 100.0; };
+
+  std::istringstream In(
+      "{\"op\":\"ping\",\"id\":\"crlf\"}\r\n" // CRLF transport framing
+      "{\"op\":\"ping\",\"id\":\"pad\"}   \t\n" // trailing whitespace
+      "\r\n"        // whitespace-only line: skipped, not malformed
+      "not json\n"  // malformed: error, loop alive
+      "{\"op\":\"wat\"}\n" // unknown op: error, loop alive
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"64\","
+      "\"schedule\":\"zigzag\"}\n" // unknown schedule: error, loop alive
+      "{\"op\":\"predict\",\"stencil\":\"heat3d\",\"dims\":\"256\","
+      "\"bz\":8,\"wf\":4,\"schedule\":\"diamond\",\"sim\":\"off\"}\n"
+      "{\"op\":\"ping\",\"id\":\"alive\"}\n"); // the loop survived it all
+  std::ostringstream OutStream;
+  EXPECT_EQ(runServeLoop(In, OutStream, SO), 0); // EOF exit, no shutdown op.
+
+  std::vector<std::string> Lines;
+  {
+    std::istringstream Split(OutStream.str());
+    std::string Line;
+    while (std::getline(Split, Line))
+      Lines.push_back(Line);
+  }
+  ASSERT_EQ(Lines.size(), 7u) << OutStream.str();
+  for (const std::string &Line : Lines)
+    EXPECT_TRUE(jsonLooksWellFormed(Line)) << Line;
+
+  auto Field = [&](size_t I, const char *Key) {
+    return jsonStringField(Lines[I], Key).value_or("");
+  };
+  auto Ok = [&](size_t I) { return jsonBoolField(Lines[I], "ok"); };
+
+  EXPECT_EQ(Ok(0), true) << "CRLF-terminated request must parse";
+  EXPECT_EQ(Field(0, "id"), "crlf");
+  EXPECT_EQ(Ok(1), true) << "trailing whitespace must be trimmed";
+  EXPECT_EQ(Field(1, "id"), "pad");
+
+  EXPECT_EQ(Ok(2), false);
+  EXPECT_NE(Field(2, "error").find("malformed"), std::string::npos);
+  EXPECT_EQ(Ok(3), false);
+  EXPECT_NE(Field(3, "error").find("unknown op"), std::string::npos);
+  EXPECT_EQ(Ok(4), false);
+  EXPECT_NE(Field(4, "error").find("unknown schedule"), std::string::npos);
+
+  EXPECT_EQ(Ok(5), true) << Lines[5];
+  EXPECT_NE(Field(5, "config").find("sched=diamond"), std::string::npos)
+      << Lines[5];
+  EXPECT_GT(jsonNumberField(Lines[5], "mlups").value_or(0), 0.0);
+
+  EXPECT_EQ(Ok(6), true);
+  EXPECT_EQ(Field(6, "id"), "alive");
+}
+
 // The predict-path simulator cross-check: Auto picks a full replay for
 // small (residency-ambiguous) grids, samples streaming grids, and skips
 // with a reason when even the sampled replay busts the service budget.

@@ -96,6 +96,33 @@ TEST(TuningStrategy, HierarchicalCheaperThanExhaustive) {
   EXPECT_EQ(R.Best.Block.Z, 8);
 }
 
+TEST(TuningStrategy, HierarchicalSweepsTheScheduleStage) {
+  // An objective that rewards the diamond schedule: coordinate descent
+  // must reach it through the stage-4 schedule sweep even though stages
+  // 1-3 settle on a wavefront config first.
+  struct DiamondLover {
+    mutable unsigned Calls = 0;
+    double operator()(const KernelConfig &C) const {
+      ++Calls;
+      double Score = 1000.0;
+      Score -= std::abs(static_cast<double>(C.Block.Y) - 32.0);
+      Score -= 2.0 * std::abs(static_cast<double>(C.Block.Z) - 8.0);
+      Score -= 10.0 * std::abs(C.WavefrontDepth - 4.0);
+      if (C.Sched == Schedule::Diamond)
+        Score += 25.0;
+      return Score;
+    }
+  } Obj;
+  HierarchicalStrategy S;
+  std::vector<KernelConfig> Space = space();
+  TuningResult R = S.tune(Space, [&](const KernelConfig &C) {
+    return Obj(C);
+  });
+  EXPECT_LT(R.Measurements, Space.size() / 2);
+  EXPECT_EQ(R.Best.Sched, Schedule::Diamond) << R.Best.str();
+  EXPECT_EQ(R.Best.WavefrontDepth, 4);
+}
+
 TEST(TuningStrategy, ModelGuidedRunsNothing) {
   MachineModel M = MachineModel::cascadeLakeSP();
   ECMModel Model(M);

@@ -12,6 +12,11 @@
 #                        memory-traffic delta across the E14 grid-size
 #                        staircase (bench_e4_layer_conditions --ys-json)
 #
+#   BENCH_schedules.json  predicted and simulated memory traffic per
+#                         temporal schedule (wavefront / diamond /
+#                         deep-temporal) and fusion depth, plus host
+#                         wall-clock rows (bench_e7_wavefront --ys-json)
+#
 # The scalar-vs-folded comparison exits non-zero when the best folded
 # kernel falls below 0.9x scalar throughput on any target, and the
 # cache-simulation rows gate the sampled fast mode (>= 10x wall speedup
@@ -30,6 +35,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 cd "$BUILD_DIR"
 ./bench/bench_micro_kernels --ys-compare --ys-json=BENCH_micro.json
 ./bench/bench_e4_layer_conditions --ys-json=BENCH_cachesim.json
+./bench/bench_e7_wavefront --ys-json=BENCH_schedules.json
 
 echo "bench results:"
 ls -l BENCH_*.json
