@@ -4,82 +4,290 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// E15: domain decomposition (YASK's multi-rank substrate, simulated
-/// in-process).  Reports the halo-exchange payload per step as the rank
-/// count grows, its share of the sweep's memory traffic, and verifies the
-/// distributed result stays bit-identical to the monolithic run.
+/// E15: domain decomposition with overlapped halo exchange (YASK's
+/// multi-rank substrate, simulated in-process).  Three views:
+///
+///  * equivalence: distributed stepping — serial and overlapped exchange,
+///    plain and temporal schedules, deep halos — must be bit-identical to
+///    the monolithic run on the owned planes;
+///  * accounting: exchange rounds amortize with halo depth
+///    (ceil(steps / (halo/radius)) rounds), and the byte counter scales
+///    with ranks and rounds;
+///  * overlap: on a communication-heavy configuration the staged
+///    memcpy exchange overlapped with interior compute beats the
+///    serialized exchange-then-compute baseline at >= 2 ranks.
+///
+/// --ys-smoke        shrunk run gating all three (the `distributed` ctest
+///                   label).
+/// --ys-json[=PATH]  emit one JSON-lines row per case to PATH (default
+///                   BENCH_distributed.json).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "codegen/DomainDecomposition.h"
+#include "ecm/ECMModel.h"
 #include "support/Table.h"
 #include "support/Timer.h"
 
+#include <cstring>
+
 using namespace ys;
 
-int main() {
-  ysbench::banner("E15", "Domain decomposition and halo exchange",
-                  "z-slab ranks; halo share = exchange payload over the "
-                  "sweep's streaming traffic (24 B/LUP).");
+namespace {
+
+struct CaseRow {
+  unsigned Ranks = 1;
+  Schedule Sched = Schedule::Sweep;
+  int Depth = 1;
+  int HaloDepth = 1;
+  ExchangeMode Mode = ExchangeMode::Overlapped;
+  unsigned long long Rounds = 0;
+  unsigned long long HaloBytes = 0;
+  double SecondsPerStep = 0;
+  double MaxDiff = 0;
+};
+
+const char *modeName(ExchangeMode M) {
+  return M == ExchangeMode::Serial ? "serial" : "overlapped";
+}
+
+KernelConfig caseConfig(Schedule Sched, int Depth, unsigned Ranks,
+                        unsigned Threads) {
+  KernelConfig C;
+  C.Sched = Sched;
+  C.WavefrontDepth = Depth;
+  C.Ranks = Ranks;
+  C.Threads = Threads;
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  bool WriteJson = false;
+  std::string JsonPath = "BENCH_distributed.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--ys-smoke") == 0)
+      Smoke = true;
+    else if (std::strcmp(argv[I], "--ys-json") == 0)
+      WriteJson = true;
+    else if (std::strncmp(argv[I], "--ys-json=", 10) == 0) {
+      WriteJson = true;
+      JsonPath = argv[I] + 10;
+    }
+  }
+
+  ysbench::banner("E15", "Distributed stepping with overlapped halo "
+                         "exchange",
+                  "z-slab ranks in-process; overlapped = staged memcpy "
+                  "exchange concurrent with interior trapezoids.");
 
   StencilSpec S = StencilSpec::heat3d();
-  GridDims Dims{96, 96, 96};
+  const long R = std::max(1, S.radius());
+  GridDims Dims = Smoke ? GridDims{48, 48, 48} : GridDims{96, 96, 96};
   const int Steps = 4;
+  unsigned Threads = std::max(2u, std::min(4u,
+      ThreadPool::defaultThreadCount()));
+  ThreadPool Pool(Threads);
 
   Grid Global(Dims, 1);
-  Rng R(5);
-  Global.fillRandom(R);
+  Rng Rand(5);
+  Global.fillRandom(Rand);
 
-  // Monolithic reference for the equivalence column.
-  Grid URef(Dims, 1), Scratch(Dims, 1);
-  URef.copyInteriorFrom(Global);
-  KernelExecutor Exec(S, KernelConfig());
-  Exec.runTimeSteps(URef, Scratch, Steps);
+  // -- Equivalence & accounting: ranks x schedules x exchange modes ------
+  struct SchedCase {
+    Schedule Sched;
+    int Depth;
+  };
+  std::vector<SchedCase> Scheds = {{Schedule::Sweep, 1},
+                                   {Schedule::Wavefront, 2},
+                                   {Schedule::DeepTemporal, 2}};
+  std::vector<unsigned> RankCounts = Smoke ? std::vector<unsigned>{2, 3}
+                                           : std::vector<unsigned>{2, 3, 8};
 
-  Table T({"ranks", "halo B/step", "halo share", "host s/step",
-           "max |diff| vs monolithic"});
-  for (unsigned Ranks : {1u, 2u, 4u, 8u}) {
-    DecomposedGrid U(Dims, Ranks, 1), V(Dims, Ranks, 1);
-    U.scatter(Global);
-    Grid Zero(Dims, 1);
-    V.scatter(Zero);
-    DistributedStepper Stepper(S, KernelConfig());
-    Timer Tm;
-    Stepper.runTimeSteps(U, V, Steps);
-    double Secs = Tm.seconds() / Steps;
-    Grid Result(Dims, 1);
-    U.gather(Result);
+  std::vector<CaseRow> Rows;
+  Table T({"ranks", "schedule", "halo", "mode", "rounds", "halo B/step",
+           "host s/step", "max |diff|"});
+  int Failures = 0;
+  for (const SchedCase &SC : Scheds) {
+    // Monolithic oracle for this schedule: same stepping, one rank.
+    Grid URef(Dims, 1), Scratch(Dims, 1);
+    URef.copyInteriorFrom(Global);
+    Scratch.copyHaloFrom(URef);
+    KernelConfig MonoC = caseConfig(SC.Sched, SC.Depth, 1, 1);
+    KernelExecutor Mono(S, MonoC);
+    Mono.runTimeSteps(URef, Scratch, Steps);
 
-    double HaloPerStep =
-        static_cast<double>(U.haloBytesExchanged() +
-                            V.haloBytesExchanged()) /
-        Steps;
-    double SweepBytes = 24.0 * static_cast<double>(Dims.lups());
-    T.addRow({format("%u", Ranks), humanBytes(
-                  static_cast<unsigned long long>(HaloPerStep)),
-              format("%.2f%%", 100.0 * HaloPerStep / SweepBytes),
-              ysbench::seconds(Secs),
-              format("%.1e", Grid::maxAbsDiffInterior(URef, Result))});
+    for (unsigned Ranks : RankCounts)
+      for (ExchangeMode Mode :
+           {ExchangeMode::Serial, ExchangeMode::Overlapped}) {
+        int Halo = static_cast<int>(R) * SC.Depth;
+        KernelConfig C = caseConfig(SC.Sched, SC.Depth, Ranks, Threads);
+        DecomposedGrid U(Dims, Ranks, Halo), V(Dims, Ranks, Halo);
+        U.scatter(Global);
+        V.scatter(Global);
+        DistributedStepper Stepper(S, C);
+        Stepper.setExchangeMode(Mode);
+        Timer Tm;
+        Stepper.runTimeSteps(U, V, Steps, &Pool);
+        double Secs = Tm.seconds() / Steps;
+        Grid Result(Dims, 1);
+        U.gather(Result);
+
+        CaseRow Row;
+        Row.Ranks = Ranks;
+        Row.Sched = SC.Sched;
+        Row.Depth = SC.Depth;
+        Row.HaloDepth = Halo;
+        Row.Mode = Mode;
+        Row.Rounds = Stepper.exchangeRounds();
+        Row.HaloBytes = U.haloBytesExchanged() / Steps;
+        Row.SecondsPerStep = Secs;
+        Row.MaxDiff = Grid::maxAbsDiffInterior(URef, Result);
+        Rows.push_back(Row);
+
+        T.addRow({format("%u", Ranks), scheduleName(SC.Sched),
+                  format("%d", Halo), modeName(Mode),
+                  format("%llu", Row.Rounds), humanBytes(Row.HaloBytes),
+                  ysbench::seconds(Secs), format("%.1e", Row.MaxDiff)});
+
+        // Gate: bit-identical owned planes, every mode and schedule.
+        if (Row.MaxDiff != 0.0) {
+          std::fprintf(stderr,
+                       "GATE: ranks=%u %s %s diverges from monolithic "
+                       "(max |diff| %.3e)\n",
+                       Ranks, scheduleName(SC.Sched), modeName(Mode),
+                       Row.MaxDiff);
+          ++Failures;
+        }
+        // Gate: deep halos amortize — one exchange per macro step of
+        // halo/radius fused sweeps.
+        int K = Stepper.stepsPerExchange(Halo);
+        unsigned long long Expect =
+            static_cast<unsigned long long>((Steps + K - 1) / K);
+        if (Row.Rounds != Expect) {
+          std::fprintf(stderr,
+                       "GATE: ranks=%u %s %s: %llu exchange rounds, "
+                       "expected %llu for %d steps at depth %d\n",
+                       Ranks, scheduleName(SC.Sched), modeName(Mode),
+                       Row.Rounds, Expect, Steps, K);
+          ++Failures;
+        }
+        if (Row.HaloBytes == 0) {
+          std::fprintf(stderr,
+                       "GATE: ranks=%u %s %s exchanged zero halo bytes\n",
+                       Ranks, scheduleName(SC.Sched), modeName(Mode));
+          ++Failures;
+        }
+      }
   }
   T.print();
 
-  std::printf("\nWeak-scaling view (per-rank slab of 96x96x24, halo "
-              "payload per rank per step is constant):\n");
-  Table TW({"ranks", "global Nz", "halo B/step/rank"});
-  for (unsigned Ranks : {2u, 4u, 8u}) {
-    GridDims WDims{96, 96, static_cast<long>(24 * Ranks)};
-    DecomposedGrid U(WDims, Ranks, 1), V(WDims, Ranks, 1);
-    Grid G(WDims, 1);
-    U.scatter(G);
-    V.scatter(G);
-    DistributedStepper Stepper(S, KernelConfig());
-    Stepper.runTimeSteps(U, V, 1);
-    double PerRank =
-        static_cast<double>(U.haloBytesExchanged()) / Ranks;
-    TW.addRow({format("%u", Ranks), format("%ld", WDims.Nz),
-               humanBytes(static_cast<unsigned long long>(PerRank))});
+  // -- Overlap: staged+overlapped vs serialized exchange-then-compute ----
+  // Communication-heavy shape: deep halo on a short z extent maximizes
+  // the exchanged share, which is exactly where overlapping pays.
+  GridDims CommDims = Smoke ? GridDims{64, 64, 32} : GridDims{128, 128, 48};
+  const int CommHalo = static_cast<int>(2 * R);
+  const int CommSteps = Smoke ? 4 : 8;
+  std::printf("\n-- Overlap vs serialized exchange (grid %s, halo %d, "
+              "%d steps, %u threads) --\n",
+              CommDims.str().c_str(), CommHalo, CommSteps, Threads);
+  Table TO({"ranks", "serial s/step", "overlapped s/step", "speedup"});
+  struct OverlapRow {
+    unsigned Ranks;
+    double SerialSec;
+    double OverlapSec;
+  };
+  std::vector<OverlapRow> Overlaps;
+  for (unsigned Ranks : {2u, 4u}) {
+    if (static_cast<long>(Ranks) * CommHalo > CommDims.Nz)
+      continue;
+    KernelConfig C = caseConfig(Schedule::Wavefront, 2, Ranks, Threads);
+    Grid CommInit(CommDims, 1);
+    Rng CR(7);
+    CommInit.fillRandom(CR);
+    double Secs[2] = {0, 0};
+    for (ExchangeMode Mode :
+         {ExchangeMode::Serial, ExchangeMode::Overlapped}) {
+      DecomposedGrid U(CommDims, Ranks, CommHalo),
+          V(CommDims, Ranks, CommHalo);
+      U.scatter(CommInit);
+      V.scatter(CommInit);
+      DistributedStepper Stepper(S, C);
+      Stepper.setExchangeMode(Mode);
+      // Warm-up builds the per-rank kernel plans outside the timing.
+      Stepper.runTimeSteps(U, V, CommSteps, &Pool);
+      TimingStats Stats = measureSeconds(
+          [&] { Stepper.runTimeSteps(U, V, CommSteps, &Pool); }, 3);
+      Secs[Mode == ExchangeMode::Overlapped] = Stats.Median / CommSteps;
+    }
+    Overlaps.push_back({Ranks, Secs[0], Secs[1]});
+    TO.addRow({format("%u", Ranks), ysbench::seconds(Secs[0]),
+               ysbench::seconds(Secs[1]),
+               format("%.2fx", Secs[0] / Secs[1])});
   }
-  TW.print();
-  return 0;
+  TO.print();
+
+  // Gate: the overlapped path must beat the serialized baseline wherever
+  // at least two ranks exchange (the element-wise serial reference also
+  // copies the x/y halo ring, so staging + overlap has a double edge).
+  for (const OverlapRow &O : Overlaps)
+    if (O.OverlapSec > O.SerialSec) {
+      std::fprintf(stderr,
+                   "GATE: ranks=%u overlapped %.3g s/step slower than "
+                   "serialized %.3g s/step\n",
+                   O.Ranks, O.OverlapSec, O.SerialSec);
+      ++Failures;
+    }
+
+  // Model view: the communication-aware ECM term for the same shape.
+  MachineModel M = MachineModel::cascadeLakeSP();
+  ECMModel Model(M);
+  std::printf("\n-- Communication-aware ECM term (%s) --\n",
+              CommDims.str().c_str());
+  for (unsigned Ranks : {1u, 2u, 4u}) {
+    KernelConfig C = caseConfig(Schedule::Wavefront, 2, Ranks, Threads);
+    ECMPrediction P = Model.predict(S, CommDims, C);
+    std::printf("ranks=%u: %s\n", Ranks, P.str().c_str());
+  }
+
+  if (WriteJson) {
+    ysbench::JsonLinesWriter Json(JsonPath);
+    for (const CaseRow &Row : Rows) {
+      JsonObjectWriter Obj;
+      Obj.field("bench", "distributed")
+          .field("stencil", S.name())
+          .field("grid", Dims.str())
+          .field("ranks", static_cast<long>(Row.Ranks))
+          .field("schedule", scheduleName(Row.Sched))
+          .field("depth", static_cast<long>(Row.Depth))
+          .field("halo", static_cast<long>(Row.HaloDepth))
+          .field("mode", modeName(Row.Mode))
+          .field("exchange_rounds",
+                 static_cast<unsigned long long>(Row.Rounds))
+          .field("halo_bytes_per_step",
+                 static_cast<unsigned long long>(Row.HaloBytes))
+          .field("seconds_per_step", Row.SecondsPerStep)
+          .field("max_diff", Row.MaxDiff);
+      Json.write(Obj);
+    }
+    for (const OverlapRow &O : Overlaps) {
+      JsonObjectWriter Obj;
+      Obj.field("bench", "distributed_overlap")
+          .field("stencil", S.name())
+          .field("grid", CommDims.str())
+          .field("ranks", static_cast<long>(O.Ranks))
+          .field("halo", static_cast<long>(CommHalo))
+          .field("serial_seconds_per_step", O.SerialSec)
+          .field("overlapped_seconds_per_step", O.OverlapSec)
+          .field("overlap_speedup", O.SerialSec / O.OverlapSec);
+      Json.write(Obj);
+    }
+  }
+
+  if (Smoke)
+    std::printf("smoke: %s\n", Failures ? "FAIL" : "ok");
+  return Failures ? 1 : 0;
 }

@@ -6,41 +6,146 @@
 
 #include "codegen/DomainDecomposition.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace ys;
 
+std::string DecomposedGrid::validateParams(const GridDims &GlobalDims,
+                                           unsigned Ranks, int Halo) {
+  if (Ranks < 1)
+    return "need at least one rank";
+  if (Halo < 1)
+    return "halo depth must be >= 1";
+  if (GlobalDims.Nz < static_cast<long>(Ranks))
+    return "more ranks (" + std::to_string(Ranks) + ") than z planes (" +
+           std::to_string(GlobalDims.Nz) + "): every rank needs at least "
+           "one owned plane";
+  return "";
+}
+
 DecomposedGrid::DecomposedGrid(GridDims GlobalDims, unsigned Ranks,
                                int Halo, Fold F)
-    : GlobalDims(GlobalDims), Halo(Halo) {
-  assert(Ranks >= 1 && "need at least one rank");
-  assert(GlobalDims.Nz >= static_cast<long>(Ranks) &&
-         "more ranks than z planes");
-  long PerRank = (GlobalDims.Nz + Ranks - 1) / Ranks;
-  ZBegin.push_back(0);
-  for (unsigned R = 0; R < Ranks; ++R) {
-    long End = std::min<long>(ZBegin.back() + PerRank, GlobalDims.Nz);
-    ZBegin.push_back(End);
+    : GlobalDims(GlobalDims), Halo(Halo), F(F) {
+  std::string Err = validateParams(GlobalDims, Ranks, Halo);
+  if (!Err.empty()) {
+    // Survives release builds: a mis-sized decomposition would silently
+    // compute on empty slabs, so fail loudly in every build mode.
+    std::fprintf(stderr, "ys: DecomposedGrid: %s\n", Err.c_str());
+    std::abort();
   }
+
+  // Balanced floor+remainder split: the first Nz % Ranks slabs get one
+  // extra plane, so no slab is empty and extents differ by at most one.
+  long Base = GlobalDims.Nz / Ranks;
+  long Rem = GlobalDims.Nz % Ranks;
+  ZBegin.push_back(0);
+  for (unsigned R = 0; R < Ranks; ++R)
+    ZBegin.push_back(ZBegin.back() + Base +
+                     (static_cast<long>(R) < Rem ? 1 : 0));
+  assert(ZBegin.back() == GlobalDims.Nz && "split does not cover domain");
+
   for (unsigned R = 0; R < Ranks; ++R) {
+    long Own = ZBegin[R + 1] - ZBegin[R];
+    // Deep-halo extension: up to Halo redundantly-computed planes toward
+    // each interior-facing neighbor, clipped at the global edges (sides
+    // on the physical boundary are exact without them).
+    ExtLo.push_back(std::min<long>(Halo, ZBegin[R]));
+    ExtHi.push_back(std::min<long>(Halo, GlobalDims.Nz - ZBegin[R + 1]));
     GridDims Local{GlobalDims.Nx, GlobalDims.Ny,
-                   ZBegin[R + 1] - ZBegin[R]};
+                   ExtLo[R] + Own + ExtHi[R]};
     Slabs.push_back(std::make_unique<Grid>(Local, Halo, F));
   }
+
+  buildCopyRuns();
+}
+
+void DecomposedGrid::buildCopyRuns() {
+  // Every rank's exchanged extension pulls the owners' current values of
+  // the global planes it shadows.  With deep halos and small slabs an
+  // extension can span several owner ranks, so the needed planes are
+  // grouped into per-owner contiguous runs.
+  ContigPlanes = F.Z == 1;
+  const Grid &Proto = *Slabs[0];
+  PlaneElems = ContigPlanes
+                   ? static_cast<size_t>(Proto.numVecX()) *
+                         Proto.numVecY() * Proto.foldElems()
+                   : static_cast<size_t>(GlobalDims.Nx + 2 * Halo) *
+                         (GlobalDims.Ny + 2 * Halo);
+
+  auto OwnerOf = [&](long G) {
+    unsigned O = static_cast<unsigned>(
+        std::upper_bound(ZBegin.begin(), ZBegin.end(), G) -
+        ZBegin.begin() - 1);
+    assert(O < numRanks() && "plane has no owner");
+    return O;
+  };
+
+  size_t Offset = 0;
+  auto AddRange = [&](unsigned Dst, long GFirst, long GLast,
+                      long DstZFirst) {
+    // [GFirst, GLast) global planes landing at local z DstZFirst... in Dst.
+    long G = GFirst;
+    while (G < GLast) {
+      unsigned O = OwnerOf(G);
+      long RunEnd = std::min(GLast, ZBegin[O + 1]);
+      CopyRun Run;
+      Run.SrcRank = O;
+      Run.DstRank = Dst;
+      Run.SrcZ0 = ExtLo[O] + (G - ZBegin[O]);
+      Run.DstZ0 = DstZFirst + (G - GFirst);
+      Run.Planes = RunEnd - G;
+      Run.StageOffset = Offset;
+      Offset += static_cast<size_t>(Run.Planes) * PlaneElems;
+      Runs.push_back(Run);
+      G = RunEnd;
+    }
+  };
+
+  for (unsigned R = 0; R < numRanks(); ++R) {
+    long Own = ZBegin[R + 1] - ZBegin[R];
+    if (sideExchanged(R, /*Low=*/true))
+      AddRange(R, ZBegin[R] - Halo, ZBegin[R], /*DstZFirst=*/0);
+    if (sideExchanged(R, /*Low=*/false))
+      AddRange(R, ZBegin[R + 1], ZBegin[R + 1] + Halo,
+               /*DstZFirst=*/ExtLo[R] + Own);
+  }
+
+  Stage.allocate(Offset);
+  Stage.zero();
+  unsigned long long TotalPlanes = 0;
+  for (const CopyRun &Run : Runs)
+    TotalPlanes += static_cast<unsigned long long>(Run.Planes);
+  SerialElemsPerExchange =
+      TotalPlanes * static_cast<unsigned long long>(GlobalDims.Nx + 2 * Halo) *
+      (GlobalDims.Ny + 2 * Halo);
+  StagedElemsPerExchange = TotalPlanes * PlaneElems;
 }
 
 void DecomposedGrid::scatter(const Grid &Global) {
   assert(Global.dims() == GlobalDims && "global dims mismatch");
-  assert(Global.halo() >= Halo && "global halo too small");
+  int GH = Global.halo();
   for (unsigned R = 0; R < numRanks(); ++R) {
     Grid &Local = *Slabs[R];
-    long Z0 = ZBegin[R];
-    // Copy the full local range including halos; z-halo regions map to
-    // neighbor interiors or the global boundary.
-    for (long Z = -Halo; Z < Local.dims().Nz + Halo; ++Z)
-      for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
-        for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X)
-          Local.at(X, Y, Z) = Global.at(X, Y, Z0 + Z);
+    long Z0 = ZBegin[R] - ExtLo[R]; // Global plane of local z == 0.
+    long NzLoc = Local.dims().Nz;
+    for (long Z = -Halo; Z < NzLoc + Halo; ++Z) {
+      long Gz = Z0 + Z;
+      bool ZIn = Gz >= -GH && Gz < GlobalDims.Nz + GH;
+      for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y) {
+        bool YIn = Y >= -GH && Y < GlobalDims.Ny + GH;
+        for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X) {
+          // Local halo cells past the global grid's halo have no source
+          // value; they are zero-filled and never read by a sweep (reads
+          // reach at most radius <= halo() past the interior).
+          bool In = ZIn && YIn && X >= -GH && X < GlobalDims.Nx + GH;
+          Local.at(X, Y, Z) = In ? Global.at(X, Y, Gz) : 0.0;
+        }
+      }
+    }
   }
 }
 
@@ -48,63 +153,270 @@ void DecomposedGrid::gather(Grid &Global) const {
   assert(Global.dims() == GlobalDims && "global dims mismatch");
   for (unsigned R = 0; R < numRanks(); ++R) {
     const Grid &Local = *Slabs[R];
-    long Z0 = ZBegin[R];
-    for (long Z = 0; Z < Local.dims().Nz; ++Z)
+    long Own = ZBegin[R + 1] - ZBegin[R];
+    for (long Z = 0; Z < Own; ++Z)
       for (long Y = 0; Y < GlobalDims.Ny; ++Y)
         for (long X = 0; X < GlobalDims.Nx; ++X)
-          Global.at(X, Y, Z0 + Z) = Local.at(X, Y, Z);
+          Global.at(X, Y, ZBegin[R] + Z) = Local.at(X, Y, ExtLo[R] + Z);
   }
+}
+
+void DecomposedGrid::copyPlaneDirect(const Grid &Src, long SrcZ, Grid &Dst,
+                                     long DstZ) {
+  // The serial reference path copies the x/y halo ring too — it holds the
+  // same physical boundary values on both sides, so this is value-neutral,
+  // but it is what the element-wise loop actually moves and therefore what
+  // the byte counter must account.
+  for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
+    for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X)
+      Dst.at(X, Y, DstZ) = Src.at(X, Y, SrcZ);
 }
 
 void DecomposedGrid::exchangeHalos() {
-  for (unsigned R = 0; R + 1 < numRanks(); ++R) {
-    Grid &Lower = *Slabs[R];
-    Grid &Upper = *Slabs[R + 1];
-    long LowerNz = Lower.dims().Nz;
-    for (int Layer = 0; Layer < Halo; ++Layer)
-      for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
-        for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X) {
-          // Lower's top interior -> Upper's bottom halo.
-          Upper.at(X, Y, -1 - Layer) =
-              Lower.at(X, Y, LowerNz - 1 - Layer);
-          // Upper's bottom interior -> Lower's top halo.
-          Lower.at(X, Y, LowerNz + Layer) = Upper.at(X, Y, Layer);
-        }
-    HaloBytes += 2ull * Halo * GlobalDims.Nx * GlobalDims.Ny * 8;
+  for (const CopyRun &Run : Runs) {
+    const Grid &Src = *Slabs[Run.SrcRank];
+    Grid &Dst = *Slabs[Run.DstRank];
+    for (long P = 0; P < Run.Planes; ++P)
+      copyPlaneDirect(Src, Run.SrcZ0 + P, Dst, Run.DstZ0 + P);
   }
+  HaloBytes += SerialElemsPerExchange * sizeof(double);
 }
 
-DistributedStepper::DistributedStepper(StencilSpec Spec,
-                                       KernelConfig Config)
+void DecomposedGrid::packPlane(const Grid &Src, long SrcZ,
+                               double *Out) const {
+  if (ContigPlanes) {
+    // fold.Z == 1 keeps every padded z-plane contiguous: one memcpy of
+    // numVecX*numVecY fold blocks starting at the plane's first lane.
+    std::memcpy(Out, Src.data() + Src.linearIndex(-Halo, -Halo, SrcZ),
+                PlaneElems * sizeof(double));
+    return;
+  }
+  size_t I = 0;
+  for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
+    for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X)
+      Out[I++] = Src.at(X, Y, SrcZ);
+}
+
+void DecomposedGrid::unpackPlane(const double *In, Grid &Dst,
+                                 long DstZ) const {
+  if (ContigPlanes) {
+    std::memcpy(Dst.data() + Dst.linearIndex(-Halo, -Halo, DstZ), In,
+                PlaneElems * sizeof(double));
+    return;
+  }
+  size_t I = 0;
+  for (long Y = -Halo; Y < GlobalDims.Ny + Halo; ++Y)
+    for (long X = -Halo; X < GlobalDims.Nx + Halo; ++X)
+      Dst.at(X, Y, DstZ) = In[I++];
+}
+
+void DecomposedGrid::packHalos(ThreadPool *Pool) {
+  auto PackRun = [&](long I) {
+    const CopyRun &Run = Runs[static_cast<size_t>(I)];
+    const Grid &Src = *Slabs[Run.SrcRank];
+    for (long P = 0; P < Run.Planes; ++P)
+      packPlane(Src, Run.SrcZ0 + P,
+                Stage.data() + Run.StageOffset +
+                    static_cast<size_t>(P) * PlaneElems);
+  };
+  if (Pool && Pool->numThreads() > 1 && Runs.size() > 1)
+    Pool->parallelFor(0, static_cast<long>(Runs.size()), PackRun);
+  else
+    for (size_t I = 0; I < Runs.size(); ++I)
+      PackRun(static_cast<long>(I));
+  // One staged exchange moves every element twice (grid -> staging ->
+  // grid); count it here so the concurrent unpackRun calls stay free of
+  // shared-counter writes.
+  HaloBytes += 2 * StagedElemsPerExchange * sizeof(double);
+}
+
+void DecomposedGrid::unpackRun(size_t I) {
+  const CopyRun &Run = Runs[I];
+  Grid &Dst = *Slabs[Run.DstRank];
+  for (long P = 0; P < Run.Planes; ++P)
+    unpackPlane(Stage.data() + Run.StageOffset +
+                    static_cast<size_t>(P) * PlaneElems,
+                Dst, Run.DstZ0 + P);
+}
+
+//===----------------------------------------------------------------------===//
+// DistributedStepper
+//===----------------------------------------------------------------------===//
+
+DistributedStepper::DistributedStepper(StencilSpec Spec, KernelConfig Config)
     : Spec(std::move(Spec)), Config(Config) {
   assert(this->Spec.numInputGrids() == 1 &&
          "distributed stepping requires a single-input stencil");
+  assert(this->Config.validate().empty() && "invalid kernel config");
+}
+
+DistributedStepper::~DistributedStepper() = default;
+
+void DistributedStepper::setBackend(KernelBackend B) {
+  BackendOverride = B;
+  for (auto &Exec : RankExecs)
+    if (Exec)
+      Exec->setBackend(B);
+}
+
+int DistributedStepper::stepsPerExchange(int Halo) const {
+  int R = std::max(1, Spec.radius());
+  return std::max(1, Halo / R);
+}
+
+KernelExecutor &DistributedStepper::rankExec(unsigned R) const {
+  assert(R < RankExecs.size() && "rank executor not provisioned");
+  if (!RankExecs[R]) {
+    RankExecs[R] = std::make_unique<KernelExecutor>(Spec, Config);
+    if (BackendOverride)
+      RankExecs[R]->setBackend(*BackendOverride);
+  }
+  return *RankExecs[R];
+}
+
+void DistributedStepper::runMacroSerial(DecomposedGrid &Src,
+                                        DecomposedGrid &Dst, int K,
+                                        ThreadPool *Pool) const {
+  // Every rank advances K fused steps through its own executor — the
+  // full macro-step machinery (wavefront/diamond/deep-temporal) runs
+  // per rank.  runTimeSteps lands the result back in Src's rank grid,
+  // so no buffer swap happens at this level.
+  auto StepRank = [&](long R) {
+    rankExec(static_cast<unsigned>(R))
+        .runTimeSteps(Src.rank(static_cast<unsigned>(R)),
+                      Dst.rank(static_cast<unsigned>(R)), K,
+                      /*Pool=*/nullptr);
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, Src.numRanks(), StepRank);
+  else
+    for (unsigned R = 0; R < Src.numRanks(); ++R)
+      StepRank(R);
+}
+
+void DistributedStepper::runMacroOverlapped(DecomposedGrid &Src,
+                                            DecomposedGrid &Dst, int K,
+                                            ThreadPool *Pool) const {
+  // Two-buffer parity over the macro step: level s lands in Src when s is
+  // even (level 0 = Src).  Phase 1 runs the staged unpack copies
+  // concurrently with each rank's interior trapezoid — level s over the
+  // planes whose value is independent of the incoming extension data:
+  //
+  //     [extLo + s*R, NzLoc - extHi - s*R)        (exchanged sides shrink)
+  //
+  // Race-freedom: unpack writes Src extension planes [0, extLo) and
+  // [NzLoc - extHi, NzLoc); interior level 1 reads Src planes >= extLo
+  // and level s >= 2 writes planes >= extLo + s*R — disjoint.  Phase 2
+  // (after the pool barrier) fills the boundary bands down to the exact
+  // frontier s*R, whose level-(s-1) reads are all satisfied by phase 1
+  // plus earlier phase-2 levels of the same rank (sequential per task).
+  long R = std::max(1, Spec.radius());
+  unsigned NumRanks = Src.numRanks();
+  long NumRuns = static_cast<long>(Src.numCopyRuns());
+
+  auto Interior = [&](unsigned Ri) {
+    Grid &Even = Src.rank(Ri);
+    Grid &Odd = Dst.rank(Ri);
+    long NzLoc = Even.dims().Nz;
+    long ELo = Src.rankExtLo(Ri), EHi = Src.rankExtHi(Ri);
+    bool XLo = Src.sideExchanged(Ri, true);
+    bool XHi = Src.sideExchanged(Ri, false);
+    KernelExecutor &Exec = rankExec(Ri);
+    for (int S = 1; S <= K; ++S) {
+      long Lo = XLo ? ELo + S * R : 0;
+      long Hi = XHi ? NzLoc - EHi - S * R : NzLoc;
+      if (Hi > Lo)
+        Exec.runLevelRange(Even, Odd, S, Lo, Hi, /*Pool=*/nullptr);
+    }
+  };
+
+  auto Phase1 = [&](long I) {
+    if (I < NumRuns)
+      Src.unpackRun(static_cast<size_t>(I));
+    else
+      Interior(static_cast<unsigned>(I - NumRuns));
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, NumRuns + NumRanks, Phase1);
+  else
+    for (long I = 0; I < NumRuns + NumRanks; ++I)
+      Phase1(I);
+
+  auto Boundary = [&](long RiL) {
+    unsigned Ri = static_cast<unsigned>(RiL);
+    Grid &Even = Src.rank(Ri);
+    Grid &Odd = Dst.rank(Ri);
+    long NzLoc = Even.dims().Nz;
+    long ELo = Src.rankExtLo(Ri), EHi = Src.rankExtHi(Ri);
+    bool XLo = Src.sideExchanged(Ri, true);
+    bool XHi = Src.sideExchanged(Ri, false);
+    KernelExecutor &Exec = rankExec(Ri);
+    for (int S = 1; S <= K; ++S) {
+      // Exact frontier at level s, and what phase 1 already covered.
+      long BLo = XLo ? S * R : 0;
+      long BHi = XHi ? NzLoc - S * R : NzLoc;
+      long ILo = XLo ? ELo + S * R : 0;
+      long IHi = XHi ? NzLoc - EHi - S * R : NzLoc;
+      if (IHi <= ILo) {
+        // Slab too small for an interior at this level: the whole exact
+        // range is boundary work.
+        if (BHi > BLo)
+          Exec.runLevelRange(Even, Odd, S, BLo, BHi, /*Pool=*/nullptr);
+        continue;
+      }
+      if (ILo > BLo)
+        Exec.runLevelRange(Even, Odd, S, BLo, ILo, /*Pool=*/nullptr);
+      if (BHi > IHi)
+        Exec.runLevelRange(Even, Odd, S, IHi, BHi, /*Pool=*/nullptr);
+    }
+  };
+  if (Pool && Pool->numThreads() > 1)
+    Pool->parallelFor(0, NumRanks, Boundary);
+  else
+    for (unsigned Ri = 0; Ri < NumRanks; ++Ri)
+      Boundary(Ri);
 }
 
 void DistributedStepper::runTimeSteps(DecomposedGrid &U, DecomposedGrid &V,
                                       int Steps, ThreadPool *Pool) const {
   assert(U.numRanks() == V.numRanks() && "rank count mismatch");
+  assert(U.halo() == V.halo() && "halo mismatch");
   assert(U.halo() >= Spec.radius() && "halo smaller than stencil radius");
-  KernelExecutor Exec(Spec, Config);
+  assert(Steps >= 0 && "negative step count");
 
-  DecomposedGrid *Src = &U;
-  DecomposedGrid *Dst = &V;
-  for (int Step = 0; Step < Steps; ++Step) {
-    Src->exchangeHalos();
-    auto SweepRank = [&](long R) {
-      Exec.runSweep({&Src->rank(static_cast<unsigned>(R))},
-                    Dst->rank(static_cast<unsigned>(R)),
-                    /*Pool=*/nullptr);
-    };
-    if (Pool && Pool->numThreads() > 1)
-      Pool->parallelFor(0, U.numRanks(), SweepRank);
-    else
-      for (unsigned R = 0; R < U.numRanks(); ++R)
-        SweepRank(R);
-    std::swap(Src, Dst);
+  // Provision (and backend-prepare) every rank executor on the calling
+  // thread: executors and their plan/JIT caches are mutable state that
+  // must never be created from inside concurrent pool tasks.
+  RankExecs.resize(U.numRanks());
+  for (unsigned R = 0; R < U.numRanks(); ++R)
+    rankExec(R).prepare(U.rank(R));
+
+  if (U.numRanks() == 1) {
+    // Single rank: no exchange; delegate with full pool parallelism.
+    rankExec(0).runTimeSteps(U.rank(0), V.rank(0), Steps, Pool);
+    return;
   }
 
-  // Land the result in U.
+  int K = stepsPerExchange(U.halo());
+  DecomposedGrid *Src = &U;
+  DecomposedGrid *Dst = &V;
+  int Done = 0;
+  while (Done < Steps) {
+    int Fused = std::min(K, Steps - Done);
+    ++ExchangeRounds;
+    if (Mode == ExchangeMode::Serial) {
+      Src->exchangeHalos();
+      runMacroSerial(*Src, *Dst, Fused, Pool);
+      // Result landed back in Src.
+    } else {
+      Src->packHalos(Pool);
+      runMacroOverlapped(*Src, *Dst, Fused, Pool);
+      if (Fused % 2 != 0)
+        std::swap(Src, Dst);
+    }
+    Done += Fused;
+  }
+
   if (Src != &U)
     for (unsigned R = 0; R < U.numRanks(); ++R)
       U.rank(R).copyInteriorFrom(Src->rank(R));

@@ -5,12 +5,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Single-process domain decomposition with explicit halo exchange — the
-/// substrate YASK uses for multi-rank (MPI) runs, simulated in-process:
-/// the global grid splits into contiguous z-slabs ("ranks"), each rank
-/// owns its slab plus a halo, and an explicit exchange step copies
-/// interior boundary layers between neighbors before every sweep.
-/// Equivalence to the monolithic sweep is exact and tested.
+/// Single-process domain decomposition with overlapped halo exchange — the
+/// substrate YASK uses for multi-rank (MPI) runs, simulated in-process.
+///
+/// The global grid splits into contiguous z-slabs ("ranks") using a
+/// balanced floor+remainder partition.  Each rank's local grid interior
+/// covers its owned planes *plus* an extension of up to Halo planes toward
+/// every interior-facing neighbor (clipped at the global edges).  That
+/// extension is the deep-halo scheme of Wittmann et al.: exchanging
+/// Halo = k*radius planes once buys k fused time steps per rank, with the
+/// extension planes recomputed redundantly — level s of a macro step is
+/// exact from s*radius planes above the refreshed extension edge, so after
+/// k levels the owned region is exact (and bit-identical to the monolithic
+/// sweep, because every cell's arithmetic is unchanged).  Sides touching
+/// the physical boundary need no refresh and no shrink: the global halo is
+/// a constant-in-time Dirichlet boundary, exact at every level.
+///
+/// Two exchange paths feed a macro step:
+///  * exchangeHalos() — the serial reference: element-wise neighbor copies
+///    including the x/y halo rings, exactly what a bulk-synchronous step
+///    would do before sweeping.
+///  * packHalos() + unpackRun() — the overlapped path: whole padded
+///    z-planes are memcpy'd into per-run staging buffers (fold.Z == 1
+///    keeps each plane contiguous; other folds fall back to element-wise
+///    staging), and the unpack copies run concurrently with interior
+///    compute on the work-stealing pool.
+///
+/// haloBytesExchanged() counts the bytes each path actually moves (the
+/// staged path moves every element twice: once into staging, once out).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,26 +42,36 @@
 #include "codegen/KernelExecutor.h"
 #include "stencil/Grid.h"
 #include "stencil/StencilSpec.h"
+#include "support/AlignedBuffer.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace ys {
 
-/// A grid distributed over R contiguous z-slab ranks.
+/// A grid distributed over R contiguous z-slab ranks with deep halos.
 class DecomposedGrid {
 public:
-  /// Splits \p GlobalDims into \p Ranks z-slabs with halo \p Halo.
-  /// Requires Nz >= Ranks.
+  /// Splits \p GlobalDims into \p Ranks z-slabs with halo depth \p Halo.
+  /// The parameters must satisfy validateParams(); violations abort with
+  /// a diagnostic in every build mode (release included).
   DecomposedGrid(GridDims GlobalDims, unsigned Ranks, int Halo,
                  Fold F = Fold());
+
+  /// Empty when the decomposition is well-formed, else a diagnostic:
+  /// Ranks < 1, Halo < 1, or Nz < Ranks (an empty slab).  Callers taking
+  /// external parameters (driver, benches) check this before constructing.
+  static std::string validateParams(const GridDims &GlobalDims,
+                                    unsigned Ranks, int Halo);
 
   unsigned numRanks() const { return static_cast<unsigned>(Slabs.size()); }
   const GridDims &globalDims() const { return GlobalDims; }
   int halo() const { return Halo; }
 
-  /// The local grid of one rank.
+  /// The local grid of one rank (owned planes + extensions, halo Halo).
   Grid &rank(unsigned R) { return *Slabs[R]; }
   const Grid &rank(unsigned R) const { return *Slabs[R]; }
 
@@ -47,44 +79,159 @@ public:
   long rankZBegin(unsigned R) const { return ZBegin[R]; }
   long rankZEnd(unsigned R) const { return ZBegin[R + 1]; }
 
-  /// Scatters a global grid into the slabs (interiors only).
+  /// Extension planes below/above the owned slab inside the local
+  /// interior: min(Halo, distance to the respective global edge).  The
+  /// owned slab occupies local z in [extLo, extLo + owned).
+  long rankExtLo(unsigned R) const { return ExtLo[R]; }
+  long rankExtHi(unsigned R) const { return ExtHi[R]; }
+
+  /// True when side \p Low of rank \p R receives refreshed data from a
+  /// neighbor each exchange (extension not clipped by the global edge).
+  /// Clipped sides sit on the physical boundary and recompute their
+  /// extension exactly without any exchange.
+  bool sideExchanged(unsigned R, bool Low) const {
+    return (Low ? ExtLo[R] : ExtHi[R]) == Halo;
+  }
+
+  /// Scatters a global grid into the slabs (interiors, extensions, and
+  /// every addressable halo cell; local halo cells beyond the global
+  /// grid's halo are zero-filled and never read by a sweep).
   void scatter(const Grid &Global);
 
-  /// Gathers the slabs' interiors into a global grid.
+  /// Gathers the slabs' owned planes into a global grid.
   void gather(Grid &Global) const;
 
-  /// Exchanges the z-halo layers between neighboring ranks (copies the
-  /// top \p Halo interior planes of rank R into the bottom halo of rank
-  /// R+1 and vice versa).  The outermost ranks' outer halos are left
-  /// untouched (physical boundary).  Counts exchanged bytes.
+  /// Serial reference exchange: refreshes every exchanged extension plane
+  /// element-wise from its owner's current values, including the x/y halo
+  /// ring (the bulk-synchronous baseline).  Counts exchanged bytes.
   void exchangeHalos();
 
-  /// Bytes moved by all exchangeHalos() calls so far.
+  /// \name Staged (overlappable) exchange.
+  ///
+  /// One exchange = packHalos() — every needed source plane memcpy'd into
+  /// its run's staging buffer — then unpackRun(i) for every run, which the
+  /// stepper interleaves with interior compute on the pool.  unpackRun
+  /// writes only extension planes of its destination rank, which no
+  /// interior-phase computation reads or writes, so unpack and interior
+  /// tasks are race-free by construction.
+  /// @{
+
+  /// Number of (source rank, destination rank, plane range) copy runs one
+  /// exchange performs.  Fixed by the decomposition geometry.
+  size_t numCopyRuns() const { return Runs.size(); }
+
+  /// Stages all runs' source planes; parallelizes over runs when \p Pool
+  /// is given (pure reads of the rank grids — safe).  Counts the bytes
+  /// the full staged exchange (pack + unpack) moves.
+  void packHalos(ThreadPool *Pool = nullptr);
+
+  /// Copies run \p I from staging into its destination rank's extension
+  /// planes.  Distinct runs write distinct planes: safe to call
+  /// concurrently for all I.
+  void unpackRun(size_t I);
+
+  /// @}
+
+  /// Bytes moved by all exchanges so far (both paths).
   unsigned long long haloBytesExchanged() const { return HaloBytes; }
 
 private:
+  /// One contiguous range of planes flowing SrcRank -> DstRank.
+  struct CopyRun {
+    unsigned SrcRank = 0;
+    unsigned DstRank = 0;
+    long SrcZ0 = 0;   ///< First source-local interior z plane.
+    long DstZ0 = 0;   ///< First destination-local interior z plane.
+    long Planes = 0;
+    size_t StageOffset = 0; ///< Doubles into Stage.
+  };
+
+  void buildCopyRuns();
+  void copyPlaneDirect(const Grid &Src, long SrcZ, Grid &Dst, long DstZ);
+  void packPlane(const Grid &Src, long SrcZ, double *Out) const;
+  void unpackPlane(const double *In, Grid &Dst, long DstZ) const;
+
   GridDims GlobalDims;
   int Halo;
-  std::vector<long> ZBegin; ///< Ranks + 1 entries.
+  Fold F;
+  std::vector<long> ZBegin; ///< Ranks + 1 entries (owned ranges).
+  std::vector<long> ExtLo, ExtHi;
   std::vector<std::unique_ptr<Grid>> Slabs;
+
+  std::vector<CopyRun> Runs;
+  AlignedBuffer<double> Stage;
+  bool ContigPlanes = false; ///< fold.Z == 1: planes memcpy whole.
+  size_t PlaneElems = 0;     ///< Doubles staged per plane.
+  /// Doubles one serial exchangeHalos() moves / one staged exchange
+  /// stages (the staged exchange moves 2x this: pack + unpack).
+  unsigned long long SerialElemsPerExchange = 0;
+  unsigned long long StagedElemsPerExchange = 0;
   unsigned long long HaloBytes = 0;
 };
 
-/// Runs time steps of a single-input stencil on a decomposed grid:
-/// exchange halos, sweep every rank (optionally rank-parallel over the
-/// pool), swap — exactly YASK's distributed stepping structure.
+/// How DistributedStepper performs the per-macro-step exchange.
+enum class ExchangeMode {
+  Serial,    ///< Element-wise exchange, then rank sweeps (baseline).
+  Overlapped ///< Staged memcpy exchange overlapped with interior compute.
+};
+
+/// Runs time steps of a single-input stencil on a decomposed grid with
+/// one halo exchange per macro step of k = Halo/radius fused sweeps —
+/// YASK's distributed stepping structure with deep halos.
+///
+/// Serial mode: exchange, then every rank advances k steps through its
+/// own cached KernelExecutor::runTimeSteps (so wavefront / diamond /
+/// deep-temporal schedules run their macro-step machinery per rank),
+/// rank-parallel over the pool.
+///
+/// Overlapped mode: pack staging buffers, then run halo unpack copies
+/// concurrently with each rank's *interior* trapezoid — level s over the
+/// planes independent of incoming halo data — and finish with the
+/// boundary bands once the unpack has landed, hiding communication under
+/// T_interior.  All paths are bit-identical on the owned region.
 class DistributedStepper {
 public:
   DistributedStepper(StencilSpec Spec, KernelConfig Config);
+  ~DistributedStepper();
 
-  /// Advances \p U (and its scratch twin \p V) by \p Steps sweeps.
-  /// The result lands in U.
+  const KernelConfig &config() const { return Config; }
+
+  ExchangeMode exchangeMode() const { return Mode; }
+  void setExchangeMode(ExchangeMode M) { Mode = M; }
+
+  /// Forces the kernel backend (plan / JIT) of every rank executor.
+  void setBackend(KernelBackend B);
+
+  /// Fused sweeps one exchange with halo depth \p Halo amortizes:
+  /// max(1, Halo / radius).
+  int stepsPerExchange(int Halo) const;
+
+  /// Advances \p U (and its scratch twin \p V) by \p Steps sweeps.  The
+  /// result lands in U's owned planes.
   void runTimeSteps(DecomposedGrid &U, DecomposedGrid &V, int Steps,
                     ThreadPool *Pool = nullptr) const;
 
+  /// Exchange rounds performed by runTimeSteps calls so far — the handle
+  /// proving deep halos amortize: Steps sweeps cost
+  /// ceil(Steps / stepsPerExchange(halo)) rounds, not Steps.
+  unsigned long long exchangeRounds() const { return ExchangeRounds; }
+
 private:
+  KernelExecutor &rankExec(unsigned R) const;
+  void runMacroSerial(DecomposedGrid &Src, DecomposedGrid &Dst, int K,
+                      ThreadPool *Pool) const;
+  void runMacroOverlapped(DecomposedGrid &Src, DecomposedGrid &Dst, int K,
+                          ThreadPool *Pool) const;
+
   StencilSpec Spec;
   KernelConfig Config;
+  ExchangeMode Mode = ExchangeMode::Overlapped;
+  std::optional<KernelBackend> BackendOverride;
+  /// Per-rank executors: plans are geometry-keyed and bindBuffers mutates
+  /// executor state, so concurrent ranks must never share one.  Lazily
+  /// sized on first run; mutable like the executor's own plan cache.
+  mutable std::vector<std::unique_ptr<KernelExecutor>> RankExecs;
+  mutable unsigned long long ExchangeRounds = 0;
 };
 
 } // namespace ys

@@ -63,6 +63,8 @@ std::string KernelConfig::validate() const {
                   WavefrontDepth);
   if (Threads == 0)
     return "thread count must be >= 1";
+  if (Ranks == 0)
+    return "rank count must be >= 1 (1 disables the decomposition)";
   return std::string();
 }
 
@@ -78,5 +80,7 @@ std::string KernelConfig::str() const {
     S += format(" threads=%u", Threads);
   if (StreamingStores)
     S += " nt";
+  if (Ranks > 1)
+    S += format(" ranks=%u", Ranks);
   return S;
 }

@@ -81,6 +81,11 @@ struct KernelConfig {
   Schedule Sched = Schedule::Wavefront;
   unsigned Threads = 1;   ///< Worker threads for the outer decomposition.
   bool StreamingStores = false; ///< Non-temporal stores (model-visible).
+  /// Contiguous z-slab ranks the domain is decomposed into (1 ==
+  /// monolithic).  Ranks > 1 routes execution through DistributedStepper
+  /// with deep halos of WavefrontDepth * radius planes and adds the
+  /// communication term to the ECM prediction.
+  unsigned Ranks = 1;
 
   std::string str() const;
 
@@ -104,7 +109,8 @@ struct KernelConfig {
   bool operator==(const KernelConfig &O) const {
     return VectorFold == O.VectorFold && Block == O.Block &&
            WavefrontDepth == O.WavefrontDepth && Sched == O.Sched &&
-           Threads == O.Threads && StreamingStores == O.StreamingStores;
+           Threads == O.Threads && StreamingStores == O.StreamingStores &&
+           Ranks == O.Ranks;
   }
 };
 

@@ -240,6 +240,16 @@ void KernelExecutor::runTimeSteps(Grid &U, Grid &Scratch, int Steps,
     U.copyInteriorFrom(*Even);
 }
 
+void KernelExecutor::runLevelRange(Grid &Even, Grid &Odd, int S, long Z0,
+                                   long Z1, ThreadPool *Pool) const {
+  assert(Even.dims() == Odd.dims() && "buffer dims mismatch");
+  prepareBackend(Even);
+  BlockSize B = Config.Block.resolved(Even.dims());
+  unsigned Threads =
+      Pool ? std::min(Config.Threads, Pool->numThreads()) : 1;
+  runLevelSlab(&Even, &Odd, S, Z0, Z1, B, Pool, Threads);
+}
+
 void KernelExecutor::runLevelSlab(Grid *Even, Grid *Odd, int S, long Z0,
                                   long Z1, const BlockSize &B,
                                   ThreadPool *Pool,

@@ -70,6 +70,20 @@ public:
   void runTimeSteps(Grid &U, Grid &Scratch, int Steps,
                     ThreadPool *Pool = nullptr) const;
 
+  /// Computes time level \p S of the two-buffer parity scheme (level s
+  /// lives in \p Even when s is even; level 0 == Even) over z in
+  /// [Z0, Z1) — the same level-slab primitive the temporal macro steps
+  /// drive, exposed for the distributed stepper's interior/boundary
+  /// trapezoid split.  Call prepare() on the driving thread first when
+  /// invoking this from concurrent pool tasks.
+  void runLevelRange(Grid &Even, Grid &Odd, int S, long Z0, long Z1,
+                     ThreadPool *Pool = nullptr) const;
+
+  /// Pre-compiles the backend (plan or JIT) for \p Out's geometry on the
+  /// calling thread, so later runs from pool tasks only read the cached
+  /// state.  Idempotent and cheap once built.
+  void prepare(const Grid &Out) const { prepareBackend(Out); }
+
   /// Ground-truth single sweep: unblocked, layout-agnostic triple loop.
   static void runReference(const StencilSpec &Spec,
                            const std::vector<const Grid *> &Inputs,

@@ -172,6 +172,12 @@ std::string parseOptions(const std::vector<std::string> &Args, size_t From,
                       "deep-temporal)",
                       V.c_str());
       Opts.Config.Sched = *Sched;
+    } else if (Flag == "--ranks" && Value(V)) {
+      if (!AsUnsigned(Opts.Config.Ranks))
+        return NumErr;
+      if (Opts.Config.Ranks == 0)
+        return format("invalid --ranks value: '%s' (must be >= 1)",
+                      V.c_str());
     } else if (Flag == "--cores" && Value(V)) {
       if (!AsUnsigned(Opts.Cores))
         return NumErr;
@@ -383,23 +389,54 @@ int cmdEmit(const DriverOptions &Opts, TuningService &Service,
   return 0;
 }
 
+/// Maps --ranks onto the simulator-backed commands (trace/validate): both
+/// the cache simulator and the traffic model then describe the kernel one
+/// rank actually runs — the extended local grid of an interior rank
+/// (ceil-split owned planes plus deep-halo extensions of
+/// WavefrontDepth * radius planes per side).  Shrinks \p Dims in place,
+/// resets Config.Ranks so the single-rank analysis below does not reduce
+/// a second time, and returns a note for the command output.
+std::string applyRankLocalView(const StencilSpec &Spec, GridDims &Dims,
+                               KernelConfig &Config) {
+  if (Config.Ranks <= 1)
+    return std::string();
+  unsigned Ranks = Config.Ranks;
+  Config.Ranks = 1;
+  long R = std::max(1, Spec.radius());
+  int Depth = Config.isTemporal() ? Config.WavefrontDepth : 1;
+  long Halo = static_cast<long>(Depth) * R;
+  long OwnedNz = std::max<long>(
+      1, (Dims.Nz + Ranks - 1) / static_cast<long>(Ranks));
+  long ExtNz = std::min(OwnedNz + 2 * Halo, Dims.Nz);
+  std::string Note =
+      format("rank-local view: %u z-slab ranks; analyzing one interior "
+             "rank (%ld owned planes + %ld-plane extensions, local grid "
+             "%ldx%ldx%ld)\n",
+             Ranks, OwnedNz, Halo, Dims.Nx, Dims.Ny, ExtNz);
+  Dims.Nz = ExtNz;
+  return Note;
+}
+
 int cmdTrace(const DriverOptions &Opts, const StencilSpec &Spec,
              std::string &Out) {
   const MachineModel *M = findMachine(Opts, Out);
   if (!M)
     return 1;
+  GridDims Dims = Opts.Dims;
+  KernelConfig Config = Opts.Config;
+  Out += applyRankLocalView(Spec, Dims, Config);
   CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
-  StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
+  StencilTraceRunner Runner(Spec, Dims, Config);
   // Temporal traces (wavefront/diamond/deep-temporal) are exact-only;
   // plain sweeps honor --sim-mode (default full, preserving the
   // historical exact replay).
   SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
   TraceTraffic T =
-      Opts.Config.isTemporal()
+      Config.isTemporal()
           ? Runner.runTemporal(Sim)
           : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
   Out += format("simulated %llu LUPs on %s caches, config %s\n", T.Lups,
-                M->Name.c_str(), Opts.Config.str().c_str());
+                M->Name.c_str(), Config.str().c_str());
   if (T.Sampled)
     Out += format("sampled replay: %llu of %llu LUPs simulated (%.0fx), "
                   "extrapolated along the layer-condition staircase\n",
@@ -545,14 +582,17 @@ int cmdValidate(const DriverOptions &Opts, const StencilSpec &Spec,
   const MachineModel *M = findMachine(Opts, Out);
   if (!M)
     return 1;
+  GridDims Dims = Opts.Dims;
+  KernelConfig Config = Opts.Config;
+  Out += applyRankLocalView(Spec, Dims, Config);
   ECMModel Model(*M);
-  ECMPrediction P = Model.predict(Spec, Opts.Dims, Opts.Config);
+  ECMPrediction P = Model.predict(Spec, Dims, Config);
 
   CacheHierarchySim Sim = CacheHierarchySim::fromMachine(*M);
-  StencilTraceRunner Runner(Spec, Opts.Dims, Opts.Config);
+  StencilTraceRunner Runner(Spec, Dims, Config);
   SimMode Mode = parseSimMode(Opts.SimModeArg).value_or(SimMode::Full);
   TraceTraffic T =
-      Opts.Config.isTemporal()
+      Config.isTemporal()
           ? Runner.runTemporal(Sim)
           : Runner.run(Sim, std::max(1, Opts.Sweeps), Mode);
 
@@ -567,8 +607,8 @@ int cmdValidate(const DriverOptions &Opts, const StencilSpec &Spec,
                                       std::max(1, Opts.Sweeps);
 
   Out += format("stencil %s on %s, grid %s, config %s\n",
-                Spec.name().c_str(), M->Name.c_str(),
-                Opts.Dims.str().c_str(), Opts.Config.str().c_str());
+                Spec.name().c_str(), M->Name.c_str(), Dims.str().c_str(),
+                Config.str().c_str());
   if (T.Sampled)
     Out += format("(sampled simulation: %llu of %llu LUPs replayed)\n",
                   T.ReplayedLups, T.Lups);
@@ -847,6 +887,9 @@ const char *UsageText =
     "options: --machine NAME --dims N|NXxNYxNZ --fold FXxFYxFZ --asm\n"
     "         --bx N --by N --bz N --wf DEPTH --cores N --nt --sweeps N\n"
     "         --schedule sweep|wavefront|diamond|deep-temporal\n"
+    "         --ranks N (z-slab domain decomposition: predict/tune add the\n"
+    "         overlapped-communication ECM term; trace/validate analyze\n"
+    "         one interior rank's extended local grid)\n"
     "         --sim-mode full|sampled|auto|off (predict/trace/validate)\n"
     "         --backend plan|jit (emit/verify; env: YS_BACKEND, YS_CXX,\n"
     "         YS_JIT_CACHE)  [--flag=value also accepted]\n";

@@ -37,7 +37,8 @@ BlockingChoice BlockingSelector::selectAnalytic(
 }
 
 std::vector<KernelConfig> BlockingSelector::candidateSpace(
-    const GridDims &Dims, const KernelConfig &Base, bool EnableTemporal) {
+    const GridDims &Dims, const KernelConfig &Base, bool EnableTemporal,
+    unsigned MaxRanks) {
   std::vector<KernelConfig> Space;
 
   std::vector<long> YBlocks = {0, 4, 8, 16, 32, 64, 128, 256};
@@ -77,6 +78,23 @@ std::vector<KernelConfig> BlockingSelector::candidateSpace(
         }
     }
   }
+
+  // Rank axis: cross every spatial/temporal point with power-of-two
+  // z-slab counts.  Each rank needs at least one owned plane; the comm
+  // term in the model is what makes these comparable to the monolithic
+  // candidates.
+  if (MaxRanks > 1) {
+    size_t MonoCount = Space.size();
+    for (unsigned Ranks = 2; Ranks <= MaxRanks; Ranks *= 2) {
+      if (static_cast<long>(Ranks) > Dims.Nz)
+        break;
+      for (size_t I = 0; I < MonoCount; ++I) {
+        KernelConfig C = Space[I];
+        C.Ranks = Ranks;
+        Space.push_back(C);
+      }
+    }
+  }
   return Space;
 }
 
@@ -84,9 +102,10 @@ BlockingChoice BlockingSelector::selectBest(const StencilSpec &Spec,
                                             const GridDims &Dims,
                                             const KernelConfig &Base,
                                             bool EnableTemporal,
-                                            unsigned ActiveCores) const {
+                                            unsigned ActiveCores,
+                                            unsigned MaxRanks) const {
   std::vector<KernelConfig> Space =
-      candidateSpace(Dims, Base, EnableTemporal);
+      candidateSpace(Dims, Base, EnableTemporal, MaxRanks);
 
   BlockingChoice Best;
   bool HaveBest = false;

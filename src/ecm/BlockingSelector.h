@@ -51,17 +51,21 @@ public:
   /// Model-argmax over a structured candidate set.  \p EnableTemporal
   /// adds the temporal schedules to the space: wavefront and diamond at
   /// depths {2,4,8} per z-blocked point, deep-temporal at depths {4,8,16}
-  /// per unblocked-z point.
+  /// per unblocked-z point.  \p MaxRanks > 1 crosses the space with
+  /// power-of-two z-slab rank counts up to MaxRanks, ranked through the
+  /// communication-aware ECM term.
   BlockingChoice selectBest(const StencilSpec &Spec, const GridDims &Dims,
                             const KernelConfig &Base,
                             bool EnableTemporal = false,
-                            unsigned ActiveCores = 1) const;
+                            unsigned ActiveCores = 1,
+                            unsigned MaxRanks = 1) const;
 
   /// The structured candidate set used by selectBest (also consumed by the
   /// measuring tuners so every strategy searches the same space).
   static std::vector<KernelConfig> candidateSpace(const GridDims &Dims,
                                                   const KernelConfig &Base,
-                                                  bool EnableTemporal);
+                                                  bool EnableTemporal,
+                                                  unsigned MaxRanks = 1);
 
 private:
   const ECMModel &Model;

@@ -26,15 +26,43 @@ std::string ECMPrediction::str() const {
   std::vector<std::string> Terms;
   for (double T : TData)
     Terms.push_back(format("%.1f", T));
-  return format("{%.1f || %.1f | %s} = %.1f cy/CL (%.0f MLUP/s 1c, "
-                "sat %u cores @ %.0f MLUP/s)",
-                InCore.TOL, InCore.TnOL, join(Terms, " | ").c_str(), TECM,
-                MLupsSingleCore, SaturationCores, MLupsSaturated);
+  std::string S =
+      format("{%.1f || %.1f | %s} = %.1f cy/CL (%.0f MLUP/s 1c, "
+             "sat %u cores @ %.0f MLUP/s)",
+             InCore.TOL, InCore.TnOL, join(Terms, " | ").c_str(), TECM,
+             MLupsSingleCore, SaturationCores, MLupsSaturated);
+  if (Ranks > 1)
+    S += format(" [%u ranks, %.2fx redundant, comm %.1f us/macro %s]",
+                Ranks, RedundantFactor, CommSecondsPerMacro * 1e6,
+                OverlapComm ? "overlapped" : "serialized");
+  return S;
 }
 
 ECMPrediction ECMModel::predict(const StencilSpec &Spec, const GridDims &Dims,
                                 const KernelConfig &Config,
                                 unsigned ActiveCoresPerSharedCache) const {
+  if (Config.Ranks > 1) {
+    // Distributed: the kernel each rank actually runs sweeps its extended
+    // local grid (owned slab + deep-halo extensions), so run the whole
+    // single-rank analysis on those dims — layer conditions, schedule
+    // windows, and saturation all see the rank-local working set — then
+    // add the communication term on top.  Modeled on the slowest rank:
+    // ceil-split owned planes, both sides exchanged.
+    long R = std::max(1, Spec.radius());
+    int Depth = Config.isTemporal() ? Config.WavefrontDepth : 1;
+    long Halo = static_cast<long>(Depth) * R;
+    long OwnedNz = std::max<long>(
+        1, (Dims.Nz + Config.Ranks - 1) / static_cast<long>(Config.Ranks));
+    GridDims Local = Dims;
+    Local.Nz = std::min(OwnedNz + 2 * Halo, Dims.Nz);
+
+    KernelConfig Mono = Config;
+    Mono.Ranks = 1;
+    ECMPrediction P = predict(Spec, Local, Mono, ActiveCoresPerSharedCache);
+    applyCommTerm(Spec, Dims, Config, P);
+    return P;
+  }
+
   ECMPrediction P;
   P.InCore = InCore.analyze(Spec, Config);
   P.Traffic = LC.analyze(Spec, Dims, Config, ActiveCoresPerSharedCache);
@@ -146,6 +174,67 @@ void ECMModel::applySchedule(const StencilSpec &Spec, const GridDims &Dims,
 
   double &MemBytes = Traffic.BytesPerLup.back();
   MemBytes = std::min(MemBytes, TemporalBytes);
+}
+
+void ECMModel::applyCommTerm(const StencilSpec &Spec,
+                             const GridDims &GlobalDims,
+                             const KernelConfig &Config,
+                             ECMPrediction &P) const {
+  long R = std::max(1, Spec.radius());
+  int Depth = Config.isTemporal() ? Config.WavefrontDepth : 1;
+  long Halo = static_cast<long>(Depth) * R;
+  long OwnedNz = std::max<long>(
+      1,
+      (GlobalDims.Nz + Config.Ranks - 1) / static_cast<long>(Config.Ranks));
+  long ExtNz = std::min(OwnedNz + 2 * Halo, GlobalDims.Nz);
+
+  P.Ranks = Config.Ranks;
+  P.MacroDepth = Depth;
+  P.RedundantFactor =
+      static_cast<double>(ExtNz) / static_cast<double>(OwnedNz);
+
+  // Boundary bands are the planes whose level-s values depend on incoming
+  // halo data: Halo + s*R planes per exchanged side (the interior
+  // trapezoid's complement).  Summed over the Depth fused levels against
+  // Depth * ExtNz total planes this closes to (3*Halo + R) / ExtNz for
+  // both sides — the share of macro-step compute that must wait for the
+  // exchange to land.
+  P.BoundaryFraction =
+      std::min(1.0, static_cast<double>(3 * Halo + R) /
+                        static_cast<double>(ExtNz));
+
+  // The staged exchange memcpy's whole padded z-planes into and out of
+  // per-run staging buffers: Halo planes per exchanged side, every
+  // element moved twice (pack + unpack), all bandwidth-bound on the
+  // socket's sustained memory interface.
+  double PlaneBytes = static_cast<double>(GlobalDims.Nx + 2 * Halo) *
+                      static_cast<double>(GlobalDims.Ny + 2 * Halo) * 8.0;
+  P.CommBytesPerMacro = 2.0 * 2.0 * static_cast<double>(Halo) * PlaneBytes;
+  P.CommSecondsPerMacro =
+      P.CommBytesPerMacro / (Machine.Memory.BandwidthGBs * 1e9);
+  P.OverlapComm = true;
+
+  // Rewrite the headline rates as aggregate effective MLUP/s over owned
+  // updates: per macro step a rank computes Depth * Nx * Ny * ExtNz lups
+  // (extensions recomputed redundantly) of which only the owned slab
+  // counts, and the exchange overlaps the interior trapezoid:
+  //   T_macro = max(T_comm, T_interior) + T_boundary.
+  double OwnedLups = static_cast<double>(Depth) * GlobalDims.Nx *
+                     GlobalDims.Ny * OwnedNz;
+  double ExtLups = static_cast<double>(Depth) * GlobalDims.Nx *
+                   GlobalDims.Ny * ExtNz;
+  auto Effective = [&](double RateMlups) {
+    if (RateMlups <= 0.0)
+      return RateMlups;
+    double TCompute = ExtLups / (RateMlups * 1e6);
+    double TInterior = (1.0 - P.BoundaryFraction) * TCompute;
+    double TBoundary = P.BoundaryFraction * TCompute;
+    double TMacro =
+        std::max(P.CommSecondsPerMacro, TInterior) + TBoundary;
+    return P.Ranks * OwnedLups / (TMacro * 1e6);
+  };
+  P.MLupsSingleCore = Effective(P.MLupsSingleCore);
+  P.MLupsSaturated = Effective(P.MLupsSaturated);
 }
 
 double ECMModel::predictedSeconds(const ECMPrediction &P, const GridDims &Dims,

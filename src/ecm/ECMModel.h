@@ -48,6 +48,25 @@ struct ECMPrediction {
   unsigned SaturationCores = 1; ///< n_sat = ceil(TECM / TMem).
   double MLupsSaturated = 0;   ///< Memory-bandwidth-bound performance.
 
+  /// \name Distributed (multi-rank) communication term.
+  ///
+  /// Populated when Config.Ranks > 1: the in-core/traffic analysis then
+  /// describes the slowest (interior) rank's extended local grid, and
+  /// MLupsSingleCore / MLupsSaturated are the aggregate effective rates
+  /// over *owned* lattice updates with the macro-step time
+  ///   T_macro = max(T_comm, T_interior) + T_boundary
+  /// (overlapped halo exchange hides T_comm under the interior trapezoid;
+  /// the boundary bands wait for the exchange to land).
+  /// @{
+  unsigned Ranks = 1;        ///< Z-slab ranks (1 == monolithic, no term).
+  int MacroDepth = 1;        ///< Fused sweeps one exchange amortizes.
+  double RedundantFactor = 1; ///< Extended-interior lups / owned lups.
+  double BoundaryFraction = 0; ///< Macro-step compute share in boundary bands.
+  double CommBytesPerMacro = 0; ///< Staged pack+unpack bytes, interior rank.
+  double CommSecondsPerMacro = 0; ///< CommBytes / sustained socket bandwidth.
+  bool OverlapComm = true;   ///< Comm hidden under interior (max, not sum).
+  /// @}
+
   /// Performance at a given core count (linear scaling until saturation).
   double mlupsAtCores(unsigned Cores) const;
 
@@ -99,6 +118,15 @@ private:
                      const KernelConfig &Config,
                      unsigned ActiveCoresPerSharedCache,
                      TrafficPrediction &Traffic) const;
+
+  /// Rewrites \p P (a single-rank prediction over the interior rank's
+  /// extended local grid) into the distributed aggregate: discounts the
+  /// redundant extension recompute, adds the overlapped communication
+  /// term, and overwrites MLupsSingleCore / MLupsSaturated so every
+  /// downstream consumer (selector, Offsite, serve) is comm-aware
+  /// through the existing accessors.
+  void applyCommTerm(const StencilSpec &Spec, const GridDims &GlobalDims,
+                     const KernelConfig &Config, ECMPrediction &P) const;
 
   const MachineModel &Machine;
   InCoreModel InCore;

@@ -70,6 +70,11 @@ Error parseConfigFields(const std::string &Line, KernelConfig &Config,
       static_cast<unsigned>(longField(Line, "threads", Config.Threads));
   if (boolField(Line, "nt"))
     Config.StreamingStores = true;
+  long Ranks = longField(Line, "ranks", Config.Ranks);
+  if (Ranks < 1)
+    return Error::failure(
+        format("invalid ranks value %ld (must be >= 1)", Ranks));
+  Config.Ranks = static_cast<unsigned>(Ranks);
   return Error::success();
 }
 
@@ -138,6 +143,14 @@ std::string opPredict(TuningService &Service, const std::string &Line) {
       .field("mlups", ROr->Prediction.mlupsAtCores(ROr->Cores))
       .field("mlups_saturated", ROr->Prediction.MLupsSaturated)
       .field("ecm", ROr->Prediction.str());
+  if (ROr->Prediction.Ranks > 1)
+    W.field("ranks", static_cast<long>(ROr->Prediction.Ranks))
+        .field("macro_depth", static_cast<long>(ROr->Prediction.MacroDepth))
+        .field("redundant_factor", ROr->Prediction.RedundantFactor)
+        .field("boundary_fraction", ROr->Prediction.BoundaryFraction)
+        .field("comm_bytes_per_macro", ROr->Prediction.CommBytesPerMacro)
+        .field("comm_seconds_per_macro",
+               ROr->Prediction.CommSecondsPerMacro);
   if (Q.SimCheck) {
     W.field("sim_mode", ROr->SimModeUsed);
     if (ROr->SimChecked)

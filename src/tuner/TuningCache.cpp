@@ -50,6 +50,9 @@ std::string canonicalConfig(const KernelConfig &C) {
   // (and therefore existing cache files) remain valid.
   if (C.Sched != Schedule::Wavefront)
     S += format(";sched=%s", scheduleName(C.Sched));
+  // Same backward-compat pattern: monolithic keys stay byte-identical.
+  if (C.Ranks > 1)
+    S += format(";ranks=%u", C.Ranks);
   return S;
 }
 

@@ -6,11 +6,13 @@
 
 #include "verify/VariantChecker.h"
 
+#include "codegen/DomainDecomposition.h"
 #include "codegen/KernelExecutor.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "verify/ReferenceInterpreter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -245,6 +247,39 @@ std::vector<KernelConfig> VariantChecker::enumerateConfigs() const {
     C.StreamingStores = true; // Model-visible only; must not change values.
     Add(C);
   }
+
+  // Axis: rank decomposition (single-input; time stepping drives it).
+  // Every schedule must step distributed — one deep-halo exchange per
+  // macro step, overlapped with interior compute — bit-identically to the
+  // monolithic run the oracle checks.  Ranks == 3 forces an uneven
+  // floor+remainder split on most test dims.
+  if (SingleInput)
+    for (unsigned Ranks : {2u, 3u}) {
+      if (static_cast<long>(Ranks) > Dims.Nz)
+        continue;
+      KernelConfig C;
+      C.Ranks = Ranks;
+      Add(C);
+      for (Schedule Sched : {Schedule::Wavefront, Schedule::Diamond,
+                             Schedule::DeepTemporal}) {
+        KernelConfig T;
+        T.Ranks = Ranks;
+        T.Sched = Sched;
+        T.WavefrontDepth = 2;
+        T.Threads = std::min(MaxT, Ranks + 1);
+        Add(T);
+      }
+    }
+  if (SingleInput && Dims.Nz >= 2) {
+    // Cross: fold x non-dividing block x ranks x threads x temporal.
+    KernelConfig C;
+    C.VectorFold = {2, 2, 1};
+    C.Block = {3, 5, 2};
+    C.Ranks = 2;
+    C.Threads = 2;
+    C.WavefrontDepth = 2;
+    Add(C);
+  }
   return Configs;
 }
 
@@ -256,10 +291,27 @@ CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
                                   ThreadPool *Pool) const {
   CheckReport Report;
 
+  const bool SingleInput = Spec.numInputGrids() == 1;
+  const int Halo = Spec.radius();
+  // Deep halo of a distributed config: one exchange amortizes the full
+  // fused depth, so the halo carries depth * radius planes.
+  auto distributedHalo = [&](const KernelConfig &C) {
+    return std::max(1, Halo) * (C.isTemporal() ? C.WavefrontDepth : 1);
+  };
+
   std::vector<KernelConfig> Valid;
   unsigned NeedThreads = 1;
   for (const KernelConfig &C : Configs) {
     std::string Why = C.validate();
+    if (Why.empty() && C.Ranks > 1) {
+      // Distributed configs run through DistributedStepper, which needs a
+      // single-input stencil and a well-formed z-slab split.
+      if (!SingleInput)
+        Why = "rank decomposition requires a single-input stencil";
+      else
+        Why = DecomposedGrid::validateParams(
+            Dims, C.Ranks, distributedHalo(C));
+    }
     if (!Why.empty()) {
       Report.Rejected.push_back({C, std::move(Why)});
       continue;
@@ -275,8 +327,6 @@ CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
     Pool = OwnPool.get();
   }
 
-  const bool SingleInput = Spec.numInputGrids() == 1;
-  const int Halo = Spec.radius();
   const unsigned NumInputs = Spec.numInputGrids();
   ReferenceInterpreter Oracle(Spec);
   // Distinct deterministic contents per input grid of a multi-input
@@ -306,10 +356,48 @@ CheckReport VariantChecker::check(const std::vector<KernelConfig> &Configs,
       }
 
       for (const KernelConfig &C : Valid) {
+        ThreadPool *P = C.Threads > 1 ? Pool : nullptr;
+
+        if (C.Ranks > 1) {
+          // Distributed variant: scatter the same initial state over the
+          // z-slab ranks, step with one overlapped deep-halo exchange per
+          // macro step, and gather the owned planes — the result must be
+          // bit-identical to the monolithic oracle (modulo the checker's
+          // tolerance, shared with every other variant).
+          int HaloD = distributedHalo(C);
+          DecomposedGrid U(Dims, C.Ranks, HaloD, C.VectorFold);
+          DecomposedGrid V(Dims, C.Ranks, HaloD, C.VectorFold);
+          Grid Init(Dims, Halo);
+          fillPattern(Init, Pattern, Seed);
+          U.scatter(Init);
+          V.scatter(Init);
+          DistributedStepper Stepper(Spec, C);
+          if (Opts.Backend)
+            Stepper.setBackend(*Opts.Backend);
+          Stepper.runTimeSteps(U, V, Opts.Steps, P);
+          Grid Out(Dims, Halo);
+          U.gather(Out);
+
+          ++Report.ComparisonsRun;
+          if (Opts.Backend && *Opts.Backend == KernelBackend::Jit)
+            ++Report.JitComparisons;
+          CellDivergence Div;
+          if (findFirstDivergence(RefOut, Out, Opts.Tol, Div)) {
+            VariantFailure F;
+            F.Config = C;
+            F.Pattern = Pattern;
+            F.Seed = Seed;
+            F.Cell = Div;
+            Report.Failures.push_back(std::move(F));
+            if (Opts.StopOnFirstFailure)
+              return Report;
+          }
+          continue;
+        }
+
         KernelExecutor Exec(Spec, C);
         if (Opts.Backend)
           Exec.setBackend(*Opts.Backend);
-        ThreadPool *P = C.Threads > 1 ? Pool : nullptr;
         Grid Out(Dims, Halo, C.VectorFold);
         if (SingleInput) {
           fillPattern(Out, Pattern, Seed);

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cachesim/StencilTrace.h"
+#include "codegen/DomainDecomposition.h"
 #include "codegen/KernelExecutor.h"
 #include "ecm/ECMModel.h"
 #include "frontend/Parser.h"
@@ -167,6 +168,82 @@ TEST_P(FuzzSeed, TemporalTraceMatchesExecutorLupCount) {
       << GetParam() << ")";
   for (double B : T.BytesPerLup)
     EXPECT_GT(B, 0.0) << scheduleName(Cfg.Sched);
+}
+
+TEST_P(FuzzSeed, DistributedMatchesMonolithic) {
+  Rng R(GetParam());
+  // A rank-decomposed run with deep halos must be bit-identical to the
+  // monolithic sweep on the owned planes — for random rank counts, halo
+  // depths (k * radius), schedules, folds, and both exchange paths — and
+  // one exchange must amortize k = Halo/radius fused sweeps.
+  StencilSpec Spec = randomSpec(R);
+  GridDims Dims{static_cast<long>(8 + R.nextBounded(8)),
+                static_cast<long>(8 + R.nextBounded(6)),
+                static_cast<long>(10 + R.nextBounded(10))};
+  unsigned Ranks = 2 + static_cast<unsigned>(R.nextBounded(3));
+  int Steps = 2 + static_cast<int>(R.nextBounded(4));
+  int Radius = Spec.radius();
+
+  KernelConfig Cfg;
+  Schedule Scheds[] = {Schedule::Wavefront, Schedule::Wavefront,
+                      Schedule::Diamond, Schedule::DeepTemporal};
+  int Pick = static_cast<int>(R.nextBounded(4));
+  if (Pick > 0)
+    Cfg.Sched = Scheds[Pick];
+  if (R.nextBounded(2) == 0) {
+    Fold Folds[] = {{1, 1, 1}, {4, 1, 1}, {2, 2, 1}, {1, 2, 2}};
+    Cfg.VectorFold = Folds[R.nextBounded(4)];
+  }
+  int Halo;
+  if (Cfg.isTemporal()) {
+    // Temporal schedules step distributed with Halo = depth * radius.
+    Cfg.WavefrontDepth = 2 + static_cast<int>(R.nextBounded(2));
+    if (Cfg.Sched != Schedule::DeepTemporal)
+      Cfg.Block.Z = 1 + static_cast<long>(R.nextBounded(4));
+    Halo = Radius * Cfg.WavefrontDepth;
+  } else {
+    // Plain sweeps take any halo depth: k sweeps per exchange.
+    Halo = Radius * (1 + static_cast<int>(R.nextBounded(3)));
+  }
+  ASSERT_EQ(Cfg.validate(), "");
+  ASSERT_EQ(DecomposedGrid::validateParams(Dims, Ranks, Halo), "");
+
+  std::string Ctx = "seed=" + std::to_string(GetParam()) + " dims=" +
+                    Dims.str() + " ranks=" + std::to_string(Ranks) +
+                    " halo=" + std::to_string(Halo) + " steps=" +
+                    std::to_string(Steps) + " config=" + Cfg.str();
+
+  Grid Init(Dims, Radius);
+  const uint64_t FillSeed = GetParam() * 131 + 17;
+  fillPattern(Init, GridPattern::Random, FillSeed);
+
+  Grid URef(Dims, Radius), SRef(Dims, Radius);
+  URef.copyInteriorFrom(Init);
+  KernelExecutor Mono(Spec, Cfg);
+  Mono.runTimeSteps(URef, SRef, Steps);
+
+  ThreadPool Pool(3);
+  for (ExchangeMode Mode :
+       {ExchangeMode::Serial, ExchangeMode::Overlapped}) {
+    DecomposedGrid U(Dims, Ranks, Halo, Cfg.VectorFold);
+    DecomposedGrid V(Dims, Ranks, Halo, Cfg.VectorFold);
+    U.scatter(Init);
+    V.scatter(Init);
+    DistributedStepper Stepper(Spec, Cfg);
+    Stepper.setExchangeMode(Mode);
+    Stepper.runTimeSteps(U, V, Steps, &Pool);
+    Grid Out(Dims, Radius);
+    U.gather(Out);
+    const char *ModeName =
+        Mode == ExchangeMode::Serial ? "serial" : "overlapped";
+    EXPECT_EQ(Grid::maxAbsDiffInterior(URef, Out), 0.0)
+        << Ctx << " mode=" << ModeName;
+    int K = Stepper.stepsPerExchange(Halo);
+    EXPECT_EQ(Stepper.exchangeRounds(),
+              static_cast<unsigned long long>((Steps + K - 1) / K))
+        << Ctx << " mode=" << ModeName;
+    EXPECT_GT(U.haloBytesExchanged(), 0ull) << Ctx << " mode=" << ModeName;
+  }
 }
 
 TEST_P(FuzzSeed, CacheSimCountersSelfConsistent) {

@@ -17,6 +17,12 @@
 #                         deep-temporal) and fusion depth, plus host
 #                         wall-clock rows (bench_e7_wavefront --ys-json)
 #
+#   BENCH_distributed.json  rank-decomposed stepping: bit-identity and
+#                           exchange-round amortization per schedule x
+#                           rank count, plus overlapped-vs-serialized
+#                           exchange wall clock with the overlap speedup
+#                           (bench_e15_distributed --ys-json)
+#
 # The scalar-vs-folded comparison exits non-zero when the best folded
 # kernel falls below 0.9x scalar throughput on any target, and the
 # cache-simulation rows gate the sampled fast mode (>= 10x wall speedup
@@ -36,6 +42,7 @@ cd "$BUILD_DIR"
 ./bench/bench_micro_kernels --ys-compare --ys-json=BENCH_micro.json
 ./bench/bench_e4_layer_conditions --ys-json=BENCH_cachesim.json
 ./bench/bench_e7_wavefront --ys-json=BENCH_schedules.json
+./bench/bench_e15_distributed --ys-json=BENCH_distributed.json
 
 echo "bench results:"
 ls -l BENCH_*.json

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Builds the tree under ThreadSanitizer and runs the concurrency-labeled
-# tests (thread pool scheduler + parallel executor).  Part of the tier-1
-# quality gate for changes touching the threading layer.
+# tests (thread pool scheduler, parallel executor, tuning service, and
+# the overlapped halo exchange that interleaves unpack copies with
+# interior compute).  Part of the tier-1 quality gate for changes
+# touching the threading layer.
 #
 # Usage: tools/run_concurrency_checks.sh [build-dir]
 set -eu
